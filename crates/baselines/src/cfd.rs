@@ -1,0 +1,355 @@
+//! A CFDFinder-style miner for (approximate) constant CFDs
+//! (Fan, Geerts, Li, Xiong, *Discovering conditional functional
+//! dependencies*, TKDE 23(5), 2011 — references [12, 13] of the paper).
+//!
+//! Mines constant CFDs `([A = a] → [B = b])` with minimum support and a
+//! confidence threshold — §5.1 runs it "with the default parameter setting,
+//! except for the confidence value, which was set to 0.995 instead of 1 to
+//! allow CFDFinder to discover CFDs over dirty data" — plus approximate
+//! whole-value variable CFDs (`A → B` with few violating rows). Everything
+//! operates on **entire attribute values**: this is precisely the
+//! limitation PFDs lift.
+
+use pfd_core::Pfd;
+use pfd_relation::{AttrId, Relation};
+use std::collections::BTreeMap;
+
+/// A discovered constant CFD `([A = lhs_value] → [B = rhs_value])`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConstantCfd {
+    /// The condition attribute `A`.
+    pub lhs: AttrId,
+    /// The condition constant `a`.
+    pub lhs_value: String,
+    /// The determined attribute `B`.
+    pub rhs: AttrId,
+    /// The determined constant `b`.
+    pub rhs_value: String,
+    /// Rows whose `A` value equals `a`.
+    pub support: usize,
+    /// Agreeing rows over the support (scaled by 1e6 for Ord).
+    pub confidence_ppm: u64,
+}
+
+/// A variable CFD `A → B` holding with at most `1 - confidence` violations.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VariableCfd {
+    /// Determinant attribute.
+    pub lhs: AttrId,
+    /// Determined attribute.
+    pub rhs: AttrId,
+    /// Rows that would have to change for the FD to hold exactly.
+    pub violating_rows: usize,
+}
+
+/// One embedded dependency with its mined CFDs.
+#[derive(Debug, Clone)]
+pub struct CfdDependency {
+    /// Determinant attribute.
+    pub lhs: AttrId,
+    /// Determined attribute.
+    pub rhs: AttrId,
+    /// The qualifying constant CFDs.
+    pub constants: Vec<ConstantCfd>,
+    /// The approximate whole-value FD, if it meets the confidence bar.
+    pub variable: Option<VariableCfd>,
+    /// Rows covered by the constant CFDs' LHS values.
+    pub coverage: usize,
+}
+
+/// Miner configuration.
+#[derive(Debug, Clone)]
+pub struct CfdConfig {
+    /// Minimum rows sharing the LHS value.
+    pub min_support: usize,
+    /// Confidence threshold (the paper uses 0.995).
+    pub confidence: f64,
+    /// Minimum covered-row fraction to report an embedded dependency —
+    /// aligned with the PFD miner's coverage restriction for a fair
+    /// comparison.
+    pub min_coverage: f64,
+}
+
+impl Default for CfdConfig {
+    fn default() -> Self {
+        CfdConfig {
+            min_support: 5,
+            confidence: 0.995,
+            min_coverage: 0.10,
+        }
+    }
+}
+
+/// Mine all single-LHS embedded dependencies with their CFDs.
+pub fn cfd_discover(rel: &Relation, config: &CfdConfig) -> Vec<CfdDependency> {
+    let arity = rel.schema().arity();
+    let n = rel.num_rows();
+    let mut out = Vec::new();
+    for a in 0..arity {
+        for b in 0..arity {
+            if a == b {
+                continue;
+            }
+            if let Some(dep) = mine_pair(rel, AttrId(a), AttrId(b), config, n) {
+                out.push(dep);
+            }
+        }
+    }
+    out
+}
+
+fn mine_pair(
+    rel: &Relation,
+    a: AttrId,
+    b: AttrId,
+    config: &CfdConfig,
+    n: usize,
+) -> Option<CfdDependency> {
+    // Partition rows by the full LHS value.
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (rid, _) in rel.iter_rows() {
+        let v = rel.cell(rid, a);
+        if !v.is_empty() {
+            groups.entry(v).or_default().push(rid);
+        }
+    }
+
+    let mut constants = Vec::new();
+    let mut coverage = 0usize;
+    let mut total_violations = 0usize;
+    for (value, rows) in &groups {
+        // Most frequent RHS value in the group.
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for &rid in rows {
+            *counts.entry(rel.cell(rid, b)).or_insert(0) += 1;
+        }
+        let (&best, &count) = counts
+            .iter()
+            .max_by_key(|(v, c)| (**c, std::cmp::Reverse(**v)))
+            .expect("non-empty group");
+        total_violations += rows.len() - count;
+        if rows.len() < config.min_support {
+            continue;
+        }
+        let confidence = count as f64 / rows.len() as f64;
+        if confidence >= config.confidence {
+            constants.push(ConstantCfd {
+                lhs: a,
+                lhs_value: value.to_string(),
+                rhs: b,
+                rhs_value: best.to_string(),
+                support: rows.len(),
+                confidence_ppm: (confidence * 1e6) as u64,
+            });
+            coverage += rows.len();
+        }
+    }
+
+    // Approximate variable CFD: A → B with few violating rows overall.
+    let variable = if n > 0 && (total_violations as f64) <= (1.0 - config.confidence) * n as f64
+    {
+        Some(VariableCfd {
+            lhs: a,
+            rhs: b,
+            violating_rows: total_violations,
+        })
+    } else {
+        None
+    };
+
+    let required = ((n as f64) * config.min_coverage).ceil() as usize;
+    if (constants.is_empty() || coverage < required) && variable.is_none() {
+        return None;
+    }
+    if constants.is_empty() && variable.is_none() {
+        return None;
+    }
+    // Report when either the constants reach coverage or a variable CFD
+    // holds.
+    if coverage < required && variable.is_none() {
+        return None;
+    }
+    Some(CfdDependency {
+        lhs: a,
+        rhs: b,
+        constants,
+        variable,
+        coverage,
+    })
+}
+
+/// Convert a mined dependency into executable PFDs (constant CFDs are the
+/// whole-value special case of PFDs, §6).
+pub fn to_pfds(rel: &Relation, dep: &CfdDependency) -> Vec<Pfd> {
+    let schema = rel.schema();
+    let names = schema.attribute_names();
+    let la = names[dep.lhs.index()].as_str();
+    let lb = names[dep.rhs.index()].as_str();
+    let mut out = Vec::new();
+    for c in &dep.constants {
+        if let Ok(pfd) = Pfd::cfd(
+            schema.relation(),
+            schema,
+            &[(la, Some(c.lhs_value.as_str()))],
+            (lb, Some(c.rhs_value.as_str())),
+        ) {
+            out.push(pfd);
+        }
+    }
+    if dep.variable.is_some() {
+        if let Ok(pfd) = Pfd::fd(schema.relation(), schema, &[la], &[lb]) {
+            out.push(pfd);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(attrs: &[&str], rows: Vec<Vec<&str>>) -> Relation {
+        Relation::from_rows("T", attrs, rows).unwrap()
+    }
+
+    #[test]
+    fn finds_constant_cfds_with_support() {
+        // 6 Johns (M), 6 Susans (F): both constants qualify at K=5.
+        let mut rows = Vec::new();
+        for _ in 0..6 {
+            rows.push(vec!["John", "M"]);
+            rows.push(vec!["Susan", "F"]);
+        }
+        let r = rel(&["name", "gender"], rows);
+        let deps = cfd_discover(&r, &CfdConfig::default());
+        let dep = deps
+            .iter()
+            .find(|d| d.lhs == AttrId(0) && d.rhs == AttrId(1))
+            .expect("name → gender mined");
+        assert_eq!(dep.constants.len(), 2);
+        assert!(dep.variable.is_some(), "clean data: variable CFD holds");
+    }
+
+    #[test]
+    fn whole_value_limitation() {
+        // The §1.1 example: distinct full names → no support ≥ 5 → nothing.
+        let r = rel(
+            &["name", "gender"],
+            vec![
+                vec!["John Charles", "M"],
+                vec!["John Bosco", "M"],
+                vec!["Susan Orlean", "F"],
+                vec!["Susan Boyle", "M"],
+            ],
+        );
+        let deps = cfd_discover(&r, &CfdConfig::default());
+        let name_gender = deps
+            .iter()
+            .find(|d| d.lhs == AttrId(0) && d.rhs == AttrId(1));
+        // A variable CFD may be claimed (name is a key), but no constant CFD
+        // can exist — whole values have no redundancy.
+        if let Some(dep) = name_gender {
+            assert!(dep.constants.is_empty());
+        }
+    }
+
+    #[test]
+    fn confidence_tolerates_dirt() {
+        // 199 clean + 1 dirty row in a 200-row group: confidence 0.995.
+        let mut rows: Vec<Vec<&str>> = (0..199).map(|_| vec!["90001", "LA"]).collect();
+        rows.push(vec!["90001", "NY"]);
+        let r = rel(&["zip", "city"], rows);
+        let deps = cfd_discover(&r, &CfdConfig::default());
+        let dep = deps
+            .iter()
+            .find(|d| d.lhs == AttrId(0) && d.rhs == AttrId(1))
+            .expect("zip → city mined despite one dirty row");
+        assert_eq!(dep.constants.len(), 1);
+        assert_eq!(dep.constants[0].rhs_value, "LA");
+    }
+
+    #[test]
+    fn confidence_one_rejects_dirt() {
+        let mut rows: Vec<Vec<&str>> = (0..99).map(|_| vec!["90001", "LA"]).collect();
+        rows.push(vec!["90001", "NY"]);
+        let r = rel(&["zip", "city"], rows);
+        let strict = CfdConfig {
+            confidence: 1.0,
+            ..CfdConfig::default()
+        };
+        let deps = cfd_discover(&r, &strict);
+        assert!(
+            deps.iter()
+                .all(|d| !(d.lhs == AttrId(0) && d.rhs == AttrId(1))
+                    || d.constants.is_empty()),
+            "confidence 1.0 must reject the 99%-pure group"
+        );
+    }
+
+    #[test]
+    fn support_threshold() {
+        // Groups of 3 < K = 5: no constants.
+        let mut rows = Vec::new();
+        for _ in 0..3 {
+            rows.push(vec!["a", "1"]);
+            rows.push(vec!["b", "2"]);
+        }
+        let r = rel(&["x", "y"], rows);
+        let deps = cfd_discover(&r, &CfdConfig::default());
+        for d in &deps {
+            assert!(d.constants.is_empty(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn to_pfds_roundtrip() {
+        let mut rows = Vec::new();
+        for _ in 0..6 {
+            rows.push(vec!["John", "M"]);
+            rows.push(vec!["Susan", "F"]);
+        }
+        let r = rel(&["name", "gender"], rows);
+        let deps = cfd_discover(&r, &CfdConfig::default());
+        let dep = deps
+            .iter()
+            .find(|d| d.lhs == AttrId(0) && d.rhs == AttrId(1))
+            .unwrap();
+        let pfds = to_pfds(&r, dep);
+        assert!(!pfds.is_empty());
+        for pfd in &pfds {
+            assert!(pfd.satisfies(&r), "mined CFD must hold on clean data");
+        }
+    }
+
+    #[test]
+    fn empty_values_ignored() {
+        let r = rel(
+            &["x", "y"],
+            vec![vec!["", "1"], vec!["", "2"], vec!["a", "3"]],
+        );
+        let deps = cfd_discover(&r, &CfdConfig::default());
+        for d in &deps {
+            for c in &d.constants {
+                assert!(!c.lhs_value.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![
+                if i % 2 == 0 { "p" } else { "q" },
+                if i % 2 == 0 { "1" } else { "2" },
+            ]);
+        }
+        let r = rel(&["x", "y"], rows);
+        let a = cfd_discover(&r, &CfdConfig::default());
+        let b = cfd_discover(&r, &CfdConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.constants, y.constants);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion bench for discovery runtime scaling (the Table 7 runtime rows
+//! and the §5.4 efficiency discussion): the PFD miner on growing Zip → State
+//! tables, with and without multi-LHS, plus the FDep baseline whose
+//! quadratic pair scan dominates as rows grow.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfd_baselines::{fdep_single_lhs, FdepConfig};
+use pfd_datagen::{standard_suite, zip_state_table, Scale};
+use pfd_discovery::{discover, DiscoveryConfig};
+
+fn bench_zip_state_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discover_zip_state");
+    group.sample_size(10);
+    for rows in [250usize, 500, 1000, 2000] {
+        let rel = zip_state_table(rows, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rel, |b, rel| {
+            b.iter(|| black_box(discover(black_box(rel), &DiscoveryConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_t1_discovery(c: &mut Criterion) {
+    let suite = standard_suite(Scale::Small, 0.01, 42);
+    let t1 = &suite[0];
+    let mut group = c.benchmark_group("discover_t1");
+    group.sample_size(10);
+    group.bench_function("single_lhs", |b| {
+        b.iter(|| black_box(discover(&t1.dirty, &DiscoveryConfig::default())))
+    });
+    group.bench_function("multi_lhs_parallel", |b| {
+        b.iter(|| {
+            black_box(discover(
+                &t1.dirty,
+                &DiscoveryConfig {
+                    max_lhs: 2,
+                    parallel: true,
+                    ..DiscoveryConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fdep_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdep_zip_state");
+    group.sample_size(10);
+    for rows in [250usize, 500, 1000] {
+        let rel = zip_state_table(rows, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rel, |b, rel| {
+            b.iter(|| black_box(fdep_single_lhs(black_box(rel), &FdepConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zip_state_scaling,
+    bench_t1_discovery,
+    bench_fdep_baseline
+);
+criterion_main!(benches);

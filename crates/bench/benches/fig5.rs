@@ -1,0 +1,9 @@
+//! Figure 5 — effectiveness by varying error rates, errors injected from
+//! **outside** the active domain (§5.3, "A Controlled Evaluation").
+
+use pfd_bench::run_controlled_figure;
+use pfd_datagen::NoiseMode;
+
+fn main() {
+    run_controlled_figure(NoiseMode::OutsideActiveDomain, "5");
+}

@@ -1,0 +1,12 @@
+//! Figure 6 — same controlled evaluation as Figure 5, but the injected
+//! errors come **from the active domain** (other state codes already in the
+//! column), which "is expected to confuse the PFD discovery algorithm"
+//! (§5.3). The paper finds the method robust to the noise source — the
+//! curves should look close to Figure 5's.
+
+use pfd_bench::run_controlled_figure;
+use pfd_datagen::NoiseMode;
+
+fn main() {
+    run_controlled_figure(NoiseMode::FromActiveDomain, "6");
+}

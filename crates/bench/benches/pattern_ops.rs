@@ -1,0 +1,98 @@
+//! Criterion microbenches for the §2.1 pattern operations: NFA compilation,
+//! matching (`s ↦ P`), constrained extraction (`s(Q)`), containment
+//! (`Q ⊆ Q'`) and inference — the primitives whose tractability the paper's
+//! restricted pattern class buys (general regex equivalence is
+//! PSPACE-complete; these are all polynomial).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pfd_pattern::{
+    infer_pattern, parse_pattern, subset_of, ConstrainedPattern, Nfa,
+};
+
+fn bench_compile(c: &mut Criterion) {
+    let patterns = [
+        parse_pattern(r"900\D{2}").unwrap(),
+        parse_pattern(r"\LU\LL*\ \A*").unwrap(),
+        parse_pattern(r"\D{3}\D{7}").unwrap(),
+    ];
+    c.bench_function("nfa_compile", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                black_box(Nfa::compile(black_box(p)));
+            }
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let nfa = Nfa::compile(&parse_pattern(r"\LU\LL*\ \A*").unwrap());
+    let values = [
+        "John Charles",
+        "Susan Boyle",
+        "not matching",
+        "Holloway, Donald E.",
+        "Tayseer Fahmi",
+    ];
+    c.bench_function("nfa_match_name_pattern", |b| {
+        b.iter(|| {
+            for v in &values {
+                black_box(nfa.matches(black_box(v)));
+            }
+        })
+    });
+
+    let zip = Nfa::compile(&parse_pattern(r"900\D{2}").unwrap());
+    let zips = ["90001", "90002", "91003", "60601", "900"];
+    c.bench_function("nfa_match_zip_pattern", |b| {
+        b.iter(|| {
+            for v in &zips {
+                black_box(zip.matches(black_box(v)));
+            }
+        })
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let first_name: ConstrainedPattern = r"[\LU\LL*\ ]\A*".parse().unwrap();
+    let names = ["John Charles", "Susan Boyle", "Tayseer Fahmi"];
+    c.bench_function("constrained_extract_first_name", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(first_name.extract(black_box(n)));
+            }
+        })
+    });
+
+    let zip: ConstrainedPattern = r"[\D{3}]\D{2}".parse().unwrap();
+    c.bench_function("constrained_equivalence_zip", |b| {
+        b.iter(|| black_box(zip.equivalent(black_box("90001"), black_box("90002"))))
+    });
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let narrow = parse_pattern(r"900\D{2}").unwrap();
+    let wide = parse_pattern(r"\D{5}").unwrap();
+    let any = parse_pattern(r"\A*").unwrap();
+    c.bench_function("containment_zip_chain", |b| {
+        b.iter(|| {
+            black_box(subset_of(black_box(&narrow), black_box(&wide)));
+            black_box(subset_of(black_box(&wide), black_box(&any)));
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let values: Vec<String> = (0..50)
+        .map(|i| format!("{}{:04}", if i % 2 == 0 { "AB" } else { "CD" }, i))
+        .collect();
+    c.bench_function("infer_pattern_50_values", |b| {
+        b.iter(|| black_box(infer_pattern(black_box(&values))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile, bench_matching, bench_extraction, bench_containment, bench_inference
+}
+criterion_main!(benches);

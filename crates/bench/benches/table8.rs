@@ -1,0 +1,159 @@
+//! Table 8 — precision and coverage of discovered PFDs, validated against
+//! external authorities (§5.2).
+//!
+//! The paper validates three dependencies — Full Name → Gender (via
+//! gender-api.com), Fax → State (area-code registry) and Zip → City
+//! (uszipcode) — and reports #PFDs, precision and coverage. Our
+//! [`ValidationOracle`] plays the authority role with the generator's
+//! ground-truth maps, including undecidable unisex names.
+
+use pfd_core::TableauCell;
+use pfd_datagen::pools;
+use pfd_datagen::{OracleDomain, ValidationOracle};
+use pfd_discovery::{discover, DiscoveryConfig};
+use pfd_relation::{Relation, Schema};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A focused two-column table for one Table 8 dependency.
+fn name_gender_table(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::empty(Schema::new("T", ["full_name", "gender"]).unwrap());
+    for _ in 0..rows {
+        let (first, gender) = if rng.gen_bool(0.04) {
+            let f = pools::UNISEX_NAMES[rng.gen_range(0..pools::UNISEX_NAMES.len())];
+            (f, if rng.gen_bool(0.5) { "M" } else { "F" })
+        } else if rng.gen_bool(0.5) {
+            (
+                pools::MALE_NAMES[rng.gen_range(0..pools::MALE_NAMES.len())],
+                "M",
+            )
+        } else {
+            (
+                pools::FEMALE_NAMES[rng.gen_range(0..pools::FEMALE_NAMES.len())],
+                "F",
+            )
+        };
+        let last = pools::LAST_NAMES[rng.gen_range(0..pools::LAST_NAMES.len())];
+        rel.push_row(vec![format!("{first} {last}"), gender.to_string()])
+            .unwrap();
+    }
+    rel
+}
+
+fn fax_state_table(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::empty(Schema::new("T", ["fax", "state"]).unwrap());
+    for _ in 0..rows {
+        let (code, state) = pools::AREA_CODES[rng.gen_range(0..pools::AREA_CODES.len())];
+        let digits: String = (0..7)
+            .map(|_| char::from_digit(rng.gen_range(0..10), 10).unwrap())
+            .collect();
+        // §5.2's confounder: "some companies record the fax of their main
+        // branch for branches in other states" — 2% of rows.
+        let state = if rng.gen_bool(0.02) {
+            pools::ALL_STATES[rng.gen_range(0..pools::ALL_STATES.len())]
+        } else {
+            state
+        };
+        rel.push_row(vec![format!("{code}{digits}"), state.to_string()])
+            .unwrap();
+    }
+    rel
+}
+
+fn zip_city_table(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::empty(Schema::new("T", ["zip", "city"]).unwrap());
+    for _ in 0..rows {
+        let (prefix, city, _) =
+            pools::ZIP_PREFIXES[rng.gen_range(0..pools::ZIP_PREFIXES.len())];
+        let digits: String = (0..2)
+            .map(|_| char::from_digit(rng.gen_range(0..10), 10).unwrap())
+            .collect();
+        rel.push_row(vec![format!("{prefix}{digits}"), city.to_string()])
+            .unwrap();
+    }
+    rel
+}
+
+fn validate(
+    title: &str,
+    rel: &Relation,
+    lhs: &str,
+    rhs: &str,
+    domain: OracleDomain,
+    oracle: &ValidationOracle,
+) {
+    // Constant PFDs only, as in the paper ("we consider here only constant
+    // PFDs"): disable generalization so the tableau keeps its constants.
+    let config = DiscoveryConfig {
+        generalize: false,
+        min_support: 3,
+        ..DiscoveryConfig::default()
+    };
+    let result = discover(rel, &config);
+    let Some(dep) = result.dependencies.iter().find(|d| {
+        let (l, r) = d.embedded_names(rel);
+        l == vec![lhs.to_string()] && r == rhs
+    }) else {
+        println!("{title:<24} not discovered");
+        return;
+    };
+    let (ok, bad, unknown) = oracle.validate_pfd(domain, &dep.pfd);
+    let constants = dep
+        .pfd
+        .tableau()
+        .iter()
+        .filter(|r| r.lhs.iter().all(TableauCell::is_constant))
+        .count();
+    let precision = if ok + bad == 0 {
+        f64::NAN
+    } else {
+        ok as f64 / (ok + bad) as f64
+    };
+    let coverage = dep.coverage as f64 / rel.num_rows() as f64;
+    println!(
+        "{title:<24} #PFDs {constants:>4}   precision {:>5.1}%   coverage {:>5.1}%   (validated: {ok} ok, {bad} wrong, {unknown} undecided)",
+        precision * 100.0,
+        coverage * 100.0
+    );
+}
+
+fn main() {
+    println!("\nTable 8 — Precision and Coverage of Discovered PFDs (oracle-validated)\n");
+    println!("paper: Full Name → Gender  #PFDs 401  precision 97.1%  coverage 54.9%");
+    println!("paper: Fax → State         #PFDs 176  precision 98.3%  coverage 46.0%");
+    println!("paper: Zip → City          #PFDs  26  precision 100%   coverage 78.3%\n");
+
+    let oracle = ValidationOracle::new();
+    let names = name_gender_table(4000, 7);
+    validate(
+        "Full Name → Gender",
+        &names,
+        "full_name",
+        "gender",
+        OracleDomain::NameGender,
+        &oracle,
+    );
+    let faxes = fax_state_table(3000, 11);
+    validate(
+        "Fax → State",
+        &faxes,
+        "fax",
+        "state",
+        OracleDomain::AreaCodeState,
+        &oracle,
+    );
+    let zips = zip_city_table(2000, 13);
+    validate(
+        "Zip → City",
+        &zips,
+        "zip",
+        "city",
+        OracleDomain::ZipCity,
+        &oracle,
+    );
+    println!("\nExpected shape: precision > 97% on all three; coverage below 100% because");
+    println!("only patterns above the support threshold enter the tableau (§5.2).");
+}

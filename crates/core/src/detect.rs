@@ -1,0 +1,356 @@
+//! Error detection with validated PFDs (§5.3).
+//!
+//! "Given a table R and a PFD R(X → Y, tp), for each tuple t in R, if
+//! `t[A] ↦ tp[A]` and `t[B] ≠ tp[B]`, then there is a violation of the PFD. When
+//! there is a violation of a PFD w.r.t. tuple t, the PFD will change `t[B]`
+//! according to the PFD, which is then compared with the ground truth."
+
+use crate::pfd::{Pfd, ViolationKind};
+use crate::tableau::TableauCell;
+use pfd_relation::{AttrId, Relation, RowId};
+use std::collections::BTreeSet;
+
+/// One flagged cell with an optional suggested repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFlag {
+    /// The flagged row.
+    pub row: RowId,
+    /// The flagged attribute.
+    pub attr: AttrId,
+    /// Index into the PFD set that produced the flag.
+    pub pfd_index: usize,
+    /// The dirty value currently in the cell.
+    pub current: String,
+    /// The repair the PFD implies, when one is determined: the RHS constant
+    /// for constant rows, or the value aligned with the majority group for
+    /// pair violations.
+    pub suggestion: Option<String>,
+    /// How the underlying violation fired.
+    pub kind: ViolationKind,
+}
+
+/// The result of running a PFD set over a relation.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionReport {
+    /// One flag per violation, in PFD order.
+    pub flags: Vec<CellFlag>,
+}
+
+impl DetectionReport {
+    /// Distinct flagged cells (several PFDs can implicate the same cell).
+    pub fn unique_cells(&self) -> BTreeSet<(RowId, AttrId)> {
+        self.flags.iter().map(|f| (f.row, f.attr)).collect()
+    }
+
+    /// No flags at all?
+    pub fn is_clean(&self) -> bool {
+        self.flags.is_empty()
+    }
+}
+
+/// Replace the portion of `value` matching the cell's constrained part with
+/// `replacement`, if the cell is a pattern cell and `value` matches it.
+/// Wildcard cells are replaced whole.
+fn splice_suggestion(cell: &TableauCell, value: &str, replacement: &str) -> Option<String> {
+    match cell {
+        TableauCell::Wildcard => Some(replacement.to_string()),
+        TableauCell::Pattern(p) => {
+            let extracted = p.extract(value)?;
+            // `extract` returns a subslice of `value`; recover its offset.
+            let start = extracted.as_ptr() as usize - value.as_ptr() as usize;
+            let end = start + extracted.len();
+            Some(format!("{}{}{}", &value[..start], replacement, &value[end..]))
+        }
+    }
+}
+
+/// Run every PFD over the relation, flagging suspect cells.
+pub fn detect_errors(rel: &Relation, pfds: &[Pfd]) -> DetectionReport {
+    let mut report = DetectionReport::default();
+    for (pi, pfd) in pfds.iter().enumerate() {
+        for v in pfd.violations(rel) {
+            let row_cells = &pfd.tableau()[v.tableau_row];
+            let rhs_pos = pfd
+                .rhs()
+                .iter()
+                .position(|b| *b == v.attr)
+                .expect("violation attr is an RHS attribute");
+            let rhs_cell = &row_cells.rhs[rhs_pos];
+            match v.kind {
+                ViolationKind::SingleTuple => {
+                    let rid = v.rows()[0];
+                    let current = rel.cell(rid, v.attr).to_string();
+                    // For a constant RHS cell the repair splices the
+                    // constant into the constrained portion of the value;
+                    // fully-constrained constants replace the whole value.
+                    let suggestion = rhs_cell
+                        .constant_value()
+                        .and_then(|c| splice_suggestion(rhs_cell, &current, &c).or(Some(c)));
+                    report.flags.push(CellFlag {
+                        row: rid,
+                        attr: v.attr,
+                        pfd_index: pi,
+                        current,
+                        suggestion,
+                        kind: v.kind,
+                    });
+                }
+                ViolationKind::TuplePair => {
+                    // rows() = [majority representative, offending row]
+                    let rep = v.rows()[0];
+                    let rid = v.rows()[1];
+                    let current = rel.cell(rid, v.attr).to_string();
+                    let majority_key = rhs_cell.key(rel.cell(rep, v.attr));
+                    let suggestion = majority_key
+                        .and_then(|k| splice_suggestion(rhs_cell, &current, k));
+                    report.flags.push(CellFlag {
+                        row: rid,
+                        attr: v.attr,
+                        pfd_index: pi,
+                        current,
+                        suggestion,
+                        kind: v.kind,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Precision/recall of a detection run against known error cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionEval {
+    /// Flagged cells that are genuine errors.
+    pub true_positives: usize,
+    /// Flagged cells that are clean.
+    pub false_positives: usize,
+    /// Genuine errors that were not flagged.
+    pub false_negatives: usize,
+}
+
+impl DetectionEval {
+    /// `TP / (TP + FP)`; 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 1.0 when there were no errors.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Compare flagged cells against the ground-truth error cell set.
+pub fn evaluate_detection(
+    report: &DetectionReport,
+    errors: &BTreeSet<(RowId, AttrId)>,
+) -> DetectionEval {
+    let flagged = report.unique_cells();
+    let true_positives = flagged.intersection(errors).count();
+    DetectionEval {
+        true_positives,
+        false_positives: flagged.len() - true_positives,
+        false_negatives: errors.len() - true_positives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfd::Pfd;
+    use crate::tableau::TableauRow;
+
+    fn name_table() -> Relation {
+        Relation::from_rows(
+            "Name",
+            &["name", "gender"],
+            vec![
+                vec!["John Charles", "M"],
+                vec!["John Bosco", "M"],
+                vec!["Susan Orlean", "F"],
+                vec!["Susan Boyle", "M"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn zip_table() -> Relation {
+        Relation::from_rows(
+            "Zip",
+            &["zip", "city"],
+            vec![
+                vec!["90001", "Los Angeles"],
+                vec!["90002", "Los Angeles"],
+                vec!["90003", "Los Angeles"],
+                vec!["90004", "New York"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constant_pfd_suggests_constant() {
+        let rel = name_table();
+        let mut pfd = Pfd::constant_normal_form(
+            "Name",
+            rel.schema(),
+            "name",
+            r"[John\ ]\A*",
+            "gender",
+            "M",
+        )
+        .unwrap();
+        pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        let report = detect_errors(&rel, &[pfd]);
+        assert_eq!(report.flags.len(), 1);
+        let f = &report.flags[0];
+        assert_eq!(f.row, 3);
+        assert_eq!(f.current, "M");
+        assert_eq!(f.suggestion.as_deref(), Some("F"));
+    }
+
+    #[test]
+    fn pair_violation_suggests_majority_value() {
+        let rel = zip_table();
+        let pfd = Pfd::constant_normal_form(
+            "Zip",
+            rel.schema(),
+            "zip",
+            r"[\D{3}]\D{2}",
+            "city",
+            "_",
+        )
+        .unwrap();
+        let report = detect_errors(&rel, &[pfd]);
+        assert_eq!(report.flags.len(), 1);
+        let f = &report.flags[0];
+        assert_eq!(f.row, 3);
+        assert_eq!(f.current, "New York");
+        assert_eq!(f.suggestion.as_deref(), Some("Los Angeles"));
+    }
+
+    #[test]
+    fn splice_replaces_constrained_portion_only() {
+        // RHS cell with context: [\D{2}]\LU — replace only the digits.
+        let cell = TableauCell::parse(r"[\D{2}]\LU").unwrap();
+        let got = splice_suggestion(&cell, "17X", "42").unwrap();
+        assert_eq!(got, "42X");
+    }
+
+    #[test]
+    fn detection_eval_metrics() {
+        let rel = name_table();
+        let mut pfd = Pfd::constant_normal_form(
+            "Name",
+            rel.schema(),
+            "name",
+            r"[John\ ]\A*",
+            "gender",
+            "M",
+        )
+        .unwrap();
+        pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        let report = detect_errors(&rel, &[pfd]);
+
+        let gender = rel.schema().attr("gender").unwrap();
+        let errors: BTreeSet<_> = [(3usize, gender)].into_iter().collect();
+        let eval = evaluate_detection(&report, &errors);
+        assert_eq!(eval.true_positives, 1);
+        assert_eq!(eval.false_positives, 0);
+        assert_eq!(eval.false_negatives, 0);
+        assert_eq!(eval.precision(), 1.0);
+        assert_eq!(eval.recall(), 1.0);
+        assert_eq!(eval.f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_from_unisex_name() {
+        // §2.2's caveat: generalized PFDs flag unisex names even when the
+        // data is correct.
+        let rel = Relation::from_rows(
+            "Name",
+            &["name", "gender"],
+            vec![
+                vec!["Kim Novak", "F"],
+                vec!["Kim Coates", "M"], // correct, but ψ2 disagrees
+            ],
+        )
+        .unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "Name",
+            rel.schema(),
+            "name",
+            r"[\LU\LL*\ ]\A*",
+            "gender",
+            "_",
+        )
+        .unwrap();
+        let report = detect_errors(&rel, &[pfd]);
+        assert_eq!(report.unique_cells().len(), 1);
+        let eval = evaluate_detection(&report, &BTreeSet::new());
+        assert_eq!(eval.false_positives, 1);
+        assert_eq!(eval.precision(), 0.0);
+    }
+
+    #[test]
+    fn multiple_pfds_can_flag_same_cell() {
+        let rel = name_table();
+        let constant = {
+            let mut p = Pfd::constant_normal_form(
+                "Name",
+                rel.schema(),
+                "name",
+                r"[Susan\ ]\A*",
+                "gender",
+                "F",
+            )
+            .unwrap();
+            p.add_row(TableauRow::parse(&[r"[John\ ]\A*"], &["M"]).unwrap())
+                .unwrap();
+            p
+        };
+        let variable = Pfd::constant_normal_form(
+            "Name",
+            rel.schema(),
+            "name",
+            r"[\LU\LL*\ ]\A*",
+            "gender",
+            "_",
+        )
+        .unwrap();
+        let report = detect_errors(&rel, &[constant, variable]);
+        assert_eq!(report.flags.len(), 2, "both PFDs flag r4[gender]");
+        assert_eq!(report.unique_cells().len(), 1);
+    }
+
+    #[test]
+    fn empty_eval_is_perfect() {
+        let eval = evaluate_detection(&DetectionReport::default(), &BTreeSet::new());
+        assert_eq!(eval.precision(), 1.0);
+        assert_eq!(eval.recall(), 1.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Incremental violation checking for interactive cleaning.
+//!
+//! The paper's companion demo (ANMAT \[33\]) is interactive: a steward edits a
+//! cell and immediately sees which violations appeared or disappeared.
+//! Re-running every PFD after every keystroke is wasteful — a cell edit can
+//! only affect the PFDs that mention the edited attribute. This checker
+//! caches per-PFD violation sets and invalidates them by attribute, so an
+//! edit re-evaluates only the affected constraints and reports the delta.
+
+use crate::pfd::{Pfd, Violation};
+use pfd_relation::{AttrId, Relation, RelationError, RowId};
+use std::collections::BTreeSet;
+
+/// The change in violations caused by one edit.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationDelta {
+    /// Violations present after the edit but not before.
+    pub introduced: Vec<Violation>,
+    /// Violations present before the edit but not after.
+    pub resolved: Vec<Violation>,
+}
+
+impl ViolationDelta {
+    /// Did the edit change anything?
+    pub fn is_empty(&self) -> bool {
+        self.introduced.is_empty() && self.resolved.is_empty()
+    }
+}
+
+/// A relation paired with a PFD set and cached violation state.
+#[derive(Debug, Clone)]
+pub struct IncrementalChecker {
+    rel: Relation,
+    pfds: Vec<Pfd>,
+    /// Cached violations per PFD (same indexing as `pfds`).
+    cache: Vec<Vec<Violation>>,
+}
+
+impl IncrementalChecker {
+    /// Build the checker and compute the initial violation sets.
+    pub fn new(rel: Relation, pfds: Vec<Pfd>) -> IncrementalChecker {
+        let cache = pfds.iter().map(|p| p.violations(&rel)).collect();
+        IncrementalChecker { rel, pfds, cache }
+    }
+
+    /// The current relation state.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// The monitored PFDs.
+    pub fn pfds(&self) -> &[Pfd] {
+        &self.pfds
+    }
+
+    /// All current violations, flattened across PFDs with their PFD index.
+    pub fn violations(&self) -> impl Iterator<Item = (usize, &Violation)> {
+        self.cache
+            .iter()
+            .enumerate()
+            .flat_map(|(i, vs)| vs.iter().map(move |v| (i, v)))
+    }
+
+    /// Total violation count.
+    pub fn violation_count(&self) -> usize {
+        self.cache.iter().map(Vec::len).sum()
+    }
+
+    /// Distinct suspect cells across all PFDs (for dashboards).
+    pub fn suspect_cells(&self) -> BTreeSet<(RowId, AttrId)> {
+        self.violations()
+            .map(|(i, v)| {
+                let rid = *v.rows().last().expect("violations carry rows");
+                let _ = i;
+                (rid, v.attr)
+            })
+            .collect()
+    }
+
+    /// Apply a cell edit and return the violation delta. Only PFDs that
+    /// mention `attr` are re-evaluated.
+    pub fn set_cell(
+        &mut self,
+        row: RowId,
+        attr: AttrId,
+        value: String,
+    ) -> Result<ViolationDelta, RelationError> {
+        let old = self.rel.set_cell(row, attr, value)?;
+        let mut delta = ViolationDelta::default();
+        for (i, pfd) in self.pfds.iter().enumerate() {
+            if !pfd.lhs().contains(&attr) && !pfd.rhs().contains(&attr) {
+                continue; // untouched constraint: cache stays valid
+            }
+            let fresh = pfd.violations(&self.rel);
+            for v in &fresh {
+                if !self.cache[i].contains(v) {
+                    delta.introduced.push(v.clone());
+                }
+            }
+            for v in &self.cache[i] {
+                if !fresh.contains(v) {
+                    delta.resolved.push(v.clone());
+                }
+            }
+            self.cache[i] = fresh;
+        }
+        let _ = old;
+        Ok(delta)
+    }
+
+    /// Consume the checker, returning the (possibly edited) relation.
+    pub fn into_relation(self) -> Relation {
+        self.rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfd::Pfd;
+    use crate::tableau::TableauRow;
+
+    fn setup() -> IncrementalChecker {
+        let rel = Relation::from_rows(
+            "Name",
+            &["name", "gender", "note"],
+            vec![
+                vec!["John Charles", "M", "-"],
+                vec!["John Bosco", "M", "-"],
+                vec!["Susan Orlean", "F", "-"],
+                vec!["Susan Boyle", "M", "-"], // dirty
+            ],
+        )
+        .unwrap();
+        let mut pfd = Pfd::constant_normal_form(
+            "Name",
+            rel.schema(),
+            "name",
+            r"[John\ ]\A*",
+            "gender",
+            "M",
+        )
+        .unwrap();
+        pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        IncrementalChecker::new(rel, vec![pfd])
+    }
+
+    #[test]
+    fn initial_state_matches_batch_check() {
+        let checker = setup();
+        assert_eq!(checker.violation_count(), 1);
+        assert_eq!(checker.suspect_cells().len(), 1);
+    }
+
+    #[test]
+    fn fixing_the_cell_resolves_the_violation() {
+        let mut checker = setup();
+        let gender = checker.relation().schema().attr("gender").unwrap();
+        let delta = checker.set_cell(3, gender, "F".into()).unwrap();
+        assert_eq!(delta.resolved.len(), 1);
+        assert!(delta.introduced.is_empty());
+        assert_eq!(checker.violation_count(), 0);
+    }
+
+    #[test]
+    fn breaking_a_cell_introduces_a_violation() {
+        let mut checker = setup();
+        let gender = checker.relation().schema().attr("gender").unwrap();
+        checker.set_cell(3, gender, "F".into()).unwrap();
+        let delta = checker.set_cell(0, gender, "F".into()).unwrap();
+        assert_eq!(delta.introduced.len(), 1, "John with gender F violates");
+        assert_eq!(checker.violation_count(), 1);
+    }
+
+    #[test]
+    fn unrelated_edits_are_free_and_silent() {
+        let mut checker = setup();
+        let note = checker.relation().schema().attr("note").unwrap();
+        let delta = checker.set_cell(2, note, "edited".into()).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(checker.violation_count(), 1, "old violation unchanged");
+    }
+
+    #[test]
+    fn incremental_agrees_with_batch_after_edit_sequence() {
+        let mut checker = setup();
+        let schema = checker.relation().schema().clone();
+        let gender = schema.attr("gender").unwrap();
+        let name = schema.attr("name").unwrap();
+        checker.set_cell(3, gender, "F".into()).unwrap();
+        checker.set_cell(1, name, "Susan Bosco".into()).unwrap();
+        checker.set_cell(1, gender, "F".into()).unwrap();
+        // Batch ground truth.
+        let pfds = checker.pfds().to_vec();
+        let rel = checker.relation().clone();
+        let batch: usize = pfds.iter().map(|p| p.violations(&rel).len()).sum();
+        assert_eq!(checker.violation_count(), batch);
+    }
+
+    #[test]
+    fn edit_out_of_range_is_an_error() {
+        let mut checker = setup();
+        let gender = checker.relation().schema().attr("gender").unwrap();
+        assert!(checker.set_cell(99, gender, "F".into()).is_err());
+    }
+
+    #[test]
+    fn into_relation_returns_edited_state() {
+        let mut checker = setup();
+        let gender = checker.relation().schema().attr("gender").unwrap();
+        checker.set_cell(3, gender, "F".into()).unwrap();
+        let rel = checker.into_relation();
+        assert_eq!(rel.cell(3, gender), "F");
+    }
+}

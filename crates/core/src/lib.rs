@@ -1,0 +1,53 @@
+//! # `pfd-core` — pattern functional dependencies
+//!
+//! The PFD data model and semantics of §2 of *“Pattern Functional
+//! Dependencies for Data Cleaning”* (PVLDB 13(5), 2020), plus the error
+//! detection and repair machinery of §5.3.
+//!
+//! A PFD `R(X → Y, Tp)` embeds a standard FD `X → Y` and constrains it with
+//! a pattern tableau `Tp`: cells are constrained patterns (or the wildcard
+//! `⊥`), and two tuples are compared through the portions of their values
+//! matching the constrained parts. Constant rows fire on single tuples;
+//! variable rows fire on tuple pairs.
+//!
+//! ```
+//! use pfd_core::Pfd;
+//! use pfd_relation::Relation;
+//!
+//! let rel = Relation::from_rows(
+//!     "Zip",
+//!     &["zip", "city"],
+//!     vec![
+//!         vec!["90001", "Los Angeles"],
+//!         vec!["90002", "Los Angeles"],
+//!         vec!["90004", "New York"], // violates λ3
+//!     ],
+//! ).unwrap();
+//!
+//! // λ3: ([zip = 900\D{2}] → [city = Los Angeles])
+//! let pfd = Pfd::constant_normal_form(
+//!     "Zip", rel.schema(), "zip", r"[900]\D{2}", "city", r"Los\ Angeles",
+//! ).unwrap();
+//!
+//! let violations = pfd.violations(&rel);
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].rows(), &[2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod incremental;
+pub mod pfd;
+pub mod repair;
+pub mod rules;
+pub mod tableau;
+
+pub use detect::{detect_errors, evaluate_detection, CellFlag, DetectionEval, DetectionReport};
+pub use incremental::{IncrementalChecker, ViolationDelta};
+pub use pfd::{display_with_schema, Pfd, PfdError, Violation, ViolationKind};
+pub use repair::{
+    evaluate_repairs, repair, repair_to_fixpoint, CellFix, RepairEval, RepairOutcome,
+};
+pub use rules::{parse_rule, parse_rules, to_rule_string, to_rules_string, RuleError};
+pub use tableau::{TableauCell, TableauRow};

@@ -1,0 +1,374 @@
+//! Pattern-directed repair.
+//!
+//! §4.5 motivates *automatic and explainable* repairs: every fix this module
+//! applies is justified by a specific PFD tableau row, so a data steward can
+//! audit why each cell changed. §5.3 evaluates repairs by applying the PFD's
+//! suggested change and comparing with ground truth; [`evaluate_repairs`]
+//! implements that comparison.
+
+use crate::detect::{detect_errors, CellFlag};
+use crate::pfd::Pfd;
+use pfd_relation::{AttrId, Relation, RowId};
+use std::collections::BTreeMap;
+
+/// One applied fix, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFix {
+    /// The repaired row.
+    pub row: RowId,
+    /// The repaired attribute.
+    pub attr: AttrId,
+    /// The dirty value that was replaced.
+    pub old: String,
+    /// The value written.
+    pub new: String,
+    /// The PFD (by index into the repair set) that justified the fix.
+    pub pfd_index: usize,
+}
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired relation.
+    pub relation: Relation,
+    /// Fixes applied, in application order.
+    pub fixes: Vec<CellFix>,
+    /// Flags that carried no suggestion (detected but not repairable).
+    pub unrepaired: Vec<CellFlag>,
+}
+
+/// Detect violations of `pfds` and apply every suggested fix.
+///
+/// When several PFDs implicate the same cell with different suggestions, the
+/// first PFD in the slice wins — the caller's order expresses priority
+/// (validated constant PFDs before broader variable ones, per the §2.2
+/// discussion of generalization being a double-edged sword).
+pub fn repair(rel: &Relation, pfds: &[Pfd]) -> RepairOutcome {
+    let report = detect_errors(rel, pfds);
+    let mut chosen: BTreeMap<(RowId, AttrId), CellFlag> = BTreeMap::new();
+    let mut unrepaired = Vec::new();
+    for flag in report.flags {
+        if flag.suggestion.is_none() {
+            unrepaired.push(flag);
+            continue;
+        }
+        chosen.entry((flag.row, flag.attr)).or_insert(flag);
+    }
+
+    let mut fixed = rel.clone();
+    let mut fixes = Vec::with_capacity(chosen.len());
+    for ((row, attr), flag) in chosen {
+        let new = flag.suggestion.expect("suggestion filtered above");
+        if new == flag.current {
+            continue;
+        }
+        let old = fixed
+            .set_cell(row, attr, new.clone())
+            .expect("flag coordinates are in range");
+        fixes.push(CellFix {
+            row,
+            attr,
+            old,
+            new,
+            pfd_index: flag.pfd_index,
+        });
+    }
+    RepairOutcome {
+        relation: fixed,
+        fixes,
+        unrepaired,
+    }
+}
+
+/// Repeat [`repair`] until no further fixes apply (the chase): a fix can
+/// surface new violations — repairing `city` by zip prefix may expose a
+/// `city → state` conflict — so one pass is not always enough. Returns the
+/// final relation, all fixes in application order, and the number of passes
+/// (capped at `max_passes`; the cap guards against oscillating rule sets,
+/// which inconsistent PFDs can produce).
+pub fn repair_to_fixpoint(
+    rel: &Relation,
+    pfds: &[Pfd],
+    max_passes: usize,
+) -> (RepairOutcome, usize) {
+    let mut current = rel.clone();
+    let mut all_fixes: Vec<CellFix> = Vec::new();
+    let mut last_unrepaired = Vec::new();
+    let mut passes = 0;
+    while passes < max_passes {
+        let outcome = repair(&current, pfds);
+        passes += 1;
+        last_unrepaired = outcome.unrepaired;
+        if outcome.fixes.is_empty() {
+            current = outcome.relation;
+            break;
+        }
+        all_fixes.extend(outcome.fixes);
+        current = outcome.relation;
+    }
+    (
+        RepairOutcome {
+            relation: current,
+            fixes: all_fixes,
+            unrepaired: last_unrepaired,
+        },
+        passes,
+    )
+}
+
+/// Quality of a repair pass against the clean ground-truth relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairEval {
+    /// Fixes whose new value equals the ground truth.
+    pub correct: usize,
+    /// Fixes that set a wrong value.
+    pub incorrect: usize,
+    /// Fixes applied to cells that were not dirty at all.
+    pub spurious: usize,
+}
+
+impl RepairEval {
+    /// Total fixes evaluated.
+    pub fn total(&self) -> usize {
+        self.correct + self.incorrect + self.spurious
+    }
+
+    /// Fraction of applied fixes that restore the ground truth.
+    pub fn precision(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Compare applied fixes with the clean relation: a fix is *correct* when it
+/// restores the clean value, *spurious* when the dirty value already was
+/// clean, *incorrect* otherwise.
+pub fn evaluate_repairs(fixes: &[CellFix], clean: &Relation) -> RepairEval {
+    let mut eval = RepairEval {
+        correct: 0,
+        incorrect: 0,
+        spurious: 0,
+    };
+    for fix in fixes {
+        let truth = clean.cell(fix.row, fix.attr);
+        if fix.old == truth {
+            eval.spurious += 1;
+        } else if fix.new == truth {
+            eval.correct += 1;
+        } else {
+            eval.incorrect += 1;
+        }
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tableau::TableauRow;
+
+    fn dirty_name_table() -> Relation {
+        Relation::from_rows(
+            "Name",
+            &["name", "gender"],
+            vec![
+                vec!["John Charles", "M"],
+                vec!["John Bosco", "M"],
+                vec!["Susan Orlean", "F"],
+                vec!["Susan Boyle", "M"], // dirty
+            ],
+        )
+        .unwrap()
+    }
+
+    fn clean_name_table() -> Relation {
+        let mut r = dirty_name_table();
+        let g = r.schema().attr("gender").unwrap();
+        r.set_cell(3, g, "F".into()).unwrap();
+        r
+    }
+
+    fn gender_pfd(rel: &Relation) -> Pfd {
+        let mut p = Pfd::constant_normal_form(
+            "Name",
+            rel.schema(),
+            "name",
+            r"[John\ ]\A*",
+            "gender",
+            "M",
+        )
+        .unwrap();
+        p.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn repair_fixes_the_paper_example() {
+        let dirty = dirty_name_table();
+        let outcome = repair(&dirty, &[gender_pfd(&dirty)]);
+        assert_eq!(outcome.fixes.len(), 1);
+        let fix = &outcome.fixes[0];
+        assert_eq!(fix.row, 3);
+        assert_eq!(fix.old, "M");
+        assert_eq!(fix.new, "F");
+        assert_eq!(outcome.relation, clean_name_table());
+    }
+
+    #[test]
+    fn repaired_relation_satisfies_the_pfd() {
+        let dirty = dirty_name_table();
+        let pfd = gender_pfd(&dirty);
+        let outcome = repair(&dirty, std::slice::from_ref(&pfd));
+        assert!(pfd.satisfies(&outcome.relation));
+    }
+
+    #[test]
+    fn evaluation_against_ground_truth() {
+        let dirty = dirty_name_table();
+        let outcome = repair(&dirty, &[gender_pfd(&dirty)]);
+        let eval = evaluate_repairs(&outcome.fixes, &clean_name_table());
+        assert_eq!(eval.correct, 1);
+        assert_eq!(eval.incorrect, 0);
+        assert_eq!(eval.spurious, 0);
+        assert_eq!(eval.precision(), 1.0);
+    }
+
+    #[test]
+    fn first_pfd_wins_on_conflicts() {
+        let dirty = dirty_name_table();
+        // A bogus PFD claiming Susan → M, listed after the good one.
+        let bogus = Pfd::constant_normal_form(
+            "Name",
+            dirty.schema(),
+            "name",
+            r"[Susan\ ]\A*",
+            "gender",
+            "M",
+        )
+        .unwrap();
+        let outcome = repair(&dirty, &[gender_pfd(&dirty), bogus]);
+        // The contested cell r4[gender] gets the good PFD's fix (F); the
+        // bogus PFD additionally corrupts r3 — visible in the provenance.
+        let by_cell: std::collections::BTreeMap<_, _> = outcome
+            .fixes
+            .iter()
+            .map(|f| (f.row, (f.pfd_index, f.new.clone())))
+            .collect();
+        assert_eq!(by_cell[&3], (0, "F".to_string()), "good PFD wins on r4");
+        assert_eq!(by_cell[&2], (1, "M".to_string()), "bogus PFD hits r3");
+    }
+
+    #[test]
+    fn wrong_pfd_produces_incorrect_fix() {
+        let dirty = dirty_name_table();
+        let bogus = Pfd::constant_normal_form(
+            "Name",
+            dirty.schema(),
+            "name",
+            r"[John\ ]\A*",
+            "gender",
+            "F", // wrong on purpose
+        )
+        .unwrap();
+        let outcome = repair(&dirty, &[bogus]);
+        assert_eq!(outcome.fixes.len(), 2, "both Johns get 'fixed'");
+        let eval = evaluate_repairs(&outcome.fixes, &clean_name_table());
+        assert_eq!(eval.correct, 0);
+        assert_eq!(eval.spurious, 2, "the Johns were already clean");
+        assert_eq!(eval.precision(), 0.0);
+    }
+
+    #[test]
+    fn pair_violation_repairs_toward_majority() {
+        let dirty = Relation::from_rows(
+            "Zip",
+            &["zip", "city"],
+            vec![
+                vec!["90001", "Los Angeles"],
+                vec!["90002", "Los Angeles"],
+                vec!["90003", "Los Angeles"],
+                vec!["90004", "New York"],
+            ],
+        )
+        .unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "Zip",
+            dirty.schema(),
+            "zip",
+            r"[\D{3}]\D{2}",
+            "city",
+            "_",
+        )
+        .unwrap();
+        let outcome = repair(&dirty, &[pfd]);
+        assert_eq!(outcome.fixes.len(), 1);
+        assert_eq!(outcome.fixes[0].new, "Los Angeles");
+    }
+
+    #[test]
+    fn fixpoint_chases_cascading_fixes() {
+        // zip fixes city; city fixes state — two passes needed.
+        let dirty = Relation::from_rows(
+            "Geo",
+            &["zip", "city", "state"],
+            vec![
+                vec!["90001", "Los Angeles", "CA"],
+                vec!["90002", "Los Angeles", "CA"],
+                vec!["90003", "Los Angeles", "CA"],
+                vec!["90004", "New York", "NY"], // both cells dirty
+            ],
+        )
+        .unwrap();
+        let zip_city = Pfd::constant_normal_form(
+            "Geo",
+            dirty.schema(),
+            "zip",
+            r"[\D{3}]\D{2}",
+            "city",
+            "_",
+        )
+        .unwrap();
+        let city_state = Pfd::constant_normal_form(
+            "Geo",
+            dirty.schema(),
+            "city",
+            r"Los\ Angeles",
+            "state",
+            "CA",
+        )
+        .unwrap();
+        let pfds = vec![zip_city, city_state];
+
+        // One pass fixes the city but can leave the stale state.
+        let (outcome, passes) = repair_to_fixpoint(&dirty, &pfds, 10);
+        assert!(passes >= 2, "cascade requires more than one pass: {passes}");
+        let city = dirty.schema().attr("city").unwrap();
+        let state = dirty.schema().attr("state").unwrap();
+        assert_eq!(outcome.relation.cell(3, city), "Los Angeles");
+        assert_eq!(outcome.relation.cell(3, state), "CA");
+        for pfd in &pfds {
+            assert!(pfd.satisfies(&outcome.relation));
+        }
+    }
+
+    #[test]
+    fn fixpoint_respects_pass_cap() {
+        let dirty = dirty_name_table();
+        let (outcome, passes) = repair_to_fixpoint(&dirty, &[gender_pfd(&dirty)], 1);
+        assert_eq!(passes, 1);
+        assert_eq!(outcome.fixes.len(), 1);
+    }
+
+    #[test]
+    fn noop_when_clean() {
+        let clean = clean_name_table();
+        let outcome = repair(&clean, &[gender_pfd(&clean)]);
+        assert!(outcome.fixes.is_empty());
+        assert!(outcome.unrepaired.is_empty());
+        assert_eq!(outcome.relation, clean);
+    }
+}

@@ -1,0 +1,270 @@
+//! Pattern tableaux (§2.1).
+//!
+//! A PFD `R(X → Y, Tp)` carries a tableau `Tp` whose rows have one cell per
+//! attribute of `X` and `Y`. A cell is either a **constrained pattern** or
+//! the unnamed variable `⊥` used as a wildcard. Following the CFD notation
+//! convention adopted by the paper, we render LHS and RHS cells separated by
+//! `‖`.
+
+use pfd_pattern::ConstrainedPattern;
+use std::fmt;
+
+/// One tableau cell: a constrained pattern or the wildcard `⊥`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableauCell {
+    /// A constrained pattern `pre[Q]post`.
+    Pattern(ConstrainedPattern),
+    /// `⊥`: matches any value; two values are equivalent under `⊥` iff they
+    /// are equal as whole strings (the unnamed-variable semantics shared
+    /// with CFDs).
+    Wildcard,
+}
+
+impl TableauCell {
+    /// Parse a cell from text: `_` or `⊥` denote the wildcard, anything else
+    /// is constrained-pattern syntax.
+    pub fn parse(src: &str) -> Result<TableauCell, pfd_pattern::ParseError> {
+        match src.trim() {
+            "_" | "⊥" => Ok(TableauCell::Wildcard),
+            other => Ok(TableauCell::Pattern(ConstrainedPattern::parse(other)?)),
+        }
+    }
+
+    /// A constant cell matching exactly `s`.
+    pub fn constant(s: &str) -> TableauCell {
+        TableauCell::Pattern(ConstrainedPattern::constant(s))
+    }
+
+    /// Does a value match this cell (`t[A] ↦ tp[A]`)? The wildcard matches
+    /// everything.
+    pub fn matches(&self, value: &str) -> bool {
+        match self {
+            TableauCell::Pattern(p) => p.matches(value),
+            TableauCell::Wildcard => true,
+        }
+    }
+
+    /// The equivalence key of a value under this cell: the portion matching
+    /// the constrained part (`s(Q)`), or the whole value under `⊥`.
+    /// `None` when the value does not match the cell.
+    pub fn key<'v>(&self, value: &'v str) -> Option<&'v str> {
+        match self {
+            TableauCell::Pattern(p) => p.extract(value),
+            TableauCell::Wildcard => Some(value),
+        }
+    }
+
+    /// `s1 ≡ s2` under this cell.
+    pub fn equivalent(&self, s1: &str, s2: &str) -> bool {
+        match (self.key(s1), self.key(s2)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Is this a constant cell (constrained part is a single string)?
+    pub fn is_constant(&self) -> bool {
+        match self {
+            TableauCell::Pattern(p) => p.is_constant(),
+            TableauCell::Wildcard => false,
+        }
+    }
+
+    /// The constant of a constant cell.
+    pub fn constant_value(&self) -> Option<String> {
+        match self {
+            TableauCell::Pattern(p) => p.constant_value(),
+            TableauCell::Wildcard => None,
+        }
+    }
+
+    /// The whole-value constant when the *entire* cell (pre, Q and post) is
+    /// constant, e.g. `Los\ [Angeles]` yields `Los Angeles`. Used by
+    /// oracle validation, which compares against whole authority values.
+    pub fn full_constant_value(&self) -> Option<String> {
+        match self {
+            TableauCell::Pattern(p) => p.full_pattern().as_constant(),
+            TableauCell::Wildcard => None,
+        }
+    }
+
+    /// Is this the wildcard `⊥`?
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, TableauCell::Wildcard)
+    }
+
+    /// Restriction order on cells, lifting
+    /// [`ConstrainedPattern::is_restriction_of`]: the wildcard is the top
+    /// element (every cell restricts `⊥`; `⊥` restricts only itself).
+    pub fn is_restriction_of(&self, other: &TableauCell) -> bool {
+        match (self, other) {
+            (_, TableauCell::Wildcard) => true,
+            (TableauCell::Wildcard, _) => false,
+            (TableauCell::Pattern(a), TableauCell::Pattern(b)) => a.is_restriction_of(b),
+        }
+    }
+
+    /// Pattern description length (wildcards count 1), for §7's bounds.
+    pub fn description_len(&self) -> usize {
+        match self {
+            TableauCell::Pattern(p) => p.description_len(),
+            TableauCell::Wildcard => 1,
+        }
+    }
+}
+
+impl fmt::Display for TableauCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableauCell::Pattern(p) => write!(f, "{p}"),
+            TableauCell::Wildcard => write!(f, "⊥"),
+        }
+    }
+}
+
+impl From<ConstrainedPattern> for TableauCell {
+    fn from(p: ConstrainedPattern) -> Self {
+        TableauCell::Pattern(p)
+    }
+}
+
+/// One tableau row: LHS cells aligned with `X`, RHS cells aligned with `Y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableauRow {
+    /// Cells aligned with the PFD's LHS attributes `X`.
+    pub lhs: Vec<TableauCell>,
+    /// Cells aligned with the PFD's RHS attributes `Y`.
+    pub rhs: Vec<TableauCell>,
+}
+
+impl TableauRow {
+    /// Pair LHS and RHS cell lists into a row.
+    pub fn new(lhs: Vec<TableauCell>, rhs: Vec<TableauCell>) -> TableauRow {
+        TableauRow { lhs, rhs }
+    }
+
+    /// Parse a row from cell texts.
+    pub fn parse(lhs: &[&str], rhs: &[&str]) -> Result<TableauRow, pfd_pattern::ParseError> {
+        Ok(TableauRow {
+            lhs: lhs
+                .iter()
+                .map(|s| TableauCell::parse(s))
+                .collect::<Result<_, _>>()?,
+            rhs: rhs
+                .iter()
+                .map(|s| TableauCell::parse(s))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Single-tuple applicability (§2.2): "if … the constrained parts only
+    /// contain constants …, a PFD can be applied on a single tuple". We
+    /// require every LHS cell to be a constant pattern.
+    pub fn lhs_is_constant(&self) -> bool {
+        self.lhs.iter().all(TableauCell::is_constant)
+    }
+
+    /// Is every cell of the row constant?
+    pub fn is_constant(&self) -> bool {
+        self.lhs.iter().chain(&self.rhs).all(TableauCell::is_constant)
+    }
+
+    /// Does the row contain any non-constant pattern (a *variable* PFD row
+    /// in the paper's terminology, e.g. λ4/λ5)?
+    pub fn is_variable(&self) -> bool {
+        !self.is_constant()
+    }
+
+    /// Total description length over all cells.
+    pub fn description_len(&self) -> usize {
+        self.lhs
+            .iter()
+            .chain(&self.rhs)
+            .map(TableauCell::description_len)
+            .sum()
+    }
+}
+
+impl fmt::Display for TableauRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lhs: Vec<String> = self.lhs.iter().map(|c| c.to_string()).collect();
+        let rhs: Vec<String> = self.rhs.iter().map(|c| c.to_string()).collect();
+        write!(f, "({} ‖ {})", lhs.join(", "), rhs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let w = TableauCell::Wildcard;
+        assert!(w.matches(""));
+        assert!(w.matches("anything"));
+        assert_eq!(w.key("abc"), Some("abc"));
+        assert!(w.equivalent("x", "x"));
+        assert!(!w.equivalent("x", "y"));
+    }
+
+    #[test]
+    fn parse_wildcard_variants() {
+        assert_eq!(TableauCell::parse("_").unwrap(), TableauCell::Wildcard);
+        assert_eq!(TableauCell::parse("⊥").unwrap(), TableauCell::Wildcard);
+        assert_eq!(TableauCell::parse(" _ ").unwrap(), TableauCell::Wildcard);
+    }
+
+    #[test]
+    fn pattern_cell_keys() {
+        let c = TableauCell::parse(r"[Susan\ ]\A*").unwrap();
+        assert!(c.matches("Susan Boyle"));
+        assert_eq!(c.key("Susan Boyle"), Some("Susan "));
+        assert_eq!(c.key("John Bosco"), None);
+        assert!(c.equivalent("Susan Boyle", "Susan Orlean"));
+        assert!(c.is_constant());
+        assert_eq!(c.constant_value().as_deref(), Some("Susan "));
+    }
+
+    #[test]
+    fn constant_cell() {
+        let c = TableauCell::constant("M");
+        assert!(c.matches("M"));
+        assert!(!c.matches("F"));
+        assert!(c.is_constant());
+    }
+
+    #[test]
+    fn restriction_order_with_wildcard() {
+        let pattern = TableauCell::parse(r"[900]\D{2}").unwrap();
+        let w = TableauCell::Wildcard;
+        assert!(pattern.is_restriction_of(&w));
+        assert!(!w.is_restriction_of(&pattern));
+        assert!(w.is_restriction_of(&w));
+    }
+
+    #[test]
+    fn row_constancy() {
+        let constant = TableauRow::parse(&[r"[John\ ]\A*"], &["M"]).unwrap();
+        assert!(constant.lhs_is_constant());
+        assert!(constant.is_constant());
+        assert!(!constant.is_variable());
+
+        let variable = TableauRow::parse(&[r"[\LU\LL*\ ]\A*"], &["_"]).unwrap();
+        assert!(!variable.lhs_is_constant());
+        assert!(variable.is_variable());
+    }
+
+    #[test]
+    fn row_display_uses_double_bar() {
+        let row = TableauRow::parse(&[r"[900]\D{2}"], &["Los\\ Angeles"]).unwrap();
+        let s = row.to_string();
+        assert!(s.contains('‖'), "{s}");
+    }
+
+    #[test]
+    fn description_len_sums_cells() {
+        let row = TableauRow::parse(&[r"[900]\D{2}"], &["_"]).unwrap();
+        // [900]\D{2}: pre ε(1) + q 3 + post 2 = 6; wildcard 1.
+        assert_eq!(row.description_len(), 7);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for PFD semantics: FD-as-PFD agreement with a naive
+//! checker, violation soundness, and repair convergence.
+
+use pfd_core::{detect_errors, repair, Pfd, ViolationKind};
+use pfd_relation::{AttrId, Relation, Schema};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Small random relations over a 3-attribute schema with tiny domains, so
+/// FDs both hold and fail with useful probability.
+fn small_relation() -> impl Strategy<Value = Relation> {
+    let cell = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c1".to_string()),
+        Just("x9".to_string()),
+    ];
+    proptest::collection::vec(proptest::collection::vec(cell, 3), 0..12).prop_map(|rows| {
+        let mut rel = Relation::empty(Schema::new("R", ["p", "q", "r"]).unwrap());
+        for row in rows {
+            rel.push_row(row).unwrap();
+        }
+        rel
+    })
+}
+
+/// Naive FD check: group by LHS values, every group must agree on RHS.
+fn naive_fd_holds(rel: &Relation, lhs: AttrId, rhs: AttrId) -> bool {
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+    for (rid, _) in rel.iter_rows() {
+        let l = rel.cell(rid, lhs);
+        let r = rel.cell(rid, rhs);
+        match seen.get(l) {
+            Some(prev) if *prev != r => return false,
+            _ => {
+                seen.insert(l, r);
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn fd_as_pfd_agrees_with_naive_checker(rel in small_relation()) {
+        for (l, r) in [(0usize, 1usize), (1, 2), (2, 0)] {
+            let names = rel.schema().attribute_names().to_vec();
+            let fd = Pfd::fd("R", rel.schema(), &[names[l].as_str()], &[names[r].as_str()])
+                .unwrap();
+            prop_assert_eq!(
+                fd.satisfies(&rel),
+                naive_fd_holds(&rel, AttrId(l), AttrId(r)),
+                "FD {} → {} disagreement", l, r
+            );
+        }
+    }
+
+    #[test]
+    fn violations_are_sound(rel in small_relation()) {
+        let fd = Pfd::fd("R", rel.schema(), &["p"], &["q"]).unwrap();
+        for v in fd.violations(&rel) {
+            match v.kind {
+                ViolationKind::TuplePair => {
+                    let (r1, r2) = (v.rows()[0], v.rows()[1]);
+                    // The pair agrees on p but disagrees on q.
+                    prop_assert_eq!(rel.cell(r1, AttrId(0)), rel.cell(r2, AttrId(0)));
+                    prop_assert_ne!(rel.cell(r1, AttrId(1)), rel.cell(r2, AttrId(1)));
+                }
+                ViolationKind::SingleTuple => {
+                    prop_assert!(false, "wildcard RHS cannot fail a match");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_iff_no_violations(rel in small_relation()) {
+        for (l, r) in [(0usize, 1usize), (1, 0)] {
+            let names = rel.schema().attribute_names().to_vec();
+            let fd = Pfd::fd("R", rel.schema(), &[names[l].as_str()], &[names[r].as_str()])
+                .unwrap();
+            prop_assert_eq!(fd.satisfies(&rel), fd.violations(&rel).is_empty());
+        }
+    }
+
+    #[test]
+    fn repair_never_increases_violations(rel in small_relation()) {
+        let fd = Pfd::fd("R", rel.schema(), &["p"], &["q"]).unwrap();
+        let before = fd.violations(&rel).len();
+        let outcome = repair(&rel, std::slice::from_ref(&fd));
+        let after = fd.violations(&outcome.relation).len();
+        prop_assert!(
+            after <= before,
+            "repair worsened violations: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn detection_flags_match_violation_rows(rel in small_relation()) {
+        let fd = Pfd::fd("R", rel.schema(), &["p"], &["q"]).unwrap();
+        let report = detect_errors(&rel, std::slice::from_ref(&fd));
+        // Every flag points at a q-cell of a row involved in some violation.
+        let violation_rows: Vec<usize> = fd
+            .violations(&rel)
+            .iter()
+            .flat_map(|v| v.rows().to_vec())
+            .collect();
+        for flag in &report.flags {
+            prop_assert_eq!(flag.attr, AttrId(1));
+            prop_assert!(violation_rows.contains(&flag.row));
+        }
+    }
+
+    #[test]
+    fn constant_pfd_detection_is_exact(gender_flip in 0usize..4) {
+        // Four fixed rows; flip one gender and the constant tableau must
+        // flag exactly the flipped ones that contradict it.
+        let mut rows = vec![
+            vec!["John Smith".to_string(), "M".to_string()],
+            vec!["John Jones".to_string(), "M".to_string()],
+            vec!["Susan Smith".to_string(), "F".to_string()],
+            vec!["Susan Jones".to_string(), "F".to_string()],
+        ];
+        rows[gender_flip][1] = if rows[gender_flip][1] == "M" { "F".into() } else { "M".into() };
+        let mut rel = Relation::empty(Schema::new("Name", ["name", "gender"]).unwrap());
+        for row in rows {
+            rel.push_row(row).unwrap();
+        }
+        let mut pfd = Pfd::constant_normal_form(
+            "Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M").unwrap();
+        pfd.add_row(pfd_core::TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        let report = detect_errors(&rel, std::slice::from_ref(&pfd));
+        prop_assert_eq!(report.unique_cells().len(), 1);
+        let (row, attr) = *report.unique_cells().iter().next().unwrap();
+        prop_assert_eq!(row, gender_flip);
+        prop_assert_eq!(attr, AttrId(1));
+    }
+}

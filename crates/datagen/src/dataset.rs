@@ -1,0 +1,174 @@
+//! Datasets: a clean relation, its dirty twin, the injected/natural error
+//! cells, and the ground-truth embedded dependencies.
+//!
+//! The paper evaluates on 15 real tables from data.gov (GOV), ChEMBL (CHE)
+//! and a private university data warehouse (UDW), manually annotating the
+//! genuine dependencies. Our synthetic twins make that annotation exact: the
+//! generator *knows* which embedded dependencies hold by construction, so
+//! precision/recall in Table 7 are computed against a machine-checkable
+//! ground truth instead of human labels.
+
+use pfd_relation::{AttrId, Relation};
+use std::collections::BTreeSet;
+
+/// A ground-truth embedded dependency `X → B` (attribute names).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroundTruthDep {
+    /// LHS attribute names, sorted.
+    pub lhs: Vec<String>,
+    /// RHS attribute name.
+    pub rhs: String,
+}
+
+impl GroundTruthDep {
+    /// Build a dependency from attribute names (LHS order-insensitive).
+    pub fn new(lhs: &[&str], rhs: &str) -> GroundTruthDep {
+        let mut lhs: Vec<String> = lhs.iter().map(|s| s.to_string()).collect();
+        lhs.sort();
+        GroundTruthDep {
+            lhs,
+            rhs: rhs.to_string(),
+        }
+    }
+}
+
+/// The repository a table imitates (Table 7 groups tables by source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repository {
+    /// data.gov — open civic data.
+    Gov,
+    /// ChEMBL — public chemical database.
+    Che,
+    /// University data warehouse.
+    Udw,
+}
+
+/// One evaluation dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `T1` … `T15`.
+    pub id: String,
+    /// Human-readable table name.
+    pub name: String,
+    /// Which repository family the table imitates.
+    pub repository: Repository,
+    /// Ground truth relation (no errors).
+    pub clean: Relation,
+    /// The same relation with natural dirt applied.
+    pub dirty: Relation,
+    /// Cells where `dirty` differs from `clean`.
+    pub error_cells: Vec<(usize, AttrId)>,
+    /// The embedded dependencies that genuinely hold (on clean data).
+    /// Includes *partial* dependencies — e.g. `admit_year → student_id`
+    /// where the year determines only the ID's prefix — which hold as PFDs
+    /// but not as whole-value FDs.
+    pub ground_truth: Vec<GroundTruthDep>,
+    /// The subset of `ground_truth` that holds as a whole-value FD on the
+    /// clean data (used by invariant tests; partial dependencies are
+    /// excluded).
+    pub fd_checkable: Vec<GroundTruthDep>,
+}
+
+impl Dataset {
+    /// Error cells as a set, for detection evaluation.
+    pub fn error_set(&self) -> BTreeSet<(usize, AttrId)> {
+        self.error_cells.iter().copied().collect()
+    }
+
+    /// Does the ground truth contain `lhs → rhs` (names order-insensitive)?
+    pub fn is_genuine(&self, lhs: &[&str], rhs: &str) -> bool {
+        let dep = GroundTruthDep::new(lhs, rhs);
+        self.ground_truth.contains(&dep)
+    }
+}
+
+/// Precision/recall of a discovered embedded-dependency set against the
+/// ground truth, as counted in Table 7 ("we are counting the embedded
+/// dependencies").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DependencyEval {
+    /// Distinct dependencies the algorithm reported.
+    pub discovered: usize,
+    /// Reported dependencies confirmed by the ground truth.
+    pub true_positives: usize,
+    /// Size of the ground-truth dependency set.
+    pub ground_truth: usize,
+}
+
+impl DependencyEval {
+    /// `TP / discovered`; NaN when nothing was discovered.
+    pub fn precision(&self) -> f64 {
+        if self.discovered == 0 {
+            f64::NAN
+        } else {
+            self.true_positives as f64 / self.discovered as f64
+        }
+    }
+
+    /// `TP / ground truth`; NaN for an empty ground truth.
+    pub fn recall(&self) -> f64 {
+        if self.ground_truth == 0 {
+            f64::NAN
+        } else {
+            self.true_positives as f64 / self.ground_truth as f64
+        }
+    }
+}
+
+/// Evaluate a discovered dependency list against a dataset's ground truth.
+pub fn evaluate_dependencies(
+    dataset: &Dataset,
+    discovered: &[GroundTruthDep],
+) -> DependencyEval {
+    let unique: BTreeSet<&GroundTruthDep> = discovered.iter().collect();
+    let tp = unique
+        .iter()
+        .filter(|d| dataset.ground_truth.contains(d))
+        .count();
+    DependencyEval {
+        discovered: unique.len(),
+        true_positives: tp,
+        ground_truth: dataset.ground_truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_dep_is_order_insensitive() {
+        let a = GroundTruthDep::new(&["b", "a"], "c");
+        let b = GroundTruthDep::new(&["a", "b"], "c");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_counts() {
+        let clean = Relation::from_rows("T", &["a", "b"], vec![vec!["1", "2"]]).unwrap();
+        let ds = Dataset {
+            id: "T0".into(),
+            name: "test".into(),
+            repository: Repository::Gov,
+            clean: clean.clone(),
+            dirty: clean,
+            error_cells: vec![],
+            ground_truth: vec![
+                GroundTruthDep::new(&["a"], "b"),
+                GroundTruthDep::new(&["b"], "a"),
+            ],
+            fd_checkable: vec![GroundTruthDep::new(&["a"], "b")],
+        };
+        let discovered = vec![
+            GroundTruthDep::new(&["a"], "b"),
+            GroundTruthDep::new(&["a"], "b"), // duplicate collapses
+            GroundTruthDep::new(&["a", "b"], "a"),
+        ];
+        let eval = evaluate_dependencies(&ds, &discovered);
+        assert_eq!(eval.discovered, 2);
+        assert_eq!(eval.true_positives, 1);
+        assert_eq!(eval.ground_truth, 2);
+        assert!((eval.precision() - 0.5).abs() < 1e-9);
+        assert!((eval.recall() - 0.5).abs() < 1e-9);
+    }
+}

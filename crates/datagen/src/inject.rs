@@ -1,0 +1,291 @@
+//! Seeded error injection (§5.3, "A Controlled Evaluation").
+//!
+//! The paper injects errors into the `State` attribute at rates 1%–10% in
+//! two modes: **outside the active domain** (a valid state code that does
+//! not occur in the column) and **from the active domain** (another state
+//! code already present — "expected to confuse the PFD discovery
+//! algorithm"). We also provide the typo generator that produces the
+//! Table 3-style errors (`Chicag`, `Chciago`, `lL`) for natural dirtiness.
+
+use pfd_relation::{AttrId, Relation, RowId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeSet;
+
+/// Where replacement values come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseMode {
+    /// Values from the attribute's domain that do *not* occur in the column.
+    OutsideActiveDomain,
+    /// Values already occurring in the column (but different from the
+    /// current value).
+    FromActiveDomain,
+}
+
+/// One injected error, with its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedError {
+    /// The corrupted row.
+    pub row: RowId,
+    /// The corrupted attribute.
+    pub attr: AttrId,
+    /// The original (correct) value.
+    pub clean: String,
+    /// The injected replacement.
+    pub dirty: String,
+}
+
+/// Inject errors into `attr` of `rel` at `rate`, drawing replacements per
+/// `mode`. `domain` is the attribute's full domain (e.g. all 50 state
+/// codes); the active domain is computed from the column. Deterministic in
+/// `seed`. Returns the injected cells with their clean values.
+pub fn inject_errors(
+    rel: &mut Relation,
+    attr: AttrId,
+    rate: f64,
+    mode: NoiseMode,
+    domain: &[&str],
+    seed: u64,
+) -> Vec<InjectedError> {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let active: BTreeSet<String> = rel.column(attr).map(str::to_string).collect();
+    let outside: Vec<&str> = domain
+        .iter()
+        .copied()
+        .filter(|v| !active.contains(*v))
+        .collect();
+    let inside: Vec<String> = active.iter().cloned().collect();
+
+    let n = rel.num_rows();
+    let target = (n as f64 * rate).round() as usize;
+    let mut rows: Vec<RowId> = (0..n).collect();
+    rows.shuffle(&mut rng);
+    rows.truncate(target);
+    rows.sort_unstable();
+
+    let mut injected = Vec::with_capacity(rows.len());
+    for row in rows {
+        let clean = rel.cell(row, attr).to_string();
+        let dirty = match mode {
+            NoiseMode::OutsideActiveDomain => {
+                if outside.is_empty() {
+                    continue; // domain exhausted: skip this cell
+                }
+                outside[rng.gen_range(0..outside.len())].to_string()
+            }
+            NoiseMode::FromActiveDomain => {
+                let candidates: Vec<&String> =
+                    inside.iter().filter(|v| **v != clean).collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                candidates[rng.gen_range(0..candidates.len())].clone()
+            }
+        };
+        if dirty == clean {
+            continue;
+        }
+        rel.set_cell(row, attr, dirty.clone())
+            .expect("row/attr in range");
+        injected.push(InjectedError {
+            row,
+            attr,
+            clean,
+            dirty,
+        });
+    }
+    injected
+}
+
+/// Produce a Table 3-style typo: delete a character, transpose two adjacent
+/// characters, or substitute one character's case/value. Always returns a
+/// string different from the input when the input has ≥ 1 character.
+pub fn typo(value: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        return "?".to_string();
+    }
+    match rng.gen_range(0..3u8) {
+        // Deletion: Chicago → Chicag.
+        0 if chars.len() > 1 => {
+            let i = rng.gen_range(0..chars.len());
+            let mut out: Vec<char> = chars.clone();
+            out.remove(i);
+            out.into_iter().collect()
+        }
+        // Transposition: Chicago → Chciago.
+        1 if chars.len() > 1 => {
+            let i = rng.gen_range(0..chars.len() - 1);
+            let mut out = chars.clone();
+            out.swap(i, i + 1);
+            if out == chars {
+                // Swapped equal characters; fall back to substitution.
+                substitute(&chars, rng)
+            } else {
+                out.into_iter().collect()
+            }
+        }
+        // Substitution: IL → lL.
+        _ => substitute(&chars, rng),
+    }
+}
+
+fn substitute(chars: &[char], rng: &mut StdRng) -> String {
+    let i = rng.gen_range(0..chars.len());
+    let old = chars[i];
+    let new = if old.is_uppercase() {
+        old.to_lowercase().next().unwrap_or('x')
+    } else if old.is_lowercase() {
+        old.to_uppercase().next().unwrap_or('X')
+    } else if old.is_ascii_digit() {
+        char::from_digit(((old.to_digit(10).unwrap_or(0)) + 1) % 10, 10).unwrap_or('0')
+    } else {
+        '#'
+    };
+    let mut out: Vec<char> = chars.to_vec();
+    out[i] = new;
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pools::ALL_STATES;
+
+    fn state_table(n: usize) -> Relation {
+        // Cycle through 5 states.
+        let states = ["CA", "NY", "IL", "TX", "FL"];
+        let rows: Vec<Vec<String>> = (0..n)
+            .map(|i| vec![format!("{:05}", 90000 + i), states[i % 5].to_string()])
+            .collect();
+        let mut rel = Relation::from_rows("T", &["zip", "state"], Vec::<Vec<&str>>::new())
+            .unwrap();
+        for row in rows {
+            rel.push_row(row).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn injection_rate_is_respected() {
+        let mut rel = state_table(200);
+        let attr = rel.schema().attr("state").unwrap();
+        let errors = inject_errors(
+            &mut rel,
+            attr,
+            0.10,
+            NoiseMode::OutsideActiveDomain,
+            ALL_STATES,
+            7,
+        );
+        assert_eq!(errors.len(), 20);
+    }
+
+    #[test]
+    fn outside_mode_avoids_active_domain() {
+        let mut rel = state_table(100);
+        let attr = rel.schema().attr("state").unwrap();
+        let errors = inject_errors(
+            &mut rel,
+            attr,
+            0.2,
+            NoiseMode::OutsideActiveDomain,
+            ALL_STATES,
+            11,
+        );
+        let active = ["CA", "NY", "IL", "TX", "FL"];
+        for e in &errors {
+            assert!(
+                !active.contains(&e.dirty.as_str()),
+                "{} is in the active domain",
+                e.dirty
+            );
+            assert!(ALL_STATES.contains(&e.dirty.as_str()));
+            assert_ne!(e.clean, e.dirty);
+        }
+    }
+
+    #[test]
+    fn inside_mode_uses_active_domain() {
+        let mut rel = state_table(100);
+        let attr = rel.schema().attr("state").unwrap();
+        let errors = inject_errors(
+            &mut rel,
+            attr,
+            0.2,
+            NoiseMode::FromActiveDomain,
+            ALL_STATES,
+            13,
+        );
+        let active = ["CA", "NY", "IL", "TX", "FL"];
+        assert!(!errors.is_empty());
+        for e in &errors {
+            assert!(active.contains(&e.dirty.as_str()));
+            assert_ne!(e.clean, e.dirty);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let mut a = state_table(150);
+        let mut b = state_table(150);
+        let attr = a.schema().attr("state").unwrap();
+        let ea = inject_errors(&mut a, attr, 0.05, NoiseMode::FromActiveDomain, ALL_STATES, 42);
+        let eb = inject_errors(&mut b, attr, 0.05, NoiseMode::FromActiveDomain, ALL_STATES, 42);
+        assert_eq!(ea, eb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_record_clean_values() {
+        let mut rel = state_table(50);
+        let attr = rel.schema().attr("state").unwrap();
+        let clean = rel.clone();
+        let errors = inject_errors(
+            &mut rel,
+            attr,
+            0.5,
+            NoiseMode::OutsideActiveDomain,
+            ALL_STATES,
+            3,
+        );
+        for e in &errors {
+            assert_eq!(clean.cell(e.row, e.attr), e.clean);
+            assert_eq!(rel.cell(e.row, e.attr), e.dirty);
+        }
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut rel = state_table(50);
+        let attr = rel.schema().attr("state").unwrap();
+        let errors = inject_errors(
+            &mut rel,
+            attr,
+            0.0,
+            NoiseMode::FromActiveDomain,
+            ALL_STATES,
+            3,
+        );
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn typo_changes_the_string() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for value in ["Chicago", "IL", "90001", "Los Angeles", "x"] {
+            for _ in 0..20 {
+                let t = typo(value, &mut rng);
+                assert_ne!(t, value, "typo of {value:?} must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn typo_of_empty_is_placeholder() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(typo("", &mut rng), "?");
+    }
+}

@@ -1,0 +1,281 @@
+//! The validation oracle (§5.2 "PFD Validation").
+//!
+//! The paper validates discovered PFDs against external authorities:
+//! gender-api.com for `Full Name → Gender`, an area-code registry for
+//! `Fax → State`, and the `uszipcode` package for `Zip → City`. This module
+//! is the deterministic stand-in: the generator's own ground-truth maps
+//! exposed as a lookup service, with the same failure modes (unisex names
+//! return no gender; unknown codes return nothing).
+
+use crate::pools;
+use pfd_core::{Pfd, TableauCell};
+
+/// Which external dependency a PFD claims (Table 8's three rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleDomain {
+    /// First name determines gender.
+    NameGender,
+    /// 3-digit area code (phone or fax) determines state.
+    AreaCodeState,
+    /// 3-digit zip prefix determines city.
+    ZipCity,
+    /// 3-digit zip prefix determines state.
+    ZipState,
+}
+
+/// The validation oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidationOracle;
+
+impl ValidationOracle {
+    /// The oracle is stateless; this is provided for API symmetry.
+    pub fn new() -> ValidationOracle {
+        ValidationOracle
+    }
+
+    /// gender-api style lookup: `Some("M"/"F")` or `None` for unknown and
+    /// unisex names.
+    pub fn gender_of_first_name(&self, name: &str) -> Option<&'static str> {
+        pools::gender_of(name.trim())
+    }
+
+    /// Area-code registry lookup.
+    pub fn state_of_area_code(&self, code: &str) -> Option<&'static str> {
+        pools::state_of_area_code(code.trim())
+    }
+
+    /// uszipcode-style lookups (by 3-digit prefix or full 5-digit zip).
+    pub fn city_of_zip(&self, zip: &str) -> Option<&'static str> {
+        let prefix = zip.trim().get(..3)?;
+        pools::city_state_of_zip_prefix(prefix).map(|(c, _)| c)
+    }
+
+    /// uszipcode-style state lookup by zip prefix.
+    pub fn state_of_zip(&self, zip: &str) -> Option<&'static str> {
+        let prefix = zip.trim().get(..3)?;
+        pools::city_state_of_zip_prefix(prefix).map(|(_, s)| s)
+    }
+
+    /// Validate a *constant* PFD tableau row against the oracle: extract the
+    /// constant constrained part of the single LHS cell, look it up in the
+    /// oracle domain, and compare with the constant RHS cell.
+    ///
+    /// `None` means the oracle cannot decide (non-constant cells, or a key
+    /// the authority does not know — e.g. a unisex name).
+    pub fn validate_row(
+        &self,
+        domain: OracleDomain,
+        lhs_cell: &TableauCell,
+        rhs_cell: &TableauCell,
+    ) -> Option<bool> {
+        let key = lhs_cell.constant_value()?;
+        let expected = self.expected_value(domain, &key)?;
+        // Compare against the whole claimed value when the entire RHS cell
+        // is constant (e.g. `Los\ [Angeles]`); fall back to the constrained
+        // part for context-bearing cells.
+        let claimed = rhs_cell
+            .full_constant_value()
+            .or_else(|| rhs_cell.constant_value())?;
+        Some(claimed.trim() == expected)
+    }
+
+    fn expected_value(&self, domain: OracleDomain, key: &str) -> Option<&'static str> {
+        let key = key.trim().trim_end_matches(['.', ',']);
+        match domain {
+            OracleDomain::NameGender => {
+                // The key may be a name token or a "First" prefix from a
+                // constrained pattern like [Susan\ ]\A*.
+                self.gender_of_first_name(key)
+            }
+            OracleDomain::AreaCodeState => {
+                let code = key.get(..3)?;
+                self.state_of_area_code(code)
+            }
+            OracleDomain::ZipCity => self.zip_lookup(key, |c, _| c),
+            OracleDomain::ZipState => self.zip_lookup(key, |_, s| s),
+        }
+    }
+
+    /// Resolve a (possibly short) zip-prefix key: exact 3-digit prefixes
+    /// look up directly; shorter keys succeed when *every* known 3-digit
+    /// prefix extending them agrees on the answer (the `[90]\D{3}` case —
+    /// all 90x prefixes are Los Angeles).
+    fn zip_lookup(
+        &self,
+        key: &str,
+        pick: fn(&'static str, &'static str) -> &'static str,
+    ) -> Option<&'static str> {
+        if key.len() >= 3 {
+            let prefix = key.get(..3)?;
+            return pools::city_state_of_zip_prefix(prefix).map(|(c, s)| pick(c, s));
+        }
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        let mut answer: Option<&'static str> = None;
+        for (prefix, city, state) in pools::ZIP_PREFIXES {
+            if prefix.starts_with(key) {
+                let v = pick(city, state);
+                match answer {
+                    None => answer = Some(v),
+                    Some(prev) if prev != v => return None,
+                    _ => {}
+                }
+            }
+        }
+        answer
+    }
+
+    /// Validate every constant tableau row of a normal-form PFD. Returns
+    /// `(validated_true, validated_false, undecided)` — the raw counts behind
+    /// Table 8's precision.
+    pub fn validate_pfd(&self, domain: OracleDomain, pfd: &Pfd) -> (usize, usize, usize) {
+        let mut ok = 0;
+        let mut bad = 0;
+        let mut unknown = 0;
+        for row in pfd.tableau() {
+            if row.lhs.len() != 1 || row.rhs.len() != 1 {
+                unknown += 1;
+                continue;
+            }
+            match self.validate_row(domain, &row.lhs[0], &row.rhs[0]) {
+                Some(true) => ok += 1,
+                Some(false) => bad += 1,
+                None => unknown += 1,
+            }
+        }
+        (ok, bad, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_relation::Schema;
+
+    #[test]
+    fn gender_lookups() {
+        let o = ValidationOracle::new();
+        assert_eq!(o.gender_of_first_name("David"), Some("M"));
+        assert_eq!(o.gender_of_first_name("Stacey"), Some("F"));
+        assert_eq!(o.gender_of_first_name("Kim"), None);
+    }
+
+    #[test]
+    fn zip_lookups() {
+        let o = ValidationOracle::new();
+        assert_eq!(o.city_of_zip("90001"), Some("Los Angeles"));
+        assert_eq!(o.state_of_zip("60601"), Some("IL"));
+        assert_eq!(o.city_of_zip("99999"), None);
+        assert_eq!(o.city_of_zip("9"), None, "too short");
+    }
+
+    #[test]
+    fn validate_correct_name_gender_pfd() {
+        let o = ValidationOracle::new();
+        let s = Schema::new("T", ["full_name", "gender"]).unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "full_name",
+            r"[Susan\ ]\A*",
+            "gender",
+            "F",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::NameGender, &pfd), (1, 0, 0));
+    }
+
+    #[test]
+    fn validate_wrong_name_gender_pfd() {
+        let o = ValidationOracle::new();
+        let s = Schema::new("T", ["full_name", "gender"]).unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "full_name",
+            r"[Susan\ ]\A*",
+            "gender",
+            "M",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::NameGender, &pfd), (0, 1, 0));
+    }
+
+    #[test]
+    fn unisex_names_are_undecided() {
+        // §5.2: "A few PFDs ... were reported as errors because we considered
+        // the names which might be unisex". Our oracle returns undecided.
+        let o = ValidationOracle::new();
+        let s = Schema::new("T", ["full_name", "gender"]).unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "full_name",
+            r"[Kim\ ]\A*",
+            "gender",
+            "F",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::NameGender, &pfd), (0, 0, 1));
+    }
+
+    #[test]
+    fn validate_zip_city_pfd() {
+        let o = ValidationOracle::new();
+        let s = Schema::new("T", ["zip", "city"]).unwrap();
+        let good = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "zip",
+            r"[900]\D{2}",
+            "city",
+            r"Los\ Angeles",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::ZipCity, &good), (1, 0, 0));
+        let bad = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "zip",
+            r"[900]\D{2}",
+            "city",
+            r"New\ York",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::ZipCity, &bad), (0, 1, 0));
+    }
+
+    #[test]
+    fn validate_area_code_pfd_from_table3() {
+        // 850\D{7} → FL, the first row of Table 3.
+        let o = ValidationOracle::new();
+        let s = Schema::new("T", ["fax", "state"]).unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "fax",
+            r"[850]\D{7}",
+            "state",
+            "FL",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::AreaCodeState, &pfd), (1, 0, 0));
+    }
+
+    #[test]
+    fn variable_rows_are_undecided() {
+        let o = ValidationOracle::new();
+        let s = Schema::new("T", ["zip", "city"]).unwrap();
+        let pfd = Pfd::constant_normal_form(
+            "T",
+            &s,
+            "zip",
+            r"[\D{3}]\D{2}",
+            "city",
+            "_",
+        )
+        .unwrap();
+        assert_eq!(o.validate_pfd(OracleDomain::ZipCity, &pfd), (0, 0, 1));
+    }
+}

@@ -1,0 +1,394 @@
+//! Static value pools with ground-truth mappings.
+//!
+//! These stand in for the external authorities the paper consulted when
+//! validating discovered PFDs (§5.2): gender-api.com for first names,
+//! the `uszipcode` package for zip → city/state, and area-code registries
+//! for phone/fax → state. The pools deliberately reproduce the phenomena
+//! the paper discusses: unisex names (false positives for generalized
+//! name → gender PFDs), multi-prefix cities (Boston), and shared zip
+//! prefixes across cities within a state.
+
+/// Male first names (gender ground truth "M").
+pub const MALE_NAMES: &[&str] = &[
+    "John", "David", "Michael", "James", "Robert", "William", "Richard", "Joseph", "Thomas",
+    "Charles", "Donald", "Mark", "Paul", "Steven", "Andrew", "Kenneth", "George", "Joshua",
+    "Kevin", "Brian", "Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan", "Jacob",
+    "Gary", "Nicholas", "Eric", "Jonathan", "Stephen", "Larry", "Justin", "Scott", "Brandon",
+    "Benjamin", "Samuel", "Gregory", "Frank", "Alexander", "Raymond", "Patrick", "Jack",
+    "Dennis", "Jerry", "Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry", "Douglas",
+    "Zachary", "Peter", "Kyle", "Walter", "Ethan", "Jeremy", "Harold", "Keith", "Christian",
+    "Roger", "Noah", "Gerald", "Carl", "Terry", "Sean", "Austin", "Arthur", "Lawrence",
+    "Jesse", "Dylan", "Bryan", "Joe", "Billy", "Bruce", "Albert", "Willie", "Alan",
+];
+
+/// Female first names (gender ground truth "F").
+pub const FEMALE_NAMES: &[&str] = &[
+    "Susan", "Mary", "Patricia", "Linda", "Barbara", "Elizabeth", "Jennifer", "Maria",
+    "Margaret", "Dorothy", "Lisa", "Nancy", "Karen", "Betty", "Helen", "Sandra", "Donna",
+    "Carol", "Ruth", "Sharon", "Michelle", "Laura", "Sarah", "Kimberly", "Deborah", "Jessica",
+    "Shirley", "Cynthia", "Angela", "Melissa", "Brenda", "Amy", "Anna", "Rebecca", "Virginia",
+    "Kathleen", "Pamela", "Martha", "Debra", "Amanda", "Stephanie", "Carolyn", "Christine",
+    "Marie", "Janet", "Catherine", "Frances", "Ann", "Joyce", "Diane", "Alice", "Julie",
+    "Heather", "Teresa", "Doris", "Gloria", "Evelyn", "Jean", "Cheryl", "Mildred", "Katherine",
+    "Joan", "Ashley", "Judith", "Rose", "Janice", "Kelly", "Nicole", "Judy", "Christina",
+    "Kathy", "Theresa", "Beverly", "Denise", "Tammy", "Irene", "Jane", "Lori", "Rachel",
+    "Stacey",
+];
+
+/// Unisex first names — the paper's Kim example: a generalized
+/// name → gender PFD flags these as errors even on correct data (§2.2).
+pub const UNISEX_NAMES: &[&str] = &["Kim", "Casey", "Jordan", "Taylor", "Morgan", "Riley"];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Holloway", "Kimbell", "Mallack",
+    "Otillio", "Boyle", "Orlean", "Bosco", "Charles",
+];
+
+/// Zip prefix (3 digits) → (city, state). Includes the paper's cases: Los
+/// Angeles (900–904), Chicago (606) and multi-prefix Boston (021, 022).
+pub const ZIP_PREFIXES: &[(&str, &str, &str)] = &[
+    ("900", "Los Angeles", "CA"),
+    ("901", "Los Angeles", "CA"),
+    ("902", "Los Angeles", "CA"),
+    ("903", "Los Angeles", "CA"),
+    ("904", "Los Angeles", "CA"),
+    ("941", "San Francisco", "CA"),
+    ("956", "Sacramento", "CA"),
+    ("606", "Chicago", "IL"),
+    ("617", "Rockford", "IL"),
+    ("100", "New York", "NY"),
+    ("101", "New York", "NY"),
+    ("112", "Brooklyn", "NY"),
+    ("021", "Boston", "MA"),
+    ("022", "Boston", "MA"),
+    ("330", "Miami", "FL"),
+    ("331", "Miami", "FL"),
+    ("303", "Atlanta", "GA"),
+    ("802", "Denver", "CO"),
+    ("852", "Phoenix", "AZ"),
+    ("981", "Seattle", "WA"),
+    ("972", "Portland", "OR"),
+    ("191", "Philadelphia", "PA"),
+    ("773", "Houston", "TX"),
+    ("752", "Dallas", "TX"),
+    ("631", "St Louis", "MO"),
+    ("482", "Detroit", "MI"),
+    ("553", "Minneapolis", "MN"),
+];
+
+/// Area code → state (phone and fax numbers). The first five rows are the
+/// exact dependencies shown in Table 3 of the paper.
+pub const AREA_CODES: &[(&str, &str)] = &[
+    ("850", "FL"),
+    ("607", "NY"),
+    ("404", "GA"),
+    ("217", "IL"),
+    ("860", "CT"),
+    ("305", "FL"),
+    ("212", "NY"),
+    ("770", "GA"),
+    ("630", "IL"),
+    ("213", "CA"),
+    ("559", "CA"),
+    ("617", "MA"),
+    ("508", "MA"),
+    ("303", "CO"),
+    ("719", "CO"),
+    ("602", "AZ"),
+    ("928", "AZ"),
+    ("206", "WA"),
+    ("425", "WA"),
+    ("503", "OR"),
+    ("971", "OR"),
+    ("215", "PA"),
+    ("484", "PA"),
+    ("713", "TX"),
+    ("254", "TX"),
+    ("314", "MO"),
+    ("660", "MO"),
+    ("313", "MI"),
+    ("989", "MI"),
+    ("612", "MN"),
+    ("507", "MN"),
+    ("908", "NJ"),
+];
+
+/// All US state codes (for in/out-of-active-domain noise selection).
+pub const ALL_STATES: &[&str] = &[
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
+    "VA", "WA", "WV", "WI", "WY",
+];
+
+/// Department code (the leading letter of an employee ID such as `F-9-107`,
+/// §1's motivating example) → department name.
+pub const DEPARTMENTS: &[(&str, &str)] = &[
+    ("F", "Finance"),
+    ("H", "Human Resources"),
+    ("E", "Engineering"),
+    ("M", "Marketing"),
+    ("L", "Legal"),
+    ("O", "Operations"),
+    ("R", "Research"),
+    ("S", "Sales"),
+];
+
+/// Program code → (program name, college).
+pub const PROGRAMS: &[(&str, &str, &str)] = &[
+    ("CS", "Computer Science", "Engineering"),
+    ("EE", "Electrical Engineering", "Engineering"),
+    ("ME", "Mechanical Engineering", "Engineering"),
+    ("BI", "Biology", "Science"),
+    ("CH", "Chemistry", "Science"),
+    ("PH", "Physics", "Science"),
+    ("EC", "Economics", "Social Science"),
+    ("PS", "Political Science", "Social Science"),
+    ("HI", "History", "Humanities"),
+    ("EN", "English", "Humanities"),
+    ("MU", "Music", "Arts"),
+    ("AR", "Art History", "Arts"),
+];
+
+/// Course department code → department name (course codes are `CS-101`).
+pub const COURSE_DEPTS: &[(&str, &str)] = &[
+    ("CS", "Computer Science"),
+    ("EE", "Electrical Engineering"),
+    ("MA", "Mathematics"),
+    ("PH", "Physics"),
+    ("CH", "Chemistry"),
+    ("BI", "Biology"),
+    ("EC", "Economics"),
+    ("HI", "History"),
+    ("EN", "English"),
+    ("MU", "Music"),
+];
+
+/// Title code → title description (university payroll).
+pub const TITLES: &[(&str, &str)] = &[
+    ("PROF1", "Assistant Professor"),
+    ("PROF2", "Associate Professor"),
+    ("PROF3", "Full Professor"),
+    ("LECT1", "Lecturer"),
+    ("LECT2", "Senior Lecturer"),
+    ("ADMN1", "Administrative Assistant"),
+    ("ADMN2", "Administrative Manager"),
+    ("RSCH1", "Research Associate"),
+    ("RSCH2", "Senior Research Scientist"),
+    ("TECH1", "Laboratory Technician"),
+];
+
+/// Degree code → degree name.
+pub const DEGREES: &[(&str, &str)] = &[
+    ("BS", "Bachelor of Science"),
+    ("BA", "Bachelor of Arts"),
+    ("MS", "Master of Science"),
+    ("MA", "Master of Arts"),
+    ("MBA", "Master of Business Administration"),
+    ("PHD", "Doctor of Philosophy"),
+    ("MD", "Doctor of Medicine"),
+    ("JD", "Juris Doctor"),
+];
+
+/// Protein preferred-name prefix → protein class description; modeled on the
+/// paper's ChEMBL example `Nicotinic acetylcholine receptor \A* →
+/// ion channel lgic ach chrn \A*`.
+pub const PROTEIN_CLASSES: &[(&str, &str)] = &[
+    ("Nicotinic acetylcholine receptor", "ion channel lgic ach chrn"),
+    ("Dopamine receptor", "membrane receptor 7tm1 monoamine dopamine"),
+    ("Serotonin receptor", "membrane receptor 7tm1 monoamine serotonin"),
+    ("Carbonic anhydrase", "enzyme lyase carbonic anhydrase"),
+    ("Cytochrome P450", "enzyme cytochrome p450"),
+    ("Tyrosine-protein kinase", "enzyme kinase protein kinase tk"),
+    ("Sodium channel protein", "ion channel vgc sodium"),
+    ("Glutamate receptor", "ion channel lgic glutamate"),
+    ("Histone deacetylase", "enzyme hydrolase hdac"),
+    ("Adenosine receptor", "membrane receptor 7tm1 nucleotide adenosine"),
+];
+
+/// Assay type code → assay description (ChEMBL-like).
+pub const ASSAY_TYPES: &[(&str, &str)] = &[
+    ("B", "Binding"),
+    ("F", "Functional"),
+    ("A", "ADMET"),
+    ("T", "Toxicity"),
+    ("P", "Physicochemical"),
+];
+
+/// Journal → (ISSN prefix, publisher) for the document table.
+pub const JOURNALS: &[(&str, &str, &str)] = &[
+    ("J Med Chem", "0022-2623", "ACS"),
+    ("Bioorg Med Chem Lett", "0960-894X", "Elsevier"),
+    ("Eur J Med Chem", "0223-5234", "Elsevier"),
+    ("J Nat Prod", "0163-3864", "ACS"),
+    ("Nature", "0028-0836", "Springer"),
+    ("Science", "0036-8075", "AAAS"),
+    ("Cell", "0092-8674", "Elsevier"),
+    ("PNAS", "0027-8424", "NAS"),
+];
+
+/// Organisms for the chemical tables.
+pub const ORGANISMS: &[&str] = &[
+    "Homo sapiens",
+    "Rattus norvegicus",
+    "Mus musculus",
+    "Bos taurus",
+    "Escherichia coli",
+    "Saccharomyces cerevisiae",
+];
+
+/// Complaint type code → description (311-style civic table).
+pub const COMPLAINT_TYPES: &[(&str, &str)] = &[
+    ("NSE", "Noise"),
+    ("WTR", "Water Quality"),
+    ("STR", "Street Condition"),
+    ("PKG", "Illegal Parking"),
+    ("TRS", "Missed Trash Pickup"),
+    ("GRF", "Graffiti"),
+    ("LGT", "Street Light Out"),
+    ("ROD", "Rodent Sighting"),
+];
+
+/// License class prefix → license type (civic licensing table).
+pub const LICENSE_TYPES: &[(&str, &str)] = &[
+    ("FB", "Food and Beverage"),
+    ("RT", "Retail Trade"),
+    ("CN", "Construction"),
+    ("TX", "Taxi and Livery"),
+    ("CH", "Childcare"),
+    ("AM", "Amusement"),
+];
+
+/// Facility type code → facility kind.
+pub const FACILITY_TYPES: &[(&str, &str)] = &[
+    ("LIB", "Library"),
+    ("PRK", "Park"),
+    ("SCH", "School"),
+    ("HSP", "Hospital"),
+    ("FIR", "Fire Station"),
+    ("POL", "Police Station"),
+];
+
+/// Look up the ground-truth gender of a first name: `Some("M"/"F")` or
+/// `None` for unisex/unknown — the behaviour of the gender-api oracle.
+pub fn gender_of(first_name: &str) -> Option<&'static str> {
+    if MALE_NAMES.contains(&first_name) {
+        Some("M")
+    } else if FEMALE_NAMES.contains(&first_name) {
+        Some("F")
+    } else {
+        None
+    }
+}
+
+/// Ground-truth state for a 3-digit area code.
+pub fn state_of_area_code(code: &str) -> Option<&'static str> {
+    AREA_CODES.iter().find(|(c, _)| *c == code).map(|(_, s)| *s)
+}
+
+/// Ground-truth (city, state) for a 3-digit zip prefix.
+pub fn city_state_of_zip_prefix(prefix: &str) -> Option<(&'static str, &'static str)> {
+    ZIP_PREFIXES
+        .iter()
+        .find(|(p, _, _)| *p == prefix)
+        .map(|(_, c, s)| (*c, *s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_pools_are_disjoint() {
+        for m in MALE_NAMES {
+            assert!(!FEMALE_NAMES.contains(m), "{m} in both pools");
+            assert!(!UNISEX_NAMES.contains(m), "{m} male and unisex");
+        }
+        for f in FEMALE_NAMES {
+            assert!(!UNISEX_NAMES.contains(f), "{f} female and unisex");
+        }
+    }
+
+    #[test]
+    fn gender_oracle() {
+        assert_eq!(gender_of("John"), Some("M"));
+        assert_eq!(gender_of("Susan"), Some("F"));
+        assert_eq!(gender_of("Kim"), None, "unisex names have no gender");
+        assert_eq!(gender_of("Zzyzx"), None);
+    }
+
+    #[test]
+    fn zip_prefixes_are_functional() {
+        // prefix → (city, state) must be a function (no prefix twice).
+        for (i, (p, _, _)) in ZIP_PREFIXES.iter().enumerate() {
+            for (q, _, _) in &ZIP_PREFIXES[..i] {
+                assert_ne!(p, q, "duplicate zip prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn boston_is_multi_prefix() {
+        // The paper's remark: Boston has several prefixes.
+        let boston: Vec<&str> = ZIP_PREFIXES
+            .iter()
+            .filter(|(_, c, _)| *c == "Boston")
+            .map(|(p, _, _)| *p)
+            .collect();
+        assert!(boston.len() >= 2, "Boston needs at least two prefixes");
+    }
+
+    #[test]
+    fn area_codes_are_functional_and_match_table3() {
+        for (i, (c, _)) in AREA_CODES.iter().enumerate() {
+            for (d, _) in &AREA_CODES[..i] {
+                assert_ne!(c, d, "duplicate area code {c}");
+            }
+        }
+        // Table 3 rows.
+        assert_eq!(state_of_area_code("850"), Some("FL"));
+        assert_eq!(state_of_area_code("607"), Some("NY"));
+        assert_eq!(state_of_area_code("404"), Some("GA"));
+        assert_eq!(state_of_area_code("217"), Some("IL"));
+        assert_eq!(state_of_area_code("860"), Some("CT"));
+    }
+
+    #[test]
+    fn zip_oracle() {
+        assert_eq!(
+            city_state_of_zip_prefix("900"),
+            Some(("Los Angeles", "CA"))
+        );
+        assert_eq!(city_state_of_zip_prefix("606"), Some(("Chicago", "IL")));
+        assert_eq!(city_state_of_zip_prefix("999"), None);
+    }
+
+    #[test]
+    fn all_states_distinct_and_cover_pool_states() {
+        let mut sorted = ALL_STATES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL_STATES.len());
+        for (_, state) in AREA_CODES {
+            assert!(ALL_STATES.contains(state), "{state} missing");
+        }
+        for (_, _, state) in ZIP_PREFIXES {
+            assert!(ALL_STATES.contains(state), "{state} missing");
+        }
+    }
+
+    #[test]
+    fn department_codes_unique() {
+        for (i, (c, _)) in DEPARTMENTS.iter().enumerate() {
+            for (d, _) in &DEPARTMENTS[..i] {
+                assert_ne!(c, d);
+            }
+        }
+    }
+}

@@ -1,0 +1,1090 @@
+//! Generators for the 15 evaluation tables (synthetic twins of the paper's
+//! GOV / CHE / UDW suites — see DESIGN.md §5 for the substitution argument).
+//!
+//! Every generator is deterministic in its seed, produces a **clean**
+//! relation whose ground-truth embedded dependencies hold exactly, then
+//! applies Table 3-style typos to dependent columns at `dirt_rate` to make
+//! the **dirty** twin. Schemas have 5–9 columns like the paper's tables,
+//! and include deliberately dependency-free columns (emails, free text,
+//! quantitative values) so that discovery precision is a meaningful number.
+
+use crate::dataset::{Dataset, GroundTruthDep, Repository};
+use crate::inject::typo;
+use crate::pools::*;
+use pfd_relation::{AttrId, Relation, Schema};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Row counts of the paper's tables (Table 7, "# Rows").
+pub const PAPER_ROWS: [usize; 15] = [
+    6704, 1077, 306, 920, 9101, 2409, 812, 9536, 1200, 858, 33727, 42715, 105748, 22485, 42226,
+];
+
+/// Dataset scale: `Small` divides the paper's row counts by 10 (clamped to
+/// [250, 3000]) so the full Table 7 harness — including the quadratic FDep
+/// baseline — runs in seconds; `Paper` uses the exact counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper row counts ÷ 10, clamped to [250, 3000] (CI-friendly).
+    Small,
+    /// The paper's exact row counts (Table 7 "# Rows").
+    Paper,
+}
+
+impl Scale {
+    /// Row count for table `index` (0-based).
+    pub fn rows(self, index: usize) -> usize {
+        match self {
+            Scale::Paper => PAPER_ROWS[index],
+            Scale::Small => (PAPER_ROWS[index] / 10).clamp(250, 3000),
+        }
+    }
+}
+
+/// Shared generator state.
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pick<'a, T: ?Sized>(&mut self, pool: &'a [&T]) -> &'a T {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    fn pick_pair<A: Copy, B: Copy>(&mut self, pool: &[(A, B)]) -> (A, B) {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    fn digits(&mut self, n: usize) -> String {
+        (0..n)
+            .map(|_| char::from_digit(self.rng.gen_range(0..10), 10).unwrap())
+            .collect()
+    }
+
+    /// A first name; `unisex_rate` of the time a unisex one.
+    fn first_name(&mut self, unisex_rate: f64) -> &'static str {
+        if self.rng.gen_bool(unisex_rate) {
+            UNISEX_NAMES[self.rng.gen_range(0..UNISEX_NAMES.len())]
+        } else if self.rng.gen_bool(0.5) {
+            MALE_NAMES[self.rng.gen_range(0..MALE_NAMES.len())]
+        } else {
+            FEMALE_NAMES[self.rng.gen_range(0..FEMALE_NAMES.len())]
+        }
+    }
+
+    fn last_name(&mut self) -> &'static str {
+        LAST_NAMES[self.rng.gen_range(0..LAST_NAMES.len())]
+    }
+
+    /// Gender consistent with the ground truth. Unisex names get a gender
+    /// that is *deterministic per full name* (so the whole-value FD
+    /// `full_name → gender` holds on clean data) but varies across last
+    /// names — exactly the situation where a generalized first-name PFD
+    /// produces false positives (§2.2's Kim example).
+    fn gender_for(&mut self, first: &str, last: &str) -> &'static str {
+        match gender_of(first) {
+            Some(g) => g,
+            None => {
+                let mut h = 0u64;
+                for b in first.bytes().chain(last.bytes()) {
+                    h = h.wrapping_mul(131).wrapping_add(b as u64);
+                }
+                if h.is_multiple_of(2) {
+                    "M"
+                } else {
+                    "F"
+                }
+            }
+        }
+    }
+
+    /// A phone number whose area code maps to `state`.
+    fn phone_in_state(&mut self, state: &str) -> String {
+        let codes: Vec<&str> = AREA_CODES
+            .iter()
+            .filter(|(_, s)| *s == state)
+            .map(|(c, _)| *c)
+            .collect();
+        let code = if codes.is_empty() {
+            AREA_CODES[self.rng.gen_range(0..AREA_CODES.len())].0
+        } else {
+            codes[self.rng.gen_range(0..codes.len())]
+        };
+        format!("{code}{}", self.digits(7))
+    }
+
+    /// (zip, city, state) consistent with the zip-prefix ground truth.
+    fn zip_city_state(&mut self) -> (String, &'static str, &'static str) {
+        let (prefix, city, state) = ZIP_PREFIXES[self.rng.gen_range(0..ZIP_PREFIXES.len())];
+        (format!("{prefix}{}", self.digits(2)), city, state)
+    }
+
+    /// ISO date in `year`.
+    fn date_in_year(&mut self, year: u32) -> String {
+        format!(
+            "{year}-{:02}-{:02}",
+            self.rng.gen_range(1..=12),
+            self.rng.gen_range(1..=28)
+        )
+    }
+
+    fn year(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A free-text-ish email that depends on nothing.
+    fn email(&mut self) -> String {
+        format!(
+            "{}{}@example.org",
+            self.last_name().to_lowercase(),
+            self.digits(3)
+        )
+    }
+}
+
+/// Build a `Dataset` from generated rows, then dirty the listed columns.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    id: &str,
+    name: &str,
+    repository: Repository,
+    schema_attrs: &[&str],
+    rows: Vec<Vec<String>>,
+    full_deps: Vec<GroundTruthDep>,
+    partial_deps: Vec<GroundTruthDep>,
+    dirt_columns: &[&str],
+    dirt_rate: f64,
+    seed: u64,
+) -> Dataset {
+    let schema = Schema::new(name, schema_attrs.iter().copied()).expect("unique attrs");
+    let mut clean = Relation::empty(schema);
+    for row in rows {
+        clean.push_row(row).expect("generator respects arity");
+    }
+
+    let mut dirty = clean.clone();
+    let mut error_cells = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
+    let dirt_attrs: Vec<AttrId> = dirt_columns
+        .iter()
+        .map(|c| clean.schema().attr(c).expect("dirt column exists"))
+        .collect();
+    if dirt_rate > 0.0 && !dirt_attrs.is_empty() {
+        let target = ((clean.num_rows() as f64) * dirt_rate).round() as usize;
+        let mut rows: Vec<usize> = (0..clean.num_rows()).collect();
+        rows.shuffle(&mut rng);
+        for row in rows.into_iter().take(target) {
+            let attr = dirt_attrs[rng.gen_range(0..dirt_attrs.len())];
+            let old = dirty.cell(row, attr).to_string();
+            let new = typo(&old, &mut rng);
+            if new != old {
+                dirty.set_cell(row, attr, new).expect("in range");
+                error_cells.push((row, attr));
+            }
+        }
+        error_cells.sort_unstable();
+    }
+
+    let mut ground_truth = full_deps.clone();
+    ground_truth.extend(partial_deps);
+    ground_truth.sort();
+    ground_truth.dedup();
+    Dataset {
+        id: id.to_string(),
+        name: name.to_string(),
+        repository,
+        clean,
+        dirty,
+        error_cells,
+        ground_truth,
+        fd_checkable: full_deps,
+    }
+}
+
+fn dep(lhs: &[&str], rhs: &str) -> GroundTruthDep {
+    GroundTruthDep::new(lhs, rhs)
+}
+
+/// T1 — GOV contacts: the §1 motivating schema. 9 columns.
+pub fn t1_gov_contacts(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let first = g.first_name(0.04);
+        let last = g.last_name();
+        let gender = g.gender_for(first, last);
+        let (zip, city, state) = g.zip_city_state();
+        let phone = g.phone_in_state(state);
+        let (dept_code, dept) = g.pick_pair(DEPARTMENTS);
+        let agency_code = format!("{dept_code}-{}-{}", g.digits(1), g.digits(3));
+        data.push(vec![
+            format!("{first} {last}"),
+            gender.to_string(),
+            phone,
+            state.to_string(),
+            zip,
+            city.to_string(),
+            agency_code,
+            dept.to_string(),
+            g.email(),
+        ]);
+    }
+    finish(
+        "T1",
+        "gov_contacts",
+        Repository::Gov,
+        &[
+            "full_name",
+            "gender",
+            "phone",
+            "state",
+            "zip",
+            "city",
+            "agency_code",
+            "department",
+            "email",
+        ],
+        data,
+        vec![
+            dep(&["full_name"], "gender"),
+            dep(&["phone"], "state"),
+            dep(&["zip"], "city"),
+            dep(&["zip"], "state"),
+            dep(&["city"], "state"),
+            dep(&["agency_code"], "department"),
+        ],
+        vec![
+            dep(&["department"], "agency_code"),
+            dep(&["state"], "zip"),
+            dep(&["state"], "city"),
+            dep(&["city"], "zip"),
+            dep(&["phone"], "zip"),
+            dep(&["phone"], "city"),
+        ],
+        &["gender", "state", "city", "department"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T2 — GOV facilities. 9 columns, includes a date→year dependency.
+pub fn t2_gov_facilities(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let mut data = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let (ftype_code, ftype) = g.pick_pair(FACILITY_TYPES);
+        let (zip, city, state) = g.zip_city_state();
+        let phone = g.phone_in_state(state);
+        let year = g.year(1970, 2019);
+        let date = g.date_in_year(year);
+        data.push(vec![
+            format!("{ftype_code}-{:04}", i),
+            ftype.to_string(),
+            format!("{} {} St", g.digits(3), g.last_name()),
+            city.to_string(),
+            state.to_string(),
+            zip,
+            phone,
+            date,
+            year.to_string(),
+        ]);
+    }
+    finish(
+        "T2",
+        "gov_facilities",
+        Repository::Gov,
+        &[
+            "facility_id",
+            "facility_type",
+            "address",
+            "city",
+            "state",
+            "zip",
+            "phone",
+            "opened_date",
+            "opened_year",
+        ],
+        data,
+        vec![
+            dep(&["facility_id"], "facility_type"),
+            dep(&["zip"], "city"),
+            dep(&["zip"], "state"),
+            dep(&["phone"], "state"),
+            dep(&["city"], "state"),
+            dep(&["opened_date"], "opened_year"),
+        ],
+        vec![
+            dep(&["opened_year"], "opened_date"),
+            dep(&["facility_type"], "facility_id"),
+            dep(&["state"], "zip"),
+            dep(&["state"], "city"),
+            dep(&["city"], "zip"),
+            dep(&["phone"], "zip"),
+            dep(&["phone"], "city"),
+        ],
+        &["facility_type", "city", "state", "opened_year"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T3 — GOV licenses. 7 columns; the paper's smallest table (306 rows).
+pub fn t3_gov_licenses(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (lcode, ltype) = g.pick_pair(LICENSE_TYPES);
+        let (zip, city, state) = g.zip_city_state();
+        let year = g.year(2000, 2019);
+        let date = g.date_in_year(year);
+        data.push(vec![
+            format!("{lcode}-{}", g.digits(4)),
+            ltype.to_string(),
+            date,
+            year.to_string(),
+            city.to_string(),
+            state.to_string(),
+            zip,
+        ]);
+    }
+    finish(
+        "T3",
+        "gov_licenses",
+        Repository::Gov,
+        &[
+            "license_no",
+            "license_type",
+            "issue_date",
+            "issue_year",
+            "city",
+            "state",
+            "zip",
+        ],
+        data,
+        vec![
+            dep(&["license_no"], "license_type"),
+            dep(&["issue_date"], "issue_year"),
+            dep(&["zip"], "city"),
+            dep(&["zip"], "state"),
+            dep(&["city"], "state"),
+        ],
+        vec![
+            dep(&["issue_year"], "issue_date"),
+            dep(&["license_type"], "license_no"),
+            dep(&["state"], "zip"),
+            dep(&["state"], "city"),
+            dep(&["city"], "zip"),
+        ],
+        &["license_type", "issue_year", "city"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T4 — GOV payroll: employee IDs in the `F-9-107` format of §1.
+pub fn t4_gov_payroll(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (dept_code, dept) = g.pick_pair(DEPARTMENTS);
+        let employee_id = format!("{dept_code}-{}-{}", g.digits(1), g.digits(3));
+        let (_, _, state) = g.zip_city_state();
+        let phone = g.phone_in_state(state);
+        data.push(vec![
+            employee_id,
+            dept.to_string(),
+            format!("G{}", g.digits(1)),
+            state.to_string(),
+            g.email(),
+            phone,
+        ]);
+    }
+    finish(
+        "T4",
+        "gov_payroll",
+        Repository::Gov,
+        &["employee_id", "department", "grade", "state", "email", "phone"],
+        data,
+        vec![
+            dep(&["employee_id"], "department"),
+            dep(&["phone"], "state"),
+        ],
+        vec![dep(&["department"], "employee_id")],
+        &["department", "state"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T5 — GOV 311 service requests. 9 columns.
+pub fn t5_gov_311(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    // Each complaint type is handled by one agency.
+    let agencies = ["DEP", "DOT", "DSNY", "NYPD", "DPR", "DOB", "HPD", "DOHMH"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let idx = g.rng.gen_range(0..COMPLAINT_TYPES.len());
+        let (tcode, tdesc) = COMPLAINT_TYPES[idx];
+        let agency = agencies[idx % agencies.len()];
+        let (zip, city, state) = g.zip_city_state();
+        let year = g.year(2015, 2019);
+        let date = g.date_in_year(year);
+        data.push(vec![
+            format!("C-{}", g.digits(6)),
+            tcode.to_string(),
+            tdesc.to_string(),
+            zip,
+            city.to_string(),
+            state.to_string(),
+            agency.to_string(),
+            date,
+            year.to_string(),
+        ]);
+    }
+    finish(
+        "T5",
+        "gov_311",
+        Repository::Gov,
+        &[
+            "complaint_id",
+            "type_code",
+            "type_desc",
+            "zip",
+            "city",
+            "state",
+            "agency",
+            "created_date",
+            "created_year",
+        ],
+        data,
+        vec![
+            dep(&["type_code"], "type_desc"),
+            dep(&["type_code"], "agency"),
+            dep(&["type_desc"], "type_code"),
+            dep(&["type_desc"], "agency"),
+            dep(&["agency"], "type_code"),
+            dep(&["agency"], "type_desc"),
+            dep(&["zip"], "city"),
+            dep(&["zip"], "state"),
+            dep(&["city"], "state"),
+            dep(&["created_date"], "created_year"),
+        ],
+        vec![
+            dep(&["created_year"], "created_date"),
+            dep(&["state"], "zip"),
+            dep(&["state"], "city"),
+            dep(&["city"], "zip"),
+        ],
+        &["type_desc", "city", "state", "agency"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T6 — CHE compounds: preferred names determine protein classes.
+pub fn t6_che_compounds(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let molecule_types = ["Small molecule", "Protein", "Antibody", "Oligonucleotide"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (prefix, class) = g.pick_pair(PROTEIN_CLASSES);
+        let pref_name = format!("{prefix} subunit alpha-{}", g.digits(1));
+        data.push(vec![
+            format!("CHEMBL{}", g.digits(6)),
+            pref_name,
+            class.to_string(),
+            g.pick(ORGANISMS).to_string(),
+            g.pick(&molecule_types).to_string(),
+        ]);
+    }
+    finish(
+        "T6",
+        "che_compounds",
+        Repository::Che,
+        &["chembl_id", "pref_name", "protein_class", "organism", "molecule_type"],
+        data,
+        vec![dep(&["pref_name"], "protein_class")],
+        vec![dep(&["protein_class"], "pref_name")],
+        &["protein_class"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T7 — CHE assays: assay type codes determine descriptions.
+pub fn t7_che_assays(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (tcode, tdesc) = g.pick_pair(ASSAY_TYPES);
+        data.push(vec![
+            format!("A{}", g.digits(6)),
+            tcode.to_string(),
+            tdesc.to_string(),
+            g.pick(ORGANISMS).to_string(),
+            g.year(1995, 2019).to_string(),
+        ]);
+    }
+    finish(
+        "T7",
+        "che_assays",
+        Repository::Che,
+        &["assay_id", "assay_type", "assay_type_desc", "organism", "year"],
+        data,
+        vec![
+            dep(&["assay_type"], "assay_type_desc"),
+            dep(&["assay_type_desc"], "assay_type"),
+        ],
+        vec![],
+        &["assay_type_desc"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T8 — CHE targets.
+pub fn t8_che_targets(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let target_types = ["SINGLE PROTEIN", "PROTEIN COMPLEX", "CELL-LINE", "ORGANISM"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (prefix, class) = g.pick_pair(PROTEIN_CLASSES);
+        data.push(vec![
+            format!("T{}", g.digits(5)),
+            format!("{prefix} {}", g.digits(1)),
+            class.to_string(),
+            g.pick(ORGANISMS).to_string(),
+            g.pick(&target_types).to_string(),
+        ]);
+    }
+    finish(
+        "T8",
+        "che_targets",
+        Repository::Che,
+        &["target_id", "target_name", "class_desc", "organism", "target_type"],
+        data,
+        vec![dep(&["target_name"], "class_desc")],
+        vec![dep(&["class_desc"], "target_name")],
+        &["class_desc"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T9 — CHE documents: journals, ISSNs, publishers, DOIs.
+pub fn t9_che_docs(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    // Publisher → DOI registrant prefix.
+    let doi_prefix = |publisher: &str| match publisher {
+        "ACS" => "10.1021",
+        "Elsevier" => "10.1016",
+        "Springer" => "10.1038",
+        "AAAS" => "10.1126",
+        _ => "10.1073",
+    };
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (journal, issn, publisher) =
+            JOURNALS[g.rng.gen_range(0..JOURNALS.len())];
+        data.push(vec![
+            format!("D{}", g.digits(5)),
+            journal.to_string(),
+            issn.to_string(),
+            publisher.to_string(),
+            format!("{}/x{}", doi_prefix(publisher), g.digits(6)),
+            g.year(1990, 2019).to_string(),
+            g.digits(2),
+        ]);
+    }
+    finish(
+        "T9",
+        "che_docs",
+        Repository::Che,
+        &["doc_id", "journal", "issn", "publisher", "doi", "year", "volume"],
+        data,
+        vec![
+            dep(&["journal"], "issn"),
+            dep(&["journal"], "publisher"),
+            dep(&["issn"], "journal"),
+            dep(&["issn"], "publisher"),
+            dep(&["doi"], "publisher"),
+        ],
+        vec![
+            dep(&["journal"], "doi"),
+            dep(&["issn"], "doi"),
+            dep(&["publisher"], "doi"),
+            dep(&["publisher"], "journal"),
+            dep(&["publisher"], "issn"),
+            dep(&["doi"], "journal"),
+            dep(&["doi"], "issn"),
+        ],
+        &["journal", "publisher"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T10 — CHE activities: the paper's `pref_name → protein_class_desc`
+/// example table (858 rows in the paper).
+pub fn t10_che_activities(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    // standard type → units.
+    let standards = [("IC50", "nM"), ("Ki", "nM"), ("EC50", "nM"), ("Inhibition", "%")];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (stype, sunits) = g.pick_pair(&standards);
+        let (prefix, class) = g.pick_pair(PROTEIN_CLASSES);
+        data.push(vec![
+            format!("ACT{}", g.digits(6)),
+            format!("A{}", g.digits(6)),
+            stype.to_string(),
+            sunits.to_string(),
+            format!("{prefix} {}", g.digits(1)),
+            class.to_string(),
+            g.pick(ORGANISMS).to_string(),
+        ]);
+    }
+    finish(
+        "T10",
+        "che_activities",
+        Repository::Che,
+        &[
+            "activity_id",
+            "assay_id",
+            "standard_type",
+            "standard_units",
+            "pref_name",
+            "protein_class_desc",
+            "organism",
+        ],
+        data,
+        vec![
+            dep(&["standard_type"], "standard_units"),
+            dep(&["pref_name"], "protein_class_desc"),
+        ],
+        vec![
+            dep(&["protein_class_desc"], "pref_name"),
+            dep(&["standard_units"], "standard_type"),
+        ],
+        &["standard_units", "protein_class_desc"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T11 — UDW students: admit year embedded in the student ID.
+pub fn t11_udw_students(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let statuses = ["Active", "Graduated", "Leave", "Withdrawn"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let year = g.year(2010, 2019);
+        let (pcode, pname, college) = PROGRAMS[g.rng.gen_range(0..PROGRAMS.len())];
+        data.push(vec![
+            format!("{year}-{}", g.digits(4)),
+            year.to_string(),
+            pcode.to_string(),
+            pname.to_string(),
+            college.to_string(),
+            g.email(),
+            g.pick(&statuses).to_string(),
+        ]);
+    }
+    finish(
+        "T11",
+        "udw_students",
+        Repository::Udw,
+        &[
+            "student_id",
+            "admit_year",
+            "program_code",
+            "program_name",
+            "college",
+            "email",
+            "status",
+        ],
+        data,
+        vec![
+            dep(&["student_id"], "admit_year"),
+            dep(&["program_code"], "program_name"),
+            dep(&["program_code"], "college"),
+            dep(&["program_name"], "program_code"),
+            dep(&["program_name"], "college"),
+        ],
+        vec![dep(&["admit_year"], "student_id")],
+        &["admit_year", "program_name", "college"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T12 — UDW courses: department code embedded in the course code.
+pub fn t12_udw_courses(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let buildings = ["Turing Hall", "Curie Hall", "Noether Hall", "Darwin Hall"];
+    let terms = ["Fall", "Spring", "Summer"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (dcode, dname) = g.pick_pair(COURSE_DEPTS);
+        let level = g.rng.gen_range(1..5u32);
+        let number = level * 100 + g.rng.gen_range(0..100);
+        data.push(vec![
+            format!("{dcode}-{number}"),
+            dcode.to_string(),
+            dname.to_string(),
+            format!("{}00", level),
+            format!("Topics {}", g.digits(3)),
+            g.pick(&buildings).to_string(),
+            g.digits(3),
+            g.pick(&terms).to_string(),
+        ]);
+    }
+    finish(
+        "T12",
+        "udw_courses",
+        Repository::Udw,
+        &[
+            "course_code",
+            "dept_code",
+            "dept_name",
+            "level",
+            "title",
+            "building",
+            "room",
+            "term",
+        ],
+        data,
+        vec![
+            dep(&["course_code"], "dept_code"),
+            dep(&["course_code"], "dept_name"),
+            dep(&["course_code"], "level"),
+            dep(&["dept_code"], "dept_name"),
+            dep(&["dept_name"], "dept_code"),
+        ],
+        vec![
+            dep(&["dept_code"], "course_code"),
+            dep(&["dept_name"], "course_code"),
+        ],
+        &["dept_name", "level"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T13 — UDW employees: the paper's largest table.
+pub fn t13_udw_employees(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let campuses = ["Main", "North", "Medical"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let (dept_code, dept) = g.pick_pair(DEPARTMENTS);
+        let (tcode, tdesc) = g.pick_pair(TITLES);
+        let (_, _, state) = g.zip_city_state();
+        let phone = g.phone_in_state(state);
+        data.push(vec![
+            format!("{dept_code}-{}-{}", g.digits(1), g.digits(3)),
+            dept.to_string(),
+            tcode.to_string(),
+            tdesc.to_string(),
+            phone,
+            state.to_string(),
+            g.pick(&campuses).to_string(),
+        ]);
+    }
+    finish(
+        "T13",
+        "udw_employees",
+        Repository::Udw,
+        &[
+            "employee_id",
+            "department",
+            "title_code",
+            "title_desc",
+            "phone",
+            "state",
+            "campus",
+        ],
+        data,
+        vec![
+            dep(&["employee_id"], "department"),
+            dep(&["title_code"], "title_desc"),
+            dep(&["title_desc"], "title_code"),
+            dep(&["phone"], "state"),
+        ],
+        vec![dep(&["department"], "employee_id")],
+        &["department", "title_desc", "state"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T14 — UDW alumni: names, genders, degrees and geography.
+pub fn t14_udw_alumni(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let first = g.first_name(0.04);
+        let last = g.last_name();
+        let gender = g.gender_for(first, last);
+        let (zip, city, state) = g.zip_city_state();
+        let (dcode, dname) = g.pick_pair(DEGREES);
+        data.push(vec![
+            format!("AL{}", g.digits(6)),
+            format!("{first} {last}"),
+            gender.to_string(),
+            g.year(1980, 2019).to_string(),
+            dcode.to_string(),
+            dname.to_string(),
+            city.to_string(),
+            state.to_string(),
+            zip,
+        ]);
+    }
+    finish(
+        "T14",
+        "udw_alumni",
+        Repository::Udw,
+        &[
+            "alum_id",
+            "full_name",
+            "gender",
+            "grad_year",
+            "degree_code",
+            "degree_name",
+            "city",
+            "state",
+            "zip",
+        ],
+        data,
+        vec![
+            dep(&["full_name"], "gender"),
+            dep(&["degree_code"], "degree_name"),
+            dep(&["degree_name"], "degree_code"),
+            dep(&["zip"], "city"),
+            dep(&["zip"], "state"),
+            dep(&["city"], "state"),
+        ],
+        vec![
+            dep(&["state"], "zip"),
+            dep(&["state"], "city"),
+            dep(&["city"], "zip"),
+        ],
+        &["gender", "degree_name", "city", "state"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// T15 — UDW donors: `Last, First M.` names exactly like Table 3 of the
+/// paper (`Holloway, Donald E.`).
+pub fn t15_udw_donors(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
+    let mut g = Gen::new(seed);
+    let funds = ["ANN", "SCH", "ATH", "LIB", "RES"];
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let first = g.first_name(0.04);
+        let last = g.last_name();
+        let gender = g.gender_for(first, last);
+        let middle = (b'A' + g.rng.gen_range(0..26u8)) as char;
+        let (zip, _, state) = g.zip_city_state();
+        let phone = g.phone_in_state(state);
+        data.push(vec![
+            format!("DN{}", g.digits(6)),
+            format!("{last}, {first} {middle}."),
+            gender.to_string(),
+            phone,
+            state.to_string(),
+            zip,
+            format!("{}-{}", g.pick(&funds), g.digits(2)),
+        ]);
+    }
+    finish(
+        "T15",
+        "udw_donors",
+        Repository::Udw,
+        &["donor_id", "full_name", "gender", "phone", "state", "zip", "fund_code"],
+        data,
+        vec![
+            dep(&["full_name"], "gender"),
+            dep(&["phone"], "state"),
+            dep(&["zip"], "state"),
+        ],
+        vec![
+            dep(&["state"], "zip"),
+            dep(&["phone"], "zip"),
+        ],
+        &["gender", "state"],
+        dirt_rate,
+        seed,
+    )
+}
+
+/// The zip → state table of the controlled evaluation (§5.3, Figures 5 & 6):
+/// ~924 records, states drawn from a 27-state subset like the paper's.
+pub fn zip_state_table(rows: usize, seed: u64) -> Relation {
+    let mut g = Gen::new(seed);
+    let mut rel = Relation::empty(Schema::new("ZipState", ["zip", "state"]).unwrap());
+    for _ in 0..rows {
+        let (zip, _, state) = g.zip_city_state();
+        rel.push_row(vec![zip, state.to_string()]).unwrap();
+    }
+    rel
+}
+
+/// Generate the full 15-table suite at the given scale with natural dirt.
+pub fn standard_suite(scale: Scale, dirt_rate: f64, seed: u64) -> Vec<Dataset> {
+    let generators: [fn(usize, f64, u64) -> Dataset; 15] = [
+        t1_gov_contacts,
+        t2_gov_facilities,
+        t3_gov_licenses,
+        t4_gov_payroll,
+        t5_gov_311,
+        t6_che_compounds,
+        t7_che_assays,
+        t8_che_targets,
+        t9_che_docs,
+        t10_che_activities,
+        t11_udw_students,
+        t12_udw_courses,
+        t13_udw_employees,
+        t14_udw_alumni,
+        t15_udw_donors,
+    ];
+    generators
+        .iter()
+        .enumerate()
+        .map(|(i, gen)| gen(scale.rows(i), dirt_rate, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_core::Pfd;
+
+    /// Every FD-checkable ground-truth dependency must hold as an FD on the
+    /// clean data (partial dependencies hold only at the pattern level).
+    fn assert_ground_truth_holds(ds: &Dataset) {
+        for dep in &ds.fd_checkable {
+            let lhs: Vec<&str> = dep.lhs.iter().map(String::as_str).collect();
+            let fd = Pfd::fd(&ds.name, ds.clean.schema(), &lhs, &[&dep.rhs])
+                .unwrap_or_else(|e| panic!("{}: {e}", ds.id));
+            assert!(
+                fd.satisfies(&ds.clean),
+                "{}: ground truth {:?} → {} violated on clean data",
+                ds.id,
+                dep.lhs,
+                dep.rhs
+            );
+        }
+    }
+
+    #[test]
+    fn all_ground_truths_hold_on_clean_data() {
+        for ds in standard_suite(Scale::Small, 0.0, 42) {
+            assert_ground_truth_holds(&ds);
+        }
+    }
+
+    #[test]
+    fn suite_shape_matches_paper() {
+        let suite = standard_suite(Scale::Small, 0.01, 7);
+        assert_eq!(suite.len(), 15);
+        for (i, ds) in suite.iter().enumerate() {
+            assert_eq!(ds.id, format!("T{}", i + 1));
+            let cols = ds.clean.schema().arity();
+            assert!(
+                (5..=9).contains(&cols),
+                "{}: {} columns out of the paper's 5–9 range",
+                ds.id,
+                cols
+            );
+            assert_eq!(ds.clean.num_rows(), Scale::Small.rows(i));
+            assert_eq!(ds.dirty.num_rows(), ds.clean.num_rows());
+        }
+        // Repository grouping: 5 each.
+        assert_eq!(
+            suite.iter().filter(|d| d.repository == Repository::Gov).count(),
+            5
+        );
+        assert_eq!(
+            suite.iter().filter(|d| d.repository == Repository::Che).count(),
+            5
+        );
+        assert_eq!(
+            suite.iter().filter(|d| d.repository == Repository::Udw).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn dirt_rate_controls_error_count() {
+        let ds = t1_gov_contacts(1000, 0.02, 3);
+        // Some typos may collide (typo == old impossible by construction),
+        // so the count equals the target.
+        assert_eq!(ds.error_cells.len(), 20);
+        // Errors are where dirty differs from clean.
+        for &(row, attr) in &ds.error_cells {
+            assert_ne!(ds.dirty.cell(row, attr), ds.clean.cell(row, attr));
+        }
+    }
+
+    #[test]
+    fn zero_dirt_means_identical_twins() {
+        let ds = t3_gov_licenses(306, 0.0, 3);
+        assert_eq!(ds.clean, ds.dirty);
+        assert!(ds.error_cells.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = t14_udw_alumni(500, 0.02, 99);
+        let b = t14_udw_alumni(500, 0.02, 99);
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.dirty, b.dirty);
+        assert_eq!(a.error_cells, b.error_cells);
+    }
+
+    #[test]
+    fn zip_state_has_consistent_ground_truth() {
+        let rel = zip_state_table(924, 5);
+        assert_eq!(rel.num_rows(), 924);
+        let zip = rel.schema().attr("zip").unwrap();
+        let state = rel.schema().attr("state").unwrap();
+        for (rid, _) in rel.iter_rows() {
+            let prefix = &rel.cell(rid, zip)[..3];
+            let (_, truth) = city_state_of_zip_prefix(prefix).expect("known prefix");
+            assert_eq!(rel.cell(rid, state), truth);
+        }
+    }
+
+    #[test]
+    fn scale_rows_are_clamped() {
+        assert_eq!(Scale::Small.rows(2), 250, "T3 clamps up from 30");
+        assert_eq!(Scale::Small.rows(12), 3000, "T13 clamps down from 10574");
+        assert_eq!(Scale::Paper.rows(12), 105748);
+    }
+
+    #[test]
+    fn t15_names_use_table3_format() {
+        let ds = t15_udw_donors(50, 0.0, 1);
+        let name = ds.clean.schema().attr("full_name").unwrap();
+        for v in ds.clean.column(name) {
+            assert!(v.contains(", "), "{v:?} must be 'Last, First M.'");
+            assert!(v.ends_with('.'), "{v:?} must end with middle initial");
+        }
+    }
+
+    #[test]
+    fn paper_rows_constant_matches_table7() {
+        assert_eq!(PAPER_ROWS[0], 6704);
+        assert_eq!(PAPER_ROWS[12], 105748);
+        assert_eq!(PAPER_ROWS.len(), 15);
+    }
+}

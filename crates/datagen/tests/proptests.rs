@@ -1,0 +1,83 @@
+//! Property-based tests for the dataset generators: ground-truth invariants
+//! must hold for *every* seed and size, not just the fixtures.
+
+use pfd_core::Pfd;
+use pfd_datagen::{
+    inject_errors, pools::ALL_STATES, standard_suite, zip_state_table, Dataset, NoiseMode, Scale,
+};
+use proptest::prelude::*;
+
+fn assert_fd_ground_truth(ds: &Dataset) {
+    for dep in &ds.fd_checkable {
+        let lhs: Vec<&str> = dep.lhs.iter().map(String::as_str).collect();
+        let fd = Pfd::fd(&ds.name, ds.clean.schema(), &lhs, &[&dep.rhs]).unwrap();
+        assert!(
+            fd.satisfies(&ds.clean),
+            "{}: {:?} → {} violated on clean data (seed-dependent bug!)",
+            ds.id,
+            dep.lhs,
+            dep.rhs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ground_truth_holds_for_every_seed(seed in 0u64..1000) {
+        // Generating the full suite is the expensive part; 8 cases × 15
+        // tables at the smallest sizes keeps this fast.
+        for ds in standard_suite(Scale::Small, 0.0, seed) {
+            assert_fd_ground_truth(&ds);
+        }
+    }
+
+    #[test]
+    fn dirt_rate_matches_error_cells(seed in 0u64..1000, rate_pct in 0u32..6) {
+        let rate = rate_pct as f64 / 100.0;
+        let suite = standard_suite(Scale::Small, rate, seed);
+        for ds in &suite {
+            let expected = ((ds.clean.num_rows() as f64) * rate).round() as usize;
+            prop_assert_eq!(ds.error_cells.len(), expected, "{}", ds.id);
+            // Every error cell genuinely differs between the twins.
+            for &(row, attr) in &ds.error_cells {
+                prop_assert_ne!(ds.clean.cell(row, attr), ds.dirty.cell(row, attr));
+            }
+            // And outside the error cells, the twins agree.
+            let errors = ds.error_set();
+            for (rid, _) in ds.clean.iter_rows() {
+                for a in ds.clean.schema().attr_ids() {
+                    if !errors.contains(&(rid, a)) {
+                        prop_assert_eq!(ds.clean.cell(rid, a), ds.dirty.cell(rid, a));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injection_hits_exact_rate_and_mode(seed in 0u64..1000, rate_pct in 1u32..11) {
+        let rate = rate_pct as f64 / 100.0;
+        let base = zip_state_table(500, seed);
+        let state = base.schema().attr("state").unwrap();
+        for mode in [NoiseMode::OutsideActiveDomain, NoiseMode::FromActiveDomain] {
+            let mut dirty = base.clone();
+            let injected = inject_errors(&mut dirty, state, rate, mode, ALL_STATES, seed);
+            let target = ((500f64) * rate).round() as usize;
+            prop_assert!(injected.len() <= target);
+            // Out-of-domain replacements never collide with the active domain.
+            if mode == NoiseMode::OutsideActiveDomain {
+                let active: std::collections::BTreeSet<&str> =
+                    base.column(state).collect();
+                for e in &injected {
+                    prop_assert!(!active.contains(e.dirty.as_str()));
+                }
+            }
+            for e in &injected {
+                prop_assert_eq!(base.cell(e.row, e.attr), &e.clean);
+                prop_assert_eq!(dirty.cell(e.row, e.attr), &e.dirty);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Building constrained-pattern tableau cells from index entries.
+//!
+//! A discovered pattern occurrence `(fragment, position)` shared by a row
+//! set becomes a tableau cell `pre [fragment] post`, with `pre`/`post`
+//! inferred from the actual contexts of the fragment in those rows — e.g.
+//! zip entry `('900', 0)` over rows `{90001, 90002}` yields `[900]\D{2}`,
+//! and token entry `('Donald', run 2)` over `Holloway, Donald E.` yields
+//! `\LU\LL*,\ [Donald]\ \LU.` — the Table 3 shape.
+
+use crate::extract::{context_of, runs};
+use crate::index::IndexEntry;
+use pfd_core::TableauCell;
+use pfd_pattern::{infer_pattern, ConstrainedPattern, Pattern};
+use pfd_relation::{AttrId, Extraction, Relation, RowId};
+
+/// Locate `entry`'s fragment inside one row's value: returns the char start.
+fn occurrence_start(
+    value: &str,
+    entry: &IndexEntry,
+    extraction: Extraction,
+) -> Option<u32> {
+    match extraction {
+        Extraction::NGrams => {
+            // Position is the char offset by construction; verify the
+            // fragment is still there (defensive for mutated relations).
+            let frag_chars = entry.pattern.chars().count();
+            let bounds: Vec<usize> = value
+                .char_indices()
+                .map(|(b, _)| b)
+                .chain(std::iter::once(value.len()))
+                .collect();
+            let start = entry.pos as usize;
+            let end = start + frag_chars;
+            if end >= bounds.len() {
+                return None;
+            }
+            (value[bounds[start]..bounds[end]] == entry.pattern).then_some(entry.pos)
+        }
+        Extraction::Tokenize => runs(value)
+            .into_iter()
+            .find(|r| r.run_idx == entry.pos && !r.is_separator && r.text == entry.pattern)
+            .map(|r| r.char_start),
+    }
+}
+
+/// Infer a context pattern from strings: `ε` when all empty, the inferred
+/// shape otherwise, `\A*` as the conservative fallback.
+fn context_pattern(contexts: &[&str]) -> Pattern {
+    if contexts.iter().all(|c| c.is_empty()) {
+        Pattern::empty()
+    } else {
+        infer_pattern(contexts).unwrap_or_else(Pattern::any_string)
+    }
+}
+
+/// Build the constant constrained-pattern cell for an index entry over the
+/// given rows (usually `entry.rows`, or a subset for multi-LHS joins).
+///
+/// Returns `None` when the fragment cannot be located in some row (should
+/// not happen for rows taken from the index).
+pub fn cell_for_entry(
+    rel: &Relation,
+    attr: AttrId,
+    extraction: Extraction,
+    entry: &IndexEntry,
+    rows: &[RowId],
+) -> Option<TableauCell> {
+    let mut prefixes: Vec<&str> = Vec::with_capacity(rows.len());
+    let mut suffixes: Vec<&str> = Vec::with_capacity(rows.len());
+    for &rid in rows {
+        let value = rel.cell(rid, attr);
+        let start = occurrence_start(value, entry, extraction)?;
+        let (pre, post) = context_of(value, &entry.pattern, start);
+        prefixes.push(pre);
+        suffixes.push(post);
+    }
+    let pre = context_pattern(&prefixes);
+    let post = context_pattern(&suffixes);
+    Some(TableauCell::Pattern(ConstrainedPattern::new(
+        pre,
+        Pattern::constant(&entry.pattern),
+        post,
+    )))
+}
+
+/// Build the *generalized* cell for a set of accepted entries: the
+/// constrained part becomes the least-general pattern over the fragments,
+/// contexts are inferred over all occurrences. When every entry spans its
+/// whole value (empty contexts and the fragments *are* the values), the
+/// wildcard `⊥` is returned instead — whole-value equality, as in the
+/// paper's Example 8 where `country` generalizes to a plain attribute.
+pub fn generalized_cell(
+    rel: &Relation,
+    attr: AttrId,
+    extraction: Extraction,
+    entries: &[&IndexEntry],
+) -> Option<TableauCell> {
+    let mut fragments: Vec<&str> = Vec::new();
+    let mut prefixes: Vec<&str> = Vec::new();
+    let mut suffixes: Vec<&str> = Vec::new();
+    for entry in entries {
+        fragments.push(&entry.pattern);
+        for &rid in &entry.rows {
+            let value = rel.cell(rid, attr);
+            let start = occurrence_start(value, entry, extraction)?;
+            let (pre, post) = context_of(value, &entry.pattern, start);
+            prefixes.push(pre);
+            suffixes.push(post);
+        }
+    }
+    let all_full_value = prefixes.iter().all(|p| p.is_empty())
+        && suffixes.iter().all(|s| s.is_empty());
+    if all_full_value {
+        return Some(TableauCell::Wildcard);
+    }
+    let q = infer_pattern(&fragments)?;
+    Some(TableauCell::Pattern(ConstrainedPattern::new(
+        context_pattern(&prefixes),
+        q,
+        context_pattern(&suffixes),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(col: &str, values: &[&str]) -> (Relation, AttrId) {
+        let rows: Vec<Vec<&str>> = values.iter().map(|v| vec![*v]).collect();
+        let r = Relation::from_rows("T", &[col], rows).unwrap();
+        let a = r.schema().attr(col).unwrap();
+        (r, a)
+    }
+
+    fn entry(pattern: &str, pos: u32, rows: &[RowId]) -> IndexEntry {
+        IndexEntry {
+            pattern: pattern.to_string(),
+            pos,
+            rows: rows.to_vec(),
+        }
+    }
+
+    #[test]
+    fn zip_prefix_cell_matches_paper_lambda3() {
+        let (r, a) = rel("zip", &["90001", "90002", "90099"]);
+        let e = entry("900", 0, &[0, 1, 2]);
+        let cell = cell_for_entry(&r, a, Extraction::NGrams, &e, &e.rows).unwrap();
+        assert_eq!(cell.to_string(), r"[900]\D{2}");
+        assert!(cell.matches("90055"));
+        assert!(!cell.matches("91001"));
+        assert_eq!(cell.key("90055"), Some("900"));
+    }
+
+    #[test]
+    fn first_name_token_cell() {
+        let (r, a) = rel("name", &["Susan Boyle", "Susan Orlean"]);
+        let e = entry("Susan", 0, &[0, 1]);
+        let cell = cell_for_entry(&r, a, Extraction::Tokenize, &e, &e.rows).unwrap();
+        // pre ε, q = Susan, post = inferred over {" Boyle", " Orlean"}.
+        assert!(cell.matches("Susan Boyle"));
+        assert!(cell.matches("Susan Smith"));
+        assert!(!cell.matches("John Boyle"));
+        assert_eq!(cell.key("Susan Smith"), Some("Susan"));
+        assert!(cell.is_constant());
+    }
+
+    #[test]
+    fn table3_name_format_cell() {
+        let (r, a) = rel(
+            "name",
+            &["Holloway, Donald E.", "Jones, Donald R.", "Smith, Donald K."],
+        );
+        let e = entry("Donald", 2, &[0, 1, 2]);
+        let cell = cell_for_entry(&r, a, Extraction::Tokenize, &e, &e.rows).unwrap();
+        assert!(cell.matches("Kimbell, Donald X."));
+        assert!(!cell.matches("Kimbell, David X."));
+        assert_eq!(cell.key("Kimbell, Donald X."), Some("Donald"));
+    }
+
+    #[test]
+    fn full_value_cell_has_empty_contexts() {
+        let (r, a) = rel("gender", &["M", "M"]);
+        let e = entry("M", 0, &[0, 1]);
+        let cell = cell_for_entry(&r, a, Extraction::NGrams, &e, &e.rows).unwrap();
+        assert_eq!(cell.to_string(), "M");
+        assert_eq!(cell.constant_value().as_deref(), Some("M"));
+    }
+
+    #[test]
+    fn generalized_cell_over_zip_prefixes() {
+        let (r, a) = rel("zip", &["90001", "90002", "60601", "60602"]);
+        let e1 = entry("900", 0, &[0, 1]);
+        let e2 = entry("606", 0, &[2, 3]);
+        let cell = generalized_cell(&r, a, Extraction::NGrams, &[&e1, &e2]).unwrap();
+        // λ5: [\D{3}]\D{2}.
+        assert_eq!(cell.to_string(), r"[\D{3}]\D{2}");
+        assert!(cell.equivalent("90001", "90099"));
+        assert!(!cell.equivalent("90001", "60601"));
+    }
+
+    #[test]
+    fn generalized_cell_over_first_names() {
+        let (r, a) = rel(
+            "name",
+            &["Tayseer Fahmi", "Tayseer Qasem", "Noor Wagdi", "Esmat Qadhi"],
+        );
+        let e1 = entry("Tayseer", 0, &[0, 1]);
+        let e2 = entry("Noor", 0, &[2]);
+        let e3 = entry("Esmat", 0, &[3]);
+        let cell = generalized_cell(&r, a, Extraction::Tokenize, &[&e1, &e2, &e3]).unwrap();
+        // The paper's λ: first token \LU\LL* … constrained.
+        assert!(cell.matches("Tayseer Salem"));
+        assert!(cell.equivalent("Tayseer Fahmi", "Tayseer Qasem"));
+        assert!(!cell.equivalent("Tayseer Fahmi", "Noor Wagdi"));
+        assert!(!cell.is_constant());
+    }
+
+    #[test]
+    fn generalized_full_value_entries_become_wildcard() {
+        // Example 8: country values generalize to ⊥ (whole-value equality).
+        let (r, a) = rel("country", &["Egypt", "Yemen"]);
+        let e1 = entry("Egypt", 0, &[0]);
+        let e2 = entry("Yemen", 0, &[1]);
+        let cell = generalized_cell(&r, a, Extraction::NGrams, &[&e1, &e2]).unwrap();
+        assert!(cell.is_wildcard());
+    }
+
+    #[test]
+    fn missing_occurrence_returns_none() {
+        let (r, a) = rel("zip", &["90001"]);
+        let e = entry("999", 0, &[0]);
+        assert!(cell_for_entry(&r, a, Extraction::NGrams, &e, &[0]).is_none());
+    }
+
+    #[test]
+    fn ngram_occurrence_at_value_end() {
+        let (r, a) = rel("zip", &["90001", "91001"]);
+        let e = entry("001", 2, &[0, 1]);
+        let cell = cell_for_entry(&r, a, Extraction::NGrams, &e, &e.rows).unwrap();
+        assert!(cell.matches("92001"));
+        assert_eq!(cell.key("92001"), Some("001"));
+    }
+}

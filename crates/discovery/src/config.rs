@@ -1,0 +1,106 @@
+//! Discovery configuration: the paper's parameters and ablation switches.
+
+/// Parameters of the discovery algorithm (Fig. 4) and the practical
+/// restrictions of §4.2.
+///
+/// Defaults follow §5.1: "We fixed the minimum coverage to report a
+/// dependency to 10%, the allowed noise to 5%, and the minimum number of
+/// records that contain the pattern in each reported PFD to 5."
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// `K` — minimum number of records matching a pattern for it to enter
+    /// the tableau (restriction iii-a).
+    pub min_support: usize,
+    /// `δ` — ratio of allowed violations (restriction iii-b): a pattern
+    /// `p1 → p2` is accepted when `p2` holds on at least `(1-δ)·n` of the
+    /// `n` records matching `p1`.
+    pub noise_ratio: f64,
+    /// `γ` — minimum coverage, as a fraction of the table's rows, for an
+    /// embedded dependency to be reported (restriction ii).
+    pub min_coverage: f64,
+    /// Maximum LHS size. 1 reproduces the paper's main experiments; 2+
+    /// enables the attribute-set lattice (the "Multi-LHS" row of Table 7).
+    pub max_lhs: usize,
+    /// Attempt constant → variable generalization (§4.3 `Generalize`).
+    pub generalize: bool,
+    /// Prune quantitative columns, keeping code-like integers (§5.4).
+    pub prune_numeric: bool,
+    /// §4.4 substring pruning in the inverted index.
+    pub substring_pruning: bool,
+    /// §4.4 single-semantics position grouping.
+    pub single_semantics: bool,
+    /// Reject RHS patterns that are quasi-constant across the *whole* table
+    /// (global frequency ≥ [`DiscoveryConfig::rhs_uninformative_fraction`])
+    /// — such patterns describe the column's format and hold regardless of
+    /// the LHS (the restriction-ii observation that "we may always be able
+    /// to find at least one PFD between any two attributes").
+    pub rhs_informative: bool,
+    /// Global-frequency threshold above which an RHS pattern counts as
+    /// format rather than dependency.
+    pub rhs_uninformative_fraction: f64,
+    /// Process candidate dependencies on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            min_support: 5,
+            noise_ratio: 0.05,
+            min_coverage: 0.10,
+            max_lhs: 1,
+            generalize: true,
+            prune_numeric: true,
+            substring_pruning: true,
+            single_semantics: true,
+            rhs_informative: true,
+            rhs_uninformative_fraction: 0.85,
+            parallel: false,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Minimum agreeing records for a pattern pair over `n` LHS matches:
+    /// `n - ⌊n·δ⌋` (§4.2 restriction iii).
+    pub fn required_agreement(&self, n: usize) -> usize {
+        n - ((n as f64) * self.noise_ratio).floor() as usize
+    }
+
+    /// Minimum covered rows for a dependency over an `n`-row table.
+    pub fn required_coverage(&self, n: usize) -> usize {
+        ((n as f64) * self.min_coverage).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_section_5_1() {
+        let c = DiscoveryConfig::default();
+        assert_eq!(c.min_support, 5);
+        assert!((c.noise_ratio - 0.05).abs() < 1e-12);
+        assert!((c.min_coverage - 0.10).abs() < 1e-12);
+        assert_eq!(c.max_lhs, 1);
+    }
+
+    #[test]
+    fn required_agreement_examples() {
+        let c = DiscoveryConfig {
+            noise_ratio: 0.05,
+            ..DiscoveryConfig::default()
+        };
+        assert_eq!(c.required_agreement(100), 95);
+        assert_eq!(c.required_agreement(10), 10, "δ=5% of 10 floors to 0");
+        assert_eq!(c.required_agreement(20), 19);
+    }
+
+    #[test]
+    fn required_coverage_rounds_up() {
+        let c = DiscoveryConfig::default();
+        assert_eq!(c.required_coverage(1000), 100);
+        assert_eq!(c.required_coverage(305), 31);
+    }
+}

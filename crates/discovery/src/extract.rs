@@ -1,0 +1,235 @@
+//! Partial-pattern extraction: tokenization and n-grams (§4.2 restriction i,
+//! §4.3 lines 2–3).
+//!
+//! Special characters "often provide strong signals to extract meaningful
+//! substrings" — `Tokenize` splits on them, keeping **run positions** (the
+//! paper's Example 8 records `('Tayseer', 0)` and `('Fahmi', 2)`: separators
+//! occupy their own run slots). Attributes without separators use `NGrams`:
+//! all substrings, keyed by character position.
+
+/// A maximal run of token or separator characters in a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run<'v> {
+    /// The run's text.
+    pub text: &'v str,
+    /// Separator run (true) or token run (false).
+    pub is_separator: bool,
+    /// Index of the run within the value (tokens and separators both count).
+    pub run_idx: u32,
+    /// Character (not byte) offset of the run start.
+    pub char_start: u32,
+}
+
+fn is_separator_char(c: char) -> bool {
+    !c.is_alphanumeric() && !matches!(c, '\'' | '’')
+}
+
+/// Split a value into runs.
+pub fn runs(value: &str) -> Vec<Run<'_>> {
+    let mut out = Vec::new();
+    let mut run_start_byte = 0usize;
+    let mut run_start_char = 0u32;
+    let mut current_is_sep: Option<bool> = None;
+
+    for (char_idx, (byte_idx, c)) in value.char_indices().enumerate() {
+        let sep = is_separator_char(c);
+        match current_is_sep {
+            None => current_is_sep = Some(sep),
+            Some(prev) if prev == sep => {}
+            Some(prev) => {
+                out.push(Run {
+                    text: &value[run_start_byte..byte_idx],
+                    is_separator: prev,
+                    run_idx: out.len() as u32,
+                    char_start: run_start_char,
+                });
+                run_start_byte = byte_idx;
+                run_start_char = char_idx as u32;
+                current_is_sep = Some(sep);
+            }
+        }
+    }
+    if let Some(prev) = current_is_sep {
+        out.push(Run {
+            text: &value[run_start_byte..],
+            is_separator: prev,
+            run_idx: out.len() as u32,
+            char_start: run_start_char,
+        });
+    }
+    out
+}
+
+/// The token runs of a value: `(token, run index)` pairs.
+pub fn tokens(value: &str) -> Vec<(&str, u32)> {
+    runs(value)
+        .into_iter()
+        .filter(|r| !r.is_separator)
+        .map(|r| (r.text, r.run_idx))
+        .collect()
+}
+
+/// Values longer than this enumerate only prefix/suffix grams plus the full
+/// value (an engineering bound: all-substring enumeration is quadratic, and
+/// the partial patterns that drive real PFDs — zip prefixes, area codes,
+/// DOI registrants — are overwhelmingly affix-anchored; genuinely
+/// mid-anchored patterns live in separator-bearing columns, which tokenize).
+pub const FULL_NGRAM_LEN: usize = 12;
+
+/// All n-grams of a value with their character start positions.
+///
+/// Values of up to [`FULL_NGRAM_LEN`] characters yield every substring
+/// (`L(L+1)/2` of them); longer values yield prefixes, suffixes and the full
+/// value only.
+pub fn ngrams(value: &str) -> Vec<(&str, u32)> {
+    let char_count = value.chars().count();
+    if char_count == 0 {
+        return Vec::new();
+    }
+    // Byte offsets of char boundaries.
+    let bounds: Vec<usize> = value
+        .char_indices()
+        .map(|(b, _)| b)
+        .chain(std::iter::once(value.len()))
+        .collect();
+    let mut out = Vec::new();
+    if char_count <= FULL_NGRAM_LEN {
+        for i in 0..char_count {
+            for j in (i + 1)..=char_count {
+                out.push((&value[bounds[i]..bounds[j]], i as u32));
+            }
+        }
+    } else {
+        // Prefixes.
+        for j in 1..=char_count {
+            out.push((&value[..bounds[j]], 0));
+        }
+        // Suffixes (the full value is already in the prefixes).
+        for i in 1..char_count {
+            out.push((&value[bounds[i]..], i as u32));
+        }
+    }
+    out
+}
+
+/// The `(prefix, suffix)` around a token run or n-gram occurrence, needed to
+/// build the constrained pattern `pre [q] post` for an index entry.
+pub fn context_of<'v>(value: &'v str, fragment: &str, char_start: u32) -> (&'v str, &'v str) {
+    let bounds: Vec<usize> = value
+        .char_indices()
+        .map(|(b, _)| b)
+        .chain(std::iter::once(value.len()))
+        .collect();
+    let start = char_start as usize;
+    let end = start + fragment.chars().count();
+    (&value[..bounds[start]], &value[bounds[end]..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_of_full_name() {
+        let rs = runs("Tayseer Fahmi");
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].text, "Tayseer");
+        assert!(!rs[0].is_separator);
+        assert_eq!(rs[1].text, " ");
+        assert!(rs[1].is_separator);
+        assert_eq!(rs[2].text, "Fahmi");
+        assert_eq!(rs[2].run_idx, 2);
+        assert_eq!(rs[2].char_start, 8);
+    }
+
+    #[test]
+    fn tokens_match_paper_example8() {
+        // ((‘Tayseer’, 0), …) and ((‘Fahmi’, 2), …).
+        assert_eq!(tokens("Tayseer Fahmi"), vec![("Tayseer", 0), ("Fahmi", 2)]);
+    }
+
+    #[test]
+    fn tokens_of_table3_name_format() {
+        // "Holloway, Donald E." → Holloway(0), Donald(2), E(4).
+        let ts = tokens("Holloway, Donald E.");
+        assert_eq!(ts, vec![("Holloway", 0), ("Donald", 2), ("E", 4)]);
+    }
+
+    #[test]
+    fn tokens_of_employee_id() {
+        assert_eq!(tokens("F-9-107"), vec![("F", 0), ("9", 2), ("107", 4)]);
+    }
+
+    #[test]
+    fn consecutive_separators_form_one_run() {
+        let rs = runs("a, b");
+        assert_eq!(rs[1].text, ", ");
+        assert_eq!(tokens("a, b"), vec![("a", 0), ("b", 2)]);
+    }
+
+    #[test]
+    fn apostrophes_stay_inside_tokens() {
+        assert_eq!(tokens("O'Brien Lee"), vec![("O'Brien", 0), ("Lee", 2)]);
+    }
+
+    #[test]
+    fn empty_and_all_separator_values() {
+        assert!(runs("").is_empty());
+        assert!(tokens("---").is_empty());
+        assert_eq!(runs("--").len(), 1);
+    }
+
+    #[test]
+    fn ngrams_of_short_value() {
+        let gs = ngrams("abc");
+        // All 6 substrings.
+        assert_eq!(
+            gs,
+            vec![
+                ("a", 0),
+                ("ab", 0),
+                ("abc", 0),
+                ("b", 1),
+                ("bc", 1),
+                ("c", 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn ngrams_of_zip() {
+        let gs = ngrams("90001");
+        assert_eq!(gs.len(), 15);
+        assert!(gs.contains(&("900", 0)));
+        assert!(gs.contains(&("90001", 0)));
+        assert!(gs.contains(&("001", 2)));
+    }
+
+    #[test]
+    fn long_values_use_affixes_only() {
+        let v = "abcdefghijklmnop"; // 16 chars > FULL_NGRAM_LEN
+        let gs = ngrams(v);
+        // 16 prefixes + 15 suffixes.
+        assert_eq!(gs.len(), 31);
+        assert!(gs.contains(&("abc", 0)));
+        assert!(gs.contains(&("nop", 13)));
+        assert!(gs.contains(&(v, 0)));
+        assert!(!gs.contains(&("cde", 2)), "no mid-grams for long values");
+    }
+
+    #[test]
+    fn context_extraction() {
+        assert_eq!(context_of("90001", "900", 0), ("", "01"));
+        assert_eq!(context_of("Susan Boyle", "Susan", 0), ("", " Boyle"));
+        assert_eq!(
+            context_of("Holloway, Donald E.", "Donald", 10),
+            ("Holloway, ", " E.")
+        );
+    }
+
+    #[test]
+    fn context_with_unicode() {
+        assert_eq!(context_of("Éric Blanc", "Éric", 0), ("", " Blanc"));
+        assert_eq!(context_of("Éric Blanc", "Blanc", 5), ("Éric ", ""));
+    }
+}

@@ -1,0 +1,318 @@
+//! The positional inverted index (Fig. 4 lines 5–12, §5.4).
+//!
+//! Per attribute, a hash-based inverted list maps `(pattern, position)` to
+//! the row ids containing that pattern at that position; a second index maps
+//! each row back to its entries ("allows for fast retrieval of the patterns
+//! and hence a shorter running time", §5.4). **Substring pruning** (§4.4)
+//! drops entries that are substrings of another entry with the same row set,
+//! keeping the most specific — e.g. `('Egy', 0)` collapses into
+//! `('Egypt', 0)` in the paper's Example 8.
+
+use crate::extract::{ngrams, tokens};
+use pfd_relation::{AttrId, Extraction, Relation, RowId};
+use std::collections::HashMap;
+
+/// One index entry: a pattern occurrence shared by a set of rows.
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// The shared fragment (token or n-gram).
+    pub pattern: String,
+    /// Run index (tokenize) or character offset (n-grams).
+    pub pos: u32,
+    /// Sorted, deduplicated row ids.
+    pub rows: Vec<RowId>,
+}
+
+impl IndexEntry {
+    /// Number of rows containing the fragment at this position.
+    pub fn support(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The per-attribute index.
+#[derive(Debug, Clone)]
+pub struct AttrIndex {
+    /// The indexed attribute.
+    pub attr: AttrId,
+    /// How fragments were extracted.
+    pub extraction: Extraction,
+    /// The pruned entry list, ordered by support.
+    pub entries: Vec<IndexEntry>,
+    /// Row → indices into `entries` (the §5.4 second index).
+    pub row_entries: Vec<Vec<u32>>,
+}
+
+/// Index construction options (ablation switches of DESIGN.md §7).
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// §4.4 substring pruning.
+    pub substring_pruning: bool,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            substring_pruning: true,
+        }
+    }
+}
+
+/// Build the inverted index for one attribute.
+pub fn build_index(
+    rel: &Relation,
+    attr: AttrId,
+    extraction: Extraction,
+    options: &IndexOptions,
+) -> AttrIndex {
+    let mut map: HashMap<(String, u32), Vec<RowId>> = HashMap::new();
+    for (rid, _) in rel.iter_rows() {
+        let value = rel.cell(rid, attr);
+        let fragments: Vec<(&str, u32)> = match extraction {
+            Extraction::Tokenize => tokens(value),
+            Extraction::NGrams => ngrams(value),
+        };
+        for (frag, pos) in fragments {
+            let rows = map.entry((frag.to_string(), pos)).or_default();
+            if rows.last() != Some(&rid) {
+                rows.push(rid);
+            }
+        }
+    }
+
+    let mut entries: Vec<IndexEntry> = map
+        .into_iter()
+        .map(|((pattern, pos), rows)| IndexEntry { pattern, pos, rows })
+        .collect();
+    // Deterministic order: by support desc, then pattern, then pos.
+    entries.sort_by(|a, b| {
+        b.rows
+            .len()
+            .cmp(&a.rows.len())
+            .then_with(|| a.pattern.cmp(&b.pattern))
+            .then_with(|| a.pos.cmp(&b.pos))
+    });
+
+    if options.substring_pruning {
+        entries = prune_substrings(entries);
+    }
+
+    let mut row_entries: Vec<Vec<u32>> = vec![Vec::new(); rel.num_rows()];
+    for (ei, e) in entries.iter().enumerate() {
+        for &rid in &e.rows {
+            row_entries[rid].push(ei as u32);
+        }
+    }
+
+    AttrIndex {
+        attr,
+        extraction,
+        entries,
+        row_entries,
+    }
+}
+
+/// §4.4 substring pruning: within groups of entries sharing the same row
+/// set, keep only entries that are not substrings of another kept entry
+/// ("we pick the most specific one").
+fn prune_substrings(entries: Vec<IndexEntry>) -> Vec<IndexEntry> {
+    // Group by row set.
+    let mut groups: HashMap<&[RowId], Vec<usize>> = HashMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        groups.entry(e.rows.as_slice()).or_default().push(i);
+    }
+    let mut keep = vec![true; entries.len()];
+    for group in groups.values() {
+        // Longest first; drop members that are substrings of a kept longer
+        // member of the same group.
+        let mut by_len: Vec<usize> = group.clone();
+        by_len.sort_by_key(|&i| std::cmp::Reverse(entries[i].pattern.len()));
+        for (a_rank, &a) in by_len.iter().enumerate() {
+            if !keep[a] {
+                continue;
+            }
+            for &b in &by_len[a_rank + 1..] {
+                if keep[b]
+                    && entries[b].pattern.len() < entries[a].pattern.len()
+                    && entries[a].pattern.contains(&entries[b].pattern)
+                {
+                    keep[b] = false;
+                }
+            }
+        }
+    }
+    entries
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(e, _)| e)
+        .collect()
+}
+
+/// The most frequent entries of `index` among a row subset: returns
+/// `(entry index, count within subset)` for entries with `count ≥ min`,
+/// sorted by count descending then pattern length descending (prefer the
+/// most specific of equally frequent patterns — the C3 countermeasure).
+pub fn frequent_within(index: &AttrIndex, rows: &[RowId], min: usize) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &rid in rows {
+        for &ei in &index.row_entries[rid] {
+            *counts.entry(ei).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(u32, usize)> = counts.into_iter().filter(|(_, c)| *c >= min).collect();
+    out.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| {
+                let pa = &index.entries[a.0 as usize].pattern;
+                let pb = &index.entries[b.0 as usize].pattern;
+                pb.chars().count().cmp(&pa.chars().count())
+            })
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(col: &str, values: &[&str]) -> (Relation, AttrId) {
+        let rows: Vec<Vec<&str>> = values.iter().map(|v| vec![*v]).collect();
+        let r = Relation::from_rows("T", &[col], rows).unwrap();
+        let a = r.schema().attr(col).unwrap();
+        (r, a)
+    }
+
+    #[test]
+    fn example8_country_collapses_to_full_values() {
+        // §4.3 Example 8: n-grams of country reduce to two entries after
+        // substring pruning because every substring has the same row set.
+        let (r, a) = rel(
+            "country",
+            &[
+                "Egypt", "Yemen", "Egypt", "Yemen", "Egypt", "Yemen", "Egypt", "Yemen", "Yemen",
+                "Egypt",
+            ],
+        );
+        let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
+        assert_eq!(idx.entries.len(), 2, "{:?}", idx.entries);
+        let mut pats: Vec<&str> = idx.entries.iter().map(|e| e.pattern.as_str()).collect();
+        pats.sort_unstable();
+        assert_eq!(pats, vec!["Egypt", "Yemen"]);
+    }
+
+    #[test]
+    fn without_pruning_substrings_remain() {
+        let (r, a) = rel("country", &["Egypt", "Egypt"]);
+        let idx = build_index(
+            &r,
+            a,
+            Extraction::NGrams,
+            &IndexOptions {
+                substring_pruning: false,
+            },
+        );
+        // 5 chars → 15 grams.
+        assert_eq!(idx.entries.len(), 15);
+    }
+
+    #[test]
+    fn zip_prefixes_survive_pruning() {
+        // "900" spans rows {0,1,2} while "9000" spans only {0,1}: distinct
+        // row sets, so both survive. Full values survive as singletons.
+        let (r, a) = rel("zip", &["90001", "90002", "90091"]);
+        let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
+        let e900 = idx
+            .entries
+            .iter()
+            .find(|e| e.pattern == "900" && e.pos == 0)
+            .expect("900 prefix kept");
+        assert_eq!(e900.rows, vec![0, 1, 2]);
+        assert!(idx.entries.iter().any(|e| e.pattern == "90001"));
+        // "90" has the same row set as "900" and is its substring: pruned.
+        assert!(!idx
+            .entries
+            .iter()
+            .any(|e| e.pattern == "90" && e.pos == 0));
+    }
+
+    #[test]
+    fn token_index_keeps_positions() {
+        let (r, a) = rel(
+            "name",
+            &["Tayseer Fahmi", "Tayseer Qasem", "Noor Wagdi", "Tayseer Salem"],
+        );
+        let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
+        let tayseer = idx
+            .entries
+            .iter()
+            .find(|e| e.pattern == "Tayseer")
+            .unwrap();
+        assert_eq!(tayseer.pos, 0);
+        assert_eq!(tayseer.rows, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn row_entries_reverse_index() {
+        let (r, a) = rel("name", &["John Smith", "John Jones"]);
+        let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
+        for (rid, entry_ids) in idx.row_entries.iter().enumerate() {
+            for &ei in entry_ids {
+                assert!(
+                    idx.entries[ei as usize].rows.contains(&rid),
+                    "reverse index must agree with forward index"
+                );
+            }
+        }
+        // John appears in both rows, so both rows list it.
+        let john = idx
+            .entries
+            .iter()
+            .position(|e| e.pattern == "John")
+            .unwrap() as u32;
+        assert!(idx.row_entries[0].contains(&john));
+        assert!(idx.row_entries[1].contains(&john));
+    }
+
+    #[test]
+    fn frequent_within_counts_and_ranks() {
+        let (r, a) = rel(
+            "city",
+            &["Los Angeles", "Los Angeles", "Los Angeles", "New York"],
+        );
+        let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
+        let top = frequent_within(&idx, &[0, 1, 2, 3], 2);
+        assert!(!top.is_empty());
+        // The dominant pattern among all four rows is a Los Angeles token
+        // with count 3.
+        let (ei, count) = top[0];
+        assert_eq!(count, 3);
+        let p = &idx.entries[ei as usize].pattern;
+        assert!(p == "Los" || p == "Angeles", "{p}");
+        // Restricting to the New York row flips the result.
+        let top_ny = frequent_within(&idx, &[3], 1);
+        let p_ny = &idx.entries[top_ny[0].0 as usize].pattern;
+        assert!(p_ny == "New" || p_ny == "York");
+    }
+
+    #[test]
+    fn duplicate_fragments_in_one_row_count_once() {
+        // "ana" contains gram "a" twice at different positions — but the
+        // same (fragment, pos) key never double-counts a row.
+        let (r, a) = rel("x", &["aa"]);
+        let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
+        for e in &idx.entries {
+            let mut sorted = e.rows.clone();
+            sorted.dedup();
+            assert_eq!(sorted, e.rows);
+        }
+    }
+
+    #[test]
+    fn empty_values_produce_no_entries() {
+        let (r, a) = rel("x", &["", ""]);
+        let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
+        assert!(idx.entries.is_empty());
+    }
+}

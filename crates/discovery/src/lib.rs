@@ -1,0 +1,51 @@
+//! # `pfd-discovery` — automatic discovery of PFDs from dirty data
+//!
+//! The discovery algorithm of §4 of *“Pattern Functional Dependencies for
+//! Data Cleaning”* (PVLDB 13(5), 2020), Fig. 4, with the practical
+//! restrictions of §4.2 and the optimizations of §4.4/§5.4:
+//!
+//! - attribute profiling with numeric pruning (codes like zips are kept);
+//! - per-attribute **tokenize vs n-grams** extraction;
+//! - positional inverted indexes with **substring pruning** and a row →
+//!   patterns reverse index;
+//! - the decision function with minimum support `K`, allowed-noise ratio
+//!   `δ` and minimum coverage `γ`;
+//! - **single-semantics** position grouping;
+//! - constant → variable PFD **generalization** with re-verification;
+//! - the attribute-set lattice for multi-attribute LHS candidates.
+//!
+//! ```
+//! use pfd_discovery::{discover, DiscoveryConfig};
+//! use pfd_relation::Relation;
+//!
+//! let rel = Relation::from_rows(
+//!     "Zip",
+//!     &["zip", "city"],
+//!     (0..8).map(|i| if i < 4 {
+//!         vec![format!("9000{i}"), "Los Angeles".to_string()]
+//!     } else {
+//!         vec![format!("6060{i}"), "Chicago".to_string()]
+//!     }).collect(),
+//! ).unwrap();
+//!
+//! let config = DiscoveryConfig { min_support: 2, ..DiscoveryConfig::default() };
+//! let result = discover(&rel, &config);
+//! assert!(!result.dependencies.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod cells;
+pub mod config;
+pub mod extract;
+pub mod index;
+pub mod review;
+
+pub use algorithm::{
+    discover, DependencyKind, DiscoveredDependency, DiscoveryResult, DiscoveryStats,
+};
+pub use config::DiscoveryConfig;
+pub use extract::{ngrams, runs, tokens, Run};
+pub use index::{build_index, frequent_within, AttrIndex, IndexEntry, IndexOptions};
+pub use review::{review_queue, ReviewItem};

@@ -1,0 +1,203 @@
+//! Human-review ranking for discovered PFDs (§4.5).
+//!
+//! "Compared with asking a human to manually provide PFDs, discovering
+//! candidate PFDs and then involving a human to select genuine ones is more
+//! practical in terms of the required human effort." This module orders the
+//! discovered dependencies so the expert sees the highest-yield candidates
+//! first, and attaches the evidence they need for the accept/reject call:
+//! coverage, support, violation counts, and sample matching/violating rows.
+
+use crate::algorithm::{DependencyKind, DiscoveredDependency};
+use pfd_relation::{Relation, RowId};
+
+/// Evidence pack for one candidate dependency.
+#[derive(Debug, Clone)]
+pub struct ReviewItem {
+    /// The candidate under review.
+    pub dependency: DiscoveredDependency,
+    /// Fraction of rows the tableau's LHS patterns cover.
+    pub coverage_fraction: f64,
+    /// Rows currently violating the PFD (suspect cells for the expert).
+    pub violation_count: usize,
+    /// A few matching rows, as evidence the patterns mean something.
+    pub sample_matches: Vec<RowId>,
+    /// A few violating rows, as the cost of accepting the rule.
+    pub sample_violations: Vec<RowId>,
+    /// The ranking score (higher = review first).
+    pub score: f64,
+}
+
+impl ReviewItem {
+    /// One-line summary for a review UI.
+    pub fn summary(&self, rel: &Relation) -> String {
+        let (lhs, rhs) = self.dependency.embedded_names(rel);
+        format!(
+            "{:?} → {} [{}] coverage {:.0}%, {} tableau rows, {} suspects, score {:.2}",
+            lhs,
+            rhs,
+            match self.dependency.kind {
+                DependencyKind::Constant => "constant",
+                DependencyKind::Variable => "variable",
+            },
+            self.coverage_fraction * 100.0,
+            self.dependency.pfd.tableau().len(),
+            self.violation_count,
+            self.score
+        )
+    }
+}
+
+/// How many sample rows to attach per item.
+const SAMPLES: usize = 3;
+
+/// Build the review queue: score and sort the discovered dependencies.
+///
+/// The score favors high coverage (broadly applicable rules first), variable
+/// PFDs (one generalized rule replaces many constants — less to review), and
+/// *some* violations (a rule that flags nothing cleans nothing), while
+/// penalizing violation floods (likely a false dependency).
+pub fn review_queue(rel: &Relation, dependencies: &[DiscoveredDependency]) -> Vec<ReviewItem> {
+    let n = rel.num_rows().max(1);
+    let mut items: Vec<ReviewItem> = dependencies
+        .iter()
+        .map(|dep| {
+            let violations = dep.pfd.violations(rel);
+            let mut violating_rows: Vec<RowId> = violations
+                .iter()
+                .map(|v| *v.rows().last().expect("violations carry rows"))
+                .collect();
+            violating_rows.sort_unstable();
+            violating_rows.dedup();
+
+            // Sample matches: first rows matching any tableau row's LHS.
+            let mut sample_matches = Vec::new();
+            'rows: for (rid, _) in rel.iter_rows() {
+                for (i, row) in dep.pfd.tableau().iter().enumerate() {
+                    let all = dep
+                        .pfd
+                        .lhs()
+                        .iter()
+                        .zip(&row.lhs)
+                        .all(|(a, cell)| cell.matches(rel.cell(rid, *a)));
+                    if all {
+                        sample_matches.push(rid);
+                        if sample_matches.len() >= SAMPLES {
+                            break 'rows;
+                        }
+                        break;
+                    }
+                    let _ = i;
+                }
+            }
+
+            let coverage_fraction = dep.coverage as f64 / n as f64;
+            let violation_fraction = violating_rows.len() as f64 / n as f64;
+            let kind_bonus = match dep.kind {
+                DependencyKind::Variable => 0.25,
+                DependencyKind::Constant => 0.0,
+            };
+            // Peak usefulness around a few suspects; floods are suspicious.
+            let suspect_signal = if violating_rows.is_empty() {
+                0.0
+            } else if violation_fraction <= 0.05 {
+                0.3
+            } else {
+                0.3 - (violation_fraction - 0.05).min(0.3)
+            };
+            let score = coverage_fraction + kind_bonus + suspect_signal;
+
+            ReviewItem {
+                dependency: dep.clone(),
+                coverage_fraction,
+                violation_count: violating_rows.len(),
+                sample_matches,
+                sample_violations: violating_rows.into_iter().take(SAMPLES).collect(),
+                score,
+            }
+        })
+        .collect();
+    items.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.dependency.rhs.cmp(&b.dependency.rhs))
+            .then_with(|| a.dependency.lhs.cmp(&b.dependency.lhs))
+    });
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::discover;
+    use crate::config::DiscoveryConfig;
+    use pfd_relation::Schema;
+
+    fn dirty_zip_table() -> Relation {
+        let mut rel = Relation::empty(Schema::new("Zip", ["zip", "city"]).unwrap());
+        for i in 0..10 {
+            rel.push_row(vec![format!("900{i:02}"), "Los Angeles".into()])
+                .unwrap();
+            rel.push_row(vec![format!("606{i:02}"), "Chicago".into()])
+                .unwrap();
+        }
+        // One typo.
+        rel.set_cell(3, pfd_relation::AttrId(1), "Los Angeels".into())
+            .unwrap();
+        rel
+    }
+
+    #[test]
+    fn queue_is_sorted_by_score() {
+        let rel = dirty_zip_table();
+        let result = discover(
+            &rel,
+            &DiscoveryConfig {
+                min_support: 2,
+                noise_ratio: 0.10,
+                ..DiscoveryConfig::default()
+            },
+        );
+        let queue = review_queue(&rel, &result.dependencies);
+        assert!(!queue.is_empty());
+        for pair in queue.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn items_carry_evidence() {
+        let rel = dirty_zip_table();
+        let result = discover(
+            &rel,
+            &DiscoveryConfig {
+                min_support: 2,
+                noise_ratio: 0.10,
+                ..DiscoveryConfig::default()
+            },
+        );
+        let queue = review_queue(&rel, &result.dependencies);
+        let zip_city = queue
+            .iter()
+            .find(|item| {
+                let (lhs, rhs) = item.dependency.embedded_names(&rel);
+                lhs == vec!["zip".to_string()] && rhs == "city"
+            })
+            .expect("zip → city in queue");
+        assert!(zip_city.coverage_fraction > 0.5);
+        assert!(!zip_city.sample_matches.is_empty());
+        assert!(
+            zip_city.violation_count >= 1,
+            "the typo shows up as a suspect"
+        );
+        let summary = zip_city.summary(&rel);
+        assert!(summary.contains("zip"), "{summary}");
+        assert!(summary.contains("city"), "{summary}");
+    }
+
+    #[test]
+    fn empty_input_empty_queue() {
+        let rel = dirty_zip_table();
+        assert!(review_queue(&rel, &[]).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Adversarial and degenerate inputs for the discovery pipeline: the
+//! failure-injection suite. None of these may panic; most must simply find
+//! nothing.
+
+use pfd_discovery::{discover, DiscoveryConfig};
+use pfd_relation::{Relation, Schema};
+
+fn config() -> DiscoveryConfig {
+    DiscoveryConfig {
+        min_support: 2,
+        ..DiscoveryConfig::default()
+    }
+}
+
+#[test]
+fn empty_relation() {
+    let rel = Relation::empty(Schema::new("T", ["a", "b"]).unwrap());
+    let result = discover(&rel, &config());
+    assert!(result.dependencies.is_empty());
+    assert_eq!(result.stats.rows, 0);
+}
+
+#[test]
+fn single_row() {
+    let rel = Relation::from_rows("T", &["a", "b"], vec![vec!["x", "y"]]).unwrap();
+    let result = discover(&rel, &config());
+    assert!(result.dependencies.is_empty(), "support 1 < K");
+}
+
+#[test]
+fn single_column() {
+    let rel =
+        Relation::from_rows("T", &["a"], vec![vec!["x"], vec!["y"], vec!["z"]]).unwrap();
+    let result = discover(&rel, &config());
+    assert!(result.dependencies.is_empty(), "no pairs to check");
+}
+
+#[test]
+fn all_empty_cells() {
+    let rel = Relation::from_rows(
+        "T",
+        &["a", "b"],
+        vec![vec!["", ""], vec!["", ""], vec!["", ""]],
+    )
+    .unwrap();
+    let result = discover(&rel, &config());
+    assert!(result.dependencies.is_empty());
+}
+
+#[test]
+fn identical_rows() {
+    // 20 copies of the same row: every pattern is quasi-constant, and the
+    // RHS informativeness guard must reject the lot.
+    let rows = vec![vec!["90001", "Los Angeles"]; 20];
+    let rel = Relation::from_rows("T", &["zip", "city"], rows).unwrap();
+    let result = discover(&rel, &config());
+    assert!(
+        result.dependencies.is_empty(),
+        "constant columns are format, not dependency: {:?}",
+        result
+            .dependencies
+            .iter()
+            .map(|d| d.embedded_names(&rel))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn very_long_values_stay_bounded() {
+    // 1000-char values would explode a quadratic all-grams enumeration; the
+    // affix bound must keep the index linear.
+    let long_a = "a".repeat(1000);
+    let long_b = "b".repeat(1000);
+    let rows: Vec<Vec<String>> = (0..10)
+        .map(|i| vec![format!("{long_a}{i}"), format!("{long_b}{i}")])
+        .collect();
+    let mut rel = Relation::empty(Schema::new("T", ["x", "y"]).unwrap());
+    for row in rows {
+        rel.push_row(row).unwrap();
+    }
+    let t0 = std::time::Instant::now();
+    let result = discover(&rel, &config());
+    assert!(
+        t0.elapsed().as_secs() < 30,
+        "long values must not blow up discovery"
+    );
+    // x → y genuinely holds here (both encode i); just ensure no panic and
+    // bounded index.
+    assert!(result.stats.index_entries < 100_000);
+}
+
+#[test]
+fn unicode_values() {
+    let rows = vec![
+        vec!["Éric Blanc", "M"],
+        vec!["Éric Noir", "M"],
+        vec!["Éric Rouge", "M"],
+        vec!["Åsa Berg", "F"],
+        vec!["Åsa Holm", "F"],
+        vec!["Åsa Lund", "F"],
+    ];
+    let rel = Relation::from_rows("T", &["name", "gender"], rows).unwrap();
+    let result = discover(&rel, &config());
+    let name = rel.schema().attr("name").unwrap();
+    let gender = rel.schema().attr("gender").unwrap();
+    assert!(
+        result
+            .dependencies
+            .iter()
+            .any(|d| d.lhs == vec![name] && d.rhs == gender),
+        "unicode first names must still drive name → gender"
+    );
+    for dep in &result.dependencies {
+        assert!(dep.pfd.satisfies(&rel));
+    }
+}
+
+#[test]
+fn values_with_pattern_metacharacters() {
+    // Cell content containing the pattern language's special characters
+    // must be handled as data, not syntax.
+    let rows = vec![
+        vec!["a[1]*", "X"],
+        vec!["a[2]*", "X"],
+        vec!["a[3]*", "X"],
+        vec!["b{9}+", "Y"],
+        vec!["b{8}+", "Y"],
+        vec!["b{7}+", "Y"],
+    ];
+    let rel = Relation::from_rows("T", &["code", "class"], rows).unwrap();
+    let result = discover(&rel, &config());
+    for dep in &result.dependencies {
+        assert!(
+            dep.pfd.satisfies(&rel),
+            "metacharacter values broke {}",
+            dep.pfd
+        );
+    }
+}
+
+#[test]
+fn quantitative_columns_are_pruned() {
+    let rows: Vec<Vec<String>> = (0..30)
+        .map(|i| {
+            vec![
+                format!("{:.2}", 1.5 + i as f64 * 0.37), // measurements
+                format!("C{}", i % 3),                   // categorical
+            ]
+        })
+        .collect();
+    let mut rel = Relation::empty(Schema::new("T", ["height", "class"]).unwrap());
+    for row in rows {
+        rel.push_row(row).unwrap();
+    }
+    let result = discover(&rel, &config());
+    assert_eq!(result.stats.pruned_attrs, 1, "height must be pruned");
+    assert!(result
+        .dependencies
+        .iter()
+        .all(|d| !d.lhs.contains(&pfd_relation::AttrId(0)) && d.rhs != pfd_relation::AttrId(0)));
+}
+
+#[test]
+fn max_lhs_zero_like_and_extreme_parameters() {
+    let rel = Relation::from_rows(
+        "T",
+        &["a", "b"],
+        vec![vec!["x", "1"], vec!["x", "1"], vec!["y", "2"], vec!["y", "2"]],
+    )
+    .unwrap();
+    // Extreme noise tolerance: everything within reach is accepted but must
+    // still be well-formed.
+    let loose = DiscoveryConfig {
+        min_support: 1,
+        noise_ratio: 0.99,
+        min_coverage: 0.0,
+        ..DiscoveryConfig::default()
+    };
+    let result = discover(&rel, &loose);
+    for dep in &result.dependencies {
+        assert!(!dep.pfd.tableau().is_empty());
+    }
+    // Zero tolerance, impossible coverage: nothing.
+    let strict = DiscoveryConfig {
+        min_support: usize::MAX / 2,
+        ..DiscoveryConfig::default()
+    };
+    assert!(discover(&rel, &strict).dependencies.is_empty());
+}
+
+#[test]
+fn duplicate_heavy_skew() {
+    // 95 of 100 rows identical, 5 distinct: the dominant group's patterns
+    // are quasi-constant (guarded); the rare rows lack support.
+    let mut rows = vec![vec!["AAA-1", "North"]; 95];
+    for i in 0..5 {
+        rows.push(vec!["ZZZ-9", ["South", "East", "West", "Up", "Down"][i]]);
+    }
+    let rel = Relation::from_rows("T", &["code", "region"], rows).unwrap();
+    let result = discover(&rel, &config());
+    for dep in &result.dependencies {
+        // Anything reported must at least hold within noise.
+        let violations = dep.pfd.violations(&rel).len();
+        assert!(violations <= 10, "{}: {violations} violations", dep.pfd);
+    }
+}
+
+#[test]
+fn lhs_dirt_does_not_panic_detection() {
+    // Errors on the LHS attribute (the question posed at the end of §5.3).
+    let mut rows: Vec<Vec<String>> = (0..20)
+        .map(|i| vec![format!("900{i:02}"), "Los Angeles".to_string()])
+        .collect();
+    rows[3][0] = "9O003".into(); // letter O for zero: LHS typo
+    let mut rel = Relation::empty(Schema::new("Zip", ["zip", "city"]).unwrap());
+    for row in rows {
+        rel.push_row(row).unwrap();
+    }
+    let result = discover(&rel, &config());
+    for dep in &result.dependencies {
+        let _ = dep.pfd.violations(&rel); // must not panic
+    }
+}

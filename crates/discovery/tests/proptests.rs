@@ -1,0 +1,140 @@
+//! Property-based tests for discovery: index invariants, determinism, and
+//! the δ-noise guarantee on discovered tableaux.
+
+use pfd_discovery::{build_index, discover, DiscoveryConfig, IndexOptions};
+use pfd_relation::{AttrId, Extraction, Relation, Schema};
+use proptest::prelude::*;
+
+fn zip_like() -> impl Strategy<Value = String> {
+    (0u32..4, 0u32..100).prop_map(|(p, s)| {
+        let prefix = ["900", "606", "100", "303"][p as usize];
+        format!("{prefix}{s:02}")
+    })
+}
+
+fn city_for(zip: &str) -> &'static str {
+    match &zip[..3] {
+        "900" => "Los Angeles",
+        "606" => "Chicago",
+        "100" => "New York",
+        _ => "Atlanta",
+    }
+}
+
+fn zip_city_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(zip_like(), 20..60).prop_map(|zips| {
+        let mut rel = Relation::empty(Schema::new("Z", ["zip", "city"]).unwrap());
+        for z in zips {
+            let c = city_for(&z).to_string();
+            rel.push_row(vec![z, c]).unwrap();
+        }
+        rel
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn index_forward_reverse_agree(rel in zip_city_relation()) {
+        for attr in [AttrId(0), AttrId(1)] {
+            for extraction in [Extraction::NGrams, Extraction::Tokenize] {
+                let idx = build_index(&rel, attr, extraction, &IndexOptions::default());
+                // Reverse index agrees with forward index both ways.
+                for (ei, e) in idx.entries.iter().enumerate() {
+                    for &rid in &e.rows {
+                        prop_assert!(idx.row_entries[rid].contains(&(ei as u32)));
+                    }
+                }
+                for (rid, entry_ids) in idx.row_entries.iter().enumerate() {
+                    for &ei in entry_ids {
+                        prop_assert!(idx.entries[ei as usize].rows.contains(&rid));
+                    }
+                }
+                // Row lists are sorted and deduplicated.
+                for e in &idx.entries {
+                    let mut sorted = e.rows.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    prop_assert_eq!(&sorted, &e.rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substring_pruning_only_shrinks(rel in zip_city_relation()) {
+        let attr = AttrId(0);
+        let with = build_index(&rel, attr, Extraction::NGrams, &IndexOptions { substring_pruning: true });
+        let without = build_index(&rel, attr, Extraction::NGrams, &IndexOptions { substring_pruning: false });
+        prop_assert!(with.entries.len() <= without.entries.len());
+        // Every kept entry exists identically in the unpruned index.
+        for e in &with.entries {
+            prop_assert!(without
+                .entries
+                .iter()
+                .any(|u| u.pattern == e.pattern && u.pos == e.pos && u.rows == e.rows));
+        }
+    }
+
+    #[test]
+    fn discovery_is_deterministic(rel in zip_city_relation()) {
+        let config = DiscoveryConfig { min_support: 3, ..DiscoveryConfig::default() };
+        let a = discover(&rel, &config);
+        let b = discover(&rel, &config);
+        let sig = |r: &pfd_discovery::DiscoveryResult| -> Vec<String> {
+            r.dependencies.iter().map(|d| format!("{:?}→{:?} {}", d.lhs, d.rhs, d.pfd)).collect()
+        };
+        prop_assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn discovered_constant_rows_respect_noise(rel in zip_city_relation()) {
+        // With δ = 0, every discovered tableau row must hold exactly.
+        let config = DiscoveryConfig {
+            min_support: 3,
+            noise_ratio: 0.0,
+            generalize: false,
+            ..DiscoveryConfig::default()
+        };
+        let result = discover(&rel, &config);
+        for dep in &result.dependencies {
+            // Clean generated data: zero violations allowed.
+            prop_assert!(
+                dep.pfd.satisfies(&rel),
+                "δ=0 discovery produced a violated PFD: {}",
+                dep.pfd
+            );
+        }
+    }
+
+    #[test]
+    fn zip_city_is_always_found_on_enough_data(rel in zip_city_relation()) {
+        // The generated relation is clean, so zip → city must surface when
+        // every prefix group is large enough.
+        let zip = AttrId(0);
+        let city = AttrId(1);
+        let min_group = (0..4)
+            .map(|p| {
+                let prefix = ["900", "606", "100", "303"][p];
+                rel.column(zip).filter(|z| z.starts_with(prefix)).count()
+            })
+            .min()
+            .unwrap();
+        prop_assume!(min_group >= 3);
+        let config = DiscoveryConfig { min_support: 3, ..DiscoveryConfig::default() };
+        let result = discover(&rel, &config);
+        prop_assert!(
+            result
+                .dependencies
+                .iter()
+                .any(|d| d.lhs == vec![zip] && d.rhs == city),
+            "zip → city missing among {:?}",
+            result
+                .dependencies
+                .iter()
+                .map(|d| d.embedded_names(&rel))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,623 @@
+//! The inference axioms for PFDs (Fig. 3 of the paper).
+//!
+//! Each function is a *checked derivation step*: it validates the axiom's
+//! side conditions and produces the consequent PFD. Together with
+//! [`crate::closure`] they form the sound-and-complete system of Theorem 1.
+//! Reflexivity, Augmentation and Transitivity extend Armstrong's axioms;
+//! Reduction is carried over from CFDs; **Inconsistency-EFQ** and
+//! **LHS-Generalization** are the genuinely new, pattern-driven axioms.
+//!
+//! All steps operate on single-tableau-row PFDs (`Tp` rows are independent,
+//! §3.1).
+
+use crate::consistency::{check_consistency_with, Consistency, Requirement, DEFAULT_STATE_LIMIT};
+use pfd_core::{Pfd, PfdError, TableauCell, TableauRow};
+use pfd_relation::AttrId;
+use std::fmt;
+
+/// Names of the axioms, for proof bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axiom {
+    /// `A ∈ X ⊢ R(X → A, tp)` with `tp[A_L] ⊆ tp[A_R]`.
+    Reflexivity,
+    /// Ex falso quodlibet from an inconsistent attribute restriction.
+    InconsistencyEfq,
+    /// `R(X → Y, tp) ⊢ R(XA → YA, t'p)` for fresh `A`.
+    Augmentation,
+    /// Compose `X → Y` and `Y → Z` when the Y-patterns subsume.
+    Transitivity,
+    /// Drop a wildcard LHS attribute when the RHS is constant.
+    Reduction,
+    /// Union the B-patterns of two PFDs agreeing elsewhere.
+    LhsGeneralization,
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Axiom::Reflexivity => "Reflexivity",
+            Axiom::InconsistencyEfq => "Inconsistency-EFQ",
+            Axiom::Augmentation => "Augmentation",
+            Axiom::Transitivity => "Transitivity",
+            Axiom::Reduction => "Reduction",
+            Axiom::LhsGeneralization => "LHS-Generalization",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors from axiom application: a violated side condition.
+#[derive(Debug)]
+pub enum AxiomError {
+    /// A condition of the axiom does not hold.
+    SideCondition(&'static str),
+    /// The consequent failed PFD validation.
+    Pfd(PfdError),
+}
+
+impl fmt::Display for AxiomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomError::SideCondition(msg) => write!(f, "side condition violated: {msg}"),
+            AxiomError::Pfd(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AxiomError {}
+
+impl From<PfdError> for AxiomError {
+    fn from(e: PfdError) -> Self {
+        AxiomError::Pfd(e)
+    }
+}
+
+fn single_row(pfd: &Pfd) -> Result<&TableauRow, AxiomError> {
+    match pfd.tableau() {
+        [row] => Ok(row),
+        _ => Err(AxiomError::SideCondition(
+            "axiom steps operate on single-row PFDs; decompose multi-row tableaux first",
+        )),
+    }
+}
+
+/// **Reflexivity**: for `A ∈ X`, derive `R(X → A, tp)` where
+/// `tp[A_L] ⊆ tp[A_R]`.
+pub fn reflexivity(
+    relation: &str,
+    lhs: &[(AttrId, TableauCell)],
+    a: AttrId,
+    a_rhs_cell: TableauCell,
+) -> Result<Pfd, AxiomError> {
+    let a_lhs_cell = lhs
+        .iter()
+        .find(|(attr, _)| *attr == a)
+        .map(|(_, c)| c)
+        .ok_or(AxiomError::SideCondition("A must be a member of X"))?;
+    if !a_lhs_cell.is_restriction_of(&a_rhs_cell) {
+        return Err(AxiomError::SideCondition("requires tp[A_L] ⊆ tp[A_R]"));
+    }
+    let (attrs, cells): (Vec<AttrId>, Vec<TableauCell>) = lhs.iter().cloned().unzip();
+    Ok(Pfd::new(
+        relation,
+        attrs,
+        vec![a],
+        vec![TableauRow::new(cells, vec![a_rhs_cell])],
+    )?)
+}
+
+/// **Inconsistency-EFQ**: if `B ∈ S_B` is not consistent w.r.t. Ψ — no
+/// instance satisfying Ψ has a `B`-value in `S_B` (here `S_B = L(b_cell)`) —
+/// derive `R(B → Y, tp)` for *arbitrary* `Y` and patterns: ex falso
+/// quodlibet. The inconsistency premise is verified with the NP consistency
+/// checker before the consequent is produced.
+pub fn inconsistency_efq(
+    relation: &str,
+    sigma: &[Pfd],
+    arity: usize,
+    b: AttrId,
+    b_cell: TableauCell,
+    y: Vec<(AttrId, TableauCell)>,
+) -> Result<Pfd, AxiomError> {
+    let must = match &b_cell {
+        TableauCell::Wildcard => Vec::new(),
+        TableauCell::Pattern(p) => vec![p.full_pattern()],
+    };
+    let req = Requirement {
+        attr: b,
+        must,
+        ..Requirement::default()
+    };
+    match check_consistency_with(sigma, arity, &[req], DEFAULT_STATE_LIMIT) {
+        Consistency::Inconsistent => {}
+        Consistency::Consistent(_) => {
+            return Err(AxiomError::SideCondition(
+                "B ∈ S_B is consistent w.r.t. Ψ; EFQ does not apply",
+            ))
+        }
+        Consistency::Unknown => {
+            return Err(AxiomError::SideCondition(
+                "consistency check exceeded its budget",
+            ))
+        }
+    }
+    let (attrs, cells): (Vec<AttrId>, Vec<TableauCell>) = y.into_iter().unzip();
+    Ok(Pfd::new(
+        relation,
+        vec![b],
+        attrs,
+        vec![TableauRow::new(vec![b_cell], cells)],
+    )?)
+}
+
+/// **Augmentation**: from `R(X → Y, tp)` and `A ∉ X ∪ Y`, derive
+/// `R(XA → YA, t'p)` with `t'p[XY] = tp[XY]` and `t'p[A_L] = t'p[A_R]`.
+pub fn augmentation(pfd: &Pfd, a: AttrId, a_cell: TableauCell) -> Result<Pfd, AxiomError> {
+    let row = single_row(pfd)?;
+    if pfd.lhs().contains(&a) || pfd.rhs().contains(&a) {
+        return Err(AxiomError::SideCondition("requires A ∉ X ∪ Y"));
+    }
+    let mut lhs = pfd.lhs().to_vec();
+    let mut rhs = pfd.rhs().to_vec();
+    lhs.push(a);
+    rhs.push(a);
+    let mut lhs_cells = row.lhs.clone();
+    let mut rhs_cells = row.rhs.clone();
+    lhs_cells.push(a_cell.clone());
+    rhs_cells.push(a_cell);
+    Ok(Pfd::new(
+        pfd.relation(),
+        lhs,
+        rhs,
+        vec![TableauRow::new(lhs_cells, rhs_cells)],
+    )?)
+}
+
+/// **Transitivity**: from `R(X → Y, tp)` and `R(Y → Z, t'p)` with
+/// `tp[A] ⊆ t'p[A]` for every `A ∈ Y`, derive `R(X → Z, t''p)` with
+/// `t''p[X] = tp[X]` and `t''p[Z] = t'p[Z]`.
+pub fn transitivity(p1: &Pfd, p2: &Pfd) -> Result<Pfd, AxiomError> {
+    let row1 = single_row(p1)?;
+    let row2 = single_row(p2)?;
+    // p1's RHS must be exactly p2's LHS (as attribute sets).
+    let mut y1: Vec<AttrId> = p1.rhs().to_vec();
+    let mut y2: Vec<AttrId> = p2.lhs().to_vec();
+    y1.sort_unstable();
+    y2.sort_unstable();
+    if y1 != y2 {
+        return Err(AxiomError::SideCondition(
+            "the RHS of the first PFD must equal the LHS of the second",
+        ));
+    }
+    // Pattern condition on Y: tp[A] (as produced by p1) ⊆ t'p[A] (as
+    // consumed by p2).
+    for (j, a) in p1.rhs().iter().enumerate() {
+        let i = p2
+            .lhs()
+            .iter()
+            .position(|b| b == a)
+            .expect("attribute sets equal");
+        if !row1.rhs[j].is_restriction_of(&row2.lhs[i]) {
+            return Err(AxiomError::SideCondition(
+                "requires tp[A] ⊆ t'p[A] for all A ∈ Y",
+            ));
+        }
+    }
+    Ok(Pfd::new(
+        p1.relation(),
+        p1.lhs().to_vec(),
+        p2.rhs().to_vec(),
+        vec![TableauRow::new(row1.lhs.clone(), row2.rhs.clone())],
+    )?)
+}
+
+/// **Reduction**: from `R(XB → A, tp)` with `tp[B] = ⊥` and `tp[A]`
+/// constant, derive `R(X → A, t'p)` dropping `B`.
+pub fn reduction(pfd: &Pfd, b: AttrId) -> Result<Pfd, AxiomError> {
+    let row = single_row(pfd)?;
+    let bi = pfd
+        .lhs()
+        .iter()
+        .position(|x| *x == b)
+        .ok_or(AxiomError::SideCondition("B must be a member of the LHS"))?;
+    if !row.lhs[bi].is_wildcard() {
+        return Err(AxiomError::SideCondition("requires tp[B] = ⊥"));
+    }
+    if pfd.rhs().len() != 1 || !row.rhs[0].is_constant() {
+        return Err(AxiomError::SideCondition(
+            "requires a single constant RHS attribute",
+        ));
+    }
+    if pfd.lhs().len() < 2 {
+        return Err(AxiomError::SideCondition(
+            "dropping B would empty the LHS",
+        ));
+    }
+    let lhs: Vec<AttrId> = pfd
+        .lhs()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != bi)
+        .map(|(_, a)| *a)
+        .collect();
+    let lhs_cells: Vec<TableauCell> = row
+        .lhs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != bi)
+        .map(|(_, c)| c.clone())
+        .collect();
+    Ok(Pfd::new(
+        pfd.relation(),
+        lhs,
+        pfd.rhs().to_vec(),
+        vec![TableauRow::new(lhs_cells, row.rhs.clone())],
+    )?)
+}
+
+/// **LHS-Generalization**: from `R(XB → Y, tp)` and `R(XB → Y, t'p)` with
+/// `tp[XY] = t'p[XY]`, derive `R(XB → Y, t''p)` where
+/// `t''p[B] = tp[B] ∪ t'p[B]`.
+///
+/// Our pattern language has no union operator; the consequent is the
+/// semantically equivalent **two-row tableau** `{tp, t'p}` (a value matches
+/// the union cell iff it matches one of the rows' cells, and cross-branch
+/// tuple pairs relate only through a shared branch — exactly the disjoint
+/// union the axiom describes).
+pub fn lhs_generalization(p1: &Pfd, p2: &Pfd, b: AttrId) -> Result<Pfd, AxiomError> {
+    let row1 = single_row(p1)?;
+    let row2 = single_row(p2)?;
+    if p1.lhs() != p2.lhs() || p1.rhs() != p2.rhs() {
+        return Err(AxiomError::SideCondition(
+            "both PFDs must share the same X, B and Y",
+        ));
+    }
+    let bi = p1
+        .lhs()
+        .iter()
+        .position(|x| *x == b)
+        .ok_or(AxiomError::SideCondition("B must be a member of the LHS"))?;
+    // tp[XY] = t'p[XY]: all cells equal except possibly B's.
+    for (i, (c1, c2)) in row1.lhs.iter().zip(&row2.lhs).enumerate() {
+        if i != bi && c1 != c2 {
+            return Err(AxiomError::SideCondition("requires tp[X] = t'p[X]"));
+        }
+    }
+    if row1.rhs != row2.rhs {
+        return Err(AxiomError::SideCondition("requires tp[Y] = t'p[Y]"));
+    }
+    Ok(Pfd::new(
+        p1.relation(),
+        p1.lhs().to_vec(),
+        p1.rhs().to_vec(),
+        vec![row1.clone(), row2.clone()],
+    )?)
+}
+
+/// One step of a recorded proof: the axiom used, the indices of premise
+/// steps, and the conclusion.
+#[derive(Debug, Clone)]
+pub struct ProofStep {
+    /// The axiom applied, or `None` for a hypothesis from Ψ.
+    pub axiom: Option<Axiom>,
+    /// Indices of earlier steps used as premises (empty for hypotheses).
+    pub premises: Vec<usize>,
+    /// The PFD this step concludes.
+    pub conclusion: Pfd,
+}
+
+/// A proof: a sequence of steps, each a hypothesis (a member of Ψ) or an
+/// axiom application whose premises occur earlier — the §3.1 notion of
+/// `Ψ ⊢_I ψ`.
+#[derive(Debug, Clone, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// An empty proof.
+    pub fn new() -> Proof {
+        Proof::default()
+    }
+
+    /// Record a hypothesis (an element of Ψ). Returns its step index.
+    pub fn hypothesis(&mut self, pfd: Pfd) -> usize {
+        self.steps.push(ProofStep {
+            axiom: None,
+            premises: Vec::new(),
+            conclusion: pfd,
+        });
+        self.steps.len() - 1
+    }
+
+    /// Record an axiom application. Premise indices must refer to earlier
+    /// steps.
+    pub fn step(
+        &mut self,
+        axiom: Axiom,
+        premises: Vec<usize>,
+        conclusion: Pfd,
+    ) -> Result<usize, AxiomError> {
+        if premises.iter().any(|&i| i >= self.steps.len()) {
+            return Err(AxiomError::SideCondition(
+                "premises must refer to earlier proof steps",
+            ));
+        }
+        self.steps.push(ProofStep {
+            axiom: Some(axiom),
+            premises,
+            conclusion,
+        });
+        Ok(self.steps.len() - 1)
+    }
+
+    /// All recorded steps, in order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The final conclusion, if any step exists.
+    pub fn conclusion(&self) -> Option<&Pfd> {
+        self.steps.last().map(|s| &s.conclusion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_relation::{Relation, Schema};
+
+    fn schema() -> Schema {
+        Schema::new("R", ["a", "b", "c", "d"]).unwrap()
+    }
+
+    fn cell(src: &str) -> TableauCell {
+        TableauCell::parse(src).unwrap()
+    }
+
+    #[test]
+    fn reflexivity_paper_example() {
+        // Name(name → name, (John\A* ‖ \LU\LL*\ \A*)) from §3.1.
+        let pfd = reflexivity(
+            "Name",
+            &[(AttrId(0), cell(r"[John\ ]\A*"))],
+            AttrId(0),
+            cell(r"[\LU\LL*\ ]\A*"),
+        )
+        .unwrap();
+        assert_eq!(pfd.lhs(), &[AttrId(0)]);
+        assert_eq!(pfd.rhs(), &[AttrId(0)]);
+    }
+
+    #[test]
+    fn reflexivity_rejects_non_restriction() {
+        let err = reflexivity(
+            "Name",
+            &[(AttrId(0), cell(r"[\LU\LL*\ ]\A*"))],
+            AttrId(0),
+            cell(r"[John\ ]\A*"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AxiomError::SideCondition(_)));
+    }
+
+    #[test]
+    fn reflexivity_rejects_missing_attribute() {
+        let err = reflexivity(
+            "R",
+            &[(AttrId(0), cell("x"))],
+            AttrId(1),
+            TableauCell::Wildcard,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AxiomError::SideCondition(_)));
+    }
+
+    #[test]
+    fn augmentation_adds_attribute_to_both_sides() {
+        let s = schema();
+        let base = Pfd::constant_normal_form("R", &s, "a", "x", "b", "y").unwrap();
+        let grown = augmentation(&base, AttrId(2), TableauCell::Wildcard).unwrap();
+        assert_eq!(grown.lhs(), &[AttrId(0), AttrId(2)]);
+        assert_eq!(grown.rhs(), &[AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    fn augmentation_rejects_member_attribute() {
+        let s = schema();
+        let base = Pfd::constant_normal_form("R", &s, "a", "x", "b", "y").unwrap();
+        assert!(augmentation(&base, AttrId(0), TableauCell::Wildcard).is_err());
+        assert!(augmentation(&base, AttrId(1), TableauCell::Wildcard).is_err());
+    }
+
+    #[test]
+    fn augmentation_preserves_semantics_on_instance() {
+        // Soundness spot check: the consequent holds wherever the premise does.
+        let s = schema();
+        let base = Pfd::constant_normal_form("R", &s, "a", "x", "b", "y").unwrap();
+        let grown = augmentation(&base, AttrId(2), TableauCell::Wildcard).unwrap();
+        let rel = Relation::from_rows(
+            "R",
+            &["a", "b", "c", "d"],
+            vec![
+                vec!["x", "y", "1", "q"],
+                vec!["x", "y", "2", "r"],
+                vec!["z", "w", "1", "s"],
+            ],
+        )
+        .unwrap();
+        assert!(base.satisfies(&rel));
+        assert!(grown.satisfies(&rel));
+    }
+
+    #[test]
+    fn transitivity_composes() {
+        let s = schema();
+        let p1 = Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap();
+        let p2 = Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap();
+        let p3 = transitivity(&p1, &p2).unwrap();
+        assert_eq!(p3.lhs(), &[AttrId(0)]);
+        assert_eq!(p3.rhs(), &[AttrId(2)]);
+        assert_eq!(p3.tableau()[0].rhs[0], cell("CA"));
+    }
+
+    #[test]
+    fn transitivity_requires_pattern_subsumption() {
+        let s = schema();
+        // p1 produces b matching \D{5}; p2 consumes b matching 900\D{2}:
+        // \D{5} ⊄ 900\D{2}, so the composition is rejected.
+        let p1 = Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap();
+        let p2 = Pfd::constant_normal_form("R", &s, "b", r"900\D{2}", "c", "CA").unwrap();
+        assert!(transitivity(&p1, &p2).is_err());
+        // The converse subsumption works.
+        let p1b = Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap();
+        let p2b = Pfd::constant_normal_form("R", &s, "b", r"\D{5}", "c", "CA").unwrap();
+        assert!(transitivity(&p1b, &p2b).is_ok());
+    }
+
+    #[test]
+    fn transitivity_requires_matching_attribute_sets() {
+        let s = schema();
+        let p1 = Pfd::constant_normal_form("R", &s, "a", "x", "b", "y").unwrap();
+        let p2 = Pfd::constant_normal_form("R", &s, "c", "y", "d", "z").unwrap();
+        assert!(transitivity(&p1, &p2).is_err());
+    }
+
+    #[test]
+    fn reduction_drops_wildcard_attribute() {
+        let s = schema();
+        let pfd =
+            Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "LA")).unwrap();
+        let reduced = reduction(&pfd, AttrId(1)).unwrap();
+        assert_eq!(reduced.lhs(), &[AttrId(0)]);
+        assert_eq!(reduced.rhs(), &[AttrId(2)]);
+    }
+
+    #[test]
+    fn reduction_requires_wildcard_and_constant() {
+        let s = schema();
+        // B not a wildcard.
+        let p1 = Pfd::normal_form("R", &s, &[("a", "x"), ("b", "y")], ("c", "LA")).unwrap();
+        assert!(reduction(&p1, AttrId(1)).is_err());
+        // RHS not a constant.
+        let p2 = Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "_")).unwrap();
+        assert!(reduction(&p2, AttrId(1)).is_err());
+    }
+
+    #[test]
+    fn reduction_soundness_on_instance() {
+        let s = schema();
+        let pfd =
+            Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "LA")).unwrap();
+        let reduced = reduction(&pfd, AttrId(1)).unwrap();
+        let rel = Relation::from_rows(
+            "R",
+            &["a", "b", "c", "d"],
+            vec![vec!["x", "1", "LA", "-"], vec!["x", "2", "LA", "-"]],
+        )
+        .unwrap();
+        assert!(pfd.satisfies(&rel));
+        assert!(reduced.satisfies(&rel));
+    }
+
+    #[test]
+    fn lhs_generalization_unions_rows() {
+        let s = schema();
+        let p1 = Pfd::constant_normal_form("R", &s, "a", r"[John\ ]\A*", "b", "M").unwrap();
+        let p2 = Pfd::constant_normal_form("R", &s, "a", r"[Bob\ ]\A*", "b", "M").unwrap();
+        let merged = lhs_generalization(&p1, &p2, AttrId(0)).unwrap();
+        assert_eq!(merged.tableau().len(), 2);
+        // Semantics: matches either first name.
+        let rel = Relation::from_rows(
+            "R",
+            &["a", "b", "c", "d"],
+            vec![
+                vec!["John Smith", "M", "-", "-"],
+                vec!["Bob Jones", "M", "-", "-"],
+            ],
+        )
+        .unwrap();
+        assert!(merged.satisfies(&rel));
+        let bad = Relation::from_rows(
+            "R",
+            &["a", "b", "c", "d"],
+            vec![vec!["Bob Jones", "F", "-", "-"]],
+        )
+        .unwrap();
+        assert!(!merged.satisfies(&bad));
+    }
+
+    #[test]
+    fn lhs_generalization_requires_equal_context() {
+        let s = schema();
+        let p1 = Pfd::constant_normal_form("R", &s, "a", "x", "b", "M").unwrap();
+        let p2 = Pfd::constant_normal_form("R", &s, "a", "y", "b", "F").unwrap();
+        // RHS cells differ: rejected.
+        assert!(lhs_generalization(&p1, &p2, AttrId(0)).is_err());
+    }
+
+    #[test]
+    fn inconsistency_efq_applies_on_contradiction() {
+        let s = schema();
+        // Ψ forces b = LA and b = NY whenever a = x: values a = x are
+        // impossible.
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", "NY").unwrap(),
+        ];
+        let derived = inconsistency_efq(
+            "R",
+            &sigma,
+            4,
+            AttrId(0),
+            cell("x"),
+            vec![(AttrId(3), cell("anything"))],
+        )
+        .unwrap();
+        assert_eq!(derived.lhs(), &[AttrId(0)]);
+        assert_eq!(derived.rhs(), &[AttrId(3)]);
+    }
+
+    #[test]
+    fn inconsistency_efq_rejects_consistent_premise() {
+        let s = schema();
+        let sigma =
+            vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", "LA").unwrap()];
+        let err = inconsistency_efq(
+            "R",
+            &sigma,
+            4,
+            AttrId(0),
+            cell("x"),
+            vec![(AttrId(3), cell("anything"))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AxiomError::SideCondition(_)));
+    }
+
+    #[test]
+    fn proof_bookkeeping() {
+        let s = schema();
+        let p1 = Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap();
+        let p2 = Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap();
+        let p3 = transitivity(&p1, &p2).unwrap();
+
+        let mut proof = Proof::new();
+        let h1 = proof.hypothesis(p1);
+        let h2 = proof.hypothesis(p2);
+        let step = proof
+            .step(Axiom::Transitivity, vec![h1, h2], p3.clone())
+            .unwrap();
+        assert_eq!(step, 2);
+        assert_eq!(proof.conclusion(), Some(&p3));
+        assert_eq!(proof.steps()[2].axiom, Some(Axiom::Transitivity));
+    }
+
+    #[test]
+    fn proof_rejects_forward_references() {
+        let mut proof = Proof::new();
+        let s = schema();
+        let p = Pfd::constant_normal_form("R", &s, "a", "x", "b", "y").unwrap();
+        assert!(proof.step(Axiom::Reflexivity, vec![5], p).is_err());
+    }
+}

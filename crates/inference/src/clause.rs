@@ -1,0 +1,135 @@
+//! Normal-form PFD clauses.
+//!
+//! §3.1: "given a PFD ψ : R(X → Y, Tp), since tuples in Tp are independent
+//! from each other, it is sufficient to reason about R(X → Y, tp) for each
+//! tp ∈ Tp". Reasoning therefore works on **clauses**: single-tableau-row,
+//! single-RHS-attribute PFDs. [`clauses_of`] performs both decompositions.
+
+use pfd_core::{Pfd, TableauCell};
+use pfd_relation::AttrId;
+use std::fmt;
+
+/// A single-row, single-RHS-attribute PFD: `R(X → A, tp)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// LHS attributes with their tableau cells, sorted by attribute id.
+    pub lhs: Vec<(AttrId, TableauCell)>,
+    /// The RHS attribute and its cell.
+    pub rhs: (AttrId, TableauCell),
+}
+
+impl Clause {
+    /// Build a clause; the LHS is sorted by attribute for canonical form.
+    pub fn new(mut lhs: Vec<(AttrId, TableauCell)>, rhs: (AttrId, TableauCell)) -> Clause {
+        lhs.sort_by_key(|(a, _)| *a);
+        Clause { lhs, rhs }
+    }
+
+    /// The cell for attribute `a` on the LHS, if present.
+    pub fn lhs_cell(&self, a: AttrId) -> Option<&TableauCell> {
+        self.lhs
+            .iter()
+            .find(|(attr, _)| *attr == a)
+            .map(|(_, c)| c)
+    }
+
+    /// LHS attribute ids.
+    pub fn lhs_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.lhs.iter().map(|(a, _)| *a)
+    }
+
+    /// Is the clause trivial (`A ∈ X`)?
+    pub fn is_trivial(&self) -> bool {
+        self.lhs_cell(self.rhs.0).is_some()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lhs: Vec<String> = self
+            .lhs
+            .iter()
+            .map(|(a, c)| format!("{a} = {c}"))
+            .collect();
+        write!(
+            f,
+            "([{}] → [{} = {}])",
+            lhs.join(", "),
+            self.rhs.0,
+            self.rhs.1
+        )
+    }
+}
+
+/// Decompose a set of PFDs into clauses (per tableau row, per RHS attribute).
+pub fn clauses_of(sigma: &[Pfd]) -> Vec<Clause> {
+    let mut out = Vec::new();
+    for pfd in sigma {
+        for row in pfd.tableau() {
+            for (j, b) in pfd.rhs().iter().enumerate() {
+                let lhs = pfd
+                    .lhs()
+                    .iter()
+                    .zip(&row.lhs)
+                    .map(|(a, c)| (*a, c.clone()))
+                    .collect();
+                out.push(Clause::new(lhs, (*b, row.rhs[j].clone())));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_core::TableauRow;
+    use pfd_relation::Schema;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn decompose_multi_row_multi_rhs() {
+        let s = schema();
+        let mut pfd = Pfd::fd("R", &s, &["a"], &["b", "c"]).unwrap();
+        pfd.add_row(TableauRow::parse(&["x"], &["y", "z"]).unwrap())
+            .unwrap();
+        let clauses = clauses_of(std::slice::from_ref(&pfd));
+        // 2 rows × 2 RHS attrs = 4 clauses.
+        assert_eq!(clauses.len(), 4);
+        assert!(clauses.iter().all(|c| c.lhs.len() == 1));
+    }
+
+    #[test]
+    fn lhs_is_sorted_canonically() {
+        let w = TableauCell::Wildcard;
+        let c = Clause::new(
+            vec![(AttrId(2), w.clone()), (AttrId(0), w.clone())],
+            (AttrId(1), w),
+        );
+        let attrs: Vec<AttrId> = c.lhs_attrs().collect();
+        assert_eq!(attrs, vec![AttrId(0), AttrId(2)]);
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let w = TableauCell::Wildcard;
+        let c = Clause::new(vec![(AttrId(0), w.clone())], (AttrId(0), w.clone()));
+        assert!(c.is_trivial());
+        let d = Clause::new(vec![(AttrId(0), w.clone())], (AttrId(1), w));
+        assert!(!d.is_trivial());
+    }
+
+    #[test]
+    fn lhs_cell_lookup() {
+        let s = schema();
+        let pfd = Pfd::normal_form("R", &s, &[("a", r"[900]\D{2}")], ("b", "M")).unwrap();
+        let clauses = clauses_of(std::slice::from_ref(&pfd));
+        assert_eq!(clauses.len(), 1);
+        let c = &clauses[0];
+        assert!(c.lhs_cell(AttrId(0)).is_some());
+        assert!(c.lhs_cell(AttrId(2)).is_none());
+    }
+}

@@ -1,0 +1,369 @@
+//! The PFD-closure algorithm (Fig. 7 of the paper, used in the completeness
+//! proof of Theorem 1).
+//!
+//! Given Ψ and a seed `(X, tp[X])`, compute the set of `(A, tW[A])` pairs
+//! such that `Ψ ⊨ R(X → A, tp)` with `tp[A] = tW[A]`. Unlike the classic FD
+//! closure, the algorithm (1) tracks a *pattern* per attribute, (2) can
+//! tighten an attribute's pattern when a later PFD derives a more specific
+//! one, and (3) uses an inconsistency side condition (a.ii) implemented with
+//! the NP consistency checker of [`crate::consistency`].
+
+use crate::clause::{clauses_of, Clause};
+use crate::consistency::{check_consistency_with, Consistency, Requirement, DEFAULT_STATE_LIMIT};
+use pfd_core::{Pfd, TableauCell};
+use pfd_relation::AttrId;
+use std::collections::BTreeMap;
+
+/// The PFD-closure `(X, tp[X])^Ψ`: attribute → tightest derived cell.
+pub type Closure = BTreeMap<AttrId, TableauCell>;
+
+/// Configuration for the closure computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureConfig {
+    /// Use the Inconsistency-EFQ side condition (a.ii). Disabling it keeps
+    /// the algorithm sound but incomplete; useful when Ψ is large and the
+    /// consistency sub-searches are too costly.
+    pub use_inconsistency_condition: bool,
+    /// State budget per consistency sub-search.
+    pub state_limit: usize,
+}
+
+impl Default for ClosureConfig {
+    fn default() -> Self {
+        ClosureConfig {
+            use_inconsistency_condition: true,
+            state_limit: DEFAULT_STATE_LIMIT,
+        }
+    }
+}
+
+fn cell_full(cell: &TableauCell) -> Option<pfd_pattern::Pattern> {
+    match cell {
+        TableauCell::Wildcard => None,
+        TableauCell::Pattern(p) => Some(p.full_pattern()),
+    }
+}
+
+/// Condition (a.ii) of Fig. 7: values matching `closure[B]` but not `tp[B]`
+/// are impossible w.r.t. Ψ — i.e. Ψ plus the requirement
+/// `B ∈ L(tW[B]) ∖ L(tp[B])` is inconsistent.
+fn difference_inconsistent(
+    sigma: &[Pfd],
+    arity: usize,
+    attr: AttrId,
+    closure_cell: &TableauCell,
+    clause_cell: &TableauCell,
+    config: &ClosureConfig,
+) -> bool {
+    if !config.use_inconsistency_condition {
+        return false;
+    }
+    let must: Vec<_> = cell_full(closure_cell).into_iter().collect();
+    let must_not: Vec<_> = cell_full(clause_cell).into_iter().collect();
+    if must_not.is_empty() {
+        // clause cell is a wildcard: difference is empty, condition holds
+        // trivially via (a.i) anyway.
+        return false;
+    }
+    let req = Requirement {
+        attr,
+        must,
+        must_not,
+        ..Requirement::default()
+    };
+    matches!(
+        check_consistency_with(sigma, arity, &[req], config.state_limit),
+        Consistency::Inconsistent
+    )
+}
+
+/// Compute the PFD-closure of `(X, tp[X])` under Ψ over a schema of `arity`
+/// attributes.
+pub fn pfd_closure(
+    sigma: &[Pfd],
+    arity: usize,
+    seed: &[(AttrId, TableauCell)],
+    config: &ClosureConfig,
+) -> Closure {
+    // Lines 1–4: unused := decomposed clauses; closure := the seed.
+    let mut unused: Vec<Clause> = clauses_of(sigma);
+    let mut closure: Closure = seed.iter().cloned().collect();
+
+    // Line 5: repeat until no further change.
+    loop {
+        let mut progressed = false;
+        let mut next_unused = Vec::with_capacity(unused.len());
+        for clause in unused {
+            if clause_triggers(sigma, arity, &closure, &clause, config) {
+                let (a, cell) = (&clause.rhs.0, &clause.rhs.1);
+                match closure.get(a) {
+                    // Line 8–9: A not in closure — add it.
+                    None => {
+                        closure.insert(*a, cell.clone());
+                        progressed = true;
+                    }
+                    // Line 10–11: tighten when tp[A] ⊆ tW[A].
+                    Some(existing) => {
+                        if cell != existing && cell.is_restriction_of(existing) {
+                            closure.insert(*a, cell.clone());
+                            progressed = true;
+                        }
+                    }
+                }
+                // Line 7: the clause is consumed.
+            } else {
+                next_unused.push(clause);
+            }
+        }
+        unused = next_unused;
+        if !progressed {
+            break;
+        }
+    }
+    closure
+}
+
+/// Line 6 of Fig. 7: can `clause : R(Y → A, tp)` extend the closure?
+fn clause_triggers(
+    sigma: &[Pfd],
+    arity: usize,
+    closure: &Closure,
+    clause: &Clause,
+    config: &ClosureConfig,
+) -> bool {
+    let in_closure: Vec<bool> = clause
+        .lhs
+        .iter()
+        .map(|(b, _)| closure.contains_key(b))
+        .collect();
+
+    if in_closure.iter().all(|&x| x) {
+        // Condition (a): every B ∈ Y appears in closure, and per B either
+        // (i) tW[B] ⊆ tp[B], or (ii) the difference is inconsistent.
+        clause.lhs.iter().all(|(b, cell)| {
+            let cl = &closure[b];
+            cl.is_restriction_of(cell)
+                || difference_inconsistent(sigma, arity, *b, cl, cell, config)
+        })
+    } else {
+        // Condition (b): A constant, missing attributes all wildcards,
+        // present attributes still satisfying the (a) conditions.
+        if !clause.rhs.1.is_constant() {
+            return false;
+        }
+        clause
+            .lhs
+            .iter()
+            .zip(&in_closure)
+            .all(|((b, cell), present)| {
+                if *present {
+                    let cl = &closure[b];
+                    cl.is_restriction_of(cell)
+                        || difference_inconsistent(sigma, arity, *b, cl, cell, config)
+                } else {
+                    cell.is_wildcard()
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_relation::Schema;
+
+    fn cell(src: &str) -> TableauCell {
+        TableauCell::parse(src).unwrap()
+    }
+
+    fn schema3() -> Schema {
+        Schema::new("R", ["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn closure_contains_seed() {
+        let closure = pfd_closure(
+            &[],
+            3,
+            &[(AttrId(0), cell(r"[900]\D{2}"))],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(closure.len(), 1);
+        assert_eq!(closure[&AttrId(0)], cell(r"[900]\D{2}"));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        // a(900xx) → b = LA; b(LA) → c = CA. Seed a.
+        let s = schema3();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap(),
+        ];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell(r"[900]\D{2}"))],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(closure[&AttrId(1)], cell("LA"));
+        assert_eq!(closure[&AttrId(2)], cell("CA"));
+    }
+
+    #[test]
+    fn seed_pattern_must_be_tight_enough() {
+        // a restricted to [\D{5}] does NOT trigger a 900-prefix clause.
+        let s = schema3();
+        let sigma =
+            vec![Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap()];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell(r"[\D{3}]\D{2}"))],
+            &ClosureConfig::default(),
+        );
+        assert!(
+            !closure.contains_key(&AttrId(1)),
+            "five-digit seed is wider than the 900-prefix premise"
+        );
+        // The other direction triggers: a 900-prefix seed is a restriction
+        // of a generic 3-digit-prefix premise.
+        let sigma2 =
+            vec![Pfd::constant_normal_form("R", &s, "a", r"[\D{3}]\D{2}", "b", "_").unwrap()];
+        let closure2 = pfd_closure(
+            &sigma2,
+            3,
+            &[(AttrId(0), cell(r"[900]\D{2}"))],
+            &ClosureConfig::default(),
+        );
+        assert!(closure2.contains_key(&AttrId(1)));
+    }
+
+    #[test]
+    fn tightening_updates_closure() {
+        // Two clauses derive b with nested patterns; closure keeps tighter.
+        let s = schema3();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap(),
+        ];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell("x"))],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(closure[&AttrId(1)], cell(r"900\D{2}"));
+    }
+
+    #[test]
+    fn condition_b_reduction_style() {
+        // (a, c) → b with c = ⊥, b constant: triggers even though c is not
+        // in the closure (Reduction axiom).
+        let s = schema3();
+        let sigma = vec![Pfd::normal_form(
+            "R",
+            &s,
+            &[("a", "x"), ("c", "_")],
+            ("b", "LA"),
+        )
+        .unwrap()];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell("x"))],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(closure[&AttrId(1)], cell("LA"));
+    }
+
+    #[test]
+    fn condition_b_needs_constant_rhs() {
+        // Same but RHS is a wildcard: must NOT trigger.
+        let s = schema3();
+        let sigma =
+            vec![Pfd::normal_form("R", &s, &[("a", "x"), ("c", "_")], ("b", "_")).unwrap()];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell("x"))],
+            &ClosureConfig::default(),
+        );
+        assert!(!closure.contains_key(&AttrId(1)));
+    }
+
+    #[test]
+    fn inconsistency_condition_fires() {
+        // Ψ forces every a to match \D{2} (wildcard LHS on b). The clause
+        // a=[\D{2}] → c=Q has premise pattern \D{2}; a seed of \D+ is wider,
+        // but \D+ ∖ \D{2} values are impossible under Ψ, so (a.ii) fires.
+        let s = schema3();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "b", "_", "a", r"\D{2}").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", r"[\D{2}]", "c", "Q").unwrap(),
+        ];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell(r"\D+"))],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(
+            closure.get(&AttrId(2)),
+            Some(&cell("Q")),
+            "closure: {closure:?}"
+        );
+        // With the condition disabled, the derivation is lost.
+        let weak = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell(r"\D+"))],
+            &ClosureConfig {
+                use_inconsistency_condition: false,
+                ..ClosureConfig::default()
+            },
+        );
+        assert!(!weak.contains_key(&AttrId(2)));
+    }
+
+    #[test]
+    fn wildcard_seed_behaves_like_fd_closure() {
+        // Plain FDs: a → b, b → c. Wildcard seed on a derives everything.
+        let s = schema3();
+        let sigma = vec![
+            Pfd::fd("R", &s, &["a"], &["b"]).unwrap(),
+            Pfd::fd("R", &s, &["b"], &["c"]).unwrap(),
+        ];
+        let closure = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), TableauCell::Wildcard)],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(closure.len(), 3);
+        assert!(closure[&AttrId(1)].is_wildcard());
+        assert!(closure[&AttrId(2)].is_wildcard());
+    }
+
+    #[test]
+    fn multi_attribute_premise() {
+        // (a, b) → c needs both in the closure.
+        let s = schema3();
+        let sigma =
+            vec![Pfd::normal_form("R", &s, &[("a", "x"), ("b", "y")], ("c", "z")).unwrap()];
+        let only_a = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell("x"))],
+            &ClosureConfig::default(),
+        );
+        assert!(!only_a.contains_key(&AttrId(2)));
+        let both = pfd_closure(
+            &sigma,
+            3,
+            &[(AttrId(0), cell("x")), (AttrId(1), cell("y"))],
+            &ClosureConfig::default(),
+        );
+        assert_eq!(both[&AttrId(2)], cell("z"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Consistency analysis (§3.2, Theorem 3, proof in §7.3).
+//!
+//! A set Ψ of PFDs is **consistent** when some non-empty instance satisfies
+//! it. The paper's small-model property (§7.3) shows a single tuple suffices,
+//! with per-attribute value length bounded by the summed pattern lengths —
+//! which makes the search NP (and it is NP-hard even over infinite domains).
+//!
+//! Our decision procedure follows the small-model argument directly, but
+//! replaces blind string enumeration with **membership signatures**: a
+//! tuple's behaviour w.r.t. Ψ is fully determined by which of the mentioned
+//! patterns each attribute value matches, so we (1) enumerate the satisfiable
+//! signatures per attribute via
+//! [`pfd_pattern::satisfiable_signatures`], then (2) backtrack over
+//! signature choices checking every clause `X → A`: if all LHS cells are
+//! matched, the RHS cell must be matched (the single-tuple degenerate case of
+//! the pair semantics).
+
+use crate::clause::{clauses_of, Clause};
+use pfd_core::{Pfd, TableauCell};
+use pfd_pattern::{satisfiable_signatures, Pattern};
+use pfd_relation::AttrId;
+use std::collections::BTreeMap;
+
+/// Result of a consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Consistency {
+    /// A witness tuple (one value per attribute, indexed by `AttrId`).
+    Consistent(Vec<String>),
+    /// No single-tuple model exists (hence no non-empty instance).
+    Inconsistent,
+    /// The signature enumeration exceeded its state budget.
+    Unknown,
+}
+
+impl Consistency {
+    /// Did the search find a witness?
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Consistency::Consistent(_))
+    }
+}
+
+/// An extra requirement threaded into the search: attribute `attr` must
+/// match all of `must` and none of `must_not`. Used by the closure
+/// algorithm's Inconsistency-EFQ side condition (Fig. 7, condition a.ii).
+#[derive(Debug, Clone, Default)]
+pub struct Requirement {
+    /// The constrained attribute.
+    pub attr: AttrId,
+    /// Patterns the attribute's value must match.
+    pub must: Vec<Pattern>,
+    /// Patterns the attribute's value must not match.
+    pub must_not: Vec<Pattern>,
+    /// At least one of these must match (disjunctive domain restriction —
+    /// how §7.3's reduction restricts attribute domains).
+    pub any_of: Vec<Pattern>,
+}
+
+/// Default exploration budget for the per-attribute signature search.
+pub const DEFAULT_STATE_LIMIT: usize = 200_000;
+
+/// The full pattern of a cell, `None` for the wildcard (always matches).
+fn cell_full_pattern(cell: &TableauCell) -> Option<Pattern> {
+    match cell {
+        TableauCell::Wildcard => None,
+        TableauCell::Pattern(p) => Some(p.full_pattern()),
+    }
+}
+
+struct AttrSpace {
+    /// Distinct patterns mentioned on this attribute.
+    patterns: Vec<Pattern>,
+    /// Satisfiable signatures with witnesses (filtered by requirements).
+    options: Vec<(Vec<bool>, String)>,
+}
+
+/// Check consistency of Ψ over a schema of `arity` attributes.
+pub fn check_consistency(sigma: &[Pfd], arity: usize) -> Consistency {
+    check_consistency_with(sigma, arity, &[], DEFAULT_STATE_LIMIT)
+}
+
+/// Consistency with extra per-attribute requirements and a state budget.
+pub fn check_consistency_with(
+    sigma: &[Pfd],
+    arity: usize,
+    requirements: &[Requirement],
+    state_limit: usize,
+) -> Consistency {
+    let clauses = clauses_of(sigma);
+
+    // Collect the distinct patterns mentioned per attribute (cells of Ψ and
+    // requirement patterns).
+    let mut per_attr: BTreeMap<AttrId, Vec<Pattern>> = BTreeMap::new();
+    let mut add = |attr: AttrId, p: Option<Pattern>| {
+        if let Some(p) = p {
+            let pats = per_attr.entry(attr).or_default();
+            if !pats.contains(&p) {
+                pats.push(p);
+            }
+        }
+    };
+    for c in &clauses {
+        for (a, cell) in &c.lhs {
+            add(*a, cell_full_pattern(cell));
+        }
+        add(c.rhs.0, cell_full_pattern(&c.rhs.1));
+    }
+    for r in requirements {
+        for p in r.must.iter().chain(&r.must_not).chain(&r.any_of) {
+            add(r.attr, Some(p.clone()));
+        }
+    }
+
+    // Enumerate satisfiable signatures per mentioned attribute.
+    let mut spaces: BTreeMap<AttrId, AttrSpace> = BTreeMap::new();
+    for (attr, patterns) in per_attr {
+        let refs: Vec<&Pattern> = patterns.iter().collect();
+        let Some(mut options) = satisfiable_signatures(&refs, state_limit) else {
+            return Consistency::Unknown;
+        };
+        // Apply requirements as signature filters.
+        for r in requirements.iter().filter(|r| r.attr == attr) {
+            options.retain(|(sig, _)| {
+                let bit = |p: &Pattern| patterns.iter().position(|q| q == p);
+                r.must.iter().all(|p| bit(p).is_some_and(|i| sig[i]))
+                    && r.must_not.iter().all(|p| bit(p).is_some_and(|i| !sig[i]))
+                    && (r.any_of.is_empty()
+                        || r.any_of.iter().any(|p| bit(p).is_some_and(|i| sig[i])))
+            });
+        }
+        if options.is_empty() {
+            return Consistency::Inconsistent;
+        }
+        spaces.insert(attr, AttrSpace { patterns, options });
+    }
+
+    // Backtracking over signature choices.
+    let attrs: Vec<AttrId> = spaces.keys().copied().collect();
+    let mut choice: BTreeMap<AttrId, usize> = BTreeMap::new();
+
+    // Is `cell` on `attr` matched under the current (partial) assignment?
+    // `None` = not yet decided.
+    let matched = |spaces: &BTreeMap<AttrId, AttrSpace>,
+                   choice: &BTreeMap<AttrId, usize>,
+                   attr: AttrId,
+                   cell: &TableauCell|
+     -> Option<bool> {
+        let Some(p) = cell_full_pattern(cell) else {
+            return Some(true); // wildcard
+        };
+        let space = spaces.get(&attr)?;
+        let idx = *choice.get(&attr)?;
+        let bit = space.patterns.iter().position(|q| *q == p)?;
+        Some(space.options[idx].0[bit])
+    };
+
+    // A clause is violated under a complete-enough assignment when all LHS
+    // cells are matched but the RHS cell is not.
+    let clause_ok = |spaces: &BTreeMap<AttrId, AttrSpace>,
+                     choice: &BTreeMap<AttrId, usize>,
+                     c: &Clause|
+     -> bool {
+        let mut all_lhs_matched = true;
+        for (a, cell) in &c.lhs {
+            match matched(spaces, choice, *a, cell) {
+                Some(true) => {}
+                Some(false) => return true, // LHS not matched: clause idle
+                None => {
+                    all_lhs_matched = false;
+                }
+            }
+        }
+        if !all_lhs_matched {
+            return true; // undecided: cannot be violated yet
+        }
+        // None = RHS attr not yet assigned: cannot be violated yet.
+        matched(spaces, choice, c.rhs.0, &c.rhs.1).unwrap_or(true)
+    };
+
+    type ClauseCheck<'a> =
+        &'a dyn Fn(&BTreeMap<AttrId, AttrSpace>, &BTreeMap<AttrId, usize>, &Clause) -> bool;
+
+    fn backtrack(
+        attrs: &[AttrId],
+        depth: usize,
+        spaces: &BTreeMap<AttrId, AttrSpace>,
+        choice: &mut BTreeMap<AttrId, usize>,
+        clauses: &[Clause],
+        clause_ok: ClauseCheck<'_>,
+    ) -> bool {
+        if depth == attrs.len() {
+            return clauses.iter().all(|c| clause_ok(spaces, choice, c));
+        }
+        let attr = attrs[depth];
+        for i in 0..spaces[&attr].options.len() {
+            choice.insert(attr, i);
+            if clauses.iter().all(|c| clause_ok(spaces, choice, c))
+                && backtrack(attrs, depth + 1, spaces, choice, clauses, clause_ok)
+            {
+                return true;
+            }
+        }
+        choice.remove(&attr);
+        false
+    }
+
+    if backtrack(&attrs, 0, &spaces, &mut choice, &clauses, &clause_ok) {
+        // Assemble the witness tuple.
+        let mut tuple = vec![String::new(); arity];
+        for (attr, idx) in &choice {
+            if attr.index() < arity {
+                tuple[attr.index()] = spaces[attr].options[*idx].1.clone();
+            }
+        }
+        Consistency::Consistent(tuple)
+    } else {
+        Consistency::Inconsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_relation::{Relation, Schema};
+
+    fn schema2() -> Schema {
+        Schema::new("R", ["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn single_pfd_is_consistent() {
+        let s = schema2();
+        let pfd =
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap();
+        let result = check_consistency(&[pfd], 2);
+        assert!(result.is_consistent(), "{result:?}");
+    }
+
+    #[test]
+    fn witness_actually_satisfies() {
+        let s = schema2();
+        let pfds = vec![
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", r"[\D{3}]\D{2}", "b", "_").unwrap(),
+        ];
+        match check_consistency(&pfds, 2) {
+            Consistency::Consistent(tuple) => {
+                let rel = Relation::from_rows(
+                    "R",
+                    &["a", "b"],
+                    vec![tuple.iter().map(String::as_str).collect::<Vec<_>>()],
+                )
+                .unwrap();
+                for pfd in &pfds {
+                    assert!(pfd.satisfies(&rel), "witness must satisfy {pfd}");
+                }
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_constants_are_inconsistent() {
+        // ψ1: any 5-digit a starting 900 → b = LA.
+        // ψ2: any 5-digit a starting 900 → b = NY.
+        // A tuple with a ↦ 900\D{2} needs b = LA and b = NY: impossible.
+        // But a tuple whose a does NOT match the pattern is fine, so the set
+        // *is* consistent (witness avoids the pattern).
+        let s = schema2();
+        let pfds = vec![
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "NY").unwrap(),
+        ];
+        let result = check_consistency(&pfds, 2);
+        assert!(result.is_consistent(), "{result:?}");
+        // Force a to match: now genuinely inconsistent.
+        let req = Requirement {
+            attr: AttrId(0),
+            must: vec![pfd_pattern::parse_pattern(r"900\D{2}").unwrap()],
+            ..Requirement::default()
+        };
+        let forced = check_consistency_with(&pfds, 2, &[req], DEFAULT_STATE_LIMIT);
+        assert_eq!(forced, Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn self_contradictory_rhs_shape() {
+        // a → b with b = \D+ and a → b with b = \LU+, plus a requirement
+        // that a matches. The two RHS shapes are disjoint.
+        let s = schema2();
+        let pfds = vec![
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D+").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\LU+").unwrap(),
+        ];
+        let req = Requirement {
+            attr: AttrId(0),
+            must: vec![pfd_pattern::parse_pattern("x").unwrap()],
+            ..Requirement::default()
+        };
+        assert_eq!(
+            check_consistency_with(&pfds, 2, &[req], DEFAULT_STATE_LIMIT),
+            Consistency::Inconsistent
+        );
+    }
+
+    #[test]
+    fn escape_via_nonmatching_value() {
+        // Same contradiction as above but no requirement: consistent because
+        // the witness's a-value simply avoids "x".
+        let s = schema2();
+        let pfds = vec![
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D+").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\LU+").unwrap(),
+        ];
+        match check_consistency(&pfds, 2) {
+            Consistency::Consistent(tuple) => assert_ne!(tuple[0], "x"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_implications() {
+        // a=x → b=\D{2}; b=\D{2} (any) → c=Q. Consistent; witness either
+        // avoids x or satisfies the chain.
+        let s = Schema::new("R", ["a", "b", "c"]).unwrap();
+        let pfds = vec![
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{2}").unwrap(),
+            Pfd::constant_normal_form("R", &s, "b", r"[\D{2}]", "c", "Q").unwrap(),
+        ];
+        let req = Requirement {
+            attr: AttrId(0),
+            must: vec![pfd_pattern::parse_pattern("x").unwrap()],
+            ..Requirement::default()
+        };
+        match check_consistency_with(&pfds, 3, &[req], DEFAULT_STATE_LIMIT) {
+            Consistency::Consistent(tuple) => {
+                assert_eq!(tuple[0], "x");
+                assert_eq!(tuple[1].len(), 2);
+                assert!(tuple[1].chars().all(|c| c.is_ascii_digit()));
+                assert_eq!(tuple[2], "Q");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn must_not_requirement() {
+        let s = schema2();
+        let pfd = Pfd::constant_normal_form("R", &s, "a", r"\D+", "b", "_").unwrap();
+        // Require a to match \D+ but not \D{5}: witness has digits, len ≠ 5.
+        let req = Requirement {
+            attr: AttrId(0),
+            must: vec![pfd_pattern::parse_pattern(r"\D+").unwrap()],
+            must_not: vec![pfd_pattern::parse_pattern(r"\D{5}").unwrap()],
+            ..Requirement::default()
+        };
+        match check_consistency_with(&[pfd], 2, &[req], DEFAULT_STATE_LIMIT) {
+            Consistency::Consistent(tuple) => {
+                assert!(tuple[0].chars().all(|c| c.is_ascii_digit()));
+                assert!(!tuple[0].is_empty());
+                assert_ne!(tuple[0].len(), 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sigma_is_consistent() {
+        assert!(check_consistency(&[], 3).is_consistent());
+    }
+}

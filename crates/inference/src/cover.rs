@@ -1,0 +1,140 @@
+//! Minimal covers of PFD sets.
+//!
+//! Discovery returns redundant constraints — a tighter tableau row is often
+//! implied by a generalized one, and transitive chains imply their
+//! composites. For rule management (§4.5's human-review workflow: the fewer
+//! rules an expert must validate, the better) we compute a **minimal
+//! cover**: a subset `Σ' ⊆ Σ` with `Σ' ⊨ σ` for every `σ ∈ Σ` and no
+//! proper subset of `Σ'` sufficing. This is the classic FD-cover
+//! construction lifted to PFDs through the Theorem 1 implication machinery.
+
+use crate::implication::implies;
+use pfd_core::Pfd;
+
+/// Compute a minimal cover of `sigma` over a schema of `arity` attributes.
+///
+/// Greedy elimination: drop any member implied by the others, iterating
+/// until fixpoint. The result depends on iteration order (minimal covers
+/// are not unique); members are considered in reverse so that earlier,
+/// higher-priority rules survive ties.
+pub fn minimal_cover(sigma: &[Pfd], arity: usize) -> Vec<Pfd> {
+    let mut kept: Vec<Pfd> = sigma.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse order: prefer dropping later (lower-priority) rules.
+        for i in (0..kept.len()).rev() {
+            let candidate = kept[i].clone();
+            let rest: Vec<Pfd> = kept
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            if implies(&rest, &candidate, arity) {
+                kept.remove(i);
+                changed = true;
+            }
+        }
+    }
+    kept
+}
+
+/// Are two PFD sets equivalent (each implies every member of the other)?
+pub fn equivalent_sets(a: &[Pfd], b: &[Pfd], arity: usize) -> bool {
+    b.iter().all(|p| implies(a, p, arity)) && a.iter().all(|p| implies(b, p, arity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_relation::Schema;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn transitive_composite_is_dropped() {
+        let s = schema();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap(),
+            // Implied by the two above (transitivity).
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "c", "CA").unwrap(),
+        ];
+        let cover = minimal_cover(&sigma, 3);
+        assert_eq!(cover.len(), 2, "{cover:?}");
+        assert!(equivalent_sets(&cover, &sigma, 3));
+    }
+
+    #[test]
+    fn tighter_premise_is_dropped_under_generalization() {
+        let s = schema();
+        let sigma = vec![
+            // General: any 3-digit zip prefix determines b.
+            Pfd::constant_normal_form("R", &s, "a", r"[\D{3}]\D{2}", "b", "_").unwrap(),
+            // Special case: implied by the general rule.
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "_").unwrap(),
+        ];
+        let cover = minimal_cover(&sigma, 3);
+        assert_eq!(cover.len(), 1);
+        // The surviving rule is the general one.
+        assert_eq!(cover[0], sigma[0]);
+    }
+
+    #[test]
+    fn independent_rules_all_survive() {
+        let s = schema();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", "x", "b", "1").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", "y", "b", "2").unwrap(),
+            Pfd::constant_normal_form("R", &s, "b", "1", "c", "p").unwrap(),
+        ];
+        let cover = minimal_cover(&sigma, 3);
+        assert_eq!(cover.len(), 3);
+    }
+
+    #[test]
+    fn cover_is_minimal() {
+        let s = schema();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "c", "CA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", r"[\D{3}]\D{2}", "b", "_").unwrap(),
+        ];
+        let cover = minimal_cover(&sigma, 3);
+        // No member of the cover is implied by the rest.
+        for i in 0..cover.len() {
+            let rest: Vec<Pfd> = cover
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            assert!(
+                !implies(&rest, &cover[i], 3),
+                "cover member {} is redundant",
+                cover[i]
+            );
+        }
+        assert!(equivalent_sets(&cover, &sigma, 3));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = schema();
+        assert!(minimal_cover(&[], 3).is_empty());
+        let one = vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", "1").unwrap()];
+        assert_eq!(minimal_cover(&one, 3).len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let s = schema();
+        let p = Pfd::constant_normal_form("R", &s, "a", "x", "b", "1").unwrap();
+        let cover = minimal_cover(&[p.clone(), p.clone(), p], 3);
+        assert_eq!(cover.len(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Implication analysis (§3.1, Theorem 2).
+//!
+//! `Ψ ⊨ ψ` iff every instance satisfying Ψ satisfies ψ. By Theorem 1 the
+//! axiom system — equivalently the PFD-closure of Fig. 7 — decides logical
+//! implication; [`implies`] is the closure-based decision procedure. The
+//! problem is coNP-complete (Theorem 2); the closure's inconsistency side
+//! conditions are where the hardness lives, each an NP consistency query.
+//!
+//! [`refute_implication`] is the complementary *bounded counterexample
+//! search* from the Theorem 2 proof: guess a two-tuple instance over the
+//! symbolic alphabet with per-attribute lengths bounded by the summed
+//! pattern lengths, and check `Is ⊨ Ψ ∧ Is ⊭ ψ` with the real semantics.
+//! We use it in tests to cross-validate the closure.
+
+use crate::clause::{clauses_of, Clause};
+use crate::closure::{pfd_closure, ClosureConfig};
+use crate::consistency::{check_consistency_with, Consistency, Requirement};
+use pfd_core::{Pfd, TableauCell};
+use pfd_pattern::{satisfiable_signatures, Pattern};
+use pfd_relation::{AttrId, Relation};
+use std::collections::BTreeMap;
+
+/// Closure-based implication: does Ψ imply ψ over a schema of `arity`
+/// attributes?
+pub fn implies(sigma: &[Pfd], psi: &Pfd, arity: usize) -> bool {
+    let config = ClosureConfig::default();
+    clauses_of(std::slice::from_ref(psi))
+        .iter()
+        .all(|clause| clause_implied(sigma, clause, arity, &config))
+}
+
+fn clause_implied(sigma: &[Pfd], clause: &Clause, arity: usize, config: &ClosureConfig) -> bool {
+    let closure = pfd_closure(sigma, arity, &clause.lhs, config);
+    if let Some(derived) = closure.get(&clause.rhs.0) {
+        if derived.is_restriction_of(&clause.rhs.1) {
+            return true;
+        }
+    }
+    // Inconsistency-EFQ: if Ψ admits *no* tuple matching the clause's LHS
+    // patterns (e.g. Ψ forces contradictory RHS constants for that premise),
+    // the clause holds vacuously on every instance satisfying Ψ.
+    if !config.use_inconsistency_condition {
+        return false;
+    }
+    let requirements: Vec<Requirement> = clause
+        .lhs
+        .iter()
+        .filter_map(|(a, cell)| match cell {
+            TableauCell::Wildcard => None,
+            TableauCell::Pattern(p) => Some(Requirement {
+                attr: *a,
+                must: vec![p.full_pattern()],
+                ..Requirement::default()
+            }),
+        })
+        .collect();
+    !requirements.is_empty()
+        && matches!(
+            check_consistency_with(sigma, arity, &requirements, config.state_limit),
+            Consistency::Inconsistent
+        )
+}
+
+/// Candidate value pools per attribute for the bounded refutation search:
+/// witnesses of every satisfiable membership signature, plus one same-class
+/// variant per witness (so that pairs with equal pattern behaviour but
+/// different extractions exist), plus the empty string.
+fn value_pools(sigma: &[Pfd], psi: &Pfd, arity: usize, state_limit: usize) -> Vec<Vec<String>> {
+    let mut per_attr: BTreeMap<AttrId, Vec<Pattern>> = BTreeMap::new();
+    let mut all: Vec<&Pfd> = sigma.iter().collect();
+    all.push(psi);
+    let mut literals: Vec<char> = Vec::new();
+    for pfd in &all {
+        for clause in clauses_of(std::slice::from_ref(*pfd)) {
+            for (a, cell) in clause.lhs.iter().chain(std::iter::once(&clause.rhs)) {
+                if let TableauCell::Pattern(p) = cell {
+                    let full = p.full_pattern();
+                    // Track literal chars to avoid variants colliding with
+                    // mentioned constants.
+                    collect_literal_chars(&full, &mut literals);
+                    let pats = per_attr.entry(*a).or_default();
+                    if !pats.contains(&full) {
+                        pats.push(full);
+                    }
+                }
+            }
+        }
+    }
+
+    // Seed every pool with the empty string and two generic distinct values
+    // so that wildcard-only (plain FD) cells still get agree/disagree pairs.
+    let mut pools: Vec<Vec<String>> =
+        vec![vec![String::new(), "0".into(), "1".into()]; arity];
+    for (attr, pats) in per_attr {
+        if attr.index() >= arity {
+            continue;
+        }
+        let refs: Vec<&Pattern> = pats.iter().collect();
+        let Some(sigs) = satisfiable_signatures(&refs, state_limit) else {
+            continue;
+        };
+        let pool = &mut pools[attr.index()];
+        for (_, witness) in sigs {
+            if !pool.contains(&witness) {
+                pool.push(witness.clone());
+            }
+            if let Some(variant) = same_class_variant(&witness, &literals) {
+                if !pool.contains(&variant) {
+                    pool.push(variant);
+                }
+            }
+        }
+    }
+    pools
+}
+
+fn collect_literal_chars(p: &Pattern, out: &mut Vec<char>) {
+    use pfd_pattern::Atom;
+    fn walk(atom: &Atom, out: &mut Vec<char>) {
+        match atom {
+            Atom::Literal(c) => {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+            Atom::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Atom::Group(elements) => {
+                for e in elements {
+                    walk(&e.atom, out);
+                }
+            }
+            Atom::Class(_) => {}
+        }
+    }
+    for e in p.elements() {
+        walk(&e.atom, out);
+    }
+}
+
+/// Replace each non-literal character with a different character of the same
+/// class (staying off the mentioned literals keeps the membership signature
+/// identical while changing the string — and hence possibly the extraction).
+fn same_class_variant(s: &str, literals: &[char]) -> Option<String> {
+    let mut changed = false;
+    let out: String = s
+        .chars()
+        .map(|c| {
+            if literals.contains(&c) {
+                return c;
+            }
+            let class = pfd_pattern::CharClass::of_char(c);
+            let mut exclude = literals.to_vec();
+            exclude.push(c);
+            match class.representative(&exclude) {
+                Some(r) => {
+                    changed = true;
+                    r
+                }
+                None => c,
+            }
+        })
+        .collect();
+    if changed {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Bounded two-tuple counterexample search (the NP algorithm in the proof of
+/// Theorem 2). Returns a two-row instance `Is` with `Is ⊨ Ψ` and `Is ⊭ ψ`,
+/// or `None` if none exists within the budget. Sound but not complete: a
+/// `None` does not prove implication (use [`implies`] for that).
+pub fn refute_implication(
+    sigma: &[Pfd],
+    psi: &Pfd,
+    arity: usize,
+    budget: usize,
+) -> Option<Relation> {
+    let pools = value_pools(sigma, psi, arity, 100_000);
+    let names: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    // Enumerate pairs of tuples over the pools (odometer-style), capped.
+    let mut checked = 0usize;
+    let mut odo1 = vec![0usize; arity];
+    loop {
+        let t1: Vec<&str> = odo1
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| pools[i][j].as_str())
+            .collect();
+        let mut odo2 = vec![0usize; arity];
+        loop {
+            let t2: Vec<&str> = odo2
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| pools[i][j].as_str())
+                .collect();
+            checked += 1;
+            if checked > budget {
+                return None;
+            }
+            let rel = Relation::from_rows("R", &name_refs, vec![t1.clone(), t2.clone()])
+                .expect("pool tuples have schema arity");
+            if !psi.satisfies(&rel) && sigma.iter().all(|p| p.satisfies(&rel)) {
+                return Some(rel);
+            }
+            if !advance(&mut odo2, &pools) {
+                break;
+            }
+        }
+        if !advance(&mut odo1, &pools) {
+            return None;
+        }
+    }
+}
+
+fn advance(odo: &mut [usize], pools: &[Vec<String>]) -> bool {
+    for i in 0..odo.len() {
+        odo[i] += 1;
+        if odo[i] < pools[i].len() {
+            return true;
+        }
+        odo[i] = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfd_relation::Schema;
+
+    fn schema3() -> Schema {
+        Schema::new("R", ["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn transitivity_is_implied() {
+        let s = schema3();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
+            Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap(),
+        ];
+        let psi =
+            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "c", "CA").unwrap();
+        assert!(implies(&sigma, &psi, 3));
+    }
+
+    #[test]
+    fn unrelated_is_not_implied() {
+        let s = schema3();
+        let sigma =
+            vec![Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap()];
+        let psi = Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "c", "CA").unwrap();
+        assert!(!implies(&sigma, &psi, 3));
+        // And the bounded refuter finds a model separating them.
+        let refutation = refute_implication(&sigma, &psi, 3, 100_000);
+        assert!(refutation.is_some(), "expected a counterexample instance");
+    }
+
+    #[test]
+    fn reflexivity_is_implied_from_nothing() {
+        // R(a → a) with the LHS pattern a restriction of the RHS pattern.
+        let s = schema3();
+        let psi = Pfd::normal_form("R", &s, &[("a", r"[John]\A*")], ("a", r"[\LU\LL*]\A*"))
+            .unwrap();
+        assert!(implies(&[], &psi, 3));
+    }
+
+    #[test]
+    fn widening_the_rhs_is_implied() {
+        // a → b with RHS 900\D{2} implies a → b with RHS \D{5} (a looser
+        // pattern containing it).
+        let s = schema3();
+        let sigma =
+            vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap()];
+        let wider = Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap();
+        assert!(implies(&sigma, &wider, 3));
+        // The converse does not hold.
+        let sigma2 =
+            vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap()];
+        let tighter = Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap();
+        assert!(!implies(&sigma2, &tighter, 3));
+    }
+
+    #[test]
+    fn tighter_premise_is_implied() {
+        // Ψ: [\D{3}]\D{2} → ⊥ (any 3-digit prefix determines b). ψ with the
+        // tighter premise [900]\D{2} is implied.
+        let s = schema3();
+        let sigma =
+            vec![Pfd::constant_normal_form("R", &s, "a", r"[\D{3}]\D{2}", "b", "_").unwrap()];
+        let psi = Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "_").unwrap();
+        assert!(implies(&sigma, &psi, 3));
+        // The converse (generalizing the premise) is not implied.
+        let sigma2 =
+            vec![Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "_").unwrap()];
+        let psi2 = Pfd::constant_normal_form("R", &s, "a", r"[\D{3}]\D{2}", "b", "_").unwrap();
+        assert!(!implies(&sigma2, &psi2, 3));
+    }
+
+    #[test]
+    fn refuter_agrees_with_closure_on_samples() {
+        let s = schema3();
+        let cases: Vec<(Vec<Pfd>, Pfd)> = vec![
+            (
+                vec![Pfd::fd("R", &s, &["a"], &["b"]).unwrap()],
+                Pfd::fd("R", &s, &["a"], &["c"]).unwrap(),
+            ),
+            (
+                vec![
+                    Pfd::fd("R", &s, &["a"], &["b"]).unwrap(),
+                    Pfd::fd("R", &s, &["b"], &["c"]).unwrap(),
+                ],
+                Pfd::fd("R", &s, &["a"], &["c"]).unwrap(),
+            ),
+            (
+                vec![Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA")
+                    .unwrap()],
+                Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "NY").unwrap(),
+            ),
+        ];
+        for (sigma, psi) in cases {
+            let implied = implies(&sigma, &psi, 3);
+            let refuted = refute_implication(&sigma, &psi, 3, 200_000).is_some();
+            assert!(
+                implied != refuted,
+                "closure and refuter must agree: implied={implied} refuted={refuted} ψ={psi}"
+            );
+        }
+    }
+
+    #[test]
+    fn vacuous_premise_implies_anything() {
+        // Ψ forces b = x and b = y whenever a = 90: no tuple can have
+        // a = 90, so any PFD with that premise holds vacuously
+        // (Inconsistency-EFQ).
+        let s = schema3();
+        let sigma = vec![
+            Pfd::constant_normal_form("R", &s, "a", "90", "b", "x").unwrap(),
+            Pfd::constant_normal_form("R", &s, "a", "90", "b", "y").unwrap(),
+        ];
+        let anything = Pfd::constant_normal_form("R", &s, "a", "90", "c", "whatever").unwrap();
+        assert!(implies(&sigma, &anything, 3));
+        // …and members of Ψ are implied too.
+        for psi in &sigma {
+            assert!(implies(&sigma, psi, 3));
+        }
+        // But a different premise is not implied.
+        let other = Pfd::constant_normal_form("R", &s, "a", "91", "c", "whatever").unwrap();
+        assert!(!implies(&sigma, &other, 3));
+    }
+
+    #[test]
+    fn refutation_instance_is_a_real_counterexample() {
+        let s = schema3();
+        let sigma = vec![Pfd::fd("R", &s, &["a"], &["b"]).unwrap()];
+        let psi = Pfd::fd("R", &s, &["b"], &["a"]).unwrap();
+        let rel = refute_implication(&sigma, &psi, 3, 200_000).expect("refutable");
+        assert!(sigma.iter().all(|p| p.satisfies(&rel)));
+        assert!(!psi.satisfies(&rel));
+    }
+}

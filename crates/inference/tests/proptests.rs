@@ -1,0 +1,123 @@
+//! Property-based tests for the reasoning machinery: closure monotonicity,
+//! implication soundness against instance semantics, and consistency-witness
+//! faithfulness.
+
+use pfd_core::{Pfd, TableauCell};
+use pfd_inference::{
+    check_consistency, implies, pfd_closure, refute_implication, ClosureConfig, Consistency,
+};
+use pfd_relation::{AttrId, Relation, Schema};
+use proptest::prelude::*;
+
+/// Random small sets of constant normal-form PFDs over R(a, b, c) with a
+/// tiny constant vocabulary, so chains and conflicts actually occur.
+fn random_sigma() -> impl Strategy<Value = Vec<Pfd>> {
+    let consts = prop_oneof![
+        Just("x"),
+        Just("y"),
+        Just("90"),
+        Just("LA")
+    ];
+    let attr_pair = prop_oneof![
+        Just(("a", "b")),
+        Just(("b", "c")),
+        Just(("a", "c")),
+        Just(("c", "b")),
+    ];
+    proptest::collection::vec((attr_pair, consts.clone(), consts), 1..5).prop_map(|specs| {
+        let schema = Schema::new("R", ["a", "b", "c"]).unwrap();
+        specs
+            .into_iter()
+            .map(|((l, r), lc, rc)| {
+                Pfd::constant_normal_form("R", &schema, l, lc, r, rc).unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn closure_is_monotone_in_sigma(sigma in random_sigma()) {
+        let seed = vec![(AttrId(0), TableauCell::parse("x").unwrap())];
+        let config = ClosureConfig::default();
+        for split in 0..=sigma.len() {
+            let small = pfd_closure(&sigma[..split], 3, &seed, &config);
+            let full = pfd_closure(&sigma, 3, &seed, &config);
+            for attr in small.keys() {
+                prop_assert!(
+                    full.contains_key(attr),
+                    "closure lost attribute {attr} when Ψ grew"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_contains_seed(sigma in random_sigma()) {
+        let seed = vec![
+            (AttrId(0), TableauCell::parse("x").unwrap()),
+            (AttrId(2), TableauCell::Wildcard),
+        ];
+        let closure = pfd_closure(&sigma, 3, &seed, &ClosureConfig::default());
+        for (attr, _) in &seed {
+            prop_assert!(closure.contains_key(attr));
+        }
+    }
+
+    #[test]
+    fn members_are_always_implied(sigma in random_sigma()) {
+        for psi in &sigma {
+            prop_assert!(
+                implies(&sigma, psi, 3),
+                "Ψ failed to imply its own member {psi}"
+            );
+        }
+    }
+
+    #[test]
+    fn implication_and_refuter_never_both_fire(sigma in random_sigma()) {
+        let schema = Schema::new("R", ["a", "b", "c"]).unwrap();
+        let psi = Pfd::constant_normal_form("R", &schema, "a", "x", "c", "LA").unwrap();
+        let implied = implies(&sigma, &psi, 3);
+        if implied {
+            // Soundness: no counterexample may exist.
+            let refutation = refute_implication(&sigma, &psi, 3, 50_000);
+            prop_assert!(
+                refutation.is_none(),
+                "closure says implied but a model refutes it: {:?}",
+                refutation
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_witness_satisfies_sigma(sigma in random_sigma()) {
+        match check_consistency(&sigma, 3) {
+            Consistency::Consistent(tuple) => {
+                let rel = Relation::from_rows(
+                    "R",
+                    &["a", "b", "c"],
+                    vec![tuple.iter().map(String::as_str).collect::<Vec<_>>()],
+                )
+                .unwrap();
+                for pfd in &sigma {
+                    prop_assert!(
+                        pfd.satisfies(&rel),
+                        "witness {:?} violates {}",
+                        tuple,
+                        pfd
+                    );
+                }
+            }
+            Consistency::Inconsistent => {
+                // Constant normal-form PFDs always admit the escape tuple
+                // whose values match no LHS constant, so inconsistency
+                // should be impossible here.
+                prop_assert!(false, "constant PFDs over infinite domains must be consistent");
+            }
+            Consistency::Unknown => {} // budget exceeded: no claim
+        }
+    }
+}

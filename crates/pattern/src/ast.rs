@@ -1,0 +1,441 @@
+//! The pattern AST of §2.1.
+//!
+//! A pattern is a sequence of quantified atoms over the generalization tree.
+//! The paper deliberately restricts the language below general regular
+//! expressions: quantifiers are `{N}`, `+` and `*`, atoms are characters,
+//! classes, conjunctions (`α & β`) and non-recursive groups. Recursive
+//! patterns such as `(α+)*` are rejected (see [`Pattern::validate`]), which
+//! keeps reasoning, discovery and application tractable (§2.1).
+
+use crate::class::CharClass;
+use std::fmt;
+
+/// An atom: the unit a quantifier applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A concrete character — a leaf of the generalization tree.
+    Literal(char),
+    /// An intermediate node of the generalization tree (`\A`, `\LU`, …).
+    Class(CharClass),
+    /// Logical and of two atoms (`α & β` in the paper): a character matches
+    /// iff it matches both sides.
+    And(Box<Atom>, Box<Atom>),
+    /// A parenthesized sequence. Quantified groups must not contain
+    /// quantified elements — that would be a recursive pattern.
+    Group(Vec<Element>),
+}
+
+impl Atom {
+    /// Does a single character satisfy this atom? Only meaningful for
+    /// character-level atoms; `Group` returns `None`.
+    pub fn char_matches(&self, c: char) -> Option<bool> {
+        match self {
+            Atom::Literal(l) => Some(*l == c),
+            Atom::Class(class) => Some(class.contains(c)),
+            Atom::And(a, b) => Some(a.char_matches(c)? && b.char_matches(c)?),
+            Atom::Group(_) => None,
+        }
+    }
+
+    /// Is this a character-level atom (not a group)?
+    pub fn is_char_level(&self) -> bool {
+        !matches!(self, Atom::Group(_))
+    }
+}
+
+/// A quantifier attached to an atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quant {
+    /// Exactly one occurrence (no suffix in the concrete syntax).
+    One,
+    /// `{N}` — exactly `N` occurrences (`N ≥ 1`).
+    Exactly(u32),
+    /// `+` — one or more occurrences.
+    Plus,
+    /// `*` — zero or more occurrences (Kleene star).
+    Star,
+}
+
+impl Quant {
+    /// Minimum number of occurrences this quantifier admits.
+    pub fn min(self) -> u32 {
+        match self {
+            Quant::One => 1,
+            Quant::Exactly(n) => n,
+            Quant::Plus => 1,
+            Quant::Star => 0,
+        }
+    }
+
+    /// Maximum number of occurrences, `None` meaning unbounded.
+    pub fn max(self) -> Option<u32> {
+        match self {
+            Quant::One => Some(1),
+            Quant::Exactly(n) => Some(n),
+            Quant::Plus | Quant::Star => None,
+        }
+    }
+
+    /// Is this quantifier unbounded (`+` or `*`)?
+    pub fn is_unbounded(self) -> bool {
+        self.max().is_none()
+    }
+}
+
+/// A quantified atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Element {
+    /// The atom being repeated.
+    pub atom: Atom,
+    /// How many occurrences are allowed.
+    pub quant: Quant,
+}
+
+impl Element {
+    /// Pair an atom with a quantifier.
+    pub fn new(atom: Atom, quant: Quant) -> Self {
+        Element { atom, quant }
+    }
+
+    /// A single literal character.
+    pub fn literal(c: char) -> Self {
+        Element::new(Atom::Literal(c), Quant::One)
+    }
+
+    /// A single class occurrence.
+    pub fn class(class: CharClass) -> Self {
+        Element::new(Atom::Class(class), Quant::One)
+    }
+}
+
+/// Errors raised by [`Pattern::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// `(α+)*`-style recursion: a quantified group containing quantified
+    /// elements. §2.1: "We do not consider recursive patterns".
+    RecursivePattern,
+    /// `{0}` — the paper's `α{N}` means N repetitions with `N ≥ 1`; zero
+    /// repetitions are expressed with `*`.
+    ZeroRepetition,
+    /// A conjunction whose sides are groups (conjunction is char-level).
+    GroupInConjunction,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::RecursivePattern => {
+                write!(f, "recursive patterns like (α+)* are not allowed")
+            }
+            PatternError::ZeroRepetition => write!(f, "repetition count must be at least 1"),
+            PatternError::GroupInConjunction => {
+                write!(f, "conjunction (&) applies to characters and classes only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A pattern: a sequence of quantified atoms (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pattern {
+    elements: Vec<Element>,
+}
+
+impl Pattern {
+    /// The empty pattern — matches only the empty string ε.
+    pub fn empty() -> Self {
+        Pattern::default()
+    }
+
+    /// Build a pattern from elements, validating the non-recursion rules.
+    pub fn new(elements: Vec<Element>) -> Result<Self, PatternError> {
+        let p = Pattern { elements };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Build without validation. Used internally where elements are known
+    /// valid by construction.
+    pub(crate) fn from_elements_unchecked(elements: Vec<Element>) -> Self {
+        Pattern { elements }
+    }
+
+    /// A pattern matching exactly the given string.
+    pub fn constant(s: &str) -> Self {
+        Pattern {
+            elements: s.chars().map(Element::literal).collect(),
+        }
+    }
+
+    /// The `\A*` pattern: matches any string.
+    pub fn any_string() -> Self {
+        Pattern {
+            elements: vec![Element::new(Atom::Class(CharClass::Any), Quant::Star)],
+        }
+    }
+
+    /// `class{n}` convenience constructor.
+    pub fn class_repeat(class: CharClass, n: u32) -> Self {
+        Pattern {
+            elements: vec![Element::new(
+                Atom::Class(class),
+                if n == 1 { Quant::One } else { Quant::Exactly(n) },
+            )],
+        }
+    }
+
+    /// The element sequence of the pattern.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Is this the empty pattern ε?
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Number of elements (quantified atoms).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Concatenate two patterns.
+    pub fn concat(&self, other: &Pattern) -> Pattern {
+        let mut elements = self.elements.clone();
+        elements.extend(other.elements.iter().cloned());
+        Pattern { elements }
+    }
+
+    /// Append one element.
+    pub fn push(&mut self, element: Element) {
+        self.elements.push(element);
+    }
+
+    /// Enforce the §2.1 restrictions: no recursion, `{N}` with `N ≥ 1`,
+    /// char-level conjunction.
+    pub fn validate(&self) -> Result<(), PatternError> {
+        fn check_atom(atom: &Atom, under_quant: bool) -> Result<(), PatternError> {
+            match atom {
+                Atom::Literal(_) | Atom::Class(_) => Ok(()),
+                Atom::And(a, b) => {
+                    if !a.is_char_level() || !b.is_char_level() {
+                        return Err(PatternError::GroupInConjunction);
+                    }
+                    check_atom(a, under_quant)?;
+                    check_atom(b, under_quant)
+                }
+                Atom::Group(elements) => {
+                    for e in elements {
+                        let quantified = e.quant != Quant::One;
+                        if under_quant && quantified {
+                            return Err(PatternError::RecursivePattern);
+                        }
+                        if let Quant::Exactly(0) = e.quant {
+                            return Err(PatternError::ZeroRepetition);
+                        }
+                        check_atom(&e.atom, under_quant || quantified)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        for e in &self.elements {
+            if let Quant::Exactly(0) = e.quant {
+                return Err(PatternError::ZeroRepetition);
+            }
+            check_atom(&e.atom, e.quant != Quant::One)?;
+        }
+        Ok(())
+    }
+
+    /// If this pattern's language is a single string, return it.
+    ///
+    /// This is the notion of a *constant pattern* used throughout the paper
+    /// (e.g. `M`, `Los Angeles`, `900`): tableau cells whose constrained part
+    /// is constant make the PFD applicable to single tuples (§2.2).
+    pub fn as_constant(&self) -> Option<String> {
+        fn extend(out: &mut String, elements: &[Element]) -> Option<()> {
+            for e in elements {
+                let n = match e.quant {
+                    Quant::One => 1,
+                    Quant::Exactly(n) => n,
+                    Quant::Plus | Quant::Star => return None,
+                };
+                match &e.atom {
+                    Atom::Literal(c) => {
+                        for _ in 0..n {
+                            out.push(*c);
+                        }
+                    }
+                    Atom::Group(inner) => {
+                        for _ in 0..n {
+                            extend(out, inner)?;
+                        }
+                    }
+                    Atom::Class(_) | Atom::And(..) => return None,
+                }
+            }
+            Some(())
+        }
+        let mut out = String::new();
+        extend(&mut out, &self.elements)?;
+        Some(out)
+    }
+
+    /// Is this pattern a constant (singleton language)?
+    pub fn is_constant(&self) -> bool {
+        self.as_constant().is_some()
+    }
+
+    /// The minimum length of a string in this pattern's language.
+    pub fn min_len(&self) -> usize {
+        fn elem_min(e: &Element) -> usize {
+            let unit = match &e.atom {
+                Atom::Literal(_) | Atom::Class(_) | Atom::And(..) => 1,
+                Atom::Group(inner) => inner.iter().map(elem_min).sum(),
+            };
+            unit * e.quant.min() as usize
+        }
+        self.elements.iter().map(elem_min).sum()
+    }
+
+    /// The maximum length of a string in the language, `None` if unbounded.
+    pub fn max_len(&self) -> Option<usize> {
+        fn elem_max(e: &Element) -> Option<usize> {
+            let unit = match &e.atom {
+                Atom::Literal(_) | Atom::Class(_) | Atom::And(..) => 1,
+                Atom::Group(inner) => inner.iter().map(elem_max).sum::<Option<usize>>()?,
+            };
+            Some(unit * e.quant.max()? as usize)
+        }
+        self.elements.iter().map(elem_max).sum()
+    }
+
+    /// Length of the pattern description (number of atoms counting
+    /// repetitions, unbounded quantifiers counted once). Used for the
+    /// small-model bounds of Theorems 2 and 3 (`∑ |t_ψ[A]|`).
+    pub fn description_len(&self) -> usize {
+        fn elem_len(e: &Element) -> usize {
+            let unit = match &e.atom {
+                Atom::Literal(_) | Atom::Class(_) | Atom::And(..) => 1,
+                Atom::Group(inner) => inner.iter().map(elem_len).sum(),
+            };
+            match e.quant {
+                Quant::One => unit,
+                Quant::Exactly(n) => unit * n as usize,
+                Quant::Plus | Quant::Star => unit,
+            }
+        }
+        self.elements.iter().map(elem_len).sum::<usize>().max(1)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_roundtrip() {
+        let p = Pattern::constant("900");
+        assert_eq!(p.as_constant().as_deref(), Some("900"));
+        assert!(p.is_constant());
+        assert_eq!(p.min_len(), 3);
+        assert_eq!(p.max_len(), Some(3));
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon_constant() {
+        let p = Pattern::empty();
+        assert_eq!(p.as_constant().as_deref(), Some(""));
+        assert_eq!(p.min_len(), 0);
+        assert_eq!(p.max_len(), Some(0));
+    }
+
+    #[test]
+    fn any_string_is_not_constant() {
+        let p = Pattern::any_string();
+        assert!(!p.is_constant());
+        assert_eq!(p.min_len(), 0);
+        assert_eq!(p.max_len(), None);
+    }
+
+    #[test]
+    fn class_repeat_lengths() {
+        let p = Pattern::class_repeat(CharClass::Digit, 5);
+        assert_eq!(p.min_len(), 5);
+        assert_eq!(p.max_len(), Some(5));
+        assert!(!p.is_constant());
+    }
+
+    #[test]
+    fn recursive_group_rejected() {
+        // (a+)* — quantified group with a quantified element inside.
+        let inner = vec![Element::new(Atom::Literal('a'), Quant::Plus)];
+        let p = Pattern::new(vec![Element::new(Atom::Group(inner), Quant::Star)]);
+        assert_eq!(p.unwrap_err(), PatternError::RecursivePattern);
+    }
+
+    #[test]
+    fn quantified_group_of_plain_atoms_allowed() {
+        // (ab){3} — fine: no quantifier inside the group.
+        let inner = vec![Element::literal('a'), Element::literal('b')];
+        let p = Pattern::new(vec![Element::new(Atom::Group(inner), Quant::Exactly(3))])
+            .expect("non-recursive group must validate");
+        assert_eq!(p.as_constant().as_deref(), Some("ababab"));
+    }
+
+    #[test]
+    fn unquantified_group_may_contain_quantifiers() {
+        // (a+b) with no outer quantifier is fine.
+        let inner = vec![
+            Element::new(Atom::Literal('a'), Quant::Plus),
+            Element::literal('b'),
+        ];
+        Pattern::new(vec![Element::new(Atom::Group(inner), Quant::One)])
+            .expect("unquantified group with inner quantifier must validate");
+    }
+
+    #[test]
+    fn zero_repetition_rejected() {
+        let p = Pattern::new(vec![Element::new(Atom::Literal('a'), Quant::Exactly(0))]);
+        assert_eq!(p.unwrap_err(), PatternError::ZeroRepetition);
+    }
+
+    #[test]
+    fn conjunction_of_groups_rejected() {
+        let g = Atom::Group(vec![Element::literal('a')]);
+        let p = Pattern::new(vec![Element::new(
+            Atom::And(Box::new(g), Box::new(Atom::Literal('a'))),
+            Quant::One,
+        )]);
+        assert_eq!(p.unwrap_err(), PatternError::GroupInConjunction);
+    }
+
+    #[test]
+    fn conjunction_char_matching() {
+        // \LU & A matches only 'A'.
+        let atom = Atom::And(
+            Box::new(Atom::Class(CharClass::Upper)),
+            Box::new(Atom::Literal('A')),
+        );
+        assert_eq!(atom.char_matches('A'), Some(true));
+        assert_eq!(atom.char_matches('B'), Some(false));
+        assert_eq!(atom.char_matches('a'), Some(false));
+    }
+
+    #[test]
+    fn description_len_counts_repetitions() {
+        let p = Pattern::class_repeat(CharClass::Digit, 5);
+        assert_eq!(p.description_len(), 5);
+        assert_eq!(Pattern::any_string().description_len(), 1);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let p = Pattern::constant("ab").concat(&Pattern::constant("cd"));
+        assert_eq!(p.as_constant().as_deref(), Some("abcd"));
+    }
+}

@@ -1,0 +1,230 @@
+//! The generalization tree of §2.1 (Figure 1 of the paper).
+//!
+//! The tree is defined over an alphabet Σ: every leaf is a character and
+//! every intermediate node generalizes its children. The paper's tree has a
+//! root `All [\A]` with four children — `Upper [\LU]`, `Lower [\LL]`,
+//! `Digit [\D]` and `Symbol [\S]` — whose children are the concrete
+//! characters. [`CharClass`] models the intermediate nodes; concrete
+//! characters appear as pattern literals instead of tree nodes.
+
+use std::fmt;
+
+/// An intermediate node of the generalization tree.
+///
+/// Ordering of generality: `Any` generalizes every other class; the four base
+/// classes are pairwise incomparable; a concrete character is generalized by
+/// exactly one base class (see [`CharClass::of_char`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CharClass {
+    /// `\LU` — upper case letters.
+    Upper,
+    /// `\LL` — lower case letters.
+    Lower,
+    /// `\D` — decimal digits.
+    Digit,
+    /// `\S` — everything else: punctuation, whitespace, and any character
+    /// that is neither a cased letter nor an ASCII digit.
+    Symbol,
+    /// `\A` — the root of the tree; matches any character.
+    Any,
+}
+
+impl CharClass {
+    /// All five classes, children before the root.
+    pub const ALL: [CharClass; 5] = [
+        CharClass::Upper,
+        CharClass::Lower,
+        CharClass::Digit,
+        CharClass::Symbol,
+        CharClass::Any,
+    ];
+
+    /// The four base classes (direct children of `Any`).
+    pub const BASE: [CharClass; 4] = [
+        CharClass::Upper,
+        CharClass::Lower,
+        CharClass::Digit,
+        CharClass::Symbol,
+    ];
+
+    /// The base class that generalizes character `c` — the parent of the leaf
+    /// `c` in the generalization tree.
+    pub fn of_char(c: char) -> CharClass {
+        if c.is_uppercase() {
+            CharClass::Upper
+        } else if c.is_lowercase() {
+            CharClass::Lower
+        } else if c.is_ascii_digit() {
+            CharClass::Digit
+        } else {
+            CharClass::Symbol
+        }
+    }
+
+    /// Does this class contain character `c`?
+    pub fn contains(self, c: char) -> bool {
+        match self {
+            CharClass::Any => true,
+            other => CharClass::of_char(c) == other,
+        }
+    }
+
+    /// Is `self` a (non-strict) subclass of `other` in the tree?
+    pub fn is_subclass_of(self, other: CharClass) -> bool {
+        self == other || other == CharClass::Any
+    }
+
+    /// Least upper bound of two classes in the tree: the most specific class
+    /// that generalizes both.
+    pub fn lub(self, other: CharClass) -> CharClass {
+        if self == other {
+            self
+        } else {
+            CharClass::Any
+        }
+    }
+
+    /// The parent node in the tree (`None` for the root).
+    pub fn parent(self) -> Option<CharClass> {
+        match self {
+            CharClass::Any => None,
+            _ => Some(CharClass::Any),
+        }
+    }
+
+    /// A representative character of this class that is *not* in `exclude`.
+    ///
+    /// Used by the symbolic-alphabet construction for containment checking
+    /// (§2.1 claims PTIME decidability of acceptance, equivalence and
+    /// containment; the symbolic alphabet keeps the construction polynomial
+    /// in the pattern sizes rather than in |Σ|).
+    pub fn representative(self, exclude: &[char]) -> Option<char> {
+        fn pick(
+            mut candidates: impl Iterator<Item = char>,
+            exclude: &[char],
+        ) -> Option<char> {
+            candidates.find(|c| !exclude.contains(c))
+        }
+        match self {
+            CharClass::Upper => pick('A'..='Z', exclude),
+            CharClass::Lower => pick('a'..='z', exclude),
+            CharClass::Digit => pick('0'..='9', exclude),
+            CharClass::Symbol => pick(
+                [
+                    ' ', '-', '_', '.', ',', ':', ';', '/', '\\', '#', '@', '!', '?', '(', ')',
+                    '[', ']', '{', '}', '+', '=', '*', '&', '%', '$', '^', '~', '<', '>', '|',
+                    '\'', '"', '`',
+                ]
+                .into_iter(),
+                exclude,
+            ),
+            CharClass::Any => CharClass::Upper.representative(exclude),
+        }
+    }
+
+    /// The paper's escape syntax for this class.
+    pub fn token(self) -> &'static str {
+        match self {
+            CharClass::Upper => r"\LU",
+            CharClass::Lower => r"\LL",
+            CharClass::Digit => r"\D",
+            CharClass::Symbol => r"\S",
+            CharClass::Any => r"\A",
+        }
+    }
+}
+
+impl fmt::Display for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_basic_ascii() {
+        assert_eq!(CharClass::of_char('A'), CharClass::Upper);
+        assert_eq!(CharClass::of_char('Z'), CharClass::Upper);
+        assert_eq!(CharClass::of_char('a'), CharClass::Lower);
+        assert_eq!(CharClass::of_char('z'), CharClass::Lower);
+        assert_eq!(CharClass::of_char('0'), CharClass::Digit);
+        assert_eq!(CharClass::of_char('9'), CharClass::Digit);
+        assert_eq!(CharClass::of_char(' '), CharClass::Symbol);
+        assert_eq!(CharClass::of_char('-'), CharClass::Symbol);
+        assert_eq!(CharClass::of_char('/'), CharClass::Symbol);
+    }
+
+    #[test]
+    fn any_contains_everything() {
+        for c in ['A', 'a', '0', ' ', '!', 'É', 'ß'] {
+            assert!(CharClass::Any.contains(c), "Any must contain {c:?}");
+        }
+    }
+
+    #[test]
+    fn base_classes_partition_chars() {
+        // Every char belongs to exactly one base class.
+        for c in "AbC9 -x_Z0.".chars() {
+            let hits = CharClass::BASE
+                .iter()
+                .filter(|class| class.contains(c))
+                .count();
+            assert_eq!(hits, 1, "char {c:?} must be in exactly one base class");
+        }
+    }
+
+    #[test]
+    fn subclass_relation() {
+        for base in CharClass::BASE {
+            assert!(base.is_subclass_of(CharClass::Any));
+            assert!(base.is_subclass_of(base));
+            assert!(!CharClass::Any.is_subclass_of(base));
+        }
+        assert!(!CharClass::Upper.is_subclass_of(CharClass::Lower));
+    }
+
+    #[test]
+    fn lub_is_commutative_and_idempotent() {
+        for a in CharClass::ALL {
+            assert_eq!(a.lub(a), a);
+            for b in CharClass::ALL {
+                assert_eq!(a.lub(b), b.lub(a));
+                assert!(a.is_subclass_of(a.lub(b)));
+                assert!(b.is_subclass_of(a.lub(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn parent_of_base_is_any() {
+        for base in CharClass::BASE {
+            assert_eq!(base.parent(), Some(CharClass::Any));
+        }
+        assert_eq!(CharClass::Any.parent(), None);
+    }
+
+    #[test]
+    fn representatives_avoid_excluded() {
+        let rep = CharClass::Upper.representative(&['A', 'B']).unwrap();
+        assert_eq!(CharClass::of_char(rep), CharClass::Upper);
+        assert!(rep != 'A' && rep != 'B');
+
+        let rep = CharClass::Digit.representative(&['0']).unwrap();
+        assert!(rep.is_ascii_digit() && rep != '0');
+
+        let rep = CharClass::Symbol.representative(&[' ', '-']).unwrap();
+        assert_eq!(CharClass::of_char(rep), CharClass::Symbol);
+    }
+
+    #[test]
+    fn display_matches_paper_tokens() {
+        assert_eq!(CharClass::Upper.to_string(), r"\LU");
+        assert_eq!(CharClass::Lower.to_string(), r"\LL");
+        assert_eq!(CharClass::Digit.to_string(), r"\D");
+        assert_eq!(CharClass::Symbol.to_string(), r"\S");
+        assert_eq!(CharClass::Any.to_string(), r"\A");
+    }
+}

@@ -1,0 +1,499 @@
+//! Language containment, equivalence and emptiness for patterns.
+//!
+//! §2.1: "checking whether a string is accepted by a pattern, two patterns
+//! are equivalent, or whether one pattern is contained by another can be done
+//! in PTIME". We decide `L(a) ⊆ L(b)` by searching the product of the subset
+//! construction of `a` with the complemented subset construction of `b`,
+//! over a **symbolic alphabet**: the character space is partitioned into
+//! blocks on which every predicate of either pattern is constant (each
+//! mentioned literal is a singleton block; the remainder of each base class
+//! is one block). The search is therefore polynomial in the pattern sizes
+//! for the paper's pattern class, independent of |Σ|.
+
+use crate::ast::Pattern;
+use crate::class::CharClass;
+use crate::nfa::{CharPred, Nfa};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// The symbolic alphabet: one representative character per block.
+#[derive(Debug, Clone)]
+pub(crate) struct Alphabet {
+    reprs: Vec<char>,
+}
+
+impl Alphabet {
+    /// Build the block partition induced by the predicates of the given NFAs.
+    pub(crate) fn for_nfas(nfas: &[&Nfa]) -> Alphabet {
+        let mut literals: BTreeSet<char> = BTreeSet::new();
+        for nfa in nfas {
+            for pred in nfa.all_preds() {
+                collect_literals(pred, &mut literals);
+            }
+        }
+        let lits: Vec<char> = literals.iter().copied().collect();
+        let mut reprs = lits.clone();
+        for class in CharClass::BASE {
+            if let Some(r) = class.representative(&lits) {
+                reprs.push(r);
+            }
+        }
+        Alphabet { reprs }
+    }
+
+    pub(crate) fn representatives(&self) -> &[char] {
+        &self.reprs
+    }
+}
+
+fn collect_literals(pred: &CharPred, out: &mut BTreeSet<char>) {
+    match pred {
+        CharPred::Literal(c) => {
+            out.insert(*c);
+        }
+        CharPred::Class(_) => {}
+        CharPred::And(a, b) => {
+            collect_literals(a, out);
+            collect_literals(b, out);
+        }
+    }
+}
+
+/// A compact NFA state set keyed for hashing.
+type StateSet = Vec<u64>;
+
+fn empty_set(n: usize) -> StateSet {
+    vec![0; n.div_ceil(64)]
+}
+
+fn set_bit(s: &mut StateSet, i: usize) {
+    s[i / 64] |= 1 << (i % 64);
+}
+
+fn get_bit(s: &StateSet, i: usize) -> bool {
+    s[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn is_empty_set(s: &StateSet) -> bool {
+    s.iter().all(|&w| w == 0)
+}
+
+fn eps_close(nfa: &Nfa, set: &mut StateSet) {
+    let mut stack: Vec<usize> = (0..nfa.num_states()).filter(|&i| get_bit(set, i)).collect();
+    while let Some(s) = stack.pop() {
+        for &t in nfa.eps_of(s) {
+            if !get_bit(set, t) {
+                set_bit(set, t);
+                stack.push(t);
+            }
+        }
+    }
+}
+
+fn start_set(nfa: &Nfa) -> StateSet {
+    let mut s = empty_set(nfa.num_states());
+    set_bit(&mut s, nfa.start_state());
+    eps_close(nfa, &mut s);
+    s
+}
+
+fn step_set(nfa: &Nfa, set: &StateSet, c: char) -> StateSet {
+    let mut next = empty_set(nfa.num_states());
+    for i in 0..nfa.num_states() {
+        if !get_bit(set, i) {
+            continue;
+        }
+        for (pred, to) in nfa.trans_of(i) {
+            if pred.matches(c) {
+                set_bit(&mut next, *to);
+            }
+        }
+    }
+    eps_close(nfa, &mut next);
+    next
+}
+
+fn accepts(nfa: &Nfa, set: &StateSet) -> bool {
+    get_bit(set, nfa.accept_state())
+}
+
+/// Search for a string accepted by `a` but not by `b`.
+///
+/// Returns `None` when `L(a) ⊆ L(b)`; otherwise a shortest witness over the
+/// block representatives.
+pub fn difference_witness(a: &Pattern, b: &Pattern) -> Option<String> {
+    let na = Nfa::compile(a);
+    let nb = Nfa::compile(b);
+    let alphabet = Alphabet::for_nfas(&[&na, &nb]);
+
+    let start = (start_set(&na), start_set(&nb));
+    if accepts(&na, &start.0) && !accepts(&nb, &start.1) {
+        return Some(String::new());
+    }
+
+    let mut seen: HashMap<(StateSet, StateSet), Option<(usize, char)>> = HashMap::new();
+    let mut order: Vec<(StateSet, StateSet)> = Vec::new();
+    seen.insert(start.clone(), None);
+    order.push(start.clone());
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(idx) = queue.pop_front() {
+        let (sa, sb) = order[idx].clone();
+        for &c in alphabet.representatives() {
+            let ta = step_set(&na, &sa, c);
+            if is_empty_set(&ta) {
+                continue; // no word of L(a) continues this way
+            }
+            let tb = step_set(&nb, &sb, c);
+            let key = (ta, tb);
+            if seen.contains_key(&key) {
+                continue;
+            }
+            let hit = accepts(&na, &key.0) && !accepts(&nb, &key.1);
+            seen.insert(key.clone(), Some((idx, c)));
+            order.push(key.clone());
+            if hit {
+                // Reconstruct the witness.
+                let mut chars = vec![c];
+                let mut cur = idx;
+                while let Some(Some((parent, ch))) = seen.get(&order[cur]) {
+                    chars.push(*ch);
+                    cur = *parent;
+                }
+                chars.reverse();
+                return Some(chars.into_iter().collect());
+            }
+            queue.push_back(order.len() - 1);
+        }
+    }
+    None
+}
+
+/// `L(a) ⊆ L(b)`: every string matching `a` also matches `b`.
+pub fn subset_of(a: &Pattern, b: &Pattern) -> bool {
+    difference_witness(a, b).is_none()
+}
+
+/// `L(a) = L(b)`.
+pub fn equivalent(a: &Pattern, b: &Pattern) -> bool {
+    subset_of(a, b) && subset_of(b, a)
+}
+
+/// Is the language of `p` empty? (Possible with unsatisfiable conjunctions
+/// such as `\D&\LU`.)
+pub fn language_is_empty(p: &Pattern) -> bool {
+    member_witness(p).is_none()
+}
+
+/// A shortest member of `L(p)` over the block representatives, if any.
+pub fn member_witness(p: &Pattern) -> Option<String> {
+    let nfa = Nfa::compile(p);
+    let alphabet = Alphabet::for_nfas(&[&nfa]);
+
+    let start = start_set(&nfa);
+    if accepts(&nfa, &start) {
+        return Some(String::new());
+    }
+    let mut seen: HashMap<StateSet, Option<(usize, char)>> = HashMap::new();
+    let mut order: Vec<StateSet> = Vec::new();
+    seen.insert(start.clone(), None);
+    order.push(start);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(idx) = queue.pop_front() {
+        let cur = order[idx].clone();
+        for &c in alphabet.representatives() {
+            let next = step_set(&nfa, &cur, c);
+            if is_empty_set(&next) || seen.contains_key(&next) {
+                continue;
+            }
+            let hit = accepts(&nfa, &next);
+            seen.insert(next.clone(), Some((idx, c)));
+            order.push(next.clone());
+            if hit {
+                let mut chars = vec![c];
+                let mut at = idx;
+                while let Some(Some((parent, ch))) = seen.get(&order[at]) {
+                    chars.push(*ch);
+                    at = *parent;
+                }
+                chars.reverse();
+                return Some(chars.into_iter().collect());
+            }
+            queue.push_back(order.len() - 1);
+        }
+    }
+    None
+}
+
+/// Do the languages of `a` and `b` intersect? Returns a witness.
+pub fn intersection_witness(a: &Pattern, b: &Pattern) -> Option<String> {
+    let na = Nfa::compile(a);
+    let nb = Nfa::compile(b);
+    let alphabet = Alphabet::for_nfas(&[&na, &nb]);
+
+    let start = (start_set(&na), start_set(&nb));
+    if accepts(&na, &start.0) && accepts(&nb, &start.1) {
+        return Some(String::new());
+    }
+    let mut seen: HashMap<(StateSet, StateSet), Option<(usize, char)>> = HashMap::new();
+    let mut order: Vec<(StateSet, StateSet)> = Vec::new();
+    seen.insert(start.clone(), None);
+    order.push(start);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(idx) = queue.pop_front() {
+        let (sa, sb) = order[idx].clone();
+        for &c in alphabet.representatives() {
+            let ta = step_set(&na, &sa, c);
+            let tb = step_set(&nb, &sb, c);
+            if is_empty_set(&ta) || is_empty_set(&tb) {
+                continue;
+            }
+            let key = (ta, tb);
+            if seen.contains_key(&key) {
+                continue;
+            }
+            let hit = accepts(&na, &key.0) && accepts(&nb, &key.1);
+            seen.insert(key.clone(), Some((idx, c)));
+            order.push(key.clone());
+            if hit {
+                let mut chars = vec![c];
+                let mut at = idx;
+                while let Some(Some((parent, ch))) = seen.get(&order[at]) {
+                    chars.push(*ch);
+                    at = *parent;
+                }
+                chars.reverse();
+                return Some(chars.into_iter().collect());
+            }
+            queue.push_back(order.len() - 1);
+        }
+    }
+    None
+}
+
+/// Enumerate the satisfiable **membership signatures** of a pattern family:
+/// all boolean vectors `v` for which some string `s` has `s ∈ L(p_i) ⇔ v[i]`
+/// for every pattern `p_i`, together with a shortest witness for each.
+///
+/// This is the workhorse of the NP consistency / implication analyses (§7.2,
+/// §7.3): a single tuple's behaviour w.r.t. a set of PFDs is fully determined
+/// by, per attribute, *which* of the mentioned patterns its value matches.
+/// The search runs over the product of the subset constructions on the
+/// symbolic block alphabet; `state_limit` bounds the exploration (`None` is
+/// returned when exceeded, which callers surface as "unknown").
+pub fn satisfiable_signatures(
+    patterns: &[&Pattern],
+    state_limit: usize,
+) -> Option<Vec<(Vec<bool>, String)>> {
+    let nfas: Vec<Nfa> = patterns.iter().map(|p| Nfa::compile(p)).collect();
+    let refs: Vec<&Nfa> = nfas.iter().collect();
+    let alphabet = Alphabet::for_nfas(&refs);
+
+    let start: Vec<StateSet> = nfas.iter().map(start_set).collect();
+    let sig_of = |sets: &[StateSet]| -> Vec<bool> {
+        nfas.iter().zip(sets).map(|(n, s)| accepts(n, s)).collect()
+    };
+
+    let mut found: HashMap<Vec<bool>, String> = HashMap::new();
+    let mut seen: HashMap<Vec<StateSet>, ()> = HashMap::new();
+    let mut queue: VecDeque<(Vec<StateSet>, String)> = VecDeque::new();
+
+    found.insert(sig_of(&start), String::new());
+    seen.insert(start.clone(), ());
+    queue.push_back((start, String::new()));
+
+    while let Some((sets, word)) = queue.pop_front() {
+        if seen.len() > state_limit {
+            return None;
+        }
+        for &c in alphabet.representatives() {
+            let next: Vec<StateSet> = nfas
+                .iter()
+                .zip(&sets)
+                .map(|(n, s)| step_set(n, s, c))
+                .collect();
+            if seen.contains_key(&next) {
+                continue;
+            }
+            seen.insert(next.clone(), ());
+            let mut next_word = word.clone();
+            next_word.push(c);
+            let sig = sig_of(&next);
+            found.entry(sig).or_insert_with(|| next_word.clone());
+            queue.push_back((next, next_word));
+        }
+    }
+    let mut out: Vec<(Vec<bool>, String)> = found.into_iter().collect();
+    out.sort();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+
+    fn p(src: &str) -> Pattern {
+        parse_pattern(src).unwrap()
+    }
+
+    #[test]
+    fn example4_restriction() {
+        // Paper Example 4: \D{5} ⊆ \D*.
+        assert!(subset_of(&p(r"\D{5}"), &p(r"\D*")));
+        assert!(!subset_of(&p(r"\D*"), &p(r"\D{5}")));
+    }
+
+    #[test]
+    fn everything_subset_of_any_star() {
+        for src in [r"900\D{2}", r"\LU\LL*\ \A*", "M", r"\D+", ""] {
+            assert!(subset_of(&p(src), &p(r"\A*")), "{src} ⊆ \\A* must hold");
+        }
+    }
+
+    #[test]
+    fn constant_subset_of_shape() {
+        assert!(subset_of(&p("90001"), &p(r"\D{5}")));
+        assert!(subset_of(&p("90001"), &p(r"900\D{2}")));
+        assert!(!subset_of(&p("90101"), &p(r"900\D{2}")));
+    }
+
+    #[test]
+    fn zip_prefix_subset_of_five_digits() {
+        assert!(subset_of(&p(r"900\D{2}"), &p(r"\D{5}")));
+        assert!(!subset_of(&p(r"\D{5}"), &p(r"900\D{2}")));
+    }
+
+    #[test]
+    fn name_patterns() {
+        // John\ \A* ⊆ \LU\LL*\ \A*
+        assert!(subset_of(&p(r"John\ \A*"), &p(r"\LU\LL*\ \A*")));
+        assert!(!subset_of(&p(r"\LU\LL*\ \A*"), &p(r"John\ \A*")));
+        // but john (lower case) is not
+        assert!(!subset_of(&p(r"john\ \A*"), &p(r"\LU\LL*\ \A*")));
+    }
+
+    #[test]
+    fn equivalence() {
+        assert!(equivalent(&p(r"\D\D\D"), &p(r"\D{3}")));
+        assert!(equivalent(&p(r"a+"), &p(r"aa*")));
+        assert!(!equivalent(&p(r"a*"), &p(r"a+")));
+        assert!(equivalent(&p(r"(ab){2}"), &p(r"abab")));
+    }
+
+    #[test]
+    fn difference_witness_is_valid() {
+        let a = p(r"\D{5}");
+        let b = p(r"900\D{2}");
+        let w = difference_witness(&a, &b).expect("difference must be non-empty");
+        let na = Nfa::compile(&a);
+        let nb = Nfa::compile(&b);
+        assert!(na.matches(&w));
+        assert!(!nb.matches(&w));
+    }
+
+    #[test]
+    fn no_difference_for_subset() {
+        assert_eq!(difference_witness(&p("900"), &p(r"\D{3}")), None);
+    }
+
+    #[test]
+    fn empty_language_from_contradictory_conjunction() {
+        assert!(language_is_empty(&p(r"\D&\LU")));
+        assert!(!language_is_empty(&p(r"\LU&A")));
+    }
+
+    #[test]
+    fn member_witness_matches() {
+        for src in [r"\D{3}", r"\LU\LL+", r"900\D{2}", r"a*b+c"] {
+            let pat = p(src);
+            let w = member_witness(&pat).unwrap();
+            assert!(Nfa::compile(&pat).matches(&w), "witness {w:?} for {src}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_member_is_empty_string() {
+        assert_eq!(member_witness(&Pattern::empty()).as_deref(), Some(""));
+    }
+
+    #[test]
+    fn intersection() {
+        let w = intersection_witness(&p(r"\D{5}"), &p(r"900\D{2}")).unwrap();
+        assert!(w.starts_with("900") && w.len() == 5);
+        assert_eq!(intersection_witness(&p(r"\D+"), &p(r"\LU+")), None);
+    }
+
+    #[test]
+    fn subset_is_reflexive_and_transitive_on_samples() {
+        let pats = [p(r"900\D{2}"), p(r"\D{5}"), p(r"\D+"), p(r"\A*")];
+        for a in &pats {
+            assert!(subset_of(a, a));
+        }
+        // chain: 900\D{2} ⊆ \D{5} ⊆ \D+ ⊆ \A*
+        for w in pats.windows(2) {
+            assert!(subset_of(&w[0], &w[1]));
+        }
+        assert!(subset_of(&pats[0], &pats[3]));
+    }
+
+    #[test]
+    fn symbol_class_containment() {
+        assert!(subset_of(&p(r"\ "), &p(r"\S")));
+        assert!(subset_of(&p(r"-"), &p(r"\S")));
+        assert!(!subset_of(&p(r"a"), &p(r"\S")));
+    }
+
+    #[test]
+    fn signatures_of_disjoint_patterns() {
+        let a = p(r"\D{5}");
+        let b = p(r"\LU+");
+        let sigs = satisfiable_signatures(&[&a, &b], 100_000).unwrap();
+        let vectors: Vec<Vec<bool>> = sigs.iter().map(|(v, _)| v.clone()).collect();
+        // Possible: neither, only a, only b. Impossible: both.
+        assert!(vectors.contains(&vec![false, false]));
+        assert!(vectors.contains(&vec![true, false]));
+        assert!(vectors.contains(&vec![false, true]));
+        assert!(!vectors.contains(&vec![true, true]));
+    }
+
+    #[test]
+    fn signatures_of_nested_patterns() {
+        let narrow = p(r"900\D{2}");
+        let wide = p(r"\D{5}");
+        let sigs = satisfiable_signatures(&[&narrow, &wide], 100_000).unwrap();
+        let vectors: Vec<Vec<bool>> = sigs.iter().map(|(v, _)| v.clone()).collect();
+        // narrow ⊆ wide: narrow-without-wide is unsatisfiable.
+        assert!(!vectors.contains(&vec![true, false]));
+        assert!(vectors.contains(&vec![true, true]));
+        assert!(vectors.contains(&vec![false, true]));
+    }
+
+    #[test]
+    fn signature_witnesses_are_faithful() {
+        let pats = [p(r"\D+"), p(r"90\D*"), p(r"\LU\LL*")];
+        let refs: Vec<&Pattern> = pats.iter().collect();
+        let sigs = satisfiable_signatures(&refs, 100_000).unwrap();
+        assert!(!sigs.is_empty());
+        for (sig, witness) in sigs {
+            for (i, pat) in pats.iter().enumerate() {
+                assert_eq!(
+                    Nfa::compile(pat).matches(&witness),
+                    sig[i],
+                    "witness {witness:?} vs pattern {pat} bit {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_state_limit_returns_none() {
+        let a = p(r"\D{9}\LU{9}\D{9}");
+        let b = p(r"\LU{9}\D{9}\LU{9}");
+        assert_eq!(satisfiable_signatures(&[&a, &b], 3), None);
+    }
+}

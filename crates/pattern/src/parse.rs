@@ -1,0 +1,444 @@
+//! Parser for the paper's concrete pattern syntax.
+//!
+//! Grammar (close to the notation used throughout the paper):
+//!
+//! ```text
+//! pattern     := element*
+//! element     := conjunction quantifier?
+//! conjunction := atom ('&' atom)*
+//! atom        := class | literal | '(' pattern ')'
+//! class       := '\A' | '\LU' | '\LL' | '\D' | '\S'
+//! literal     := any unescaped char except \ { } * + ( ) [ ] &
+//!              | '\' any char          (escaped literal, e.g. '\ ' for space)
+//! quantifier  := '{' digits '}' | '*' | '+'
+//! ```
+//!
+//! Constrained patterns (the overlined `Q̄` of §2.1) mark the constrained
+//! segment with square brackets, our ASCII rendering of the overline:
+//!
+//! ```text
+//! [Susan\ ]\A*        — λ2: constant first name, anything after
+//! [\LU\LL*\ ]\A*      — λ4: variable first name
+//! [\D{3}]\D{2}        — λ5: first three digits of a 5-digit zip
+//! [900]\D{2}          — λ3: constant zip prefix
+//! M                   — no brackets: the whole pattern is constrained
+//! ```
+
+use crate::ast::{Atom, Element, Pattern, PatternError, Quant};
+use crate::class::CharClass;
+use crate::constrained::ConstrainedPattern;
+use std::fmt;
+
+/// Errors produced while parsing pattern text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected end of input (dangling escape, unclosed group/brace).
+    UnexpectedEnd,
+    /// A character that cannot start an atom at this position.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// The character found.
+        ch: char,
+    },
+    /// `{}` with no digits or a number that does not fit in u32.
+    BadRepetition {
+        /// Byte offset of the `{`.
+        pos: usize,
+    },
+    /// Unbalanced `)`.
+    UnbalancedParen {
+        /// Byte offset of the `)`.
+        pos: usize,
+    },
+    /// More than one `[...]` constrained segment, or nested/unbalanced ones.
+    BadConstrainedMarker {
+        /// Byte offset of the marker.
+        pos: usize,
+    },
+    /// The parsed pattern violates the §2.1 restrictions.
+    Invalid(PatternError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of pattern"),
+            ParseError::UnexpectedChar { pos, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            ParseError::BadRepetition { pos } => write!(f, "bad repetition count at byte {pos}"),
+            ParseError::UnbalancedParen { pos } => write!(f, "unbalanced ')' at byte {pos}"),
+            ParseError::BadConstrainedMarker { pos } => {
+                write!(f, "bad '[...]' constrained marker at byte {pos}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<PatternError> for ParseError {
+    fn from(e: PatternError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    idx: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            chars: src.char_indices().collect(),
+            idx: 0,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.idx).map(|&(_, c)| c)
+    }
+
+    fn pos(&self) -> usize {
+        self.chars
+            .get(self.idx)
+            .map(|&(p, _)| p)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.idx += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(ParseError::UnexpectedChar {
+                pos: self.pos(),
+                ch: got,
+            }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+
+    /// Parse an escape sequence after the backslash has been consumed.
+    fn parse_escape(&mut self) -> Result<Atom, ParseError> {
+        let c = self.bump().ok_or(ParseError::UnexpectedEnd)?;
+        match c {
+            'A' => Ok(Atom::Class(CharClass::Any)),
+            'D' => Ok(Atom::Class(CharClass::Digit)),
+            'S' => Ok(Atom::Class(CharClass::Symbol)),
+            'L' => match self.bump() {
+                Some('U') => Ok(Atom::Class(CharClass::Upper)),
+                Some('L') => Ok(Atom::Class(CharClass::Lower)),
+                // `\L` followed by something else: treat 'L' as literal and
+                // leave the next char for the main loop.
+                Some(_) => {
+                    self.idx -= 1;
+                    Ok(Atom::Literal('L'))
+                }
+                None => Ok(Atom::Literal('L')),
+            },
+            other => Ok(Atom::Literal(other)),
+        }
+    }
+
+    fn parse_atom(&mut self, stop: &[char]) -> Result<Atom, ParseError> {
+        let pos = self.pos();
+        let c = self.bump().ok_or(ParseError::UnexpectedEnd)?;
+        match c {
+            '\\' => {
+                self.idx -= 1;
+                self.expect('\\')?;
+                self.parse_escape()
+            }
+            '(' => {
+                let inner = self.parse_sequence(&[')'])?;
+                self.expect(')')?;
+                Ok(Atom::Group(inner))
+            }
+            ')' => Err(ParseError::UnbalancedParen { pos }),
+            '{' | '}' | '*' | '+' | '&' => Err(ParseError::UnexpectedChar { pos, ch: c }),
+            _ if stop.contains(&c) => Err(ParseError::UnexpectedChar { pos, ch: c }),
+            _ => Ok(Atom::Literal(c)),
+        }
+    }
+
+    fn parse_quant(&mut self) -> Result<Quant, ParseError> {
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Quant::Star)
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Quant::Plus)
+            }
+            Some('{') => {
+                let pos = self.pos();
+                self.bump();
+                let mut digits = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        digits.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect('}')?;
+                let n: u32 = digits
+                    .parse()
+                    .map_err(|_| ParseError::BadRepetition { pos })?;
+                if n == 0 {
+                    return Err(ParseError::Invalid(PatternError::ZeroRepetition));
+                }
+                Ok(if n == 1 { Quant::One } else { Quant::Exactly(n) })
+            }
+            _ => Ok(Quant::One),
+        }
+    }
+
+    fn parse_element(&mut self, stop: &[char]) -> Result<Element, ParseError> {
+        let mut atom = self.parse_atom(stop)?;
+        while self.peek() == Some('&') {
+            self.bump();
+            let rhs = self.parse_atom(stop)?;
+            atom = Atom::And(Box::new(atom), Box::new(rhs));
+        }
+        let quant = self.parse_quant()?;
+        Ok(Element::new(atom, quant))
+    }
+
+    fn parse_sequence(&mut self, stop: &[char]) -> Result<Vec<Element>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            if stop.contains(&c) {
+                break;
+            }
+            out.push(self.parse_element(stop)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parse a plain pattern (no `[...]` constrained markers).
+pub fn parse_pattern(src: &str) -> Result<Pattern, ParseError> {
+    let mut p = Parser::new(src);
+    let elements = p.parse_sequence(&['[', ']'])?;
+    if let Some(c) = p.peek() {
+        return Err(ParseError::UnexpectedChar { pos: p.pos(), ch: c });
+    }
+    Ok(Pattern::new(elements)?)
+}
+
+/// Parse a constrained pattern: `pre [ q ] post`, where the bracketed
+/// segment is the constrained part. With no brackets the entire pattern is
+/// constrained (the common case for constants such as `M`).
+pub fn parse_constrained(src: &str) -> Result<ConstrainedPattern, ParseError> {
+    let mut p = Parser::new(src);
+    let pre = p.parse_sequence(&['[', ']'])?;
+    match p.peek() {
+        None => {
+            // No marker: the whole pattern is the constrained part.
+            let q = Pattern::new(pre)?;
+            Ok(ConstrainedPattern::fully_constrained(q))
+        }
+        Some('[') => {
+            p.bump();
+            let q = p.parse_sequence(&['[', ']'])?;
+            match p.bump() {
+                Some(']') => {}
+                _ => return Err(ParseError::BadConstrainedMarker { pos: p.pos() }),
+            }
+            let post = p.parse_sequence(&['[', ']'])?;
+            if let Some(c) = p.peek() {
+                return Err(ParseError::UnexpectedChar { pos: p.pos(), ch: c });
+            }
+            Ok(ConstrainedPattern::new(
+                Pattern::new(pre)?,
+                Pattern::new(q)?,
+                Pattern::new(post)?,
+            ))
+        }
+        Some(_) => Err(ParseError::BadConstrainedMarker { pos: p.pos() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_classes() {
+        let p = parse_pattern(r"\A\LU\LL\D\S").unwrap();
+        let classes: Vec<_> = p
+            .elements()
+            .iter()
+            .map(|e| match &e.atom {
+                Atom::Class(c) => *c,
+                other => panic!("expected class, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            classes,
+            vec![
+                CharClass::Any,
+                CharClass::Upper,
+                CharClass::Lower,
+                CharClass::Digit,
+                CharClass::Symbol
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_paper_name_pattern() {
+        // λ4's LHS pattern: \LU\LL*\ \A*
+        let p = parse_pattern(r"\LU\LL*\ \A*").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.elements()[0], Element::class(CharClass::Upper));
+        assert_eq!(
+            p.elements()[1],
+            Element::new(Atom::Class(CharClass::Lower), Quant::Star)
+        );
+        assert_eq!(p.elements()[2], Element::literal(' '));
+        assert_eq!(
+            p.elements()[3],
+            Element::new(Atom::Class(CharClass::Any), Quant::Star)
+        );
+    }
+
+    #[test]
+    fn parse_zip_pattern() {
+        // λ3's LHS pattern: 900\D{2}
+        let p = parse_pattern(r"900\D{2}").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.elements()[3],
+            Element::new(Atom::Class(CharClass::Digit), Quant::Exactly(2))
+        );
+        assert_eq!(p.min_len(), 5);
+        assert_eq!(p.max_len(), Some(5));
+    }
+
+    #[test]
+    fn parse_literals_and_escapes() {
+        let p = parse_pattern(r"a\\b\{c\ d").unwrap();
+        let lits: String = p
+            .elements()
+            .iter()
+            .map(|e| match &e.atom {
+                Atom::Literal(c) => *c,
+                other => panic!("expected literal, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(lits, r"a\b{c d");
+    }
+
+    #[test]
+    fn parse_group_with_repetition() {
+        let p = parse_pattern(r"(ab){3}").unwrap();
+        assert_eq!(p.as_constant().as_deref(), Some("ababab"));
+    }
+
+    #[test]
+    fn parse_conjunction() {
+        let p = parse_pattern(r"\LU&A").unwrap();
+        assert_eq!(p.len(), 1);
+        match &p.elements()[0].atom {
+            Atom::And(a, b) => {
+                assert_eq!(**a, Atom::Class(CharClass::Upper));
+                assert_eq!(**b, Atom::Literal('A'));
+            }
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_recursive() {
+        let err = parse_pattern(r"(a+)*").unwrap_err();
+        assert_eq!(err, ParseError::Invalid(PatternError::RecursivePattern));
+    }
+
+    #[test]
+    fn reject_zero_repetition() {
+        let err = parse_pattern(r"a{0}").unwrap_err();
+        assert_eq!(err, ParseError::Invalid(PatternError::ZeroRepetition));
+    }
+
+    #[test]
+    fn reject_dangling_quantifier() {
+        assert!(matches!(
+            parse_pattern("*abc"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_unbalanced_paren() {
+        assert!(parse_pattern("(ab").is_err());
+        assert!(matches!(
+            parse_pattern("ab)"),
+            Err(ParseError::UnbalancedParen { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_empty_braces() {
+        assert!(matches!(
+            parse_pattern("a{}"),
+            Err(ParseError::BadRepetition { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_constrained_with_marker() {
+        // λ2: [Susan\ ]\A*
+        let cp = parse_constrained(r"[Susan\ ]\A*").unwrap();
+        assert_eq!(cp.constrained().as_constant().as_deref(), Some("Susan "));
+        assert!(cp.prefix().is_empty());
+        assert!(!cp.suffix().is_empty());
+    }
+
+    #[test]
+    fn parse_constrained_without_marker_is_fully_constrained() {
+        let cp = parse_constrained("M").unwrap();
+        assert_eq!(cp.constrained().as_constant().as_deref(), Some("M"));
+        assert!(cp.prefix().is_empty());
+        assert!(cp.suffix().is_empty());
+    }
+
+    #[test]
+    fn parse_constrained_infix_marker() {
+        // pre [q] post with all three segments non-empty.
+        let cp = parse_constrained(r"\A*[\D{3}]\D{2}").unwrap();
+        assert_eq!(cp.prefix().len(), 1);
+        assert_eq!(cp.constrained().min_len(), 3);
+        assert_eq!(cp.suffix().min_len(), 2);
+    }
+
+    #[test]
+    fn reject_two_markers() {
+        assert!(parse_constrained(r"[a]b[c]").is_err());
+    }
+
+    #[test]
+    fn reject_unclosed_marker() {
+        assert!(parse_constrained(r"[abc").is_err());
+        assert!(parse_constrained(r"abc]").is_err());
+    }
+
+    #[test]
+    fn escaped_bracket_is_literal() {
+        let p = parse_pattern(r"\[a\]").unwrap();
+        assert_eq!(p.as_constant().as_deref(), Some("[a]"));
+    }
+}

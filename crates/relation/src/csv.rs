@@ -1,0 +1,312 @@
+//! Minimal RFC-4180 CSV reader/writer.
+//!
+//! The evaluation datasets (synthetic equivalents of the paper's data.gov /
+//! ChEMBL / university-warehouse tables) are exchanged as CSV. We implement
+//! the format directly: quoted fields, embedded commas, escaped quotes and
+//! embedded newlines — enough for real open-data exports — without pulling
+//! in an external dependency.
+
+use crate::relation::{Relation, RelationError};
+use crate::schema::Schema;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// CSV errors carry 1-based line numbers for diagnostics.
+#[derive(Debug)]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A quoted field that never closes.
+    UnterminatedQuote {
+        /// 1-based line where the quote opened.
+        line: usize,
+    },
+    /// Garbage after a closing quote, e.g. `"ab"c`.
+    TrailingAfterQuote {
+        /// 1-based line of the offending field.
+        line: usize,
+    },
+    /// Header missing or empty.
+    EmptyInput,
+    /// The parsed rows do not form a valid relation.
+    Relation(RelationError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::TrailingAfterQuote { line } => {
+                write!(f, "unexpected character after closing quote on line {line}")
+            }
+            CsvError::EmptyInput => write!(f, "empty CSV input (missing header)"),
+            CsvError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<RelationError> for CsvError {
+    fn from(e: RelationError) -> Self {
+        CsvError::Relation(e)
+    }
+}
+
+/// Streaming CSV record parser over arbitrary `BufRead` input.
+struct Records<R: BufRead> {
+    input: R,
+    line: usize,
+    buf: String,
+    done: bool,
+}
+
+impl<R: BufRead> Records<R> {
+    fn new(input: R) -> Self {
+        Records {
+            input,
+            line: 0,
+            buf: String::new(),
+            done: false,
+        }
+    }
+
+    /// Read one logical record (which may span physical lines when quoted).
+    fn next_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.buf.clear();
+        let n = self.input.read_line(&mut self.buf)?;
+        if n == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        self.line += 1;
+        let start_line = self.line;
+
+        let mut fields: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        let mut after_quote = false;
+
+        loop {
+            // Work on the line content without its terminator.
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            let mut chars = line.chars().peekable();
+            while let Some(c) = chars.next() {
+                if in_quotes {
+                    match c {
+                        '"' => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                in_quotes = false;
+                                after_quote = true;
+                            }
+                        }
+                        _ => field.push(c),
+                    }
+                } else {
+                    match c {
+                        ',' => {
+                            fields.push(std::mem::take(&mut field));
+                            after_quote = false;
+                        }
+                        '"' if field.is_empty() && !after_quote => in_quotes = true,
+                        _ if after_quote => {
+                            return Err(CsvError::TrailingAfterQuote { line: self.line })
+                        }
+                        _ => field.push(c),
+                    }
+                }
+            }
+            if !in_quotes {
+                break;
+            }
+            // Quoted field continues on the next physical line.
+            field.push('\n');
+            self.buf.clear();
+            let n = self.input.read_line(&mut self.buf)?;
+            if n == 0 {
+                return Err(CsvError::UnterminatedQuote { line: start_line });
+            }
+            self.line += 1;
+        }
+        fields.push(field);
+        Ok(Some(fields))
+    }
+}
+
+/// Read a relation from CSV. The first record is the header; `relation` is
+/// the logical relation name.
+pub fn read_csv<R: BufRead>(relation: &str, input: R) -> Result<Relation, CsvError> {
+    let mut records = Records::new(input);
+    let header = records.next_record()?.ok_or(CsvError::EmptyInput)?;
+    let schema =
+        Schema::new(relation, header).map_err(|e| CsvError::Relation(RelationError::Schema(e)))?;
+    let mut rel = Relation::empty(schema);
+    while let Some(record) = records.next_record()? {
+        // Tolerate fully blank trailing lines.
+        if record.len() == 1 && record[0].is_empty() {
+            continue;
+        }
+        rel.push_row(record)?;
+    }
+    Ok(rel)
+}
+
+/// Parse CSV from a string.
+pub fn read_csv_str(relation: &str, data: &str) -> Result<Relation, CsvError> {
+    read_csv(relation, data.as_bytes())
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field
+        .chars()
+        .any(|c| c == ',' || c == '"' || c == '\n' || c == '\r')
+}
+
+fn write_field<W: Write>(out: &mut W, field: &str) -> std::io::Result<()> {
+    if needs_quoting(field) {
+        write!(out, "\"{}\"", field.replace('"', "\"\""))
+    } else {
+        write!(out, "{field}")
+    }
+}
+
+/// Write a relation as CSV (header + rows).
+pub fn write_csv<W: Write>(relation: &Relation, out: &mut W) -> std::io::Result<()> {
+    let names = relation.schema().attribute_names();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            write!(out, ",")?;
+        }
+        write_field(out, name)?;
+    }
+    writeln!(out)?;
+    for (_, row) in relation.iter_rows() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            write_field(out, cell)?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Serialize a relation to a CSV string.
+pub fn write_csv_string(relation: &Relation) -> String {
+    let mut buf = Vec::new();
+    write_csv(relation, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_roundtrip() {
+        let csv = "zip,city\n90001,Los Angeles\n90002,Los Angeles\n";
+        let rel = read_csv_str("Zip", csv).unwrap();
+        assert_eq!(rel.num_rows(), 2);
+        assert_eq!(rel.schema().attribute_names(), ["zip", "city"]);
+        assert_eq!(write_csv_string(&rel), csv);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let csv = "name,city\n\"Holloway, Donald E.\",Boston\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        let name = rel.schema().attr("name").unwrap();
+        assert_eq!(rel.cell(0, name), "Holloway, Donald E.");
+        // Round-trip preserves the quoting need.
+        assert_eq!(write_csv_string(&rel), csv);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let csv = "a\n\"say \"\"hi\"\"\"\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        assert_eq!(rel.cell(0, rel.schema().attr("a").unwrap()), "say \"hi\"");
+        assert_eq!(write_csv_string(&rel), csv);
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let csv = "a,b\n\"line1\nline2\",x\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        assert_eq!(
+            rel.cell(0, rel.schema().attr("a").unwrap()),
+            "line1\nline2"
+        );
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let csv = "a,b\r\n1,2\r\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        assert_eq!(rel.cell(0, rel.schema().attr("b").unwrap()), "2");
+    }
+
+    #[test]
+    fn empty_fields() {
+        let csv = "a,b,c\n,,\nx,,z\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        assert_eq!(rel.num_rows(), 2);
+        assert_eq!(rel.cell(0, rel.schema().attr("a").unwrap()), "");
+        assert_eq!(rel.cell(1, rel.schema().attr("b").unwrap()), "");
+    }
+
+    #[test]
+    fn blank_trailing_line_ignored() {
+        let csv = "a\nx\n\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        assert_eq!(rel.num_rows(), 1);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let csv = "a\n\"never closed\n";
+        assert!(matches!(
+            read_csv_str("T", csv),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_after_quote_is_error() {
+        let csv = "a\n\"ab\"c\n";
+        assert!(matches!(
+            read_csv_str("T", csv),
+            Err(CsvError::TrailingAfterQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(read_csv_str("T", ""), Err(CsvError::EmptyInput)));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let csv = "a,b\n1,2,3\n";
+        assert!(matches!(
+            read_csv_str("T", csv),
+            Err(CsvError::Relation(RelationError::ArityMismatch { .. }))
+        ));
+    }
+}

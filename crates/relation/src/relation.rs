@@ -1,0 +1,264 @@
+//! String-valued relations.
+//!
+//! PFDs are defined on *qualitative* values (§2.1 Remark): names, codes,
+//! cities — values where patterns carry meaning. We therefore store every
+//! cell as a string; quantitative columns are recognized (and pruned) by the
+//! profiler, mirroring the paper's discovery pipeline.
+
+use crate::schema::{AttrId, Schema, SchemaError};
+use std::fmt;
+
+/// A row identifier: index into the relation's row vector.
+pub type RowId = usize;
+
+/// A relation instance: a schema plus rows of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Vec<String>>,
+}
+
+/// Errors from relation construction/mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// An underlying schema error.
+    Schema(SchemaError),
+    /// A row whose arity does not match the schema.
+    ArityMismatch {
+        /// Index of the offending row.
+        row: usize,
+        /// The schema's arity.
+        expected: usize,
+        /// The row's cell count.
+        got: usize,
+    },
+    /// Row index out of range.
+    RowOutOfRange(RowId),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::Schema(e) => write!(f, "{e}"),
+            RelationError::ArityMismatch { row, expected, got } => {
+                write!(f, "row {row}: expected {expected} cells, got {got}")
+            }
+            RelationError::RowOutOfRange(r) => write!(f, "row {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl From<SchemaError> for RelationError {
+    fn from(e: SchemaError) -> Self {
+        RelationError::Schema(e)
+    }
+}
+
+impl Relation {
+    /// An empty relation over the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build a relation from rows of `&str` cells (test/fixture friendly).
+    pub fn from_rows<S: AsRef<str>>(
+        relation: &str,
+        attributes: &[&str],
+        rows: Vec<Vec<S>>,
+    ) -> Result<Relation, RelationError> {
+        let schema = Schema::new(relation, attributes.iter().copied())?;
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.push_row(row.iter().map(|c| c.as_ref().to_string()).collect())?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Does the relation have no rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row, validating arity.
+    pub fn push_row(&mut self, row: Vec<String>) -> Result<RowId, RelationError> {
+        if row.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                row: self.rows.len(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// The cell at `(row, attr)`.
+    pub fn cell(&self, row: RowId, attr: AttrId) -> &str {
+        &self.rows[row][attr.index()]
+    }
+
+    /// Overwrite a single cell (used by error injection and repair).
+    pub fn set_cell(
+        &mut self,
+        row: RowId,
+        attr: AttrId,
+        value: String,
+    ) -> Result<String, RelationError> {
+        let r = self
+            .rows
+            .get_mut(row)
+            .ok_or(RelationError::RowOutOfRange(row))?;
+        let slot = r
+            .get_mut(attr.index())
+            .ok_or(RelationError::Schema(SchemaError::AttrIdOutOfRange(attr)))?;
+        Ok(std::mem::replace(slot, value))
+    }
+
+    /// Borrow a full row.
+    pub fn row(&self, row: RowId) -> &[String] {
+        &self.rows[row]
+    }
+
+    /// Iterate over `(RowId, row)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (RowId, &[String])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    }
+
+    /// Iterate over one column's values.
+    pub fn column(&self, attr: AttrId) -> impl Iterator<Item = &str> {
+        self.rows.iter().map(move |r| r[attr.index()].as_str())
+    }
+
+    /// Project a row onto a list of attributes.
+    pub fn project(&self, row: RowId, attrs: &[AttrId]) -> Vec<&str> {
+        attrs.iter().map(|a| self.cell(row, *a)).collect()
+    }
+
+    /// Number of distinct values in a column.
+    pub fn distinct_count(&self, attr: AttrId) -> usize {
+        let mut values: Vec<&str> = self.column(attr).collect();
+        values.sort_unstable();
+        values.dedup();
+        values.len()
+    }
+
+    /// Retain only the rows whose ids satisfy the predicate, renumbering.
+    pub fn filter_rows(&self, mut keep: impl FnMut(RowId) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep(*i))
+                .map(|(_, r)| r.clone())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (i, row) in self.iter_rows() {
+            writeln!(f, "  r{}: ({})", i, row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name_table() -> Relation {
+        // Table 1 of the paper.
+        Relation::from_rows(
+            "Name",
+            &["name", "gender"],
+            vec![
+                vec!["John Charles", "M"],
+                vec!["John Bosco", "M"],
+                vec!["Susan Orlean", "F"],
+                vec!["Susan Boyle", "M"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let r = name_table();
+        assert_eq!(r.num_rows(), 4);
+        let name = r.schema().attr("name").unwrap();
+        let gender = r.schema().attr("gender").unwrap();
+        assert_eq!(r.cell(0, name), "John Charles");
+        assert_eq!(r.cell(3, gender), "M");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = name_table();
+        let err = r.push_row(vec!["only one".into()]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn set_cell_returns_old_value() {
+        let mut r = name_table();
+        let gender = r.schema().attr("gender").unwrap();
+        let old = r.set_cell(3, gender, "F".into()).unwrap();
+        assert_eq!(old, "M");
+        assert_eq!(r.cell(3, gender), "F");
+    }
+
+    #[test]
+    fn set_cell_out_of_range() {
+        let mut r = name_table();
+        let gender = r.schema().attr("gender").unwrap();
+        assert!(matches!(
+            r.set_cell(99, gender, "F".into()),
+            Err(RelationError::RowOutOfRange(99))
+        ));
+    }
+
+    #[test]
+    fn column_iteration_and_distinct() {
+        let r = name_table();
+        let gender = r.schema().attr("gender").unwrap();
+        let genders: Vec<&str> = r.column(gender).collect();
+        assert_eq!(genders, vec!["M", "M", "F", "M"]);
+        assert_eq!(r.distinct_count(gender), 2);
+    }
+
+    #[test]
+    fn project_row() {
+        let r = name_table();
+        let ids = r.schema().attrs(&["gender", "name"]).unwrap();
+        assert_eq!(r.project(2, &ids), vec!["F", "Susan Orlean"]);
+    }
+
+    #[test]
+    fn filter_rows_renumbers() {
+        let r = name_table();
+        let filtered = r.filter_rows(|i| i % 2 == 0);
+        assert_eq!(filtered.num_rows(), 2);
+        let name = filtered.schema().attr("name").unwrap();
+        assert_eq!(filtered.cell(1, name), "Susan Orlean");
+    }
+}

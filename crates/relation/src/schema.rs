@@ -1,0 +1,169 @@
+//! Relational schemas: named attribute lists with index lookup.
+
+use std::fmt;
+
+/// An attribute identifier: its position in the schema. Using a newtype keeps
+/// attribute indices from being confused with row indices in the dependency
+/// and discovery code, where both fly around together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The zero-based position in the schema.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A relation schema: an ordered list of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    relation: String,
+    attributes: Vec<String>,
+}
+
+/// Errors from schema construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Attribute names must be unique within a schema.
+    DuplicateAttribute(String),
+    /// Lookup of an attribute that does not exist.
+    NoSuchAttribute(String),
+    /// An [`AttrId`] out of range for this schema.
+    AttrIdOutOfRange(AttrId),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            SchemaError::NoSuchAttribute(a) => write!(f, "no such attribute {a:?}"),
+            SchemaError::AttrIdOutOfRange(id) => write!(f, "attribute id {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Build a schema; attribute names must be unique.
+    pub fn new<S: Into<String>, A: Into<String>>(
+        relation: S,
+        attributes: impl IntoIterator<Item = A>,
+    ) -> Result<Schema, SchemaError> {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].contains(a) {
+                return Err(SchemaError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema {
+            relation: relation.into(),
+            attributes,
+        })
+    }
+
+    /// The relation name (`Name`, `Zip`, … in the paper's notation).
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names in schema order.
+    pub fn attribute_names(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Name of an attribute by id.
+    pub fn name_of(&self, id: AttrId) -> Result<&str, SchemaError> {
+        self.attributes
+            .get(id.0)
+            .map(String::as_str)
+            .ok_or(SchemaError::AttrIdOutOfRange(id))
+    }
+
+    /// Resolve an attribute name to its id.
+    pub fn attr(&self, name: &str) -> Result<AttrId, SchemaError> {
+        self.attributes
+            .iter()
+            .position(|a| a == name)
+            .map(AttrId)
+            .ok_or_else(|| SchemaError::NoSuchAttribute(name.to_string()))
+    }
+
+    /// Resolve several names at once.
+    pub fn attrs(&self, names: &[&str]) -> Result<Vec<AttrId>, SchemaError> {
+        names.iter().map(|n| self.attr(n)).collect()
+    }
+
+    /// All attribute ids in schema order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(AttrId)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.attributes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new("Name", ["name", "gender"]).unwrap();
+        assert_eq!(s.relation(), "Name");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr("name").unwrap(), AttrId(0));
+        assert_eq!(s.attr("gender").unwrap(), AttrId(1));
+        assert_eq!(s.name_of(AttrId(1)).unwrap(), "gender");
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::new("R", ["a", "b", "a"]).unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn missing_attribute() {
+        let s = Schema::new("R", ["a"]).unwrap();
+        assert!(matches!(
+            s.attr("zzz"),
+            Err(SchemaError::NoSuchAttribute(_))
+        ));
+        assert!(matches!(
+            s.name_of(AttrId(9)),
+            Err(SchemaError::AttrIdOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn attrs_bulk_lookup() {
+        let s = Schema::new("R", ["a", "b", "c"]).unwrap();
+        assert_eq!(
+            s.attrs(&["c", "a"]).unwrap(),
+            vec![AttrId(2), AttrId(0)]
+        );
+        assert!(s.attrs(&["a", "nope"]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new("Zip", ["zip", "city"]).unwrap();
+        assert_eq!(s.to_string(), "Zip(zip, city)");
+    }
+}

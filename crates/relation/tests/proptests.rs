@@ -1,0 +1,82 @@
+//! Property-based tests for the relational substrate: CSV round-tripping
+//! over adversarial cell content and profiling invariants.
+
+use pfd_relation::{
+    profile_relation, read_csv_str, write_csv_string, ColumnKind, Relation, Schema,
+};
+use proptest::prelude::*;
+
+/// Cells drawn to stress the CSV writer/reader: quotes, commas, newlines,
+/// unicode, leading/trailing spaces.
+fn nasty_cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,6}",
+        Just("".to_string()),
+        Just("a,b".to_string()),
+        Just("say \"hi\"".to_string()),
+        Just("line1\nline2".to_string()),
+        Just(" padded ".to_string()),
+        Just("Éric, Å".to_string()),
+        Just("\"\"".to_string()),
+        Just(",,,".to_string()),
+    ]
+}
+
+fn arbitrary_relation() -> impl Strategy<Value = Relation> {
+    (2usize..5)
+        .prop_flat_map(|arity| {
+            let rows = proptest::collection::vec(
+                proptest::collection::vec(nasty_cell(), arity),
+                0..10,
+            );
+            (Just(arity), rows)
+        })
+        .prop_map(|(arity, rows)| {
+            let names: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
+            let mut rel = Relation::empty(Schema::new("T", names).unwrap());
+            for row in rows {
+                rel.push_row(row).unwrap();
+            }
+            rel
+        })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip_is_identity(rel in arbitrary_relation()) {
+        let csv = write_csv_string(&rel);
+        let back = read_csv_str("T", &csv).expect("own output must parse");
+        prop_assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn double_round_trip_is_stable(rel in arbitrary_relation()) {
+        let once = write_csv_string(&rel);
+        let back = read_csv_str("T", &once).unwrap();
+        let twice = write_csv_string(&back);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn profiling_never_panics_and_counts_add_up(rel in arbitrary_relation()) {
+        for p in profile_relation(&rel) {
+            prop_assert!(p.non_empty <= p.rows);
+            prop_assert!(p.distinct <= p.non_empty.max(1));
+            prop_assert!((0.0..=1.0).contains(&p.numeric_fraction));
+            prop_assert!((0.0..=1.0).contains(&p.separator_fraction));
+            if p.non_empty == 0 {
+                prop_assert!(!p.is_candidate());
+            }
+            if p.kind == ColumnKind::Quantitative {
+                prop_assert!(p.numeric_fraction > 0.9);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_rows_preserves_schema_and_shrinks(rel in arbitrary_relation()) {
+        let kept = rel.filter_rows(|r| r % 2 == 0);
+        prop_assert_eq!(kept.schema(), rel.schema());
+        prop_assert!(kept.num_rows() <= rel.num_rows());
+    }
+}

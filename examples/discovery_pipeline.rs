@@ -1,0 +1,97 @@
+//! The full ANMAT-style pipeline (the paper's companion demo system):
+//! profile → extract → index → discover → generalize → report, with the
+//! paper's Example 8 table and a larger synthetic table, printing what each
+//! stage produced.
+//!
+//! Run: `cargo run --example discovery_pipeline`
+
+use pfd::core::display_with_schema;
+use pfd::discovery::{build_index, discover, DiscoveryConfig, IndexOptions};
+use pfd::relation::{profile_relation, ColumnKind, Extraction, Relation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The running example of §4.3 (Table 6).
+    let rel = Relation::from_rows(
+        "T",
+        &["name", "country", "gender"],
+        vec![
+            vec!["Tayseer Fahmi", "Egypt", "F"],
+            vec!["Tayseer Qasem", "Yemen", "M"],
+            vec!["Tayseer Salem", "Egypt", "F"],
+            vec!["Tayseer Saeed", "Yemen", "M"],
+            vec!["Noor Wagdi", "Egypt", "M"],
+            vec!["Noor Shadi", "Yemen", "F"],
+            vec!["Noor Hisham", "Egypt", "M"],
+            vec!["Noor Hashim", "Yemen", "F"],
+            vec!["Esmat Qadhi", "Yemen", "M"],
+            vec!["Esmat Farahat", "Egypt", "F"],
+        ],
+    )?;
+
+    // Stage 1 — profiling (Fig. 4 lines 1–3).
+    println!("== Stage 1: profiling ==");
+    for p in profile_relation(&rel) {
+        println!(
+            "  {:<8} kind={:?} extraction={:?} distinct={} separators={:.0}%",
+            p.name,
+            p.kind,
+            p.extraction,
+            p.distinct,
+            p.separator_fraction * 100.0
+        );
+        assert_ne!(p.kind, ColumnKind::Quantitative, "nothing to prune here");
+    }
+
+    // Stage 2 — the positional inverted index (Fig. 4 lines 5–12).
+    println!("\n== Stage 2: inverted index ==");
+    for (col, extraction) in [
+        ("name", Extraction::Tokenize),
+        ("country", Extraction::NGrams),
+        ("gender", Extraction::NGrams),
+    ] {
+        let attr = rel.schema().attr(col)?;
+        let idx = build_index(&rel, attr, extraction, &IndexOptions::default());
+        println!("  H[{col}]: {} entries after substring pruning", idx.entries.len());
+        for e in idx.entries.iter().take(4) {
+            println!(
+                "    (('{}', {}), {:?})",
+                e.pattern,
+                e.pos,
+                e.rows.iter().map(|r| format!("r{}", r + 1)).collect::<Vec<_>>()
+            );
+        }
+    }
+    println!("  (Example 8: country collapses to two entries — Egypt and Yemen)");
+
+    // Stage 3 — discovery. Single-LHS finds nothing for name → gender at
+    // K=2 (the genders split 50/50 under every first name), so the lattice
+    // moves to (name, country) → gender.
+    println!("\n== Stage 3: discovery (K=2, δ=5%) ==");
+    let config = DiscoveryConfig {
+        min_support: 2,
+        max_lhs: 2,
+        ..DiscoveryConfig::default()
+    };
+    let result = discover(&rel, &config);
+    println!(
+        "  {} candidate dependencies checked, {} pattern entries tested",
+        result.stats.candidates_checked, result.stats.entries_tested
+    );
+    for dep in &result.dependencies {
+        let (lhs, rhs) = dep.embedded_names(&rel);
+        println!(
+            "\n  {:?} → {} [{:?}, coverage {}/{}]",
+            lhs,
+            rhs,
+            dep.kind,
+            dep.coverage,
+            rel.num_rows()
+        );
+        println!("    {}", display_with_schema(&dep.pfd, rel.schema()));
+        assert!(dep.pfd.satisfies(&rel), "discovered PFDs hold on the data");
+    }
+
+    println!("\nThe paper's Example 8 outcome: the four constant PFDs generalize to");
+    println!("λ: ([name = first-token pattern, country] → [gender]) covering every row.");
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Quickstart: the paper's running example (Tables 1 & 2, Figures 2).
+//!
+//! Defines the PFDs λ1–λ5 from the introduction, checks them against the
+//! Name and Zip tables, and shows both kinds of violations — the
+//! single-tuple firing of constant PFDs and the tuple-pair firing of
+//! variable PFDs.
+//!
+//! Run: `cargo run --example quickstart`
+
+use pfd::core::{display_with_schema, Pfd, TableauRow, ViolationKind};
+use pfd::relation::Relation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Table 1 — r4's gender should be F.
+    let name_table = Relation::from_rows(
+        "Name",
+        &["name", "gender"],
+        vec![
+            vec!["John Charles", "M"],
+            vec!["John Bosco", "M"],
+            vec!["Susan Orlean", "F"],
+            vec!["Susan Boyle", "M"], // erroneous
+        ],
+    )?;
+
+    // Table 2 — s4's city should be Los Angeles.
+    let zip_table = Relation::from_rows(
+        "Zip",
+        &["zip", "city"],
+        vec![
+            vec!["90001", "Los Angeles"],
+            vec!["90002", "Los Angeles"],
+            vec!["90003", "Los Angeles"],
+            vec!["90004", "New York"], // erroneous
+        ],
+    )?;
+
+    println!("== ψ1 (λ1, λ2): constant first names determine gender ==");
+    let mut psi1 = Pfd::constant_normal_form(
+        "Name",
+        name_table.schema(),
+        "name",
+        r"[John\ ]\A*",
+        "gender",
+        "M",
+    )?;
+    psi1.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"])?)?;
+    println!("{}", display_with_schema(&psi1, name_table.schema()));
+    for v in psi1.violations(&name_table) {
+        assert_eq!(v.kind, ViolationKind::SingleTuple);
+        let rid = v.rows()[0];
+        println!(
+            "  violation: r{} ({}, {}) — a single tuple suffices, no redundancy needed",
+            rid + 1,
+            name_table.cell(rid, name_table.schema().attr("name")?),
+            name_table.cell(rid, name_table.schema().attr("gender")?),
+        );
+    }
+
+    println!("\n== ψ2 (λ4): the first name, whatever it is, determines gender ==");
+    let psi2 = Pfd::constant_normal_form(
+        "Name",
+        name_table.schema(),
+        "name",
+        r"[\LU\LL*\ ]\A*",
+        "gender",
+        "_",
+    )?;
+    println!("{}", display_with_schema(&psi2, name_table.schema()));
+    for v in psi2.violations(&name_table) {
+        assert_eq!(v.kind, ViolationKind::TuplePair);
+        println!(
+            "  violation: tuples r{} and r{} share a first name but disagree on gender ({} cells)",
+            v.rows()[0] + 1,
+            v.rows()[1] + 1,
+            v.cells().len(),
+        );
+    }
+
+    println!("\n== ψ3 (λ3): zip prefix 900 determines Los Angeles ==");
+    let psi3 = Pfd::constant_normal_form(
+        "Zip",
+        zip_table.schema(),
+        "zip",
+        r"[900]\D{2}",
+        "city",
+        r"Los\ Angeles",
+    )?;
+    println!("{}", display_with_schema(&psi3, zip_table.schema()));
+    for v in psi3.violations(&zip_table) {
+        println!(
+            "  violation: s{} — {} is not Los Angeles",
+            v.rows()[0] + 1,
+            zip_table.cell(v.rows()[0], zip_table.schema().attr("city")?),
+        );
+    }
+
+    println!("\n== ψ4 (λ5): the first three zip digits determine the city ==");
+    let psi4 = Pfd::constant_normal_form(
+        "Zip",
+        zip_table.schema(),
+        "zip",
+        r"[\D{3}]\D{2}",
+        "city",
+        "_",
+    )?;
+    println!("{}", display_with_schema(&psi4, zip_table.schema()));
+    for v in psi4.violations(&zip_table) {
+        println!(
+            "  violation: s{} vs s{}",
+            v.rows()[0] + 1,
+            v.rows()[1] + 1
+        );
+    }
+
+    // §2.2's discussion: remove r3 and ψ2 goes blind while ψ1 still fires.
+    let without_r3 = name_table.filter_rows(|r| r != 2);
+    println!("\nWithout Susan Orlean: ψ1 still detects the error ({} violations); ψ2 cannot ({} violations).",
+        psi1.violations(&without_r3).len(),
+        psi2.violations(&without_r3).len());
+
+    // A plain FD sees nothing at all (§1.1): every name/zip is unique.
+    let fd = Pfd::fd("Zip", zip_table.schema(), &["zip"], &["city"])?;
+    assert!(fd.satisfies(&zip_table));
+    println!("The plain FD zip → city is satisfied — whole-value ICs cannot catch s4.");
+
+    Ok(())
+}

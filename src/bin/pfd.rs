@@ -1,0 +1,15 @@
+//! The `pfd` binary — see [`pfd::cli`] for the command surface.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match pfd::cli::run(&args, &mut stdout) {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

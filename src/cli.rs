@@ -1,0 +1,466 @@
+//! The `pfd` command-line tool: profile, discover, check and repair CSV
+//! tables with pattern functional dependencies.
+//!
+//! ```text
+//! pfd profile  data.csv
+//! pfd discover data.csv [--min-support K] [--noise D] [--coverage G]
+//!                       [--max-lhs N] [--rules out.pfd] [--review]
+//! pfd check    data.csv --rules rules.pfd
+//! pfd repair   data.csv --rules rules.pfd [--out cleaned.csv]
+//! ```
+//!
+//! Rule files use the [`pfd_core::rules`] line format. All command logic is
+//! in library functions writing to a generic sink, so the whole surface is
+//! unit-testable without spawning processes.
+
+use pfd_core::{
+    detect_errors, display_with_schema, parse_rules, repair as repair_rel, to_rules_string, Pfd,
+};
+use pfd_discovery::{discover, review_queue, DiscoveryConfig};
+use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
+use std::fmt;
+use std::io::Write;
+
+/// CLI errors, each mapping to a non-zero exit code and a message.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Csv(pfd_relation::CsvError),
+    Rules(pfd_core::RuleError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Csv(e) => write!(f, "CSV error: {e}"),
+            CliError::Rules(e) => write!(f, "rule error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<pfd_relation::CsvError> for CliError {
+    fn from(e: pfd_relation::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+
+impl From<pfd_core::RuleError> for CliError {
+    fn from(e: pfd_core::RuleError) -> Self {
+        CliError::Rules(e)
+    }
+}
+
+pub const USAGE: &str = "\
+pfd — pattern functional dependencies for data cleaning (VLDB 2020)
+
+USAGE:
+    pfd profile  <data.csv>
+    pfd discover <data.csv> [--min-support K] [--noise D] [--coverage G]
+                            [--max-lhs N] [--rules <out.pfd>] [--review]
+    pfd check    <data.csv> --rules <rules.pfd>
+    pfd repair   <data.csv> --rules <rules.pfd> [--out <cleaned.csv>]
+
+OPTIONS:
+    --min-support K   minimum records per pattern (default 5)
+    --noise D         allowed violation ratio δ in [0,1] (default 0.05)
+    --coverage G      minimum coverage fraction γ in [0,1] (default 0.10)
+    --max-lhs N       maximum LHS attributes (default 1)
+    --rules FILE      rule file to write (discover) or read (check/repair)
+    --review          print the human-review queue instead of raw rules
+    --out FILE        where repair writes the cleaned CSV (default stdout)";
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+enum Command {
+    Profile {
+        data: String,
+    },
+    Discover {
+        data: String,
+        config: DiscoveryConfig,
+        rules_out: Option<String>,
+        review: bool,
+    },
+    Check {
+        data: String,
+        rules: String,
+    },
+    Repair {
+        data: String,
+        rules: String,
+        out: Option<String>,
+    },
+}
+
+fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let cmd = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags: Vec<(String, Option<String>)> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = name != "review";
+            if takes_value {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                flags.push((name.to_string(), Some(v.to_string())));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            positional.push(a.to_string());
+            i += 1;
+        }
+    }
+    let flag = |name: &str| -> Option<&str> {
+        flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    };
+    let has_flag = |name: &str| flags.iter().any(|(n, _)| n == name);
+    let data = positional
+        .first()
+        .cloned()
+        .ok_or_else(|| CliError::Usage("missing <data.csv>".into()))?;
+
+    let parse_f64 = |name: &str, v: &str| -> Result<f64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("--{name}: not a number: {v}")))
+    };
+    let parse_usize = |name: &str, v: &str| -> Result<usize, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("--{name}: not an integer: {v}")))
+    };
+
+    match cmd.as_str() {
+        "profile" => Ok(Command::Profile { data }),
+        "discover" => {
+            let mut config = DiscoveryConfig::default();
+            if let Some(v) = flag("min-support") {
+                config.min_support = parse_usize("min-support", v)?;
+            }
+            if let Some(v) = flag("noise") {
+                config.noise_ratio = parse_f64("noise", v)?;
+                if !(0.0..=1.0).contains(&config.noise_ratio) {
+                    return Err(CliError::Usage("--noise must be in [0,1]".into()));
+                }
+            }
+            if let Some(v) = flag("coverage") {
+                config.min_coverage = parse_f64("coverage", v)?;
+                if !(0.0..=1.0).contains(&config.min_coverage) {
+                    return Err(CliError::Usage("--coverage must be in [0,1]".into()));
+                }
+            }
+            if let Some(v) = flag("max-lhs") {
+                config.max_lhs = parse_usize("max-lhs", v)?.max(1);
+            }
+            Ok(Command::Discover {
+                data,
+                config,
+                rules_out: flag("rules").map(str::to_string),
+                review: has_flag("review"),
+            })
+        }
+        "check" => Ok(Command::Check {
+            data,
+            rules: flag("rules")
+                .map(str::to_string)
+                .ok_or_else(|| CliError::Usage("check needs --rules".into()))?,
+        }),
+        "repair" => Ok(Command::Repair {
+            data,
+            rules: flag("rules")
+                .map(str::to_string)
+                .ok_or_else(|| CliError::Usage("repair needs --rules".into()))?,
+            out: flag("out").map(str::to_string),
+        }),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load_relation(path: &str) -> Result<Relation, CliError> {
+    let file = std::fs::File::open(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table");
+    Ok(read_csv(name, std::io::BufReader::new(file))?)
+}
+
+fn load_rules(path: &str, rel: &Relation) -> Result<Vec<Pfd>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_rules(&text, rel.schema())?)
+}
+
+/// Run the CLI; returns the process exit code. All output goes to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    match parse_args(args)? {
+        Command::Profile { data } => {
+            let rel = load_relation(&data)?;
+            writeln!(
+                out,
+                "{} — {} rows × {} columns",
+                rel.schema(),
+                rel.num_rows(),
+                rel.schema().arity()
+            )?;
+            writeln!(
+                out,
+                "{:<16} {:>12} {:>9} {:>8} {:>10} {:>10}",
+                "column", "kind", "distinct", "avg len", "separators", "extraction"
+            )?;
+            for p in profile_relation(&rel) {
+                writeln!(
+                    out,
+                    "{:<16} {:>12} {:>9} {:>8.1} {:>9.0}% {:>10}",
+                    p.name,
+                    format!("{:?}", p.kind),
+                    p.distinct,
+                    p.avg_len,
+                    p.separator_fraction * 100.0,
+                    format!("{:?}", p.extraction),
+                )?;
+            }
+            Ok(0)
+        }
+        Command::Discover {
+            data,
+            config,
+            rules_out,
+            review,
+        } => {
+            let rel = load_relation(&data)?;
+            let result = discover(&rel, &config);
+            writeln!(
+                out,
+                "{} dependencies discovered in {:?} ({} candidate pairs, {} patterns tested)",
+                result.dependencies.len(),
+                result.stats.elapsed,
+                result.stats.candidates_checked,
+                result.stats.entries_tested
+            )?;
+            if review {
+                for item in review_queue(&rel, &result.dependencies) {
+                    writeln!(out, "  {}", item.summary(&rel))?;
+                }
+            } else {
+                for dep in &result.dependencies {
+                    writeln!(
+                        out,
+                        "  {}",
+                        display_with_schema(&dep.pfd, rel.schema())
+                    )?;
+                }
+            }
+            if let Some(path) = rules_out {
+                let pfds: Vec<Pfd> =
+                    result.dependencies.iter().map(|d| d.pfd.clone()).collect();
+                std::fs::write(&path, to_rules_string(&pfds, rel.schema()))?;
+                writeln!(out, "rules written to {path}")?;
+            }
+            Ok(0)
+        }
+        Command::Check { data, rules } => {
+            let rel = load_relation(&data)?;
+            let pfds = load_rules(&rules, &rel)?;
+            let report = detect_errors(&rel, &pfds);
+            for flag in &report.flags {
+                let attr_name = rel.schema().name_of(flag.attr).unwrap_or("?");
+                writeln!(
+                    out,
+                    "row {} {}: {:?}{}",
+                    flag.row + 1,
+                    attr_name,
+                    flag.current,
+                    match &flag.suggestion {
+                        Some(s) => format!(" (suggest {s:?})"),
+                        None => String::new(),
+                    }
+                )?;
+            }
+            writeln!(
+                out,
+                "{} suspect cells across {} rules",
+                report.unique_cells().len(),
+                pfds.len()
+            )?;
+            // Dirty data → exit code 1, like grep.
+            Ok(if report.is_clean() { 0 } else { 1 })
+        }
+        Command::Repair { data, rules, out: out_path } => {
+            let rel = load_relation(&data)?;
+            let pfds = load_rules(&rules, &rel)?;
+            let outcome = repair_rel(&rel, &pfds);
+            writeln!(
+                out,
+                "{} fixes applied, {} suspects left unrepaired",
+                outcome.fixes.len(),
+                outcome.unrepaired.len()
+            )?;
+            for fix in &outcome.fixes {
+                let attr_name = rel.schema().name_of(fix.attr).unwrap_or("?");
+                writeln!(
+                    out,
+                    "row {} {}: {:?} → {:?}",
+                    fix.row + 1,
+                    attr_name,
+                    fix.old,
+                    fix.new
+                )?;
+            }
+            let csv = write_csv_string(&outcome.relation);
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, csv)?;
+                    writeln!(out, "cleaned table written to {path}")?;
+                }
+                None => out.write_all(csv.as_bytes())?,
+            }
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("pfd-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_capture(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&args, &mut buf).unwrap();
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    const ZIP_CSV: &str = "zip,city\n90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n90004,Los Angeles\n90005,Los Angeles\n60601,Chicago\n60602,Chicago\n60603,Chicago\n60604,Chicago\n60605,New York\n";
+
+    #[test]
+    fn profile_command() {
+        let data = tmp("profile.csv", ZIP_CSV);
+        let (code, output) = run_capture(&["profile", &data]);
+        assert_eq!(code, 0);
+        assert!(output.contains("zip"), "{output}");
+        assert!(output.contains("Code"), "zip column is code-like: {output}");
+    }
+
+    #[test]
+    fn discover_writes_rules_and_check_finds_the_error() {
+        let data = tmp("discover.csv", ZIP_CSV);
+        let rules = tmp("rules.pfd", "");
+        let (code, output) = run_capture(&[
+            "discover",
+            &data,
+            "--min-support",
+            "3",
+            "--noise",
+            "0.2",
+            "--rules",
+            &rules,
+        ]);
+        assert_eq!(code, 0);
+        assert!(output.contains("dependencies discovered"), "{output}");
+
+        let (code, output) = run_capture(&["check", &data, "--rules", &rules]);
+        assert_eq!(code, 1, "dirty data exits 1: {output}");
+        assert!(output.contains("New York"), "{output}");
+    }
+
+    #[test]
+    fn repair_fixes_the_typo() {
+        let data = tmp("repair.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "repair-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        // The rule file uses relation name "Zip" but the loaded relation is
+        // named after the file; relation names are informational, schemas
+        // bind by attribute name.
+        let cleaned = tmp("cleaned.csv", "");
+        let (code, output) =
+            run_capture(&["repair", &data, "--rules", &rules_path, "--out", &cleaned]);
+        assert_eq!(code, 0);
+        assert!(output.contains("1 fixes applied"), "{output}");
+        let result = std::fs::read_to_string(&cleaned).unwrap();
+        assert!(!result.contains("New York"), "{result}");
+    }
+
+    #[test]
+    fn review_flag_prints_queue() {
+        let data = tmp("review.csv", ZIP_CSV);
+        let (code, output) = run_capture(&[
+            "discover",
+            &data,
+            "--min-support",
+            "3",
+            "--noise",
+            "0.2",
+            "--review",
+        ]);
+        assert_eq!(code, 0);
+        assert!(output.contains("score"), "{output}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            run(&[], &mut buf),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["frobnicate".into()], &mut buf),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["check".into(), "x.csv".into()], &mut buf),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(
+                &["discover".into(), "x.csv".into(), "--noise".into(), "2".into()],
+                &mut buf
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            run(
+                &["profile".into(), "/definitely/not/here.csv".into()],
+                &mut buf
+            ),
+            Err(CliError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,243 @@
+//! Integration tests spanning the whole workspace: the paper's full story —
+//! define / discover / reason / detect / repair — executed end to end.
+
+use pfd::baselines::{cfd_discover, fdep_single_lhs, CfdConfig, FdepConfig};
+use pfd::core::{detect_errors, evaluate_repairs, repair, Pfd, TableauRow};
+use pfd::datagen::{
+    evaluate_dependencies, standard_suite, GroundTruthDep, Scale,
+};
+use pfd::discovery::{discover, DependencyKind, DiscoveryConfig};
+use pfd::inference::{check_consistency, implies, Consistency};
+use pfd::relation::{read_csv_str, write_csv_string, Relation};
+
+fn discovered_deps(
+    ds: &pfd::datagen::Dataset,
+    result: &pfd::discovery::DiscoveryResult,
+) -> Vec<GroundTruthDep> {
+    result
+        .dependencies
+        .iter()
+        .map(|d| {
+            let (lhs, rhs) = d.embedded_names(&ds.dirty);
+            let refs: Vec<&str> = lhs.iter().map(String::as_str).collect();
+            GroundTruthDep::new(&refs, &rhs)
+        })
+        .collect()
+}
+
+#[test]
+fn paper_running_example_full_cycle() {
+    // Table 1 with the erroneous r4.
+    let dirty = Relation::from_rows(
+        "Name",
+        &["name", "gender"],
+        vec![
+            vec!["John Charles", "M"],
+            vec!["John Bosco", "M"],
+            vec!["Susan Orlean", "F"],
+            vec!["Susan Boyle", "M"],
+        ],
+    )
+    .unwrap();
+
+    // Hand-written λ1/λ2 detect and repair the error.
+    let mut psi1 = Pfd::constant_normal_form(
+        "Name",
+        dirty.schema(),
+        "name",
+        r"[John\ ]\A*",
+        "gender",
+        "M",
+    )
+    .unwrap();
+    psi1.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+        .unwrap();
+    let outcome = repair(&dirty, std::slice::from_ref(&psi1));
+    assert_eq!(outcome.fixes.len(), 1);
+    assert_eq!(outcome.fixes[0].new, "F");
+    assert!(psi1.satisfies(&outcome.relation));
+}
+
+#[test]
+fn discovery_beats_baselines_on_pattern_tables() {
+    // The Table 7 headline on three representative tables.
+    let suite = standard_suite(Scale::Small, 0.01, 42);
+    for id in ["T1", "T9", "T14"] {
+        let ds = suite.iter().find(|d| d.id == id).unwrap();
+        let pfd_result = discover(&ds.dirty, &DiscoveryConfig::default());
+        let pfd_eval = evaluate_dependencies(ds, &discovered_deps(ds, &pfd_result));
+
+        let fds = fdep_single_lhs(&ds.dirty, &FdepConfig::default());
+        let names = ds.dirty.schema().attribute_names();
+        let fd_deps: Vec<GroundTruthDep> = fds
+            .iter()
+            .map(|fd| {
+                GroundTruthDep::new(
+                    &[names[fd.lhs[0].index()].as_str()],
+                    names[fd.rhs.index()].as_str(),
+                )
+            })
+            .collect();
+        let fd_eval = evaluate_dependencies(ds, &fd_deps);
+
+        let cfds = cfd_discover(&ds.dirty, &CfdConfig::default());
+        let cfd_deps: Vec<GroundTruthDep> = cfds
+            .iter()
+            .map(|d| {
+                GroundTruthDep::new(
+                    &[names[d.lhs.index()].as_str()],
+                    names[d.rhs.index()].as_str(),
+                )
+            })
+            .collect();
+        let cfd_eval = evaluate_dependencies(ds, &cfd_deps);
+
+        assert!(
+            pfd_eval.true_positives > fd_eval.true_positives,
+            "{id}: PFD ({}) must find more valid deps than FDep ({})",
+            pfd_eval.true_positives,
+            fd_eval.true_positives
+        );
+        assert!(
+            pfd_eval.true_positives >= cfd_eval.true_positives,
+            "{id}: PFD ({}) must find at least as many valid deps as CFD ({})",
+            pfd_eval.true_positives,
+            cfd_eval.true_positives
+        );
+        // Recall stays high on the synthetic twins.
+        assert!(pfd_eval.recall() >= 0.8, "{id}: recall {}", pfd_eval.recall());
+    }
+}
+
+#[test]
+fn discovered_pfds_detect_injected_errors() {
+    let suite = standard_suite(Scale::Small, 0.02, 7);
+    let ds = suite.iter().find(|d| d.id == "T14").unwrap();
+    let result = discover(&ds.dirty, &DiscoveryConfig::default());
+    let validated: Vec<Pfd> = result
+        .dependencies
+        .iter()
+        .filter(|d| {
+            let (lhs, rhs) = d.embedded_names(&ds.dirty);
+            let refs: Vec<&str> = lhs.iter().map(String::as_str).collect();
+            ds.is_genuine(&refs, &rhs)
+        })
+        .map(|d| d.pfd.clone())
+        .collect();
+    assert!(!validated.is_empty());
+    let report = detect_errors(&ds.dirty, &validated);
+    let errors = ds.error_set();
+    let tp = report
+        .unique_cells()
+        .iter()
+        .filter(|c| errors.contains(c))
+        .count();
+    assert!(
+        tp * 2 >= errors.len(),
+        "at least half the injected typos must be caught: {tp}/{}",
+        errors.len()
+    );
+}
+
+#[test]
+fn repair_restores_most_clean_values() {
+    let suite = standard_suite(Scale::Small, 0.02, 7);
+    let ds = suite.iter().find(|d| d.id == "T13").unwrap();
+    let result = discover(&ds.dirty, &DiscoveryConfig::default());
+    let validated: Vec<Pfd> = result
+        .dependencies
+        .iter()
+        .filter(|d| {
+            let (lhs, rhs) = d.embedded_names(&ds.dirty);
+            let refs: Vec<&str> = lhs.iter().map(String::as_str).collect();
+            ds.is_genuine(&refs, &rhs)
+        })
+        .map(|d| d.pfd.clone())
+        .collect();
+    let outcome = repair(&ds.dirty, &validated);
+    let eval = evaluate_repairs(&outcome.fixes, &ds.clean);
+    assert!(
+        eval.correct > 0,
+        "repairs must restore some clean values: {eval:?}"
+    );
+    assert!(
+        eval.precision() >= 0.5,
+        "repair precision {:.2} too low",
+        eval.precision()
+    );
+}
+
+#[test]
+fn discovered_pfds_are_consistent_and_closed_under_implication() {
+    // Reasoning over discovered constraints: the discovered set must be
+    // consistent, and each member must be implied by the whole set.
+    let suite = standard_suite(Scale::Small, 0.0, 42);
+    let ds = suite.iter().find(|d| d.id == "T7").unwrap();
+    let result = discover(&ds.clean, &DiscoveryConfig::default());
+    let pfds: Vec<Pfd> = result.dependencies.iter().map(|d| d.pfd.clone()).collect();
+    assert!(!pfds.is_empty());
+    let arity = ds.clean.schema().arity();
+    assert!(matches!(
+        check_consistency(&pfds, arity),
+        Consistency::Consistent(_)
+    ));
+    for psi in &pfds {
+        assert!(
+            implies(&pfds, psi, arity),
+            "Ψ must imply its own member {psi}"
+        );
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_discovery() {
+    let suite = standard_suite(Scale::Small, 0.01, 42);
+    let ds = suite.iter().find(|d| d.id == "T3").unwrap();
+    let csv = write_csv_string(&ds.dirty);
+    let reloaded = read_csv_str(&ds.name, &csv).unwrap();
+    assert_eq!(reloaded, ds.dirty);
+    let a = discover(&ds.dirty, &DiscoveryConfig::default());
+    let b = discover(&reloaded, &DiscoveryConfig::default());
+    assert_eq!(a.dependencies.len(), b.dependencies.len());
+}
+
+#[test]
+fn generalized_pfds_hold_where_constants_do() {
+    // Variable PFDs must not contradict the data their constants came from.
+    let suite = standard_suite(Scale::Small, 0.0, 42);
+    for ds in suite.iter().filter(|d| ["T2", "T11", "T12"].contains(&d.id.as_str())) {
+        let result = discover(&ds.clean, &DiscoveryConfig::default());
+        for dep in &result.dependencies {
+            if dep.kind == DependencyKind::Variable {
+                assert!(
+                    dep.pfd.satisfies(&ds.clean),
+                    "{}: variable PFD violated on clean data: {}",
+                    ds.id,
+                    dep.pfd
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dirty_discovery_still_finds_the_dependencies() {
+    // §4's headline: discovery works *from dirty data*. Compare clean vs
+    // dirty discovery on the same table.
+    let suite_clean = standard_suite(Scale::Small, 0.0, 42);
+    let suite_dirty = standard_suite(Scale::Small, 0.02, 42);
+    for id in ["T5", "T13"] {
+        let clean = suite_clean.iter().find(|d| d.id == id).unwrap();
+        let dirty = suite_dirty.iter().find(|d| d.id == id).unwrap();
+        let from_clean = discover(&clean.clean, &DiscoveryConfig::default());
+        let from_dirty = discover(&dirty.dirty, &DiscoveryConfig::default());
+        let clean_eval = evaluate_dependencies(clean, &discovered_deps(clean, &from_clean));
+        let dirty_eval = evaluate_dependencies(dirty, &discovered_deps(dirty, &from_dirty));
+        assert!(
+            dirty_eval.true_positives * 10 >= clean_eval.true_positives * 8,
+            "{id}: dirty discovery lost too much: {} vs {}",
+            dirty_eval.true_positives,
+            clean_eval.true_positives
+        );
+    }
+}
