@@ -146,8 +146,7 @@ fn mine_pair(
     }
 
     // Approximate variable CFD: A → B with few violating rows overall.
-    let variable = if n > 0 && (total_violations as f64) <= (1.0 - config.confidence) * n as f64
-    {
+    let variable = if n > 0 && (total_violations as f64) <= (1.0 - config.confidence) * n as f64 {
         Some(VariableCfd {
             lhs: a,
             rhs: b,
@@ -280,8 +279,7 @@ mod tests {
         let deps = cfd_discover(&r, &strict);
         assert!(
             deps.iter()
-                .all(|d| !(d.lhs == AttrId(0) && d.rhs == AttrId(1))
-                    || d.constants.is_empty()),
+                .all(|d| !(d.lhs == AttrId(0) && d.rhs == AttrId(1)) || d.constants.is_empty()),
             "confidence 1.0 must reject the 99%-pure group"
         );
     }

@@ -174,7 +174,10 @@ pub fn fdep(rel: &Relation, config: &FdepConfig) -> Vec<Fd> {
                 .map(AttrId)
                 .collect();
             if !lhs.is_empty() {
-                out.push(Fd { lhs, rhs: AttrId(a) });
+                out.push(Fd {
+                    lhs,
+                    rhs: AttrId(a),
+                });
             }
         }
     }
@@ -207,11 +210,7 @@ mod tests {
         let fds = fdep(r, &FdepConfig::default());
         let names = r.schema().attribute_names();
         for fd in &fds {
-            let lhs: Vec<&str> = fd
-                .lhs
-                .iter()
-                .map(|a| names[a.index()].as_str())
-                .collect();
+            let lhs: Vec<&str> = fd.lhs.iter().map(|a| names[a.index()].as_str()).collect();
             let rhs = names[fd.rhs.index()].as_str();
             let as_pfd = Pfd::fd("T", r.schema(), &lhs, &[rhs]).unwrap();
             assert!(as_pfd.satisfies(r), "reported FD {lhs:?} → {rhs} violated");
@@ -228,8 +227,7 @@ mod tests {
                 if as_pfd.satisfies(r) {
                     // Some reported FD with RHS b must have LHS ⊆ {a}.
                     assert!(
-                        fds.iter()
-                            .any(|fd| fd.rhs == b && fd.lhs == vec![a]),
+                        fds.iter().any(|fd| fd.rhs == b && fd.lhs == vec![a]),
                         "holding FD {la} → {lb} not reported"
                     );
                 }
@@ -251,8 +249,14 @@ mod tests {
         let fds = fdep(&r, &FdepConfig::default());
         let a = AttrId(0);
         let b = AttrId(1);
-        assert!(fds.contains(&Fd { lhs: vec![a], rhs: b }));
-        assert!(!fds.contains(&Fd { lhs: vec![b], rhs: a }));
+        assert!(fds.contains(&Fd {
+            lhs: vec![a],
+            rhs: b
+        }));
+        assert!(!fds.contains(&Fd {
+            lhs: vec![b],
+            rhs: a
+        }));
         verify_sound_complete(&r);
     }
 
@@ -281,10 +285,7 @@ mod tests {
 
     #[test]
     fn no_fd_when_only_attribute_differs() {
-        let r = rel(
-            &["a", "b"],
-            vec![vec!["x", "1"], vec!["x", "2"]],
-        );
+        let r = rel(&["a", "b"], vec![vec!["x", "1"], vec!["x", "2"]]);
         let fds = fdep(&r, &FdepConfig::default());
         assert!(!fds.iter().any(|f| f.rhs == AttrId(1)), "{fds:?}");
         // a is constant, so the *minimal* dependency with RHS a has an

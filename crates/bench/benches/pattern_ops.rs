@@ -5,9 +5,7 @@
 //! PSPACE-complete; these are all polynomial).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pfd_pattern::{
-    infer_pattern, parse_pattern, subset_of, ConstrainedPattern, Nfa,
-};
+use pfd_pattern::{infer_pattern, parse_pattern, subset_of, ConstrainedPattern, Nfa};
 
 fn bench_compile(c: &mut Criterion) {
     let patterns = [

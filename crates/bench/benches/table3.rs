@@ -51,7 +51,11 @@ fn main() {
                 "    error: {} — {} {}",
                 ds.dirty.cell(flag.row, lhs_attr),
                 flag.current,
-                if is_real { "(injected typo)" } else { "(suspect)" }
+                if is_real {
+                    "(injected typo)"
+                } else {
+                    "(suspect)"
+                }
             );
         }
         if report.flags.is_empty() {

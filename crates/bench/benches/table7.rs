@@ -162,10 +162,7 @@ fn main() {
     );
     print_row(
         "Recall (%)",
-        &detection
-            .iter()
-            .map(|d| pct(d.recall))
-            .collect::<Vec<_>>(),
+        &detection.iter().map(|d| pct(d.recall)).collect::<Vec<_>>(),
     );
     print_row(
         "# Injected errors",

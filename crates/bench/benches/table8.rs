@@ -66,8 +66,7 @@ fn zip_city_table(rows: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rel = Relation::empty(Schema::new("T", ["zip", "city"]).unwrap());
     for _ in 0..rows {
-        let (prefix, city, _) =
-            pools::ZIP_PREFIXES[rng.gen_range(0..pools::ZIP_PREFIXES.len())];
+        let (prefix, city, _) = pools::ZIP_PREFIXES[rng.gen_range(0..pools::ZIP_PREFIXES.len())];
         let digits: String = (0..2)
             .map(|_| char::from_digit(rng.gen_range(0..10), 10).unwrap())
             .collect();

@@ -42,10 +42,7 @@ pub fn run_fdep(ds: &Dataset) -> AlgoOutcome {
         .iter()
         .map(|fd| {
             (
-                fd.lhs
-                    .iter()
-                    .map(|a| names[a.index()].clone())
-                    .collect(),
+                fd.lhs.iter().map(|a| names[a.index()].clone()).collect(),
                 names[fd.rhs.index()].clone(),
             )
         })
@@ -170,7 +167,6 @@ pub fn detect_against(
     (eval.precision(), eval.recall())
 }
 
-
 /// Shared runner for the Figure 5 / Figure 6 controlled evaluation (§5.3).
 ///
 /// Grid: error rate 1%–10% × minimum support K ∈ {2, 4, 6} (the paper's
@@ -232,7 +228,11 @@ pub fn run_controlled_figure(mode: pfd_datagen::NoiseMode, figure: &str) {
                 };
                 cells.push(format!(
                     "{:>8} {:>8}",
-                    if p.is_nan() { "—".to_string() } else { format!("{p:.3}") },
+                    if p.is_nan() {
+                        "—".to_string()
+                    } else {
+                        format!("{p:.3}")
+                    },
                     format!("{r:.3}")
                 ));
             }

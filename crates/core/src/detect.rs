@@ -59,7 +59,12 @@ fn splice_suggestion(cell: &TableauCell, value: &str, replacement: &str) -> Opti
             // `extract` returns a subslice of `value`; recover its offset.
             let start = extracted.as_ptr() as usize - value.as_ptr() as usize;
             let end = start + extracted.len();
-            Some(format!("{}{}{}", &value[..start], replacement, &value[end..]))
+            Some(format!(
+                "{}{}{}",
+                &value[..start],
+                replacement,
+                &value[end..]
+            ))
         }
     }
 }
@@ -101,8 +106,8 @@ pub fn detect_errors(rel: &Relation, pfds: &[Pfd]) -> DetectionReport {
                     let rid = v.rows()[1];
                     let current = rel.cell(rid, v.attr).to_string();
                     let majority_key = rhs_cell.key(rel.cell(rep, v.attr));
-                    let suggestion = majority_key
-                        .and_then(|k| splice_suggestion(rhs_cell, &current, k));
+                    let suggestion =
+                        majority_key.and_then(|k| splice_suggestion(rhs_cell, &current, k));
                     report.flags.push(CellFlag {
                         row: rid,
                         attr: v.attr,
@@ -213,15 +218,9 @@ mod tests {
     #[test]
     fn constant_pfd_suggests_constant() {
         let rel = name_table();
-        let mut pfd = Pfd::constant_normal_form(
-            "Name",
-            rel.schema(),
-            "name",
-            r"[John\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let mut pfd =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
         pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
             .unwrap();
         let report = detect_errors(&rel, &[pfd]);
@@ -235,15 +234,9 @@ mod tests {
     #[test]
     fn pair_violation_suggests_majority_value() {
         let rel = zip_table();
-        let pfd = Pfd::constant_normal_form(
-            "Zip",
-            rel.schema(),
-            "zip",
-            r"[\D{3}]\D{2}",
-            "city",
-            "_",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("Zip", rel.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
         let report = detect_errors(&rel, &[pfd]);
         assert_eq!(report.flags.len(), 1);
         let f = &report.flags[0];
@@ -263,15 +256,9 @@ mod tests {
     #[test]
     fn detection_eval_metrics() {
         let rel = name_table();
-        let mut pfd = Pfd::constant_normal_form(
-            "Name",
-            rel.schema(),
-            "name",
-            r"[John\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let mut pfd =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
         pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
             .unwrap();
         let report = detect_errors(&rel, &[pfd]);

@@ -132,15 +132,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut pfd = Pfd::constant_normal_form(
-            "Name",
-            rel.schema(),
-            "name",
-            r"[John\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let mut pfd =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
         pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
             .unwrap();
         IncrementalChecker::new(rel, vec![pfd])

@@ -596,15 +596,9 @@ mod tests {
     fn psi1(rel: &Relation) -> Pfd {
         // ψ1 = λ1, λ2: constant first names determine gender.
         let schema = rel.schema();
-        let mut pfd = Pfd::constant_normal_form(
-            "Name",
-            schema,
-            "name",
-            r"[John\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let mut pfd =
+            Pfd::constant_normal_form("Name", schema, "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
         pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
             .unwrap();
         pfd
@@ -665,15 +659,9 @@ mod tests {
         // ψ4 = λ5 on Table 2: (s1,s4), (s2,s4), (s3,s4) violate; majority
         // reporting collapses these to one violation naming s4.
         let rel = zip_table();
-        let pfd = Pfd::constant_normal_form(
-            "Zip",
-            rel.schema(),
-            "zip",
-            r"[\D{3}]\D{2}",
-            "city",
-            "_",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("Zip", rel.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
         let violations = pfd.violations(&rel);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].rows().contains(&3));
@@ -769,12 +757,7 @@ mod tests {
 
     #[test]
     fn decompose_multi_rhs() {
-        let rel = Relation::from_rows(
-            "R",
-            &["a", "b", "c"],
-            vec![vec!["1", "2", "3"]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows("R", &["a", "b", "c"], vec![vec!["1", "2", "3"]]).unwrap();
         let p = Pfd::fd("R", rel.schema(), &["a"], &["b", "c"]).unwrap();
         let parts = p.decompose();
         assert_eq!(parts.len(), 2);
@@ -826,10 +809,12 @@ mod tests {
     #[test]
     fn merge_combines_tableaux() {
         let rel = name_table();
-        let a = Pfd::constant_normal_form(
-            "Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M").unwrap();
-        let b = Pfd::constant_normal_form(
-            "Name", rel.schema(), "name", r"[Susan\ ]\A*", "gender", "F").unwrap();
+        let a =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
+        let b =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[Susan\ ]\A*", "gender", "F")
+                .unwrap();
         let merged = Pfd::merge_all(vec![a.clone(), b, a.clone()]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].tableau().len(), 2, "duplicate row dropped");
@@ -847,8 +832,8 @@ mod tests {
 
     #[test]
     fn satisfies_on_empty_relation() {
-        let rel = Relation::from_rows("Name", &["name", "gender"], Vec::<Vec<&str>>::new())
-            .unwrap();
+        let rel =
+            Relation::from_rows("Name", &["name", "gender"], Vec::<Vec<&str>>::new()).unwrap();
         assert!(psi1(&rel).satisfies(&rel));
         assert!(psi2(&rel).satisfies(&rel));
     }

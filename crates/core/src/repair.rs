@@ -192,15 +192,9 @@ mod tests {
     }
 
     fn gender_pfd(rel: &Relation) -> Pfd {
-        let mut p = Pfd::constant_normal_form(
-            "Name",
-            rel.schema(),
-            "name",
-            r"[John\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let mut p =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
         p.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
             .unwrap();
         p
@@ -295,15 +289,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let pfd = Pfd::constant_normal_form(
-            "Zip",
-            dirty.schema(),
-            "zip",
-            r"[\D{3}]\D{2}",
-            "city",
-            "_",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("Zip", dirty.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
         let outcome = repair(&dirty, &[pfd]);
         assert_eq!(outcome.fixes.len(), 1);
         assert_eq!(outcome.fixes[0].new, "Los Angeles");
@@ -323,15 +311,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let zip_city = Pfd::constant_normal_form(
-            "Geo",
-            dirty.schema(),
-            "zip",
-            r"[\D{3}]\D{2}",
-            "city",
-            "_",
-        )
-        .unwrap();
+        let zip_city =
+            Pfd::constant_normal_form("Geo", dirty.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
         let city_state = Pfd::constant_normal_form(
             "Geo",
             dirty.schema(),

@@ -124,10 +124,7 @@ fn parse_assignment(s: &str, line: usize) -> Result<(String, String), RuleError>
         line,
         reason: format!("expected `attr = cell` in {s:?}"),
     })?;
-    Ok((
-        s[..idx].trim().to_string(),
-        s[idx + 3..].trim().to_string(),
-    ))
+    Ok((s[..idx].trim().to_string(), s[idx + 3..].trim().to_string()))
 }
 
 /// Split a cell list on commas — but only commas that actually start a new
@@ -166,11 +163,7 @@ fn split_assignments<'s>(inner: &'s str, schema: &Schema) -> Vec<&'s str> {
     parts
 }
 
-fn parse_side(
-    s: &str,
-    schema: &Schema,
-    line: usize,
-) -> Result<Vec<(String, String)>, RuleError> {
+fn parse_side(s: &str, schema: &Schema, line: usize) -> Result<Vec<(String, String)>, RuleError> {
     let inner = s
         .trim()
         .strip_prefix('[')
@@ -305,15 +298,8 @@ mod tests {
     #[test]
     fn roundtrip_constant_pfd() {
         let s = schema();
-        let pfd = Pfd::constant_normal_form(
-            "Name",
-            &s,
-            "name",
-            r"[Susan\ ]\A*",
-            "gender",
-            "F",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("Name", &s, "name", r"[Susan\ ]\A*", "gender", "F").unwrap();
         let text = to_rule_string(&pfd, &s);
         let reparsed = parse_rule(&text, &s, 1).unwrap();
         assert_eq!(pfd, reparsed, "{text}");
@@ -322,15 +308,8 @@ mod tests {
     #[test]
     fn roundtrip_variable_pfd_with_wildcard() {
         let s = zip_schema();
-        let pfd = Pfd::constant_normal_form(
-            "Zip",
-            &s,
-            "zip",
-            r"[\D{3}]\D{2}",
-            "city",
-            "_",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("Zip", &s, "zip", r"[\D{3}]\D{2}", "city", "_").unwrap();
         let text = to_rule_string(&pfd, &s);
         assert!(text.contains("_"), "{text}");
         let reparsed = parse_rule(&text, &s, 1).unwrap();
@@ -340,15 +319,8 @@ mod tests {
     #[test]
     fn roundtrip_multi_row_tableau() {
         let s = schema();
-        let mut pfd = Pfd::constant_normal_form(
-            "Name",
-            &s,
-            "name",
-            r"[John\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let mut pfd =
+            Pfd::constant_normal_form("Name", &s, "name", r"[John\ ]\A*", "gender", "M").unwrap();
         pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
             .unwrap();
         let text = to_rule_string(&pfd, &s);
@@ -392,8 +364,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let rules =
-            parse_rules("Name([name = [Susan\\ ]\\A*] -> [gender = F])", &s).unwrap();
+        let rules = parse_rules("Name([name = [Susan\\ ]\\A*] -> [gender = F])", &s).unwrap();
         assert_eq!(rules[0].violations(&rel).len(), 1);
     }
 
@@ -426,15 +397,9 @@ mod tests {
     fn commas_inside_patterns_survive() {
         // The Table 3 name format contains a comma: \LU\LL+,\ [...]
         let s = schema();
-        let pfd = Pfd::constant_normal_form(
-            "Name",
-            &s,
-            "name",
-            r"\LU\LL+,\ [Donald]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("Name", &s, "name", r"\LU\LL+,\ [Donald]\A*", "gender", "M")
+                .unwrap();
         let text = to_rule_string(&pfd, &s);
         let reparsed = parse_rule(&text, &s, 1).unwrap();
         assert_eq!(pfd, reparsed, "{text}");

@@ -166,7 +166,10 @@ impl TableauRow {
 
     /// Is every cell of the row constant?
     pub fn is_constant(&self) -> bool {
-        self.lhs.iter().chain(&self.rhs).all(TableauCell::is_constant)
+        self.lhs
+            .iter()
+            .chain(&self.rhs)
+            .all(TableauCell::is_constant)
     }
 
     /// Does the row contain any non-constant pattern (a *variable* PFD row

@@ -116,10 +116,7 @@ impl DependencyEval {
 }
 
 /// Evaluate a discovered dependency list against a dataset's ground truth.
-pub fn evaluate_dependencies(
-    dataset: &Dataset,
-    discovered: &[GroundTruthDep],
-) -> DependencyEval {
+pub fn evaluate_dependencies(dataset: &Dataset, discovered: &[GroundTruthDep]) -> DependencyEval {
     let unique: BTreeSet<&GroundTruthDep> = discovered.iter().collect();
     let tp = unique
         .iter()

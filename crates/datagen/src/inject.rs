@@ -76,8 +76,7 @@ pub fn inject_errors(
                 outside[rng.gen_range(0..outside.len())].to_string()
             }
             NoiseMode::FromActiveDomain => {
-                let candidates: Vec<&String> =
-                    inside.iter().filter(|v| **v != clean).collect();
+                let candidates: Vec<&String> = inside.iter().filter(|v| **v != clean).collect();
                 if candidates.is_empty() {
                     continue;
                 }
@@ -160,8 +159,7 @@ mod tests {
         let rows: Vec<Vec<String>> = (0..n)
             .map(|i| vec![format!("{:05}", 90000 + i), states[i % 5].to_string()])
             .collect();
-        let mut rel = Relation::from_rows("T", &["zip", "state"], Vec::<Vec<&str>>::new())
-            .unwrap();
+        let mut rel = Relation::from_rows("T", &["zip", "state"], Vec::<Vec<&str>>::new()).unwrap();
         for row in rows {
             rel.push_row(row).unwrap();
         }
@@ -232,8 +230,22 @@ mod tests {
         let mut a = state_table(150);
         let mut b = state_table(150);
         let attr = a.schema().attr("state").unwrap();
-        let ea = inject_errors(&mut a, attr, 0.05, NoiseMode::FromActiveDomain, ALL_STATES, 42);
-        let eb = inject_errors(&mut b, attr, 0.05, NoiseMode::FromActiveDomain, ALL_STATES, 42);
+        let ea = inject_errors(
+            &mut a,
+            attr,
+            0.05,
+            NoiseMode::FromActiveDomain,
+            ALL_STATES,
+            42,
+        );
+        let eb = inject_errors(
+            &mut b,
+            attr,
+            0.05,
+            NoiseMode::FromActiveDomain,
+            ALL_STATES,
+            42,
+        );
         assert_eq!(ea, eb);
         assert_eq!(a, b);
     }

@@ -174,15 +174,8 @@ mod tests {
     fn validate_correct_name_gender_pfd() {
         let o = ValidationOracle::new();
         let s = Schema::new("T", ["full_name", "gender"]).unwrap();
-        let pfd = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "full_name",
-            r"[Susan\ ]\A*",
-            "gender",
-            "F",
-        )
-        .unwrap();
+        let pfd = Pfd::constant_normal_form("T", &s, "full_name", r"[Susan\ ]\A*", "gender", "F")
+            .unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::NameGender, &pfd), (1, 0, 0));
     }
 
@@ -190,15 +183,8 @@ mod tests {
     fn validate_wrong_name_gender_pfd() {
         let o = ValidationOracle::new();
         let s = Schema::new("T", ["full_name", "gender"]).unwrap();
-        let pfd = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "full_name",
-            r"[Susan\ ]\A*",
-            "gender",
-            "M",
-        )
-        .unwrap();
+        let pfd = Pfd::constant_normal_form("T", &s, "full_name", r"[Susan\ ]\A*", "gender", "M")
+            .unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::NameGender, &pfd), (0, 1, 0));
     }
 
@@ -208,15 +194,8 @@ mod tests {
         // the names which might be unisex". Our oracle returns undecided.
         let o = ValidationOracle::new();
         let s = Schema::new("T", ["full_name", "gender"]).unwrap();
-        let pfd = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "full_name",
-            r"[Kim\ ]\A*",
-            "gender",
-            "F",
-        )
-        .unwrap();
+        let pfd =
+            Pfd::constant_normal_form("T", &s, "full_name", r"[Kim\ ]\A*", "gender", "F").unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::NameGender, &pfd), (0, 0, 1));
     }
 
@@ -224,25 +203,12 @@ mod tests {
     fn validate_zip_city_pfd() {
         let o = ValidationOracle::new();
         let s = Schema::new("T", ["zip", "city"]).unwrap();
-        let good = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "zip",
-            r"[900]\D{2}",
-            "city",
-            r"Los\ Angeles",
-        )
-        .unwrap();
+        let good =
+            Pfd::constant_normal_form("T", &s, "zip", r"[900]\D{2}", "city", r"Los\ Angeles")
+                .unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::ZipCity, &good), (1, 0, 0));
-        let bad = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "zip",
-            r"[900]\D{2}",
-            "city",
-            r"New\ York",
-        )
-        .unwrap();
+        let bad =
+            Pfd::constant_normal_form("T", &s, "zip", r"[900]\D{2}", "city", r"New\ York").unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::ZipCity, &bad), (0, 1, 0));
     }
 
@@ -251,15 +217,7 @@ mod tests {
         // 850\D{7} → FL, the first row of Table 3.
         let o = ValidationOracle::new();
         let s = Schema::new("T", ["fax", "state"]).unwrap();
-        let pfd = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "fax",
-            r"[850]\D{7}",
-            "state",
-            "FL",
-        )
-        .unwrap();
+        let pfd = Pfd::constant_normal_form("T", &s, "fax", r"[850]\D{7}", "state", "FL").unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::AreaCodeState, &pfd), (1, 0, 0));
     }
 
@@ -267,15 +225,7 @@ mod tests {
     fn variable_rows_are_undecided() {
         let o = ValidationOracle::new();
         let s = Schema::new("T", ["zip", "city"]).unwrap();
-        let pfd = Pfd::constant_normal_form(
-            "T",
-            &s,
-            "zip",
-            r"[\D{3}]\D{2}",
-            "city",
-            "_",
-        )
-        .unwrap();
+        let pfd = Pfd::constant_normal_form("T", &s, "zip", r"[\D{3}]\D{2}", "city", "_").unwrap();
         assert_eq!(o.validate_pfd(OracleDomain::ZipCity, &pfd), (0, 0, 1));
     }
 }

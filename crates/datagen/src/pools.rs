@@ -10,28 +10,169 @@
 
 /// Male first names (gender ground truth "M").
 pub const MALE_NAMES: &[&str] = &[
-    "John", "David", "Michael", "James", "Robert", "William", "Richard", "Joseph", "Thomas",
-    "Charles", "Donald", "Mark", "Paul", "Steven", "Andrew", "Kenneth", "George", "Joshua",
-    "Kevin", "Brian", "Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan", "Jacob",
-    "Gary", "Nicholas", "Eric", "Jonathan", "Stephen", "Larry", "Justin", "Scott", "Brandon",
-    "Benjamin", "Samuel", "Gregory", "Frank", "Alexander", "Raymond", "Patrick", "Jack",
-    "Dennis", "Jerry", "Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry", "Douglas",
-    "Zachary", "Peter", "Kyle", "Walter", "Ethan", "Jeremy", "Harold", "Keith", "Christian",
-    "Roger", "Noah", "Gerald", "Carl", "Terry", "Sean", "Austin", "Arthur", "Lawrence",
-    "Jesse", "Dylan", "Bryan", "Joe", "Billy", "Bruce", "Albert", "Willie", "Alan",
+    "John",
+    "David",
+    "Michael",
+    "James",
+    "Robert",
+    "William",
+    "Richard",
+    "Joseph",
+    "Thomas",
+    "Charles",
+    "Donald",
+    "Mark",
+    "Paul",
+    "Steven",
+    "Andrew",
+    "Kenneth",
+    "George",
+    "Joshua",
+    "Kevin",
+    "Brian",
+    "Edward",
+    "Ronald",
+    "Timothy",
+    "Jason",
+    "Jeffrey",
+    "Ryan",
+    "Jacob",
+    "Gary",
+    "Nicholas",
+    "Eric",
+    "Jonathan",
+    "Stephen",
+    "Larry",
+    "Justin",
+    "Scott",
+    "Brandon",
+    "Benjamin",
+    "Samuel",
+    "Gregory",
+    "Frank",
+    "Alexander",
+    "Raymond",
+    "Patrick",
+    "Jack",
+    "Dennis",
+    "Jerry",
+    "Tyler",
+    "Aaron",
+    "Jose",
+    "Adam",
+    "Nathan",
+    "Henry",
+    "Douglas",
+    "Zachary",
+    "Peter",
+    "Kyle",
+    "Walter",
+    "Ethan",
+    "Jeremy",
+    "Harold",
+    "Keith",
+    "Christian",
+    "Roger",
+    "Noah",
+    "Gerald",
+    "Carl",
+    "Terry",
+    "Sean",
+    "Austin",
+    "Arthur",
+    "Lawrence",
+    "Jesse",
+    "Dylan",
+    "Bryan",
+    "Joe",
+    "Billy",
+    "Bruce",
+    "Albert",
+    "Willie",
+    "Alan",
 ];
 
 /// Female first names (gender ground truth "F").
 pub const FEMALE_NAMES: &[&str] = &[
-    "Susan", "Mary", "Patricia", "Linda", "Barbara", "Elizabeth", "Jennifer", "Maria",
-    "Margaret", "Dorothy", "Lisa", "Nancy", "Karen", "Betty", "Helen", "Sandra", "Donna",
-    "Carol", "Ruth", "Sharon", "Michelle", "Laura", "Sarah", "Kimberly", "Deborah", "Jessica",
-    "Shirley", "Cynthia", "Angela", "Melissa", "Brenda", "Amy", "Anna", "Rebecca", "Virginia",
-    "Kathleen", "Pamela", "Martha", "Debra", "Amanda", "Stephanie", "Carolyn", "Christine",
-    "Marie", "Janet", "Catherine", "Frances", "Ann", "Joyce", "Diane", "Alice", "Julie",
-    "Heather", "Teresa", "Doris", "Gloria", "Evelyn", "Jean", "Cheryl", "Mildred", "Katherine",
-    "Joan", "Ashley", "Judith", "Rose", "Janice", "Kelly", "Nicole", "Judy", "Christina",
-    "Kathy", "Theresa", "Beverly", "Denise", "Tammy", "Irene", "Jane", "Lori", "Rachel",
+    "Susan",
+    "Mary",
+    "Patricia",
+    "Linda",
+    "Barbara",
+    "Elizabeth",
+    "Jennifer",
+    "Maria",
+    "Margaret",
+    "Dorothy",
+    "Lisa",
+    "Nancy",
+    "Karen",
+    "Betty",
+    "Helen",
+    "Sandra",
+    "Donna",
+    "Carol",
+    "Ruth",
+    "Sharon",
+    "Michelle",
+    "Laura",
+    "Sarah",
+    "Kimberly",
+    "Deborah",
+    "Jessica",
+    "Shirley",
+    "Cynthia",
+    "Angela",
+    "Melissa",
+    "Brenda",
+    "Amy",
+    "Anna",
+    "Rebecca",
+    "Virginia",
+    "Kathleen",
+    "Pamela",
+    "Martha",
+    "Debra",
+    "Amanda",
+    "Stephanie",
+    "Carolyn",
+    "Christine",
+    "Marie",
+    "Janet",
+    "Catherine",
+    "Frances",
+    "Ann",
+    "Joyce",
+    "Diane",
+    "Alice",
+    "Julie",
+    "Heather",
+    "Teresa",
+    "Doris",
+    "Gloria",
+    "Evelyn",
+    "Jean",
+    "Cheryl",
+    "Mildred",
+    "Katherine",
+    "Joan",
+    "Ashley",
+    "Judith",
+    "Rose",
+    "Janice",
+    "Kelly",
+    "Nicole",
+    "Judy",
+    "Christina",
+    "Kathy",
+    "Theresa",
+    "Beverly",
+    "Denise",
+    "Tammy",
+    "Irene",
+    "Jane",
+    "Lori",
+    "Rachel",
     "Stacey",
 ];
 
@@ -41,13 +182,64 @@ pub const UNISEX_NAMES: &[&str] = &["Kim", "Casey", "Jordan", "Taylor", "Morgan"
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Holloway", "Kimbell", "Mallack",
-    "Otillio", "Boyle", "Orlean", "Bosco", "Charles",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Holloway",
+    "Kimbell",
+    "Mallack",
+    "Otillio",
+    "Boyle",
+    "Orlean",
+    "Bosco",
+    "Charles",
 ];
 
 /// Zip prefix (3 digits) → (city, state). Includes the paper's cases: Los
@@ -121,10 +313,10 @@ pub const AREA_CODES: &[(&str, &str)] = &[
 
 /// All US state codes (for in/out-of-active-domain noise selection).
 pub const ALL_STATES: &[&str] = &[
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
-    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
-    "VA", "WA", "WV", "WI", "WY",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
 ];
 
 /// Department code (the leading letter of an employee ID such as `F-9-107`,
@@ -200,16 +392,28 @@ pub const DEGREES: &[(&str, &str)] = &[
 /// paper's ChEMBL example `Nicotinic acetylcholine receptor \A* →
 /// ion channel lgic ach chrn \A*`.
 pub const PROTEIN_CLASSES: &[(&str, &str)] = &[
-    ("Nicotinic acetylcholine receptor", "ion channel lgic ach chrn"),
-    ("Dopamine receptor", "membrane receptor 7tm1 monoamine dopamine"),
-    ("Serotonin receptor", "membrane receptor 7tm1 monoamine serotonin"),
+    (
+        "Nicotinic acetylcholine receptor",
+        "ion channel lgic ach chrn",
+    ),
+    (
+        "Dopamine receptor",
+        "membrane receptor 7tm1 monoamine dopamine",
+    ),
+    (
+        "Serotonin receptor",
+        "membrane receptor 7tm1 monoamine serotonin",
+    ),
     ("Carbonic anhydrase", "enzyme lyase carbonic anhydrase"),
     ("Cytochrome P450", "enzyme cytochrome p450"),
     ("Tyrosine-protein kinase", "enzyme kinase protein kinase tk"),
     ("Sodium channel protein", "ion channel vgc sodium"),
     ("Glutamate receptor", "ion channel lgic glutamate"),
     ("Histone deacetylase", "enzyme hydrolase hdac"),
-    ("Adenosine receptor", "membrane receptor 7tm1 nucleotide adenosine"),
+    (
+        "Adenosine receptor",
+        "membrane receptor 7tm1 nucleotide adenosine",
+    ),
 ];
 
 /// Assay type code → assay description (ChEMBL-like).
@@ -361,10 +565,7 @@ mod tests {
 
     #[test]
     fn zip_oracle() {
-        assert_eq!(
-            city_state_of_zip_prefix("900"),
-            Some(("Los Angeles", "CA"))
-        );
+        assert_eq!(city_state_of_zip_prefix("900"), Some(("Los Angeles", "CA")));
         assert_eq!(city_state_of_zip_prefix("606"), Some(("Chicago", "IL")));
         assert_eq!(city_state_of_zip_prefix("999"), None);
     }

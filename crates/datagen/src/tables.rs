@@ -409,7 +409,14 @@ pub fn t4_gov_payroll(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
         "T4",
         "gov_payroll",
         Repository::Gov,
-        &["employee_id", "department", "grade", "state", "email", "phone"],
+        &[
+            "employee_id",
+            "department",
+            "grade",
+            "state",
+            "email",
+            "phone",
+        ],
         data,
         vec![
             dep(&["employee_id"], "department"),
@@ -507,7 +514,13 @@ pub fn t6_che_compounds(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
         "T6",
         "che_compounds",
         Repository::Che,
-        &["chembl_id", "pref_name", "protein_class", "organism", "molecule_type"],
+        &[
+            "chembl_id",
+            "pref_name",
+            "protein_class",
+            "organism",
+            "molecule_type",
+        ],
         data,
         vec![dep(&["pref_name"], "protein_class")],
         vec![dep(&["protein_class"], "pref_name")],
@@ -535,7 +548,13 @@ pub fn t7_che_assays(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
         "T7",
         "che_assays",
         Repository::Che,
-        &["assay_id", "assay_type", "assay_type_desc", "organism", "year"],
+        &[
+            "assay_id",
+            "assay_type",
+            "assay_type_desc",
+            "organism",
+            "year",
+        ],
         data,
         vec![
             dep(&["assay_type"], "assay_type_desc"),
@@ -567,7 +586,13 @@ pub fn t8_che_targets(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
         "T8",
         "che_targets",
         Repository::Che,
-        &["target_id", "target_name", "class_desc", "organism", "target_type"],
+        &[
+            "target_id",
+            "target_name",
+            "class_desc",
+            "organism",
+            "target_type",
+        ],
         data,
         vec![dep(&["target_name"], "class_desc")],
         vec![dep(&["class_desc"], "target_name")],
@@ -590,8 +615,7 @@ pub fn t9_che_docs(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
     };
     let mut data = Vec::with_capacity(rows);
     for _ in 0..rows {
-        let (journal, issn, publisher) =
-            JOURNALS[g.rng.gen_range(0..JOURNALS.len())];
+        let (journal, issn, publisher) = JOURNALS[g.rng.gen_range(0..JOURNALS.len())];
         data.push(vec![
             format!("D{}", g.digits(5)),
             journal.to_string(),
@@ -606,7 +630,15 @@ pub fn t9_che_docs(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
         "T9",
         "che_docs",
         Repository::Che,
-        &["doc_id", "journal", "issn", "publisher", "doi", "year", "volume"],
+        &[
+            "doc_id",
+            "journal",
+            "issn",
+            "publisher",
+            "doi",
+            "year",
+            "volume",
+        ],
         data,
         vec![
             dep(&["journal"], "issn"),
@@ -635,7 +667,12 @@ pub fn t9_che_docs(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
 pub fn t10_che_activities(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
     let mut g = Gen::new(seed);
     // standard type → units.
-    let standards = [("IC50", "nM"), ("Ki", "nM"), ("EC50", "nM"), ("Inhibition", "%")];
+    let standards = [
+        ("IC50", "nM"),
+        ("Ki", "nM"),
+        ("EC50", "nM"),
+        ("Inhibition", "%"),
+    ];
     let mut data = Vec::with_capacity(rows);
     for _ in 0..rows {
         let (stype, sunits) = g.pick_pair(&standards);
@@ -908,17 +945,22 @@ pub fn t15_udw_donors(rows: usize, dirt_rate: f64, seed: u64) -> Dataset {
         "T15",
         "udw_donors",
         Repository::Udw,
-        &["donor_id", "full_name", "gender", "phone", "state", "zip", "fund_code"],
+        &[
+            "donor_id",
+            "full_name",
+            "gender",
+            "phone",
+            "state",
+            "zip",
+            "fund_code",
+        ],
         data,
         vec![
             dep(&["full_name"], "gender"),
             dep(&["phone"], "state"),
             dep(&["zip"], "state"),
         ],
-        vec![
-            dep(&["state"], "zip"),
-            dep(&["phone"], "zip"),
-        ],
+        vec![dep(&["state"], "zip"), dep(&["phone"], "zip")],
         &["gender", "state"],
         dirt_rate,
         seed,
@@ -1010,15 +1052,24 @@ mod tests {
         }
         // Repository grouping: 5 each.
         assert_eq!(
-            suite.iter().filter(|d| d.repository == Repository::Gov).count(),
+            suite
+                .iter()
+                .filter(|d| d.repository == Repository::Gov)
+                .count(),
             5
         );
         assert_eq!(
-            suite.iter().filter(|d| d.repository == Repository::Che).count(),
+            suite
+                .iter()
+                .filter(|d| d.repository == Repository::Che)
+                .count(),
             5
         );
         assert_eq!(
-            suite.iter().filter(|d| d.repository == Repository::Udw).count(),
+            suite
+                .iter()
+                .filter(|d| d.repository == Repository::Udw)
+                .count(),
             5
         );
     }

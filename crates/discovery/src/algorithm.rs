@@ -135,9 +135,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     };
     let indexes: BTreeMap<AttrId, AttrIndex> = candidates
         .iter()
-        .map(|(attr, extraction)| {
-            (*attr, build_index(rel, *attr, *extraction, &index_options))
-        })
+        .map(|(attr, extraction)| (*attr, build_index(rel, *attr, *extraction, &index_options)))
         .collect();
     stats.index_entries = indexes.values().map(|i| i.entries.len()).sum();
 
@@ -198,10 +196,9 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         }
         stats.candidates_checked += level_candidates.len();
 
-        let run_multi =
-            |(x, b): &(Vec<AttrId>, AttrId)| -> (Option<DiscoveredDependency>, usize) {
-                check_dependency(rel, &indexes, x, *b, config)
-            };
+        let run_multi = |(x, b): &(Vec<AttrId>, AttrId)| -> (Option<DiscoveredDependency>, usize) {
+            check_dependency(rel, &indexes, x, *b, config)
+        };
         let results: Vec<(Option<DiscoveredDependency>, usize)> = if config.parallel {
             parallel_map(&level_candidates, run_multi)
         } else {
@@ -230,10 +227,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
 }
 
 /// Map over items on `available_parallelism` threads, preserving order.
-fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -245,25 +239,32 @@ fn parallel_map<T: Sync, R: Send>(
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slice, results) in items.chunks(chunk).zip(out_chunks) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in slice.iter().zip(results.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker threads must not panic");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// All size-`k` combinations of `pool`, in lexicographic order.
 fn combinations(pool: &[AttrId], k: usize) -> Vec<Vec<AttrId>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn rec(pool: &[AttrId], k: usize, start: usize, current: &mut Vec<AttrId>, out: &mut Vec<Vec<AttrId>>) {
+    fn rec(
+        pool: &[AttrId],
+        k: usize,
+        start: usize,
+        current: &mut Vec<AttrId>,
+        out: &mut Vec<Vec<AttrId>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -372,8 +373,7 @@ fn check_dependency(
             continue;
         }
         match seen_rowsets.get(&e.rows.as_slice()) {
-            Some(&prev)
-                if idx_anchor.entries[prev as usize].pattern.len() >= e.pattern.len() => {}
+            Some(&prev) if idx_anchor.entries[prev as usize].pattern.len() >= e.pattern.len() => {}
             _ => {
                 seen_rowsets.insert(&e.rows, ei as u32);
             }
@@ -410,7 +410,10 @@ fn check_dependency(
         for row in &accepted {
             *by_pos.entry(row.pos).or_insert(0) += row.rows.len();
         }
-        if let Some((&best_pos, _)) = by_pos.iter().max_by_key(|(pos, sz)| (**sz, std::cmp::Reverse(**pos))) {
+        if let Some((&best_pos, _)) = by_pos
+            .iter()
+            .max_by_key(|(pos, sz)| (**sz, std::cmp::Reverse(**pos)))
+        {
             accepted.retain(|r| r.pos == best_pos);
         }
     }
@@ -469,9 +472,7 @@ fn check_dependency(
         }
         let rhs_entry = &idx_b.entries[row.rhs_entry as usize];
         let rhs_rows = intersect(&row.rows, &rhs_entry.rows);
-        let Some(rhs_cell) =
-            cell_for_entry(rel, b, idx_b.extraction, rhs_entry, &rhs_rows)
-        else {
+        let Some(rhs_cell) = cell_for_entry(rel, b, idx_b.extraction, rhs_entry, &rhs_rows) else {
             continue;
         };
         tableau.push(TableauRow::new(lhs_cells, vec![rhs_cell]));
@@ -480,12 +481,7 @@ fn check_dependency(
         return (None, tested);
     }
     let constant_rows = tableau.len();
-    let constant_pfd = match Pfd::new(
-        rel.schema().relation(),
-        x.to_vec(),
-        vec![b],
-        tableau,
-    ) {
+    let constant_pfd = match Pfd::new(rel.schema().relation(), x.to_vec(), vec![b], tableau) {
         Ok(p) => p,
         Err(_) => return (None, tested),
     };
@@ -493,9 +489,7 @@ fn check_dependency(
     // §4.3 Generalize: replace the constants with a variable PFD when the
     // general form holds with few violations.
     if config.generalize {
-        if let Some(variable) =
-            try_generalize(rel, indexes, x, b, &accepted, &x_sorted, config)
-        {
+        if let Some(variable) = try_generalize(rel, indexes, x, b, &accepted, &x_sorted, config) {
             return (
                 Some(DiscoveredDependency {
                     lhs: x.to_vec(),
@@ -555,16 +549,11 @@ fn expand(
             let best = freq
                 .iter()
                 .filter(|(ei, _)| {
-                    !config.rhs_informative
-                        || idx_b.entries[*ei as usize].support() < rhs_cap
+                    !config.rhs_informative || idx_b.entries[*ei as usize].support() < rhs_cap
                 })
                 .max_by_key(|(ei, count)| {
                     let e = &idx_b.entries[*ei as usize];
-                    (
-                        e.pattern.chars().count(),
-                        *count,
-                        std::cmp::Reverse(*ei),
-                    )
+                    (e.pattern.chars().count(), *count, std::cmp::Reverse(*ei))
                 });
             if let Some(&(rhs_entry, _)) = best {
                 accepted.push(AcceptedRow {
@@ -583,8 +572,8 @@ fn expand(
                 let mut chosen = chosen.clone();
                 chosen.push((*next, ei));
                 expand(
-                    indexes, config, rhs_cap, idx_b, tail, chosen, joint,
-                    anchor_pos, accepted, tested,
+                    indexes, config, rhs_cap, idx_b, tail, chosen, joint, anchor_pos, accepted,
+                    tested,
                 );
             }
         }
@@ -625,9 +614,9 @@ fn try_generalize(
             for e in &entries {
                 *by_len.entry(e.pattern.chars().count()).or_insert(0) += e.rows.len();
             }
-            let (&dominant, _) = by_len.iter().max_by_key(|(len, support)| {
-                (**support, std::cmp::Reverse(**len))
-            })?;
+            let (&dominant, _) = by_len
+                .iter()
+                .max_by_key(|(len, support)| (**support, std::cmp::Reverse(**len)))?;
             entries.retain(|e| e.pattern.chars().count() == dominant);
         }
         lhs_cells.push(generalized_cell(rel, *a, idx.extraction, &entries)?);
@@ -805,9 +794,8 @@ mod tests {
             rows.push(vec![format!("850555{i:04}"), "FL".to_string()]);
             rows.push(vec![format!("607555{i:04}"), "NY".to_string()]);
         }
-        let mut rel = Relation::empty(
-            pfd_relation::Schema::new("Phone", ["phone", "state"]).unwrap(),
-        );
+        let mut rel =
+            Relation::empty(pfd_relation::Schema::new("Phone", ["phone", "state"]).unwrap());
         for r in rows {
             rel.push_row(r).unwrap();
         }
@@ -835,9 +823,7 @@ mod tests {
 
     #[test]
     fn no_dependency_between_unrelated_columns() {
-        let mut rel = Relation::empty(
-            pfd_relation::Schema::new("R", ["id", "noise"]).unwrap(),
-        );
+        let mut rel = Relation::empty(pfd_relation::Schema::new("R", ["id", "noise"]).unwrap());
         // Unique ids; noise is a hashed digit with no positional
         // relationship to the id text (a linear map like (7i)%10 would
         // bijectively determine the id's last digit — genuinely dependent!).
@@ -870,9 +856,7 @@ mod tests {
             .collect();
         rows.extend((0..10).map(|i| vec![format!("606{:02}", i), "Chicago".to_string()]));
         rows[7][1] = "New York".to_string(); // the dirty cell
-        let mut rel = Relation::empty(
-            pfd_relation::Schema::new("Zip", ["zip", "city"]).unwrap(),
-        );
+        let mut rel = Relation::empty(pfd_relation::Schema::new("Zip", ["zip", "city"]).unwrap());
         for r in rows {
             rel.push_row(r).unwrap();
         }
@@ -918,9 +902,7 @@ mod tests {
         // Only 2 of 40 rows share a dependable pattern (zz → same): below
         // the 10% coverage bar. The other 38 rows carry hashed values so
         // that no interval/positional correlation sneaks in.
-        let mut rel = Relation::empty(
-            pfd_relation::Schema::new("R", ["a", "b"]).unwrap(),
-        );
+        let mut rel = Relation::empty(pfd_relation::Schema::new("R", ["a", "b"]).unwrap());
         let hash = |i: usize, salt: u64| -> u64 {
             (i as u64 ^ salt)
                 .wrapping_mul(0x9E3779B97F4A7C15)
@@ -944,7 +926,8 @@ mod tests {
             .unwrap();
         }
         for i in 0..3 {
-            rel.push_row(vec![format!("zz00{i}"), "same".into()]).unwrap();
+            rel.push_row(vec![format!("zz00{i}"), "same".into()])
+                .unwrap();
         }
         // K = 3 rules out coincidental pattern pairs among the hashed rows;
         // the zz → same group (support 3) stays under the 10% coverage bar

@@ -14,11 +14,7 @@ use pfd_pattern::{infer_pattern, ConstrainedPattern, Pattern};
 use pfd_relation::{AttrId, Extraction, Relation, RowId};
 
 /// Locate `entry`'s fragment inside one row's value: returns the char start.
-fn occurrence_start(
-    value: &str,
-    entry: &IndexEntry,
-    extraction: Extraction,
-) -> Option<u32> {
+fn occurrence_start(value: &str, entry: &IndexEntry, extraction: Extraction) -> Option<u32> {
     match extraction {
         Extraction::NGrams => {
             // Position is the char offset by construction; verify the
@@ -108,8 +104,8 @@ pub fn generalized_cell(
             suffixes.push(post);
         }
     }
-    let all_full_value = prefixes.iter().all(|p| p.is_empty())
-        && suffixes.iter().all(|s| s.is_empty());
+    let all_full_value =
+        prefixes.iter().all(|p| p.is_empty()) && suffixes.iter().all(|s| s.is_empty());
     if all_full_value {
         return Some(TableauCell::Wildcard);
     }
@@ -168,7 +164,11 @@ mod tests {
     fn table3_name_format_cell() {
         let (r, a) = rel(
             "name",
-            &["Holloway, Donald E.", "Jones, Donald R.", "Smith, Donald K."],
+            &[
+                "Holloway, Donald E.",
+                "Jones, Donald R.",
+                "Smith, Donald K.",
+            ],
         );
         let e = entry("Donald", 2, &[0, 1, 2]);
         let cell = cell_for_entry(&r, a, Extraction::Tokenize, &e, &e.rows).unwrap();
@@ -202,7 +202,12 @@ mod tests {
     fn generalized_cell_over_first_names() {
         let (r, a) = rel(
             "name",
-            &["Tayseer Fahmi", "Tayseer Qasem", "Noor Wagdi", "Esmat Qadhi"],
+            &[
+                "Tayseer Fahmi",
+                "Tayseer Qasem",
+                "Noor Wagdi",
+                "Esmat Qadhi",
+            ],
         );
         let e1 = entry("Tayseer", 0, &[0, 1]);
         let e2 = entry("Noor", 0, &[2]);

@@ -231,24 +231,22 @@ mod tests {
         assert_eq!(e900.rows, vec![0, 1, 2]);
         assert!(idx.entries.iter().any(|e| e.pattern == "90001"));
         // "90" has the same row set as "900" and is its substring: pruned.
-        assert!(!idx
-            .entries
-            .iter()
-            .any(|e| e.pattern == "90" && e.pos == 0));
+        assert!(!idx.entries.iter().any(|e| e.pattern == "90" && e.pos == 0));
     }
 
     #[test]
     fn token_index_keeps_positions() {
         let (r, a) = rel(
             "name",
-            &["Tayseer Fahmi", "Tayseer Qasem", "Noor Wagdi", "Tayseer Salem"],
+            &[
+                "Tayseer Fahmi",
+                "Tayseer Qasem",
+                "Noor Wagdi",
+                "Tayseer Salem",
+            ],
         );
         let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
-        let tayseer = idx
-            .entries
-            .iter()
-            .find(|e| e.pattern == "Tayseer")
-            .unwrap();
+        let tayseer = idx.entries.iter().find(|e| e.pattern == "Tayseer").unwrap();
         assert_eq!(tayseer.pos, 0);
         assert_eq!(tayseer.rows, vec![0, 1, 3]);
     }

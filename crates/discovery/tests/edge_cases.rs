@@ -29,8 +29,7 @@ fn single_row() {
 
 #[test]
 fn single_column() {
-    let rel =
-        Relation::from_rows("T", &["a"], vec![vec!["x"], vec!["y"], vec!["z"]]).unwrap();
+    let rel = Relation::from_rows("T", &["a"], vec![vec!["x"], vec!["y"], vec!["z"]]).unwrap();
     let result = discover(&rel, &config());
     assert!(result.dependencies.is_empty(), "no pairs to check");
 }
@@ -165,7 +164,12 @@ fn max_lhs_zero_like_and_extreme_parameters() {
     let rel = Relation::from_rows(
         "T",
         &["a", "b"],
-        vec![vec!["x", "1"], vec!["x", "1"], vec!["y", "2"], vec!["y", "2"]],
+        vec![
+            vec!["x", "1"],
+            vec!["x", "1"],
+            vec!["y", "2"],
+            vec!["y", "2"],
+        ],
     )
     .unwrap();
     // Extreme noise tolerance: everything within reach is accepted but must

@@ -229,9 +229,7 @@ pub fn reduction(pfd: &Pfd, b: AttrId) -> Result<Pfd, AxiomError> {
         ));
     }
     if pfd.lhs().len() < 2 {
-        return Err(AxiomError::SideCondition(
-            "dropping B would empty the LHS",
-        ));
+        return Err(AxiomError::SideCondition("dropping B would empty the LHS"));
     }
     let lhs: Vec<AttrId> = pfd
         .lhs()
@@ -486,8 +484,7 @@ mod tests {
     #[test]
     fn reduction_drops_wildcard_attribute() {
         let s = schema();
-        let pfd =
-            Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "LA")).unwrap();
+        let pfd = Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "LA")).unwrap();
         let reduced = reduction(&pfd, AttrId(1)).unwrap();
         assert_eq!(reduced.lhs(), &[AttrId(0)]);
         assert_eq!(reduced.rhs(), &[AttrId(2)]);
@@ -507,8 +504,7 @@ mod tests {
     #[test]
     fn reduction_soundness_on_instance() {
         let s = schema();
-        let pfd =
-            Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "LA")).unwrap();
+        let pfd = Pfd::normal_form("R", &s, &[("a", "x"), ("b", "_")], ("c", "LA")).unwrap();
         let reduced = reduction(&pfd, AttrId(1)).unwrap();
         let rel = Relation::from_rows(
             "R",
@@ -581,8 +577,7 @@ mod tests {
     #[test]
     fn inconsistency_efq_rejects_consistent_premise() {
         let s = schema();
-        let sigma =
-            vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", "LA").unwrap()];
+        let sigma = vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", "LA").unwrap()];
         let err = inconsistency_efq(
             "R",
             &sigma,

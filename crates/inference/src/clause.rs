@@ -27,10 +27,7 @@ impl Clause {
 
     /// The cell for attribute `a` on the LHS, if present.
     pub fn lhs_cell(&self, a: AttrId) -> Option<&TableauCell> {
-        self.lhs
-            .iter()
-            .find(|(attr, _)| *attr == a)
-            .map(|(_, c)| c)
+        self.lhs.iter().find(|(attr, _)| *attr == a).map(|(_, c)| c)
     }
 
     /// LHS attribute ids.
@@ -46,11 +43,7 @@ impl Clause {
 
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let lhs: Vec<String> = self
-            .lhs
-            .iter()
-            .map(|(a, c)| format!("{a} = {c}"))
-            .collect();
+        let lhs: Vec<String> = self.lhs.iter().map(|(a, c)| format!("{a} = {c}")).collect();
         write!(
             f,
             "([{}] → [{} = {}])",

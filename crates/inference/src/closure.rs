@@ -261,13 +261,8 @@ mod tests {
         // (a, c) → b with c = ⊥, b constant: triggers even though c is not
         // in the closure (Reduction axiom).
         let s = schema3();
-        let sigma = vec![Pfd::normal_form(
-            "R",
-            &s,
-            &[("a", "x"), ("c", "_")],
-            ("b", "LA"),
-        )
-        .unwrap()];
+        let sigma =
+            vec![Pfd::normal_form("R", &s, &[("a", "x"), ("c", "_")], ("b", "LA")).unwrap()];
         let closure = pfd_closure(
             &sigma,
             3,
@@ -281,8 +276,7 @@ mod tests {
     fn condition_b_needs_constant_rhs() {
         // Same but RHS is a wildcard: must NOT trigger.
         let s = schema3();
-        let sigma =
-            vec![Pfd::normal_form("R", &s, &[("a", "x"), ("c", "_")], ("b", "_")).unwrap()];
+        let sigma = vec![Pfd::normal_form("R", &s, &[("a", "x"), ("c", "_")], ("b", "_")).unwrap()];
         let closure = pfd_closure(
             &sigma,
             3,
@@ -349,8 +343,7 @@ mod tests {
     fn multi_attribute_premise() {
         // (a, b) → c needs both in the closure.
         let s = schema3();
-        let sigma =
-            vec![Pfd::normal_form("R", &s, &[("a", "x"), ("b", "y")], ("c", "z")).unwrap()];
+        let sigma = vec![Pfd::normal_form("R", &s, &[("a", "x"), ("b", "y")], ("c", "z")).unwrap()];
         let only_a = pfd_closure(
             &sigma,
             3,

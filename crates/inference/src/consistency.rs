@@ -229,8 +229,7 @@ mod tests {
     #[test]
     fn single_pfd_is_consistent() {
         let s = schema2();
-        let pfd =
-            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap();
+        let pfd = Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap();
         let result = check_consistency(&[pfd], 2);
         assert!(result.is_consistent(), "{result:?}");
     }

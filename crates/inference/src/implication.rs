@@ -89,8 +89,7 @@ fn value_pools(sigma: &[Pfd], psi: &Pfd, arity: usize, state_limit: usize) -> Ve
 
     // Seed every pool with the empty string and two generic distinct values
     // so that wildcard-only (plain FD) cells still get agree/disagree pairs.
-    let mut pools: Vec<Vec<String>> =
-        vec![vec![String::new(), "0".into(), "1".into()]; arity];
+    let mut pools: Vec<Vec<String>> = vec![vec![String::new(), "0".into(), "1".into()]; arity];
     for (attr, pats) in per_attr {
         if attr.index() >= arity {
             continue;
@@ -246,8 +245,7 @@ mod tests {
             Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap(),
             Pfd::constant_normal_form("R", &s, "b", "LA", "c", "CA").unwrap(),
         ];
-        let psi =
-            Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "c", "CA").unwrap();
+        let psi = Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "c", "CA").unwrap();
         assert!(implies(&sigma, &psi, 3));
     }
 
@@ -267,8 +265,8 @@ mod tests {
     fn reflexivity_is_implied_from_nothing() {
         // R(a → a) with the LHS pattern a restriction of the RHS pattern.
         let s = schema3();
-        let psi = Pfd::normal_form("R", &s, &[("a", r"[John]\A*")], ("a", r"[\LU\LL*]\A*"))
-            .unwrap();
+        let psi =
+            Pfd::normal_form("R", &s, &[("a", r"[John]\A*")], ("a", r"[\LU\LL*]\A*")).unwrap();
         assert!(implies(&[], &psi, 3));
     }
 
@@ -277,13 +275,11 @@ mod tests {
         // a → b with RHS 900\D{2} implies a → b with RHS \D{5} (a looser
         // pattern containing it).
         let s = schema3();
-        let sigma =
-            vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap()];
+        let sigma = vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap()];
         let wider = Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap();
         assert!(implies(&sigma, &wider, 3));
         // The converse does not hold.
-        let sigma2 =
-            vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap()];
+        let sigma2 = vec![Pfd::constant_normal_form("R", &s, "a", "x", "b", r"\D{5}").unwrap()];
         let tighter = Pfd::constant_normal_form("R", &s, "a", "x", "b", r"900\D{2}").unwrap();
         assert!(!implies(&sigma2, &tighter, 3));
     }
@@ -320,8 +316,7 @@ mod tests {
                 Pfd::fd("R", &s, &["a"], &["c"]).unwrap(),
             ),
             (
-                vec![Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA")
-                    .unwrap()],
+                vec![Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "LA").unwrap()],
                 Pfd::constant_normal_form("R", &s, "a", r"[900]\D{2}", "b", "NY").unwrap(),
             ),
         ];

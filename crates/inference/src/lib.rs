@@ -35,20 +35,20 @@
 pub mod axioms;
 pub mod clause;
 pub mod closure;
-pub mod cover;
 pub mod consistency;
+pub mod cover;
 pub mod implication;
 pub mod reduction;
 
 pub use axioms::{
-    augmentation, inconsistency_efq, lhs_generalization, reduction as reduction_axiom,
-    reflexivity, transitivity, Axiom, AxiomError, Proof, ProofStep,
+    augmentation, inconsistency_efq, lhs_generalization, reduction as reduction_axiom, reflexivity,
+    transitivity, Axiom, AxiomError, Proof, ProofStep,
 };
 pub use clause::{clauses_of, Clause};
 pub use closure::{pfd_closure, Closure, ClosureConfig};
-pub use cover::{equivalent_sets, minimal_cover};
 pub use consistency::{
     check_consistency, check_consistency_with, Consistency, Requirement, DEFAULT_STATE_LIMIT,
 };
+pub use cover::{equivalent_sets, minimal_cover};
 pub use implication::{implies, refute_implication};
 pub use reduction::{encode_nontautology, is_nontautology_via_pfds, Dnf, EncodedInstance, Literal};

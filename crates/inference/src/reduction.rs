@@ -61,11 +61,9 @@ pub struct Dnf {
 impl Dnf {
     /// Evaluate under an assignment (index = variable).
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().any(|clause| {
-            clause
-                .iter()
-                .all(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .any(|clause| clause.iter().all(|l| assignment[l.var] == l.positive))
     }
 
     /// Brute-force tautology check (for testing the reduction).
@@ -132,10 +130,7 @@ pub fn encode_nontautology(phi: &Dnf) -> EncodedInstance {
     // match \LU+\D* — equivalently C cannot start with digits, which is
     // exactly what ψn+1 enforces on digit-leading C values.
     {
-        let row = TableauRow::new(
-            vec![TableauCell::Wildcard; m],
-            vec![cell(false_pattern())],
-        );
+        let row = TableauRow::new(vec![TableauCell::Wildcard; m], vec![cell(false_pattern())]);
         pfds.push(
             Pfd::new("R", x_attrs.clone(), vec![c_attr], vec![row])
                 .expect("encoding is well-formed"),

@@ -12,12 +12,7 @@ use proptest::prelude::*;
 /// Random small sets of constant normal-form PFDs over R(a, b, c) with a
 /// tiny constant vocabulary, so chains and conflicts actually occur.
 fn random_sigma() -> impl Strategy<Value = Vec<Pfd>> {
-    let consts = prop_oneof![
-        Just("x"),
-        Just("y"),
-        Just("90"),
-        Just("LA")
-    ];
+    let consts = prop_oneof![Just("x"), Just("y"), Just("90"), Just("LA")];
     let attr_pair = prop_oneof![
         Just(("a", "b")),
         Just(("b", "c")),
@@ -28,9 +23,7 @@ fn random_sigma() -> impl Strategy<Value = Vec<Pfd>> {
         let schema = Schema::new("R", ["a", "b", "c"]).unwrap();
         specs
             .into_iter()
-            .map(|((l, r), lc, rc)| {
-                Pfd::constant_normal_form("R", &schema, l, lc, r, rc).unwrap()
-            })
+            .map(|((l, r), lc, rc)| Pfd::constant_normal_form("R", &schema, l, lc, r, rc).unwrap())
             .collect()
     })
 }

@@ -181,7 +181,11 @@ impl Pattern {
         Pattern {
             elements: vec![Element::new(
                 Atom::Class(class),
-                if n == 1 { Quant::One } else { Quant::Exactly(n) },
+                if n == 1 {
+                    Quant::One
+                } else {
+                    Quant::Exactly(n)
+                },
             )],
         }
     }
@@ -330,7 +334,6 @@ impl Pattern {
         }
         self.elements.iter().map(elem_len).sum::<usize>().max(1)
     }
-
 }
 
 #[cfg(test)]

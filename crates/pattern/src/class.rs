@@ -99,10 +99,7 @@ impl CharClass {
     /// containment; the symbolic alphabet keeps the construction polynomial
     /// in the pattern sizes rather than in |Σ|).
     pub fn representative(self, exclude: &[char]) -> Option<char> {
-        fn pick(
-            mut candidates: impl Iterator<Item = char>,
-            exclude: &[char],
-        ) -> Option<char> {
+        fn pick(mut candidates: impl Iterator<Item = char>, exclude: &[char]) -> Option<char> {
             candidates.find(|c| !exclude.contains(c))
         }
         match self {

@@ -214,7 +214,10 @@ pub fn infer_pattern<S: AsRef<str>>(values: &[S]) -> Option<Pattern> {
         .map(GenRun::from_shape)
         .collect();
     for v in iter {
-        let runs: Vec<GenRun> = shape_of(v.as_ref()).iter().map(GenRun::from_shape).collect();
+        let runs: Vec<GenRun> = shape_of(v.as_ref())
+            .iter()
+            .map(GenRun::from_shape)
+            .collect();
         acc = merge_runs(&acc, &runs);
     }
     let elements = acc.iter().map(GenRun::to_element).collect();

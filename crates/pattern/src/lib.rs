@@ -45,9 +45,8 @@ pub use ast::{Atom, Element, Pattern, PatternError, Quant};
 pub use class::CharClass;
 pub use constrained::ConstrainedPattern;
 pub use contains::{
-    satisfiable_signatures,
     difference_witness, equivalent, intersection_witness, language_is_empty, member_witness,
-    subset_of,
+    satisfiable_signatures, subset_of,
 };
 pub use infer::{infer_pattern, infer_verified, shape_of, ShapeRun};
 pub use nfa::Nfa;

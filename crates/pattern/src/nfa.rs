@@ -206,7 +206,9 @@ impl Nfa {
 
     /// All character predicates appearing on transitions.
     pub(crate) fn all_preds(&self) -> impl Iterator<Item = &CharPred> {
-        self.states.iter().flat_map(|s| s.trans.iter().map(|(p, _)| p))
+        self.states
+            .iter()
+            .flat_map(|s| s.trans.iter().map(|(p, _)| p))
     }
 }
 

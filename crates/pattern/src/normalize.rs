@@ -21,7 +21,11 @@ fn elements_for_range(atom: Atom, min: u32, max: Option<u32>) -> Vec<Element> {
         (n, Some(m)) if n == m => {
             vec![Element::new(
                 atom,
-                if n == 1 { Quant::One } else { Quant::Exactly(n) },
+                if n == 1 {
+                    Quant::One
+                } else {
+                    Quant::Exactly(n)
+                },
             )]
         }
         (0, None) => vec![Element::new(atom, Quant::Star)],
@@ -29,7 +33,11 @@ fn elements_for_range(atom: Atom, min: u32, max: Option<u32>) -> Vec<Element> {
         (n, None) => vec![
             Element::new(
                 atom.clone(),
-                if n == 1 { Quant::One } else { Quant::Exactly(n) },
+                if n == 1 {
+                    Quant::One
+                } else {
+                    Quant::Exactly(n)
+                },
             ),
             Element::new(atom, Quant::Star),
         ],
@@ -48,10 +56,7 @@ fn normalize_atom(atom: &Atom) -> Atom {
             // quantifier of its own.
             Atom::Group(inner)
         }
-        Atom::And(a, b) => Atom::And(
-            Box::new(normalize_atom(a)),
-            Box::new(normalize_atom(b)),
-        ),
+        Atom::And(a, b) => Atom::And(Box::new(normalize_atom(a)), Box::new(normalize_atom(b))),
         other => other.clone(),
     }
 }
@@ -63,8 +68,7 @@ fn normalize_elements(elements: &[Element]) -> Vec<Element> {
         let atom = normalize_atom(&e.atom);
         match (atom, e.quant) {
             (Atom::Group(inner), Quant::One) => flat.extend(inner),
-            (Atom::Group(inner), quant) if inner.len() == 1 && inner[0].quant == Quant::One =>
-            {
+            (Atom::Group(inner), quant) if inner.len() == 1 && inner[0].quant == Quant::One => {
                 // (a){N} → a{N}
                 flat.push(Element::new(inner[0].atom.clone(), quant));
             }

@@ -200,7 +200,11 @@ impl<'a> Parser<'a> {
                 if n == 0 {
                     return Err(ParseError::Invalid(PatternError::ZeroRepetition));
                 }
-                Ok(if n == 1 { Quant::One } else { Quant::Exactly(n) })
+                Ok(if n == 1 {
+                    Quant::One
+                } else {
+                    Quant::Exactly(n)
+                })
             }
             _ => Ok(Quant::One),
         }
@@ -234,7 +238,10 @@ pub fn parse_pattern(src: &str) -> Result<Pattern, ParseError> {
     let mut p = Parser::new(src);
     let elements = p.parse_sequence(&['[', ']'])?;
     if let Some(c) = p.peek() {
-        return Err(ParseError::UnexpectedChar { pos: p.pos(), ch: c });
+        return Err(ParseError::UnexpectedChar {
+            pos: p.pos(),
+            ch: c,
+        });
     }
     Ok(Pattern::new(elements)?)
 }
@@ -260,7 +267,10 @@ pub fn parse_constrained(src: &str) -> Result<ConstrainedPattern, ParseError> {
             }
             let post = p.parse_sequence(&['[', ']'])?;
             if let Some(c) = p.peek() {
-                return Err(ParseError::UnexpectedChar { pos: p.pos(), ch: c });
+                return Err(ParseError::UnexpectedChar {
+                    pos: p.pos(),
+                    ch: c,
+                });
             }
             Ok(ConstrainedPattern::new(
                 Pattern::new(pre)?,

@@ -48,13 +48,8 @@ fn atom() -> impl Strategy<Value = Atom> {
 
 fn pattern() -> impl Strategy<Value = Pattern> {
     proptest::collection::vec((atom(), quant()), 0..6).prop_map(|items| {
-        Pattern::new(
-            items
-                .into_iter()
-                .map(|(a, q)| Element::new(a, q))
-                .collect(),
-        )
-        .expect("flat patterns are always valid")
+        Pattern::new(items.into_iter().map(|(a, q)| Element::new(a, q)).collect())
+            .expect("flat patterns are always valid")
     })
 }
 

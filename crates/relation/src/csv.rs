@@ -249,10 +249,7 @@ mod tests {
     fn embedded_newline() {
         let csv = "a,b\n\"line1\nline2\",x\n";
         let rel = read_csv_str("T", csv).unwrap();
-        assert_eq!(
-            rel.cell(0, rel.schema().attr("a").unwrap()),
-            "line1\nline2"
-        );
+        assert_eq!(rel.cell(0, rel.schema().attr("a").unwrap()), "line1\nline2");
     }
 
     #[test]

@@ -238,7 +238,9 @@ mod tests {
     fn measurement_column_is_quantitative() {
         let r = rel(&[(
             "height",
-            vec!["1.82", "1.75", "1.9", "2.01", "1.68", "1.77", "1.64", "1.81"],
+            vec![
+                "1.82", "1.75", "1.9", "2.01", "1.68", "1.77", "1.64", "1.81",
+            ],
         )]);
         let p = profile_column(&r, AttrId(0));
         assert_eq!(p.kind, ColumnKind::Quantitative);

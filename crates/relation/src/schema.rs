@@ -154,10 +154,7 @@ mod tests {
     #[test]
     fn attrs_bulk_lookup() {
         let s = Schema::new("R", ["a", "b", "c"]).unwrap();
-        assert_eq!(
-            s.attrs(&["c", "a"]).unwrap(),
-            vec![AttrId(2), AttrId(0)]
-        );
+        assert_eq!(s.attrs(&["c", "a"]).unwrap(), vec![AttrId(2), AttrId(0)]);
         assert!(s.attrs(&["a", "nope"]).is_err());
     }
 

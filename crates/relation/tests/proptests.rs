@@ -25,10 +25,8 @@ fn nasty_cell() -> impl Strategy<Value = String> {
 fn arbitrary_relation() -> impl Strategy<Value = Relation> {
     (2usize..5)
         .prop_flat_map(|arity| {
-            let rows = proptest::collection::vec(
-                proptest::collection::vec(nasty_cell(), arity),
-                0..10,
-            );
+            let rows =
+                proptest::collection::vec(proptest::collection::vec(nasty_cell(), arity), 0..10);
             (Just(arity), rows)
         })
         .prop_map(|(arity, rows)| {

@@ -51,13 +51,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let attr = rel.schema().attr(col)?;
         let idx = build_index(&rel, attr, extraction, &IndexOptions::default());
-        println!("  H[{col}]: {} entries after substring pruning", idx.entries.len());
+        println!(
+            "  H[{col}]: {} entries after substring pruning",
+            idx.entries.len()
+        );
         for e in idx.entries.iter().take(4) {
             println!(
                 "    (('{}', {}), {:?})",
                 e.pattern,
                 e.pos,
-                e.rows.iter().map(|r| format!("r{}", r + 1)).collect::<Vec<_>>()
+                e.rows
+                    .iter()
+                    .map(|r| format!("r{}", r + 1))
+                    .collect::<Vec<_>>()
             );
         }
     }

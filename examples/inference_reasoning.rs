@@ -9,8 +9,8 @@
 
 use pfd::core::{Pfd, TableauCell};
 use pfd::inference::{
-    check_consistency, implies, is_nontautology_via_pfds, pfd_closure, refute_implication,
-    reflexivity, transitivity, Axiom, ClosureConfig, Consistency, Dnf, Literal, Proof,
+    check_consistency, implies, is_nontautology_via_pfds, pfd_closure, reflexivity,
+    refute_implication, transitivity, Axiom, ClosureConfig, Consistency, Dnf, Literal, Proof,
 };
 use pfd::relation::{AttrId, Schema};
 
@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, step) in proof.steps().iter().enumerate() {
         match step.axiom {
             None => println!("  ({i}) hypothesis: {}", step.conclusion),
-            Some(ax) => println!("  ({i}) by {ax} from {:?}: {}", step.premises, step.conclusion),
+            Some(ax) => println!(
+                "  ({i}) by {ax} from {:?}: {}",
+                step.premises, step.conclusion
+            ),
         }
     }
 
@@ -48,11 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Implication through the closure.
     println!("\n== Implication (Theorem 2, decided via the Fig. 7 closure) ==");
-    let psi =
-        Pfd::constant_normal_form("R", &schema, "zip", r"[900]\D{2}", "state", "CA")?;
+    let psi = Pfd::constant_normal_form("R", &schema, "zip", r"[900]\D{2}", "state", "CA")?;
     println!("  Ψ ⊨ (zip 900xx → CA)?  {}", implies(&sigma, &psi, 3));
-    let not_implied =
-        Pfd::constant_normal_form("R", &schema, "zip", r"[900]\D{2}", "state", "NY")?;
+    let not_implied = Pfd::constant_normal_form("R", &schema, "zip", r"[900]\D{2}", "state", "NY")?;
     println!(
         "  Ψ ⊨ (zip 900xx → NY)?  {}",
         implies(&sigma, &not_implied, 3)

@@ -79,8 +79,6 @@ fn main() {
         eval.spurious,
         eval.precision() * 100.0
     );
-    println!(
-        "Unisex names (the §2.2 Kim caveat) account for spurious flags: the pattern"
-    );
+    println!("Unisex names (the §2.2 Kim caveat) account for spurious flags: the pattern");
     println!("is genuine on most names but no authority can decide a unisex one.");
 }

@@ -106,11 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("{}", display_with_schema(&psi4, zip_table.schema()));
     for v in psi4.violations(&zip_table) {
-        println!(
-            "  violation: s{} vs s{}",
-            v.rows()[0] + 1,
-            v.rows()[1] + 1
-        );
+        println!("  violation: s{} vs s{}", v.rows()[0] + 1, v.rows()[1] + 1);
     }
 
     // §2.2's discussion: remove r3 and ψ2 goes blind while ψ1 still fires.

@@ -265,16 +265,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 }
             } else {
                 for dep in &result.dependencies {
-                    writeln!(
-                        out,
-                        "  {}",
-                        display_with_schema(&dep.pfd, rel.schema())
-                    )?;
+                    writeln!(out, "  {}", display_with_schema(&dep.pfd, rel.schema()))?;
                 }
             }
             if let Some(path) = rules_out {
-                let pfds: Vec<Pfd> =
-                    result.dependencies.iter().map(|d| d.pfd.clone()).collect();
+                let pfds: Vec<Pfd> = result.dependencies.iter().map(|d| d.pfd.clone()).collect();
                 std::fs::write(&path, to_rules_string(&pfds, rel.schema()))?;
                 writeln!(out, "rules written to {path}")?;
             }
@@ -307,7 +302,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             // Dirty data → exit code 1, like grep.
             Ok(if report.is_clean() { 0 } else { 1 })
         }
-        Command::Repair { data, rules, out: out_path } => {
+        Command::Repair {
+            data,
+            rules,
+            out: out_path,
+        } => {
             let rel = load_relation(&data)?;
             let pfds = load_rules(&rules, &rel)?;
             let outcome = repair_rel(&rel, &pfds);
@@ -431,10 +430,7 @@ mod tests {
     #[test]
     fn usage_errors() {
         let mut buf = Vec::new();
-        assert!(matches!(
-            run(&[], &mut buf),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(&[], &mut buf), Err(CliError::Usage(_))));
         assert!(matches!(
             run(&["frobnicate".into()], &mut buf),
             Err(CliError::Usage(_))
@@ -445,7 +441,12 @@ mod tests {
         ));
         assert!(matches!(
             run(
-                &["discover".into(), "x.csv".into(), "--noise".into(), "2".into()],
+                &[
+                    "discover".into(),
+                    "x.csv".into(),
+                    "--noise".into(),
+                    "2".into()
+                ],
                 &mut buf
             ),
             Err(CliError::Usage(_))

@@ -3,9 +3,7 @@
 
 use pfd::baselines::{cfd_discover, fdep_single_lhs, CfdConfig, FdepConfig};
 use pfd::core::{detect_errors, evaluate_repairs, repair, Pfd, TableauRow};
-use pfd::datagen::{
-    evaluate_dependencies, standard_suite, GroundTruthDep, Scale,
-};
+use pfd::datagen::{evaluate_dependencies, standard_suite, GroundTruthDep, Scale};
 use pfd::discovery::{discover, DependencyKind, DiscoveryConfig};
 use pfd::inference::{check_consistency, implies, Consistency};
 use pfd::relation::{read_csv_str, write_csv_string, Relation};
@@ -105,7 +103,11 @@ fn discovery_beats_baselines_on_pattern_tables() {
             cfd_eval.true_positives
         );
         // Recall stays high on the synthetic twins.
-        assert!(pfd_eval.recall() >= 0.8, "{id}: recall {}", pfd_eval.recall());
+        assert!(
+            pfd_eval.recall() >= 0.8,
+            "{id}: recall {}",
+            pfd_eval.recall()
+        );
     }
 }
 
@@ -205,7 +207,10 @@ fn csv_round_trip_preserves_discovery() {
 fn generalized_pfds_hold_where_constants_do() {
     // Variable PFDs must not contradict the data their constants came from.
     let suite = standard_suite(Scale::Small, 0.0, 42);
-    for ds in suite.iter().filter(|d| ["T2", "T11", "T12"].contains(&d.id.as_str())) {
+    for ds in suite
+        .iter()
+        .filter(|d| ["T2", "T11", "T12"].contains(&d.id.as_str()))
+    {
         let result = discover(&ds.clean, &DiscoveryConfig::default());
         for dep in &result.dependencies {
             if dep.kind == DependencyKind::Variable {
@@ -218,6 +223,147 @@ fn generalized_pfds_hold_where_constants_do() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// CLI surface: the same profile → discover → check → repair story, driven
+// through `pfd::cli::run` exactly as the `pfd` binary does.
+// ---------------------------------------------------------------------------
+
+/// Temp-dir CSV fixture: writes `content` under a per-process directory and
+/// returns the path as a `String` ready for CLI args.
+struct CliFixture {
+    dir: std::path::PathBuf,
+}
+
+impl CliFixture {
+    fn new(test: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join("pfd-e2e")
+            .join(format!("{}-{test}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+        CliFixture { dir }
+    }
+
+    fn file(&self, name: &str, content: &str) -> String {
+        let path = self.dir.join(name);
+        std::fs::write(&path, content).expect("write fixture file");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for CliFixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    let code = pfd::cli::run(&args, &mut buf).expect("CLI must not error");
+    (code, String::from_utf8(buf).expect("CLI output is UTF-8"))
+}
+
+/// A Zip → City table whose last row breaks the 606** → Chicago pattern.
+const DIRTY_ZIP_CSV: &str = "zip,city\n\
+    90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n\
+    90004,Los Angeles\n90005,Los Angeles\n\
+    60601,Chicago\n60602,Chicago\n60603,Chicago\n60604,Chicago\n\
+    60605,New York\n";
+
+#[test]
+fn cli_full_cycle_profile_discover_check_repair() {
+    let fx = CliFixture::new("full-cycle");
+    let data = fx.file("zips.csv", DIRTY_ZIP_CSV);
+    let rules = fx.path("rules.pfd");
+    let cleaned = fx.path("cleaned.csv");
+
+    // profile: the zip column must be classified as a code column.
+    let (code, out) = run_cli(&["profile", &data]);
+    assert_eq!(code, 0);
+    assert!(out.contains("zip") && out.contains("Code"), "{out}");
+
+    // discover: write a rule file from the dirty data.
+    let (code, out) = run_cli(&[
+        "discover",
+        &data,
+        "--min-support",
+        "3",
+        "--noise",
+        "0.2",
+        "--rules",
+        &rules,
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("dependencies discovered"), "{out}");
+    let rule_text = std::fs::read_to_string(&rules).expect("rules written");
+    assert!(!rule_text.trim().is_empty(), "rule file must not be empty");
+
+    // check: dirty data exits 1 (like grep) and names the bad value.
+    let (code, out) = run_cli(&["check", &data, "--rules", &rules]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("New York"), "{out}");
+
+    // repair: fixes land in --out, and re-checking the repaired file is clean.
+    let (code, out) = run_cli(&["repair", &data, "--rules", &rules, "--out", &cleaned]);
+    assert_eq!(code, 0);
+    assert!(out.contains("fixes applied"), "{out}");
+    let repaired = std::fs::read_to_string(&cleaned).expect("cleaned written");
+    assert!(!repaired.contains("New York"), "{repaired}");
+
+    let (code, _) = run_cli(&["check", &cleaned, "--rules", &rules]);
+    assert_eq!(code, 0, "repaired file must pass its own rules");
+}
+
+#[test]
+fn cli_discover_review_queue() {
+    let fx = CliFixture::new("review");
+    let data = fx.file("zips.csv", DIRTY_ZIP_CSV);
+    let (code, out) = run_cli(&[
+        "discover",
+        &data,
+        "--min-support",
+        "3",
+        "--noise",
+        "0.2",
+        "--review",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("score"), "{out}");
+}
+
+#[test]
+fn cli_rule_file_round_trips_through_library_parser() {
+    // Rules written by the CLI parse back with pfd_core::parse_rules and
+    // reproduce the same violations the CLI reported.
+    let fx = CliFixture::new("round-trip");
+    let data = fx.file("zips.csv", DIRTY_ZIP_CSV);
+    let rules = fx.path("rules.pfd");
+    run_cli(&[
+        "discover",
+        &data,
+        "--min-support",
+        "3",
+        "--noise",
+        "0.2",
+        "--rules",
+        &rules,
+    ]);
+    let rel = read_csv_str("zips", DIRTY_ZIP_CSV).unwrap();
+    let text = std::fs::read_to_string(&rules).unwrap();
+    let pfds = pfd::core::parse_rules(&text, rel.schema()).expect("CLI rules must parse");
+    assert!(!pfds.is_empty());
+    let report = detect_errors(&rel, &pfds);
+    assert!(
+        report.unique_cells().iter().any(|(row, _)| *row == 9),
+        "the New York row must be flagged: {:?}",
+        report.unique_cells()
+    );
 }
 
 #[test]

@@ -1,0 +1,95 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Generation-only property testing: the [`Strategy`] trait and the
+//! combinators this workspace uses (`prop_map`, `prop_flat_map`,
+//! `prop_filter`, tuples, ranges, [`Just`], [`collection::vec`],
+//! [`prop_oneof!`], regex-literal string strategies), plus the
+//! [`proptest!`] / `prop_assert*!` / `prop_assume!` macros. There is **no
+//! shrinking**: a failing case panics with the full input values.
+//!
+//! Case count defaults to 64, overridable via the `PROPTEST_CASES`
+//! environment variable or `ProptestConfig::with_cases`. The RNG is
+//! seeded deterministically per test (xor'd with `PROPTEST_SEED` when
+//! set), so CI runs are reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `char` values.
+pub mod char {
+    use crate::strategy::CharRange;
+
+    /// Uniform characters in the inclusive range `[lo, hi]`.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        CharRange::new(lo, hi)
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy generating `Vec`s of `element` with a length drawn from
+    /// `size` (a `usize`, `Range<usize>` or `RangeInclusive<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// Types that have a canonical strategy (tiny subset of `Arbitrary`).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// The canonical strategy for this type.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Produce the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` — `any::<u32>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::BoolStrategy;
+    fn arbitrary() -> Self::Strategy {
+        strategy::BoolStrategy
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = strategy::CharRange;
+    fn arbitrary() -> Self::Strategy {
+        // Printable ASCII keeps generated data readable in failure output.
+        strategy::CharRange::new(' ', '~')
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary,
+    };
+
+    /// Namespaced access to the strategy modules (`prop::char::range`, …).
+    pub mod prop {
+        pub use crate::char;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}

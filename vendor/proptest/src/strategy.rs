@@ -1,0 +1,440 @@
+//! Generation-only strategies: no shrinking, values drawn from a seeded
+//! [`TestRng`](crate::test_runner::TestRng).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A source of random values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy` at the call sites this workspace
+/// uses; the value tree / shrinking layer is intentionally absent.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feed generated values into `f` to obtain a dependent strategy, then
+    /// draw from that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries, then panic).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice between type-erased alternatives, optionally weighted.
+/// Built by [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T: Debug> Union<T> {
+    /// Unweighted union.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Weighted union; each arm is drawn proportionally to its weight.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted");
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only hit by full-domain 64-bit ranges from `any`.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform `char` in an inclusive range (see [`crate::char::range`]).
+#[derive(Debug, Clone)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl CharRange {
+    /// Inclusive range `[lo, hi]`; both ends must be valid and ordered.
+    pub fn new(lo: char, hi: char) -> Self {
+        assert!(lo <= hi, "char range start must not exceed end");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Rejection-sample around the surrogate gap.
+        loop {
+            let v = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+/// Uniform booleans (the `any::<bool>()` strategy).
+#[derive(Debug, Clone)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Collection sizes accepted by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident $idx:tt),+);)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+}
+
+/// String literals are regex strategies, matching real proptest. Supported
+/// subset: literal chars, `[a-z0-9_]` classes (ranges + singletons, no
+/// negation), `.`, and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+/// (`*`/`+` capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // 1. Parse one atom into the set of characters it can produce.
+        let (choices, next): (Vec<char>, usize) = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in regex strategy {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex strategy {pattern:?}");
+                (set, close + 1)
+            }
+            '.' => (('\u{20}'..='\u{7e}').collect(), i + 1),
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                let set = match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    's' => vec![' ', '\t'],
+                    other => vec![other],
+                };
+                (set, i + 2)
+            }
+            c => (vec![c], i + 1),
+        };
+        i = next;
+
+        // 2. Parse an optional quantifier.
+        let (min, max): (u32, u32) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in regex strategy {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n} in regex strategy"),
+                            n.trim().parse().expect("bad {m,n} in regex strategy"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("bad {n} in regex strategy");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+
+        // 3. Emit.
+        let count = min + rng.below((max - min + 1) as u64) as u32;
+        for _ in 0..count {
+            out.push(choices[rng.below(choices.len() as u64) as usize]);
+        }
+    }
+    out
+}

@@ -1,0 +1,296 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build container has no registry access, so this workspace vendors
+//! the exact surface its code uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] sampling methods
+//! (`gen_range`, `gen_bool`, `gen`) and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`). The generator is SplitMix64-derived xoshiro256++:
+//! deterministic per seed, statistically solid for test-data generation,
+//! but **not** the upstream ChaCha12 stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number-generator trait (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a generator can sample from uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-sampling implementation. The blanket
+/// [`SampleRange`] impls below mirror upstream's shape so integer-literal
+/// inference behaves identically (`gen_range(0..100)` unifies with the
+/// surrounding arithmetic instead of falling back to `i32`).
+pub trait SampleUniform: Copy {
+    /// Uniform value in `[lo, hi]` (inclusive); `lo <= hi` required.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform value in `[lo, hi)`; `lo < hi` required. For floats the two
+    /// bounds coincide in practice, so the default float impl reuses the
+    /// inclusive primitive.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = uniform_u128(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                <$t>::sample_inclusive(rng, lo, hi - 1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Uniform value in `[0, span)` by rejection sampling on 64 bits
+/// (span ≤ 2^64 in practice for every integer type above).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    let span64 = span as u64;
+    // Lemire-style rejection keeps the distribution exactly uniform.
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0,1]");
+        f64::sample(self) < p
+    }
+
+    /// Uniform sample of a `Standard`-distributed value.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded through
+    /// SplitMix64 (deterministic per seed; not upstream's ChaCha12).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: u32 = rng.gen_range(1..=12);
+            assert!((1..=12).contains(&w));
+            let x: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert!(orig.contains(v.choose(&mut rng).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
