@@ -45,7 +45,7 @@ pub mod tableau;
 
 pub use detect::{detect_errors, evaluate_detection, CellFlag, DetectionEval, DetectionReport};
 pub use incremental::{IncrementalChecker, ViolationDelta};
-pub use pfd::{display_with_schema, Pfd, PfdError, Violation, ViolationKind};
+pub use pfd::{display_with_schema, Pfd, PfdError, TableauAudit, Violation, ViolationKind};
 pub use repair::{
     evaluate_repairs, repair, repair_to_fixpoint, CellFix, RepairEval, RepairOutcome,
 };

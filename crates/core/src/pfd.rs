@@ -3,8 +3,22 @@
 
 use crate::tableau::{TableauCell, TableauRow};
 use pfd_relation::{AttrId, Relation, RowId, Schema, SchemaError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Result of a one-pass [`Pfd::audit`] over a relation.
+#[derive(Debug, Clone)]
+pub struct TableauAudit {
+    /// Rows matching some tableau row's LHS (restriction ii coverage).
+    pub coverage: usize,
+    /// Rows sharing their LHS equivalence key with another row under some
+    /// tableau row — the rows the pair semantics can actually relate.
+    pub paired_rows: usize,
+    /// The offending row of every violation [`Pfd::violations`] would
+    /// report: single-tuple RHS mismatches and non-majority partition
+    /// members.
+    pub suspect_rows: BTreeSet<RowId>,
+}
 
 /// Errors from PFD construction.
 #[derive(Debug)]
@@ -367,6 +381,97 @@ impl Pfd {
             .collect()
     }
 
+    /// One-pass audit of this PFD over a relation: coverage, LHS-key
+    /// pairing, and the suspect rows that `violations` would report —
+    /// without scanning the relation once per question.
+    ///
+    /// Discovery's constant → variable generalization (§4.3) needs all
+    /// three on every candidate; computing them from a single LHS-key
+    /// grouping pass is equivalent to (and replaces) separate
+    /// [`Pfd::coverage`], key-count, and [`Pfd::violations`] scans:
+    ///
+    /// - `coverage` — rows matching some tableau row's LHS (a value matches
+    ///   `pre·Q·post` iff a decomposition exists, so "matches" and "has an
+    ///   equivalence key" coincide);
+    /// - `paired_rows` — rows sharing their LHS key with at least one other
+    ///   row under some tableau row (the pair semantics can fire);
+    /// - `suspect_rows` — the offending row of each violation: single-tuple
+    ///   RHS mismatches plus every member of a non-majority RHS partition.
+    pub fn audit(&self, rel: &Relation) -> TableauAudit {
+        let mut covered = vec![false; rel.num_rows()];
+        let mut paired = vec![false; rel.num_rows()];
+        let mut suspects: BTreeSet<RowId> = BTreeSet::new();
+        for row in &self.tableau {
+            let mut groups: BTreeMap<Vec<String>, Vec<RowId>> = BTreeMap::new();
+            for (rid, _) in rel.iter_rows() {
+                if let Some(key) = self.lhs_key(rel, rid, row) {
+                    groups.entry(key).or_default().push(rid);
+                }
+            }
+            for rows in groups.values() {
+                for &rid in rows {
+                    covered[rid] = true;
+                }
+                if rows.len() >= 2 {
+                    for &rid in rows {
+                        paired[rid] = true;
+                    }
+                }
+                // Single-tuple RHS pattern checks.
+                let mut rhs_ok: Vec<RowId> = Vec::with_capacity(rows.len());
+                for &rid in rows {
+                    let fails = self
+                        .rhs
+                        .iter()
+                        .zip(&row.rhs)
+                        .any(|(b, cell)| !cell.matches(rel.cell(rid, *b)));
+                    if fails {
+                        suspects.insert(rid);
+                    } else {
+                        rhs_ok.push(rid);
+                    }
+                }
+                // Pair semantics: partition by RHS key; every row outside
+                // the majority partition is a suspect.
+                if rhs_ok.len() < 2 {
+                    continue;
+                }
+                let mut partitions: BTreeMap<Vec<String>, Vec<RowId>> = BTreeMap::new();
+                for &rid in &rhs_ok {
+                    let key: Vec<String> = self
+                        .rhs
+                        .iter()
+                        .zip(&row.rhs)
+                        .map(|(b, cell)| {
+                            cell.key(rel.cell(rid, *b))
+                                .expect("matched above")
+                                .to_string()
+                        })
+                        .collect();
+                    partitions.entry(key).or_default().push(rid);
+                }
+                if partitions.len() <= 1 {
+                    continue;
+                }
+                let (majority_key, _) = partitions
+                    .iter()
+                    .max_by_key(|(key, rows)| (rows.len(), std::cmp::Reverse((*key).clone())))
+                    .expect("non-empty");
+                let majority_key = majority_key.clone();
+                for (key, rows) in &partitions {
+                    if *key != majority_key {
+                        suspects.extend(rows.iter().copied());
+                    }
+                }
+            }
+        }
+        TableauAudit {
+            coverage: covered.iter().filter(|c| **c).count(),
+            paired_rows: paired.iter().filter(|c| **c).count(),
+            suspect_rows: suspects,
+        }
+    }
+
     /// All violations of this PFD on `rel` (§2.2 semantics).
     ///
     /// For each tableau row, relation rows matching all LHS cells are
@@ -724,6 +829,75 @@ mod tests {
         let violations = cfd.violations(&rel);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].rows(), &[3]);
+    }
+
+    #[test]
+    fn audit_agrees_with_coverage_and_violations() {
+        // `audit` promises exactly the aggregates that separate
+        // `coverage`/key-count/`violations` scans produce; discovery's
+        // generalization gate depends on that equivalence, so force the two
+        // code paths to agree on a spread of PFD shapes and dirty tables.
+        let name_rel = name_table();
+        let zip_rel = zip_table();
+        let multi = {
+            // Larger dirty table: two dirty cells, several key groups.
+            let mut rows: Vec<Vec<String>> = (0..8)
+                .map(|i| vec![format!("900{i:02}"), "Los Angeles".into()])
+                .collect();
+            rows.extend((0..8).map(|i| vec![format!("606{i:02}"), "Chicago".to_string()]));
+            rows[3][1] = "New York".into();
+            rows[12][1] = "Boston".into();
+            let mut rel =
+                Relation::empty(pfd_relation::Schema::new("Zip", ["zip", "city"]).unwrap());
+            for r in rows {
+                rel.push_row(r).unwrap();
+            }
+            rel
+        };
+        let zip_var =
+            Pfd::constant_normal_form("Zip", zip_rel.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
+        let zip_const = Pfd::constant_normal_form(
+            "Zip",
+            zip_rel.schema(),
+            "zip",
+            r"[900]\D{2}",
+            "city",
+            "Los\\ Angeles",
+        )
+        .unwrap();
+        let cases: Vec<(&Relation, Pfd)> = vec![
+            (&name_rel, psi1(&name_rel)),
+            (&name_rel, psi2(&name_rel)),
+            (&zip_rel, zip_var.clone()),
+            (&zip_rel, zip_const),
+            (&multi, zip_var),
+        ];
+        for (rel, pfd) in &cases {
+            let audit = pfd.audit(rel);
+            assert_eq!(audit.coverage, pfd.coverage(rel), "{pfd}");
+            let suspects: BTreeSet<RowId> = pfd
+                .violations(rel)
+                .iter()
+                .map(|v| *v.rows().last().expect("violations carry rows"))
+                .collect();
+            assert_eq!(audit.suspect_rows, suspects, "{pfd}");
+            // paired_rows: rows sharing an LHS key with another row under
+            // some tableau row (deduplicated across tableau rows).
+            let mut paired: BTreeSet<RowId> = BTreeSet::new();
+            for row in pfd.tableau() {
+                let mut groups: BTreeMap<Vec<String>, Vec<RowId>> = BTreeMap::new();
+                for (rid, _) in rel.iter_rows() {
+                    if let Some(key) = pfd.lhs_key(rel, rid, row) {
+                        groups.entry(key).or_default().push(rid);
+                    }
+                }
+                for rows in groups.values().filter(|r| r.len() >= 2) {
+                    paired.extend(rows.iter().copied());
+                }
+            }
+            assert_eq!(audit.paired_rows, paired.len(), "{pfd}");
+        }
     }
 
     #[test]

@@ -7,12 +7,20 @@
 //! constant → variable generalization → report dependencies above the
 //! coverage threshold. Multi-attribute LHS candidates walk the attribute-set
 //! lattice with pruning (§4.2 restriction iv).
+//!
+//! Candidate checks and index builds run on the work-stealing pool of
+//! [`crate::pool`] when [`DiscoveryConfig::parallel`] is set; row sets are
+//! the compact [`PostingList`]s of [`crate::postings`]. Per-phase timings
+//! land in [`DiscoveryStats`].
 
-use crate::cells::{cell_for_entry, generalized_cell};
+use crate::cells::{cell_for_entry, generalized_cell, ResolvedEntry};
 use crate::config::DiscoveryConfig;
-use crate::index::{build_index, frequent_within, AttrIndex, IndexOptions};
+use crate::fxhash::FxHashMap;
+use crate::index::{build_index, frequent_within, AttrIndex, IndexEntry, IndexOptions};
+use crate::pool;
+use crate::postings::{PostingList, RowSetAccumulator};
 use pfd_core::{Pfd, TableauCell, TableauRow};
-use pfd_relation::{profile_relation, AttrId, Extraction, Relation, RowId};
+use pfd_relation::{profile_relation, AttrId, Extraction, Relation};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -73,6 +81,12 @@ pub struct DiscoveryStats {
     pub entries_tested: usize,
     /// Wall-clock discovery time.
     pub elapsed: Duration,
+    /// Phase breakdown: attribute profiling and extraction choice.
+    pub profile_time: Duration,
+    /// Phase breakdown: inverted-index construction.
+    pub index_time: Duration,
+    /// Phase breakdown: candidate checking, generalization and assembly.
+    pub check_time: Duration,
 }
 
 /// Discovery output.
@@ -99,10 +113,20 @@ struct AcceptedRow {
     /// (attr, entry index) per LHS attribute, in `lhs` order.
     lhs_entries: Vec<u32>,
     /// Rows matching every LHS fragment.
-    rows: Vec<RowId>,
+    rows: PostingList,
     rhs_entry: u32,
     /// Position of the anchor LHS entry (single-semantics grouping).
     pos: u32,
+}
+
+/// Shared read-only state for candidate checking.
+struct Ctx<'a> {
+    rel: &'a Relation,
+    indexes: &'a BTreeMap<AttrId, AttrIndex>,
+    /// Per attribute: rows covered by entries with support ≥ `min_support`
+    /// (the §4.2 reachable-coverage skip, precomputed once per run).
+    frequent_cov: &'a BTreeMap<AttrId, usize>,
+    config: &'a DiscoveryConfig,
 }
 
 /// Discover PFDs in a relation.
@@ -128,16 +152,46 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         .collect();
     stats.candidate_attrs = candidates.len();
     stats.pruned_attrs = profiles.len() - candidates.len();
+    stats.profile_time = start.elapsed();
 
     // Fig. 4 lines 5–12: the inverted indexes.
+    let index_start = Instant::now();
     let index_options = IndexOptions {
         substring_pruning: config.substring_pruning,
     };
-    let indexes: BTreeMap<AttrId, AttrIndex> = candidates
-        .iter()
-        .map(|(attr, extraction)| (*attr, build_index(rel, *attr, *extraction, &index_options)))
-        .collect();
+    let build = |(attr, extraction): &(AttrId, Extraction)| -> AttrIndex {
+        build_index(rel, *attr, *extraction, &index_options)
+    };
+    let built: Vec<AttrIndex> = if config.parallel {
+        pool::parallel_map(&candidates, build)
+    } else {
+        candidates.iter().map(build).collect()
+    };
+    let indexes: BTreeMap<AttrId, AttrIndex> =
+        built.into_iter().map(|idx| (idx.attr, idx)).collect();
     stats.index_entries = indexes.values().map(|i| i.entries.len()).sum();
+    // Reachable coverage per attribute (anchor-skip precomputation).
+    let frequent_cov: BTreeMap<AttrId, usize> = indexes
+        .iter()
+        .map(|(attr, idx)| {
+            let mut acc = RowSetAccumulator::new(rel.num_rows());
+            for e in &idx.entries {
+                if e.support() >= config.min_support {
+                    acc.insert_all(&e.rows);
+                }
+            }
+            (*attr, acc.len())
+        })
+        .collect();
+    stats.index_time = index_start.elapsed();
+
+    let check_start = Instant::now();
+    let ctx = Ctx {
+        rel,
+        indexes: &indexes,
+        frequent_cov: &frequent_cov,
+        config,
+    };
 
     // Level 1: single-LHS candidates.
     let pairs: Vec<(AttrId, AttrId)> = candidates
@@ -152,11 +206,11 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     stats.candidates_checked += pairs.len();
 
     let run_pair = |(a, b): &(AttrId, AttrId)| -> (Option<DiscoveredDependency>, usize) {
-        check_dependency(rel, &indexes, &[*a], *b, config)
+        check_dependency(&ctx, &[*a], *b)
     };
 
     let level1: Vec<(Option<DiscoveredDependency>, usize)> = if config.parallel {
-        parallel_map(&pairs, run_pair)
+        pool::parallel_map(&pairs, run_pair)
     } else {
         pairs.iter().map(run_pair).collect()
     };
@@ -183,8 +237,8 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         let mut level_candidates: Vec<(Vec<AttrId>, AttrId)> = Vec::new();
         let attr_ids: Vec<AttrId> = candidates.iter().map(|(a, _)| *a).collect();
         for (b, _) in &candidates {
-            let pool: Vec<AttrId> = attr_ids.iter().copied().filter(|a| a != b).collect();
-            for combo in combinations(&pool, level) {
+            let pool_attrs: Vec<AttrId> = attr_ids.iter().copied().filter(|a| a != b).collect();
+            for combo in combinations(&pool_attrs, level) {
                 let set: BTreeSet<AttrId> = combo.iter().copied().collect();
                 let pruned = generalized_lhs
                     .get(b)
@@ -197,10 +251,10 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         stats.candidates_checked += level_candidates.len();
 
         let run_multi = |(x, b): &(Vec<AttrId>, AttrId)| -> (Option<DiscoveredDependency>, usize) {
-            check_dependency(rel, &indexes, x, *b, config)
+            check_dependency(&ctx, x, *b)
         };
         let results: Vec<(Option<DiscoveredDependency>, usize)> = if config.parallel {
-            parallel_map(&level_candidates, run_multi)
+            pool::parallel_map(&level_candidates, run_multi)
         } else {
             level_candidates.iter().map(run_multi).collect()
         };
@@ -219,39 +273,12 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     }
 
     dependencies.sort_by(|a, b| (a.rhs, &a.lhs).cmp(&(b.rhs, &b.lhs)));
+    stats.check_time = check_start.elapsed();
     stats.elapsed = start.elapsed();
     DiscoveryResult {
         dependencies,
         stats,
     }
-}
-
-/// Map over items on `available_parallelism` threads, preserving order.
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
-    std::thread::scope(|scope| {
-        for (slice, results) in items.chunks(chunk).zip(out_chunks) {
-            let f = &f;
-            scope.spawn(move || {
-                for (item, slot) in slice.iter().zip(results.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
 }
 
 /// All size-`k` combinations of `pool`, in lexicographic order.
@@ -279,52 +306,28 @@ fn combinations(pool: &[AttrId], k: usize) -> Vec<Vec<AttrId>> {
     out
 }
 
-/// Sorted-slice intersection.
-fn intersect(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
+/// Resolve an index entry for cell assembly.
+fn resolved<'a>(idx: &'a AttrIndex, entry: &'a IndexEntry) -> ResolvedEntry<'a> {
+    ResolvedEntry {
+        pattern: idx.pattern_str(entry),
+        pos: entry.pos,
+        rows: &entry.rows,
     }
-    out
-}
-
-/// Is sorted `a` a subset of sorted `b`?
-fn is_subset(a: &[RowId], b: &[RowId]) -> bool {
-    let mut j = 0;
-    'outer: for &x in a {
-        while j < b.len() {
-            match b[j].cmp(&x) {
-                std::cmp::Ordering::Less => j += 1,
-                std::cmp::Ordering::Equal => {
-                    j += 1;
-                    continue 'outer;
-                }
-                std::cmp::Ordering::Greater => return false,
-            }
-        }
-        return false;
-    }
-    true
 }
 
 /// Check one candidate dependency `X → b`. Returns the discovery (if any)
 /// and the number of LHS entries tested.
 fn check_dependency(
-    rel: &Relation,
-    indexes: &BTreeMap<AttrId, AttrIndex>,
+    ctx: &Ctx<'_>,
     x: &[AttrId],
     b: AttrId,
-    config: &DiscoveryConfig,
 ) -> (Option<DiscoveredDependency>, usize) {
+    let Ctx {
+        rel,
+        indexes,
+        config,
+        ..
+    } = *ctx;
     let idx_b = &indexes[&b];
     let n_total = rel.num_rows();
     if n_total == 0 {
@@ -337,28 +340,13 @@ fn check_dependency(
     // §4.3: "sort attributes of X according to the number of patterns" —
     // anchor on the attribute whose frequent patterns are strongest.
     let mut x_sorted: Vec<AttrId> = x.to_vec();
-    x_sorted.sort_by_key(|a| {
-        std::cmp::Reverse(
-            indexes[a]
-                .entries
-                .iter()
-                .map(|e| e.support())
-                .max()
-                .unwrap_or(0),
-        )
-    });
+    x_sorted.sort_by_key(|a| std::cmp::Reverse(indexes[a].max_support));
     let anchor = x_sorted[0];
     let rest = &x_sorted[1..];
     let idx_anchor = &indexes[&anchor];
 
     // §4.2 (end): skip when the frequent patterns cannot reach the coverage.
-    let frequent_coverage: BTreeSet<RowId> = idx_anchor
-        .entries
-        .iter()
-        .filter(|e| e.support() >= config.min_support)
-        .flat_map(|e| e.rows.iter().copied())
-        .collect();
-    if frequent_coverage.len() < config.required_coverage(n_total) {
+    if ctx.frequent_cov[&anchor] < config.required_coverage(n_total) {
         return (None, 0);
     }
 
@@ -366,14 +354,18 @@ fn check_dependency(
     let mut accepted: Vec<AcceptedRow> = Vec::new();
 
     // Deduplicate anchor entries sharing a row set (keep longest pattern).
-    let mut seen_rowsets: BTreeMap<&[RowId], u32> = BTreeMap::new();
+    let mut seen_rowsets: FxHashMap<&PostingList, u32> = FxHashMap::default();
     let mut anchor_entries: Vec<u32> = Vec::new();
     for (ei, e) in idx_anchor.entries.iter().enumerate() {
         if e.support() < config.min_support {
             continue;
         }
-        match seen_rowsets.get(&e.rows.as_slice()) {
-            Some(&prev) if idx_anchor.entries[prev as usize].pattern.len() >= e.pattern.len() => {}
+        match seen_rowsets.get(&e.rows) {
+            Some(&prev)
+                if idx_anchor
+                    .dict
+                    .byte_len(idx_anchor.entries[prev as usize].pattern)
+                    >= idx_anchor.dict.byte_len(e.pattern) => {}
             _ => {
                 seen_rowsets.insert(&e.rows, ei as u32);
             }
@@ -386,8 +378,7 @@ fn check_dependency(
         let entry = &idx_anchor.entries[ei as usize];
         tested += 1;
         expand(
-            indexes,
-            config,
+            ctx,
             rhs_cap,
             idx_b,
             rest,
@@ -423,17 +414,17 @@ fn check_dependency(
     accepted.sort_by_key(|r| std::cmp::Reverse(r.rows.len()));
     let mut kept: Vec<AcceptedRow> = Vec::new();
     for row in accepted {
-        if !kept.iter().any(|k| is_subset(&row.rows, &k.rows)) {
+        if !kept.iter().any(|k| row.rows.is_subset(&k.rows)) {
             kept.push(row);
         }
     }
     let accepted = kept;
 
     // Coverage (restriction ii).
-    let covered: BTreeSet<RowId> = accepted
-        .iter()
-        .flat_map(|r| r.rows.iter().copied())
-        .collect();
+    let mut covered = RowSetAccumulator::new(n_total);
+    for r in &accepted {
+        covered.insert_all(&r.rows);
+    }
     if covered.len() < config.required_coverage(n_total) {
         return (None, tested);
     }
@@ -453,13 +444,8 @@ fn check_dependency(
                 .map(|(ei, attr)| (*attr, *ei))
                 .expect("every LHS attr has an entry");
             let idx = &indexes[&attr];
-            match cell_for_entry(
-                rel,
-                attr,
-                idx.extraction,
-                &idx.entries[ei as usize],
-                &row.rows,
-            ) {
+            let entry = &idx.entries[ei as usize];
+            match cell_for_entry(rel, attr, idx.extraction, resolved(idx, entry), &row.rows) {
                 Some(cell) => lhs_cells.push(cell),
                 None => {
                     ok = false;
@@ -471,8 +457,14 @@ fn check_dependency(
             continue;
         }
         let rhs_entry = &idx_b.entries[row.rhs_entry as usize];
-        let rhs_rows = intersect(&row.rows, &rhs_entry.rows);
-        let Some(rhs_cell) = cell_for_entry(rel, b, idx_b.extraction, rhs_entry, &rhs_rows) else {
+        let rhs_rows = row.rows.intersect(&rhs_entry.rows);
+        let Some(rhs_cell) = cell_for_entry(
+            rel,
+            b,
+            idx_b.extraction,
+            resolved(idx_b, rhs_entry),
+            &rhs_rows,
+        ) else {
             continue;
         };
         tableau.push(TableauRow::new(lhs_cells, vec![rhs_cell]));
@@ -489,12 +481,12 @@ fn check_dependency(
     // §4.3 Generalize: replace the constants with a variable PFD when the
     // general form holds with few violations.
     if config.generalize {
-        if let Some(variable) = try_generalize(rel, indexes, x, b, &accepted, &x_sorted, config) {
+        if let Some((variable, coverage)) = try_generalize(ctx, x, b, &accepted, &x_sorted) {
             return (
                 Some(DiscoveredDependency {
                     lhs: x.to_vec(),
                     rhs: b,
-                    coverage: coverage_of(rel, &variable),
+                    coverage,
                     pfd: variable,
                     kind: DependencyKind::Variable,
                     constant_rows,
@@ -521,17 +513,17 @@ fn check_dependency(
 /// (the Example 8 sub-table walk), ending with the RHS decision.
 #[allow(clippy::too_many_arguments)]
 fn expand(
-    indexes: &BTreeMap<AttrId, AttrIndex>,
-    config: &DiscoveryConfig,
+    ctx: &Ctx<'_>,
     rhs_cap: usize,
     idx_b: &AttrIndex,
     rest: &[AttrId],
     chosen: Vec<(AttrId, u32)>,
-    rows: Vec<RowId>,
+    rows: PostingList,
     anchor_pos: u32,
     accepted: &mut Vec<AcceptedRow>,
     tested: &mut usize,
 ) {
+    let config = ctx.config;
     if rows.len() < config.min_support {
         return;
     }
@@ -553,7 +545,7 @@ fn expand(
                 })
                 .max_by_key(|(ei, count)| {
                     let e = &idx_b.entries[*ei as usize];
-                    (e.pattern.chars().count(), *count, std::cmp::Reverse(*ei))
+                    (e.chars, *count, std::cmp::Reverse(*ei))
                 });
             if let Some(&(rhs_entry, _)) = best {
                 accepted.push(AcceptedRow {
@@ -565,42 +557,41 @@ fn expand(
             }
         }
         Some((next, tail)) => {
-            let idx_next = &indexes[next];
+            let idx_next = &ctx.indexes[next];
             for (ei, _count) in frequent_within(idx_next, &rows, config.min_support) {
                 *tested += 1;
-                let joint = intersect(&rows, &idx_next.entries[ei as usize].rows);
+                let joint = rows.intersect(&idx_next.entries[ei as usize].rows);
                 let mut chosen = chosen.clone();
                 chosen.push((*next, ei));
                 expand(
-                    indexes, config, rhs_cap, idx_b, tail, chosen, joint, anchor_pos, accepted,
-                    tested,
+                    ctx, rhs_cap, idx_b, tail, chosen, joint, anchor_pos, accepted, tested,
                 );
             }
         }
     }
 }
 
-/// Rows matched by some tableau row's LHS.
-fn coverage_of(rel: &Relation, pfd: &Pfd) -> usize {
-    pfd.coverage(rel)
-}
-
-/// Try to promote the accepted constant rows to a variable PFD.
+/// Try to promote the accepted constant rows to a variable PFD. Returns the
+/// PFD and its coverage.
 fn try_generalize(
-    rel: &Relation,
-    indexes: &BTreeMap<AttrId, AttrIndex>,
+    ctx: &Ctx<'_>,
     x: &[AttrId],
     b: AttrId,
     accepted: &[AcceptedRow],
     x_sorted: &[AttrId],
-    config: &DiscoveryConfig,
-) -> Option<Pfd> {
+) -> Option<(Pfd, usize)> {
+    let Ctx {
+        rel,
+        indexes,
+        config,
+        ..
+    } = *ctx;
     // Per LHS attribute, the accepted entries.
     let mut lhs_cells: Vec<TableauCell> = Vec::with_capacity(x.len());
     for a in x {
         let pos_in_sorted = x_sorted.iter().position(|s| s == a)?;
         let idx = &indexes[a];
-        let mut entries: Vec<&crate::index::IndexEntry> = accepted
+        let mut entries: Vec<&IndexEntry> = accepted
             .iter()
             .map(|r| &idx.entries[r.lhs_entries[pos_in_sorted] as usize])
             .collect();
@@ -609,26 +600,34 @@ fn try_generalize(
         // mixed lengths widens `\D{3}` into `\D+`, whose greedy extraction
         // keys on all-but-one character — a vacuous constraint on
         // near-unique values. Keep the dominant fragment length only.
-        if idx.extraction == pfd_relation::Extraction::NGrams {
+        if idx.extraction == Extraction::NGrams {
             let mut by_len: BTreeMap<usize, usize> = BTreeMap::new();
             for e in &entries {
-                *by_len.entry(e.pattern.chars().count()).or_insert(0) += e.rows.len();
+                *by_len.entry(e.chars as usize).or_insert(0) += e.rows.len();
             }
             let (&dominant, _) = by_len
                 .iter()
                 .max_by_key(|(len, support)| (**support, std::cmp::Reverse(**len)))?;
-            entries.retain(|e| e.pattern.chars().count() == dominant);
+            entries.retain(|e| e.chars as usize == dominant);
         }
-        lhs_cells.push(generalized_cell(rel, *a, idx.extraction, &entries)?);
+        let resolved_entries: Vec<ResolvedEntry<'_>> =
+            entries.iter().map(|e| resolved(idx, e)).collect();
+        lhs_cells.push(generalized_cell(
+            rel,
+            *a,
+            idx.extraction,
+            &resolved_entries,
+        )?);
     }
-    let row = TableauRow::new(lhs_cells.clone(), vec![TableauCell::Wildcard]);
+    let row = TableauRow::new(lhs_cells, vec![TableauCell::Wildcard]);
     let pfd = Pfd::new(rel.schema().relation(), x.to_vec(), vec![b], vec![row]).ok()?;
 
     // Verify on the whole relation ("applied on all the values of the
     // attribute even those in which the pattern frequency is less than the
-    // minimum support").
-    let coverage = pfd.coverage(rel);
-    if coverage < config.required_coverage(rel.num_rows()) {
+    // minimum support"). One audit pass yields the coverage, the pairing
+    // count and the suspect rows that previously took three scans.
+    let audit = pfd.audit(rel);
+    if audit.coverage < config.required_coverage(rel.num_rows()) {
         return None;
     }
 
@@ -636,32 +635,15 @@ fn try_generalize(
     // generalized LHS keys are (nearly) unique, the pair semantics never
     // fires and the constants are strictly more useful. Require at least
     // `min_support` rows to share their key with another row.
-    let mut key_counts: BTreeMap<Vec<String>, usize> = BTreeMap::new();
-    for (rid, _) in rel.iter_rows() {
-        let key: Option<Vec<String>> = x
-            .iter()
-            .zip(&lhs_cells)
-            .map(|(a, cell)| cell.key(rel.cell(rid, *a)).map(str::to_string))
-            .collect();
-        if let Some(key) = key {
-            *key_counts.entry(key).or_insert(0) += 1;
-        }
-    }
-    let paired_rows: usize = key_counts.values().filter(|c| **c >= 2).sum();
-    if paired_rows < config.min_support {
+    if audit.paired_rows < config.min_support {
         return None;
     }
 
-    let violations = pfd.violations(rel);
     // Count only the *suspect* rows (the offending side of each violation),
     // not the majority representatives they are paired with.
-    let violating_rows: BTreeSet<RowId> = violations
-        .iter()
-        .map(|v| *v.rows().last().expect("violations carry rows"))
-        .collect();
-    let allowed = ((coverage as f64) * config.noise_ratio).floor() as usize;
-    if violating_rows.len() <= allowed {
-        Some(pfd)
+    let allowed = ((audit.coverage as f64) * config.noise_ratio).floor() as usize;
+    if audit.suspect_rows.len() <= allowed {
+        Some((pfd, audit.coverage))
     } else {
         None
     }
@@ -986,6 +968,10 @@ mod tests {
         assert!(result.stats.candidate_attrs >= 3);
         assert!(result.stats.index_entries > 0);
         assert!(result.stats.candidates_checked > 0);
+        // The phase breakdown nests inside the total.
+        let phases = result.stats.profile_time + result.stats.index_time + result.stats.check_time;
+        assert!(phases <= result.stats.elapsed);
+        assert!(result.stats.check_time > Duration::ZERO);
     }
 
     #[test]
@@ -994,13 +980,5 @@ mod tests {
         let combos = combinations(&pool, 2);
         assert_eq!(combos.len(), 3);
         assert!(combos.contains(&vec![AttrId(0), AttrId(2)]));
-    }
-
-    #[test]
-    fn intersect_and_subset_helpers() {
-        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 5, 9]), vec![3, 5]);
-        assert!(is_subset(&[3, 5], &[1, 3, 5, 7]));
-        assert!(!is_subset(&[3, 6], &[1, 3, 5, 7]));
-        assert!(is_subset(&[], &[1]));
     }
 }

@@ -6,36 +6,86 @@
 //! zip entry `('900', 0)` over rows `{90001, 90002}` yields `[900]\D{2}`,
 //! and token entry `('Donald', run 2)` over `Holloway, Donald E.` yields
 //! `\LU\LL*,\ [Donald]\ \LU.` — the Table 3 shape.
+//!
+//! Callers resolve interned [`crate::index::IndexEntry`] patterns to
+//! strings first ([`ResolvedEntry`]): cell assembly is the only place the
+//! discovery pipeline needs fragment text back.
 
-use crate::extract::{context_of, runs};
-use crate::index::IndexEntry;
+use crate::extract::for_each_run;
+use crate::postings::PostingList;
 use pfd_core::TableauCell;
 use pfd_pattern::{infer_pattern, ConstrainedPattern, Pattern};
 use pfd_relation::{AttrId, Extraction, Relation, RowId};
 
-/// Locate `entry`'s fragment inside one row's value: returns the char start.
-fn occurrence_start(value: &str, entry: &IndexEntry, extraction: Extraction) -> Option<u32> {
-    match extraction {
-        Extraction::NGrams => {
-            // Position is the char offset by construction; verify the
-            // fragment is still there (defensive for mutated relations).
-            let frag_chars = entry.pattern.chars().count();
-            let bounds: Vec<usize> = value
-                .char_indices()
-                .map(|(b, _)| b)
-                .chain(std::iter::once(value.len()))
-                .collect();
-            let start = entry.pos as usize;
-            let end = start + frag_chars;
-            if end >= bounds.len() {
-                return None;
-            }
-            (value[bounds[start]..bounds[end]] == entry.pattern).then_some(entry.pos)
+/// An index entry with its pattern resolved out of the fragment dictionary.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedEntry<'a> {
+    /// The fragment text.
+    pub pattern: &'a str,
+    /// Run index (tokenize) or character offset (n-grams).
+    pub pos: u32,
+    /// The rows containing the fragment at this position.
+    pub rows: &'a PostingList,
+}
+
+/// Locate `pattern` at char offset `pos` in `value` (n-gram semantics) and
+/// return the surrounding `(prefix, suffix)`. One pass, no allocation.
+fn ngram_context<'v>(value: &'v str, pattern: &str, pos: u32) -> Option<(&'v str, &'v str)> {
+    if value.is_ascii() && pattern.is_ascii() {
+        let start = pos as usize;
+        let end = start + pattern.len();
+        if end > value.len() || &value[start..end] != pattern {
+            return None;
         }
-        Extraction::Tokenize => runs(value)
-            .into_iter()
-            .find(|r| r.run_idx == entry.pos && !r.is_separator && r.text == entry.pattern)
-            .map(|r| r.char_start),
+        return Some((&value[..start], &value[end..]));
+    }
+    let frag_chars = pattern.chars().count();
+    let start_char = pos as usize;
+    let mut start_byte = None;
+    let mut end_byte = None;
+    for (char_idx, (byte_idx, _)) in value.char_indices().enumerate() {
+        if char_idx == start_char {
+            start_byte = Some(byte_idx);
+        }
+        if char_idx == start_char + frag_chars {
+            end_byte = Some(byte_idx);
+            break;
+        }
+    }
+    if end_byte.is_none() && value.chars().count() == start_char + frag_chars {
+        end_byte = Some(value.len());
+    }
+    let (start, end) = (start_byte?, end_byte?);
+    (&value[start..end] == pattern).then_some((&value[..start], &value[end..]))
+}
+
+/// Locate `pattern` as the token run `pos` of `value` and return the
+/// surrounding `(prefix, suffix)`. One pass over the runs, no allocation.
+fn token_context<'v>(value: &'v str, pattern: &str, pos: u32) -> Option<(&'v str, &'v str)> {
+    let mut found = None;
+    for_each_run(value, |r| {
+        if r.run_idx == pos && !r.is_separator && r.text == pattern {
+            // Byte offset of the run within the value, via pointer distance.
+            let off = r.text.as_ptr() as usize - value.as_ptr() as usize;
+            found = Some((off, off + r.text.len()));
+        }
+    });
+    let (start, end) = found?;
+    Some((&value[..start], &value[end..]))
+}
+
+/// The `(prefix, suffix)` around one occurrence, or `None` when the
+/// fragment cannot be located in the value (should not happen for rows
+/// taken from the index; defensive for mutated relations).
+fn occurrence_context<'v>(
+    value: &'v str,
+    pattern: &str,
+    pos: u32,
+    extraction: Extraction,
+) -> Option<(&'v str, &'v str)> {
+    match extraction {
+        Extraction::NGrams => ngram_context(value, pattern, pos),
+        Extraction::Tokenize => token_context(value, pattern, pos),
     }
 }
 
@@ -50,23 +100,20 @@ fn context_pattern(contexts: &[&str]) -> Pattern {
 }
 
 /// Build the constant constrained-pattern cell for an index entry over the
-/// given rows (usually `entry.rows`, or a subset for multi-LHS joins).
-///
-/// Returns `None` when the fragment cannot be located in some row (should
-/// not happen for rows taken from the index).
+/// given rows (usually the entry's own rows, or a subset for multi-LHS
+/// joins).
 pub fn cell_for_entry(
     rel: &Relation,
     attr: AttrId,
     extraction: Extraction,
-    entry: &IndexEntry,
-    rows: &[RowId],
+    entry: ResolvedEntry<'_>,
+    rows: &PostingList,
 ) -> Option<TableauCell> {
     let mut prefixes: Vec<&str> = Vec::with_capacity(rows.len());
     let mut suffixes: Vec<&str> = Vec::with_capacity(rows.len());
-    for &rid in rows {
-        let value = rel.cell(rid, attr);
-        let start = occurrence_start(value, entry, extraction)?;
-        let (pre, post) = context_of(value, &entry.pattern, start);
+    for rid in rows.iter() {
+        let value = rel.cell(rid as RowId, attr);
+        let (pre, post) = occurrence_context(value, entry.pattern, entry.pos, extraction)?;
         prefixes.push(pre);
         suffixes.push(post);
     }
@@ -74,7 +121,7 @@ pub fn cell_for_entry(
     let post = context_pattern(&suffixes);
     Some(TableauCell::Pattern(ConstrainedPattern::new(
         pre,
-        Pattern::constant(&entry.pattern),
+        Pattern::constant(entry.pattern),
         post,
     )))
 }
@@ -89,17 +136,16 @@ pub fn generalized_cell(
     rel: &Relation,
     attr: AttrId,
     extraction: Extraction,
-    entries: &[&IndexEntry],
+    entries: &[ResolvedEntry<'_>],
 ) -> Option<TableauCell> {
     let mut fragments: Vec<&str> = Vec::new();
     let mut prefixes: Vec<&str> = Vec::new();
     let mut suffixes: Vec<&str> = Vec::new();
     for entry in entries {
-        fragments.push(&entry.pattern);
-        for &rid in &entry.rows {
-            let value = rel.cell(rid, attr);
-            let start = occurrence_start(value, entry, extraction)?;
-            let (pre, post) = context_of(value, &entry.pattern, start);
+        fragments.push(entry.pattern);
+        for rid in entry.rows.iter() {
+            let value = rel.cell(rid as RowId, attr);
+            let (pre, post) = occurrence_context(value, entry.pattern, entry.pos, extraction)?;
             prefixes.push(pre);
             suffixes.push(post);
         }
@@ -128,11 +174,28 @@ mod tests {
         (r, a)
     }
 
-    fn entry(pattern: &str, pos: u32, rows: &[RowId]) -> IndexEntry {
-        IndexEntry {
+    struct OwnedEntry {
+        pattern: String,
+        pos: u32,
+        rows: PostingList,
+    }
+
+    impl OwnedEntry {
+        fn resolved(&self) -> ResolvedEntry<'_> {
+            ResolvedEntry {
+                pattern: &self.pattern,
+                pos: self.pos,
+                rows: &self.rows,
+            }
+        }
+    }
+
+    fn entry(pattern: &str, pos: u32, rows: &[u32]) -> OwnedEntry {
+        let universe = rows.iter().map(|&r| r as usize + 1).max().unwrap_or(0);
+        OwnedEntry {
             pattern: pattern.to_string(),
             pos,
-            rows: rows.to_vec(),
+            rows: PostingList::from_sorted(rows.to_vec(), universe),
         }
     }
 
@@ -140,7 +203,7 @@ mod tests {
     fn zip_prefix_cell_matches_paper_lambda3() {
         let (r, a) = rel("zip", &["90001", "90002", "90099"]);
         let e = entry("900", 0, &[0, 1, 2]);
-        let cell = cell_for_entry(&r, a, Extraction::NGrams, &e, &e.rows).unwrap();
+        let cell = cell_for_entry(&r, a, Extraction::NGrams, e.resolved(), &e.rows).unwrap();
         assert_eq!(cell.to_string(), r"[900]\D{2}");
         assert!(cell.matches("90055"));
         assert!(!cell.matches("91001"));
@@ -151,7 +214,7 @@ mod tests {
     fn first_name_token_cell() {
         let (r, a) = rel("name", &["Susan Boyle", "Susan Orlean"]);
         let e = entry("Susan", 0, &[0, 1]);
-        let cell = cell_for_entry(&r, a, Extraction::Tokenize, &e, &e.rows).unwrap();
+        let cell = cell_for_entry(&r, a, Extraction::Tokenize, e.resolved(), &e.rows).unwrap();
         // pre ε, q = Susan, post = inferred over {" Boyle", " Orlean"}.
         assert!(cell.matches("Susan Boyle"));
         assert!(cell.matches("Susan Smith"));
@@ -171,7 +234,7 @@ mod tests {
             ],
         );
         let e = entry("Donald", 2, &[0, 1, 2]);
-        let cell = cell_for_entry(&r, a, Extraction::Tokenize, &e, &e.rows).unwrap();
+        let cell = cell_for_entry(&r, a, Extraction::Tokenize, e.resolved(), &e.rows).unwrap();
         assert!(cell.matches("Kimbell, Donald X."));
         assert!(!cell.matches("Kimbell, David X."));
         assert_eq!(cell.key("Kimbell, Donald X."), Some("Donald"));
@@ -181,7 +244,7 @@ mod tests {
     fn full_value_cell_has_empty_contexts() {
         let (r, a) = rel("gender", &["M", "M"]);
         let e = entry("M", 0, &[0, 1]);
-        let cell = cell_for_entry(&r, a, Extraction::NGrams, &e, &e.rows).unwrap();
+        let cell = cell_for_entry(&r, a, Extraction::NGrams, e.resolved(), &e.rows).unwrap();
         assert_eq!(cell.to_string(), "M");
         assert_eq!(cell.constant_value().as_deref(), Some("M"));
     }
@@ -191,7 +254,8 @@ mod tests {
         let (r, a) = rel("zip", &["90001", "90002", "60601", "60602"]);
         let e1 = entry("900", 0, &[0, 1]);
         let e2 = entry("606", 0, &[2, 3]);
-        let cell = generalized_cell(&r, a, Extraction::NGrams, &[&e1, &e2]).unwrap();
+        let cell =
+            generalized_cell(&r, a, Extraction::NGrams, &[e1.resolved(), e2.resolved()]).unwrap();
         // λ5: [\D{3}]\D{2}.
         assert_eq!(cell.to_string(), r"[\D{3}]\D{2}");
         assert!(cell.equivalent("90001", "90099"));
@@ -212,7 +276,13 @@ mod tests {
         let e1 = entry("Tayseer", 0, &[0, 1]);
         let e2 = entry("Noor", 0, &[2]);
         let e3 = entry("Esmat", 0, &[3]);
-        let cell = generalized_cell(&r, a, Extraction::Tokenize, &[&e1, &e2, &e3]).unwrap();
+        let cell = generalized_cell(
+            &r,
+            a,
+            Extraction::Tokenize,
+            &[e1.resolved(), e2.resolved(), e3.resolved()],
+        )
+        .unwrap();
         // The paper's λ: first token \LU\LL* … constrained.
         assert!(cell.matches("Tayseer Salem"));
         assert!(cell.equivalent("Tayseer Fahmi", "Tayseer Qasem"));
@@ -226,7 +296,8 @@ mod tests {
         let (r, a) = rel("country", &["Egypt", "Yemen"]);
         let e1 = entry("Egypt", 0, &[0]);
         let e2 = entry("Yemen", 0, &[1]);
-        let cell = generalized_cell(&r, a, Extraction::NGrams, &[&e1, &e2]).unwrap();
+        let cell =
+            generalized_cell(&r, a, Extraction::NGrams, &[e1.resolved(), e2.resolved()]).unwrap();
         assert!(cell.is_wildcard());
     }
 
@@ -234,15 +305,28 @@ mod tests {
     fn missing_occurrence_returns_none() {
         let (r, a) = rel("zip", &["90001"]);
         let e = entry("999", 0, &[0]);
-        assert!(cell_for_entry(&r, a, Extraction::NGrams, &e, &[0]).is_none());
+        assert!(cell_for_entry(&r, a, Extraction::NGrams, e.resolved(), &e.rows).is_none());
     }
 
     #[test]
     fn ngram_occurrence_at_value_end() {
         let (r, a) = rel("zip", &["90001", "91001"]);
         let e = entry("001", 2, &[0, 1]);
-        let cell = cell_for_entry(&r, a, Extraction::NGrams, &e, &e.rows).unwrap();
+        let cell = cell_for_entry(&r, a, Extraction::NGrams, e.resolved(), &e.rows).unwrap();
         assert!(cell.matches("92001"));
         assert_eq!(cell.key("92001"), Some("001"));
+    }
+
+    #[test]
+    fn unicode_contexts() {
+        let (r, a) = rel("name", &["Éric Blanc", "Éric Noir"]);
+        let e = entry("Éric", 0, &[0, 1]);
+        let cell = cell_for_entry(&r, a, Extraction::Tokenize, e.resolved(), &e.rows).unwrap();
+        assert!(cell.matches("Éric Vert"));
+        assert_eq!(cell.key("Éric Vert"), Some("Éric"));
+        // Non-ASCII n-gram location agrees with the char-offset semantics.
+        assert_eq!(ngram_context("Éric", "ric", 1), Some(("É", "")));
+        assert_eq!(ngram_context("Éric", "Éri", 0), Some(("", "c")));
+        assert_eq!(ngram_context("Éric", "xyz", 0), None);
     }
 }

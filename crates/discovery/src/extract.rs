@@ -24,11 +24,12 @@ fn is_separator_char(c: char) -> bool {
     !c.is_alphanumeric() && !matches!(c, '\'' | '’')
 }
 
-/// Split a value into runs.
-pub fn runs(value: &str) -> Vec<Run<'_>> {
-    let mut out = Vec::new();
+/// Stream the runs of a value to `f` without materializing a vector — the
+/// index-construction hot path visits every cell this way.
+pub fn for_each_run<'v>(value: &'v str, mut f: impl FnMut(Run<'v>)) {
     let mut run_start_byte = 0usize;
     let mut run_start_char = 0u32;
+    let mut run_idx = 0u32;
     let mut current_is_sep: Option<bool> = None;
 
     for (char_idx, (byte_idx, c)) in value.char_indices().enumerate() {
@@ -37,12 +38,13 @@ pub fn runs(value: &str) -> Vec<Run<'_>> {
             None => current_is_sep = Some(sep),
             Some(prev) if prev == sep => {}
             Some(prev) => {
-                out.push(Run {
+                f(Run {
                     text: &value[run_start_byte..byte_idx],
                     is_separator: prev,
-                    run_idx: out.len() as u32,
+                    run_idx,
                     char_start: run_start_char,
                 });
+                run_idx += 1;
                 run_start_byte = byte_idx;
                 run_start_char = char_idx as u32;
                 current_is_sep = Some(sep);
@@ -50,23 +52,36 @@ pub fn runs(value: &str) -> Vec<Run<'_>> {
         }
     }
     if let Some(prev) = current_is_sep {
-        out.push(Run {
+        f(Run {
             text: &value[run_start_byte..],
             is_separator: prev,
-            run_idx: out.len() as u32,
+            run_idx,
             char_start: run_start_char,
         });
     }
+}
+
+/// Split a value into runs.
+pub fn runs(value: &str) -> Vec<Run<'_>> {
+    let mut out = Vec::new();
+    for_each_run(value, |r| out.push(r));
     out
+}
+
+/// Stream the token runs of a value as `(token, run index)` pairs.
+pub fn tokens_for_each<'v>(value: &'v str, mut f: impl FnMut(&'v str, u32)) {
+    for_each_run(value, |r| {
+        if !r.is_separator {
+            f(r.text, r.run_idx);
+        }
+    });
 }
 
 /// The token runs of a value: `(token, run index)` pairs.
 pub fn tokens(value: &str) -> Vec<(&str, u32)> {
-    runs(value)
-        .into_iter()
-        .filter(|r| !r.is_separator)
-        .map(|r| (r.text, r.run_idx))
-        .collect()
+    let mut out = Vec::new();
+    tokens_for_each(value, |t, i| out.push((t, i)));
+    out
 }
 
 /// Values longer than this enumerate only prefix/suffix grams plus the full
@@ -76,15 +91,33 @@ pub fn tokens(value: &str) -> Vec<(&str, u32)> {
 /// mid-anchored patterns live in separator-bearing columns, which tokenize).
 pub const FULL_NGRAM_LEN: usize = 12;
 
-/// All n-grams of a value with their character start positions.
+/// Stream all n-grams of a value with their character start positions.
 ///
 /// Values of up to [`FULL_NGRAM_LEN`] characters yield every substring
 /// (`L(L+1)/2` of them); longer values yield prefixes, suffixes and the full
-/// value only.
-pub fn ngrams(value: &str) -> Vec<(&str, u32)> {
-    let char_count = value.chars().count();
-    if char_count == 0 {
-        return Vec::new();
+/// value only. ASCII values (the common case for code-like columns) skip
+/// the char-boundary table entirely.
+pub fn ngrams_for_each<'v>(value: &'v str, mut f: impl FnMut(&'v str, u32)) {
+    if value.is_empty() {
+        return;
+    }
+    if value.is_ascii() {
+        let n = value.len();
+        if n <= FULL_NGRAM_LEN {
+            for i in 0..n {
+                for j in (i + 1)..=n {
+                    f(&value[i..j], i as u32);
+                }
+            }
+        } else {
+            for j in 1..=n {
+                f(&value[..j], 0);
+            }
+            for i in 1..n {
+                f(&value[i..], i as u32);
+            }
+        }
+        return;
     }
     // Byte offsets of char boundaries.
     let bounds: Vec<usize> = value
@@ -92,37 +125,30 @@ pub fn ngrams(value: &str) -> Vec<(&str, u32)> {
         .map(|(b, _)| b)
         .chain(std::iter::once(value.len()))
         .collect();
-    let mut out = Vec::new();
+    let char_count = bounds.len() - 1;
     if char_count <= FULL_NGRAM_LEN {
         for i in 0..char_count {
             for j in (i + 1)..=char_count {
-                out.push((&value[bounds[i]..bounds[j]], i as u32));
+                f(&value[bounds[i]..bounds[j]], i as u32);
             }
         }
     } else {
         // Prefixes.
         for j in 1..=char_count {
-            out.push((&value[..bounds[j]], 0));
+            f(&value[..bounds[j]], 0);
         }
         // Suffixes (the full value is already in the prefixes).
         for i in 1..char_count {
-            out.push((&value[bounds[i]..], i as u32));
+            f(&value[bounds[i]..], i as u32);
         }
     }
-    out
 }
 
-/// The `(prefix, suffix)` around a token run or n-gram occurrence, needed to
-/// build the constrained pattern `pre [q] post` for an index entry.
-pub fn context_of<'v>(value: &'v str, fragment: &str, char_start: u32) -> (&'v str, &'v str) {
-    let bounds: Vec<usize> = value
-        .char_indices()
-        .map(|(b, _)| b)
-        .chain(std::iter::once(value.len()))
-        .collect();
-    let start = char_start as usize;
-    let end = start + fragment.chars().count();
-    (&value[..bounds[start]], &value[bounds[end]..])
+/// All n-grams of a value with their character start positions.
+pub fn ngrams(value: &str) -> Vec<(&str, u32)> {
+    let mut out = Vec::new();
+    ngrams_for_each(value, |g, i| out.push((g, i)));
+    out
 }
 
 #[cfg(test)]
@@ -215,21 +241,5 @@ mod tests {
         assert!(gs.contains(&("nop", 13)));
         assert!(gs.contains(&(v, 0)));
         assert!(!gs.contains(&("cde", 2)), "no mid-grams for long values");
-    }
-
-    #[test]
-    fn context_extraction() {
-        assert_eq!(context_of("90001", "900", 0), ("", "01"));
-        assert_eq!(context_of("Susan Boyle", "Susan", 0), ("", " Boyle"));
-        assert_eq!(
-            context_of("Holloway, Donald E.", "Donald", 10),
-            ("Holloway, ", " E.")
-        );
-    }
-
-    #[test]
-    fn context_with_unicode() {
-        assert_eq!(context_of("Éric Blanc", "Éric", 0), ("", " Blanc"));
-        assert_eq!(context_of("Éric Blanc", "Blanc", 5), ("Éric ", ""));
     }
 }

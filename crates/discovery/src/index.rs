@@ -1,26 +1,123 @@
 //! The positional inverted index (Fig. 4 lines 5–12, §5.4).
 //!
-//! Per attribute, a hash-based inverted list maps `(pattern, position)` to
-//! the row ids containing that pattern at that position; a second index maps
-//! each row back to its entries ("allows for fast retrieval of the patterns
-//! and hence a shorter running time", §5.4). **Substring pruning** (§4.4)
-//! drops entries that are substrings of another entry with the same row set,
+//! Per attribute, an inverted list maps `(pattern, position)` to the row
+//! ids containing that pattern at that position; a second index maps each
+//! row back to its entries ("allows for fast retrieval of the patterns and
+//! hence a shorter running time", §5.4). **Substring pruning** (§4.4) drops
+//! entries that are substrings of another entry with the same row set,
 //! keeping the most specific — e.g. `('Egy', 0)` collapses into
 //! `('Egypt', 0)` in the paper's Example 8.
+//!
+//! ## Representation
+//!
+//! Fragments are **interned** into a per-attribute [`FragmentDict`]: one
+//! arena-backed copy per distinct fragment, a [`Symbol`] (`u32`) everywhere
+//! else. Construction therefore performs zero heap allocations per fragment
+//! *occurrence* — the map key is a packed `(symbol, position)` `u64`, and
+//! strings are only resolved again at tableau-assembly time. Row sets are
+//! [`PostingList`]s (sorted runs or bitsets, see [`crate::postings`]), and
+//! the row → entries reverse index is a flat CSR layout instead of one
+//! `Vec` per row.
 
-use crate::extract::{ngrams, tokens};
+use crate::extract::{ngrams_for_each, tokens_for_each};
+use crate::fxhash::{fx_hash_str, FxHashMap};
+use crate::postings::PostingList;
 use pfd_relation::{AttrId, Extraction, Relation, RowId};
-use std::collections::HashMap;
+
+/// An interned fragment: index into the owning [`FragmentDict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw dictionary index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Arena-backed string interner for the fragments of one attribute.
+///
+/// All distinct fragments live concatenated in one `String`; a symbol is an
+/// index into the span table. Lookup hashes the candidate and probes a
+/// hash → symbols bucket map, so interning an already-seen fragment (the
+/// overwhelmingly common case: every row of a column repeats the column's
+/// shared patterns) allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct FragmentDict {
+    arena: String,
+    spans: Vec<(u32, u32)>,
+    /// Digest → (first symbol, overflow symbols). The overflow vector stays
+    /// unallocated for the (near-universal) collision-free buckets.
+    buckets: FxHashMap<u64, (u32, Vec<u32>)>,
+}
+
+impl FragmentDict {
+    /// Intern `s`, returning its symbol. Allocates only on first sight.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        let h = fx_hash_str(s);
+        if let Some((first, overflow)) = self.buckets.get(&h) {
+            let first = *first;
+            if self.span_str(first) == s {
+                return Symbol(first);
+            }
+            for &id in overflow {
+                if self.span_str(id) == s {
+                    return Symbol(id);
+                }
+            }
+        }
+        let start = self.arena.len() as u32;
+        self.arena.push_str(s);
+        let id = self.spans.len() as u32;
+        self.spans.push((start, s.len() as u32));
+        match self.buckets.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().1.push(id),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((id, Vec::new()));
+            }
+        }
+        Symbol(id)
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.span_str(sym.0)
+    }
+
+    /// Byte length of a symbol's string, without touching the arena bytes.
+    pub fn byte_len(&self, sym: Symbol) -> usize {
+        self.spans[sym.0 as usize].1 as usize
+    }
+
+    /// Number of distinct interned fragments.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn span_str(&self, id: u32) -> &str {
+        let (start, len) = self.spans[id as usize];
+        &self.arena[start as usize..(start + len) as usize]
+    }
+}
 
 /// One index entry: a pattern occurrence shared by a set of rows.
 #[derive(Debug, Clone)]
 pub struct IndexEntry {
-    /// The shared fragment (token or n-gram).
-    pub pattern: String,
+    /// The shared fragment (token or n-gram), interned in the attribute's
+    /// [`FragmentDict`].
+    pub pattern: Symbol,
+    /// Character count of the fragment (cached: the decision function ranks
+    /// by specificity on every probe).
+    pub chars: u32,
     /// Run index (tokenize) or character offset (n-grams).
     pub pos: u32,
-    /// Sorted, deduplicated row ids.
-    pub rows: Vec<RowId>,
+    /// The rows containing the fragment at this position.
+    pub rows: PostingList,
 }
 
 impl IndexEntry {
@@ -37,10 +134,36 @@ pub struct AttrIndex {
     pub attr: AttrId,
     /// How fragments were extracted.
     pub extraction: Extraction,
+    /// The fragment dictionary entries resolve against.
+    pub dict: FragmentDict,
     /// The pruned entry list, ordered by support.
     pub entries: Vec<IndexEntry>,
-    /// Row → indices into `entries` (the §5.4 second index).
-    pub row_entries: Vec<Vec<u32>>,
+    /// CSR offsets: entries of row `r` live at `row_data[row_offsets[r]..row_offsets[r+1]]`.
+    row_offsets: Vec<u32>,
+    /// CSR payload: entry indices, ascending within each row.
+    row_data: Vec<u32>,
+    /// Largest entry support (anchor ordering uses it on every candidate).
+    pub max_support: usize,
+}
+
+impl AttrIndex {
+    /// The fragment string of an entry.
+    pub fn pattern_str(&self, entry: &IndexEntry) -> &str {
+        self.dict.resolve(entry.pattern)
+    }
+
+    /// Entry indices (into [`AttrIndex::entries`]) whose row set contains
+    /// `rid`, ascending — the §5.4 second index.
+    pub fn entries_of_row(&self, rid: RowId) -> &[u32] {
+        let lo = self.row_offsets[rid] as usize;
+        let hi = self.row_offsets[rid + 1] as usize;
+        &self.row_data[lo..hi]
+    }
+
+    /// Number of rows the reverse index covers.
+    pub fn num_rows(&self) -> usize {
+        self.row_offsets.len().saturating_sub(1)
+    }
 }
 
 /// Index construction options (ablation switches of DESIGN.md §7).
@@ -65,78 +188,132 @@ pub fn build_index(
     extraction: Extraction,
     options: &IndexOptions,
 ) -> AttrIndex {
-    let mut map: HashMap<(String, u32), Vec<RowId>> = HashMap::new();
+    let num_rows = rel.num_rows();
+    let mut dict = FragmentDict::default();
+    // Occurrence table addressed by symbol: one hash (the intern) per
+    // fragment occurrence, then a short linear scan over that fragment's
+    // known positions. No per-occurrence string allocation and no second
+    // hash lookup — the layouts the old `(String, pos)`-keyed map paid for
+    // on every fragment of every row.
+    let mut per_sym: Vec<Vec<(u32, Vec<u32>)>> = Vec::new();
     for (rid, _) in rel.iter_rows() {
         let value = rel.cell(rid, attr);
-        let fragments: Vec<(&str, u32)> = match extraction {
-            Extraction::Tokenize => tokens(value),
-            Extraction::NGrams => ngrams(value),
-        };
-        for (frag, pos) in fragments {
-            let rows = map.entry((frag.to_string(), pos)).or_default();
-            if rows.last() != Some(&rid) {
-                rows.push(rid);
+        let rid = rid as u32;
+        let mut add = |frag: &str, pos: u32| {
+            let sym = dict.intern(frag);
+            if sym.index() == per_sym.len() {
+                per_sym.push(Vec::new());
             }
+            let slots = &mut per_sym[sym.index()];
+            match slots.iter_mut().find(|(p, _)| *p == pos) {
+                Some((_, rows)) => {
+                    if rows.last() != Some(&rid) {
+                        rows.push(rid);
+                    }
+                }
+                None => slots.push((pos, vec![rid])),
+            }
+        };
+        match extraction {
+            Extraction::Tokenize => tokens_for_each(value, &mut add),
+            Extraction::NGrams => ngrams_for_each(value, &mut add),
         }
     }
 
-    let mut entries: Vec<IndexEntry> = map
+    let mut entries: Vec<IndexEntry> = per_sym
         .into_iter()
-        .map(|((pattern, pos), rows)| IndexEntry { pattern, pos, rows })
+        .enumerate()
+        .flat_map(|(sym, slots)| {
+            let pattern = Symbol(sym as u32);
+            let chars = dict.resolve(pattern).chars().count() as u32;
+            slots.into_iter().map(move |(pos, rows)| IndexEntry {
+                pattern,
+                chars,
+                pos,
+                rows: PostingList::from_sorted(rows, num_rows),
+            })
+        })
         .collect();
-    // Deterministic order: by support desc, then pattern, then pos.
-    entries.sort_by(|a, b| {
+    // Deterministic order: by support desc, then pattern, then pos. The
+    // string tiebreak goes through a precomputed lexicographic rank per
+    // symbol — O(S log S) string compares once instead of O(E log E) in
+    // the entry sort itself.
+    let mut by_string: Vec<u32> = (0..dict.len() as u32).collect();
+    by_string.sort_unstable_by(|a, b| dict.span_str(*a).cmp(dict.span_str(*b)));
+    let mut rank = vec![0u32; dict.len()];
+    for (r, &sym) in by_string.iter().enumerate() {
+        rank[sym as usize] = r as u32;
+    }
+    entries.sort_unstable_by(|a, b| {
         b.rows
             .len()
             .cmp(&a.rows.len())
-            .then_with(|| a.pattern.cmp(&b.pattern))
+            .then_with(|| rank[a.pattern.index()].cmp(&rank[b.pattern.index()]))
             .then_with(|| a.pos.cmp(&b.pos))
     });
 
     if options.substring_pruning {
-        entries = prune_substrings(entries);
+        entries = prune_substrings(entries, &dict);
     }
 
-    let mut row_entries: Vec<Vec<u32>> = vec![Vec::new(); rel.num_rows()];
+    // Reverse index in CSR form: count, prefix-sum, fill.
+    let mut row_offsets = vec![0u32; num_rows + 1];
+    for e in &entries {
+        for rid in e.rows.iter() {
+            row_offsets[rid as usize + 1] += 1;
+        }
+    }
+    for r in 0..num_rows {
+        row_offsets[r + 1] += row_offsets[r];
+    }
+    let mut cursor = row_offsets.clone();
+    let mut row_data = vec![0u32; row_offsets[num_rows] as usize];
     for (ei, e) in entries.iter().enumerate() {
-        for &rid in &e.rows {
-            row_entries[rid].push(ei as u32);
+        for rid in e.rows.iter() {
+            let slot = &mut cursor[rid as usize];
+            row_data[*slot as usize] = ei as u32;
+            *slot += 1;
         }
     }
 
+    let max_support = entries.iter().map(|e| e.support()).max().unwrap_or(0);
     AttrIndex {
         attr,
         extraction,
+        dict,
         entries,
-        row_entries,
+        row_offsets,
+        row_data,
+        max_support,
     }
 }
 
 /// §4.4 substring pruning: within groups of entries sharing the same row
 /// set, keep only entries that are not substrings of another kept entry
 /// ("we pick the most specific one").
-fn prune_substrings(entries: Vec<IndexEntry>) -> Vec<IndexEntry> {
-    // Group by row set.
-    let mut groups: HashMap<&[RowId], Vec<usize>> = HashMap::new();
+fn prune_substrings(entries: Vec<IndexEntry>, dict: &FragmentDict) -> Vec<IndexEntry> {
+    // Group by row set (canonical hash/equality over elements).
+    let mut groups: FxHashMap<&PostingList, Vec<usize>> = FxHashMap::default();
     for (i, e) in entries.iter().enumerate() {
-        groups.entry(e.rows.as_slice()).or_default().push(i);
+        groups.entry(&e.rows).or_default().push(i);
     }
     let mut keep = vec![true; entries.len()];
     for group in groups.values() {
         // Longest first; drop members that are substrings of a kept longer
         // member of the same group.
         let mut by_len: Vec<usize> = group.clone();
-        by_len.sort_by_key(|&i| std::cmp::Reverse(entries[i].pattern.len()));
+        by_len.sort_by_key(|&i| std::cmp::Reverse(dict.byte_len(entries[i].pattern)));
         for (a_rank, &a) in by_len.iter().enumerate() {
             if !keep[a] {
                 continue;
             }
+            let a_str = dict.resolve(entries[a].pattern);
             for &b in &by_len[a_rank + 1..] {
-                if keep[b]
-                    && entries[b].pattern.len() < entries[a].pattern.len()
-                    && entries[a].pattern.contains(&entries[b].pattern)
-                {
-                    keep[b] = false;
+                if keep[b] {
+                    let b_str = dict.resolve(entries[b].pattern);
+                    if b_str.len() < a_str.len() && a_str.contains(b_str) {
+                        keep[b] = false;
+                    }
                 }
             }
         }
@@ -153,20 +330,33 @@ fn prune_substrings(entries: Vec<IndexEntry>) -> Vec<IndexEntry> {
 /// `(entry index, count within subset)` for entries with `count ≥ min`,
 /// sorted by count descending then pattern length descending (prefer the
 /// most specific of equally frequent patterns — the C3 countermeasure).
-pub fn frequent_within(index: &AttrIndex, rows: &[RowId], min: usize) -> Vec<(u32, usize)> {
-    let mut counts: HashMap<u32, usize> = HashMap::new();
-    for &rid in rows {
-        for &ei in &index.row_entries[rid] {
-            *counts.entry(ei).or_insert(0) += 1;
+///
+/// Counting is a dense scatter over a scratch array indexed by entry id —
+/// no hashing on the candidate-probe hot path.
+pub fn frequent_within(index: &AttrIndex, rows: &PostingList, min: usize) -> Vec<(u32, usize)> {
+    let mut counts = vec![0u32; index.entries.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    for rid in rows.iter() {
+        for &ei in index.entries_of_row(rid as usize) {
+            if counts[ei as usize] == 0 {
+                touched.push(ei);
+            }
+            counts[ei as usize] += 1;
         }
     }
-    let mut out: Vec<(u32, usize)> = counts.into_iter().filter(|(_, c)| *c >= min).collect();
+    let mut out: Vec<(u32, usize)> = touched
+        .into_iter()
+        .filter_map(|ei| {
+            let c = counts[ei as usize] as usize;
+            (c >= min).then_some((ei, c))
+        })
+        .collect();
     out.sort_by(|a, b| {
         b.1.cmp(&a.1)
             .then_with(|| {
-                let pa = &index.entries[a.0 as usize].pattern;
-                let pb = &index.entries[b.0 as usize].pattern;
-                pb.chars().count().cmp(&pa.chars().count())
+                let ca = index.entries[a.0 as usize].chars;
+                let cb = index.entries[b.0 as usize].chars;
+                cb.cmp(&ca)
             })
             .then_with(|| a.0.cmp(&b.0))
     });
@@ -184,6 +374,24 @@ mod tests {
         (r, a)
     }
 
+    fn all_rows(rel: &Relation) -> PostingList {
+        PostingList::from_sorted((0..rel.num_rows() as u32).collect(), rel.num_rows())
+    }
+
+    #[test]
+    fn dict_interns_each_fragment_once() {
+        let mut dict = FragmentDict::default();
+        let a = dict.intern("Egypt");
+        let b = dict.intern("Yemen");
+        let c = dict.intern("Egypt");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict.resolve(a), "Egypt");
+        assert_eq!(dict.resolve(b), "Yemen");
+        assert_eq!(dict.byte_len(a), 5);
+    }
+
     #[test]
     fn example8_country_collapses_to_full_values() {
         // §4.3 Example 8: n-grams of country reduce to two entries after
@@ -197,7 +405,7 @@ mod tests {
         );
         let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
         assert_eq!(idx.entries.len(), 2, "{:?}", idx.entries);
-        let mut pats: Vec<&str> = idx.entries.iter().map(|e| e.pattern.as_str()).collect();
+        let mut pats: Vec<&str> = idx.entries.iter().map(|e| idx.pattern_str(e)).collect();
         pats.sort_unstable();
         assert_eq!(pats, vec!["Egypt", "Yemen"]);
     }
@@ -226,12 +434,15 @@ mod tests {
         let e900 = idx
             .entries
             .iter()
-            .find(|e| e.pattern == "900" && e.pos == 0)
+            .find(|e| idx.pattern_str(e) == "900" && e.pos == 0)
             .expect("900 prefix kept");
-        assert_eq!(e900.rows, vec![0, 1, 2]);
-        assert!(idx.entries.iter().any(|e| e.pattern == "90001"));
+        assert_eq!(e900.rows.to_vec(), vec![0, 1, 2]);
+        assert!(idx.entries.iter().any(|e| idx.pattern_str(e) == "90001"));
         // "90" has the same row set as "900" and is its substring: pruned.
-        assert!(!idx.entries.iter().any(|e| e.pattern == "90" && e.pos == 0));
+        assert!(!idx
+            .entries
+            .iter()
+            .any(|e| idx.pattern_str(e) == "90" && e.pos == 0));
     }
 
     #[test]
@@ -246,19 +457,23 @@ mod tests {
             ],
         );
         let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
-        let tayseer = idx.entries.iter().find(|e| e.pattern == "Tayseer").unwrap();
+        let tayseer = idx
+            .entries
+            .iter()
+            .find(|e| idx.pattern_str(e) == "Tayseer")
+            .unwrap();
         assert_eq!(tayseer.pos, 0);
-        assert_eq!(tayseer.rows, vec![0, 1, 3]);
+        assert_eq!(tayseer.rows.to_vec(), vec![0, 1, 3]);
     }
 
     #[test]
     fn row_entries_reverse_index() {
         let (r, a) = rel("name", &["John Smith", "John Jones"]);
         let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
-        for (rid, entry_ids) in idx.row_entries.iter().enumerate() {
-            for &ei in entry_ids {
+        for rid in 0..idx.num_rows() {
+            for &ei in idx.entries_of_row(rid) {
                 assert!(
-                    idx.entries[ei as usize].rows.contains(&rid),
+                    idx.entries[ei as usize].rows.contains(rid),
                     "reverse index must agree with forward index"
                 );
             }
@@ -267,10 +482,10 @@ mod tests {
         let john = idx
             .entries
             .iter()
-            .position(|e| e.pattern == "John")
+            .position(|e| idx.pattern_str(e) == "John")
             .unwrap() as u32;
-        assert!(idx.row_entries[0].contains(&john));
-        assert!(idx.row_entries[1].contains(&john));
+        assert!(idx.entries_of_row(0).contains(&john));
+        assert!(idx.entries_of_row(1).contains(&john));
     }
 
     #[test]
@@ -280,30 +495,31 @@ mod tests {
             &["Los Angeles", "Los Angeles", "Los Angeles", "New York"],
         );
         let idx = build_index(&r, a, Extraction::Tokenize, &IndexOptions::default());
-        let top = frequent_within(&idx, &[0, 1, 2, 3], 2);
+        let top = frequent_within(&idx, &all_rows(&r), 2);
         assert!(!top.is_empty());
         // The dominant pattern among all four rows is a Los Angeles token
         // with count 3.
         let (ei, count) = top[0];
         assert_eq!(count, 3);
-        let p = &idx.entries[ei as usize].pattern;
+        let p = idx.pattern_str(&idx.entries[ei as usize]);
         assert!(p == "Los" || p == "Angeles", "{p}");
         // Restricting to the New York row flips the result.
-        let top_ny = frequent_within(&idx, &[3], 1);
-        let p_ny = &idx.entries[top_ny[0].0 as usize].pattern;
+        let ny = PostingList::from_sorted(vec![3], r.num_rows());
+        let top_ny = frequent_within(&idx, &ny, 1);
+        let p_ny = idx.pattern_str(&idx.entries[top_ny[0].0 as usize]);
         assert!(p_ny == "New" || p_ny == "York");
     }
 
     #[test]
     fn duplicate_fragments_in_one_row_count_once() {
-        // "ana" contains gram "a" twice at different positions — but the
+        // "aa" contains gram "a" twice at different positions — but the
         // same (fragment, pos) key never double-counts a row.
         let (r, a) = rel("x", &["aa"]);
         let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
         for e in &idx.entries {
-            let mut sorted = e.rows.clone();
+            let mut sorted = e.rows.to_vec();
             sorted.dedup();
-            assert_eq!(sorted, e.rows);
+            assert_eq!(sorted, e.rows.to_vec());
         }
     }
 
@@ -312,5 +528,16 @@ mod tests {
         let (r, a) = rel("x", &["", ""]);
         let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
         assert!(idx.entries.is_empty());
+        assert!(idx.dict.is_empty());
+    }
+
+    #[test]
+    fn max_support_matches_entries() {
+        let (r, a) = rel("city", &["LA", "LA", "NY"]);
+        let idx = build_index(&r, a, Extraction::NGrams, &IndexOptions::default());
+        assert_eq!(
+            idx.max_support,
+            idx.entries.iter().map(|e| e.support()).max().unwrap()
+        );
     }
 }

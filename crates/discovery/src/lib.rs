@@ -14,6 +14,11 @@
 //! - constant → variable PFD **generalization** with re-verification;
 //! - the attribute-set lattice for multi-attribute LHS candidates.
 //!
+//! Engineering-wise the hot path runs on interned fragments
+//! ([`FragmentDict`]), compact row sets ([`PostingList`]: sorted runs with
+//! galloping intersection, bitsets once dense), and a work-stealing thread
+//! pool ([`pool`]) for index construction and candidate checking.
+//!
 //! ```
 //! use pfd_discovery::{discover, DiscoveryConfig};
 //! use pfd_relation::Relation;
@@ -39,7 +44,10 @@ pub mod algorithm;
 pub mod cells;
 pub mod config;
 pub mod extract;
+pub mod fxhash;
 pub mod index;
+pub mod pool;
+pub mod postings;
 pub mod review;
 
 pub use algorithm::{
@@ -47,5 +55,9 @@ pub use algorithm::{
 };
 pub use config::DiscoveryConfig;
 pub use extract::{ngrams, runs, tokens, Run};
-pub use index::{build_index, frequent_within, AttrIndex, IndexEntry, IndexOptions};
+pub use index::{
+    build_index, frequent_within, AttrIndex, FragmentDict, IndexEntry, IndexOptions, Symbol,
+};
+pub use pool::parallel_map;
+pub use postings::{PostingList, RowSetAccumulator};
 pub use review::{review_queue, ReviewItem};

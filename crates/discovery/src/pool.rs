@@ -1,0 +1,223 @@
+//! Work-stealing executor for the discovery hot path.
+//!
+//! The previous `parallel_map` split the candidate list into one static
+//! chunk per thread; with skewed candidates (one attribute pair dominating
+//! the lattice level) most threads idled while one ground through the heavy
+//! chunk. This pool keeps a shared injector of index batches plus one deque
+//! per worker: a worker drains its own deque from the front, refills from
+//! the injector, and when both are empty steals the back half of a victim's
+//! deque. Results are written back in input order, so callers observe
+//! exactly the sequential output regardless of the interleaving.
+//!
+//! Built on `std::thread::scope` and mutex-guarded `VecDeque`s — the tasks
+//! this pool runs (candidate dependency checks, per-attribute index builds)
+//! are coarse enough that lock traffic is noise, and it keeps the workspace
+//! dependency-free.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads (matches `available_parallelism`, with a
+/// fallback for platforms where it errors).
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.max(1))
+}
+
+/// Batch size fed from the injector: small enough to rebalance, large
+/// enough to amortize a lock round-trip.
+fn batch_size(items: usize, workers: usize) -> usize {
+    (items / (workers * 8)).max(1)
+}
+
+struct Shared {
+    /// Per-worker deques of item indices.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Global batch queue; workers refill from here before stealing.
+    injector: Mutex<VecDeque<std::ops::Range<usize>>>,
+    /// Items not yet completed; workers exit when it reaches zero.
+    remaining: AtomicUsize,
+    /// Steal operations performed (observability / tests).
+    steals: AtomicUsize,
+}
+
+/// Map `f` over `items` on a work-stealing pool, preserving input order in
+/// the output. Falls back to a sequential map when the pool would have a
+/// single worker.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    map_with_stats(items, f).0
+}
+
+/// [`parallel_map`] plus the number of steal operations that occurred
+/// (always 0 on the sequential fallback).
+pub fn map_with_stats<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> (Vec<R>, usize) {
+    let workers = worker_count(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return (items.iter().map(&f).collect(), 0);
+    }
+
+    let batch = batch_size(items.len(), workers);
+    let shared = Shared {
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        injector: Mutex::new(VecDeque::new()),
+        remaining: AtomicUsize::new(items.len()),
+        steals: AtomicUsize::new(0),
+    };
+
+    // Seed: one starter batch per worker, the rest into the injector.
+    {
+        let mut injector = shared.injector.lock().expect("injector poisoned");
+        let mut next = 0usize;
+        for deque in &shared.deques {
+            if next >= items.len() {
+                break;
+            }
+            let end = (next + batch).min(items.len());
+            deque.lock().expect("deque poisoned").extend(next..end);
+            next = end;
+        }
+        while next < items.len() {
+            let end = (next + batch).min(items.len());
+            injector.push_back(next..end);
+            next = end;
+        }
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let shared = &shared;
+                let f = &f;
+                scope.spawn(move || worker_loop(w, shared, items, f))
+            })
+            .collect();
+        for handle in handles {
+            for (idx, result) in handle.join().expect("pool worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+
+    let out = slots
+        .into_iter()
+        .map(|r| r.expect("every item completed"))
+        .collect();
+    (out, shared.steals.load(Ordering::Relaxed))
+}
+
+fn worker_loop<T: Sync, R: Send>(
+    me: usize,
+    shared: &Shared,
+    items: &[T],
+    f: &(impl Fn(&T) -> R + Sync),
+) -> Vec<(usize, R)> {
+    let mut done: Vec<(usize, R)> = Vec::new();
+    loop {
+        // 1. Own deque, front first.
+        let next = shared.deques[me]
+            .lock()
+            .expect("deque poisoned")
+            .pop_front();
+        if let Some(idx) = next {
+            done.push((idx, f(&items[idx])));
+            shared.remaining.fetch_sub(1, Ordering::Release);
+            continue;
+        }
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            return done;
+        }
+        // 2. Refill from the injector.
+        let refill = shared
+            .injector
+            .lock()
+            .expect("injector poisoned")
+            .pop_front();
+        if let Some(range) = refill {
+            shared.deques[me]
+                .lock()
+                .expect("deque poisoned")
+                .extend(range);
+            continue;
+        }
+        // 3. Steal the back half of the fullest victim.
+        let victim = (0..shared.deques.len())
+            .filter(|&v| v != me)
+            .max_by_key(|&v| shared.deques[v].lock().expect("deque poisoned").len());
+        let mut stolen: VecDeque<usize> = VecDeque::new();
+        if let Some(v) = victim {
+            let mut vd = shared.deques[v].lock().expect("deque poisoned");
+            let take = vd.len().div_ceil(2);
+            for _ in 0..take {
+                if let Some(idx) = vd.pop_back() {
+                    stolen.push_front(idx);
+                }
+            }
+        }
+        if stolen.is_empty() {
+            // The injector was empty and the victim scan saw every deque
+            // empty. Tasks never spawn tasks, so queued work only ever
+            // shrinks: nothing can arrive for this worker again, and any
+            // item that raced into another deque mid-scan belongs to the
+            // worker that took it. Exit instead of spinning on the tail.
+            return done;
+        }
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+        shared.deques[me]
+            .lock()
+            .expect("deque poisoned")
+            .append(&mut stolen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn skewed_workloads_complete() {
+        // One pathologically heavy item at the front: static chunking would
+        // serialize behind it; the pool must still return the right answer.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| {
+            let spins = if x == 0 { 200_000 } else { 50 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_on_strings() {
+        let items: Vec<String> = (0..100).map(|i| format!("value-{i}")).collect();
+        let seq: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        let par = parallel_map(&items, |s| s.len());
+        assert_eq!(seq, par);
+    }
+}

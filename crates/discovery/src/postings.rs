@@ -1,0 +1,601 @@
+//! Compact row-set representation for the inverted index.
+//!
+//! Index entries and candidate row sets were plain `Vec<RowId>`; at scale
+//! the discovery hot path is dominated by merging those lists. A
+//! [`PostingList`] keeps the sorted-`u32` form for sparse sets and switches
+//! to a fixed-stride bitset once density crosses [`DENSE_NUMERATOR`]`/16` of
+//! the row universe, so the frequent entries (column formats, shared
+//! prefixes) intersect word-at-a-time. Sorted × sorted intersections gallop
+//! when the lengths are lopsided — the common shape when probing a rare
+//! pattern against a frequent one.
+//!
+//! Equality and hashing are canonical over the *element sequence*, not the
+//! representation, so row sets group identically regardless of which side
+//! of the density threshold they landed on.
+
+use pfd_relation::RowId;
+use std::hash::{Hash, Hasher};
+
+/// Density numerator: a set is stored as a bitset when
+/// `count * 16 >= DENSE_NUMERATOR * universe` (i.e. ≥ 1/16 of rows).
+const DENSE_NUMERATOR: u64 = 1;
+
+/// Sorted × sorted intersections gallop when one side is at least this many
+/// times longer than the other.
+const GALLOP_RATIO: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Strictly increasing row ids.
+    Sorted(Vec<u32>),
+    /// Fixed-stride bitset over the row universe; `count` caches the popcount.
+    Dense { words: Vec<u64>, count: u32 },
+}
+
+/// A set of row ids over a fixed universe (the relation's row count).
+#[derive(Debug, Clone)]
+pub struct PostingList {
+    universe: u32,
+    repr: Repr,
+}
+
+impl PostingList {
+    /// Build from a strictly increasing, deduplicated id vector.
+    pub fn from_sorted(ids: Vec<u32>, universe: usize) -> PostingList {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted+deduped"
+        );
+        debug_assert!(ids.last().is_none_or(|&m| (m as usize) < universe.max(1)));
+        let universe = universe as u32;
+        if is_dense(ids.len(), universe) {
+            let mut words = vec![0u64; universe.div_ceil(64) as usize];
+            for &id in &ids {
+                words[(id / 64) as usize] |= 1u64 << (id % 64);
+            }
+            PostingList {
+                universe,
+                repr: Repr::Dense {
+                    words,
+                    count: ids.len() as u32,
+                },
+            }
+        } else {
+            PostingList {
+                universe,
+                repr: Repr::Sorted(ids),
+            }
+        }
+    }
+
+    /// Build from ids in any order, possibly with duplicates.
+    pub fn from_unsorted(mut ids: Vec<u32>, universe: usize) -> PostingList {
+        ids.sort_unstable();
+        ids.dedup();
+        PostingList::from_sorted(ids, universe)
+    }
+
+    /// The empty set over `universe` rows.
+    pub fn empty(universe: usize) -> PostingList {
+        PostingList::from_sorted(Vec::new(), universe)
+    }
+
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sorted(v) => v.len(),
+            Repr::Dense { count, .. } => *count as usize,
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The row universe this set was built over.
+    pub fn universe(&self) -> usize {
+        self.universe as usize
+    }
+
+    /// Is the set stored as a bitset? (Exposed for tests and stats.)
+    pub fn is_dense_repr(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: RowId) -> bool {
+        let id = id as u32;
+        match &self.repr {
+            Repr::Sorted(v) => v.binary_search(&id).is_ok(),
+            Repr::Dense { words, .. } => {
+                (id < self.universe) && words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+            }
+        }
+    }
+
+    /// Iterate the row ids in increasing order.
+    pub fn iter(&self) -> PostingIter<'_> {
+        match &self.repr {
+            Repr::Sorted(v) => PostingIter::Sorted(v.iter()),
+            Repr::Dense { words, .. } => PostingIter::Dense {
+                words,
+                word_idx: 0,
+                current: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+
+    /// The ids as a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Set intersection. Gallops on lopsided sorted inputs, ANDs words on
+    /// dense ones.
+    pub fn intersect(&self, other: &PostingList) -> PostingList {
+        let universe = self.universe.max(other.universe) as usize;
+        match (&self.repr, &other.repr) {
+            (Repr::Sorted(a), Repr::Sorted(b)) => {
+                PostingList::from_sorted(intersect_sorted(a, b), universe)
+            }
+            (Repr::Sorted(a), Repr::Dense { .. }) => PostingList::from_sorted(
+                a.iter()
+                    .copied()
+                    .filter(|&id| other.contains(id as RowId))
+                    .collect(),
+                universe,
+            ),
+            (Repr::Dense { .. }, Repr::Sorted(b)) => PostingList::from_sorted(
+                b.iter()
+                    .copied()
+                    .filter(|&id| self.contains(id as RowId))
+                    .collect(),
+                universe,
+            ),
+            (Repr::Dense { words: wa, .. }, Repr::Dense { words: wb, .. }) => {
+                // Zip truncates to the shorter word array (ids past the
+                // smaller universe cannot be in both sets), then pad back to
+                // the declared universe so the list stays self-consistent.
+                let mut words: Vec<u64> = wa.iter().zip(wb).map(|(a, b)| a & b).collect();
+                words.resize((universe as u32).div_ceil(64) as usize, 0);
+                let count: u32 = words.iter().map(|w| w.count_ones()).sum();
+                if is_dense(count as usize, universe as u32) {
+                    PostingList {
+                        universe: universe as u32,
+                        repr: Repr::Dense { words, count },
+                    }
+                } else {
+                    let ids = PostingList {
+                        universe: universe as u32,
+                        repr: Repr::Dense { words, count },
+                    }
+                    .to_vec();
+                    PostingList::from_sorted(ids, universe)
+                }
+            }
+        }
+    }
+
+    /// Smallest row id, `None` when empty.
+    pub fn min(&self) -> Option<u32> {
+        match &self.repr {
+            Repr::Sorted(v) => v.first().copied(),
+            Repr::Dense { words, .. } => words
+                .iter()
+                .enumerate()
+                .find(|(_, w)| **w != 0)
+                .map(|(i, w)| i as u32 * 64 + w.trailing_zeros()),
+        }
+    }
+
+    /// Largest row id, `None` when empty.
+    pub fn max(&self) -> Option<u32> {
+        match &self.repr {
+            Repr::Sorted(v) => v.last().copied(),
+            Repr::Dense { words, .. } => words
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, w)| **w != 0)
+                .map(|(i, w)| i as u32 * 64 + 63 - w.leading_zeros()),
+        }
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &PostingList) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Sorted(a), Repr::Sorted(b)) => is_subset_sorted(a, b),
+            _ => self.iter().all(|id| other.contains(id as RowId)),
+        }
+    }
+}
+
+/// Representation decision rule.
+fn is_dense(count: usize, universe: u32) -> bool {
+    universe >= 64 && (count as u64) * 16 >= DENSE_NUMERATOR * universe as u64
+}
+
+/// Sorted intersection: linear merge for comparable lengths, galloping when
+/// one side dominates.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Vec::new();
+    }
+    if large.len() >= small.len().saturating_mul(GALLOP_RATIO) {
+        // Gallop: advance through `large` with exponential probes from the
+        // last hit, then binary-search the bracketed window.
+        let mut out = Vec::with_capacity(small.len());
+        let mut base = 0usize;
+        for &x in small {
+            match gallop_search(&large[base..], x) {
+                Ok(off) => {
+                    out.push(x);
+                    base += off + 1;
+                }
+                Err(off) => base += off,
+            }
+            if base >= large.len() {
+                break;
+            }
+        }
+        out
+    } else {
+        let mut out = Vec::with_capacity(small.len());
+        let (mut i, mut j) = (0, 0);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Find `x` in sorted `hay` by exponential probing then binary search.
+/// `Ok(i)`: found at `i`; `Err(i)`: not present, `i` is the insertion point.
+fn gallop_search(hay: &[u32], x: u32) -> Result<usize, usize> {
+    // Probe 1, 2, 4, … until hay[hi] ≥ x (or the end); x then lies within
+    // hay[hi/2 ..= hi], inclusive of the probe that stopped the gallop.
+    let mut hi = 1usize;
+    while hi < hay.len() && hay[hi] < x {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = (hi + 1).min(hay.len());
+    match hay[lo..hi].binary_search(&x) {
+        Ok(i) => Ok(lo + i),
+        Err(i) => Err(lo + i),
+    }
+}
+
+/// Sorted subset check with a galloping scan through the superset.
+fn is_subset_sorted(a: &[u32], b: &[u32]) -> bool {
+    let mut base = 0usize;
+    for &x in a {
+        if base >= b.len() {
+            return false;
+        }
+        match gallop_search(&b[base..], x) {
+            Ok(off) => base += off + 1,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+impl PartialEq for PostingList {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Sorted(a), Repr::Sorted(b)) => a == b,
+            (
+                Repr::Dense {
+                    words: a,
+                    count: ca,
+                },
+                Repr::Dense {
+                    words: b,
+                    count: cb,
+                },
+            ) => ca == cb && a == b,
+            _ => self.len() == other.len() && self.iter().eq(other.iter()),
+        }
+    }
+}
+
+impl Eq for PostingList {}
+
+impl Hash for PostingList {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Canonical over the element *summary* (count, min, max) so Sorted
+        // and Dense forms of one set hash alike without iterating row sets
+        // that can span the whole relation. Sets agreeing on the summary
+        // but differing inside collide and are separated by `Eq` — rare in
+        // practice (substring-pruning groups share exact row sets).
+        state.write_usize(self.len());
+        if !self.is_empty() {
+            state.write_u32(self.min().expect("non-empty"));
+            state.write_u32(self.max().expect("non-empty"));
+        }
+    }
+}
+
+/// Iterator over a [`PostingList`]'s row ids, ascending.
+pub enum PostingIter<'a> {
+    /// Sorted-vector cursor.
+    Sorted(std::slice::Iter<'a, u32>),
+    /// Bitset word scanner.
+    Dense {
+        /// The words being scanned.
+        words: &'a [u64],
+        /// Index of the word in `current`.
+        word_idx: usize,
+        /// Remaining bits of the current word.
+        current: u64,
+    },
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            PostingIter::Sorted(it) => it.next().copied(),
+            PostingIter::Dense {
+                words,
+                word_idx,
+                current,
+            } => loop {
+                if *current != 0 {
+                    let bit = current.trailing_zeros();
+                    *current &= *current - 1;
+                    return Some(*word_idx as u32 * 64 + bit);
+                }
+                *word_idx += 1;
+                if *word_idx >= words.len() {
+                    return None;
+                }
+                *current = words[*word_idx];
+            },
+        }
+    }
+}
+
+/// A growable row-set accumulator for unions (coverage computations):
+/// a bitset over the universe with a running count.
+#[derive(Debug, Clone)]
+pub struct RowSetAccumulator {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl RowSetAccumulator {
+    /// An empty accumulator over `universe` rows.
+    pub fn new(universe: usize) -> RowSetAccumulator {
+        RowSetAccumulator {
+            words: vec![0u64; universe.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Insert one row id.
+    pub fn insert(&mut self, id: RowId) {
+        let w = &mut self.words[id / 64];
+        let bit = 1u64 << (id % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// Union a whole posting list into the accumulator.
+    pub fn insert_all(&mut self, list: &PostingList) {
+        match &list.repr {
+            Repr::Sorted(v) => {
+                for &id in v {
+                    self.insert(id as usize);
+                }
+            }
+            Repr::Dense { words, .. } => {
+                let mut count = 0usize;
+                for (dst, src) in self.words.iter_mut().zip(words) {
+                    *dst |= src;
+                    count += dst.count_ones() as usize;
+                }
+                // Words beyond the zipped prefix keep their bits.
+                for dst in self.words.iter().skip(words.len()) {
+                    count += dst.count_ones() as usize;
+                }
+                self.count = count;
+            }
+        }
+    }
+
+    /// Number of distinct rows inserted so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Is the accumulator empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(ids: &[u32], universe: usize) -> PostingList {
+        PostingList::from_sorted(ids.to_vec(), universe)
+    }
+
+    #[test]
+    fn empty_intersections() {
+        let a = pl(&[], 100);
+        let b = pl(&[1, 2, 3], 100);
+        assert!(a.intersect(&b).is_empty());
+        assert!(b.intersect(&a).is_empty());
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a = pl(&[0, 2, 4, 6], 100);
+        let b = pl(&[1, 3, 5, 7], 100);
+        assert!(a.intersect(&b).is_empty());
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn nested_sets() {
+        let a = pl(&[10, 20, 30], 100);
+        let b = pl(&[5, 10, 15, 20, 25, 30, 35], 100);
+        assert_eq!(a.intersect(&b).to_vec(), vec![10, 20, 30]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn duplicates_are_deduped_by_from_unsorted() {
+        let a = PostingList::from_unsorted(vec![3, 1, 3, 2, 1], 10);
+        assert_eq!(a.to_vec(), vec![1, 2, 3]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn galloping_matches_linear_on_lopsided_inputs() {
+        // Universe 1M keeps both sides in sorted form; 4 needles vs 600
+        // haystack ids triggers the galloping intersection.
+        const U: usize = 1_000_000;
+        let needles = pl(&[0, 7, 300, 1111], U);
+        let hay: Vec<u32> = (0..600).map(|i| i * 2).collect();
+        let hay_pl = PostingList::from_sorted(hay.clone(), U);
+        assert!(!needles.is_dense_repr() && !hay_pl.is_dense_repr());
+        let expected: Vec<u32> = [0u32, 7, 300, 1111]
+            .iter()
+            .copied()
+            .filter(|x| hay.contains(x))
+            .collect();
+        assert_eq!(expected, vec![0, 300]);
+        assert_eq!(needles.intersect(&hay_pl).to_vec(), expected);
+        assert_eq!(hay_pl.intersect(&needles).to_vec(), expected);
+    }
+
+    #[test]
+    fn galloping_subset_checks_stay_sorted() {
+        // Large universe: the subset checks below run the galloping scan,
+        // not the bitset path.
+        const U: usize = 1_000_000;
+        let small = pl(&[2, 40, 4000, 400_000], U);
+        let big_ids: Vec<u32> = (0..5000).map(|i| i * 100).collect(); // 0,100,…
+        let big = PostingList::from_sorted(big_ids, U);
+        assert!(!small.is_dense_repr() && !big.is_dense_repr());
+        assert!(pl(&[0, 400, 4000, 400_000], U).is_subset(&big));
+        assert!(!small.is_subset(&big), "2 and 40 are not multiples of 100");
+        // First and last elements of the superset are found.
+        assert!(pl(&[0], U).is_subset(&big));
+        assert!(pl(&[499_900], U).is_subset(&big));
+        assert!(!pl(&[499_901], U).is_subset(&big));
+    }
+
+    #[test]
+    fn dense_representation_kicks_in_and_agrees() {
+        // 50 of 100 rows: well past the 1/16 density bar.
+        let ids: Vec<u32> = (0..100).filter(|i| i % 2 == 0).collect();
+        let dense = PostingList::from_sorted(ids.clone(), 100);
+        assert!(dense.is_dense_repr());
+        assert_eq!(dense.len(), 50);
+        assert_eq!(dense.to_vec(), ids);
+        let sparse = pl(&[2, 4, 96], 100);
+        assert!(!sparse.is_dense_repr());
+        assert_eq!(sparse.intersect(&dense).to_vec(), vec![2, 4, 96]);
+        assert_eq!(dense.intersect(&sparse).to_vec(), vec![2, 4, 96]);
+        assert!(sparse.is_subset(&dense));
+
+        let other: Vec<u32> = (0..100).filter(|i| i % 3 == 0).collect();
+        let dense2 = PostingList::from_sorted(other, 100);
+        let both = dense.intersect(&dense2);
+        let expected: Vec<u32> = (0..100).filter(|i| i % 6 == 0).collect();
+        assert_eq!(both.to_vec(), expected);
+    }
+
+    #[test]
+    fn equality_and_hash_are_representation_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        // Same elements, forced into different representations via universe.
+        let ids: Vec<u32> = (0..32).collect();
+        let dense = PostingList::from_sorted(ids.clone(), 64); // 32/64 → dense
+        let sparse = PostingList {
+            universe: 64,
+            repr: Repr::Sorted(ids),
+        };
+        assert!(dense.is_dense_repr());
+        assert!(!sparse.is_dense_repr());
+        assert_eq!(dense, sparse);
+        let h = |p: &PostingList| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&dense), h(&sparse));
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let a = pl(&[1, 5, 9], 100);
+        assert!(a.contains(5));
+        assert!(!a.contains(6));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn accumulator_counts_unions() {
+        let mut acc = RowSetAccumulator::new(200);
+        acc.insert_all(&pl(&[1, 2, 3], 200));
+        acc.insert_all(&pl(&[3, 4], 200));
+        acc.insert(4);
+        acc.insert(5);
+        assert_eq!(acc.len(), 5);
+        let dense = PostingList::from_sorted((0..100).collect(), 200);
+        acc.insert_all(&dense);
+        assert_eq!(acc.len(), 100, "{{1..=5}} ⊂ 0..100");
+        acc.insert_all(&pl(&[150], 200));
+        assert_eq!(acc.len(), 101);
+    }
+
+    #[test]
+    fn mixed_universe_dense_intersection_stays_consistent() {
+        // Both dense, different universes: the result must carry word
+        // storage matching its declared universe so `contains` never
+        // indexes past the array.
+        let a = PostingList::from_sorted((0..16).collect(), 64);
+        let b = PostingList::from_sorted((0..16).collect(), 128);
+        assert!(a.is_dense_repr() && b.is_dense_repr());
+        let c = a.intersect(&b);
+        assert_eq!(c.to_vec(), (0..16).collect::<Vec<u32>>());
+        assert_eq!(c.universe(), 128);
+        assert!(!c.contains(100));
+        assert!(c.contains(15));
+    }
+
+    #[test]
+    fn gallop_search_brackets() {
+        let hay: Vec<u32> = vec![2, 4, 6, 8, 10, 12, 14, 16];
+        assert_eq!(gallop_search(&hay, 2), Ok(0));
+        assert_eq!(gallop_search(&hay, 16), Ok(7));
+        assert_eq!(gallop_search(&hay, 7), Err(3));
+        assert_eq!(gallop_search(&hay, 100), Err(8));
+    }
+}

@@ -1,9 +1,15 @@
-//! Property-based tests for discovery: index invariants, determinism, and
-//! the δ-noise guarantee on discovered tableaux.
+//! Property-based tests for discovery: index invariants, determinism, the
+//! δ-noise guarantee on discovered tableaux, and semantic equivalence of
+//! the interned/compact hot-path representations against naive reference
+//! implementations (owned strings + plain row vectors).
 
-use pfd_discovery::{build_index, discover, DiscoveryConfig, IndexOptions};
-use pfd_relation::{AttrId, Extraction, Relation, Schema};
+use pfd_discovery::{
+    build_index, discover, frequent_within, ngrams, tokens, DiscoveryConfig, IndexOptions,
+    PostingList,
+};
+use pfd_relation::{AttrId, Extraction, Relation, RowId, Schema};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 fn zip_like() -> impl Strategy<Value = String> {
     (0u32..4, 0u32..100).prop_map(|(p, s)| {
@@ -32,6 +38,30 @@ fn zip_city_relation() -> impl Strategy<Value = Relation> {
     })
 }
 
+/// The pre-interning index construction: owned `String` keys, `Vec<RowId>`
+/// row sets, no pruning. The ground truth the compact index must match.
+fn naive_index(
+    rel: &Relation,
+    attr: AttrId,
+    extraction: Extraction,
+) -> HashMap<(String, u32), Vec<RowId>> {
+    let mut map: HashMap<(String, u32), Vec<RowId>> = HashMap::new();
+    for (rid, _) in rel.iter_rows() {
+        let value = rel.cell(rid, attr);
+        let fragments: Vec<(&str, u32)> = match extraction {
+            Extraction::Tokenize => tokens(value),
+            Extraction::NGrams => ngrams(value),
+        };
+        for (frag, pos) in fragments {
+            let rows = map.entry((frag.to_string(), pos)).or_default();
+            if rows.last() != Some(&rid) {
+                rows.push(rid);
+            }
+        }
+    }
+    map
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -42,23 +72,107 @@ proptest! {
                 let idx = build_index(&rel, attr, extraction, &IndexOptions::default());
                 // Reverse index agrees with forward index both ways.
                 for (ei, e) in idx.entries.iter().enumerate() {
-                    for &rid in &e.rows {
-                        prop_assert!(idx.row_entries[rid].contains(&(ei as u32)));
+                    for rid in e.rows.iter() {
+                        prop_assert!(idx.entries_of_row(rid as usize).contains(&(ei as u32)));
                     }
                 }
-                for (rid, entry_ids) in idx.row_entries.iter().enumerate() {
-                    for &ei in entry_ids {
-                        prop_assert!(idx.entries[ei as usize].rows.contains(&rid));
+                for rid in 0..idx.num_rows() {
+                    for &ei in idx.entries_of_row(rid) {
+                        prop_assert!(idx.entries[ei as usize].rows.contains(rid));
                     }
                 }
-                // Row lists are sorted and deduplicated.
+                // Row lists iterate strictly ascending (sorted + deduped).
                 for e in &idx.entries {
-                    let mut sorted = e.rows.clone();
-                    sorted.sort_unstable();
-                    sorted.dedup();
-                    prop_assert_eq!(&sorted, &e.rows);
+                    let ids = e.rows.to_vec();
+                    prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+                    prop_assert_eq!(ids.len(), e.rows.len());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn interned_index_matches_naive_string_index(rel in zip_city_relation()) {
+        // The arena/symbol/posting-list representation must be semantically
+        // identical to the owned-String construction it replaced: same
+        // (pattern, pos) → row-set mapping before pruning.
+        for attr in [AttrId(0), AttrId(1)] {
+            for extraction in [Extraction::NGrams, Extraction::Tokenize] {
+                let reference = naive_index(&rel, attr, extraction);
+                let idx = build_index(
+                    &rel,
+                    attr,
+                    extraction,
+                    &IndexOptions { substring_pruning: false },
+                );
+                prop_assert_eq!(idx.entries.len(), reference.len());
+                for e in &idx.entries {
+                    let key = (idx.pattern_str(e).to_string(), e.pos);
+                    let expect = reference.get(&key);
+                    prop_assert!(expect.is_some(), "missing {:?}", key);
+                    let got: Vec<RowId> = e.rows.iter().map(|r| r as RowId).collect();
+                    prop_assert_eq!(expect.unwrap(), &got, "{:?}", key);
+                    // Cached char count agrees with the resolved string.
+                    prop_assert_eq!(e.chars as usize, idx.pattern_str(e).chars().count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_within_matches_naive_counting(
+        rel in zip_city_relation(),
+        subset_mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        // Dense-scatter counting over the CSR reverse index must reproduce
+        // per-entry counts computed the slow way from the forward index.
+        let attr = AttrId(0);
+        let idx = build_index(&rel, attr, Extraction::NGrams, &IndexOptions::default());
+        let rows: Vec<u32> = (0..rel.num_rows())
+            .filter(|&r| subset_mask.get(r).copied().unwrap_or(false))
+            .map(|r| r as u32)
+            .collect();
+        let subset = PostingList::from_sorted(rows.clone(), rel.num_rows());
+        let result = frequent_within(&idx, &subset, 2);
+        for &(ei, count) in &result {
+            let expect = rows
+                .iter()
+                .filter(|&&r| idx.entries[ei as usize].rows.contains(r as RowId))
+                .count();
+            prop_assert_eq!(count, expect);
+            prop_assert!(count >= 2);
+        }
+        // Ordering: count desc, then char length desc, then entry id asc.
+        for pair in result.windows(2) {
+            let (e1, c1) = pair[0];
+            let (e2, c2) = pair[1];
+            let k1 = (c1, idx.entries[e1 as usize].chars, std::cmp::Reverse(e1));
+            let k2 = (c2, idx.entries[e2 as usize].chars, std::cmp::Reverse(e2));
+            prop_assert!(k1 >= k2);
+        }
+    }
+
+    #[test]
+    fn posting_list_ops_match_vec_semantics(
+        a in proptest::collection::vec(0u32..500, 0..80),
+        b in proptest::collection::vec(0u32..500, 0..400),
+    ) {
+        // Galloping/bitset intersection and subset checks must agree with
+        // the sorted-Vec merge they replaced, duplicates and all.
+        use std::collections::BTreeSet;
+        let universe = 500;
+        let pa = PostingList::from_unsorted(a.clone(), universe);
+        let pb = PostingList::from_unsorted(b.clone(), universe);
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let expect: Vec<u32> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(pa.intersect(&pb).to_vec(), expect.clone());
+        prop_assert_eq!(pb.intersect(&pa).to_vec(), expect);
+        prop_assert_eq!(pa.is_subset(&pb), sa.is_subset(&sb));
+        prop_assert_eq!(pb.is_subset(&pa), sb.is_subset(&sa));
+        prop_assert_eq!(pa.len(), sa.len());
+        for probe in [0u32, 1, 250, 499] {
+            prop_assert_eq!(pa.contains(probe as RowId), sa.contains(&probe));
         }
     }
 
@@ -73,7 +187,9 @@ proptest! {
             prop_assert!(without
                 .entries
                 .iter()
-                .any(|u| u.pattern == e.pattern && u.pos == e.pos && u.rows == e.rows));
+                .any(|u| without.pattern_str(u) == with.pattern_str(e)
+                    && u.pos == e.pos
+                    && u.rows == e.rows));
         }
     }
 
@@ -82,6 +198,19 @@ proptest! {
         let config = DiscoveryConfig { min_support: 3, ..DiscoveryConfig::default() };
         let a = discover(&rel, &config);
         let b = discover(&rel, &config);
+        let sig = |r: &pfd_discovery::DiscoveryResult| -> Vec<String> {
+            r.dependencies.iter().map(|d| format!("{:?}→{:?} {}", d.lhs, d.rhs, d.pfd)).collect()
+        };
+        prop_assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential_discovery(rel in zip_city_relation()) {
+        // The work-stealing pool must not change a single discovered PFD.
+        let config = DiscoveryConfig { min_support: 3, parallel: false, ..DiscoveryConfig::default() };
+        let parallel = DiscoveryConfig { parallel: true, ..config.clone() };
+        let a = discover(&rel, &config);
+        let b = discover(&rel, &parallel);
         let sig = |r: &pfd_discovery::DiscoveryResult| -> Vec<String> {
             r.dependencies.iter().map(|d| format!("{:?}→{:?} {}", d.lhs, d.rhs, d.pfd)).collect()
         };

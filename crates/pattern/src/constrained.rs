@@ -14,31 +14,21 @@ use crate::contains::subset_of;
 use crate::nfa::Nfa;
 use crate::parse::{parse_constrained, ParseError};
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A pattern with one marked (constrained) segment: `pre [Q] post`.
 ///
-/// The compiled NFAs are cached lazily, so matching a value against the same
-/// tableau cell many times — the hot path of both violation detection and
-/// discovery — compiles each segment once. Clones restart with an empty
-/// cache.
-#[derive(Default)]
+/// The compiled NFAs are cached lazily behind an `Arc`, so matching a value
+/// against the same tableau cell many times — the hot path of both
+/// violation detection and discovery — compiles each segment once, and
+/// clones (tableau rows are cloned freely during discovery, rule merging
+/// and repair) *share* the cache instead of recompiling per copy.
+#[derive(Default, Clone)]
 pub struct ConstrainedPattern {
     pre: Pattern,
     q: Pattern,
     post: Pattern,
-    compiled: OnceLock<Box<CompiledSegments>>,
-}
-
-impl Clone for ConstrainedPattern {
-    fn clone(&self) -> Self {
-        ConstrainedPattern {
-            pre: self.pre.clone(),
-            q: self.q.clone(),
-            post: self.post.clone(),
-            compiled: OnceLock::new(),
-        }
-    }
+    compiled: Arc<OnceLock<CompiledSegments>>,
 }
 
 struct CompiledSegments {
@@ -46,6 +36,20 @@ struct CompiledSegments {
     q: Nfa,
     post: Nfa,
     full: Nfa,
+    /// When the whole pattern is one constant string, matching is equality
+    /// and extraction is a fixed slice: `(value, pre byte len, q byte len)`.
+    /// Constant cells dominate real tableaux (ψ1/ψ3 and every discovered
+    /// constant row), so this skips the NFA entirely on the hottest path.
+    full_const: Option<(String, usize, usize)>,
+    /// `pre = ε`: the only valid decomposition point is offset 0.
+    pre_empty: bool,
+    /// `post = ε`: the only valid decomposition end is the value's end.
+    post_empty: bool,
+    /// Char length of `Q` when its language is fixed-length (`\D{3}`, a
+    /// constant, …): the decomposition split is then forced.
+    q_fixed: Option<usize>,
+    /// Char length of `post` when fixed-length.
+    post_fixed: Option<usize>,
 }
 
 impl PartialEq for ConstrainedPattern {
@@ -77,7 +81,7 @@ impl ConstrainedPattern {
             pre,
             q,
             post,
-            compiled: OnceLock::new(),
+            compiled: Arc::new(OnceLock::new()),
         }
     }
 
@@ -119,18 +123,45 @@ impl ConstrainedPattern {
 
     fn compiled(&self) -> &CompiledSegments {
         self.compiled.get_or_init(|| {
-            Box::new(CompiledSegments {
+            let full_const = match (
+                self.pre.as_constant(),
+                self.q.as_constant(),
+                self.post.as_constant(),
+            ) {
+                (Some(p), Some(q), Some(s)) => Some((format!("{p}{q}{s}"), p.len(), q.len())),
+                _ => None,
+            };
+            let fixed_len = |p: &Pattern| -> Option<usize> {
+                let min = p.min_len();
+                (p.max_len() == Some(min)).then_some(min)
+            };
+            CompiledSegments {
                 pre: Nfa::compile(&self.pre),
                 q: Nfa::compile(&self.q),
                 post: Nfa::compile(&self.post),
                 full: Nfa::compile(&self.full_pattern()),
-            })
+                full_const,
+                pre_empty: self.pre.is_empty(),
+                post_empty: self.post.is_empty(),
+                q_fixed: fixed_len(&self.q),
+                post_fixed: fixed_len(&self.post),
+            }
         })
+    }
+
+    /// Has the NFA cache been populated (by this value or a clone sharing
+    /// its cache)? Observability hook for the caching guarantee.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.get().is_some()
     }
 
     /// Does `s` match the full pattern? This is the paper's `s ↦ P`.
     pub fn matches(&self, s: &str) -> bool {
-        self.compiled().full.matches(s)
+        let segs = self.compiled();
+        match &segs.full_const {
+            Some((value, _, _)) => s == value,
+            None => segs.full.matches(s),
+        }
     }
 
     /// Is the constrained part a constant string? Constant cells make a PFD
@@ -160,23 +191,49 @@ impl ConstrainedPattern {
     /// is a token prefix such as a first name or a zip-code prefix.
     pub fn extract<'s>(&self, s: &'s str) -> Option<&'s str> {
         let segs = self.compiled();
+        // All-constant cells: equality plus a fixed slice.
+        if let Some((value, pre_len, q_len)) = &segs.full_const {
+            return (s == value).then(|| &s[*pre_len..*pre_len + *q_len]);
+        }
+        // Fixed-length Q and post with an empty pre (the dominant discovered
+        // shape, e.g. `[\D{3}]\D{2}`): the decomposition is forced, so run
+        // two small NFA checks instead of the full acceptance tables.
+        if segs.pre_empty {
+            if let (Some(ql), Some(pl)) = (segs.q_fixed, segs.post_fixed) {
+                let mut chars = 0usize;
+                let mut split = None;
+                for (i, (b, _)) in s.char_indices().enumerate() {
+                    if i == ql {
+                        split = Some(b);
+                    }
+                    chars = i + 1;
+                }
+                if chars != ql + pl {
+                    return None;
+                }
+                let split = split.unwrap_or(s.len());
+                return (segs.q.matches(&s[..split]) && segs.post.matches(&s[split..]))
+                    .then(|| &s[..split]);
+            }
+        }
         // Byte offsets of char boundaries, aligned with prefix_acceptance.
         let boundaries: Vec<usize> = s
             .char_indices()
             .map(|(i, _)| i)
             .chain(std::iter::once(s.len()))
             .collect();
-        let pre_ok = segs.pre.prefix_acceptance(s);
-        // post_ok[j] = post matches s[boundaries[j]..]
+        // post_ok[j] = post matches s[boundaries[j]..]; an empty post only
+        // accepts the empty suffix, so skip the per-boundary NFA runs.
         let n = boundaries.len();
         let mut post_ok = vec![false; n];
-        for j in 0..n {
-            post_ok[j] = segs.post.matches(&s[boundaries[j]..]);
-        }
-        for (i, &pre_hit) in pre_ok.iter().enumerate() {
-            if !pre_hit {
-                continue;
+        if segs.post_empty {
+            post_ok[n - 1] = true;
+        } else {
+            for j in 0..n {
+                post_ok[j] = segs.post.matches(&s[boundaries[j]..]);
             }
+        }
+        let try_from = |i: usize| -> Option<&'s str> {
             let rest = &s[boundaries[i]..];
             let q_acc = segs.q.prefix_acceptance(rest);
             // Greedy: longest q match first.
@@ -184,6 +241,21 @@ impl ConstrainedPattern {
                 if q_acc[j - i] && post_ok[j] {
                     return Some(&s[boundaries[i]..boundaries[j]]);
                 }
+            }
+            None
+        };
+        // An empty pre pins the decomposition to offset 0 — the common case
+        // for discovered cells (zip prefixes, first tokens, constants).
+        if segs.pre_empty {
+            return try_from(0);
+        }
+        let pre_ok = segs.pre.prefix_acceptance(s);
+        for (i, &pre_hit) in pre_ok.iter().enumerate() {
+            if !pre_hit {
+                continue;
+            }
+            if let Some(found) = try_from(i) {
+                return Some(found);
             }
         }
         None
@@ -372,6 +444,23 @@ mod tests {
         assert_eq!(q.extract(""), Some(""));
         let c = ConstrainedPattern::constant("x");
         assert_eq!(c.extract(""), None);
+    }
+
+    #[test]
+    fn clones_share_the_compiled_nfa_cache() {
+        let q = cp(r"[\D{3}]\D{2}");
+        assert!(!q.is_compiled());
+        assert!(q.matches("90001"));
+        assert!(q.is_compiled());
+        // A clone made *after* first use arrives with the cache warm, and a
+        // clone made before first use warms the original when it compiles.
+        let warm = q.clone();
+        assert!(warm.is_compiled());
+        let fresh = ConstrainedPattern::parse(r"[606]\D{2}").unwrap();
+        let sibling = fresh.clone();
+        assert!(!sibling.is_compiled());
+        assert!(sibling.matches("60601"));
+        assert!(fresh.is_compiled(), "cache is shared both ways");
     }
 
     #[test]

@@ -47,9 +47,16 @@ struct State {
 
 /// A compiled pattern. Construction is linear in the pattern description
 /// (counting `{N}` as N copies); simulation is `O(|s| · states)`.
+///
+/// ε-closures are precomputed per state at compile time, so the per-char
+/// simulation step is a flat scan with no worklist allocation — the match
+/// loop is the hottest code in detection, repair and discovery
+/// verification.
 #[derive(Debug, Clone)]
 pub struct Nfa {
     states: Vec<State>,
+    /// Per state: every state reachable through ε-edges (self included).
+    closures: Vec<Vec<usize>>,
     start: usize,
     accept: usize,
 }
@@ -59,11 +66,28 @@ impl Nfa {
     pub fn compile(pattern: &Pattern) -> Nfa {
         let mut nfa = Nfa {
             states: vec![State::default(), State::default()],
+            closures: Vec::new(),
             start: 0,
             accept: 1,
         };
         let end = nfa.compile_seq(pattern.elements(), 0);
         nfa.states[end].eps.push(nfa.accept);
+        nfa.closures = (0..nfa.states.len())
+            .map(|s| {
+                let mut seen = vec![false; nfa.states.len()];
+                seen[s] = true;
+                let mut stack = vec![s];
+                while let Some(t) = stack.pop() {
+                    for &u in &nfa.states[t].eps {
+                        if !seen[u] {
+                            seen[u] = true;
+                            stack.push(u);
+                        }
+                    }
+                }
+                (0..nfa.states.len()).filter(|&i| seen[i]).collect()
+            })
+            .collect();
         nfa
     }
 
@@ -121,15 +145,11 @@ impl Nfa {
         }
     }
 
-    fn eps_closure(&self, set: &mut [bool]) {
-        let mut stack: Vec<usize> = (0..self.states.len()).filter(|&i| set[i]).collect();
-        while let Some(s) = stack.pop() {
-            for &t in &self.states[s].eps {
-                if !set[t] {
-                    set[t] = true;
-                    stack.push(t);
-                }
-            }
+    /// Activate `state` and its whole precomputed ε-closure.
+    #[inline]
+    fn activate(&self, set: &mut [bool], state: usize) {
+        for &t in &self.closures[state] {
+            set[t] = true;
         }
     }
 
@@ -140,19 +160,17 @@ impl Nfa {
                 continue;
             }
             for (pred, to) in &self.states[i].trans {
-                if pred.matches(c) {
-                    next[*to] = true;
+                if !next[*to] && pred.matches(c) {
+                    self.activate(next, *to);
                 }
             }
         }
-        self.eps_closure(next);
     }
 
     /// Does the NFA accept `s`? This is the paper's `s ↦ P` relation.
     pub fn matches(&self, s: &str) -> bool {
         let mut cur = vec![false; self.states.len()];
-        cur[self.start] = true;
-        self.eps_closure(&mut cur);
+        self.activate(&mut cur, self.start);
         let mut next = vec![false; self.states.len()];
         for c in s.chars() {
             self.step(&cur, c, &mut next);
@@ -169,10 +187,9 @@ impl Nfa {
     /// `s.chars().count() + 1` entries. Used by constrained-pattern
     /// extraction.
     pub fn prefix_acceptance(&self, s: &str) -> Vec<bool> {
-        let mut out = Vec::with_capacity(s.chars().count() + 1);
+        let mut out = Vec::with_capacity(s.len() + 1);
         let mut cur = vec![false; self.states.len()];
-        cur[self.start] = true;
-        self.eps_closure(&mut cur);
+        self.activate(&mut cur, self.start);
         out.push(cur[self.accept]);
         let mut next = vec![false; self.states.len()];
         for c in s.chars() {

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for e in idx.entries.iter().take(4) {
             println!(
                 "    (('{}', {}), {:?})",
-                e.pattern,
+                idx.pattern_str(e),
                 e.pos,
                 e.rows
                     .iter()

@@ -1,0 +1,27 @@
+//! Dump the discovered dependency sets of the standard suite in a stable
+//! text form — the regression oracle for perf work on the discovery hot
+//! path: before/after outputs must be byte-identical.
+//!
+//! ```sh
+//! cargo run --release --example dump_dependencies > deps.txt
+//! ```
+
+use pfd::core::display_with_schema;
+use pfd::datagen::{standard_suite, Scale};
+use pfd::discovery::{discover, DiscoveryConfig};
+
+fn main() {
+    let suite = standard_suite(Scale::Small, 0.01, 42);
+    for ds in &suite {
+        let result = discover(&ds.dirty, &DiscoveryConfig::default());
+        println!("== {} ({} rows)", ds.id, ds.dirty.num_rows());
+        for dep in &result.dependencies {
+            let (lhs, rhs) = dep.embedded_names(&ds.dirty);
+            println!(
+                "{:?} -> {} [{:?}] coverage={} constant_rows={}",
+                lhs, rhs, dep.kind, dep.coverage, dep.constant_rows
+            );
+            println!("  {}", display_with_schema(&dep.pfd, ds.dirty.schema()));
+        }
+    }
+}

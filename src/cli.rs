@@ -259,6 +259,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 result.stats.candidates_checked,
                 result.stats.entries_tested
             )?;
+            writeln!(
+                out,
+                "phases: profile {:?}, index {:?} ({} entries), check {:?}",
+                result.stats.profile_time,
+                result.stats.index_time,
+                result.stats.index_entries,
+                result.stats.check_time
+            )?;
             if review {
                 for item in review_queue(&rel, &result.dependencies) {
                     writeln!(out, "  {}", item.summary(&rel))?;

@@ -3,10 +3,25 @@
 
 use pfd::baselines::{cfd_discover, fdep_single_lhs, CfdConfig, FdepConfig};
 use pfd::core::{detect_errors, evaluate_repairs, repair, Pfd, TableauRow};
-use pfd::datagen::{evaluate_dependencies, standard_suite, GroundTruthDep, Scale};
+use pfd::datagen::{evaluate_dependencies, standard_suite, Dataset, GroundTruthDep, Scale};
 use pfd::discovery::{discover, DependencyKind, DiscoveryConfig};
 use pfd::inference::{check_consistency, implies, Consistency};
 use pfd::relation::{read_csv_str, write_csv_string, Relation};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Memoized `standard_suite(Scale::Small, noise, seed)`: several tests
+/// below share (noise, seed) fixtures, and suite generation is a
+/// non-trivial slice of this file's wall-time. Generated once per key and
+/// leaked for the life of the test process.
+fn suite(noise: f64, seed: u64) -> &'static [Dataset] {
+    type SuiteCache = Mutex<HashMap<(u64, u64), &'static [Dataset]>>;
+    static CACHE: OnceLock<SuiteCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("suite cache poisoned");
+    map.entry((noise.to_bits(), seed))
+        .or_insert_with(|| Box::leak(standard_suite(Scale::Small, noise, seed).into_boxed_slice()))
+}
 
 fn discovered_deps(
     ds: &pfd::datagen::Dataset,
@@ -59,7 +74,7 @@ fn paper_running_example_full_cycle() {
 #[test]
 fn discovery_beats_baselines_on_pattern_tables() {
     // The Table 7 headline on three representative tables.
-    let suite = standard_suite(Scale::Small, 0.01, 42);
+    let suite = suite(0.01, 42);
     for id in ["T1", "T9", "T14"] {
         let ds = suite.iter().find(|d| d.id == id).unwrap();
         let pfd_result = discover(&ds.dirty, &DiscoveryConfig::default());
@@ -113,7 +128,7 @@ fn discovery_beats_baselines_on_pattern_tables() {
 
 #[test]
 fn discovered_pfds_detect_injected_errors() {
-    let suite = standard_suite(Scale::Small, 0.02, 7);
+    let suite = suite(0.02, 7);
     let ds = suite.iter().find(|d| d.id == "T14").unwrap();
     let result = discover(&ds.dirty, &DiscoveryConfig::default());
     let validated: Vec<Pfd> = result
@@ -143,7 +158,7 @@ fn discovered_pfds_detect_injected_errors() {
 
 #[test]
 fn repair_restores_most_clean_values() {
-    let suite = standard_suite(Scale::Small, 0.02, 7);
+    let suite = suite(0.02, 7);
     let ds = suite.iter().find(|d| d.id == "T13").unwrap();
     let result = discover(&ds.dirty, &DiscoveryConfig::default());
     let validated: Vec<Pfd> = result
@@ -173,7 +188,7 @@ fn repair_restores_most_clean_values() {
 fn discovered_pfds_are_consistent_and_closed_under_implication() {
     // Reasoning over discovered constraints: the discovered set must be
     // consistent, and each member must be implied by the whole set.
-    let suite = standard_suite(Scale::Small, 0.0, 42);
+    let suite = suite(0.0, 42);
     let ds = suite.iter().find(|d| d.id == "T7").unwrap();
     let result = discover(&ds.clean, &DiscoveryConfig::default());
     let pfds: Vec<Pfd> = result.dependencies.iter().map(|d| d.pfd.clone()).collect();
@@ -193,7 +208,7 @@ fn discovered_pfds_are_consistent_and_closed_under_implication() {
 
 #[test]
 fn csv_round_trip_preserves_discovery() {
-    let suite = standard_suite(Scale::Small, 0.01, 42);
+    let suite = suite(0.01, 42);
     let ds = suite.iter().find(|d| d.id == "T3").unwrap();
     let csv = write_csv_string(&ds.dirty);
     let reloaded = read_csv_str(&ds.name, &csv).unwrap();
@@ -206,7 +221,7 @@ fn csv_round_trip_preserves_discovery() {
 #[test]
 fn generalized_pfds_hold_where_constants_do() {
     // Variable PFDs must not contradict the data their constants came from.
-    let suite = standard_suite(Scale::Small, 0.0, 42);
+    let suite = suite(0.0, 42);
     for ds in suite
         .iter()
         .filter(|d| ["T2", "T11", "T12"].contains(&d.id.as_str()))
@@ -370,8 +385,8 @@ fn cli_rule_file_round_trips_through_library_parser() {
 fn dirty_discovery_still_finds_the_dependencies() {
     // §4's headline: discovery works *from dirty data*. Compare clean vs
     // dirty discovery on the same table.
-    let suite_clean = standard_suite(Scale::Small, 0.0, 42);
-    let suite_dirty = standard_suite(Scale::Small, 0.02, 42);
+    let suite_clean = suite(0.0, 42);
+    let suite_dirty = suite(0.02, 42);
     for id in ["T5", "T13"] {
         let clean = suite_clean.iter().find(|d| d.id == id).unwrap();
         let dirty = suite_dirty.iter().find(|d| d.id == id).unwrap();
