@@ -1,0 +1,222 @@
+//! Criterion bench for incremental violation maintenance: single-cell-edit
+//! reconciliation on the group-indexed [`DeltaEngine`] vs the naive
+//! full-recompute [`IncrementalChecker`], across relation sizes, plus the
+//! batched-edit path.
+//!
+//! Besides the human-readable criterion output, the run writes
+//! `BENCH_incremental.json` (µs/edit for both engines, speedup, batch
+//! coalescing factor) so the delta engine's perf trajectory is tracked
+//! across PRs next to `BENCH_discovery.json`. `PFD_BENCH_SMOKE=1` skips the
+//! criterion sampling and emits the JSON from a tiny-scale pass — the CI
+//! smoke-bench mode. `PFD_BENCH_JSON` overrides the output path.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use pfd_core::{DeltaEngine, Edit, IncrementalChecker, Pfd};
+use pfd_datagen::zip_state_table;
+use pfd_relation::Relation;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The monitored rules: the zip-prefix → state variable PFD (λ5 style, pair
+/// semantics) and a plain FD zip → state (wildcard tableau).
+fn session_pfds(rel: &Relation) -> Vec<Pfd> {
+    vec![
+        Pfd::constant_normal_form(
+            "ZipState",
+            rel.schema(),
+            "zip",
+            r"[\D{3}]\D{2}",
+            "state",
+            "_",
+        )
+        .unwrap(),
+        Pfd::fd("ZipState", rel.schema(), &["zip"], &["state"]).unwrap(),
+    ]
+}
+
+/// The steward's edit loop: break a state cell on even steps and restore
+/// the same cell (from the pristine `rel`) on the following odd step, so
+/// the relation cycles through steady-state single-violation churn rather
+/// than accumulating dirt across the run.
+fn toggle_edit(rel: &Relation, step: usize) -> Edit {
+    let row = ((step / 2) * 37) % rel.num_rows();
+    let attr = rel.schema().attr("state").unwrap();
+    let value = if step.is_multiple_of(2) {
+        "XX".to_string()
+    } else {
+        rel.cell(row, attr).to_string()
+    };
+    Edit::Set { row, attr, value }
+}
+
+fn bench_single_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_single_edit");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        let rel = zip_state_table(rows, 5);
+        let pfds = session_pfds(&rel);
+        let mut naive = IncrementalChecker::new(rel.clone(), pfds.clone());
+        let mut delta = DeltaEngine::new(rel.clone(), pfds);
+        let mut step = 0usize;
+        group.bench_with_input(BenchmarkId::new("full_recompute", rows), &rel, |b, rel| {
+            b.iter(|| {
+                let edit = toggle_edit(rel, step);
+                step += 1;
+                black_box(naive.apply(edit).unwrap())
+            })
+        });
+        let mut step = 0usize;
+        group.bench_with_input(BenchmarkId::new("delta_engine", rows), &rel, |b, rel| {
+            b.iter(|| {
+                let edit = toggle_edit(rel, step);
+                step += 1;
+                black_box(delta.apply(edit).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_batch_100_edits");
+    group.sample_size(10);
+    let rel = zip_state_table(10_000, 5);
+    let pfds = session_pfds(&rel);
+    let edits: Vec<Edit> = (0..100).map(|i| toggle_edit(&rel, i)).collect();
+    let mut engine = DeltaEngine::new(rel.clone(), pfds.clone());
+    group.bench_function("coalesced", |b| {
+        b.iter(|| black_box(engine.apply_batch(&edits).unwrap()))
+    });
+    let mut engine = DeltaEngine::new(rel, pfds);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for e in &edits {
+                black_box(engine.apply(e.clone()).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: BENCH_incremental.json
+// ---------------------------------------------------------------------------
+
+struct JsonCase {
+    rows: usize,
+    edits: usize,
+    full_us_per_edit: f64,
+    delta_us_per_edit: f64,
+    speedup: f64,
+    batch_us_per_edit: f64,
+    build_ms: f64,
+}
+
+fn measure(rows: usize, edits: usize) -> JsonCase {
+    let rel = zip_state_table(rows, 5);
+    let pfds = session_pfds(&rel);
+
+    let t0 = Instant::now();
+    let mut delta = DeltaEngine::new(rel.clone(), pfds.clone());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut naive = IncrementalChecker::new(rel.clone(), pfds.clone());
+
+    let t0 = Instant::now();
+    for i in 0..edits {
+        black_box(naive.apply(toggle_edit(&rel, i)).unwrap());
+    }
+    let full_us = t0.elapsed().as_secs_f64() * 1e6 / edits as f64;
+
+    let t0 = Instant::now();
+    for i in 0..edits {
+        black_box(delta.apply(toggle_edit(&rel, i)).unwrap());
+    }
+    let delta_us = t0.elapsed().as_secs_f64() * 1e6 / edits as f64;
+
+    // Batched: the same edit volume, one reconciliation pass.
+    let script: Vec<Edit> = (0..edits).map(|i| toggle_edit(&rel, i)).collect();
+    let mut batch_engine = DeltaEngine::new(rel.clone(), pfds);
+    let t0 = Instant::now();
+    black_box(batch_engine.apply_batch(&script).unwrap());
+    let batch_us = t0.elapsed().as_secs_f64() * 1e6 / edits as f64;
+
+    JsonCase {
+        rows,
+        edits,
+        full_us_per_edit: full_us,
+        delta_us_per_edit: delta_us,
+        speedup: full_us / delta_us,
+        batch_us_per_edit: batch_us,
+        build_ms,
+    }
+}
+
+fn write_bench_json(smoke: bool) {
+    let cases: Vec<JsonCase> = if smoke {
+        vec![measure(300, 40)]
+    } else {
+        vec![
+            measure(1_000, 200),
+            measure(10_000, 200),
+            measure(50_000, 100),
+        ]
+    };
+
+    let mut json = String::from("{\n  \"schema_version\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    // Fixed reference point: the pre-delta-engine IncrementalChecker was the
+    // only incremental path, so its per-edit cost is the trajectory baseline.
+    json.push_str(
+        "  \"reference\": {\"label\": \"naive full-recompute checker (PR 2 tree)\", \
+         \"metric\": \"us_per_single_cell_edit\"},\n",
+    );
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"rows\": {}, \"edits\": {}, \"full_recompute_us_per_edit\": {:.2}, \
+             \"delta_engine_us_per_edit\": {:.2}, \"speedup\": {:.1}, \
+             \"batch_us_per_edit\": {:.2}, \"index_build_ms\": {:.2}}}",
+            c.rows,
+            c.edits,
+            c.full_us_per_edit,
+            c.delta_us_per_edit,
+            c.speedup,
+            c.batch_us_per_edit,
+            c.build_ms
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("PFD_BENCH_JSON").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_incremental.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    for c in &cases {
+        println!(
+            "rows {:>6}: full {:>9.2} µs/edit, delta {:>7.2} µs/edit ({:.1}×), batch {:>7.2} µs/edit",
+            c.rows, c.full_us_per_edit, c.delta_us_per_edit, c.speedup, c.batch_us_per_edit
+        );
+    }
+}
+
+criterion_group!(benches, bench_single_edit, bench_batch);
+
+fn main() {
+    let smoke = std::env::var("PFD_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if !smoke {
+        benches();
+    }
+    write_bench_json(smoke);
+}

@@ -41,13 +41,18 @@ pub mod incremental;
 pub mod pfd;
 pub mod repair;
 pub mod rules;
+pub mod session;
 pub mod tableau;
 
 pub use detect::{detect_errors, evaluate_detection, CellFlag, DetectionEval, DetectionReport};
-pub use incremental::{IncrementalChecker, ViolationDelta};
+pub use incremental::{DeltaEngine, DeltaEntry, Edit, IncrementalChecker, ViolationDelta};
 pub use pfd::{display_with_schema, Pfd, PfdError, TableauAudit, Violation, ViolationKind};
 pub use repair::{
     evaluate_repairs, repair, repair_to_fixpoint, CellFix, RepairEval, RepairOutcome,
 };
 pub use rules::{parse_rule, parse_rules, to_rule_string, to_rules_string, RuleError};
+pub use session::{
+    check_report_json, parse_command, repair_outcome_json, run_session, SessionCommand,
+    SessionSummary,
+};
 pub use tableau::{TableauCell, TableauRow};

@@ -113,6 +113,17 @@ impl Violation {
     pub fn cells(&self) -> &[(RowId, AttrId)] {
         &self.cells
     }
+
+    /// Renumber every row id through `f` (used by the incremental engines
+    /// after a row deletion shifts ids).
+    pub(crate) fn remap_rows(&mut self, f: impl Fn(RowId) -> RowId) {
+        for r in &mut self.rows {
+            *r = f(*r);
+        }
+        for (r, _) in &mut self.cells {
+            *r = f(*r);
+        }
+    }
 }
 
 /// A pattern functional dependency `R(X → Y, Tp)`.
@@ -372,8 +383,14 @@ impl Pfd {
     }
 
     /// The LHS equivalence key of a relation row under a tableau row, or
-    /// `None` if some LHS cell does not match.
-    fn lhs_key(&self, rel: &Relation, rid: RowId, row: &TableauRow) -> Option<Vec<String>> {
+    /// `None` if some LHS cell does not match. Crate-visible so the
+    /// incremental group indexes can maintain key → row-set maps.
+    pub(crate) fn lhs_key(
+        &self,
+        rel: &Relation,
+        rid: RowId,
+        row: &TableauRow,
+    ) -> Option<Vec<String>> {
         self.lhs
             .iter()
             .zip(&row.lhs)
@@ -512,8 +529,6 @@ impl Pfd {
         out: &mut Vec<Violation>,
         limit: Option<usize>,
     ) {
-        let at_limit = |out: &Vec<Violation>| limit.is_some_and(|l| out.len() >= l);
-
         // Group matching rows by LHS key.
         let mut groups: BTreeMap<Vec<String>, Vec<RowId>> = BTreeMap::new();
         for (rid, _) in rel.iter_rows() {
@@ -523,98 +538,133 @@ impl Pfd {
         }
 
         for rows in groups.values() {
-            // Single-tuple RHS pattern checks.
-            let mut rhs_ok: Vec<RowId> = Vec::with_capacity(rows.len());
-            for &rid in rows {
-                let mut failed = None;
-                for (j, b) in self.rhs.iter().enumerate() {
-                    if !row.rhs[j].matches(rel.cell(rid, *b)) {
-                        failed = Some(*b);
-                        break;
-                    }
-                }
-                match failed {
-                    Some(b) => {
-                        let mut cells: Vec<(RowId, AttrId)> =
-                            self.lhs.iter().map(|a| (rid, *a)).collect();
-                        cells.push((rid, b));
-                        out.push(Violation {
-                            tableau_row: ti,
-                            kind: ViolationKind::SingleTuple,
-                            attr: b,
-                            rows: vec![rid],
-                            cells,
-                        });
-                        if at_limit(out) {
-                            return;
-                        }
-                    }
-                    None => rhs_ok.push(rid),
-                }
+            self.violations_of_group_limited(rel, ti, row, rows, out, limit);
+            if limit.is_some_and(|l| out.len() >= l) {
+                return;
             }
+        }
+    }
 
-            // Pair semantics: partition by RHS key.
-            if rhs_ok.len() < 2 {
-                continue;
-            }
-            let mut partitions: BTreeMap<Vec<String>, Vec<RowId>> = BTreeMap::new();
-            for &rid in &rhs_ok {
-                let key: Vec<String> = self
-                    .rhs
-                    .iter()
-                    .zip(&row.rhs)
-                    .map(|(b, cell)| {
-                        cell.key(rel.cell(rid, *b))
-                            .expect("matched above")
-                            .to_string()
-                    })
-                    .collect();
-                partitions.entry(key).or_default().push(rid);
-            }
-            if partitions.len() <= 1 {
-                continue;
-            }
-            // Majority partition is the reference; every other row pairs
-            // with its representative.
-            let (_, majority) = partitions
-                .iter()
-                .max_by_key(|(key, rows)| (rows.len(), std::cmp::Reverse((*key).clone())))
-                .expect("non-empty");
-            let rep = majority[0];
-            let majority_rows: Vec<RowId> = majority.clone();
-            for (key, rows) in &partitions {
-                if rows == &majority_rows {
-                    continue;
+    /// Violations contributed by one LHS-key group of tableau row `ti`.
+    ///
+    /// `rows` must be the complete group in ascending row-id order (the
+    /// order [`Pfd::violations`] materializes groups in); the produced
+    /// violations depend only on the group's membership and cell values, so
+    /// an incremental checker re-running just the touched groups emits
+    /// byte-identical violations to a full recompute.
+    pub(crate) fn violations_of_group(
+        &self,
+        rel: &Relation,
+        ti: usize,
+        row: &TableauRow,
+        rows: &[RowId],
+        out: &mut Vec<Violation>,
+    ) {
+        self.violations_of_group_limited(rel, ti, row, rows, out, None);
+    }
+
+    /// [`Pfd::violations_of_group`] with [`Pfd::satisfies`]'s early exit:
+    /// stop materializing violations once `out` reaches `limit`.
+    fn violations_of_group_limited(
+        &self,
+        rel: &Relation,
+        ti: usize,
+        row: &TableauRow,
+        rows: &[RowId],
+        out: &mut Vec<Violation>,
+        limit: Option<usize>,
+    ) {
+        let at_limit = |out: &Vec<Violation>| limit.is_some_and(|l| out.len() >= l);
+
+        // Single-tuple RHS pattern checks.
+        let mut rhs_ok: Vec<RowId> = Vec::with_capacity(rows.len());
+        for &rid in rows {
+            let mut failed = None;
+            for (j, b) in self.rhs.iter().enumerate() {
+                if !row.rhs[j].matches(rel.cell(rid, *b)) {
+                    failed = Some(*b);
+                    break;
                 }
-                for &rid in rows {
-                    // First differing RHS attribute against the majority key.
-                    let attr = self
-                        .rhs
-                        .iter()
-                        .zip(&row.rhs)
-                        .find(|(b, cell)| {
-                            cell.key(rel.cell(rep, **b)) != cell.key(rel.cell(rid, **b))
-                        })
-                        .map(|(b, _)| *b)
-                        .unwrap_or(self.rhs[0]);
-                    let mut cells: Vec<(RowId, AttrId)> = Vec::new();
-                    for r in [rep, rid] {
-                        cells.extend(self.lhs.iter().map(|a| (r, *a)));
-                        cells.push((r, attr));
-                    }
+            }
+            match failed {
+                Some(b) => {
+                    let mut cells: Vec<(RowId, AttrId)> =
+                        self.lhs.iter().map(|a| (rid, *a)).collect();
+                    cells.push((rid, b));
                     out.push(Violation {
                         tableau_row: ti,
-                        kind: ViolationKind::TuplePair,
-                        attr,
-                        rows: vec![rep, rid],
+                        kind: ViolationKind::SingleTuple,
+                        attr: b,
+                        rows: vec![rid],
                         cells,
                     });
                     if at_limit(out) {
                         return;
                     }
                 }
-                let _ = key;
+                None => rhs_ok.push(rid),
             }
+        }
+
+        // Pair semantics: partition by RHS key.
+        if rhs_ok.len() < 2 {
+            return;
+        }
+        let mut partitions: BTreeMap<Vec<String>, Vec<RowId>> = BTreeMap::new();
+        for &rid in &rhs_ok {
+            let key: Vec<String> = self
+                .rhs
+                .iter()
+                .zip(&row.rhs)
+                .map(|(b, cell)| {
+                    cell.key(rel.cell(rid, *b))
+                        .expect("matched above")
+                        .to_string()
+                })
+                .collect();
+            partitions.entry(key).or_default().push(rid);
+        }
+        if partitions.len() <= 1 {
+            return;
+        }
+        // Majority partition is the reference; every other row pairs
+        // with its representative.
+        let (_, majority) = partitions
+            .iter()
+            .max_by_key(|(key, rows)| (rows.len(), std::cmp::Reverse((*key).clone())))
+            .expect("non-empty");
+        let rep = majority[0];
+        let majority_rows: Vec<RowId> = majority.clone();
+        for (key, rows) in &partitions {
+            if rows == &majority_rows {
+                continue;
+            }
+            for &rid in rows {
+                // First differing RHS attribute against the majority key.
+                let attr = self
+                    .rhs
+                    .iter()
+                    .zip(&row.rhs)
+                    .find(|(b, cell)| cell.key(rel.cell(rep, **b)) != cell.key(rel.cell(rid, **b)))
+                    .map(|(b, _)| *b)
+                    .unwrap_or(self.rhs[0]);
+                let mut cells: Vec<(RowId, AttrId)> = Vec::new();
+                for r in [rep, rid] {
+                    cells.extend(self.lhs.iter().map(|a| (r, *a)));
+                    cells.push((r, attr));
+                }
+                out.push(Violation {
+                    tableau_row: ti,
+                    kind: ViolationKind::TuplePair,
+                    attr,
+                    rows: vec![rep, rid],
+                    cells,
+                });
+                if at_limit(out) {
+                    return;
+                }
+            }
+            let _ = key;
         }
     }
 }

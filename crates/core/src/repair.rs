@@ -27,11 +27,19 @@ pub struct CellFix {
 }
 
 /// Outcome of a repair pass.
+///
+/// **Conflict priority**: when several PFDs implicate the same cell with
+/// different suggestions, the *first* PFD in the slice passed to [`repair`]
+/// wins — at most one fix is applied per cell, and its
+/// [`pfd_index`](CellFix::pfd_index) records the winner. Callers express
+/// repair priority purely through PFD order (validated constant PFDs before
+/// broader variable ones, per the §2.2 discussion of generalization being a
+/// double-edged sword); later PFDs never overwrite an earlier PFD's fix.
 #[derive(Debug, Clone)]
 pub struct RepairOutcome {
     /// The repaired relation.
     pub relation: Relation,
-    /// Fixes applied, in application order.
+    /// Fixes applied, in application order (at most one per cell).
     pub fixes: Vec<CellFix>,
     /// Flags that carried no suggestion (detected but not repairable).
     pub unrepaired: Vec<CellFlag>,
@@ -62,13 +70,13 @@ pub fn repair(rel: &Relation, pfds: &[Pfd]) -> RepairOutcome {
         if new == flag.current {
             continue;
         }
-        let old = fixed
+        fixed
             .set_cell(row, attr, new.clone())
             .expect("flag coordinates are in range");
         fixes.push(CellFix {
             row,
             attr,
-            old,
+            old: flag.current,
             new,
             pfd_index: flag.pfd_index,
         });
@@ -254,6 +262,47 @@ mod tests {
             .collect();
         assert_eq!(by_cell[&3], (0, "F".to_string()), "good PFD wins on r4");
         assert_eq!(by_cell[&2], (1, "M".to_string()), "bogus PFD hits r3");
+    }
+
+    #[test]
+    fn same_cell_conflict_first_pfd_wins_both_orders() {
+        // Two PFDs fighting over exactly one cell, r4[gender]: the good one
+        // says Susan → F, the bogus one says Boyle → M... after r4's gender
+        // is first knocked to "X" so both fire with conflicting suggestions.
+        let mut dirty = dirty_name_table();
+        let g = dirty.schema().attr("gender").unwrap();
+        dirty.set_cell(3, g, "X".into()).unwrap();
+        let susan_f = Pfd::constant_normal_form(
+            "Name",
+            dirty.schema(),
+            "name",
+            r"[Susan\ ]\A*",
+            "gender",
+            "F",
+        )
+        .unwrap();
+        let boyle_m = Pfd::cfd(
+            "Name",
+            dirty.schema(),
+            &[("name", Some("Susan Boyle"))],
+            ("gender", Some("M")),
+        )
+        .unwrap();
+
+        // Order 1: the good PFD first — the cell becomes F.
+        let outcome = repair(&dirty, &[susan_f.clone(), boyle_m.clone()]);
+        assert_eq!(outcome.fixes.len(), 1, "one fix per cell, never two");
+        assert_eq!(outcome.fixes[0].new, "F");
+        assert_eq!(outcome.fixes[0].pfd_index, 0, "provenance names the winner");
+        assert_eq!(outcome.relation.cell(3, g), "F");
+
+        // Order 2: the bogus PFD first — it wins instead. Priority is the
+        // caller's slice order and nothing else.
+        let outcome = repair(&dirty, &[boyle_m, susan_f]);
+        assert_eq!(outcome.fixes.len(), 1);
+        assert_eq!(outcome.fixes[0].new, "M");
+        assert_eq!(outcome.fixes[0].pfd_index, 0);
+        assert_eq!(outcome.relation.cell(3, g), "M");
     }
 
     #[test]

@@ -1,0 +1,759 @@
+//! The long-running cleaning session: a JSONL edit/delta protocol over the
+//! [`DeltaEngine`].
+//!
+//! The paper's ANMAT demo (§4.5) is a steward-in-the-loop tool: edits go in,
+//! violation changes come out, immediately. [`run_session`] is the
+//! embeddable seam for that loop — it reads one JSON command per input line
+//! and streams one JSON event per line to the output, so the same function
+//! backs the `pfd session` CLI subcommand today and a network server
+//! tomorrow.
+//!
+//! ```text
+//! → {"op":"set","row":3,"attr":"gender","value":"F"}
+//! ← {"event":"delta","version":5,"violations":0,"introduced":[],"resolved":[{...}]}
+//! ```
+//!
+//! Commands: `set` (`row`, `attr` by name or index, `value`), `insert`
+//! (`cells` array), `delete` (`row`), and `batch` (`edits` array of the
+//! former three, reconciled as one [`DeltaEngine::apply_batch`] call).
+//! Events: one `ready` on startup (initial violation state), then per
+//! command either `delta` or `error` (malformed input never kills the
+//! session). The same serializers back the `--json` flags of `pfd check`
+//! and `pfd repair`, so batch reports and the interactive stream speak one
+//! format.
+//!
+//! The module hand-rolls a minimal JSON reader/writer ([`json`]) because
+//! the build environment vendors no serde; it covers the full value grammar
+//! (objects, arrays, strings with escapes, numbers, booleans, null).
+
+use crate::detect::DetectionReport;
+use crate::incremental::{DeltaEngine, DeltaEntry, Edit, ViolationDelta};
+use crate::pfd::{Pfd, Violation, ViolationKind};
+use crate::repair::RepairOutcome;
+use pfd_relation::{AttrId, Relation, RowId, Schema};
+use std::io::{BufRead, Write};
+
+/// Minimal JSON parsing and serialization helpers.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload as a non-negative integer, if exact.
+        pub fn as_index(&self) -> Option<usize> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                    Some(*n as usize)
+                }
+                _ => None,
+            }
+        }
+
+        /// The array payload, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document (trailing non-whitespace is an error).
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let bytes: Vec<char> = src.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&bytes, &mut pos)?;
+        skip_ws(&bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(s: &[char], pos: &mut usize) {
+        while *pos < s.len() && s[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(s: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+        if s.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at offset {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_value(s: &[char], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(s, pos);
+        match s.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some('{') => {
+                *pos += 1;
+                let mut members = Vec::new();
+                skip_ws(s, pos);
+                if s.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                loop {
+                    skip_ws(s, pos);
+                    let key = match parse_value(s, pos)? {
+                        Value::Str(k) => k,
+                        other => return Err(format!("object key must be a string, got {other:?}")),
+                    };
+                    skip_ws(s, pos);
+                    expect(s, pos, ':')?;
+                    let value = parse_value(s, pos)?;
+                    members.push((key, value));
+                    skip_ws(s, pos);
+                    match s.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some('}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(members));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                    }
+                }
+            }
+            Some('[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(s, pos);
+                if s.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(s, pos)?);
+                    skip_ws(s, pos);
+                    match s.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some(']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                    }
+                }
+            }
+            Some('"') => parse_string(s, pos).map(Value::Str),
+            Some('t') => parse_keyword(s, pos, "true", Value::Bool(true)),
+            Some('f') => parse_keyword(s, pos, "false", Value::Bool(false)),
+            Some('n') => parse_keyword(s, pos, "null", Value::Null),
+            Some(_) => parse_number(s, pos),
+        }
+    }
+
+    fn parse_keyword(s: &[char], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            expect(s, pos, c)?;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(s: &[char], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < s.len() && matches!(s[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
+            *pos += 1;
+        }
+        let text: String = s[start..*pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number {text:?} at offset {start}"))
+    }
+
+    fn parse_string(s: &[char], pos: &mut usize) -> Result<String, String> {
+        expect(s, pos, '"')?;
+        let mut out = String::new();
+        loop {
+            match s.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some('"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    match s.get(*pos) {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('b') => out.push('\u{8}'),
+                        Some('f') => out.push('\u{c}'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hi = parse_hex4(s, pos)?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                *pos += 1;
+                                if s.get(*pos) != Some(&'\\') || s.get(*pos + 1) != Some(&'u') {
+                                    return Err("lone high surrogate".into());
+                                }
+                                *pos += 1;
+                                let lo = parse_hex4(s, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            };
+                            out.push(ch);
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(c) => {
+                    out.push(*c);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(s: &[char], pos: &mut usize) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            *pos += 1;
+            let d = s
+                .get(*pos)
+                .and_then(|c| c.to_digit(16))
+                .ok_or("bad \\u escape")?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    /// Append `s` as a JSON string literal (with quotes) to `out`.
+    pub fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// `s` as a JSON string literal.
+    pub fn escaped(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        write_escaped(&mut out, s);
+        out
+    }
+}
+
+use json::Value;
+
+/// Serialize a violation with attribute names resolved against the schema.
+pub fn violation_json(pfd_index: usize, v: &Violation, schema: &Schema) -> String {
+    let mut out = String::new();
+    let kind = match v.kind {
+        ViolationKind::SingleTuple => "single_tuple",
+        ViolationKind::TuplePair => "tuple_pair",
+    };
+    let attr = schema.name_of(v.attr).unwrap_or("?");
+    out.push_str(&format!(
+        "{{\"pfd\":{pfd_index},\"tableau_row\":{},\"kind\":\"{kind}\",\"attr\":{},\"rows\":[",
+        v.tableau_row,
+        json::escaped(attr)
+    ));
+    for (i, r) in v.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_string());
+    }
+    out.push_str("],\"cells\":[");
+    for (i, (r, a)) in v.cells().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"row\":{r},\"attr\":{}}}",
+            json::escaped(schema.name_of(*a).unwrap_or("?"))
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn entries_json(entries: &[DeltaEntry], schema: &Schema) -> String {
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&violation_json(e.pfd_index, &e.violation, schema));
+    }
+    out.push(']');
+    out
+}
+
+/// Serialize one delta event line (without trailing newline).
+pub fn delta_json(delta: &ViolationDelta, violations_now: usize, schema: &Schema) -> String {
+    format!(
+        "{{\"event\":\"delta\",\"version\":{},\"violations\":{},\"introduced\":{},\"resolved\":{}}}",
+        delta.version,
+        violations_now,
+        entries_json(&delta.introduced, schema),
+        entries_json(&delta.resolved, schema),
+    )
+}
+
+/// Serialize a `pfd check` detection report (the batch analogue of the
+/// session's `ready` event).
+pub fn check_report_json(report: &DetectionReport, rel: &Relation) -> String {
+    let schema = rel.schema();
+    let mut out = format!(
+        "{{\"table\":{},\"rows\":{},\"clean\":{},\"suspect_cells\":{},\"flags\":[",
+        json::escaped(schema.relation()),
+        rel.num_rows(),
+        report.is_clean(),
+        report.unique_cells().len()
+    );
+    for (i, flag) in report.flags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match flag.kind {
+            ViolationKind::SingleTuple => "single_tuple",
+            ViolationKind::TuplePair => "tuple_pair",
+        };
+        out.push_str(&format!(
+            "{{\"row\":{},\"attr\":{},\"pfd\":{},\"kind\":\"{kind}\",\"current\":{},\"suggestion\":{}}}",
+            flag.row,
+            json::escaped(schema.name_of(flag.attr).unwrap_or("?")),
+            flag.pfd_index,
+            json::escaped(&flag.current),
+            match &flag.suggestion {
+                Some(s) => json::escaped(s),
+                None => "null".into(),
+            }
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialize a `pfd repair` outcome.
+pub fn repair_outcome_json(outcome: &RepairOutcome) -> String {
+    let schema = outcome.relation.schema();
+    let mut out = format!(
+        "{{\"table\":{},\"rows\":{},\"fixes\":[",
+        json::escaped(schema.relation()),
+        outcome.relation.num_rows()
+    );
+    for (i, fix) in outcome.fixes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"row\":{},\"attr\":{},\"pfd\":{},\"old\":{},\"new\":{}}}",
+            fix.row,
+            json::escaped(schema.name_of(fix.attr).unwrap_or("?")),
+            fix.pfd_index,
+            json::escaped(&fix.old),
+            json::escaped(&fix.new)
+        ));
+    }
+    out.push_str("],\"unrepaired\":[");
+    for (i, flag) in outcome.unrepaired.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"row\":{},\"attr\":{},\"pfd\":{}}}",
+            flag.row,
+            json::escaped(schema.name_of(flag.attr).unwrap_or("?")),
+            flag.pfd_index
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A parsed session command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionCommand {
+    /// Apply one edit.
+    Single(Edit),
+    /// Apply a batch of edits as one reconciliation.
+    Batch(Vec<Edit>),
+}
+
+/// Parse one JSONL command line against the session's schema. Attributes
+/// may be referenced by name (`"attr":"gender"`) or index (`"attr":1`).
+pub fn parse_command(line: &str, schema: &Schema) -> Result<SessionCommand, String> {
+    let value = json::parse(line)?;
+    parse_command_value(&value, schema)
+}
+
+fn parse_command_value(value: &Value, schema: &Schema) -> Result<SessionCommand, String> {
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing \"op\"")?;
+    match op {
+        "batch" => {
+            let edits = value
+                .get("edits")
+                .and_then(Value::as_arr)
+                .ok_or("batch needs an \"edits\" array")?;
+            let edits = edits
+                .iter()
+                .map(|e| match parse_command_value(e, schema)? {
+                    SessionCommand::Single(edit) => Ok(edit),
+                    SessionCommand::Batch(_) => Err("nested batch".to_string()),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SessionCommand::Batch(edits))
+        }
+        "set" => {
+            let row = parse_row(value)?;
+            let attr = parse_attr(value, schema)?;
+            let value = value
+                .get("value")
+                .and_then(Value::as_str)
+                .ok_or("set needs a string \"value\"")?
+                .to_string();
+            Ok(SessionCommand::Single(Edit::Set { row, attr, value }))
+        }
+        "insert" => {
+            let cells = value
+                .get("cells")
+                .and_then(Value::as_arr)
+                .ok_or("insert needs a \"cells\" array")?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or("cells must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SessionCommand::Single(Edit::Insert { cells }))
+        }
+        "delete" => Ok(SessionCommand::Single(Edit::Delete {
+            row: parse_row(value)?,
+        })),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn parse_row(value: &Value) -> Result<RowId, String> {
+    value
+        .get("row")
+        .and_then(Value::as_index)
+        .ok_or_else(|| "missing or invalid \"row\"".to_string())
+}
+
+fn parse_attr(value: &Value, schema: &Schema) -> Result<AttrId, String> {
+    match value.get("attr") {
+        Some(Value::Str(name)) => schema.attr(name).map_err(|e| e.to_string()),
+        Some(v) => v
+            .as_index()
+            .map(AttrId)
+            .ok_or_else(|| "invalid \"attr\"".to_string()),
+        None => Err("missing \"attr\"".to_string()),
+    }
+}
+
+/// Summary of a finished session (for logging and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Commands that applied cleanly.
+    pub applied: usize,
+    /// Commands rejected with an `error` event.
+    pub rejected: usize,
+    /// Violations remaining at session end.
+    pub violations: usize,
+}
+
+/// Drive a cleaning session: read JSONL commands from `input`, stream JSONL
+/// events to `out`, return the edited relation and a summary.
+///
+/// The first emitted line is a `ready` event carrying the initial violation
+/// state; each subsequent line answers one input line (`delta` on success,
+/// `error` otherwise — the session keeps going after errors). EOF ends the
+/// session.
+pub fn run_session(
+    rel: Relation,
+    pfds: Vec<Pfd>,
+    input: impl BufRead,
+    out: &mut dyn Write,
+) -> std::io::Result<(Relation, SessionSummary)> {
+    let schema = rel.schema().clone();
+    let mut engine = DeltaEngine::new(rel, pfds);
+    let initial = engine.sorted_violations();
+    writeln!(
+        out,
+        "{{\"event\":\"ready\",\"version\":{},\"rows\":{},\"pfds\":{},\"violations\":{},\"state\":{}}}",
+        engine.relation().version(),
+        engine.relation().num_rows(),
+        engine.pfds().len(),
+        initial.len(),
+        entries_json(&initial, &schema)
+    )?;
+    let mut summary = SessionSummary {
+        applied: 0,
+        rejected: 0,
+        violations: initial.len(),
+    };
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = parse_command(&line, &schema).and_then(|cmd| {
+            match cmd {
+                SessionCommand::Single(edit) => engine.apply(edit),
+                SessionCommand::Batch(edits) => engine.apply_batch(&edits),
+            }
+            .map_err(|e| e.to_string())
+        });
+        match outcome {
+            Ok(delta) => {
+                summary.applied += 1;
+                writeln!(
+                    out,
+                    "{}",
+                    delta_json(&delta, engine.violation_count(), &schema)
+                )?;
+            }
+            Err(message) => {
+                summary.rejected += 1;
+                writeln!(
+                    out,
+                    "{{\"event\":\"error\",\"message\":{}}}",
+                    json::escaped(&message)
+                )?;
+            }
+        }
+    }
+    summary.violations = engine.violation_count();
+    Ok((engine.into_relation(), summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tableau::TableauRow;
+    use std::io::Cursor;
+
+    fn name_relation() -> Relation {
+        Relation::from_rows(
+            "Name",
+            &["name", "gender"],
+            vec![
+                vec!["John Charles", "M"],
+                vec!["John Bosco", "M"],
+                vec!["Susan Orlean", "F"],
+                vec!["Susan Boyle", "M"], // dirty
+            ],
+        )
+        .unwrap()
+    }
+
+    fn gender_pfd(rel: &Relation) -> Pfd {
+        let mut pfd =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
+        pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        pfd
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = json::parse(
+            r#"{"op":"set","row":3,"attr":"gender","value":"F \"quoted\" é\n","ok":true,"x":null,"arr":[1,2.5,-3]}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("set"));
+        assert_eq!(v.get("row").and_then(Value::as_index), Some(3));
+        assert_eq!(
+            v.get("value").and_then(Value::as_str),
+            Some("F \"quoted\" é\n")
+        );
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("x"), Some(&Value::Null));
+        assert_eq!(
+            v.get("arr").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(3)
+        );
+        // Escaping survives a round trip.
+        let s = "tab\there \"and\" a \\ slash\nnewline";
+        let esc = json::escaped(s);
+        assert_eq!(json::parse(&esc).unwrap(), Value::Str(s.to_string()));
+    }
+
+    #[test]
+    fn json_parse_errors() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("{\"a\" 1}").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+        assert!(json::parse("{} trailing").is_err());
+        assert!(json::parse("12..5").is_err());
+    }
+
+    #[test]
+    fn json_surrogate_escapes() {
+        // A valid escaped pair decodes to U+1F600.
+        assert_eq!(
+            json::parse(r#""\uD83D\uDE00""#).unwrap(),
+            Value::Str("😀".into())
+        );
+        // Every malformed shape errors instead of panicking (a
+        // non-low-surrogate second escape used to underflow in debug
+        // builds).
+        assert!(json::parse(r#""\uD800\u0041""#).is_err(), "bad low half");
+        assert!(json::parse(r#""\uD800""#).is_err(), "lone high surrogate");
+        assert!(json::parse(r#""\uDC00""#).is_err(), "lone low surrogate");
+        assert!(json::parse(r#""\uD800x""#).is_err(), "no second escape");
+    }
+
+    #[test]
+    fn command_parsing_resolves_attrs() {
+        let rel = name_relation();
+        let schema = rel.schema();
+        let cmd = parse_command(
+            r#"{"op":"set","row":3,"attr":"gender","value":"F"}"#,
+            schema,
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            SessionCommand::Single(Edit::Set {
+                row: 3,
+                attr: AttrId(1),
+                value: "F".into()
+            })
+        );
+        // Index form.
+        let cmd = parse_command(r#"{"op":"set","row":3,"attr":1,"value":"F"}"#, schema).unwrap();
+        assert!(matches!(
+            cmd,
+            SessionCommand::Single(Edit::Set {
+                attr: AttrId(1),
+                ..
+            })
+        ));
+        assert!(
+            parse_command(r#"{"op":"set","row":3,"attr":"nope","value":"F"}"#, schema).is_err()
+        );
+        assert!(parse_command(r#"{"op":"fly"}"#, schema).is_err());
+        let cmd = parse_command(
+            r#"{"op":"batch","edits":[{"op":"delete","row":0},{"op":"insert","cells":["A","B"]}]}"#,
+            schema,
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            SessionCommand::Batch(vec![
+                Edit::Delete { row: 0 },
+                Edit::Insert {
+                    cells: vec!["A".into(), "B".into()]
+                }
+            ])
+        );
+    }
+
+    #[test]
+    fn session_streams_deltas_and_survives_errors() {
+        let rel = name_relation();
+        let pfds = vec![gender_pfd(&rel)];
+        let script = concat!(
+            "{\"op\":\"set\",\"row\":3,\"attr\":\"gender\",\"value\":\"F\"}\n",
+            "\n",
+            "this is not json\n",
+            "{\"op\":\"set\",\"row\":99,\"attr\":\"gender\",\"value\":\"F\"}\n",
+            "{\"op\":\"insert\",\"cells\":[\"John Doe\",\"F\"]}\n",
+        );
+        let mut out = Vec::new();
+        let (final_rel, summary) = run_session(rel, pfds, Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "ready + 4 answered lines: {text}");
+        assert!(lines[0].contains("\"event\":\"ready\""));
+        assert!(lines[0].contains("\"violations\":1"));
+        assert!(lines[1].contains("\"resolved\":[{"), "{}", lines[1]);
+        assert!(lines[2].contains("\"event\":\"error\""));
+        assert!(lines[3].contains("\"event\":\"error\""));
+        assert!(lines[4].contains("\"introduced\":[{"), "{}", lines[4]);
+        assert_eq!(summary.applied, 2);
+        assert_eq!(summary.rejected, 2);
+        assert_eq!(summary.violations, 1, "the inserted John Doe/F violates");
+        assert_eq!(final_rel.num_rows(), 5);
+        // Every emitted line is valid JSON.
+        for line in lines {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn violation_json_shape() {
+        let rel = name_relation();
+        let pfd = gender_pfd(&rel);
+        let v = &pfd.violations(&rel)[0];
+        let j = violation_json(0, v, rel.schema());
+        let parsed = json::parse(&j).unwrap();
+        assert_eq!(parsed.get("pfd").and_then(Value::as_index), Some(0));
+        assert_eq!(
+            parsed.get("kind").and_then(Value::as_str),
+            Some("single_tuple")
+        );
+        assert_eq!(parsed.get("attr").and_then(Value::as_str), Some("gender"));
+        assert_eq!(
+            parsed.get("rows").and_then(Value::as_arr).unwrap()[0].as_index(),
+            Some(3)
+        );
+    }
+}

@@ -47,8 +47,11 @@ pub mod extract;
 pub mod fxhash;
 pub mod index;
 pub mod pool;
-pub mod postings;
 pub mod review;
+
+// Promoted to `pfd_relation::postings` so the incremental cleaning engine in
+// `pfd_core` can share it; re-exported here to keep the original paths.
+pub use pfd_relation::postings;
 
 pub use algorithm::{
     discover, DependencyKind, DiscoveredDependency, DiscoveryResult, DiscoveryStats,

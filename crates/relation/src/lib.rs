@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod postings;
 pub mod profile;
 #[allow(clippy::module_inception)]
 pub mod relation;
 pub mod schema;
 
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvError};
+pub use postings::{PostingList, RowSetAccumulator};
 pub use profile::{profile_column, profile_relation, ColumnKind, ColumnProfile, Extraction};
-pub use relation::{Relation, RelationError, RowId};
+pub use relation::{Relation, RelationError, RowDelta, RowId};
 pub use schema::{AttrId, Schema, SchemaError};

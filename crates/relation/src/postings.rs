@@ -1,4 +1,5 @@
-//! Compact row-set representation for the inverted index.
+//! Compact row-set representation shared by the discovery index and the
+//! incremental cleaning engine.
 //!
 //! Index entries and candidate row sets were plain `Vec<RowId>`; at scale
 //! the discovery hot path is dominated by merging those lists. A
@@ -12,8 +13,15 @@
 //! Equality and hashing are canonical over the *element sequence*, not the
 //! representation, so row sets group identically regardless of which side
 //! of the density threshold they landed on.
+//!
+//! The list also supports point mutation ([`insert`](PostingList::insert),
+//! [`remove`](PostingList::remove),
+//! [`renumber_after_delete`](PostingList::renumber_after_delete)) so the
+//! incremental engine's per-group row sets can track relation edits without
+//! rebuilding. This module lives in `pfd_relation` (rather than discovery,
+//! where it originated) because both layers depend on it.
 
-use pfd_relation::RowId;
+use crate::relation::RowId;
 use std::hash::{Hash, Hasher};
 
 /// Density numerator: a set is stored as a bitset when
@@ -200,6 +208,85 @@ impl PostingList {
                 .find(|(_, w)| **w != 0)
                 .map(|(i, w)| i as u32 * 64 + 63 - w.leading_zeros()),
         }
+    }
+
+    /// Insert one row id, growing the universe when `id` lies beyond it.
+    /// Returns `true` when the id was newly added. The representation is
+    /// promoted to a bitset when the insert crosses the density threshold;
+    /// removals never demote (hysteresis keeps edit sequences cheap).
+    pub fn insert(&mut self, id: RowId) -> bool {
+        let id = id as u32;
+        if id >= self.universe {
+            self.universe = id + 1;
+            if let Repr::Dense { words, .. } = &mut self.repr {
+                words.resize(self.universe.div_ceil(64) as usize, 0);
+            }
+        }
+        match &mut self.repr {
+            Repr::Sorted(v) => match v.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, id);
+                    if is_dense(v.len(), self.universe) {
+                        *self = PostingList::from_sorted(std::mem::take(v), self.universe as usize);
+                    }
+                    true
+                }
+            },
+            Repr::Dense { words, count } => {
+                let w = &mut words[(id / 64) as usize];
+                let bit = 1u64 << (id % 64);
+                if *w & bit == 0 {
+                    *w |= bit;
+                    *count += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Remove one row id; returns `true` when it was present.
+    pub fn remove(&mut self, id: RowId) -> bool {
+        let id = id as u32;
+        match &mut self.repr {
+            Repr::Sorted(v) => match v.binary_search(&id) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Repr::Dense { words, count } => {
+                if id >= self.universe {
+                    return false;
+                }
+                let w = &mut words[(id / 64) as usize];
+                let bit = 1u64 << (id % 64);
+                if *w & bit != 0 {
+                    *w &= !bit;
+                    *count -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Renumber after row `removed` left the universe: the id itself is
+    /// dropped (callers normally [`remove`](PostingList::remove) it first)
+    /// and every id above it shifts down by one, mirroring
+    /// `Relation::delete_row`'s renumbering.
+    pub fn renumber_after_delete(&mut self, removed: RowId) {
+        let removed = removed as u32;
+        let ids: Vec<u32> = self
+            .iter()
+            .filter(|&id| id != removed)
+            .map(|id| if id > removed { id - 1 } else { id })
+            .collect();
+        *self = PostingList::from_sorted(ids, self.universe.saturating_sub(1).max(1) as usize);
     }
 
     /// Is `self ⊆ other`?
@@ -588,6 +675,50 @@ mod tests {
         assert_eq!(c.universe(), 128);
         assert!(!c.contains(100));
         assert!(c.contains(15));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_sparse() {
+        let mut a = pl(&[2, 8], 1000);
+        assert!(a.insert(5));
+        assert!(!a.insert(5), "already present");
+        assert_eq!(a.to_vec(), vec![2, 5, 8]);
+        assert!(a.remove(2));
+        assert!(!a.remove(2), "already gone");
+        assert_eq!(a.to_vec(), vec![5, 8]);
+    }
+
+    #[test]
+    fn insert_grows_universe_and_promotes_to_dense() {
+        let mut a = pl(&[0], 64);
+        assert!(!a.is_dense_repr());
+        for id in 1..8 {
+            assert!(a.insert(id));
+        }
+        // 8 of 64 = 1/8 ≥ 1/16: the insert crossing the bar promoted it.
+        assert!(a.is_dense_repr());
+        assert!(a.insert(100), "id beyond the universe grows it");
+        assert_eq!(a.universe(), 101);
+        assert!(a.contains(100));
+        assert!(a.remove(100));
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.to_vec(), (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn renumber_after_delete_shifts_higher_ids() {
+        let mut a = pl(&[1, 4, 9], 10);
+        a.remove(4);
+        a.renumber_after_delete(4);
+        assert_eq!(a.to_vec(), vec![1, 8]);
+        assert_eq!(a.universe(), 9);
+        // Dense form too.
+        let mut d = PostingList::from_sorted((0..50).collect(), 100);
+        assert!(d.is_dense_repr());
+        d.remove(10);
+        d.renumber_after_delete(10);
+        let expected: Vec<u32> = (0..49).collect();
+        assert_eq!(d.to_vec(), expected);
     }
 
     #[test]

@@ -12,10 +12,81 @@ use std::fmt;
 pub type RowId = usize;
 
 /// A relation instance: a schema plus rows of string cells.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every mutation bumps a monotonic [`version`](Relation::version) counter
+/// and is describable as a [`RowDelta`], so downstream structures (violation
+/// caches, group indexes) can subscribe to the edit stream instead of
+/// diffing whole relations.
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
     rows: Vec<Vec<String>>,
+    /// Monotonic mutation counter; not part of value equality.
+    version: u64,
+}
+
+/// Two relations are equal when schema and cells agree; the mutation
+/// [`version`](Relation::version) is provenance, not value.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Relation {}
+
+/// One applied mutation, in the order it happened. `version` is the
+/// relation's counter *after* the mutation, so a consumer replaying deltas
+/// can detect gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowDelta {
+    /// A single cell was overwritten.
+    CellSet {
+        /// Relation version after the write.
+        version: u64,
+        /// The written row.
+        row: RowId,
+        /// The written attribute.
+        attr: AttrId,
+        /// The value that was replaced.
+        old: String,
+    },
+    /// A row was appended at id `row` (always the current tail).
+    RowInserted {
+        /// Relation version after the insert.
+        version: u64,
+        /// Id of the new row (`num_rows() - 1` after the insert).
+        row: RowId,
+    },
+    /// Row `row` was removed; every row id above it shifted down by one.
+    RowDeleted {
+        /// Relation version after the delete.
+        version: u64,
+        /// The removed row's pre-delete id.
+        row: RowId,
+        /// The removed row's cells.
+        cells: Vec<String>,
+    },
+}
+
+impl RowDelta {
+    /// The relation version after this mutation.
+    pub fn version(&self) -> u64 {
+        match self {
+            RowDelta::CellSet { version, .. }
+            | RowDelta::RowInserted { version, .. }
+            | RowDelta::RowDeleted { version, .. } => *version,
+        }
+    }
+
+    /// The row the mutation targeted (pre-delete id for deletions).
+    pub fn row(&self) -> RowId {
+        match self {
+            RowDelta::CellSet { row, .. }
+            | RowDelta::RowInserted { row, .. }
+            | RowDelta::RowDeleted { row, .. } => *row,
+        }
+    }
 }
 
 /// Errors from relation construction/mutation.
@@ -62,6 +133,7 @@ impl Relation {
         Relation {
             schema,
             rows: Vec::new(),
+            version: 0,
         }
     }
 
@@ -84,6 +156,14 @@ impl Relation {
         &self.schema
     }
 
+    /// The monotonic mutation counter: 0 for a freshly built empty relation,
+    /// bumped by every [`push_row`](Relation::push_row),
+    /// [`set_cell`](Relation::set_cell), [`insert_row`](Relation::insert_row)
+    /// and [`delete_row`](Relation::delete_row).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.rows.len()
@@ -104,7 +184,35 @@ impl Relation {
             });
         }
         self.rows.push(row);
+        self.version += 1;
         Ok(self.rows.len() - 1)
+    }
+
+    /// Append a row, returning the [`RowDelta`] event. Rows are only ever
+    /// appended (the new id is `num_rows() - 1`), so existing row ids stay
+    /// stable across inserts.
+    pub fn insert_row(&mut self, row: Vec<String>) -> Result<RowDelta, RelationError> {
+        let row = self.push_row(row)?;
+        Ok(RowDelta::RowInserted {
+            version: self.version,
+            row,
+        })
+    }
+
+    /// Remove a row, shifting every higher row id down by one (the same
+    /// renumbering [`filter_rows`](Relation::filter_rows) applies). Returns
+    /// the [`RowDelta`] carrying the removed cells.
+    pub fn delete_row(&mut self, row: RowId) -> Result<RowDelta, RelationError> {
+        if row >= self.rows.len() {
+            return Err(RelationError::RowOutOfRange(row));
+        }
+        let cells = self.rows.remove(row);
+        self.version += 1;
+        Ok(RowDelta::RowDeleted {
+            version: self.version,
+            row,
+            cells,
+        })
     }
 
     /// The cell at `(row, attr)`.
@@ -112,13 +220,15 @@ impl Relation {
         &self.rows[row][attr.index()]
     }
 
-    /// Overwrite a single cell (used by error injection and repair).
+    /// Overwrite a single cell (used by error injection, repair and the
+    /// incremental cleaning engines), returning the [`RowDelta`] event that
+    /// carries the replaced value.
     pub fn set_cell(
         &mut self,
         row: RowId,
         attr: AttrId,
         value: String,
-    ) -> Result<String, RelationError> {
+    ) -> Result<RowDelta, RelationError> {
         let r = self
             .rows
             .get_mut(row)
@@ -126,7 +236,14 @@ impl Relation {
         let slot = r
             .get_mut(attr.index())
             .ok_or(RelationError::Schema(SchemaError::AttrIdOutOfRange(attr)))?;
-        Ok(std::mem::replace(slot, value))
+        let old = std::mem::replace(slot, value);
+        self.version += 1;
+        Ok(RowDelta::CellSet {
+            version: self.version,
+            row,
+            attr,
+            old,
+        })
     }
 
     /// Borrow a full row.
@@ -168,6 +285,7 @@ impl Relation {
                 .filter(|(i, _)| keep(*i))
                 .map(|(_, r)| r.clone())
                 .collect(),
+            version: 0,
         }
     }
 }
@@ -222,9 +340,65 @@ mod tests {
     fn set_cell_returns_old_value() {
         let mut r = name_table();
         let gender = r.schema().attr("gender").unwrap();
-        let old = r.set_cell(3, gender, "F".into()).unwrap();
-        assert_eq!(old, "M");
+        let v0 = r.version();
+        let delta = r.set_cell(3, gender, "F".into()).unwrap();
+        assert_eq!(
+            delta,
+            RowDelta::CellSet {
+                version: v0 + 1,
+                row: 3,
+                attr: gender,
+                old: "M".into()
+            }
+        );
         assert_eq!(r.cell(3, gender), "F");
+        assert_eq!(r.version(), v0 + 1);
+    }
+
+    #[test]
+    fn insert_and_delete_emit_deltas_and_renumber() {
+        let mut r = name_table();
+        let v0 = r.version();
+        let delta = r
+            .insert_row(vec!["Ada Lovelace".into(), "F".into()])
+            .unwrap();
+        assert_eq!(
+            delta,
+            RowDelta::RowInserted {
+                version: v0 + 1,
+                row: 4
+            }
+        );
+        assert_eq!(r.num_rows(), 5);
+
+        let delta = r.delete_row(1).unwrap();
+        assert_eq!(
+            delta,
+            RowDelta::RowDeleted {
+                version: v0 + 2,
+                row: 1,
+                cells: vec!["John Bosco".into(), "M".into()]
+            }
+        );
+        let name = r.schema().attr("name").unwrap();
+        assert_eq!(r.cell(1, name), "Susan Orlean", "higher ids shift down");
+        assert!(matches!(
+            r.delete_row(99),
+            Err(RelationError::RowOutOfRange(99))
+        ));
+        assert!(r
+            .insert_row(vec!["only one".into()])
+            .is_err_and(|e| matches!(e, RelationError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn version_is_not_part_of_equality() {
+        let mut a = name_table();
+        let b = name_table();
+        let gender = a.schema().attr("gender").unwrap();
+        a.set_cell(3, gender, "M".into()).unwrap(); // same value, new version
+        assert_ne!(a.version(), b.version());
+        assert_eq!(a, b, "equality compares schema and cells only");
     }
 
     #[test]

@@ -5,16 +5,21 @@
 //! pfd profile  data.csv
 //! pfd discover data.csv [--min-support K] [--noise D] [--coverage G]
 //!                       [--max-lhs N] [--rules out.pfd] [--review]
-//! pfd check    data.csv --rules rules.pfd
-//! pfd repair   data.csv --rules rules.pfd [--out cleaned.csv]
+//! pfd check    data.csv --rules rules.pfd [--json]
+//! pfd repair   data.csv --rules rules.pfd [--out cleaned.csv] [--json]
+//! pfd session  data.csv --rules rules.pfd [--script edits.jsonl]
 //! ```
 //!
 //! Rule files use the [`pfd_core::rules`] line format. All command logic is
 //! in library functions writing to a generic sink, so the whole surface is
-//! unit-testable without spawning processes.
+//! unit-testable without spawning processes. `session` runs the JSONL
+//! steward loop of [`pfd_core::session`] over stdin (or `--script`);
+//! `--json` switches `check`/`repair` to the same machine-readable
+//! serialization the session protocol streams.
 
 use pfd_core::{
-    detect_errors, display_with_schema, parse_rules, repair as repair_rel, to_rules_string, Pfd,
+    check_report_json, detect_errors, display_with_schema, parse_rules, repair as repair_rel,
+    repair_outcome_json, run_session, to_rules_string, Pfd,
 };
 use pfd_discovery::{discover, review_queue, DiscoveryConfig};
 use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
@@ -68,17 +73,21 @@ USAGE:
     pfd profile  <data.csv>
     pfd discover <data.csv> [--min-support K] [--noise D] [--coverage G]
                             [--max-lhs N] [--rules <out.pfd>] [--review]
-    pfd check    <data.csv> --rules <rules.pfd>
-    pfd repair   <data.csv> --rules <rules.pfd> [--out <cleaned.csv>]
+    pfd check    <data.csv> --rules <rules.pfd> [--json]
+    pfd repair   <data.csv> --rules <rules.pfd> [--out <cleaned.csv>] [--json]
+    pfd session  <data.csv> --rules <rules.pfd> [--script <edits.jsonl>]
 
 OPTIONS:
     --min-support K   minimum records per pattern (default 5)
     --noise D         allowed violation ratio δ in [0,1] (default 0.05)
     --coverage G      minimum coverage fraction γ in [0,1] (default 0.10)
     --max-lhs N       maximum LHS attributes (default 1)
-    --rules FILE      rule file to write (discover) or read (check/repair)
+    --rules FILE      rule file to write (discover) or read (check/repair/session)
     --review          print the human-review queue instead of raw rules
-    --out FILE        where repair writes the cleaned CSV (default stdout)";
+    --out FILE        where repair writes the cleaned CSV (default stdout;
+                      with --json the CSV is only written when --out is given)
+    --json            emit machine-readable JSON reports (check/repair)
+    --script FILE     JSONL edit script for session (default: read stdin)";
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -95,11 +104,18 @@ enum Command {
     Check {
         data: String,
         rules: String,
+        json: bool,
     },
     Repair {
         data: String,
         rules: String,
         out: Option<String>,
+        json: bool,
+    },
+    Session {
+        data: String,
+        rules: String,
+        script: Option<String>,
     },
 }
 
@@ -115,7 +131,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = name != "review";
+            let takes_value = name != "review" && name != "json";
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -186,6 +202,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             rules: flag("rules")
                 .map(str::to_string)
                 .ok_or_else(|| CliError::Usage("check needs --rules".into()))?,
+            json: has_flag("json"),
         }),
         "repair" => Ok(Command::Repair {
             data,
@@ -193,6 +210,14 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map(str::to_string)
                 .ok_or_else(|| CliError::Usage("repair needs --rules".into()))?,
             out: flag("out").map(str::to_string),
+            json: has_flag("json"),
+        }),
+        "session" => Ok(Command::Session {
+            data,
+            rules: flag("rules")
+                .map(str::to_string)
+                .ok_or_else(|| CliError::Usage("session needs --rules".into()))?,
+            script: flag("script").map(str::to_string),
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -283,10 +308,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             }
             Ok(0)
         }
-        Command::Check { data, rules } => {
+        Command::Check { data, rules, json } => {
             let rel = load_relation(&data)?;
             let pfds = load_rules(&rules, &rel)?;
             let report = detect_errors(&rel, &pfds);
+            if json {
+                writeln!(out, "{}", check_report_json(&report, &rel))?;
+                return Ok(if report.is_clean() { 0 } else { 1 });
+            }
             for flag in &report.flags {
                 let attr_name = rel.schema().name_of(flag.attr).unwrap_or("?");
                 writeln!(
@@ -314,10 +343,18 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             data,
             rules,
             out: out_path,
+            json,
         } => {
             let rel = load_relation(&data)?;
             let pfds = load_rules(&rules, &rel)?;
             let outcome = repair_rel(&rel, &pfds);
+            if json {
+                writeln!(out, "{}", repair_outcome_json(&outcome))?;
+                if let Some(path) = out_path {
+                    std::fs::write(&path, write_csv_string(&outcome.relation))?;
+                }
+                return Ok(0);
+            }
             writeln!(
                 out,
                 "{} fixes applied, {} suspects left unrepaired",
@@ -344,6 +381,26 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 None => out.write_all(csv.as_bytes())?,
             }
             Ok(0)
+        }
+        Command::Session {
+            data,
+            rules,
+            script,
+        } => {
+            let rel = load_relation(&data)?;
+            let pfds = load_rules(&rules, &rel)?;
+            let summary = match script {
+                Some(path) => {
+                    let file = std::fs::File::open(path)?;
+                    run_session(rel, pfds, std::io::BufReader::new(file), out)?.1
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    run_session(rel, pfds, stdin.lock(), out)?.1
+                }
+            };
+            // Dirty end state → exit code 1, matching `check`.
+            Ok(if summary.violations == 0 { 0 } else { 1 })
         }
     }
 }
@@ -436,6 +493,190 @@ mod tests {
     }
 
     #[test]
+    fn check_json_report_is_machine_readable() {
+        use pfd_core::session::json::{parse, Value};
+        let data = tmp("check-json.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "check-json-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let (code, output) = run_capture(&["check", &data, "--rules", &rules_path, "--json"]);
+        assert_eq!(code, 1, "dirty data still exits 1: {output}");
+        let report = parse(output.trim()).unwrap();
+        assert_eq!(report.get("clean"), Some(&Value::Bool(false)));
+        assert_eq!(
+            report.get("suspect_cells").and_then(Value::as_index),
+            Some(1)
+        );
+        let flags = report.get("flags").and_then(Value::as_arr).unwrap();
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].get("row").and_then(Value::as_index), Some(9));
+        assert_eq!(flags[0].get("attr").and_then(Value::as_str), Some("city"));
+        assert_eq!(
+            flags[0].get("suggestion").and_then(Value::as_str),
+            Some("Chicago")
+        );
+    }
+
+    #[test]
+    fn repair_json_report_lists_fixes() {
+        use pfd_core::session::json::{parse, Value};
+        let data = tmp("repair-json.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "repair-json-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let cleaned = tmp("repair-json-cleaned.csv", "");
+        let (code, output) = run_capture(&[
+            "repair",
+            &data,
+            "--rules",
+            &rules_path,
+            "--json",
+            "--out",
+            &cleaned,
+        ]);
+        assert_eq!(code, 0);
+        let report = parse(output.trim()).unwrap();
+        let fixes = report.get("fixes").and_then(Value::as_arr).unwrap();
+        assert_eq!(fixes.len(), 1);
+        assert_eq!(
+            fixes[0].get("old").and_then(Value::as_str),
+            Some("New York")
+        );
+        assert_eq!(fixes[0].get("new").and_then(Value::as_str), Some("Chicago"));
+        let csv = std::fs::read_to_string(&cleaned).unwrap();
+        assert!(!csv.contains("New York"), "{csv}");
+    }
+
+    #[test]
+    fn session_deltas_match_batch_ground_truth() {
+        use pfd_core::session::json::{parse, Value};
+        use pfd_core::{detect_errors, parse_rules};
+        use pfd_relation::read_csv_str;
+
+        let data = tmp("session.csv", ZIP_CSV);
+        let rules_text = "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n";
+        let rules_path = tmp("session-rules.pfd", rules_text);
+        // Fix the typo, then break a fresh cell, then append a conforming
+        // row and delete one — a steward's round trip.
+        let script = concat!(
+            "{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}\n",
+            "{\"op\":\"set\",\"row\":0,\"attr\":\"city\",\"value\":\"San Diego\"}\n",
+            "{\"op\":\"batch\",\"edits\":[",
+            "{\"op\":\"insert\",\"cells\":[\"60606\",\"Chicago\"]},",
+            "{\"op\":\"delete\",\"row\":0}]}\n",
+        );
+        let script_path = tmp("session-script.jsonl", script);
+        let (code, output) = run_capture(&[
+            "session",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script_path,
+        ]);
+        assert_eq!(code, 0, "end state is clean: {output}");
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 4, "ready + 3 deltas: {output}");
+
+        // Replay the streamed deltas onto the ready-state violation set; the
+        // result must exactly match a batch check of the final relation.
+        let mut live: Vec<String> = Vec::new();
+        let ready = parse(lines[0]).unwrap();
+        for v in ready.get("state").and_then(Value::as_arr).unwrap() {
+            live.push(violation_fingerprint(v));
+        }
+        for line in &lines[1..] {
+            let event = parse(line).unwrap();
+            assert_eq!(event.get("event").and_then(Value::as_str), Some("delta"));
+            for v in event.get("resolved").and_then(Value::as_arr).unwrap() {
+                let fp = violation_fingerprint(v);
+                let pos = live.iter().position(|x| *x == fp);
+                assert!(pos.is_some(), "resolved unknown violation {fp}: {line}");
+                live.remove(pos.unwrap());
+            }
+            for v in event.get("introduced").and_then(Value::as_arr).unwrap() {
+                live.push(violation_fingerprint(v));
+            }
+        }
+
+        // Ground truth: apply the same edits to the relation and batch-check.
+        let mut rel = read_csv_str("session", ZIP_CSV).unwrap();
+        let city = rel.schema().attr("city").unwrap();
+        rel.set_cell(9, city, "Chicago".into()).unwrap();
+        rel.set_cell(0, city, "San Diego".into()).unwrap();
+        rel.insert_row(vec!["60606".into(), "Chicago".into()])
+            .unwrap();
+        rel.delete_row(0).unwrap();
+        let pfds = parse_rules(rules_text, rel.schema()).unwrap();
+        let truth: Vec<String> = pfds
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, p)| {
+                let schema = rel.schema();
+                p.violations(&rel)
+                    .iter()
+                    .map(|v| {
+                        violation_fingerprint(
+                            &parse(&pfd_core::session::violation_json(pi, v, schema)).unwrap(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        live.sort();
+        let mut truth = truth;
+        truth.sort();
+        assert_eq!(live, truth, "replayed deltas diverge from batch check");
+        assert!(truth.is_empty(), "the script ends clean");
+        assert_eq!(detect_errors(&rel, &pfds).unique_cells().len(), 0);
+    }
+
+    /// Canonical text form of a violation JSON object for set comparison.
+    fn violation_fingerprint(v: &pfd_core::session::json::Value) -> String {
+        use pfd_core::session::json::Value;
+        let rows: Vec<String> = v
+            .get("rows")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|r| r.as_index().unwrap().to_string())
+            .collect();
+        format!(
+            "pfd{} t{} {} {} rows[{}]",
+            v.get("pfd").and_then(Value::as_index).unwrap(),
+            v.get("tableau_row").and_then(Value::as_index).unwrap(),
+            v.get("kind").and_then(Value::as_str).unwrap(),
+            v.get("attr").and_then(Value::as_str).unwrap(),
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn session_dirty_end_state_exits_one() {
+        let data = tmp("session-dirty.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "session-dirty-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let script_path = tmp(
+            "session-dirty-script.jsonl",
+            "{\"op\":\"set\",\"row\":0,\"attr\":\"city\",\"value\":\"Anaheim\"}\n",
+        );
+        let (code, output) = run_capture(&[
+            "session",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script_path,
+        ]);
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("\"introduced\":[{"), "{output}");
+    }
+
+    #[test]
     fn usage_errors() {
         let mut buf = Vec::new();
         assert!(matches!(run(&[], &mut buf), Err(CliError::Usage(_))));
@@ -445,6 +686,10 @@ mod tests {
         ));
         assert!(matches!(
             run(&["check".into(), "x.csv".into()], &mut buf),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["session".into(), "x.csv".into()], &mut buf),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
