@@ -16,7 +16,7 @@
 use crate::cells::{cell_for_entry, generalized_cell, ResolvedEntry};
 use crate::config::DiscoveryConfig;
 use crate::fxhash::FxHashMap;
-use crate::index::{build_index, frequent_within, AttrIndex, IndexEntry, IndexOptions};
+use crate::index::{build_index, AttrIndex, FrequentScratch, IndexEntry, IndexOptions};
 use crate::pool;
 use crate::postings::{PostingList, RowSetAccumulator};
 use pfd_core::{Pfd, TableauCell, TableauRow};
@@ -79,6 +79,19 @@ pub struct DiscoveryStats {
     pub candidates_checked: usize,
     /// LHS pattern entries tested against the decision function.
     pub entries_tested: usize,
+    /// RHS decisions evaluated at lattice leaves (one per anchored LHS row
+    /// set, batched through a shared [`FrequentScratch`]).
+    pub rhs_decisions: usize,
+    /// RHS decisions answered from the per-candidate row-set cache instead
+    /// of re-counting (multi-LHS combinations often reach one joint row
+    /// set through different fragment choices).
+    pub rhs_cache_hits: usize,
+    /// N-gram cells short enough for full substring enumeration.
+    pub cells_full_enum: usize,
+    /// N-gram cells that took the affix + suffix-automaton path.
+    pub cells_automaton: usize,
+    /// Repeated interior fragments mined by the suffix-automaton path.
+    pub repeat_fragments: usize,
     /// Wall-clock discovery time.
     pub elapsed: Duration,
     /// Phase breakdown: attribute profiling and extraction choice.
@@ -117,6 +130,40 @@ struct AcceptedRow {
     rhs_entry: u32,
     /// Position of the anchor LHS entry (single-semantics grouping).
     pos: u32,
+}
+
+/// Per-candidate counters folded into [`DiscoveryStats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct CheckCounters {
+    entries_tested: usize,
+    rhs_decisions: usize,
+    rhs_cache_hits: usize,
+}
+
+/// Mutable per-candidate state for the batched RHS decision: one counting
+/// scratch shared by every anchor entry of the candidate, a reusable
+/// frequency buffer for the leaf decisions, and a joint-row-set → decision
+/// cache for multi-LHS walks (different fragment combinations frequently
+/// reach the same intersected row set).
+struct CheckScratch {
+    freq: FrequentScratch,
+    rhs_out: Vec<(u32, usize)>,
+    decisions: FxHashMap<PostingList, Option<u32>>,
+    /// Per-recursion-depth frequency buffers for the LHS expansion levels
+    /// (the recursion at depth d iterates its buffer while deeper levels
+    /// use theirs, so one buffer per depth is reused across all siblings).
+    levels: Vec<Vec<(u32, usize)>>,
+}
+
+impl CheckScratch {
+    fn new() -> CheckScratch {
+        CheckScratch {
+            freq: FrequentScratch::new(),
+            rhs_out: Vec::new(),
+            decisions: FxHashMap::default(),
+            levels: Vec::new(),
+        }
+    }
 }
 
 /// Shared read-only state for candidate checking.
@@ -158,6 +205,7 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     let index_start = Instant::now();
     let index_options = IndexOptions {
         substring_pruning: config.substring_pruning,
+        extract: config.extract,
     };
     let build = |(attr, extraction): &(AttrId, Extraction)| -> AttrIndex {
         build_index(rel, *attr, *extraction, &index_options)
@@ -170,6 +218,11 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     let indexes: BTreeMap<AttrId, AttrIndex> =
         built.into_iter().map(|idx| (idx.attr, idx)).collect();
     stats.index_entries = indexes.values().map(|i| i.entries.len()).sum();
+    for idx in indexes.values() {
+        stats.cells_full_enum += idx.extract_stats.cells_full_enum;
+        stats.cells_automaton += idx.extract_stats.cells_automaton;
+        stats.repeat_fragments += idx.extract_stats.repeat_fragments;
+    }
     // Reachable coverage per attribute (anchor-skip precomputation).
     let frequent_cov: BTreeMap<AttrId, usize> = indexes
         .iter()
@@ -205,11 +258,11 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         .collect();
     stats.candidates_checked += pairs.len();
 
-    let run_pair = |(a, b): &(AttrId, AttrId)| -> (Option<DiscoveredDependency>, usize) {
+    let run_pair = |(a, b): &(AttrId, AttrId)| -> (Option<DiscoveredDependency>, CheckCounters) {
         check_dependency(&ctx, &[*a], *b)
     };
 
-    let level1: Vec<(Option<DiscoveredDependency>, usize)> = if config.parallel {
+    let level1: Vec<(Option<DiscoveredDependency>, CheckCounters)> = if config.parallel {
         pool::parallel_map(&pairs, run_pair)
     } else {
         pairs.iter().map(run_pair).collect()
@@ -219,8 +272,10 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     // For lattice pruning: LHS sets of *generalized* dependencies per RHS
     // (Fig. 4 lines 23–25 prune children only after generalization).
     let mut generalized_lhs: BTreeMap<AttrId, Vec<BTreeSet<AttrId>>> = BTreeMap::new();
-    for (found, tested) in level1 {
-        stats.entries_tested += tested;
+    for (found, counters) in level1 {
+        stats.entries_tested += counters.entries_tested;
+        stats.rhs_decisions += counters.rhs_decisions;
+        stats.rhs_cache_hits += counters.rhs_cache_hits;
         if let Some(dep) = found {
             if dep.kind == DependencyKind::Variable {
                 generalized_lhs
@@ -250,16 +305,19 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
         }
         stats.candidates_checked += level_candidates.len();
 
-        let run_multi = |(x, b): &(Vec<AttrId>, AttrId)| -> (Option<DiscoveredDependency>, usize) {
-            check_dependency(&ctx, x, *b)
-        };
-        let results: Vec<(Option<DiscoveredDependency>, usize)> = if config.parallel {
+        let run_multi =
+            |(x, b): &(Vec<AttrId>, AttrId)| -> (Option<DiscoveredDependency>, CheckCounters) {
+                check_dependency(&ctx, x, *b)
+            };
+        let results: Vec<(Option<DiscoveredDependency>, CheckCounters)> = if config.parallel {
             pool::parallel_map(&level_candidates, run_multi)
         } else {
             level_candidates.iter().map(run_multi).collect()
         };
-        for (found, tested) in results {
-            stats.entries_tested += tested;
+        for (found, counters) in results {
+            stats.entries_tested += counters.entries_tested;
+            stats.rhs_decisions += counters.rhs_decisions;
+            stats.rhs_cache_hits += counters.rhs_cache_hits;
             if let Some(dep) = found {
                 if dep.kind == DependencyKind::Variable {
                     generalized_lhs
@@ -316,22 +374,23 @@ fn resolved<'a>(idx: &'a AttrIndex, entry: &'a IndexEntry) -> ResolvedEntry<'a> 
 }
 
 /// Check one candidate dependency `X → b`. Returns the discovery (if any)
-/// and the number of LHS entries tested.
+/// and the per-candidate counters.
 fn check_dependency(
     ctx: &Ctx<'_>,
     x: &[AttrId],
     b: AttrId,
-) -> (Option<DiscoveredDependency>, usize) {
+) -> (Option<DiscoveredDependency>, CheckCounters) {
     let Ctx {
         rel,
         indexes,
         config,
         ..
     } = *ctx;
+    let mut counters = CheckCounters::default();
     let idx_b = &indexes[&b];
     let n_total = rel.num_rows();
     if n_total == 0 {
-        return (None, 0);
+        return (None, counters);
     }
     // RHS informativeness cap: a pattern this frequent globally describes
     // the column format, not a dependency.
@@ -347,10 +406,13 @@ fn check_dependency(
 
     // §4.2 (end): skip when the frequent patterns cannot reach the coverage.
     if ctx.frequent_cov[&anchor] < config.required_coverage(n_total) {
-        return (None, 0);
+        return (None, counters);
     }
 
-    let mut tested = 0usize;
+    // One scratch for the whole candidate: every anchor entry's RHS
+    // decision (and every multi-LHS expansion) counts through the same
+    // buffers instead of allocating per probe.
+    let mut scratch = CheckScratch::new();
     let mut accepted: Vec<AcceptedRow> = Vec::new();
 
     // Deduplicate anchor entries sharing a row set (keep longest pattern).
@@ -376,7 +438,7 @@ fn check_dependency(
 
     for &ei in &anchor_entries {
         let entry = &idx_anchor.entries[ei as usize];
-        tested += 1;
+        counters.entries_tested += 1;
         expand(
             ctx,
             rhs_cap,
@@ -386,12 +448,13 @@ fn check_dependency(
             entry.rows.clone(),
             entry.pos,
             &mut accepted,
-            &mut tested,
+            &mut counters,
+            &mut scratch,
         );
     }
 
     if accepted.is_empty() {
-        return (None, tested);
+        return (None, counters);
     }
 
     // §4.4 single semantics: group accepted rows by the anchor position and
@@ -426,7 +489,7 @@ fn check_dependency(
         covered.insert_all(&r.rows);
     }
     if covered.len() < config.required_coverage(n_total) {
-        return (None, tested);
+        return (None, counters);
     }
 
     // Assemble the constant tableau.
@@ -470,12 +533,12 @@ fn check_dependency(
         tableau.push(TableauRow::new(lhs_cells, vec![rhs_cell]));
     }
     if tableau.is_empty() {
-        return (None, tested);
+        return (None, counters);
     }
     let constant_rows = tableau.len();
     let constant_pfd = match Pfd::new(rel.schema().relation(), x.to_vec(), vec![b], tableau) {
         Ok(p) => p,
-        Err(_) => return (None, tested),
+        Err(_) => return (None, counters),
     };
 
     // §4.3 Generalize: replace the constants with a variable PFD when the
@@ -491,7 +554,7 @@ fn check_dependency(
                     kind: DependencyKind::Variable,
                     constant_rows,
                 }),
-                tested,
+                counters,
             );
         }
     }
@@ -505,12 +568,12 @@ fn check_dependency(
             kind: DependencyKind::Constant,
             constant_rows,
         }),
-        tested,
+        counters,
     )
 }
 
 /// Recursive combination expansion over the non-anchor LHS attributes
-/// (the Example 8 sub-table walk), ending with the RHS decision.
+/// (the Example 8 sub-table walk), ending with the batched RHS decision.
 #[allow(clippy::too_many_arguments)]
 fn expand(
     ctx: &Ctx<'_>,
@@ -521,7 +584,8 @@ fn expand(
     rows: PostingList,
     anchor_pos: u32,
     accepted: &mut Vec<AcceptedRow>,
-    tested: &mut usize,
+    counters: &mut CheckCounters,
+    scratch: &mut CheckScratch,
 ) {
     let config = ctx.config;
     if rows.len() < config.min_support {
@@ -529,25 +593,26 @@ fn expand(
     }
     match rest.split_first() {
         None => {
-            // The decision function f(S_X, S_B) (Fig. 4 line 20). Every
-            // entry in `freq` already meets the (1-δ) threshold; among them
-            // prefer the most *specific* pattern (longest), then the most
-            // frequent — δ exists so that the semantically right constant
-            // ("Los Angeles", count n-1) beats a typo-tolerant fragment
-            // ("Lo", count n).
-            let n = rows.len();
-            let required = config.required_agreement(n);
-            let freq = frequent_within(idx_b, &rows, required);
-            let best = freq
-                .iter()
-                .filter(|(ei, _)| {
-                    !config.rhs_informative || idx_b.entries[*ei as usize].support() < rhs_cap
-                })
-                .max_by_key(|(ei, count)| {
-                    let e = &idx_b.entries[*ei as usize];
-                    (e.chars, *count, std::cmp::Reverse(*ei))
-                });
-            if let Some(&(rhs_entry, _)) = best {
+            // Multi-LHS walks reach the same joint row set through
+            // different fragment combinations; the decision depends only on
+            // the row set, so consult the per-candidate cache first.
+            // (Level-1 anchor entries are already row-set-deduplicated, so
+            // the cache is skipped when there is nothing to share.)
+            let use_cache = chosen.len() > 1;
+            counters.rhs_decisions += 1;
+            let decided: Option<u32> = if use_cache {
+                if let Some(&hit) = scratch.decisions.get(&rows) {
+                    counters.rhs_cache_hits += 1;
+                    hit
+                } else {
+                    let d = decide_rhs(config, rhs_cap, idx_b, &rows, scratch);
+                    scratch.decisions.insert(rows.clone(), d);
+                    d
+                }
+            } else {
+                decide_rhs(config, rhs_cap, idx_b, &rows, scratch)
+            };
+            if let Some(rhs_entry) = decided {
                 accepted.push(AcceptedRow {
                     lhs_entries: chosen.iter().map(|(_, ei)| *ei).collect(),
                     rows,
@@ -558,17 +623,55 @@ fn expand(
         }
         Some((next, tail)) => {
             let idx_next = &ctx.indexes[next];
-            for (ei, _count) in frequent_within(idx_next, &rows, config.min_support) {
-                *tested += 1;
+            let depth = chosen.len();
+            if scratch.levels.len() <= depth {
+                scratch.levels.resize_with(depth + 1, Vec::new);
+            }
+            let mut freq = std::mem::take(&mut scratch.levels[depth]);
+            scratch
+                .freq
+                .frequent_within_into(idx_next, &rows, config.min_support, &mut freq);
+            for &(ei, _count) in &freq {
+                counters.entries_tested += 1;
                 let joint = rows.intersect(&idx_next.entries[ei as usize].rows);
                 let mut chosen = chosen.clone();
                 chosen.push((*next, ei));
                 expand(
-                    ctx, rhs_cap, idx_b, tail, chosen, joint, anchor_pos, accepted, tested,
+                    ctx, rhs_cap, idx_b, tail, chosen, joint, anchor_pos, accepted, counters,
+                    scratch,
                 );
             }
+            scratch.levels[depth] = freq;
         }
     }
+}
+
+/// The decision function f(S_X, S_B) (Fig. 4 line 20). Every entry in the
+/// counted frequency list already meets the (1-δ) threshold; among them
+/// prefer the most *specific* pattern (longest), then the most frequent —
+/// δ exists so that the semantically right constant ("Los Angeles",
+/// count n-1) beats a typo-tolerant fragment ("Lo", count n). Counting
+/// goes through the candidate's shared scratch buffers.
+fn decide_rhs(
+    config: &DiscoveryConfig,
+    rhs_cap: usize,
+    idx_b: &AttrIndex,
+    rows: &PostingList,
+    scratch: &mut CheckScratch,
+) -> Option<u32> {
+    let required = config.required_agreement(rows.len());
+    let CheckScratch { freq, rhs_out, .. } = scratch;
+    freq.frequent_within_into(idx_b, rows, required, rhs_out);
+    rhs_out
+        .iter()
+        .filter(|(ei, _)| {
+            !config.rhs_informative || idx_b.entries[*ei as usize].support() < rhs_cap
+        })
+        .max_by_key(|(ei, count)| {
+            let e = &idx_b.entries[*ei as usize];
+            (e.chars, *count, std::cmp::Reverse(*ei))
+        })
+        .map(|&(rhs_entry, _)| rhs_entry)
 }
 
 /// Try to promote the accepted constant rows to a variable PFD. Returns the

@@ -1,11 +1,22 @@
 //! Discovery configuration: the paper's parameters and ablation switches.
 
+use crate::extract::ExtractOptions;
+
 /// Parameters of the discovery algorithm (Fig. 4) and the practical
 /// restrictions of §4.2.
 ///
 /// Defaults follow §5.1: "We fixed the minimum coverage to report a
 /// dependency to 10%, the allowed noise to 5%, and the minimum number of
 /// records that contain the pattern in each reported PFD to 5."
+///
+/// ```
+/// use pfd_discovery::DiscoveryConfig;
+///
+/// // Small tables need a lower support floor than the paper's K = 5.
+/// let config = DiscoveryConfig { min_support: 2, ..DiscoveryConfig::default() };
+/// assert_eq!(config.required_agreement(20), 19); // δ = 5%
+/// assert_eq!(config.required_coverage(100), 10); // γ = 10%
+/// ```
 #[derive(Debug, Clone)]
 pub struct DiscoveryConfig {
     /// `K` — minimum number of records matching a pattern for it to enter
@@ -40,6 +51,10 @@ pub struct DiscoveryConfig {
     pub rhs_uninformative_fraction: f64,
     /// Process candidate dependencies on multiple threads.
     pub parallel: bool,
+    /// N-gram extraction knobs: the full-enumeration length cutoff and the
+    /// suffix-automaton repeat mining for long values (see
+    /// [`ExtractOptions`]).
+    pub extract: ExtractOptions,
 }
 
 impl Default for DiscoveryConfig {
@@ -56,6 +71,7 @@ impl Default for DiscoveryConfig {
             rhs_informative: true,
             rhs_uninformative_fraction: 0.85,
             parallel: false,
+            extract: ExtractOptions::default(),
         }
     }
 }

@@ -1,11 +1,24 @@
-//! Partial-pattern extraction: tokenization and n-grams (§4.2 restriction i,
-//! §4.3 lines 2–3).
+//! Partial-pattern extraction: tokenization, n-grams and the
+//! suffix-automaton long-value path (§4.2 restriction i, §4.3 lines 2–3).
 //!
 //! Special characters "often provide strong signals to extract meaningful
 //! substrings" — `Tokenize` splits on them, keeping **run positions** (the
 //! paper's Example 8 records `('Tayseer', 0)` and `('Fahmi', 2)`: separators
-//! occupy their own run slots). Attributes without separators use `NGrams`:
-//! all substrings, keyed by character position.
+//! occupy their own run slots). Attributes without separators use n-gram
+//! enumeration, keyed by character position.
+//!
+//! N-gram enumeration is quadratic in the value length, so it is gated by a
+//! length cutoff. Below the cutoff every substring is enumerated
+//! ([`ngrams_for_each`], the naive reference path); above it,
+//! [`FragmentExtractor`] emits the affixes (prefixes/suffixes — the shapes
+//! behind real PFDs like zip prefixes and area codes) and then mines the
+//! **distinct repeated interior substrings** through a per-cell
+//! [`SuffixAutomaton`] in `O(len · σ)`: each automaton state stands for a
+//! class of substrings with one shared occurrence set, so long free-text
+//! values contribute their genuinely recurring fragments without ever
+//! paying the `L(L+1)/2` enumeration.
+
+use pfd_pattern::{CountScratch, SuffixAutomaton};
 
 /// A maximal run of token or separator characters in a value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,57 +104,85 @@ pub fn tokens(value: &str) -> Vec<(&str, u32)> {
 /// mid-anchored patterns live in separator-bearing columns, which tokenize).
 pub const FULL_NGRAM_LEN: usize = 12;
 
-/// Stream all n-grams of a value with their character start positions.
-///
-/// Values of up to [`FULL_NGRAM_LEN`] characters yield every substring
-/// (`L(L+1)/2` of them); longer values yield prefixes, suffixes and the full
-/// value only. ASCII values (the common case for code-like columns) skip
-/// the char-boundary table entirely.
-pub fn ngrams_for_each<'v>(value: &'v str, mut f: impl FnMut(&'v str, u32)) {
+/// Which enumeration path a value took in [`enumerate_with_cutoff`].
+enum Enumerated {
+    /// Empty value, nothing emitted.
+    Empty,
+    /// Full `L(L+1)/2` substring enumeration (value within the cutoff).
+    Full,
+    /// Prefixes + suffixes only (value above the cutoff); carries what the
+    /// repeat-mining pass needs.
+    Affix { char_count: usize, ascii: bool },
+}
+
+/// The one n-gram enumeration core: values of up to `cutoff` chars yield
+/// every substring, longer values yield prefixes, suffixes and the full
+/// value. ASCII values (the common case for code-like columns) skip the
+/// char-boundary table entirely; for non-ASCII values the caller-owned
+/// `bounds` buffer is (re)filled with char → byte offsets.
+fn enumerate_with_cutoff<'v>(
+    value: &'v str,
+    cutoff: usize,
+    bounds: &mut Vec<usize>,
+    f: &mut impl FnMut(&'v str, u32),
+) -> Enumerated {
     if value.is_empty() {
-        return;
+        return Enumerated::Empty;
     }
     if value.is_ascii() {
         let n = value.len();
-        if n <= FULL_NGRAM_LEN {
+        if n <= cutoff {
             for i in 0..n {
                 for j in (i + 1)..=n {
                     f(&value[i..j], i as u32);
                 }
             }
-        } else {
-            for j in 1..=n {
-                f(&value[..j], 0);
-            }
-            for i in 1..n {
-                f(&value[i..], i as u32);
-            }
+            return Enumerated::Full;
         }
-        return;
+        for j in 1..=n {
+            f(&value[..j], 0);
+        }
+        for i in 1..n {
+            f(&value[i..], i as u32);
+        }
+        return Enumerated::Affix {
+            char_count: n,
+            ascii: true,
+        };
     }
-    // Byte offsets of char boundaries.
-    let bounds: Vec<usize> = value
-        .char_indices()
-        .map(|(b, _)| b)
-        .chain(std::iter::once(value.len()))
-        .collect();
+    bounds.clear();
+    bounds.extend(value.char_indices().map(|(b, _)| b));
+    bounds.push(value.len());
     let char_count = bounds.len() - 1;
-    if char_count <= FULL_NGRAM_LEN {
+    if char_count <= cutoff {
         for i in 0..char_count {
             for j in (i + 1)..=char_count {
                 f(&value[bounds[i]..bounds[j]], i as u32);
             }
         }
-    } else {
-        // Prefixes.
-        for j in 1..=char_count {
-            f(&value[..bounds[j]], 0);
-        }
-        // Suffixes (the full value is already in the prefixes).
-        for i in 1..char_count {
-            f(&value[bounds[i]..], i as u32);
-        }
+        return Enumerated::Full;
     }
+    // Prefixes.
+    for j in 1..=char_count {
+        f(&value[..bounds[j]], 0);
+    }
+    // Suffixes (the full value is already in the prefixes).
+    for i in 1..char_count {
+        f(&value[bounds[i]..], i as u32);
+    }
+    Enumerated::Affix {
+        char_count,
+        ascii: false,
+    }
+}
+
+/// Stream all n-grams of a value with their character start positions.
+///
+/// Values of up to [`FULL_NGRAM_LEN`] characters yield every substring
+/// (`L(L+1)/2` of them); longer values yield prefixes, suffixes and the full
+/// value only.
+pub fn ngrams_for_each<'v>(value: &'v str, mut f: impl FnMut(&'v str, u32)) {
+    enumerate_with_cutoff(value, FULL_NGRAM_LEN, &mut Vec::new(), &mut f);
 }
 
 /// All n-grams of a value with their character start positions.
@@ -149,6 +190,199 @@ pub fn ngrams(value: &str) -> Vec<(&str, u32)> {
     let mut out = Vec::new();
     ngrams_for_each(value, |g, i| out.push((g, i)));
     out
+}
+
+/// Knobs for the n-gram / suffix-automaton extraction path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractOptions {
+    /// Values of up to this many chars enumerate every substring (the
+    /// quadratic path is fine for short codes); longer values take the
+    /// affix + suffix-automaton path.
+    pub full_enum_max_chars: usize,
+    /// Mine repeated interior substrings of long values through a suffix
+    /// automaton (off reproduces the affix-only long-value behavior).
+    pub mine_repeats: bool,
+    /// Minimum char length for a mined repeated substring — shorter repeats
+    /// are noise (single letters repeat in any text).
+    pub repeat_min_len: usize,
+    /// Maximum char length for a mined repeated substring. Long repeated
+    /// blocks are near-unique across rows (useless as shared index
+    /// fragments) and their short recurring sub-patterns live in separate
+    /// automaton states that are still mined.
+    pub repeat_max_len: usize,
+    /// Branching cutoff: at most this many repeated substrings per cell,
+    /// ranked by (occurrences, length). Bounds pathological values (a cell
+    /// of `aaaa…` has Θ(len) repeated classes).
+    pub max_repeats_per_cell: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            full_enum_max_chars: FULL_NGRAM_LEN,
+            mine_repeats: true,
+            repeat_min_len: 3,
+            repeat_max_len: 24,
+            max_repeats_per_cell: 16,
+        }
+    }
+}
+
+/// Per-fragment occurrence cap when a mined repeat is re-located in the
+/// value: bounds the `O(occurrences · len)` scan for degenerate runs.
+const MAX_OCCURRENCES_PER_REPEAT: usize = 8;
+
+/// Counters from one index build's extraction phase.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExtractStats {
+    /// Cells short enough for full n-gram enumeration.
+    pub cells_full_enum: usize,
+    /// Cells that took the affix + suffix-automaton path.
+    pub cells_automaton: usize,
+    /// Repeated interior fragments emitted by the automaton path.
+    pub repeat_fragments: usize,
+}
+
+/// Streaming n-gram extractor with the suffix-automaton long-value path.
+///
+/// One extractor is built per attribute index and reused across every cell,
+/// so the automaton, its count buffer and the char-boundary table are
+/// allocated once ([`SuffixAutomaton::reset`] keeps capacity).
+///
+/// ```
+/// use pfd_discovery::extract::{ExtractOptions, FragmentExtractor};
+///
+/// let mut ex = FragmentExtractor::new(ExtractOptions::default());
+/// let mut frags = Vec::new();
+/// // Short values: every substring, identical to `ngrams()`.
+/// ex.for_each("90001", |f, pos| frags.push((f.to_string(), pos)));
+/// assert_eq!(frags.len(), 15);
+///
+/// // Long values: affixes plus repeated interior substrings — the doubled
+/// // "XK72" block surfaces without quadratic enumeration.
+/// frags.clear();
+/// ex.for_each("aqzXK72mmpbvXK72qrw", |f, pos| frags.push((f.to_string(), pos)));
+/// assert!(frags.iter().any(|(f, p)| f == "XK72" && *p == 3));
+/// assert!(frags.iter().any(|(f, p)| f == "XK72" && *p == 12));
+/// ```
+#[derive(Debug, Default)]
+pub struct FragmentExtractor {
+    opts: ExtractOptions,
+    sam: SuffixAutomaton,
+    counts: Vec<u32>,
+    count_scratch: CountScratch,
+    /// Mined repeats of the current cell: `(count, len, first_start_char)`.
+    repeats: Vec<(u32, u32, u32)>,
+    /// Char-index → byte-offset table for non-ASCII values.
+    bounds: Vec<usize>,
+    /// Extraction counters, reset by [`FragmentExtractor::take_stats`].
+    pub stats: ExtractStats,
+}
+
+impl FragmentExtractor {
+    /// A fresh extractor with the given knobs.
+    pub fn new(opts: ExtractOptions) -> FragmentExtractor {
+        FragmentExtractor {
+            opts,
+            ..FragmentExtractor::default()
+        }
+    }
+
+    /// Take and reset the accumulated counters.
+    pub fn take_stats(&mut self) -> ExtractStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Stream the fragments of one cell value with their char start
+    /// positions. Equivalent to [`ngrams_for_each`] for values of up to
+    /// [`ExtractOptions::full_enum_max_chars`] chars.
+    pub fn for_each<'v>(&mut self, value: &'v str, mut f: impl FnMut(&'v str, u32)) {
+        match enumerate_with_cutoff(
+            value,
+            self.opts.full_enum_max_chars,
+            &mut self.bounds,
+            &mut f,
+        ) {
+            Enumerated::Empty => {}
+            Enumerated::Full => self.stats.cells_full_enum += 1,
+            Enumerated::Affix { char_count, ascii } => {
+                self.stats.cells_automaton += 1;
+                if self.opts.mine_repeats {
+                    self.mine_repeats(value, char_count, ascii, &mut f);
+                }
+            }
+        }
+    }
+
+    /// The suffix-automaton pass: emit the distinct repeated interior
+    /// substrings of a long value at every occurrence position (affix
+    /// occurrences are already covered by the prefix/suffix loops).
+    fn mine_repeats<'v>(
+        &mut self,
+        value: &'v str,
+        char_count: usize,
+        ascii: bool,
+        f: &mut impl FnMut(&'v str, u32),
+    ) {
+        self.sam.reset();
+        for c in value.chars() {
+            self.sam.extend(c);
+        }
+        self.sam
+            .occurrence_counts_into(&mut self.counts, &mut self.count_scratch);
+        let (sam, counts, repeats) = (&self.sam, &self.counts, &mut self.repeats);
+        repeats.clear();
+        let max_len = self.opts.repeat_max_len as u32;
+        for r in sam.repeats(counts, self.opts.repeat_min_len as u32) {
+            // Whole-affix representatives are fully covered by the affix
+            // loops only when *every* occurrence is an affix; interior
+            // occurrences are filtered per position below.
+            if r.len <= max_len {
+                repeats.push((r.count, r.len, r.first_start));
+            }
+        }
+        // Branching cutoff: keep the most frequent, then longest repeats.
+        repeats.sort_unstable_by(|a, b| b.cmp(a));
+        repeats.truncate(self.opts.max_repeats_per_cell);
+        repeats.sort_unstable_by_key(|&(_, len, start)| (start, len));
+        for &(count, len, first_start) in self.repeats.iter() {
+            let (start_b, end_b) = if ascii {
+                (first_start as usize, (first_start + len) as usize)
+            } else {
+                (
+                    self.bounds[first_start as usize],
+                    self.bounds[(first_start + len) as usize],
+                )
+            };
+            let frag = &value[start_b..end_b];
+            // Re-locate every (overlapping) occurrence; positions where the
+            // fragment is a prefix or suffix of the whole value were already
+            // emitted by the affix loops.
+            let mut from = 0usize;
+            let mut seen = 0u32;
+            let mut emitted = 0usize;
+            while seen < count && emitted < MAX_OCCURRENCES_PER_REPEAT {
+                let Some(rel_pos) = value[from..].find(frag) else {
+                    break;
+                };
+                let byte_pos = from + rel_pos;
+                seen += 1;
+                let char_pos = if ascii {
+                    byte_pos
+                } else {
+                    self.bounds
+                        .binary_search(&byte_pos)
+                        .expect("matches start on char boundaries")
+                };
+                if char_pos != 0 && char_pos + (len as usize) != char_count {
+                    f(&value[byte_pos..byte_pos + frag.len()], char_pos as u32);
+                    emitted += 1;
+                    self.stats.repeat_fragments += 1;
+                }
+                from = byte_pos + value[byte_pos..].chars().next().map_or(1, char::len_utf8);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,5 +475,108 @@ mod tests {
         assert!(gs.contains(&("nop", 13)));
         assert!(gs.contains(&(v, 0)));
         assert!(!gs.contains(&("cde", 2)), "no mid-grams for long values");
+    }
+
+    fn extracted(ex: &mut FragmentExtractor, v: &str) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        ex.for_each(v, |f, p| out.push((f.to_string(), p)));
+        out
+    }
+
+    #[test]
+    fn extractor_matches_ngrams_below_cutoff() {
+        let mut ex = FragmentExtractor::new(ExtractOptions::default());
+        for v in ["", "a", "90001", "abcdefghijkl", "éé語ab"] {
+            let naive: Vec<(String, u32)> = ngrams(v)
+                .into_iter()
+                .map(|(f, p)| (f.to_string(), p))
+                .collect();
+            assert_eq!(extracted(&mut ex, v), naive, "{v:?}");
+        }
+        assert_eq!(ex.stats.cells_automaton, 0);
+    }
+
+    #[test]
+    fn cutoff_boundary_is_exact() {
+        let mut ex = FragmentExtractor::new(ExtractOptions::default());
+        let at = "abcdefghijkl"; // 12 chars = FULL_NGRAM_LEN
+        assert_eq!(extracted(&mut ex, at).len(), 12 * 13 / 2);
+        assert_eq!(ex.stats.cells_full_enum, 1);
+        let over = "abcdefghijklm"; // 13 chars
+        let gs = extracted(&mut ex, over);
+        assert_eq!(ex.stats.cells_automaton, 1);
+        // 13 prefixes + 12 suffixes, no repeats in an all-distinct value.
+        assert_eq!(gs.len(), 25);
+    }
+
+    #[test]
+    fn extractor_without_mining_equals_affix_ngrams() {
+        let mut ex = FragmentExtractor::new(ExtractOptions {
+            mine_repeats: false,
+            ..ExtractOptions::default()
+        });
+        for v in ["abcXK72mmpbvXK72qrw", "ééééééééééééé", "aaaaaaaaaaaaaaaa"] {
+            let naive: Vec<(String, u32)> = ngrams(v)
+                .into_iter()
+                .map(|(f, p)| (f.to_string(), p))
+                .collect();
+            assert_eq!(extracted(&mut ex, v), naive, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_interior_fragments_surface_in_long_values() {
+        let mut ex = FragmentExtractor::new(ExtractOptions::default());
+        let v = "aqzXK72mmpbvXK72qrw"; // 19 chars, "XK72" at 3 and 12
+        let gs = extracted(&mut ex, v);
+        assert!(gs.contains(&("XK72".to_string(), 3)), "{gs:?}");
+        assert!(gs.contains(&("XK72".to_string(), 12)), "{gs:?}");
+        // Every emitted (fragment, pos) is a real occurrence, exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for (frag, pos) in &gs {
+            let chars: Vec<char> = v.chars().collect();
+            let at: String = chars[*pos as usize..]
+                .iter()
+                .take(frag.chars().count())
+                .collect();
+            assert_eq!(&at, frag);
+            assert!(seen.insert((frag.clone(), *pos)), "dup {frag:?}@{pos}");
+        }
+        assert!(ex.stats.repeat_fragments >= 2);
+    }
+
+    #[test]
+    fn multibyte_long_values_emit_char_positions() {
+        let mut ex = FragmentExtractor::new(ExtractOptions {
+            repeat_min_len: 2,
+            ..ExtractOptions::default()
+        });
+        // 15 chars, "語ß" repeats at char positions 2 and 9 (interior).
+        let v = "éé語ßabcde語ßxyzé";
+        let gs = extracted(&mut ex, v);
+        assert!(gs.contains(&("語ß".to_string(), 2)), "{gs:?}");
+        assert!(gs.contains(&("語ß".to_string(), 9)), "{gs:?}");
+    }
+
+    #[test]
+    fn branching_cutoff_bounds_degenerate_runs() {
+        let mut ex = FragmentExtractor::new(ExtractOptions::default());
+        let v = "a".repeat(64);
+        let gs = extracted(&mut ex, &v);
+        // Affixes: 64 + 63; repeats bounded by the per-cell and
+        // per-fragment caps rather than the Θ(len) repeated classes.
+        let cap = 127 + ExtractOptions::default().max_repeats_per_cell * MAX_OCCURRENCES_PER_REPEAT;
+        assert!(gs.len() <= cap, "{} > {cap}", gs.len());
+    }
+
+    #[test]
+    fn extractor_reuse_is_deterministic() {
+        let mut ex = FragmentExtractor::new(ExtractOptions::default());
+        let v = "aqzXK72mmpbvXK72qrw";
+        let first = extracted(&mut ex, v);
+        for _ in 0..3 {
+            extracted(&mut ex, "interleaved-other-value-123");
+            assert_eq!(extracted(&mut ex, v), first);
+        }
     }
 }

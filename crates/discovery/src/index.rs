@@ -19,7 +19,7 @@
 //! the row → entries reverse index is a flat CSR layout instead of one
 //! `Vec` per row.
 
-use crate::extract::{ngrams_for_each, tokens_for_each};
+use crate::extract::{tokens_for_each, ExtractOptions, ExtractStats, FragmentExtractor};
 use crate::fxhash::{fx_hash_str, FxHashMap};
 use crate::postings::PostingList;
 use pfd_relation::{AttrId, Extraction, Relation, RowId};
@@ -42,6 +42,16 @@ impl Symbol {
 /// hash → symbols bucket map, so interning an already-seen fragment (the
 /// overwhelmingly common case: every row of a column repeats the column's
 /// shared patterns) allocates nothing.
+///
+/// ```
+/// use pfd_discovery::FragmentDict;
+///
+/// let mut dict = FragmentDict::default();
+/// let egypt = dict.intern("Egypt");
+/// assert_eq!(dict.intern("Egypt"), egypt); // second sight: no allocation
+/// assert_eq!(dict.resolve(egypt), "Egypt");
+/// assert_eq!(dict.len(), 1);
+/// ```
 #[derive(Debug, Default, Clone)]
 pub struct FragmentDict {
     arena: String,
@@ -144,6 +154,9 @@ pub struct AttrIndex {
     row_data: Vec<u32>,
     /// Largest entry support (anchor ordering uses it on every candidate).
     pub max_support: usize,
+    /// Extraction-phase counters (full-enum vs automaton cells, mined
+    /// repeats); all-zero for tokenized attributes.
+    pub extract_stats: ExtractStats,
 }
 
 impl AttrIndex {
@@ -171,12 +184,15 @@ impl AttrIndex {
 pub struct IndexOptions {
     /// §4.4 substring pruning.
     pub substring_pruning: bool,
+    /// N-gram / suffix-automaton extraction knobs.
+    pub extract: ExtractOptions,
 }
 
 impl Default for IndexOptions {
     fn default() -> Self {
         IndexOptions {
             substring_pruning: true,
+            extract: ExtractOptions::default(),
         }
     }
 }
@@ -190,6 +206,9 @@ pub fn build_index(
 ) -> AttrIndex {
     let num_rows = rel.num_rows();
     let mut dict = FragmentDict::default();
+    // One extractor per index build: the suffix automaton and its buffers
+    // are reused across every cell of the attribute.
+    let mut extractor = FragmentExtractor::new(options.extract);
     // Occurrence table addressed by symbol: one hash (the intern) per
     // fragment occurrence, then a short linear scan over that fragment's
     // known positions. No per-occurrence string allocation and no second
@@ -216,9 +235,10 @@ pub fn build_index(
         };
         match extraction {
             Extraction::Tokenize => tokens_for_each(value, &mut add),
-            Extraction::NGrams => ngrams_for_each(value, &mut add),
+            Extraction::NGrams => extractor.for_each(value, &mut add),
         }
     }
+    let extract_stats = extractor.take_stats();
 
     let mut entries: Vec<IndexEntry> = per_sym
         .into_iter()
@@ -285,6 +305,7 @@ pub fn build_index(
         row_offsets,
         row_data,
         max_support,
+        extract_stats,
     }
 }
 
@@ -326,40 +347,76 @@ fn prune_substrings(entries: Vec<IndexEntry>, dict: &FragmentDict) -> Vec<IndexE
         .collect()
 }
 
-/// The most frequent entries of `index` among a row subset: returns
-/// `(entry index, count within subset)` for entries with `count ≥ min`,
-/// sorted by count descending then pattern length descending (prefer the
-/// most specific of equally frequent patterns — the C3 countermeasure).
+/// Reusable buffers for [`frequent_within`]-style counting.
 ///
-/// Counting is a dense scatter over a scratch array indexed by entry id —
-/// no hashing on the candidate-probe hot path.
-pub fn frequent_within(index: &AttrIndex, rows: &PostingList, min: usize) -> Vec<(u32, usize)> {
-    let mut counts = vec![0u32; index.entries.len()];
-    let mut touched: Vec<u32> = Vec::new();
-    for rid in rows.iter() {
-        for &ei in index.entries_of_row(rid as usize) {
-            if counts[ei as usize] == 0 {
-                touched.push(ei);
-            }
-            counts[ei as usize] += 1;
-        }
+/// The counting pass scatters into a dense array indexed by entry id; the
+/// array must span the index's entry count and be zeroed between calls.
+/// Allocating (and zeroing) it per probe dominated the candidate-check
+/// phase, so the lattice walk now keeps **one** scratch per candidate
+/// dependency and shares it across every anchor entry's RHS decision —
+/// clearing only the touched slots (`O(touched)`, not `O(entries)`).
+#[derive(Debug, Default)]
+pub struct FrequentScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl FrequentScratch {
+    /// An empty scratch; buffers grow to the largest index probed.
+    pub fn new() -> FrequentScratch {
+        FrequentScratch::default()
     }
-    let mut out: Vec<(u32, usize)> = touched
-        .into_iter()
-        .filter_map(|ei| {
-            let c = counts[ei as usize] as usize;
-            (c >= min).then_some((ei, c))
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then_with(|| {
-                let ca = index.entries[a.0 as usize].chars;
-                let cb = index.entries[b.0 as usize].chars;
-                cb.cmp(&ca)
-            })
-            .then_with(|| a.0.cmp(&b.0))
-    });
+
+    /// The most frequent entries of `index` among a row subset, written to
+    /// `out`: `(entry index, count within subset)` for entries with
+    /// `count ≥ min`, sorted by count descending then pattern length
+    /// descending (prefer the most specific of equally frequent patterns —
+    /// the C3 countermeasure), then entry id ascending.
+    pub fn frequent_within_into(
+        &mut self,
+        index: &AttrIndex,
+        rows: &PostingList,
+        min: usize,
+        out: &mut Vec<(u32, usize)>,
+    ) {
+        out.clear();
+        if self.counts.len() < index.entries.len() {
+            self.counts.resize(index.entries.len(), 0);
+        }
+        for rid in rows.iter() {
+            for &ei in index.entries_of_row(rid as usize) {
+                if self.counts[ei as usize] == 0 {
+                    self.touched.push(ei);
+                }
+                self.counts[ei as usize] += 1;
+            }
+        }
+        for &ei in &self.touched {
+            let c = self.counts[ei as usize] as usize;
+            if c >= min {
+                out.push((ei, c));
+            }
+            self.counts[ei as usize] = 0;
+        }
+        self.touched.clear();
+        out.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| {
+                    let ca = index.entries[a.0 as usize].chars;
+                    let cb = index.entries[b.0 as usize].chars;
+                    cb.cmp(&ca)
+                })
+                .then_with(|| a.0.cmp(&b.0))
+        });
+    }
+}
+
+/// The most frequent entries of `index` among a row subset (allocating
+/// convenience wrapper over [`FrequentScratch::frequent_within_into`]).
+pub fn frequent_within(index: &AttrIndex, rows: &PostingList, min: usize) -> Vec<(u32, usize)> {
+    let mut scratch = FrequentScratch::new();
+    let mut out = Vec::new();
+    scratch.frequent_within_into(index, rows, min, &mut out);
     out
 }
 
@@ -419,6 +476,7 @@ mod tests {
             Extraction::NGrams,
             &IndexOptions {
                 substring_pruning: false,
+                ..IndexOptions::default()
             },
         );
         // 5 chars → 15 grams.

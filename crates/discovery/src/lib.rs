@@ -17,7 +17,12 @@
 //! Engineering-wise the hot path runs on interned fragments
 //! ([`FragmentDict`]), compact row sets ([`PostingList`]: sorted runs with
 //! galloping intersection, bitsets once dense), and a work-stealing thread
-//! pool ([`pool`]) for index construction and candidate checking.
+//! pool ([`pool`]) for index construction and candidate checking. Long
+//! separator-free values take a suffix-automaton extraction path
+//! ([`FragmentExtractor`]) instead of the quadratic all-substrings
+//! enumeration, and the lattice walk batches RHS decisions per anchor
+//! through shared [`FrequentScratch`] buffers — see `docs/ARCHITECTURE.md`
+//! at the repository root for the full hot-path guide.
 //!
 //! ```
 //! use pfd_discovery::{discover, DiscoveryConfig};
@@ -57,9 +62,10 @@ pub use algorithm::{
     discover, DependencyKind, DiscoveredDependency, DiscoveryResult, DiscoveryStats,
 };
 pub use config::DiscoveryConfig;
-pub use extract::{ngrams, runs, tokens, Run};
+pub use extract::{ngrams, runs, tokens, ExtractOptions, ExtractStats, FragmentExtractor, Run};
 pub use index::{
-    build_index, frequent_within, AttrIndex, FragmentDict, IndexEntry, IndexOptions, Symbol,
+    build_index, frequent_within, AttrIndex, FragmentDict, FrequentScratch, IndexEntry,
+    IndexOptions, Symbol,
 };
 pub use pool::parallel_map;
 pub use postings::{PostingList, RowSetAccumulator};

@@ -103,7 +103,7 @@ proptest! {
                     &rel,
                     attr,
                     extraction,
-                    &IndexOptions { substring_pruning: false },
+                    &IndexOptions { substring_pruning: false, ..IndexOptions::default() },
                 );
                 prop_assert_eq!(idx.entries.len(), reference.len());
                 for e in &idx.entries {
@@ -179,8 +179,8 @@ proptest! {
     #[test]
     fn substring_pruning_only_shrinks(rel in zip_city_relation()) {
         let attr = AttrId(0);
-        let with = build_index(&rel, attr, Extraction::NGrams, &IndexOptions { substring_pruning: true });
-        let without = build_index(&rel, attr, Extraction::NGrams, &IndexOptions { substring_pruning: false });
+        let with = build_index(&rel, attr, Extraction::NGrams, &IndexOptions { substring_pruning: true, ..IndexOptions::default() });
+        let without = build_index(&rel, attr, Extraction::NGrams, &IndexOptions { substring_pruning: false, ..IndexOptions::default() });
         prop_assert!(with.entries.len() <= without.entries.len());
         // Every kept entry exists identically in the unpruned index.
         for e in &with.entries {
@@ -265,5 +265,105 @@ proptest! {
                 .map(|d| d.embedded_names(&rel))
                 .collect::<Vec<_>>()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fragment-extractor properties: the suffix-automaton path must agree with
+// the naive n-gram enumerator wherever they overlap, and every extra
+// fragment it emits must be a real occurrence.
+// ---------------------------------------------------------------------------
+
+/// Values mixing short codes, long repetitive free text and multi-byte
+/// UTF-8 — the shapes that distinguish the extraction paths.
+fn cell_value() -> impl Strategy<Value = String> {
+    let small = prop_oneof![
+        proptest::char::range('a', 'f'),
+        proptest::char::range('0', '4'),
+        Just('é'),
+        Just('語'),
+    ];
+    prop_oneof![
+        // Short and boundary-length values (full-enumeration path).
+        proptest::collection::vec(small.clone(), 0..14).prop_map(|cs| cs.into_iter().collect()),
+        // Long values with planted repeats (automaton path).
+        (
+            proptest::collection::vec(small.clone(), 4..10),
+            proptest::collection::vec(small, 13..30),
+        )
+            .prop_map(|(motif, mut tail)| {
+                let motif: String = motif.into_iter().collect();
+                let filler: String = tail.split_off(tail.len() / 2).into_iter().collect();
+                let rest: String = tail.into_iter().collect();
+                format!("{rest}{motif}{filler}{motif}")
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extractor_equals_all_substrings_below_cutoff(v in cell_value()) {
+        use pfd_discovery::{ExtractOptions, FragmentExtractor};
+        // With the cutoff above the value length the extractor must be the
+        // naive all-substrings enumerator, fragment for fragment, position
+        // for position (`ngrams()` itself switches to affixes past
+        // FULL_NGRAM_LEN, so the reference is built directly).
+        let mut ex = FragmentExtractor::new(ExtractOptions {
+            full_enum_max_chars: usize::MAX,
+            ..ExtractOptions::default()
+        });
+        let mut got: Vec<(String, u32)> = Vec::new();
+        ex.for_each(&v, |f, p| got.push((f.to_string(), p)));
+        let chars: Vec<char> = v.chars().collect();
+        let mut naive: Vec<(String, u32)> = Vec::new();
+        for i in 0..chars.len() {
+            for j in (i + 1)..=chars.len() {
+                naive.push((chars[i..j].iter().collect(), i as u32));
+            }
+        }
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn extractor_without_mining_equals_ngrams(v in cell_value()) {
+        use pfd_discovery::{ExtractOptions, FragmentExtractor};
+        // mine_repeats=false reproduces the affix-only long-value behavior
+        // of `ngrams()` exactly, at every length.
+        let mut ex = FragmentExtractor::new(ExtractOptions {
+            mine_repeats: false,
+            ..ExtractOptions::default()
+        });
+        let mut got: Vec<(String, u32)> = Vec::new();
+        ex.for_each(&v, |f, p| got.push((f.to_string(), p)));
+        let naive: Vec<(String, u32)> =
+            ngrams(&v).into_iter().map(|(f, p)| (f.to_string(), p)).collect();
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn extractor_emissions_are_real_deduped_occurrences(v in cell_value()) {
+        use pfd_discovery::{ExtractOptions, FragmentExtractor};
+        use std::collections::HashSet;
+        let mut ex = FragmentExtractor::new(ExtractOptions::default());
+        let mut got: Vec<(String, u32)> = Vec::new();
+        ex.for_each(&v, |f, p| got.push((f.to_string(), p)));
+        let chars: Vec<char> = v.chars().collect();
+        // Every affix-path fragment of `ngrams()` is present…
+        let naive: HashSet<(String, u32)> =
+            ngrams(&v).into_iter().map(|(f, p)| (f.to_string(), p)).collect();
+        let got_set: HashSet<(String, u32)> = got.iter().cloned().collect();
+        for frag in &naive {
+            prop_assert!(got_set.contains(frag), "missing {frag:?}");
+        }
+        // …every emission is a real occurrence at its claimed char position,
+        // and no (fragment, position) pair is emitted twice.
+        prop_assert_eq!(got.len(), got_set.len(), "duplicate emissions");
+        for (frag, pos) in &got {
+            let frag_chars: Vec<char> = frag.chars().collect();
+            let at = &chars[*pos as usize..*pos as usize + frag_chars.len()];
+            prop_assert_eq!(at, &frag_chars[..], "bad occurrence of {:?}@{}", frag, pos);
+        }
     }
 }

@@ -40,6 +40,7 @@ pub mod infer;
 pub mod nfa;
 pub mod normalize;
 pub mod parse;
+pub mod suffix;
 
 pub use ast::{Atom, Element, Pattern, PatternError, Quant};
 pub use class::CharClass;
@@ -52,3 +53,4 @@ pub use infer::{infer_pattern, infer_verified, shape_of, ShapeRun};
 pub use nfa::Nfa;
 pub use normalize::normalize;
 pub use parse::{parse_constrained, parse_pattern, ParseError};
+pub use suffix::{CountScratch, Repeat, SuffixAutomaton};

@@ -1,0 +1,456 @@
+//! Suffix automaton construction — the substring index behind discovery's
+//! long-value fragment extraction.
+//!
+//! A suffix automaton (Blumer et al. 1985) is the minimal DFA recognizing
+//! every substring of a string. It has at most `2·len − 1` states and
+//! `3·len − 4` transitions, and is built online in `O(len · σ)` — which is
+//! what lets the fragment extractor replace the quadratic all-substrings
+//! enumeration for long cell values: each automaton state stands for a whole
+//! equivalence class of substrings sharing the same occurrence set, so the
+//! distinct *repeated* substrings of a value stream out in time linear in
+//! the value, not quadratic.
+//!
+//! The automaton here is built over `char`s (so multi-byte UTF-8 values get
+//! character positions, matching the n-gram extractor's position semantics)
+//! and tracks, per state, the **end position of the first occurrence** —
+//! enough to locate every class representative in the original string
+//! without storing occurrence lists. Occurrence *counts* are derived on
+//! demand by one pass over the suffix-link tree
+//! ([`SuffixAutomaton::occurrence_counts_into`]).
+//!
+//! This module lives next to [`crate::nfa`] because both are automaton
+//! constructions over the same alphabet; the NFA recognizes a *pattern's*
+//! language, the suffix automaton recognizes a *value's* substrings.
+
+/// Sentinel for "no suffix link" (only the root has it).
+const NO_LINK: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Default)]
+struct SamState {
+    /// Length of the longest substring in this state's class.
+    len: u32,
+    /// Suffix link: the state of the longest proper suffix in another class.
+    link: u32,
+    /// Char index (0-based) of the last character of the first occurrence.
+    first_end: u32,
+    /// Clone states are structural copies and carry no primary occurrence.
+    cloned: bool,
+    /// Outgoing transitions. States have few; linear scan beats hashing.
+    trans: Vec<(char, u32)>,
+}
+
+impl SamState {
+    /// Transitions are kept sorted by char: states near the root accumulate
+    /// alphabet-sized fan-out and are probed on every link walk, so lookup
+    /// is a binary search rather than a linear scan.
+    fn get(&self, c: char) -> Option<u32> {
+        match self.trans.binary_search_by_key(&c, |&(tc, _)| tc) {
+            Ok(i) => Some(self.trans[i].1),
+            Err(_) => None,
+        }
+    }
+
+    fn set(&mut self, c: char, to: u32) {
+        match self.trans.binary_search_by_key(&c, |&(tc, _)| tc) {
+            Ok(i) => self.trans[i].1 = to,
+            Err(i) => self.trans.insert(i, (c, to)),
+        }
+    }
+}
+
+/// One repeated substring of the indexed value: the longest representative
+/// of an automaton state whose occurrence count is ≥ 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repeat {
+    /// Char index of the first occurrence's start.
+    pub first_start: u32,
+    /// Length in chars.
+    pub len: u32,
+    /// Number of (possibly overlapping) occurrences in the value.
+    pub count: u32,
+}
+
+/// Reusable buffers for [`SuffixAutomaton::occurrence_counts_into`]'s
+/// counting sort — kept by the caller so one automaton reused across many
+/// values (the extractor's pattern) performs no per-value allocations.
+#[derive(Debug, Clone, Default)]
+pub struct CountScratch {
+    buckets: Vec<u32>,
+    order: Vec<u32>,
+}
+
+/// An online-built suffix automaton over `char`s.
+///
+/// ```
+/// use pfd_pattern::SuffixAutomaton;
+///
+/// let sam = SuffixAutomaton::of("abcbc");
+/// assert!(sam.contains("bcb".chars()));
+/// assert!(!sam.contains("cc".chars()));
+/// // "bc" repeats (positions 1 and 3); the automaton reports it once.
+/// let counts = sam.occurrence_counts();
+/// let repeats: Vec<_> = sam.repeats(&counts, 2).collect();
+/// assert_eq!(repeats.len(), 1);
+/// assert_eq!((repeats[0].first_start, repeats[0].len, repeats[0].count), (1, 2, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuffixAutomaton {
+    /// State pool: only `states[..live]` are part of the automaton.
+    /// [`SuffixAutomaton::reset`] rewinds `live` without dropping the
+    /// per-state transition vectors, so a reused automaton allocates
+    /// nothing once warm.
+    states: Vec<SamState>,
+    live: usize,
+    last: u32,
+}
+
+impl Default for SuffixAutomaton {
+    fn default() -> Self {
+        SuffixAutomaton::new()
+    }
+}
+
+impl SuffixAutomaton {
+    /// An empty automaton (recognizes only the empty string).
+    pub fn new() -> SuffixAutomaton {
+        SuffixAutomaton {
+            states: vec![SamState {
+                link: NO_LINK,
+                ..SamState::default()
+            }],
+            live: 1,
+            last: 0,
+        }
+    }
+
+    /// Build the automaton of a whole string.
+    pub fn of(s: &str) -> SuffixAutomaton {
+        let mut sam = SuffixAutomaton::new();
+        for c in s.chars() {
+            sam.extend(c);
+        }
+        sam
+    }
+
+    /// Reset to the empty automaton, keeping every allocation (the state
+    /// pool and each pooled state's transition vector) — the extractor
+    /// builds one automaton per cell and reuses the value.
+    pub fn reset(&mut self) {
+        self.live = 1;
+        self.states[0].trans.clear();
+        self.last = 0;
+    }
+
+    /// Take a state from the pool (clearing its recycled transitions) or
+    /// grow the pool by one.
+    fn alloc_state(&mut self) -> u32 {
+        let id = self.live;
+        if id < self.states.len() {
+            self.states[id].trans.clear();
+        } else {
+            self.states.push(SamState::default());
+        }
+        self.live += 1;
+        id as u32
+    }
+
+    /// Number of automaton states (≤ `2·len − 1`, root included).
+    pub fn num_states(&self) -> usize {
+        self.live
+    }
+
+    /// Number of chars indexed so far.
+    pub fn text_len(&self) -> usize {
+        self.states[self.last as usize].len as usize
+    }
+
+    /// Append one character (the standard online construction step).
+    pub fn extend(&mut self, c: char) {
+        let cur = self.alloc_state();
+        let cur_len = self.states[self.last as usize].len + 1;
+        {
+            let st = &mut self.states[cur as usize];
+            st.len = cur_len;
+            st.link = NO_LINK;
+            st.first_end = cur_len - 1;
+            st.cloned = false;
+        }
+        let mut p = self.last;
+        while p != NO_LINK && self.states[p as usize].get(c).is_none() {
+            self.states[p as usize].set(c, cur);
+            p = self.states[p as usize].link;
+        }
+        if p == NO_LINK {
+            self.states[cur as usize].link = 0;
+        } else {
+            let q = self.states[p as usize].get(c).expect("loop exit condition");
+            if self.states[q as usize].len == self.states[p as usize].len + 1 {
+                self.states[cur as usize].link = q;
+            } else {
+                // Split q: the clone keeps the shorter substrings of q's
+                // class (those also occurring here), q and cur link to it.
+                let clone = self.alloc_state();
+                {
+                    // q was created before the clone, so a split borrow
+                    // copies its transitions into the recycled vector.
+                    let (head, tail) = self.states.split_at_mut(clone as usize);
+                    let q_st = &head[q as usize];
+                    let cl = &mut tail[0];
+                    cl.len = head[p as usize].len + 1;
+                    cl.link = q_st.link;
+                    cl.first_end = q_st.first_end;
+                    cl.cloned = true;
+                    cl.trans.extend_from_slice(&q_st.trans);
+                }
+                let mut p = p;
+                while p != NO_LINK && self.states[p as usize].get(c) == Some(q) {
+                    self.states[p as usize].set(c, clone);
+                    p = self.states[p as usize].link;
+                }
+                self.states[q as usize].link = clone;
+                self.states[cur as usize].link = clone;
+            }
+        }
+        self.last = cur;
+    }
+
+    /// Is `needle` a substring of the indexed value?
+    pub fn contains(&self, needle: impl IntoIterator<Item = char>) -> bool {
+        let mut state = 0u32;
+        for c in needle {
+            match self.states[state as usize].get(c) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Per-state occurrence counts (endpos-set sizes), computed by one pass
+    /// over the suffix-link tree in decreasing `len` order. Both buffers
+    /// are caller-owned so a reused automaton reuses the allocations too.
+    pub fn occurrence_counts_into(&self, counts: &mut Vec<u32>, scratch: &mut CountScratch) {
+        let live = &self.states[..self.live];
+        counts.clear();
+        counts.resize(live.len(), 0);
+        for (i, st) in live.iter().enumerate().skip(1) {
+            if !st.cloned {
+                counts[i] = 1;
+            }
+        }
+        // Counting sort by len: states in decreasing-len order propagate
+        // their counts up the suffix links.
+        let buckets = &mut scratch.buckets;
+        buckets.clear();
+        buckets.resize(self.text_len() + 2, 0);
+        for st in live.iter().skip(1) {
+            buckets[st.len as usize] += 1;
+        }
+        for l in 1..buckets.len() {
+            buckets[l] += buckets[l - 1];
+        }
+        let order = &mut scratch.order;
+        order.clear();
+        order.resize(live.len() - 1, 0);
+        for (i, st) in live.iter().enumerate().skip(1) {
+            buckets[st.len as usize] -= 1;
+            order[buckets[st.len as usize] as usize] = i as u32;
+        }
+        for &i in order.iter().rev() {
+            let link = live[i as usize].link;
+            if link != NO_LINK && link != 0 {
+                counts[link as usize] += counts[i as usize];
+            }
+        }
+    }
+
+    /// Convenience wrapper allocating the counts buffer.
+    pub fn occurrence_counts(&self) -> Vec<u32> {
+        let mut counts = Vec::new();
+        self.occurrence_counts_into(&mut counts, &mut CountScratch::default());
+        counts
+    }
+
+    /// The distinct repeated substrings of the value, one per state with
+    /// occurrence count ≥ 2 and representative length ≥ `min_len` — the
+    /// longest member of each class (shorter members share the same
+    /// occurrence set and are subsumed, mirroring §4.4 substring pruning).
+    pub fn repeats<'a>(
+        &'a self,
+        counts: &'a [u32],
+        min_len: u32,
+    ) -> impl Iterator<Item = Repeat> + 'a {
+        self.states[..self.live]
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(move |(i, st)| counts[*i] >= 2 && st.len >= min_len)
+            .map(move |(i, st)| Repeat {
+                first_start: st.first_end + 1 - st.len,
+                len: st.len,
+                count: counts[i],
+            })
+    }
+
+    /// Enumerate every distinct substring of the value exactly once as
+    /// `(first_start, len, count)` — each state contributes the lengths in
+    /// `(link.len, state.len]`. Quadratic in the worst case (there can be
+    /// Θ(len²) distinct substrings); used by tests to pin the automaton to
+    /// the naive enumeration, not by the extraction hot path.
+    pub fn for_each_distinct(&self, counts: &[u32], mut f: impl FnMut(u32, u32, u32)) {
+        for (i, st) in self.states[..self.live].iter().enumerate().skip(1) {
+            let link_len = self.states[st.link as usize].len;
+            for len in (link_len + 1)..=st.len {
+                f(st.first_end + 1 - len, len, counts[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Naive occurrence map: substring → (first start, count), overlapping.
+    fn naive_substrings(s: &str) -> HashMap<String, (u32, u32)> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut map: HashMap<String, (u32, u32)> = HashMap::new();
+        for i in 0..chars.len() {
+            for j in (i + 1)..=chars.len() {
+                let sub: String = chars[i..j].iter().collect();
+                let e = map.entry(sub).or_insert((i as u32, 0));
+                e.1 += 1;
+            }
+        }
+        map
+    }
+
+    fn check_against_naive(s: &str) {
+        let sam = SuffixAutomaton::of(s);
+        let counts = sam.occurrence_counts();
+        let naive = naive_substrings(s);
+        let chars: Vec<char> = s.chars().collect();
+        let mut seen = 0usize;
+        sam.for_each_distinct(&counts, |start, len, count| {
+            let sub: String = chars[start as usize..(start + len) as usize]
+                .iter()
+                .collect();
+            let (nstart, ncount) = naive[&sub];
+            assert_eq!(start, nstart, "first occurrence of {sub:?} in {s:?}");
+            assert_eq!(count, ncount, "count of {sub:?} in {s:?}");
+            seen += 1;
+        });
+        assert_eq!(seen, naive.len(), "distinct substrings of {s:?}");
+        assert!(sam.num_states() <= 2 * chars.len().max(1));
+    }
+
+    #[test]
+    fn matches_naive_enumeration() {
+        for s in [
+            "",
+            "a",
+            "aa",
+            "abcbc",
+            "banana",
+            "abcabxabcd",
+            "aaaaaaa",
+            "mississippi",
+            "9000190001",
+        ] {
+            check_against_naive(s);
+        }
+    }
+
+    #[test]
+    fn multibyte_values_use_char_positions() {
+        check_against_naive("ééàé");
+        check_against_naive("日本語日本");
+        let sam = SuffixAutomaton::of("日本語日本");
+        let counts = sam.occurrence_counts();
+        let repeats: Vec<Repeat> = sam.repeats(&counts, 1).collect();
+        // "日本" (and "日", "本") repeat; the longest class rep is "日本".
+        assert!(repeats
+            .iter()
+            .any(|r| r.first_start == 0 && r.len == 2 && r.count == 2));
+    }
+
+    #[test]
+    fn contains_is_substring_membership() {
+        let sam = SuffixAutomaton::of("abcbc");
+        for good in ["", "a", "abcbc", "cbc", "bcb"] {
+            assert!(sam.contains(good.chars()), "{good}");
+        }
+        for bad in ["cc", "abd", "abcbcb"] {
+            assert!(!sam.contains(bad.chars()), "{bad}");
+        }
+    }
+
+    #[test]
+    fn repeats_of_banana() {
+        let sam = SuffixAutomaton::of("banana");
+        let counts = sam.occurrence_counts();
+        let mut reps: Vec<Repeat> = sam.repeats(&counts, 1).collect();
+        reps.sort_by_key(|r| (r.len, r.first_start));
+        // Repeated classes and their longest representatives: {a} ×3,
+        // {n, an} → "an" ×2, {na, ana} → "ana" ×2 (same endpos {3, 5}).
+        let rendered: Vec<(u32, u32, u32)> = reps
+            .iter()
+            .map(|r| (r.first_start, r.len, r.count))
+            .collect();
+        assert_eq!(rendered, vec![(1, 1, 3), (1, 2, 2), (1, 3, 2)]);
+    }
+
+    #[test]
+    fn reset_reuses_cleanly() {
+        let mut sam = SuffixAutomaton::new();
+        for c in "abracadabra".chars() {
+            sam.extend(c);
+        }
+        let fresh = SuffixAutomaton::of("banana");
+        sam.reset();
+        assert_eq!(sam.num_states(), 1);
+        assert_eq!(sam.text_len(), 0);
+        for c in "banana".chars() {
+            sam.extend(c);
+        }
+        assert_eq!(sam.num_states(), fresh.num_states());
+        let (a, b) = (sam.occurrence_counts(), fresh.occurrence_counts());
+        assert_eq!(a, b);
+        let ra: Vec<Repeat> = sam.repeats(&a, 1).collect();
+        let rb: Vec<Repeat> = fresh.repeats(&b, 1).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn clone_preserves_behavior() {
+        let sam = SuffixAutomaton::of("abcabcabc");
+        let cloned = sam.clone();
+        assert_eq!(sam.occurrence_counts(), cloned.occurrence_counts());
+        assert!(cloned.contains("bcabc".chars()));
+    }
+
+    #[test]
+    fn empty_and_single_char() {
+        let sam = SuffixAutomaton::of("");
+        assert_eq!(sam.num_states(), 1);
+        assert!(sam.repeats(&sam.occurrence_counts(), 1).next().is_none());
+        let one = SuffixAutomaton::of("x");
+        assert_eq!(one.text_len(), 1);
+        assert!(one.contains("x".chars()));
+        assert!(one.repeats(&one.occurrence_counts(), 1).next().is_none());
+    }
+
+    #[test]
+    fn repeated_run_is_linear_in_states() {
+        let s = "a".repeat(500);
+        let sam = SuffixAutomaton::of(&s);
+        // "aaaa…" is the worst case for enumeration but the best for the
+        // automaton: a single chain of states.
+        assert_eq!(sam.num_states(), 501);
+        let counts = sam.occurrence_counts();
+        let reps: Vec<Repeat> = sam.repeats(&counts, 1).collect();
+        // Every length 1..=499 repeats; 500 occurs once.
+        assert_eq!(reps.len(), 499);
+    }
+}

@@ -182,3 +182,96 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Suffix-automaton properties: the automaton must agree with the naive
+// all-substrings enumeration on arbitrary values, including multi-byte
+// UTF-8, long repeated runs, and empty/one-char strings.
+// ---------------------------------------------------------------------------
+
+/// Strategy covering ASCII data chars plus multi-byte letters and a CJK
+/// char, so char-vs-byte position bugs cannot hide.
+fn sam_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        prop::char::range('a', 'e'),
+        prop::char::range('0', '3'),
+        Just('é'),
+        Just('ß'),
+        Just('語'),
+    ]
+}
+
+fn sam_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Random small-alphabet strings (dense repeats).
+        proptest::collection::vec(sam_char(), 0..40).prop_map(|cs| cs.into_iter().collect()),
+        // Repeated runs: the automaton's linear-state worst case.
+        (sam_char(), 1usize..60).prop_map(|(c, n)| c.to_string().repeat(n)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn sam_matches_naive_substring_enumeration(s in sam_string()) {
+        use pfd_pattern::SuffixAutomaton;
+        use std::collections::HashMap;
+
+        let chars: Vec<char> = s.chars().collect();
+        // Naive: every (substring, first start, overlapping count).
+        let mut naive: HashMap<String, (u32, u32)> = HashMap::new();
+        for i in 0..chars.len() {
+            for j in (i + 1)..=chars.len() {
+                let sub: String = chars[i..j].iter().collect();
+                let e = naive.entry(sub).or_insert((i as u32, 0));
+                e.1 += 1;
+            }
+        }
+
+        let sam = SuffixAutomaton::of(&s);
+        prop_assert!(sam.num_states() <= 2 * chars.len().max(1));
+        let counts = sam.occurrence_counts();
+        let mut distinct = 0usize;
+        let mut failure: Option<String> = None;
+        sam.for_each_distinct(&counts, |start, len, count| {
+            let sub: String = chars[start as usize..(start + len) as usize].iter().collect();
+            match naive.get(&sub) {
+                Some(&(nstart, ncount)) if nstart == start && ncount == count => {}
+                other => failure = Some(format!("{sub:?}: sam ({start},{count}) vs {other:?}")),
+            }
+            distinct += 1;
+        });
+        prop_assert!(failure.is_none(), "{} in {s:?}", failure.unwrap());
+        prop_assert_eq!(distinct, naive.len());
+
+        // Repeats are exactly the class representatives with count ≥ 2.
+        for r in sam.repeats(&counts, 1) {
+            let sub: String = chars[r.first_start as usize..(r.first_start + r.len) as usize]
+                .iter()
+                .collect();
+            let (nstart, ncount) = naive[&sub];
+            prop_assert_eq!(nstart, r.first_start);
+            prop_assert_eq!(ncount, r.count);
+            prop_assert!(r.count >= 2);
+        }
+    }
+
+    #[test]
+    fn sam_reset_equals_fresh_build(a in sam_string(), b in sam_string()) {
+        use pfd_pattern::SuffixAutomaton;
+        let mut reused = SuffixAutomaton::of(&a);
+        reused.reset();
+        for c in b.chars() {
+            reused.extend(c);
+        }
+        let fresh = SuffixAutomaton::of(&b);
+        prop_assert_eq!(reused.num_states(), fresh.num_states());
+        prop_assert_eq!(reused.occurrence_counts(), fresh.occurrence_counts());
+        // Substring membership agrees on every window of b.
+        let chars: Vec<char> = b.chars().collect();
+        for w in [1usize, 2, 3] {
+            for win in chars.windows(w) {
+                prop_assert!(reused.contains(win.iter().copied()));
+            }
+        }
+    }
+}

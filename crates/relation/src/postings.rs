@@ -4,7 +4,7 @@
 //! Index entries and candidate row sets were plain `Vec<RowId>`; at scale
 //! the discovery hot path is dominated by merging those lists. A
 //! [`PostingList`] keeps the sorted-`u32` form for sparse sets and switches
-//! to a fixed-stride bitset once density crosses [`DENSE_NUMERATOR`]`/16` of
+//! to a fixed-stride bitset once density crosses 1/16 of
 //! the row universe, so the frequent entries (column formats, shared
 //! prefixes) intersect word-at-a-time. Sorted × sorted intersections gallop
 //! when the lengths are lopsided — the common shape when probing a rare
@@ -41,6 +41,16 @@ enum Repr {
 }
 
 /// A set of row ids over a fixed universe (the relation's row count).
+///
+/// ```
+/// use pfd_relation::PostingList;
+///
+/// let a = PostingList::from_sorted(vec![0, 2, 4, 6], 10);
+/// let b = PostingList::from_sorted(vec![2, 3, 4], 10);
+/// assert_eq!(a.intersect(&b).to_vec(), vec![2, 4]);
+/// assert!(PostingList::from_sorted(vec![2, 4], 10).is_subset(&a));
+/// assert!(a.contains(4) && !a.contains(5));
+/// ```
 #[derive(Debug, Clone)]
 pub struct PostingList {
     universe: u32,
@@ -404,15 +414,19 @@ impl Eq for PostingList {}
 
 impl Hash for PostingList {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        // Canonical over the element *summary* (count, min, max) so Sorted
-        // and Dense forms of one set hash alike without iterating row sets
-        // that can span the whole relation. Sets agreeing on the summary
-        // but differing inside collide and are separated by `Eq` — rare in
-        // practice (substring-pruning groups share exact row sets).
+        // Canonical over the element *sequence prefix* plus (count, max) so
+        // Sorted and Dense forms of one set hash alike without iterating
+        // row sets that can span the whole relation. The bounded prefix
+        // matters for discovery's RHS decision cache, which probes many
+        // distinct joint row sets of equal size sharing min and max — a
+        // summary-only hash would bucket those together and degrade every
+        // probe to full `Eq` scans.
         state.write_usize(self.len());
         if !self.is_empty() {
-            state.write_u32(self.min().expect("non-empty"));
             state.write_u32(self.max().expect("non-empty"));
+            for id in self.iter().take(8) {
+                state.write_u32(id);
+            }
         }
     }
 }

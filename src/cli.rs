@@ -292,6 +292,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 result.stats.index_entries,
                 result.stats.check_time
             )?;
+            writeln!(
+                out,
+                "extraction: {} full-enum cells, {} automaton cells ({} mined repeats); \
+                 rhs decisions: {} ({} cached)",
+                result.stats.cells_full_enum,
+                result.stats.cells_automaton,
+                result.stats.repeat_fragments,
+                result.stats.rhs_decisions,
+                result.stats.rhs_cache_hits
+            )?;
             if review {
                 for item in review_queue(&rel, &result.dependencies) {
                     writeln!(out, "  {}", item.summary(&rel))?;

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Verify that every relative markdown link in README.md and docs/*.md
+# points at a file or directory that exists, so the architecture guide
+# cannot rot silently. External (http/https/mailto) links and pure
+# anchors are skipped. Run from the repository root.
+set -euo pipefail
+
+fail=0
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  base_dir=$(dirname "$md")
+  # Extract the (target) part of [label](target) links, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    # Strip a trailing #anchor.
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$base_dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK in $md: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*](\([^)]*\))/\1/')
+done
+
+# Inline code references to key files must exist too (the guide points
+# into the tree with `crates/...` paths).
+for md in docs/*.md; do
+  [ -f "$md" ] || continue
+  while IFS= read -r path; do
+    # Expand brace shorthand like crates/core/src/{incremental,session}.rs
+    if [[ "$path" == *"{"* ]]; then
+      prefix="${path%%\{*}"; rest="${path#*\{}"
+      names="${rest%%\}*}"; suffix="${rest#*\}}"
+      IFS=',' read -ra parts <<< "$names"
+      for p in "${parts[@]}"; do
+        if [ ! -e "${prefix}${p}${suffix}" ]; then
+          echo "BROKEN FILE REF in $md: ${prefix}${p}${suffix}" >&2
+          fail=1
+        fi
+      done
+    elif [ ! -e "$path" ]; then
+      echo "BROKEN FILE REF in $md: $path" >&2
+      fail=1
+    fi
+  done < <(grep -o '`\(crates\|src\|docs\|examples\|vendor\|tools\)/[^`]*`' "$md" | tr -d '`')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check failed" >&2
+  exit 1
+fi
+echo "link check OK"
