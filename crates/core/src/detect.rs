@@ -5,10 +5,25 @@
 //! there is a violation of a PFD w.r.t. tuple t, the PFD will change `t[B]`
 //! according to the PFD, which is then compared with the ground truth."
 
-use crate::pfd::{Pfd, ViolationKind};
+use crate::pfd::{Pfd, Violation, ViolationKind};
 use crate::tableau::TableauCell;
 use pfd_relation::{AttrId, Relation, RowId};
 use std::collections::BTreeSet;
+
+/// Knobs for suggestion derivation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectOptions {
+    /// Allow replacing the *whole* cell with a constant RHS cell's
+    /// constrained constant when the dirty value does not match the cell's
+    /// surrounding pattern context (e.g. suggest `900` for a `[900]\D{2}`
+    /// cell on a value whose last two characters cannot be aligned). Such a
+    /// replacement silently discards the non-matching prefix/suffix, so it
+    /// is off by default; when enabled, the produced flags carry
+    /// [`CellFlag::low_confidence`] and repair scoring discounts them.
+    /// Fully-constant cells (the whole pattern is one constant) never need
+    /// this fallback: their whole-value replacement is exact.
+    pub whole_cell_fallback: bool,
+}
 
 /// One flagged cell with an optional suggested repair.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +34,8 @@ pub struct CellFlag {
     pub attr: AttrId,
     /// Index into the PFD set that produced the flag.
     pub pfd_index: usize,
+    /// Index of the violated tableau row within that PFD.
+    pub tableau_row: usize,
     /// The dirty value currently in the cell.
     pub current: String,
     /// The repair the PFD implies, when one is determined: the RHS constant
@@ -27,6 +44,20 @@ pub struct CellFlag {
     pub suggestion: Option<String>,
     /// How the underlying violation fired.
     pub kind: ViolationKind,
+    /// Rows in the LHS-key group the violation fired in.
+    pub group_size: usize,
+    /// Rows of that group agreeing with the suggestion (the majority RHS
+    /// partition for pair violations, the RHS-conforming rows for
+    /// single-tuple violations). `agree / group_size` is the fix's support.
+    pub agree: usize,
+    /// For pair violations, the majority representative the suggestion was
+    /// spliced from — repair's cascade deferral holds the fix back when
+    /// that cell is itself being fixed. `None` for single-tuple flags.
+    pub majority_row: Option<RowId>,
+    /// The suggestion came from the whole-cell replacement fallback (see
+    /// [`DetectOptions::whole_cell_fallback`]) and may discard part of the
+    /// dirty value; repair scoring halves its confidence.
+    pub low_confidence: bool,
 }
 
 /// The result of running a PFD set over a relation.
@@ -69,55 +100,105 @@ fn splice_suggestion(cell: &TableauCell, value: &str, replacement: &str) -> Opti
     }
 }
 
+/// Derive the [`CellFlag`] for one violation: the flagged cell, the implied
+/// repair (when one is determined) and the group statistics repair scoring
+/// consumes. Shared by [`detect_errors_with`] (which recomputes violations
+/// from scratch) and the delta-driven `RepairEngine` (which reads them from
+/// the incremental group indexes).
+pub(crate) fn flag_for_violation(
+    pfd: &Pfd,
+    pfd_index: usize,
+    v: &Violation,
+    rel: &Relation,
+    options: &DetectOptions,
+) -> CellFlag {
+    let row_cells = &pfd.tableau()[v.tableau_row];
+    let rhs_pos = pfd
+        .rhs()
+        .iter()
+        .position(|b| *b == v.attr)
+        .expect("violation attr is an RHS attribute");
+    let rhs_cell = &row_cells.rhs[rhs_pos];
+    match v.kind {
+        ViolationKind::SingleTuple => {
+            let rid = v.rows()[0];
+            let current = rel.cell(rid, v.attr).to_string();
+            // A fully-constant cell (pre, Q and post all constant) names the
+            // exact correct value: whole-value replacement is exact. A cell
+            // with pattern context can only be spliced when the dirty value
+            // matches it — which a single-tuple violation precludes — so the
+            // remaining option is the lossy whole-cell fallback, gated
+            // behind `DetectOptions` and flagged low-confidence.
+            let mut low_confidence = false;
+            let suggestion = if let Some(full) = rhs_cell.full_constant_value() {
+                Some(full)
+            } else if let Some(c) = rhs_cell.constant_value() {
+                match splice_suggestion(rhs_cell, &current, &c) {
+                    Some(spliced) => Some(spliced),
+                    None if options.whole_cell_fallback => {
+                        low_confidence = true;
+                        Some(c)
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
+            CellFlag {
+                row: rid,
+                attr: v.attr,
+                pfd_index,
+                tableau_row: v.tableau_row,
+                current,
+                suggestion,
+                kind: v.kind,
+                group_size: v.group_size(),
+                agree: v.majority_size(),
+                majority_row: None,
+                low_confidence,
+            }
+        }
+        ViolationKind::TuplePair => {
+            // rows() = [majority representative, offending row]
+            let rep = v.rows()[0];
+            let rid = v.rows()[1];
+            let current = rel.cell(rid, v.attr).to_string();
+            let majority_key = rhs_cell.key(rel.cell(rep, v.attr));
+            let suggestion = majority_key.and_then(|k| splice_suggestion(rhs_cell, &current, k));
+            CellFlag {
+                row: rid,
+                attr: v.attr,
+                pfd_index,
+                tableau_row: v.tableau_row,
+                current,
+                suggestion,
+                kind: v.kind,
+                group_size: v.group_size(),
+                agree: v.majority_size(),
+                majority_row: Some(rep),
+                low_confidence: false,
+            }
+        }
+    }
+}
+
 /// Run every PFD over the relation, flagging suspect cells.
 pub fn detect_errors(rel: &Relation, pfds: &[Pfd]) -> DetectionReport {
+    detect_errors_with(rel, pfds, &DetectOptions::default())
+}
+
+/// [`detect_errors`] with explicit suggestion-derivation options.
+pub fn detect_errors_with(
+    rel: &Relation,
+    pfds: &[Pfd],
+    options: &DetectOptions,
+) -> DetectionReport {
     let mut report = DetectionReport::default();
     for (pi, pfd) in pfds.iter().enumerate() {
         for v in pfd.violations(rel) {
-            let row_cells = &pfd.tableau()[v.tableau_row];
-            let rhs_pos = pfd
-                .rhs()
-                .iter()
-                .position(|b| *b == v.attr)
-                .expect("violation attr is an RHS attribute");
-            let rhs_cell = &row_cells.rhs[rhs_pos];
-            match v.kind {
-                ViolationKind::SingleTuple => {
-                    let rid = v.rows()[0];
-                    let current = rel.cell(rid, v.attr).to_string();
-                    // For a constant RHS cell the repair splices the
-                    // constant into the constrained portion of the value;
-                    // fully-constrained constants replace the whole value.
-                    let suggestion = rhs_cell
-                        .constant_value()
-                        .and_then(|c| splice_suggestion(rhs_cell, &current, &c).or(Some(c)));
-                    report.flags.push(CellFlag {
-                        row: rid,
-                        attr: v.attr,
-                        pfd_index: pi,
-                        current,
-                        suggestion,
-                        kind: v.kind,
-                    });
-                }
-                ViolationKind::TuplePair => {
-                    // rows() = [majority representative, offending row]
-                    let rep = v.rows()[0];
-                    let rid = v.rows()[1];
-                    let current = rel.cell(rid, v.attr).to_string();
-                    let majority_key = rhs_cell.key(rel.cell(rep, v.attr));
-                    let suggestion =
-                        majority_key.and_then(|k| splice_suggestion(rhs_cell, &current, k));
-                    report.flags.push(CellFlag {
-                        row: rid,
-                        attr: v.attr,
-                        pfd_index: pi,
-                        current,
-                        suggestion,
-                        kind: v.kind,
-                    });
-                }
-            }
+            report
+                .flags
+                .push(flag_for_violation(pfd, pi, &v, rel, options));
         }
     }
     report

@@ -27,8 +27,11 @@
 //! ids (there is no post-state name for a row that no longer exists); every
 //! other resolved violation is renumbered into the post-state. Violations
 //! that merely had their row ids shifted by a deletion are **not** reported
-//! as deltas. Both lists are sorted canonically (PFD index, tableau row,
-//! kind, attribute, rows), so deltas compare with `==`.
+//! as deltas. A violation whose *group statistics* changed (its LHS group
+//! grew or its majority shifted — the context repair scoring reads) **is**
+//! re-reported as a resolved/introduced pair. Both lists are sorted
+//! canonically (PFD index, tableau row, kind, attribute, rows), so deltas
+//! compare with `==`.
 
 use crate::pfd::{Pfd, Violation, ViolationKind};
 use pfd_relation::{AttrId, PostingList, Relation, RelationError, RowId, SchemaError};
@@ -87,10 +90,11 @@ impl ViolationDelta {
 }
 
 /// Canonical delta ordering: PFD index, tableau row, kind, attr, rows, cells.
-type EntryKey = (usize, usize, u8, AttrId, Vec<RowId>, Vec<(RowId, AttrId)>);
+pub(crate) type EntryKey = (usize, usize, u8, AttrId, Vec<RowId>, Vec<(RowId, AttrId)>);
 
-/// Canonical sort key so both engines emit deltas in the same order.
-fn entry_key(e: &DeltaEntry) -> EntryKey {
+/// Canonical sort key so both engines emit deltas in the same order (also
+/// used by the repair engine's live violation map).
+pub(crate) fn entry_key(e: &DeltaEntry) -> EntryKey {
     let v = &e.violation;
     let kind = match v.kind {
         ViolationKind::SingleTuple => 0u8,
@@ -850,7 +854,10 @@ mod tests {
         let (mut naive, mut delta) = engines();
         let name = naive.relation().schema().attr("name").unwrap();
         // r1 becomes a Susan with gender M: the John group loses a clean
-        // member, the Susan group gains a violating one.
+        // member, the Susan group gains a violating one. The pre-existing
+        // r4 violation is re-reported as resolved+introduced because its
+        // group statistics changed (the Susan group grew from 2 to 3 rows
+        // — violations carry their repair-scoring context).
         let d = apply_both(
             &mut naive,
             &mut delta,
@@ -860,7 +867,8 @@ mod tests {
                 value: "Susan Bosco".into(),
             },
         );
-        assert_eq!(d.introduced.len(), 1);
+        assert_eq!(d.introduced.len(), 2, "r2's new violation + r4 restated");
+        assert_eq!(d.resolved.len(), 1, "r4's old group statistics retired");
         assert_eq!(delta.violation_count(), 2);
     }
 

@@ -44,15 +44,19 @@ pub mod rules;
 pub mod session;
 pub mod tableau;
 
-pub use detect::{detect_errors, evaluate_detection, CellFlag, DetectionEval, DetectionReport};
+pub use detect::{
+    detect_errors, detect_errors_with, evaluate_detection, CellFlag, DetectOptions, DetectionEval,
+    DetectionReport,
+};
 pub use incremental::{DeltaEngine, DeltaEntry, Edit, IncrementalChecker, ViolationDelta};
 pub use pfd::{display_with_schema, Pfd, PfdError, TableauAudit, Violation, ViolationKind};
 pub use repair::{
-    evaluate_repairs, repair, repair_to_fixpoint, CellFix, RepairEval, RepairOutcome,
+    evaluate_repairs, repair, repair_to_fixpoint, repair_to_fixpoint_with, repair_with, CellFix,
+    FixCandidate, FixScore, RepairEngine, RepairEval, RepairOptions, RepairOutcome,
 };
 pub use rules::{parse_rule, parse_rules, to_rule_string, to_rules_string, RuleError};
 pub use session::{
-    check_report_json, parse_command, repair_outcome_json, run_session, SessionCommand,
+    check_report_json, fix_json, parse_command, repair_outcome_json, run_session, SessionCommand,
     SessionSummary,
 };
 pub use tableau::{TableauCell, TableauRow};

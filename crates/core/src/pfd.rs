@@ -100,12 +100,27 @@ pub struct Violation {
     pub attr: AttrId,
     rows: Vec<RowId>,
     cells: Vec<(RowId, AttrId)>,
+    group_size: u32,
+    majority_size: u32,
 }
 
 impl Violation {
     /// The violating tuple(s): one for `SingleTuple`, two for `TuplePair`.
     pub fn rows(&self) -> &[RowId] {
         &self.rows
+    }
+
+    /// Size of the LHS-key group the violation fired in.
+    pub fn group_size(&self) -> usize {
+        self.group_size as usize
+    }
+
+    /// Rows of the group agreeing with the implied repair: the majority RHS
+    /// partition for [`ViolationKind::TuplePair`], the rows matching the RHS
+    /// pattern for [`ViolationKind::SingleTuple`]. Repair scoring uses
+    /// `majority_size / group_size` as the fix's *support*.
+    pub fn majority_size(&self) -> usize {
+        self.majority_size as usize
     }
 
     /// The violation cell set, e.g. `(r3[name], r3[gender], r4[name],
@@ -575,9 +590,29 @@ impl Pfd {
         limit: Option<usize>,
     ) {
         let at_limit = |out: &Vec<Violation>| limit.is_some_and(|l| out.len() >= l);
+        let group_size = rows.len() as u32;
+        let single_tuple = |rid: RowId, b: AttrId, majority_size: u32| {
+            let mut cells: Vec<(RowId, AttrId)> = self.lhs.iter().map(|a| (rid, *a)).collect();
+            cells.push((rid, b));
+            Violation {
+                tableau_row: ti,
+                kind: ViolationKind::SingleTuple,
+                attr: b,
+                rows: vec![rid],
+                cells,
+                group_size,
+                majority_size,
+            }
+        };
 
-        // Single-tuple RHS pattern checks.
+        // Single-tuple RHS pattern checks: classify the whole group first so
+        // every emitted violation can carry the group statistics (group size
+        // and the count of RHS-conforming rows) that repair scoring needs.
+        // Under a `limit`, emit during the scan instead — limited callers
+        // ([`Pfd::satisfies`]) only test emptiness and must keep their early
+        // exit, so those violations carry a zeroed majority count.
         let mut rhs_ok: Vec<RowId> = Vec::with_capacity(rows.len());
+        let mut failures: Vec<(RowId, AttrId)> = Vec::new();
         for &rid in rows {
             let mut failed = None;
             for (j, b) in self.rhs.iter().enumerate() {
@@ -587,23 +622,19 @@ impl Pfd {
                 }
             }
             match failed {
-                Some(b) => {
-                    let mut cells: Vec<(RowId, AttrId)> =
-                        self.lhs.iter().map(|a| (rid, *a)).collect();
-                    cells.push((rid, b));
-                    out.push(Violation {
-                        tableau_row: ti,
-                        kind: ViolationKind::SingleTuple,
-                        attr: b,
-                        rows: vec![rid],
-                        cells,
-                    });
+                Some(b) if limit.is_some() => {
+                    out.push(single_tuple(rid, b, 0));
                     if at_limit(out) {
                         return;
                     }
                 }
+                Some(b) => failures.push((rid, b)),
                 None => rhs_ok.push(rid),
             }
+        }
+        let ok_count = rhs_ok.len() as u32;
+        for (rid, b) in failures {
+            out.push(single_tuple(rid, b, ok_count));
         }
 
         // Pair semantics: partition by RHS key.
@@ -635,6 +666,7 @@ impl Pfd {
             .expect("non-empty");
         let rep = majority[0];
         let majority_rows: Vec<RowId> = majority.clone();
+        let majority_size = majority_rows.len() as u32;
         for (key, rows) in &partitions {
             if rows == &majority_rows {
                 continue;
@@ -659,6 +691,8 @@ impl Pfd {
                     attr,
                     rows: vec![rep, rid],
                     cells,
+                    group_size,
+                    majority_size,
                 });
                 if at_limit(out) {
                     return;

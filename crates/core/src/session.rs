@@ -14,13 +14,17 @@
 //! ```
 //!
 //! Commands: `set` (`row`, `attr` by name or index, `value`), `insert`
-//! (`cells` array), `delete` (`row`), and `batch` (`edits` array of the
-//! former three, reconciled as one [`DeltaEngine::apply_batch`] call).
-//! Events: one `ready` on startup (initial violation state), then per
-//! command either `delta` or `error` (malformed input never kills the
-//! session). The same serializers back the `--json` flags of `pfd check`
-//! and `pfd repair`, so batch reports and the interactive stream speak one
-//! format.
+//! (`cells` array), `delete` (`row`), `batch` (`edits` array of the
+//! former three, reconciled as one [`DeltaEngine::apply_batch`] call), and
+//! `repair` (optional `max_passes`) which runs a [`RepairEngine`] chase on
+//! the live state and streams one `conflict` event per contested cell, one
+//! `fix` event per applied fix (score breakdown included), one
+//! `unrepaired` event per suggestion-less flag and a closing `repaired`
+//! summary. Other events: one `ready` on startup (initial violation
+//! state), then per command either `delta` or `error` (malformed input
+//! never kills the session). The same serializers back the `--json` flags
+//! of `pfd check` and `pfd repair`, so batch reports and the interactive
+//! stream speak one format.
 //!
 //! The module hand-rolls a minimal JSON reader/writer ([`json`]) because
 //! the build environment vendors no serde; it covers the full value grammar
@@ -29,7 +33,7 @@
 use crate::detect::DetectionReport;
 use crate::incremental::{DeltaEngine, DeltaEntry, Edit, ViolationDelta};
 use crate::pfd::{Pfd, Violation, ViolationKind};
-use crate::repair::RepairOutcome;
+use crate::repair::{CellFix, FixCandidate, RepairEngine, RepairOptions, RepairOutcome};
 use pfd_relation::{AttrId, Relation, RowId, Schema};
 use std::io::{BufRead, Write};
 
@@ -301,9 +305,12 @@ pub fn violation_json(pfd_index: usize, v: &Violation, schema: &Schema) -> Strin
     };
     let attr = schema.name_of(v.attr).unwrap_or("?");
     out.push_str(&format!(
-        "{{\"pfd\":{pfd_index},\"tableau_row\":{},\"kind\":\"{kind}\",\"attr\":{},\"rows\":[",
+        "{{\"pfd\":{pfd_index},\"tableau_row\":{},\"kind\":\"{kind}\",\"attr\":{},\
+         \"group_size\":{},\"majority_size\":{},\"rows\":[",
         v.tableau_row,
-        json::escaped(attr)
+        json::escaped(attr),
+        v.group_size(),
+        v.majority_size()
     ));
     for (i, r) in v.rows().iter().enumerate() {
         if i > 0 {
@@ -383,11 +390,51 @@ pub fn check_report_json(report: &DetectionReport, rel: &Relation) -> String {
     out
 }
 
-/// Serialize a `pfd repair` outcome.
-pub fn repair_outcome_json(outcome: &RepairOutcome) -> String {
+/// Serialize one losing candidate of a cell's conflict set.
+fn candidate_json(c: &FixCandidate) -> String {
+    format!(
+        "{{\"pfd\":{},\"tableau_row\":{},\"suggestion\":{},\"score\":{:.4},\
+         \"support\":{:.4},\"confidence\":{:.2}}}",
+        c.pfd_index,
+        c.tableau_row,
+        json::escaped(&c.suggestion),
+        c.score.total,
+        c.score.support,
+        c.score.confidence
+    )
+}
+
+/// Serialize one applied fix with its score breakdown and conflict set.
+pub fn fix_json(fix: &CellFix, schema: &Schema) -> String {
+    let mut out = format!(
+        "{{\"row\":{},\"attr\":{},\"pfd\":{},\"tableau_row\":{},\"old\":{},\"new\":{},\
+         \"score\":{:.4},\"support\":{:.4},\"confidence\":{:.2},\"depth\":{},\"competitors\":[",
+        fix.row,
+        json::escaped(schema.name_of(fix.attr).unwrap_or("?")),
+        fix.pfd_index,
+        fix.tableau_row,
+        json::escaped(&fix.old),
+        json::escaped(&fix.new),
+        fix.score.total,
+        fix.score.support,
+        fix.score.confidence,
+        fix.score.depth
+    );
+    for (i, c) in fix.competitors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&candidate_json(c));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialize a `pfd repair` outcome (with the pass count of the chase).
+pub fn repair_outcome_json(outcome: &RepairOutcome, passes: usize) -> String {
     let schema = outcome.relation.schema();
     let mut out = format!(
-        "{{\"table\":{},\"rows\":{},\"fixes\":[",
+        "{{\"table\":{},\"rows\":{},\"passes\":{passes},\"fixes\":[",
         json::escaped(schema.relation()),
         outcome.relation.num_rows()
     );
@@ -395,14 +442,7 @@ pub fn repair_outcome_json(outcome: &RepairOutcome) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"row\":{},\"attr\":{},\"pfd\":{},\"old\":{},\"new\":{}}}",
-            fix.row,
-            json::escaped(schema.name_of(fix.attr).unwrap_or("?")),
-            fix.pfd_index,
-            json::escaped(&fix.old),
-            json::escaped(&fix.new)
-        ));
+        out.push_str(&fix_json(fix, schema));
     }
     out.push_str("],\"unrepaired\":[");
     for (i, flag) in outcome.unrepaired.iter().enumerate() {
@@ -427,6 +467,12 @@ pub enum SessionCommand {
     Single(Edit),
     /// Apply a batch of edits as one reconciliation.
     Batch(Vec<Edit>),
+    /// Run a repair chase on the current state, streaming
+    /// fix/conflict/unrepaired events.
+    Repair {
+        /// Pass-cap override for this chase (engine default when absent).
+        max_passes: Option<usize>,
+    },
 }
 
 /// Parse one JSONL command line against the session's schema. Attributes
@@ -452,6 +498,9 @@ fn parse_command_value(value: &Value, schema: &Schema) -> Result<SessionCommand,
                 .map(|e| match parse_command_value(e, schema)? {
                     SessionCommand::Single(edit) => Ok(edit),
                     SessionCommand::Batch(_) => Err("nested batch".to_string()),
+                    SessionCommand::Repair { .. } => {
+                        Err("repair cannot appear inside a batch".to_string())
+                    }
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(SessionCommand::Batch(edits))
@@ -483,6 +532,16 @@ fn parse_command_value(value: &Value, schema: &Schema) -> Result<SessionCommand,
         "delete" => Ok(SessionCommand::Single(Edit::Delete {
             row: parse_row(value)?,
         })),
+        "repair" => {
+            let max_passes = match value.get("max_passes") {
+                None => None,
+                Some(v) => Some(
+                    v.as_index()
+                        .ok_or_else(|| "invalid \"max_passes\"".to_string())?,
+                ),
+            };
+            Ok(SessionCommand::Repair { max_passes })
+        }
         other => Err(format!("unknown op {other:?}")),
     }
 }
@@ -530,14 +589,14 @@ pub fn run_session(
     out: &mut dyn Write,
 ) -> std::io::Result<(Relation, SessionSummary)> {
     let schema = rel.schema().clone();
-    let mut engine = DeltaEngine::new(rel, pfds);
-    let initial = engine.sorted_violations();
+    let mut repairer = RepairEngine::new(rel, pfds, RepairOptions::default());
+    let initial = repairer.engine().sorted_violations();
     writeln!(
         out,
         "{{\"event\":\"ready\",\"version\":{},\"rows\":{},\"pfds\":{},\"violations\":{},\"state\":{}}}",
-        engine.relation().version(),
-        engine.relation().num_rows(),
-        engine.pfds().len(),
+        repairer.relation().version(),
+        repairer.relation().num_rows(),
+        repairer.engine().pfds().len(),
         initial.len(),
         entries_json(&initial, &schema)
     )?;
@@ -551,21 +610,45 @@ pub fn run_session(
         if line.trim().is_empty() {
             continue;
         }
-        let outcome = parse_command(&line, &schema).and_then(|cmd| {
-            match cmd {
-                SessionCommand::Single(edit) => engine.apply(edit),
-                SessionCommand::Batch(edits) => engine.apply_batch(&edits),
-            }
-            .map_err(|e| e.to_string())
-        });
-        match outcome {
-            Ok(delta) => {
+        match parse_command(&line, &schema) {
+            Ok(SessionCommand::Repair { max_passes }) => {
                 summary.applied += 1;
-                writeln!(
-                    out,
-                    "{}",
-                    delta_json(&delta, engine.violation_count(), &schema)
-                )?;
+                // The override applies to this chase only (clamped to ≥ 1
+                // so a cap of 0 cannot silently no-op); later plain
+                // `repair` commands get the engine default back.
+                let saved = repairer.options().max_passes;
+                if let Some(cap) = max_passes {
+                    repairer.options_mut().max_passes = cap.max(1);
+                }
+                let (outcome, passes) = repairer.run();
+                repairer.options_mut().max_passes = saved;
+                write_repair_events(out, &outcome, passes, repairer.engine(), &schema)?;
+            }
+            Ok(cmd) => {
+                let engine = repairer.engine_mut();
+                let applied = match cmd {
+                    SessionCommand::Single(edit) => engine.apply(edit),
+                    SessionCommand::Batch(edits) => engine.apply_batch(&edits),
+                    SessionCommand::Repair { .. } => unreachable!("handled above"),
+                };
+                match applied {
+                    Ok(delta) => {
+                        summary.applied += 1;
+                        writeln!(
+                            out,
+                            "{}",
+                            delta_json(&delta, engine.violation_count(), &schema)
+                        )?;
+                    }
+                    Err(e) => {
+                        summary.rejected += 1;
+                        writeln!(
+                            out,
+                            "{{\"event\":\"error\",\"message\":{}}}",
+                            json::escaped(&e.to_string())
+                        )?;
+                    }
+                }
             }
             Err(message) => {
                 summary.rejected += 1;
@@ -577,8 +660,56 @@ pub fn run_session(
             }
         }
     }
-    summary.violations = engine.violation_count();
-    Ok((engine.into_relation(), summary))
+    summary.violations = repairer.engine().violation_count();
+    Ok((repairer.into_relation(), summary))
+}
+
+/// Stream one repair chase's events: a `conflict` line per contested cell,
+/// a `fix` line per applied fix, an `unrepaired` line per suggestion-less
+/// flag, then one `repaired` summary line.
+fn write_repair_events(
+    out: &mut dyn Write,
+    outcome: &RepairOutcome,
+    passes: usize,
+    engine: &DeltaEngine,
+    schema: &Schema,
+) -> std::io::Result<()> {
+    for fix in &outcome.fixes {
+        if !fix.competitors.is_empty() {
+            let mut line = format!(
+                "{{\"event\":\"conflict\",\"row\":{},\"attr\":{},\"chosen_pfd\":{},\"candidates\":[",
+                fix.row,
+                json::escaped(schema.name_of(fix.attr).unwrap_or("?")),
+                fix.pfd_index
+            );
+            for (i, c) in fix.competitors.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&candidate_json(c));
+            }
+            line.push_str("]}");
+            writeln!(out, "{line}")?;
+        }
+        writeln!(out, "{{\"event\":\"fix\",{}", &fix_json(fix, schema)[1..])?;
+    }
+    for flag in &outcome.unrepaired {
+        writeln!(
+            out,
+            "{{\"event\":\"unrepaired\",\"row\":{},\"attr\":{},\"pfd\":{},\"current\":{}}}",
+            flag.row,
+            json::escaped(schema.name_of(flag.attr).unwrap_or("?")),
+            flag.pfd_index,
+            json::escaped(&flag.current)
+        )?;
+    }
+    writeln!(
+        out,
+        "{{\"event\":\"repaired\",\"passes\":{passes},\"fixes\":{},\"unrepaired\":{},\"violations\":{}}}",
+        outcome.fixes.len(),
+        outcome.unrepaired.len(),
+        engine.violation_count()
+    )
 }
 
 #[cfg(test)]
@@ -736,6 +867,112 @@ mod tests {
         for line in lines {
             json::parse(line).unwrap();
         }
+    }
+
+    #[test]
+    fn session_repair_command_streams_fix_events() {
+        let rel = name_relation();
+        let pfds = vec![gender_pfd(&rel)];
+        // Break one more cell, then ask the session to repair everything.
+        let script = concat!(
+            "{\"op\":\"set\",\"row\":0,\"attr\":\"gender\",\"value\":\"F\"}\n",
+            "{\"op\":\"repair\"}\n",
+        );
+        let mut out = Vec::new();
+        let (final_rel, summary) =
+            run_session(rel.clone(), pfds, Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for line in &lines {
+            json::parse(line).unwrap();
+        }
+        let fixes: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"fix\""))
+            .collect();
+        assert_eq!(fixes.len(), 2, "both dirty genders repaired: {text}");
+        assert!(fixes[0].contains("\"score\":"), "{}", fixes[0]);
+        assert!(fixes[0].contains("\"support\":"), "{}", fixes[0]);
+        let done = lines.last().unwrap();
+        assert!(done.contains("\"event\":\"repaired\""), "{done}");
+        assert!(done.contains("\"violations\":0"), "{done}");
+        assert_eq!(summary.applied, 2, "the set and the repair");
+        assert_eq!(summary.violations, 0);
+        let gender = final_rel.schema().attr("gender").unwrap();
+        assert_eq!(final_rel.cell(0, gender), "M", "John restored");
+        assert_eq!(final_rel.cell(3, gender), "F", "Susan Boyle restored");
+    }
+
+    #[test]
+    fn session_repair_pass_cap_applies_to_one_chase_only() {
+        // A cascade needing two passes: capped at 1, the first repair
+        // leaves the exposed state violation behind; the next *plain*
+        // repair gets the engine default back (the override is not
+        // sticky) and finishes the chase.
+        let rel = Relation::from_rows(
+            "Geo",
+            &["zip", "city", "state"],
+            vec![
+                vec!["90001", "Los Angeles", "CA"],
+                vec!["90002", "Los Angeles", "CA"],
+                vec!["90003", "Los Angeles", "CA"],
+                vec!["90004", "New York", "NY"],
+            ],
+        )
+        .unwrap();
+        let zip_city =
+            Pfd::constant_normal_form("Geo", rel.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
+        let city_state =
+            Pfd::constant_normal_form("Geo", rel.schema(), "city", r"Los\ Angeles", "state", "CA")
+                .unwrap();
+        let script = concat!(
+            "{\"op\":\"repair\",\"max_passes\":1}\n",
+            "{\"op\":\"repair\"}\n"
+        );
+        let mut out = Vec::new();
+        let (_, summary) = run_session(
+            rel,
+            vec![zip_city, city_state],
+            Cursor::new(script),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let repaired: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"repaired\""))
+            .collect();
+        assert_eq!(repaired.len(), 2, "{text}");
+        assert!(
+            repaired[0].contains("\"passes\":1") && !repaired[0].contains("\"violations\":0"),
+            "capped chase stops mid-cascade: {}",
+            repaired[0]
+        );
+        assert!(
+            repaired[1].contains("\"violations\":0"),
+            "the plain repair finishes under the default cap: {}",
+            repaired[1]
+        );
+        assert_eq!(summary.violations, 0);
+    }
+
+    #[test]
+    fn session_repair_accepts_pass_cap_and_rejects_bad_values() {
+        let rel = name_relation();
+        let schema = rel.schema();
+        assert_eq!(
+            parse_command(r#"{"op":"repair"}"#, schema).unwrap(),
+            SessionCommand::Repair { max_passes: None }
+        );
+        assert_eq!(
+            parse_command(r#"{"op":"repair","max_passes":3}"#, schema).unwrap(),
+            SessionCommand::Repair {
+                max_passes: Some(3)
+            }
+        );
+        assert!(parse_command(r#"{"op":"repair","max_passes":"x"}"#, schema).is_err());
+        assert!(parse_command(r#"{"op":"batch","edits":[{"op":"repair"}]}"#, schema).is_err());
     }
 
     #[test]

@@ -50,14 +50,6 @@ pub fn inject_errors(
     assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let active: BTreeSet<String> = rel.column(attr).map(str::to_string).collect();
-    let outside: Vec<&str> = domain
-        .iter()
-        .copied()
-        .filter(|v| !active.contains(*v))
-        .collect();
-    let inside: Vec<String> = active.iter().cloned().collect();
-
     let n = rel.num_rows();
     let target = (n as f64 * rate).round() as usize;
     let mut rows: Vec<RowId> = (0..n).collect();
@@ -66,7 +58,96 @@ pub fn inject_errors(
     rows.sort_unstable();
 
     let mut injected = Vec::with_capacity(rows.len());
-    for row in rows {
+    corrupt_rows(rel, attr, mode, domain, &rows, &mut rng, &mut injected);
+    injected
+}
+
+/// One attribute's entry in an [`ErrorProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSpec {
+    /// The attribute to corrupt.
+    pub attr: AttrId,
+    /// Fraction of rows to corrupt in [0, 1].
+    pub rate: f64,
+    /// Where replacement values come from.
+    pub mode: NoiseMode,
+    /// The attribute's full domain, used by
+    /// [`NoiseMode::OutsideActiveDomain`] (may be empty for
+    /// [`NoiseMode::FromActiveDomain`]).
+    pub domain: Vec<String>,
+}
+
+impl ErrorSpec {
+    /// An active-domain spec (replacements drawn from the column itself —
+    /// the mode "expected to confuse" pattern discovery and repair).
+    pub fn from_active(attr: AttrId, rate: f64) -> ErrorSpec {
+        ErrorSpec {
+            attr,
+            rate,
+            mode: NoiseMode::FromActiveDomain,
+            domain: Vec::new(),
+        }
+    }
+}
+
+/// A seeded error-rate profile over several attributes: the generator
+/// behind dirty/clean evaluation pairs at scale (the repair benchmark's
+/// input). Deterministic in the seed passed to [`inject_profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorProfile {
+    /// Per-attribute error specs (attrs should be distinct).
+    pub specs: Vec<ErrorSpec>,
+    /// Corrupt the *same* sampled rows across all specs: one row order is
+    /// drawn and each spec corrupts its leading `rate · n` rows, so a
+    /// lower-rate spec's victims are a subset of a higher-rate spec's.
+    /// This is how cascade-depth workloads are built — a row dirty in
+    /// `city`, `state` *and* `region` needs one chase pass per link.
+    /// When `false`, every spec samples rows independently.
+    pub correlated: bool,
+}
+
+impl ErrorProfile {
+    /// An uncorrelated profile corrupting each attribute at `rate` from its
+    /// active domain.
+    pub fn uniform(attrs: &[AttrId], rate: f64) -> ErrorProfile {
+        ErrorProfile {
+            specs: attrs
+                .iter()
+                .map(|a| ErrorSpec::from_active(*a, rate))
+                .collect(),
+            correlated: false,
+        }
+    }
+
+    /// [`ErrorProfile::uniform`] with one shared victim row set (cascades).
+    pub fn correlated(attrs: &[AttrId], rate: f64) -> ErrorProfile {
+        ErrorProfile {
+            correlated: true,
+            ..ErrorProfile::uniform(attrs, rate)
+        }
+    }
+}
+
+/// Corrupt one attribute on the given rows (ascending), drawing
+/// replacements per the spec's mode. Shared by [`inject_errors`] and
+/// [`inject_profile`].
+fn corrupt_rows(
+    rel: &mut Relation,
+    attr: AttrId,
+    mode: NoiseMode,
+    domain: &[&str],
+    rows: &[RowId],
+    rng: &mut StdRng,
+    out: &mut Vec<InjectedError>,
+) {
+    let active: BTreeSet<String> = rel.column(attr).map(str::to_string).collect();
+    let outside: Vec<&str> = domain
+        .iter()
+        .copied()
+        .filter(|v| !active.contains(*v))
+        .collect();
+    let inside: Vec<String> = active.iter().cloned().collect();
+    for &row in rows {
         let clean = rel.cell(row, attr).to_string();
         let dirty = match mode {
             NoiseMode::OutsideActiveDomain => {
@@ -88,14 +169,59 @@ pub fn inject_errors(
         }
         rel.set_cell(row, attr, dirty.clone())
             .expect("row/attr in range");
-        injected.push(InjectedError {
+        out.push(InjectedError {
             row,
             attr,
             clean,
             dirty,
         });
     }
+}
+
+/// Inject a whole [`ErrorProfile`], deterministically in `seed`. Returns
+/// the injected cells with their clean values (the machine-checkable
+/// ground truth for precision/recall).
+pub fn inject_profile(rel: &mut Relation, profile: &ErrorProfile, seed: u64) -> Vec<InjectedError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rel.num_rows();
+    let mut base_rows: Vec<RowId> = (0..n).collect();
+    base_rows.shuffle(&mut rng);
+    let mut injected = Vec::new();
+    for spec in &profile.specs {
+        assert!((0.0..=1.0).contains(&spec.rate), "rate must be in [0, 1]");
+        let target = ((n as f64 * spec.rate).round() as usize).min(n);
+        let mut rows: Vec<RowId> = if profile.correlated {
+            base_rows[..target].to_vec()
+        } else {
+            base_rows.shuffle(&mut rng);
+            base_rows[..target].to_vec()
+        };
+        rows.sort_unstable();
+        let domain: Vec<&str> = spec.domain.iter().map(String::as_str).collect();
+        corrupt_rows(
+            rel,
+            spec.attr,
+            spec.mode,
+            &domain,
+            &rows,
+            &mut rng,
+            &mut injected,
+        );
+    }
     injected
+}
+
+/// Produce a dirty twin of `clean` under `profile`: the evaluation pair
+/// repair benchmarks score against (apply fixes to the dirty side, compare
+/// with the clean side and the injected ground truth).
+pub fn dirty_clean_pair(
+    clean: &Relation,
+    profile: &ErrorProfile,
+    seed: u64,
+) -> (Relation, Vec<InjectedError>) {
+    let mut dirty = clean.clone();
+    let injected = inject_profile(&mut dirty, profile, seed);
+    (dirty, injected)
 }
 
 /// Produce a Table 3-style typo: delete a character, transpose two adjacent
@@ -282,6 +408,69 @@ mod tests {
             3,
         );
         assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn correlated_profile_shares_victim_rows() {
+        let clean = state_table(200);
+        let zip = clean.schema().attr("zip").unwrap();
+        let state = clean.schema().attr("state").unwrap();
+        let profile = ErrorProfile::correlated(&[state, zip], 0.10);
+        let (dirty, injected) = dirty_clean_pair(&clean, &profile, 9);
+        assert_eq!(dirty.num_rows(), clean.num_rows());
+        let by_attr = |a: AttrId| -> BTreeSet<RowId> {
+            injected
+                .iter()
+                .filter(|e| e.attr == a)
+                .map(|e| e.row)
+                .collect()
+        };
+        let state_rows = by_attr(state);
+        let zip_rows = by_attr(zip);
+        assert_eq!(state_rows.len(), 20);
+        assert_eq!(
+            state_rows, zip_rows,
+            "correlated specs corrupt the same rows"
+        );
+        for e in &injected {
+            assert_eq!(clean.cell(e.row, e.attr), e.clean);
+            assert_eq!(dirty.cell(e.row, e.attr), e.dirty);
+        }
+    }
+
+    #[test]
+    fn uncorrelated_profile_samples_independently() {
+        let clean = state_table(300);
+        let zip = clean.schema().attr("zip").unwrap();
+        let state = clean.schema().attr("state").unwrap();
+        let profile = ErrorProfile::uniform(&[state, zip], 0.10);
+        let (_, injected) = dirty_clean_pair(&clean, &profile, 11);
+        let state_rows: BTreeSet<RowId> = injected
+            .iter()
+            .filter(|e| e.attr == state)
+            .map(|e| e.row)
+            .collect();
+        let zip_rows: BTreeSet<RowId> = injected
+            .iter()
+            .filter(|e| e.attr == zip)
+            .map(|e| e.row)
+            .collect();
+        assert_eq!(state_rows.len(), 30);
+        assert_eq!(zip_rows.len(), 30);
+        assert_ne!(state_rows, zip_rows, "independent sampling");
+    }
+
+    #[test]
+    fn profile_injection_is_deterministic() {
+        let clean = state_table(150);
+        let state = clean.schema().attr("state").unwrap();
+        let profile = ErrorProfile::correlated(&[state], 0.05);
+        let (a, ea) = dirty_clean_pair(&clean, &profile, 42);
+        let (b, eb) = dirty_clean_pair(&clean, &profile, 42);
+        assert_eq!(a, b);
+        assert_eq!(ea, eb);
+        let (c, _) = dirty_clean_pair(&clean, &profile, 43);
+        assert_ne!(a, c, "different seed, different dirt");
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub mod pools;
 pub mod tables;
 
 pub use dataset::{evaluate_dependencies, Dataset, DependencyEval, GroundTruthDep, Repository};
-pub use inject::{inject_errors, typo, InjectedError, NoiseMode};
+pub use inject::{
+    dirty_clean_pair, inject_errors, inject_profile, typo, ErrorProfile, ErrorSpec, InjectedError,
+    NoiseMode,
+};
 pub use oracle::{OracleDomain, ValidationOracle};
-pub use tables::{standard_suite, zip_state_table, Scale, PAPER_ROWS};
+pub use tables::{geo_cascade_table, standard_suite, zip_state_table, Scale, PAPER_ROWS};

@@ -979,6 +979,73 @@ pub fn zip_state_table(rows: usize, seed: u64) -> Relation {
     rel
 }
 
+/// Distinct city base names for [`geo_cascade_table`] (suffixed with a
+/// district number once the pool wraps).
+const CASCADE_CITIES: &[&str] = &[
+    "Los Angeles",
+    "San Francisco",
+    "Sacramento",
+    "Chicago",
+    "Rockford",
+    "New York",
+    "Brooklyn",
+    "Boston",
+    "Miami",
+    "Atlanta",
+    "Denver",
+    "Phoenix",
+    "Seattle",
+    "Portland",
+    "Philadelphia",
+    "Houston",
+    "Dallas",
+    "St Louis",
+    "Detroit",
+    "Minneapolis",
+    "Nashville",
+    "Charlotte",
+    "Columbus",
+    "Baltimore",
+    "Milwaukee",
+    "Tucson",
+    "Fresno",
+];
+
+/// A clean geo table with a four-link dependency chain
+/// `zip →(prefix) city → county → state → region`. The number of zip
+/// prefixes scales with the row count (`rows / 24`, clamped to [27, 900]
+/// so prefixes stay three digits) and each chain link halves the
+/// cardinality, so LHS groups stay small (~24–384 rows at 10k) and an
+/// incremental checker touches only the groups an edit actually hit.
+///
+/// The repair benchmark corrupts the four dependent columns on the same
+/// rows ([`crate::inject::ErrorProfile::correlated`]) so that a fixpoint
+/// chase needs one pass per link: fixing `city` from the zip prefix
+/// re-groups the row for the `city → county` rule, and so on down the
+/// chain. Deterministic in `seed`.
+pub fn geo_cascade_table(rows: usize, seed: u64) -> Relation {
+    let mut g = Gen::new(seed);
+    let prefixes = (rows / 24).clamp(27, 900);
+    let mut rel =
+        Relation::empty(Schema::new("Geo", ["zip", "city", "county", "state", "region"]).unwrap());
+    for _ in 0..rows {
+        let p = g.rng.gen_range(0..prefixes);
+        let zip = format!("{:03}{}", p + 100, g.digits(2));
+        let base = CASCADE_CITIES[p % CASCADE_CITIES.len()];
+        let city = if p < CASCADE_CITIES.len() {
+            base.to_string()
+        } else {
+            format!("{base} {:02}", p / CASCADE_CITIES.len())
+        };
+        let county = format!("County {:03}", p / 2);
+        let state = format!("S{:03}", p / 4);
+        let region = format!("R{:03}", p / 8);
+        rel.push_row(vec![zip, city, county, state, region])
+            .unwrap();
+    }
+    rel
+}
+
 /// Generate the full 15-table suite at the given scale with natural dirt.
 pub fn standard_suite(scale: Scale, dirt_rate: f64, seed: u64) -> Vec<Dataset> {
     let generators: [fn(usize, f64, u64) -> Dataset; 15] = [
@@ -1025,6 +1092,30 @@ mod tests {
                 dep.rhs
             );
         }
+    }
+
+    #[test]
+    fn geo_cascade_chain_holds_on_clean_data() {
+        let rel = geo_cascade_table(2000, 5);
+        assert_eq!(rel.num_rows(), 2000);
+        let fds = [
+            Pfd::fd("Geo", rel.schema(), &["city"], &["county"]).unwrap(),
+            Pfd::fd("Geo", rel.schema(), &["county"], &["state"]).unwrap(),
+            Pfd::fd("Geo", rel.schema(), &["state"], &["region"]).unwrap(),
+        ];
+        for fd in &fds {
+            assert!(fd.satisfies(&rel), "chain link violated: {fd}");
+        }
+        // The zip → city link holds at the pattern level (3-digit prefix).
+        let zip_city =
+            Pfd::constant_normal_form("Geo", rel.schema(), "zip", r"[\D{3}]\D{2}", "city", "_")
+                .unwrap();
+        assert!(zip_city.satisfies(&rel));
+        // Cardinality scales with the row count so groups stay small.
+        let city = rel.schema().attr("city").unwrap();
+        let cities: std::collections::BTreeSet<&str> = rel.column(city).collect();
+        assert!(cities.len() > 27, "{} cities", cities.len());
+        assert_eq!(geo_cascade_table(200, 9), geo_cascade_table(200, 9));
     }
 
     #[test]

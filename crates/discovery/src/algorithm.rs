@@ -153,6 +153,12 @@ struct CheckScratch {
     /// (the recursion at depth d iterates its buffer while deeper levels
     /// use theirs, so one buffer per depth is reused across all siblings).
     levels: Vec<Vec<(u32, usize)>>,
+    /// Pooled intersection buffer: every joint-row-set expansion of the
+    /// walk intersects into this one buffer first and then materializes
+    /// an exactly-sized `PostingList` — replacing `intersect`'s
+    /// worst-case-capacity vector (and, for dense operands, its
+    /// intermediate word array) with one pooled scratch per candidate.
+    isect: Vec<u32>,
 }
 
 impl CheckScratch {
@@ -162,6 +168,7 @@ impl CheckScratch {
             rhs_out: Vec::new(),
             decisions: FxHashMap::default(),
             levels: Vec::new(),
+            isect: Vec::new(),
         }
     }
 }
@@ -631,9 +638,19 @@ fn expand(
             scratch
                 .freq
                 .frequent_within_into(idx_next, &rows, config.min_support, &mut freq);
-            for &(ei, _count) in &freq {
+            for &(ei, count) in &freq {
                 counters.entries_tested += 1;
-                let joint = rows.intersect(&idx_next.entries[ei as usize].rows);
+                // Intersect through the pooled buffer, then materialize the
+                // joint set exactly sized: one allocation of `count` ids
+                // per expansion instead of the worst-case-capacity vector
+                // (or intermediate dense words) `intersect` builds.
+                // `frequent_within_into` already counted |entry ∩ rows|, so
+                // every entry here meets the support bar by construction.
+                let entry_rows = &idx_next.entries[ei as usize].rows;
+                rows.intersect_into(entry_rows, &mut scratch.isect);
+                debug_assert_eq!(scratch.isect.len(), count, "freq counts are exact");
+                let universe = rows.universe().max(entry_rows.universe());
+                let joint = PostingList::from_sorted(scratch.isect.clone(), universe);
                 let mut chosen = chosen.clone();
                 chosen.push((*next, ei));
                 expand(

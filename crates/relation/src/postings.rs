@@ -195,6 +195,33 @@ impl PostingList {
         }
     }
 
+    /// Set intersection into a caller-owned buffer: `out` is cleared and
+    /// filled with the ascending intersection ids. Lets hot loops (the
+    /// discovery lattice walk) probe many intersections through one pooled
+    /// buffer and only materialize a [`PostingList`] for the survivors —
+    /// rejected probes allocate nothing.
+    pub fn intersect_into(&self, other: &PostingList, out: &mut Vec<u32>) {
+        out.clear();
+        match (&self.repr, &other.repr) {
+            (Repr::Sorted(a), Repr::Sorted(b)) => intersect_sorted_into(a, b, out),
+            (Repr::Sorted(a), Repr::Dense { .. }) => {
+                out.extend(a.iter().copied().filter(|&id| other.contains(id as RowId)));
+            }
+            (Repr::Dense { .. }, Repr::Sorted(b)) => {
+                out.extend(b.iter().copied().filter(|&id| self.contains(id as RowId)));
+            }
+            (Repr::Dense { words: wa, .. }, Repr::Dense { words: wb, .. }) => {
+                for (i, (a, b)) in wa.iter().zip(wb).enumerate() {
+                    let mut w = a & b;
+                    while w != 0 {
+                        out.push(i as u32 * 64 + w.trailing_zeros());
+                        w &= w - 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Smallest row id, `None` when empty.
     pub fn min(&self) -> Option<u32> {
         match &self.repr {
@@ -319,14 +346,20 @@ fn is_dense(count: usize, universe: u32) -> bool {
 /// Sorted intersection: linear merge for comparable lengths, galloping when
 /// one side dominates.
 fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_sorted_into(a, b, &mut out);
+    out
+}
+
+/// [`intersect_sorted`] writing into a caller-owned buffer (not cleared).
+fn intersect_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
-        return Vec::new();
+        return;
     }
     if large.len() >= small.len().saturating_mul(GALLOP_RATIO) {
         // Gallop: advance through `large` with exponential probes from the
         // last hit, then binary-search the bracketed window.
-        let mut out = Vec::with_capacity(small.len());
         let mut base = 0usize;
         for &x in small {
             match gallop_search(&large[base..], x) {
@@ -340,9 +373,7 @@ fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
                 break;
             }
         }
-        out
     } else {
-        let mut out = Vec::with_capacity(small.len());
         let (mut i, mut j) = (0, 0);
         while i < small.len() && j < large.len() {
             match small[i].cmp(&large[j]) {
@@ -355,7 +386,6 @@ fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
                 }
             }
         }
-        out
     }
 }
 
@@ -733,6 +763,34 @@ mod tests {
         d.renumber_after_delete(10);
         let expected: Vec<u32> = (0..49).collect();
         assert_eq!(d.to_vec(), expected);
+    }
+
+    #[test]
+    fn intersect_into_agrees_with_intersect_across_reprs() {
+        // Sparse × sparse (merge + gallop), sparse × dense, dense × dense.
+        let cases: Vec<(PostingList, PostingList)> = vec![
+            (pl(&[1, 5, 9, 20], 1000), pl(&[5, 6, 9, 21], 1000)),
+            (
+                pl(&[0, 7, 300, 1111], 1_000_000),
+                PostingList::from_sorted((0..600).map(|i| i * 2).collect(), 1_000_000),
+            ),
+            (
+                pl(&[2, 4, 96], 100),
+                PostingList::from_sorted((0..100).filter(|i| i % 2 == 0).collect(), 100),
+            ),
+            (
+                PostingList::from_sorted((0..100).filter(|i| i % 2 == 0).collect(), 100),
+                PostingList::from_sorted((0..100).filter(|i| i % 3 == 0).collect(), 100),
+            ),
+            (pl(&[], 100), pl(&[1, 2], 100)),
+        ];
+        let mut buf = vec![99u32]; // stale content must be cleared
+        for (a, b) in &cases {
+            a.intersect_into(b, &mut buf);
+            assert_eq!(buf, a.intersect(b).to_vec(), "{:?} ∩ {:?}", a, b);
+            b.intersect_into(a, &mut buf);
+            assert_eq!(buf, a.intersect(b).to_vec(), "commuted");
+        }
     }
 
     #[test]

@@ -6,20 +6,25 @@
 //! pfd discover data.csv [--min-support K] [--noise D] [--coverage G]
 //!                       [--max-lhs N] [--rules out.pfd] [--review]
 //! pfd check    data.csv --rules rules.pfd [--json]
-//! pfd repair   data.csv --rules rules.pfd [--out cleaned.csv] [--json]
+//! pfd repair   data.csv --rules rules.pfd [--engine naive|delta]
+//!                       [--max-passes N] [--explain] [--out cleaned.csv] [--json]
 //! pfd session  data.csv --rules rules.pfd [--script edits.jsonl]
 //! ```
 //!
 //! Rule files use the [`pfd_core::rules`] line format. All command logic is
 //! in library functions writing to a generic sink, so the whole surface is
-//! unit-testable without spawning processes. `session` runs the JSONL
-//! steward loop of [`pfd_core::session`] over stdin (or `--script`);
-//! `--json` switches `check`/`repair` to the same machine-readable
-//! serialization the session protocol streams.
+//! unit-testable without spawning processes. `repair` chases the fixpoint
+//! with the delta-driven [`RepairEngine`] by default; `--engine naive`
+//! selects the pinned full-rescan reference (identical fixes, for
+//! diffing), `--explain` prints each fix's score breakdown and the
+//! candidates it beat. `session` runs the JSONL steward loop of
+//! [`pfd_core::session`] over stdin (or `--script`); `--json` switches
+//! `check`/`repair` to the same machine-readable serialization the session
+//! protocol streams.
 
 use pfd_core::{
-    check_report_json, detect_errors, display_with_schema, parse_rules, repair as repair_rel,
-    repair_outcome_json, run_session, to_rules_string, Pfd,
+    check_report_json, detect_errors, display_with_schema, parse_rules, repair_outcome_json,
+    repair_to_fixpoint, run_session, to_rules_string, Pfd, RepairEngine, RepairOptions,
 };
 use pfd_discovery::{discover, review_queue, DiscoveryConfig};
 use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
@@ -74,7 +79,8 @@ USAGE:
     pfd discover <data.csv> [--min-support K] [--noise D] [--coverage G]
                             [--max-lhs N] [--rules <out.pfd>] [--review]
     pfd check    <data.csv> --rules <rules.pfd> [--json]
-    pfd repair   <data.csv> --rules <rules.pfd> [--out <cleaned.csv>] [--json]
+    pfd repair   <data.csv> --rules <rules.pfd> [--engine naive|delta]
+                 [--max-passes N] [--explain] [--out <cleaned.csv>] [--json]
     pfd session  <data.csv> --rules <rules.pfd> [--script <edits.jsonl>]
 
 OPTIONS:
@@ -84,10 +90,23 @@ OPTIONS:
     --max-lhs N       maximum LHS attributes (default 1)
     --rules FILE      rule file to write (discover) or read (check/repair/session)
     --review          print the human-review queue instead of raw rules
+    --engine E        repair engine: delta (incremental, default) or naive
+                      (full rescan per pass — the pinned reference)
+    --max-passes N    fixpoint pass cap for repair (default 10)
+    --explain         print each fix's score breakdown and beaten candidates
     --out FILE        where repair writes the cleaned CSV (default stdout;
                       with --json the CSV is only written when --out is given)
     --json            emit machine-readable JSON reports (check/repair)
     --script FILE     JSONL edit script for session (default: read stdin)";
+
+/// Which repair engine drives the fixpoint chase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RepairEngineKind {
+    /// Full rescan per pass (`repair_to_fixpoint`) — the pinned reference.
+    Naive,
+    /// Delta-driven `RepairEngine` over the incremental group indexes.
+    Delta,
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -111,6 +130,9 @@ enum Command {
         rules: String,
         out: Option<String>,
         json: bool,
+        engine: RepairEngineKind,
+        max_passes: usize,
+        explain: bool,
     },
     Session {
         data: String,
@@ -131,7 +153,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = name != "review" && name != "json";
+            let takes_value = name != "review" && name != "json" && name != "explain";
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -211,6 +233,20 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::Usage("repair needs --rules".into()))?,
             out: flag("out").map(str::to_string),
             json: has_flag("json"),
+            engine: match flag("engine") {
+                None | Some("delta") => RepairEngineKind::Delta,
+                Some("naive") => RepairEngineKind::Naive,
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "--engine must be naive or delta, got {other:?}"
+                    )))
+                }
+            },
+            max_passes: match flag("max-passes") {
+                None => 10,
+                Some(v) => parse_usize("max-passes", v)?.max(1),
+            },
+            explain: has_flag("explain"),
         }),
         "session" => Ok(Command::Session {
             data,
@@ -354,12 +390,26 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             rules,
             out: out_path,
             json,
+            engine,
+            max_passes,
+            explain,
         } => {
             let rel = load_relation(&data)?;
             let pfds = load_rules(&rules, &rel)?;
-            let outcome = repair_rel(&rel, &pfds);
+            let (outcome, passes) = match engine {
+                RepairEngineKind::Naive => repair_to_fixpoint(&rel, &pfds, max_passes),
+                RepairEngineKind::Delta => {
+                    let options = RepairOptions {
+                        max_passes,
+                        ..RepairOptions::default()
+                    };
+                    // The engine owns its state — move the loaded relation
+                    // and rules in rather than cloning them.
+                    RepairEngine::new(rel, pfds, options).run()
+                }
+            };
             if json {
-                writeln!(out, "{}", repair_outcome_json(&outcome))?;
+                writeln!(out, "{}", repair_outcome_json(&outcome, passes))?;
                 if let Some(path) = out_path {
                     std::fs::write(&path, write_csv_string(&outcome.relation))?;
                 }
@@ -367,12 +417,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             }
             writeln!(
                 out,
-                "{} fixes applied, {} suspects left unrepaired",
+                "{} fixes applied in {} passes, {} suspects left unrepaired",
                 outcome.fixes.len(),
+                passes,
                 outcome.unrepaired.len()
             )?;
             for fix in &outcome.fixes {
-                let attr_name = rel.schema().name_of(fix.attr).unwrap_or("?");
+                let attr_name = outcome.relation.schema().name_of(fix.attr).unwrap_or("?");
                 writeln!(
                     out,
                     "row {} {}: {:?} → {:?}",
@@ -381,6 +432,32 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                     fix.old,
                     fix.new
                 )?;
+                if explain {
+                    writeln!(
+                        out,
+                        "    pfd {} tableau row {} — score {:.3} \
+                         (support {:.2}, confidence {:.2}, cascade depth {})",
+                        fix.pfd_index,
+                        fix.tableau_row,
+                        fix.score.total,
+                        fix.score.support,
+                        fix.score.confidence,
+                        fix.score.depth
+                    )?;
+                    for c in &fix.competitors {
+                        writeln!(
+                            out,
+                            "    beat pfd {} tableau row {} suggesting {:?} — score {:.3} \
+                             (support {:.2}, confidence {:.2})",
+                            c.pfd_index,
+                            c.tableau_row,
+                            c.suggestion,
+                            c.score.total,
+                            c.score.support,
+                            c.score.confidence
+                        )?;
+                    }
+                }
             }
             let csv = write_csv_string(&outcome.relation);
             match out_path {
@@ -484,6 +561,77 @@ mod tests {
         assert!(output.contains("1 fixes applied"), "{output}");
         let result = std::fs::read_to_string(&cleaned).unwrap();
         assert!(!result.contains("New York"), "{result}");
+    }
+
+    #[test]
+    fn repair_engines_agree_and_explain_shows_scores() {
+        let data = tmp("repair-engines.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "repair-engines-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        // The acceptance diff: naive and delta produce byte-identical
+        // reports (text and JSON).
+        let (code_n, out_n) =
+            run_capture(&["repair", &data, "--rules", &rules_path, "--engine", "naive"]);
+        let (code_d, out_d) =
+            run_capture(&["repair", &data, "--rules", &rules_path, "--engine", "delta"]);
+        assert_eq!(code_n, 0);
+        assert_eq!(code_d, 0);
+        assert_eq!(out_n, out_d, "engine outputs must diff clean");
+        assert!(out_n.contains("passes"), "{out_n}");
+        let (_, json_n) = run_capture(&[
+            "repair",
+            &data,
+            "--rules",
+            &rules_path,
+            "--engine",
+            "naive",
+            "--json",
+            "--out",
+            &tmp("repair-engines-n.csv", ""),
+        ]);
+        let (_, json_d) = run_capture(&[
+            "repair",
+            &data,
+            "--rules",
+            &rules_path,
+            "--engine",
+            "delta",
+            "--json",
+            "--out",
+            &tmp("repair-engines-d.csv", ""),
+        ]);
+        assert_eq!(json_n, json_d, "JSON reports must diff clean");
+
+        let (code, out) = run_capture(&[
+            "repair",
+            &data,
+            "--rules",
+            &rules_path,
+            "--explain",
+            "--out",
+            &tmp("repair-engines-e.csv", ""),
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("score"), "{out}");
+        assert!(out.contains("support"), "{out}");
+
+        let mut buf = Vec::new();
+        assert!(matches!(
+            run(
+                &[
+                    "repair".into(),
+                    data.clone(),
+                    "--rules".into(),
+                    rules_path,
+                    "--engine".into(),
+                    "warp".into()
+                ],
+                &mut buf
+            ),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
