@@ -36,6 +36,7 @@
 use crate::pfd::{Pfd, Violation, ViolationKind};
 use pfd_relation::{AttrId, PostingList, Relation, RelationError, RowId, SchemaError};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One relation mutation, the unit of the incremental engines' input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -383,16 +384,32 @@ struct Group {
 /// map row → key so membership updates are O(1) lookups.
 #[derive(Debug, Clone)]
 struct TableauIndex {
-    groups: HashMap<Vec<String>, Group>,
+    groups: HashMap<Arc<Vec<String>>, Group>,
     /// `row_key[rid]` is the LHS key of relation row `rid` under this
     /// tableau row, `None` when the row does not match the LHS patterns.
-    row_key: Vec<Option<Vec<String>>>,
+    /// Keys are shared with the `groups` map (`Arc`), so pointing many rows
+    /// at one group costs a refcount, not a string clone.
+    row_key: Vec<Option<Arc<Vec<String>>>>,
 }
 
 /// Group indexes for one PFD, one [`TableauIndex`] per tableau row.
 #[derive(Debug, Clone)]
 struct PfdIndex {
     tableaux: Vec<TableauIndex>,
+}
+
+/// One exported LHS-key group, the persistence image of [`Group`].
+///
+/// Used by `snapshot` to serialize the engine's index without exposing the
+/// private group structures.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupSnapshot {
+    /// The LHS key shared by every member row.
+    pub(crate) key: Vec<String>,
+    /// Sorted member rows.
+    pub(crate) rows: PostingList,
+    /// Cached violations of this group.
+    pub(crate) violations: Vec<Violation>,
 }
 
 /// Incremental violation maintenance with per-PFD group indexes.
@@ -438,12 +455,12 @@ impl DeltaEngine {
             .iter()
             .enumerate()
             .map(|(ti, trow)| {
-                let mut row_key: Vec<Option<Vec<String>>> = Vec::with_capacity(rel.num_rows());
-                let mut members: HashMap<Vec<String>, Vec<u32>> = HashMap::new();
+                let mut row_key: Vec<Option<Arc<Vec<String>>>> = Vec::with_capacity(rel.num_rows());
+                let mut members: HashMap<Arc<Vec<String>>, Vec<u32>> = HashMap::new();
                 for (rid, _) in rel.iter_rows() {
-                    let key = pfd.lhs_key(rel, rid, trow);
+                    let key = pfd.lhs_key(rel, rid, trow).map(Arc::new);
                     if let Some(k) = &key {
-                        members.entry(k.clone()).or_default().push(rid as u32);
+                        members.entry(Arc::clone(k)).or_default().push(rid as u32);
                     }
                     row_key.push(key);
                 }
@@ -466,6 +483,118 @@ impl DeltaEngine {
             })
             .collect();
         PfdIndex { tableaux }
+    }
+
+    /// Export the group indexes for snapshot serialization:
+    /// `out[pfd][tableau_row]` is that tableau row's groups, sorted by LHS
+    /// key so the export (and hence the snapshot bytes) is deterministic.
+    pub(crate) fn export_groups(&self) -> Vec<Vec<Vec<GroupSnapshot>>> {
+        self.index
+            .iter()
+            .map(|pindex| {
+                pindex
+                    .tableaux
+                    .iter()
+                    .map(|tindex| {
+                        let mut groups: Vec<GroupSnapshot> = tindex
+                            .groups
+                            .iter()
+                            .map(|(key, group)| GroupSnapshot {
+                                key: key.as_ref().clone(),
+                                rows: group.rows.clone(),
+                                violations: group.violations.clone(),
+                            })
+                            .collect();
+                        groups.sort_by(|a, b| a.key.cmp(&b.key));
+                        groups
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rebuild an engine from snapshot parts without re-grouping the
+    /// relation: `groups[pfd][tableau_row]` as produced by
+    /// [`export_groups`](DeltaEngine::export_groups). The reverse row → key
+    /// maps are reconstructed from group membership.
+    pub(crate) fn from_parts(
+        rel: Relation,
+        pfds: Vec<Pfd>,
+        groups: Vec<Vec<Vec<GroupSnapshot>>>,
+    ) -> DeltaEngine {
+        // Each tableau's index is independent (its own group map and
+        // row → key vector), so rebuild them in parallel: flatten to a task
+        // list, fan out in order-preserving chunks, then re-nest per PFD.
+        let num_rows = rel.num_rows();
+        let shape: Vec<usize> = groups.iter().map(|tableaux| tableaux.len()).collect();
+        let tasks: Vec<Vec<GroupSnapshot>> = groups.into_iter().flatten().collect();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        let chunk = tasks.len().div_ceil(threads.max(1)).max(1);
+        let mut chunked: Vec<Vec<Vec<GroupSnapshot>>> = Vec::new();
+        let mut it = tasks.into_iter();
+        loop {
+            let c: Vec<Vec<GroupSnapshot>> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunked.push(c);
+        }
+        let mut built: Vec<TableauIndex> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunked
+                .into_iter()
+                .map(|c| {
+                    scope.spawn(move || {
+                        c.into_iter()
+                            .map(|snapshots| Self::rebuild_tableau_index(snapshots, num_rows))
+                            .collect::<Vec<TableauIndex>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                built.extend(h.join().expect("tableau index rebuild panicked"));
+            }
+        });
+        let mut built = built.into_iter();
+        let index = shape
+            .into_iter()
+            .map(|n| PfdIndex {
+                tableaux: built.by_ref().take(n).collect(),
+            })
+            .collect();
+        DeltaEngine {
+            rel,
+            pfds,
+            index,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Rebuild one tableau's index from its exported groups, reconstructing
+    /// the reverse row → key map from group membership.
+    fn rebuild_tableau_index(snapshots: Vec<GroupSnapshot>, num_rows: usize) -> TableauIndex {
+        let mut row_key: Vec<Option<Arc<Vec<String>>>> = vec![None; num_rows];
+        let mut map = HashMap::with_capacity(snapshots.len());
+        for snap in snapshots {
+            let key = Arc::new(snap.key);
+            for rid in snap.rows.iter() {
+                row_key[rid as usize] = Some(Arc::clone(&key));
+            }
+            map.insert(
+                key,
+                Group {
+                    rows: snap.rows,
+                    violations: snap.violations,
+                },
+            );
+        }
+        TableauIndex {
+            groups: map,
+            row_key,
+        }
     }
 
     /// The current relation state.
@@ -548,7 +677,7 @@ impl DeltaEngine {
         validate_batch(&self.rel, edits)?;
         // Dirty groups, identified by (pfd, tableau row, LHS key). Keys are
         // value-based, so they survive row renumbering inside the batch.
-        let mut dirty: BTreeSet<(usize, usize, Vec<String>)> = BTreeSet::new();
+        let mut dirty: BTreeSet<(usize, usize, Arc<Vec<String>>)> = BTreeSet::new();
         let mut drained: Vec<DeltaEntry> = Vec::new();
 
         for edit in edits {
@@ -568,23 +697,24 @@ impl DeltaEngine {
                             let tindex = &mut self.index[pi].tableaux[ti];
                             if in_lhs {
                                 let new_key = pfd.lhs_key(&self.rel, *row, trow);
-                                if new_key != tindex.row_key[*row] {
+                                if new_key.as_ref() != tindex.row_key[*row].as_deref() {
                                     if let Some(old) = tindex.row_key[*row].take() {
                                         if let Some(g) = tindex.groups.get_mut(&old) {
                                             g.rows.remove(*row);
                                         }
                                         dirty.insert((pi, ti, old));
                                     }
+                                    let new_key = new_key.map(Arc::new);
                                     if let Some(new) = &new_key {
-                                        let g =
-                                            tindex.groups.entry(new.clone()).or_insert_with(|| {
-                                                Group {
-                                                    rows: PostingList::empty(universe),
-                                                    violations: Vec::new(),
-                                                }
+                                        let g = tindex
+                                            .groups
+                                            .entry(Arc::clone(new))
+                                            .or_insert_with(|| Group {
+                                                rows: PostingList::empty(universe),
+                                                violations: Vec::new(),
                                             });
                                         g.rows.insert(*row);
-                                        dirty.insert((pi, ti, new.clone()));
+                                        dirty.insert((pi, ti, Arc::clone(new)));
                                     }
                                     tindex.row_key[*row] = new_key;
                                     // Both affected groups are dirty; an RHS
@@ -594,7 +724,7 @@ impl DeltaEngine {
                             }
                             if in_rhs {
                                 if let Some(key) = &tindex.row_key[*row] {
-                                    dirty.insert((pi, ti, key.clone()));
+                                    dirty.insert((pi, ti, Arc::clone(key)));
                                 }
                             }
                         }
@@ -607,14 +737,15 @@ impl DeltaEngine {
                     for (pi, pfd) in self.pfds.iter().enumerate() {
                         for (ti, trow) in pfd.tableau().iter().enumerate() {
                             let tindex = &mut self.index[pi].tableaux[ti];
-                            let key = pfd.lhs_key(&self.rel, rid, trow);
+                            let key = pfd.lhs_key(&self.rel, rid, trow).map(Arc::new);
                             if let Some(k) = &key {
-                                let g = tindex.groups.entry(k.clone()).or_insert_with(|| Group {
-                                    rows: PostingList::empty(universe),
-                                    violations: Vec::new(),
-                                });
+                                let g =
+                                    tindex.groups.entry(Arc::clone(k)).or_insert_with(|| Group {
+                                        rows: PostingList::empty(universe),
+                                        violations: Vec::new(),
+                                    });
                                 g.rows.insert(rid);
-                                dirty.insert((pi, ti, k.clone()));
+                                dirty.insert((pi, ti, Arc::clone(k)));
                             }
                             tindex.row_key.push(key);
                         }

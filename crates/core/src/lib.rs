@@ -42,6 +42,7 @@ pub mod pfd;
 pub mod repair;
 pub mod rules;
 pub mod session;
+pub mod snapshot;
 pub mod tableau;
 
 pub use detect::{
@@ -56,7 +57,8 @@ pub use repair::{
 };
 pub use rules::{parse_rule, parse_rules, to_rule_string, to_rules_string, RuleError};
 pub use session::{
-    check_report_json, fix_json, parse_command, repair_outcome_json, run_session, SessionCommand,
-    SessionSummary,
+    check_report_json, fix_json, parse_command, repair_outcome_json, run_session, run_session_with,
+    SessionCommand, SessionSummary,
 };
+pub use snapshot::{load, load_from_bytes, replay_log, save, save_to_bytes, SnapshotError};
 pub use tableau::{TableauCell, TableauRow};

@@ -129,6 +129,27 @@ impl Violation {
         &self.cells
     }
 
+    /// Reassemble a violation from persisted fields (snapshot decoding).
+    pub(crate) fn from_parts(
+        tableau_row: usize,
+        kind: ViolationKind,
+        attr: AttrId,
+        rows: Vec<RowId>,
+        cells: Vec<(RowId, AttrId)>,
+        group_size: u32,
+        majority_size: u32,
+    ) -> Violation {
+        Violation {
+            tableau_row,
+            kind,
+            attr,
+            rows,
+            cells,
+            group_size,
+            majority_size,
+        }
+    }
+
     /// Renumber every row id through `f` (used by the incremental engines
     /// after a row deletion shifts ids).
     pub(crate) fn remap_rows(&mut self, f: impl Fn(RowId) -> RowId) {

@@ -588,8 +588,24 @@ pub fn run_session(
     input: impl BufRead,
     out: &mut dyn Write,
 ) -> std::io::Result<(Relation, SessionSummary)> {
-    let schema = rel.schema().clone();
-    let mut repairer = RepairEngine::new(rel, pfds, RepairOptions::default());
+    let repairer = RepairEngine::new(rel, pfds, RepairOptions::default());
+    let (repairer, summary) = run_session_with(repairer, input, out, None)?;
+    Ok((repairer.into_relation(), summary))
+}
+
+/// [`run_session`] over a prebuilt engine (e.g. loaded from a snapshot),
+/// optionally appending every applied command to `log` as replayable JSONL:
+/// successful edits are logged verbatim, a repair chase is logged as one
+/// `batch` of the `set` edits it applied. The log plus the engine's starting
+/// state reproduce the engine's final state exactly, which is the snapshot
+/// layer's resume contract.
+pub fn run_session_with(
+    mut repairer: RepairEngine,
+    input: impl BufRead,
+    out: &mut dyn Write,
+    mut log: Option<&mut dyn Write>,
+) -> std::io::Result<(RepairEngine, SessionSummary)> {
+    let schema = repairer.relation().schema().clone();
     let initial = repairer.engine().sorted_violations();
     writeln!(
         out,
@@ -622,6 +638,11 @@ pub fn run_session(
                 }
                 let (outcome, passes) = repairer.run();
                 repairer.options_mut().max_passes = saved;
+                if let Some(log) = log.as_deref_mut() {
+                    if !outcome.fixes.is_empty() {
+                        writeln!(log, "{}", repair_as_batch_json(&outcome, &schema))?;
+                    }
+                }
                 write_repair_events(out, &outcome, passes, repairer.engine(), &schema)?;
             }
             Ok(cmd) => {
@@ -634,6 +655,9 @@ pub fn run_session(
                 match applied {
                     Ok(delta) => {
                         summary.applied += 1;
+                        if let Some(log) = log.as_deref_mut() {
+                            writeln!(log, "{}", line.trim())?;
+                        }
                         writeln!(
                             out,
                             "{}",
@@ -661,7 +685,26 @@ pub fn run_session(
         }
     }
     summary.violations = repairer.engine().violation_count();
-    Ok((repairer.into_relation(), summary))
+    Ok((repairer, summary))
+}
+
+/// Render a finished repair chase as one replayable `batch` command of
+/// `set` edits — the form a session log stores repairs in.
+fn repair_as_batch_json(outcome: &RepairOutcome, schema: &Schema) -> String {
+    let mut line = String::from("{\"op\":\"batch\",\"edits\":[");
+    for (i, fix) in outcome.fixes.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!(
+            "{{\"op\":\"set\",\"row\":{},\"attr\":{},\"value\":{}}}",
+            fix.row,
+            json::escaped(schema.name_of(fix.attr).unwrap_or("?")),
+            json::escaped(&fix.new)
+        ));
+    }
+    line.push_str("]}");
+    line
 }
 
 /// Stream one repair chase's events: a `conflict` line per contested cell,

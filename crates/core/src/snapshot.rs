@@ -1,0 +1,581 @@
+//! Persistent binary snapshots of a [`DeltaEngine`].
+//!
+//! A snapshot freezes the *whole* serving state — relation, rules, and the
+//! per-PFD group indexes with their cached violations — so a process can
+//! resume in one read instead of re-parsing CSV and re-grouping every row.
+//! The bytes use the sectioned `PFDS` container from [`pfd_relation::binary`]:
+//!
+//! | id | section  | contents                                              |
+//! |----|----------|-------------------------------------------------------|
+//! | 1  | `SCHEMA` | relation name, mutation version, attribute names      |
+//! | 2  | `ROWS`   | per-column front-coded value vocabulary + row indexes |
+//! | 3  | `RULES`  | the PFD set in the textual rules format               |
+//! | 4  | `GROUPS` | per-PFD, per-tableau-row LHS groups: key, posting     |
+//! |    |          | list, cached violations                               |
+//!
+//! Sections carry independent checksums and decode independently: `load`
+//! decodes `ROWS` (the bulk of the bytes) on a second thread while the main
+//! thread decodes `GROUPS`. Group exports are sorted by LHS key, so
+//! `save ∘ load ∘ save` is byte-stable and equality with a cold
+//! build-from-CSV engine is a meaningful test assertion.
+//!
+//! A resumed *session* is snapshot + append-only JSONL delta log: the log
+//! holds the session-command form of every applied edit (repairs as one
+//! `batch` of `set`s — see
+//! [`run_session_with`](crate::session::run_session_with)), and
+//! [`replay_log`] re-applies it on top of a loaded engine.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+use pfd_relation::binary::{
+    decode_postings, decode_string_table, encode_postings, encode_string_table, put_string,
+    put_varint, BinaryError, Cursor, SectionReader, SectionWriter,
+};
+use pfd_relation::{AttrId, Relation, RowId, Schema};
+
+use crate::incremental::{DeltaEngine, GroupSnapshot};
+use crate::pfd::{Violation, ViolationKind};
+use crate::rules::{parse_rules, to_rules_string};
+use crate::session::{parse_command, SessionCommand};
+
+/// Section ids of the snapshot container.
+const SECTION_SCHEMA: u32 = 1;
+const SECTION_ROWS: u32 = 2;
+const SECTION_RULES: u32 = 3;
+const SECTION_GROUPS: u32 = 4;
+
+/// Errors surfaced while saving, loading, or replaying snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The container or a section payload failed structural validation.
+    Binary(BinaryError),
+    /// The bytes decoded but their contents are inconsistent (rules that
+    /// don't parse, group indexes referencing missing rows, a log line that
+    /// no longer applies, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Binary(e) => write!(f, "{e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<BinaryError> for SnapshotError {
+    fn from(e: BinaryError) -> Self {
+        SnapshotError::Binary(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------------
+
+/// Serialize the engine to snapshot bytes.
+pub fn save_to_bytes(engine: &DeltaEngine) -> Vec<u8> {
+    let rel = engine.relation();
+    let schema = rel.schema();
+
+    let mut schema_buf = Vec::new();
+    put_string(&mut schema_buf, schema.relation());
+    put_varint(&mut schema_buf, rel.version());
+    put_varint(&mut schema_buf, schema.arity() as u64);
+    for name in schema.attribute_names() {
+        put_string(&mut schema_buf, name);
+    }
+
+    let mut rows_buf = Vec::new();
+    put_varint(&mut rows_buf, rel.num_rows() as u64);
+    for attr in schema.attr_ids() {
+        // Column-wise: a sorted distinct-value vocabulary (front coding
+        // thrives on the shared prefixes of codes and category values)
+        // followed by one vocabulary index per row. The relation already
+        // stores columns interned, so this is a sort of the live
+        // vocabulary plus an index remap — no per-cell strings. Sorting
+        // makes the encoding canonical regardless of interning order.
+        let (vocab, cells) = rel.column_parts(attr);
+        let mut live: Vec<u32> = cells.to_vec();
+        live.sort_unstable();
+        live.dedup();
+        live.sort_by(|&a, &b| vocab[a as usize].cmp(&vocab[b as usize]));
+        let sorted: Vec<&str> = live.iter().map(|&i| vocab[i as usize].as_str()).collect();
+        encode_string_table(&mut rows_buf, &sorted);
+        let mut rank = vec![0u32; vocab.len()];
+        for (r, &i) in live.iter().enumerate() {
+            rank[i as usize] = r as u32;
+        }
+        for &c in cells {
+            put_varint(&mut rows_buf, u64::from(rank[c as usize]));
+        }
+    }
+
+    let rules_buf = to_rules_string(engine.pfds(), schema).into_bytes();
+
+    let mut groups_buf = Vec::new();
+    let exported = engine.export_groups();
+    put_varint(&mut groups_buf, exported.len() as u64);
+    for tableaux in &exported {
+        put_varint(&mut groups_buf, tableaux.len() as u64);
+        for groups in tableaux {
+            put_varint(&mut groups_buf, groups.len() as u64);
+            for group in groups {
+                put_varint(&mut groups_buf, group.key.len() as u64);
+                for part in &group.key {
+                    put_string(&mut groups_buf, part);
+                }
+                encode_postings(&mut groups_buf, &group.rows);
+                put_varint(&mut groups_buf, group.violations.len() as u64);
+                for v in &group.violations {
+                    encode_violation(&mut groups_buf, v);
+                }
+            }
+        }
+    }
+
+    let mut writer = SectionWriter::new();
+    writer.add(SECTION_SCHEMA, schema_buf);
+    writer.add(SECTION_ROWS, rows_buf);
+    writer.add(SECTION_RULES, rules_buf);
+    writer.add(SECTION_GROUPS, groups_buf);
+    writer.finish()
+}
+
+/// Serialize the engine and write it to `path` atomically (write to a
+/// `.tmp` sibling, then rename).
+pub fn save(engine: &DeltaEngine, path: &Path) -> Result<(), SnapshotError> {
+    let bytes = save_to_bytes(engine);
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn encode_violation(out: &mut Vec<u8>, v: &Violation) {
+    put_varint(out, v.tableau_row as u64);
+    put_varint(
+        out,
+        match v.kind {
+            ViolationKind::SingleTuple => 0,
+            ViolationKind::TuplePair => 1,
+        },
+    );
+    put_varint(out, v.attr.index() as u64);
+    put_varint(out, v.rows().len() as u64);
+    for &r in v.rows() {
+        put_varint(out, r as u64);
+    }
+    put_varint(out, v.cells().len() as u64);
+    for &(r, a) in v.cells() {
+        put_varint(out, r as u64);
+        put_varint(out, a.index() as u64);
+    }
+    put_varint(out, v.group_size() as u64);
+    put_varint(out, v.majority_size() as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------------
+
+/// Rebuild an engine from snapshot bytes.
+///
+/// The loaded engine compares equal — relation (including mutation
+/// version), PFD set, violations, and group indexes — to the engine the
+/// snapshot was saved from.
+pub fn load_from_bytes(data: &[u8]) -> Result<DeltaEngine, SnapshotError> {
+    let reader = SectionReader::open(data)?;
+    let schema_payload = reader.require(SECTION_SCHEMA)?;
+    let rows_payload = reader.require(SECTION_ROWS)?;
+    let rules_payload = reader.require(SECTION_RULES)?;
+    let groups_payload = reader.require(SECTION_GROUPS)?;
+
+    let (schema, version) = decode_schema(schema_payload)?;
+
+    // ROWS dominates the byte budget; decode it off-thread while the main
+    // thread decodes the group indexes. The sections are independent by
+    // construction (separate payloads, separate checksums).
+    let (rel_result, groups_result) = std::thread::scope(|scope| {
+        let schema_ref = &schema;
+        let rows_thread =
+            scope.spawn(move || decode_rows(rows_payload, schema_ref.clone(), version));
+        let groups = decode_groups(groups_payload);
+        (rows_thread.join().expect("rows decoder panicked"), groups)
+    });
+    let rel = rel_result?;
+    let groups = groups_result?;
+
+    let rules_text =
+        std::str::from_utf8(rules_payload).map_err(|_| corrupt("rules section is not UTF-8"))?;
+    let pfds = parse_rules(rules_text, rel.schema())
+        .map_err(|e| corrupt(format!("rules section does not parse: {e}")))?;
+
+    validate_groups(&rel, &pfds, &groups)?;
+    Ok(DeltaEngine::from_parts(rel, pfds, groups))
+}
+
+/// Read and rebuild an engine from the snapshot file at `path`.
+pub fn load(path: &Path) -> Result<DeltaEngine, SnapshotError> {
+    let data = std::fs::read(path)?;
+    load_from_bytes(&data)
+}
+
+fn decode_schema(payload: &[u8]) -> Result<(Schema, u64), SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let relation = cur.get_string()?;
+    let version = cur.get_varint()?;
+    let arity = cur.get_len()?;
+    let mut names = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        names.push(cur.get_string()?);
+    }
+    let schema =
+        Schema::new(relation, names).map_err(|e| corrupt(format!("invalid schema: {e}")))?;
+    Ok((schema, version))
+}
+
+fn decode_rows(payload: &[u8], schema: Schema, version: u64) -> Result<Relation, SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let num_rows = cur.get_len()?;
+    let arity = schema.arity();
+    // The section's shape — per-column vocabulary + cell indexes — is the
+    // relation's own storage layout, so decoding allocates the distinct
+    // values only, never one string per cell.
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let vocab = decode_string_table(&mut cur)?;
+        let mut cells = Vec::with_capacity(num_rows);
+        for _ in 0..num_rows {
+            let idx = cur.get_index()?;
+            if idx >= vocab.len() {
+                return Err(corrupt("row index outside column vocabulary"));
+            }
+            cells.push(idx as u32);
+        }
+        columns.push((vocab, cells));
+    }
+    Relation::from_columns(schema, columns, version)
+        .map_err(|e| corrupt(format!("invalid rows: {e}")))
+}
+
+fn decode_groups(payload: &[u8]) -> Result<Vec<Vec<Vec<GroupSnapshot>>>, SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let npfds = cur.get_len()?;
+    let mut pfds = Vec::with_capacity(npfds);
+    for _ in 0..npfds {
+        let ntableaux = cur.get_len()?;
+        let mut tableaux = Vec::with_capacity(ntableaux);
+        for _ in 0..ntableaux {
+            let ngroups = cur.get_len()?;
+            let mut groups = Vec::with_capacity(ngroups);
+            for _ in 0..ngroups {
+                let nkey = cur.get_len()?;
+                let mut key = Vec::with_capacity(nkey);
+                for _ in 0..nkey {
+                    key.push(cur.get_string()?);
+                }
+                let rows = decode_postings(&mut cur)?;
+                let nviolations = cur.get_len()?;
+                let mut violations = Vec::with_capacity(nviolations);
+                for _ in 0..nviolations {
+                    violations.push(decode_violation(&mut cur)?);
+                }
+                groups.push(GroupSnapshot {
+                    key,
+                    rows,
+                    violations,
+                });
+            }
+            tableaux.push(groups);
+        }
+        pfds.push(tableaux);
+    }
+    Ok(pfds)
+}
+
+fn decode_violation(cur: &mut Cursor<'_>) -> Result<Violation, SnapshotError> {
+    let tableau_row = cur.get_index()?;
+    let kind = match cur.get_varint()? {
+        0 => ViolationKind::SingleTuple,
+        1 => ViolationKind::TuplePair,
+        other => return Err(corrupt(format!("unknown violation kind {other}"))),
+    };
+    let attr = AttrId(cur.get_index()?);
+    let nrows = cur.get_len()?;
+    let mut rows: Vec<RowId> = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        rows.push(cur.get_index()?);
+    }
+    let ncells = cur.get_len()?;
+    let mut cells = Vec::with_capacity(ncells);
+    for _ in 0..ncells {
+        let r: RowId = cur.get_index()?;
+        let a = AttrId(cur.get_index()?);
+        cells.push((r, a));
+    }
+    let group_size =
+        u32::try_from(cur.get_varint()?).map_err(|_| corrupt("group size overflows u32"))?;
+    let majority_size =
+        u32::try_from(cur.get_varint()?).map_err(|_| corrupt("majority size overflows u32"))?;
+    Ok(Violation::from_parts(
+        tableau_row,
+        kind,
+        attr,
+        rows,
+        cells,
+        group_size,
+        majority_size,
+    ))
+}
+
+/// Cross-section consistency checks before the parts become an engine:
+/// the group index must reference exactly the decoded PFD set and stay
+/// inside the decoded relation.
+fn validate_groups(
+    rel: &Relation,
+    pfds: &[crate::pfd::Pfd],
+    groups: &[Vec<Vec<GroupSnapshot>>],
+) -> Result<(), SnapshotError> {
+    if groups.len() != pfds.len() {
+        return Err(corrupt(format!(
+            "group index covers {} PFDs but the rules section defines {}",
+            groups.len(),
+            pfds.len()
+        )));
+    }
+    let arity = rel.schema().arity();
+    for (pfd, tableaux) in pfds.iter().zip(groups) {
+        if tableaux.len() != pfd.tableau().len() {
+            return Err(corrupt("group index tableau count mismatch"));
+        }
+        for tableau in tableaux {
+            for group in tableau {
+                if group.rows.universe() != rel.num_rows() {
+                    return Err(corrupt("group universe does not match row count"));
+                }
+                for v in &group.violations {
+                    let rows_ok = v.rows().iter().all(|&r| r < rel.num_rows());
+                    let cells_ok = v
+                        .cells()
+                        .iter()
+                        .all(|&(r, a)| r < rel.num_rows() && a.index() < arity);
+                    if !rows_ok || !cells_ok || v.attr.index() >= arity {
+                        return Err(corrupt("violation references out-of-range cells"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Log replay
+// ---------------------------------------------------------------------------
+
+/// Re-apply an append-only session-command log (JSONL, one applied command
+/// per line) on top of a loaded engine. Returns the number of commands
+/// applied. Blank lines are skipped; `repair` ops are rejected — the
+/// session layer logs repairs as `batch` edits precisely so replay never
+/// has to re-run the (non-deterministic across versions) chase.
+pub fn replay_log(engine: &mut DeltaEngine, log_text: &str) -> Result<usize, SnapshotError> {
+    let schema = engine.relation().schema().clone();
+    let mut applied = 0;
+    for (lineno, line) in log_text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cmd = parse_command(line, &schema)
+            .map_err(|e| corrupt(format!("log line {}: {e}", lineno + 1)))?;
+        let result = match cmd {
+            SessionCommand::Single(edit) => engine.apply(edit),
+            SessionCommand::Batch(edits) => engine.apply_batch(&edits),
+            SessionCommand::Repair { .. } => {
+                return Err(corrupt(format!(
+                    "log line {}: repair ops are not replayable",
+                    lineno + 1
+                )))
+            }
+        };
+        result.map_err(|e| corrupt(format!("log line {} does not apply: {e}", lineno + 1)))?;
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfd::Pfd;
+
+    fn sample_engine() -> DeltaEngine {
+        let rel = Relation::from_rows(
+            "Zip",
+            &["zip", "city", "state"],
+            vec![
+                vec!["90001", "Los Angeles", "CA"],
+                vec!["90001", "Los Angeles", "CA"],
+                vec!["90002", "Los Angeles", "CA"],
+                vec!["10001", "New York", "NY"],
+                vec!["10001", "Brooklyn", "NY"],
+                vec!["60601", "Chicago", "IL"],
+            ],
+        )
+        .unwrap();
+        let schema = rel.schema().clone();
+        let pfds = vec![
+            Pfd::fd("Zip", &schema, &["zip"], &["city"]).unwrap(),
+            Pfd::fd("Zip", &schema, &["city"], &["state"]).unwrap(),
+        ];
+        DeltaEngine::new(rel, pfds)
+    }
+
+    fn assert_engines_equal(a: &DeltaEngine, b: &DeltaEngine) {
+        assert_eq!(a.relation(), b.relation());
+        assert_eq!(a.relation().version(), b.relation().version());
+        assert_eq!(a.pfds(), b.pfds());
+        assert_eq!(a.sorted_violations(), b.sorted_violations());
+        assert_eq!(a.suspect_cells(), b.suspect_cells());
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_full_engine_state() {
+        let engine = sample_engine();
+        let bytes = save_to_bytes(&engine);
+        let loaded = load_from_bytes(&bytes).unwrap();
+        assert_engines_equal(&engine, &loaded);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let engine = sample_engine();
+        let once = save_to_bytes(&engine);
+        let twice = save_to_bytes(&load_from_bytes(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn loaded_engine_stays_live_under_edits() {
+        let engine = sample_engine();
+        let mut cold = sample_engine();
+        let mut loaded = load_from_bytes(&save_to_bytes(&engine)).unwrap();
+        let schema = engine.relation().schema().clone();
+        let city = schema.attr("city").unwrap();
+        for e in [&mut cold, &mut loaded] {
+            e.set_cell(4, city, "New York".into()).unwrap();
+            e.insert_row(vec!["60601".into(), "Chicago".into(), "IL".into()])
+                .unwrap();
+            e.delete_row(0).unwrap();
+        }
+        assert_engines_equal(&cold, &loaded);
+    }
+
+    #[test]
+    fn replay_log_reproduces_a_session() {
+        let engine = sample_engine();
+        let mut cold = sample_engine();
+        let schema = engine.relation().schema().clone();
+        let city = schema.attr("city").unwrap();
+        cold.set_cell(4, city, "New York".into()).unwrap();
+        cold.apply_batch(&[
+            crate::incremental::Edit::Insert {
+                cells: vec!["94103".into(), "San Francisco".into(), "CA".into()],
+            },
+            crate::incremental::Edit::Delete { row: 5 },
+        ])
+        .unwrap();
+
+        let mut loaded = load_from_bytes(&save_to_bytes(&engine)).unwrap();
+        let log = concat!(
+            "{\"op\":\"set\",\"row\":4,\"attr\":\"city\",\"value\":\"New York\"}\n",
+            "\n",
+            "{\"op\":\"batch\",\"edits\":[",
+            "{\"op\":\"insert\",\"cells\":[\"94103\",\"San Francisco\",\"CA\"]},",
+            "{\"op\":\"delete\",\"row\":5}]}\n",
+        );
+        assert_eq!(replay_log(&mut loaded, log).unwrap(), 2);
+        assert_engines_equal(&cold, &loaded);
+    }
+
+    #[test]
+    fn replay_log_rejects_repair_ops_and_bad_lines() {
+        let mut engine = sample_engine();
+        assert!(matches!(
+            replay_log(&mut engine, "{\"op\":\"repair\"}"),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(matches!(
+            replay_log(&mut engine, "not json"),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(matches!(
+            replay_log(&mut engine, "{\"op\":\"delete\",\"row\":999}"),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_relation_and_no_rules_round_trip() {
+        let rel = Relation::empty(Schema::new("T", ["a", "b"]).unwrap());
+        let engine = DeltaEngine::new(rel, vec![]);
+        let loaded = load_from_bytes(&save_to_bytes(&engine)).unwrap();
+        assert_engines_equal(&engine, &loaded);
+    }
+
+    #[test]
+    fn truncated_and_corrupted_snapshots_error_gracefully() {
+        let bytes = save_to_bytes(&sample_engine());
+        // Truncations at every prefix length must error, never panic.
+        for cut in [0, 3, 8, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load_from_bytes(&bytes[..cut]).is_err());
+        }
+        // A flipped payload byte trips that section's checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            load_from_bytes(&flipped),
+            Err(SnapshotError::Binary(BinaryError::Checksum { .. }))
+        ));
+        // A wrong version is reported as such.
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 42;
+        assert!(matches!(
+            load_from_bytes(&wrong_version),
+            Err(SnapshotError::Binary(BinaryError::UnsupportedVersion(42)))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_files_round_trip() {
+        let engine = sample_engine();
+        let dir = std::env::temp_dir().join("pfd_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("zip.pfds");
+        save(&engine, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_engines_equal(&engine, &loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

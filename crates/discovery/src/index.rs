@@ -33,6 +33,12 @@ impl Symbol {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild a symbol from its raw index (snapshot decoding). The caller
+    /// is responsible for the index being in range for its dictionary.
+    pub fn from_index(index: usize) -> Symbol {
+        Symbol(index as u32)
+    }
 }
 
 /// Arena-backed string interner for the fragments of one attribute.

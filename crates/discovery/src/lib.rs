@@ -53,6 +53,7 @@ pub mod fxhash;
 pub mod index;
 pub mod pool;
 pub mod review;
+pub mod serial;
 
 // Promoted to `pfd_relation::postings` so the incremental cleaning engine in
 // `pfd_core` can share it; re-exported here to keep the original paths.
@@ -70,3 +71,4 @@ pub use index::{
 pub use pool::parallel_map;
 pub use postings::{PostingList, RowSetAccumulator};
 pub use review::{review_queue, ReviewItem};
+pub use serial::{decode_dict, decode_entries, encode_dict, encode_entries};

@@ -23,7 +23,8 @@ pub enum CsvError {
     },
     /// Garbage after a closing quote, e.g. `"ab"c`.
     TrailingAfterQuote {
-        /// 1-based line of the offending field.
+        /// 1-based line the offending field *started* on (a multi-line
+        /// quoted field may close several lines later).
         line: usize,
     },
     /// Header missing or empty.
@@ -40,7 +41,10 @@ impl fmt::Display for CsvError {
                 write!(f, "unterminated quoted field starting on line {line}")
             }
             CsvError::TrailingAfterQuote { line } => {
-                write!(f, "unexpected character after closing quote on line {line}")
+                write!(
+                    f,
+                    "unexpected character after closing quote in the field starting on line {line}"
+                )
             }
             CsvError::EmptyInput => write!(f, "empty CSV input (missing header)"),
             CsvError::Relation(e) => write!(f, "{e}"),
@@ -62,12 +66,37 @@ impl From<RelationError> for CsvError {
     }
 }
 
+/// One parsed logical record. `blank` marks a record produced by a
+/// physically empty line (no characters before the terminator) — the only
+/// kind of record [`read_csv`] may skip, and only when it is truly trailing.
+/// A quoted empty field (`""`) on its own line is *not* blank.
+struct Record {
+    fields: Vec<String>,
+    blank: bool,
+}
+
 /// Streaming CSV record parser over arbitrary `BufRead` input.
 struct Records<R: BufRead> {
     input: R,
     line: usize,
     buf: String,
     done: bool,
+}
+
+/// Split one physical line into its content and its terminator bytes.
+/// Recognized terminators: `\r\n`, `\n`, and a lone trailing `\r` (which
+/// `read_line` can only produce at EOF). The terminator is returned intact
+/// so quoted continuations can preserve the field's original bytes.
+fn split_terminator(line: &str) -> (&str, &str) {
+    if let Some(content) = line.strip_suffix("\r\n") {
+        (content, "\r\n")
+    } else if let Some(content) = line.strip_suffix('\n') {
+        (content, "\n")
+    } else if let Some(content) = line.strip_suffix('\r') {
+        (content, "\r")
+    } else {
+        (line, "")
+    }
 }
 
 impl<R: BufRead> Records<R> {
@@ -81,7 +110,7 @@ impl<R: BufRead> Records<R> {
     }
 
     /// Read one logical record (which may span physical lines when quoted).
-    fn next_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
+    fn next_record(&mut self) -> Result<Option<Record>, CsvError> {
         if self.done {
             return Ok(None);
         }
@@ -92,16 +121,25 @@ impl<R: BufRead> Records<R> {
             return Ok(None);
         }
         self.line += 1;
-        let start_line = self.line;
 
         let mut fields: Vec<String> = Vec::new();
         let mut field = String::new();
         let mut in_quotes = false;
         let mut after_quote = false;
+        // Line the current field started on (trailing-garbage diagnostics
+        // point here, not at the line the closing quote landed on).
+        let mut field_start_line = self.line;
+        // Line the currently open quote was opened on.
+        let mut quote_open_line = self.line;
+        let mut blank = true;
 
         loop {
-            // Work on the line content without its terminator.
-            let line = self.buf.trim_end_matches(['\n', '\r']);
+            // Work on the line content without its terminator, but keep the
+            // terminator: inside quotes it is field content, not framing.
+            let (line, terminator) = split_terminator(&self.buf);
+            if !line.is_empty() {
+                blank = false;
+            }
             let mut chars = line.chars().peekable();
             while let Some(c) = chars.next() {
                 if in_quotes {
@@ -122,10 +160,16 @@ impl<R: BufRead> Records<R> {
                         ',' => {
                             fields.push(std::mem::take(&mut field));
                             after_quote = false;
+                            field_start_line = self.line;
                         }
-                        '"' if field.is_empty() && !after_quote => in_quotes = true,
+                        '"' if field.is_empty() && !after_quote => {
+                            in_quotes = true;
+                            quote_open_line = self.line;
+                        }
                         _ if after_quote => {
-                            return Err(CsvError::TrailingAfterQuote { line: self.line })
+                            return Err(CsvError::TrailingAfterQuote {
+                                line: field_start_line,
+                            })
                         }
                         _ => field.push(c),
                     }
@@ -134,17 +178,20 @@ impl<R: BufRead> Records<R> {
             if !in_quotes {
                 break;
             }
-            // Quoted field continues on the next physical line.
-            field.push('\n');
+            // Quoted field continues on the next physical line: the
+            // terminator bytes (`\n` or `\r\n`) belong to the field.
+            field.push_str(terminator);
             self.buf.clear();
             let n = self.input.read_line(&mut self.buf)?;
             if n == 0 {
-                return Err(CsvError::UnterminatedQuote { line: start_line });
+                return Err(CsvError::UnterminatedQuote {
+                    line: quote_open_line,
+                });
             }
             self.line += 1;
         }
         fields.push(field);
-        Ok(Some(fields))
+        Ok(Some(Record { fields, blank }))
     }
 }
 
@@ -153,15 +200,31 @@ impl<R: BufRead> Records<R> {
 pub fn read_csv<R: BufRead>(relation: &str, input: R) -> Result<Relation, CsvError> {
     let mut records = Records::new(input);
     let header = records.next_record()?.ok_or(CsvError::EmptyInput)?;
-    let schema =
-        Schema::new(relation, header).map_err(|e| CsvError::Relation(RelationError::Schema(e)))?;
+    let schema = Schema::new(relation, header.fields)
+        .map_err(|e| CsvError::Relation(RelationError::Schema(e)))?;
     let mut rel = Relation::empty(schema);
+    // Blank physical lines are held back: a blank line followed by more
+    // records is data (a valid empty row in a single-column relation, an
+    // arity error otherwise), while the file's truly trailing blank line —
+    // the optional final CRLF of RFC 4180 — is tolerated and dropped.
+    let mut pending_blanks = 0usize;
     while let Some(record) = records.next_record()? {
-        // Tolerate fully blank trailing lines.
-        if record.len() == 1 && record[0].is_empty() {
+        if record.blank {
+            pending_blanks += 1;
             continue;
         }
-        rel.push_row(record)?;
+        for _ in 0..pending_blanks {
+            rel.push_row(vec![String::new()])?;
+        }
+        pending_blanks = 0;
+        rel.push_row(record.fields)?;
+    }
+    // Only the very last blank line is the tolerated trailing one; any
+    // blank lines before it are data.
+    if pending_blanks > 1 {
+        for _ in 0..pending_blanks - 1 {
+            rel.push_row(vec![String::new()])?;
+        }
     }
     Ok(rel)
 }
@@ -185,24 +248,28 @@ fn write_field<W: Write>(out: &mut W, field: &str) -> std::io::Result<()> {
     }
 }
 
-/// Write a relation as CSV (header + rows).
-pub fn write_csv<W: Write>(relation: &Relation, out: &mut W) -> std::io::Result<()> {
-    let names = relation.schema().attribute_names();
-    for (i, name) in names.iter().enumerate() {
+/// Write one record. A record consisting of a single empty field is written
+/// as `""`: an unquoted empty sole field would be a blank line, which the
+/// reader must treat as a tolerated trailing blank — quoting keeps
+/// single-column relations with empty cells round-trippable.
+fn write_record<W: Write, S: AsRef<str>>(out: &mut W, cells: &[S]) -> std::io::Result<()> {
+    if cells.len() == 1 && cells[0].as_ref().is_empty() {
+        return writeln!(out, "\"\"");
+    }
+    for (i, cell) in cells.iter().enumerate() {
         if i > 0 {
             write!(out, ",")?;
         }
-        write_field(out, name)?;
+        write_field(out, cell.as_ref())?;
     }
-    writeln!(out)?;
+    writeln!(out)
+}
+
+/// Write a relation as CSV (header + rows).
+pub fn write_csv<W: Write>(relation: &Relation, out: &mut W) -> std::io::Result<()> {
+    write_record(out, relation.schema().attribute_names())?;
     for (_, row) in relation.iter_rows() {
-        for (i, cell) in row.iter().enumerate() {
-            if i > 0 {
-                write!(out, ",")?;
-            }
-            write_field(out, cell)?;
-        }
-        writeln!(out)?;
+        write_record(out, &row.to_vec())?;
     }
     Ok(())
 }
@@ -291,6 +358,95 @@ mod tests {
             read_csv_str("T", csv),
             Err(CsvError::TrailingAfterQuote { .. })
         ));
+    }
+
+    // Regression: `read_csv` used to drop *every* record that parsed to a
+    // single empty field, losing valid empty-cell rows in single-column
+    // relations and silently swallowing blank lines mid-file.
+    #[test]
+    fn single_column_empty_rows_survive() {
+        // A blank line mid-file is an empty row; only the trailing one is
+        // the tolerated final newline.
+        let csv = "a\nx\n\ny\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        let a = rel.schema().attr("a").unwrap();
+        assert_eq!(rel.num_rows(), 3);
+        assert_eq!(rel.cell(0, a), "x");
+        assert_eq!(rel.cell(1, a), "");
+        assert_eq!(rel.cell(2, a), "y");
+
+        // Writer quotes the sole empty field, so the round trip is exact.
+        let rel2 = Relation::from_rows("T", &["a"], vec![vec!["x"], vec![""], vec!["y"]]).unwrap();
+        let written = write_csv_string(&rel2);
+        assert_eq!(written, "a\nx\n\"\"\ny\n");
+        assert_eq!(read_csv_str("T", &written).unwrap(), rel2);
+
+        // An empty row in final position round-trips too.
+        let rel3 = Relation::from_rows("T", &["a"], vec![vec!["x"], vec![""]]).unwrap();
+        assert_eq!(read_csv_str("T", &write_csv_string(&rel3)).unwrap(), rel3);
+    }
+
+    #[test]
+    fn consecutive_blank_lines_keep_all_but_the_trailing_one() {
+        let csv = "a\nx\n\n\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        assert_eq!(rel.num_rows(), 2, "one mid-file blank + one trailing");
+        let a = rel.schema().attr("a").unwrap();
+        assert_eq!(rel.cell(1, a), "");
+    }
+
+    #[test]
+    fn blank_line_mid_file_is_an_arity_error_for_wider_schemas() {
+        // Previously swallowed; a blank line inside a two-column file is a
+        // malformed row, not noise.
+        let csv = "a,b\n1,2\n\n3,4\n";
+        assert!(matches!(
+            read_csv_str("T", csv),
+            Err(CsvError::Relation(RelationError::ArityMismatch { .. }))
+        ));
+    }
+
+    // Regression: quoted fields spanning physical lines had their CRLF
+    // terminators normalized to a bare `\n`, breaking byte fidelity.
+    #[test]
+    fn crlf_inside_quoted_field_is_preserved() {
+        let csv = "a,b\r\n\"x\r\ny\",z\r\n";
+        let rel = read_csv_str("T", csv).unwrap();
+        let a = rel.schema().attr("a").unwrap();
+        assert_eq!(rel.cell(0, a), "x\r\ny");
+    }
+
+    #[test]
+    fn multi_line_field_round_trip_keeps_line_ending_bytes() {
+        for cell in ["x\r\ny", "x\ny", "x\r\n\r\ny", "ends with cr\r", "\r\n"] {
+            let rel = Relation::from_rows("T", &["a", "b"], vec![vec![cell, "z"]]).unwrap();
+            let written = write_csv_string(&rel);
+            let back = read_csv_str("T", &written).unwrap();
+            assert_eq!(back, rel, "round trip of {cell:?} via {written:?}");
+        }
+    }
+
+    // Regression: `UnterminatedQuote` used to report the record's first
+    // line, not the line the quote actually opened on.
+    #[test]
+    fn unterminated_quote_reports_the_quote_open_line() {
+        // Record starts on line 2; its second field's quote opens on line 3.
+        let csv = "a,b\n\"x\ny\",\"open\n";
+        match read_csv_str("T", csv) {
+            Err(CsvError::UnterminatedQuote { line }) => assert_eq!(line, 3),
+            other => panic!("expected UnterminatedQuote, got {other:?}"),
+        }
+    }
+
+    // Regression: `TrailingAfterQuote` pointed at the line the closing
+    // quote landed on, not where the offending field started.
+    #[test]
+    fn trailing_after_quote_reports_the_field_start_line() {
+        let csv = "a\n\"x\ny\"z\n";
+        match read_csv_str("T", csv) {
+            Err(CsvError::TrailingAfterQuote { line }) => assert_eq!(line, 2),
+            other => panic!("expected TrailingAfterQuote, got {other:?}"),
+        }
     }
 
     #[test]

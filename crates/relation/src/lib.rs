@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod csv;
 pub mod postings;
 pub mod profile;
@@ -28,8 +29,9 @@ pub mod profile;
 pub mod relation;
 pub mod schema;
 
+pub use binary::{BinaryError, Cursor, SectionReader, SectionWriter};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvError};
 pub use postings::{PostingList, RowSetAccumulator};
 pub use profile::{profile_column, profile_relation, ColumnKind, ColumnProfile, Extraction};
-pub use relation::{Relation, RelationError, RowDelta, RowId};
+pub use relation::{Relation, RelationError, RowDelta, RowId, RowView};
 pub use schema::{AttrId, Schema, SchemaError};

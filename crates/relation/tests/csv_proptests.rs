@@ -1,0 +1,122 @@
+//! CSV round-trip property suite over adversarial cell content.
+//!
+//! Random relations — including single-column ones — with commas, quotes,
+//! LF/CRLF line endings, lone carriage returns and empty cells must survive
+//! `write_csv_string` → `read_csv_str` unchanged. This pins the two fixed
+//! ingestion bugs (empty-row drops in single-column relations, CRLF
+//! normalization inside quoted fields) and the CSV baseline the snapshot
+//! loader is property-compared against.
+
+use pfd_relation::{read_csv_str, write_csv_string, CsvError, Relation, Schema};
+use proptest::prelude::*;
+
+/// Cells drawn to stress the writer/reader: quoting triggers, embedded
+/// terminators of both flavors, empties, unicode.
+fn nasty_cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,6}",
+        Just(String::new()),
+        Just("a,b".to_string()),
+        Just("say \"hi\"".to_string()),
+        Just("line1\nline2".to_string()),
+        Just("line1\r\nline2".to_string()),
+        Just("\r\n".to_string()),
+        Just("ends with cr\r".to_string()),
+        Just("\rstarts with cr".to_string()),
+        Just(" padded ".to_string()),
+        Just("Éric, Å".to_string()),
+        Just("\"\"".to_string()),
+        Just(",,,".to_string()),
+        Just("\"\r\n\"".to_string()),
+    ]
+}
+
+/// Random relations over 1–4 columns (arity 1 is the regression surface for
+/// the empty-row drop) with 0–12 rows of nasty cells.
+fn arbitrary_relation() -> impl Strategy<Value = Relation> {
+    (1usize..5)
+        .prop_flat_map(|arity| {
+            let rows =
+                proptest::collection::vec(proptest::collection::vec(nasty_cell(), arity), 0..12);
+            (Just(arity), rows)
+        })
+        .prop_map(|(arity, rows)| {
+            let names: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
+            let mut rel = Relation::empty(Schema::new("T", names).unwrap());
+            for row in rows {
+                rel.push_row(row).unwrap();
+            }
+            rel
+        })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip_is_identity(rel in arbitrary_relation()) {
+        let csv = write_csv_string(&rel);
+        let back = read_csv_str("T", &csv).expect("own output must parse");
+        prop_assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn double_round_trip_is_stable(rel in arbitrary_relation()) {
+        let once = write_csv_string(&rel);
+        let back = read_csv_str("T", &once).unwrap();
+        let twice = write_csv_string(&back);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Single-column relations where every cell may be empty: the exact
+    /// shape the old reader corrupted by dropping blank-looking records.
+    #[test]
+    fn single_column_relations_keep_their_row_count(
+        cells in proptest::collection::vec(prop_oneof![Just(String::new()), "[a-z]{0,3}"], 0..16)
+    ) {
+        let mut rel = Relation::empty(Schema::new("T", ["only"]).unwrap());
+        for c in &cells {
+            rel.push_row(vec![c.clone()]).unwrap();
+        }
+        let back = read_csv_str("T", &write_csv_string(&rel)).unwrap();
+        prop_assert_eq!(back.num_rows(), cells.len());
+        prop_assert_eq!(back, rel);
+    }
+
+    /// Byte fidelity inside quoted fields: whatever mix of `\n` and `\r\n`
+    /// a cell contains comes back verbatim.
+    #[test]
+    fn embedded_line_endings_round_trip(
+        parts in proptest::collection::vec("[a-z]{0,4}", 1..5),
+        crlf in proptest::collection::vec(any::<bool>(), 4)
+    ) {
+        let mut cell = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            if i > 0 {
+                cell.push_str(if crlf[(i - 1) % crlf.len()] { "\r\n" } else { "\n" });
+            }
+            cell.push_str(p);
+        }
+        let rel = Relation::from_rows("T", &["a", "b"], vec![vec![cell.as_str(), "x"]]).unwrap();
+        let back = read_csv_str("T", &write_csv_string(&rel)).unwrap();
+        let a = back.schema().attr("a").unwrap();
+        prop_assert_eq!(back.cell(0, a), cell.as_str());
+    }
+
+    /// Malformed quoting never panics; it errors with a line number no
+    /// larger than the physical line count.
+    #[test]
+    fn malformed_input_errors_gracefully(
+        prefix in "[a-z]{0,4}",
+        junk in "[a-z]{1,4}"
+    ) {
+        let unterminated = format!("a\n{prefix}\n\"never closed\n");
+        match read_csv_str("T", &unterminated) {
+            Err(CsvError::UnterminatedQuote { line }) => prop_assert_eq!(line, 3),
+            other => prop_assert!(false, "expected UnterminatedQuote, got {:?}", other),
+        }
+        let trailing = format!("a\n\"x\ny\"{junk}\n");
+        match read_csv_str("T", &trailing) {
+            Err(CsvError::TrailingAfterQuote { line }) => prop_assert_eq!(line, 2),
+            other => prop_assert!(false, "expected TrailingAfterQuote, got {:?}", other),
+        }
+    }
+}

@@ -24,12 +24,14 @@
 
 use pfd_core::{
     check_report_json, detect_errors, display_with_schema, parse_rules, repair_outcome_json,
-    repair_to_fixpoint, run_session, to_rules_string, Pfd, RepairEngine, RepairOptions,
+    repair_to_fixpoint, run_session_with, to_rules_string, DeltaEngine, Pfd, RepairEngine,
+    RepairOptions, SnapshotError,
 };
 use pfd_discovery::{discover, review_queue, DiscoveryConfig};
 use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
 use std::fmt;
 use std::io::Write;
+use std::path::Path;
 
 /// CLI errors, each mapping to a non-zero exit code and a message.
 #[derive(Debug)]
@@ -38,6 +40,7 @@ pub enum CliError {
     Io(std::io::Error),
     Csv(pfd_relation::CsvError),
     Rules(pfd_core::RuleError),
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +50,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Csv(e) => write!(f, "CSV error: {e}"),
             CliError::Rules(e) => write!(f, "rule error: {e}"),
+            CliError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -71,6 +75,12 @@ impl From<pfd_core::RuleError> for CliError {
     }
 }
 
+impl From<SnapshotError> for CliError {
+    fn from(e: SnapshotError) -> Self {
+        CliError::Snapshot(e)
+    }
+}
+
 pub const USAGE: &str = "\
 pfd — pattern functional dependencies for data cleaning (VLDB 2020)
 
@@ -78,10 +88,13 @@ USAGE:
     pfd profile  <data.csv>
     pfd discover <data.csv> [--min-support K] [--noise D] [--coverage G]
                             [--max-lhs N] [--rules <out.pfd>] [--review]
-    pfd check    <data.csv> --rules <rules.pfd> [--json]
+                            [--snapshot <file.pfds>]
+    pfd check    <data.csv> [--rules <rules.pfd>] [--json]
+                 [--snapshot <file.pfds>]
     pfd repair   <data.csv> --rules <rules.pfd> [--engine naive|delta]
                  [--max-passes N] [--explain] [--out <cleaned.csv>] [--json]
-    pfd session  <data.csv> --rules <rules.pfd> [--script <edits.jsonl>]
+    pfd session  <data.csv> [--rules <rules.pfd>] [--script <edits.jsonl>]
+                 [--snapshot <file.pfds>]
 
 OPTIONS:
     --min-support K   minimum records per pattern (default 5)
@@ -97,7 +110,11 @@ OPTIONS:
     --out FILE        where repair writes the cleaned CSV (default stdout;
                       with --json the CSV is only written when --out is given)
     --json            emit machine-readable JSON reports (check/repair)
-    --script FILE     JSONL edit script for session (default: read stdin)";
+    --script FILE     JSONL edit script for session (default: read stdin)
+    --snapshot FILE   binary engine snapshot: loaded when FILE exists (CSV is
+                      not re-read; --rules becomes optional), written
+                      otherwise. session also replays and appends FILE.log,
+                      so an interrupted session resumes losslessly";
 
 /// Which repair engine drives the fixpoint chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,11 +136,13 @@ enum Command {
         config: DiscoveryConfig,
         rules_out: Option<String>,
         review: bool,
+        snapshot: Option<String>,
     },
     Check {
         data: String,
-        rules: String,
+        rules: Option<String>,
         json: bool,
+        snapshot: Option<String>,
     },
     Repair {
         data: String,
@@ -136,8 +155,9 @@ enum Command {
     },
     Session {
         data: String,
-        rules: String,
+        rules: Option<String>,
         script: Option<String>,
+        snapshot: Option<String>,
     },
 }
 
@@ -217,14 +237,14 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 config,
                 rules_out: flag("rules").map(str::to_string),
                 review: has_flag("review"),
+                snapshot: flag("snapshot").map(str::to_string),
             })
         }
         "check" => Ok(Command::Check {
             data,
-            rules: flag("rules")
-                .map(str::to_string)
-                .ok_or_else(|| CliError::Usage("check needs --rules".into()))?,
+            rules: flag("rules").map(str::to_string),
             json: has_flag("json"),
+            snapshot: flag("snapshot").map(str::to_string),
         }),
         "repair" => Ok(Command::Repair {
             data,
@@ -250,10 +270,9 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }),
         "session" => Ok(Command::Session {
             data,
-            rules: flag("rules")
-                .map(str::to_string)
-                .ok_or_else(|| CliError::Usage("session needs --rules".into()))?,
+            rules: flag("rules").map(str::to_string),
             script: flag("script").map(str::to_string),
+            snapshot: flag("snapshot").map(str::to_string),
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -271,6 +290,35 @@ fn load_relation(path: &str) -> Result<Relation, CliError> {
 fn load_rules(path: &str, rel: &Relation) -> Result<Vec<Pfd>, CliError> {
     let text = std::fs::read_to_string(path)?;
     Ok(parse_rules(&text, rel.schema())?)
+}
+
+/// The serving engine behind `--snapshot`: an existing snapshot file wins
+/// (the CSV is not re-read and `--rules` is not needed); otherwise the
+/// engine is built from CSV + rules and, when a snapshot path was given,
+/// persisted there for the next run.
+fn obtain_engine(
+    data: &str,
+    rules: Option<&str>,
+    snapshot: Option<&str>,
+    command: &str,
+) -> Result<DeltaEngine, CliError> {
+    if let Some(path) = snapshot {
+        if Path::new(path).exists() {
+            return Ok(pfd_core::load(Path::new(path))?);
+        }
+    }
+    let rules = rules.ok_or_else(|| {
+        CliError::Usage(format!(
+            "{command} needs --rules (or an existing --snapshot)"
+        ))
+    })?;
+    let rel = load_relation(data)?;
+    let pfds = load_rules(rules, &rel)?;
+    let engine = DeltaEngine::new(rel, pfds);
+    if let Some(path) = snapshot {
+        pfd_core::save(&engine, Path::new(path))?;
+    }
+    Ok(engine)
 }
 
 /// Run the CLI; returns the process exit code. All output goes to `out`.
@@ -309,8 +357,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             config,
             rules_out,
             review,
+            snapshot,
         } => {
-            let rel = load_relation(&data)?;
+            // An existing snapshot replaces the CSV parse; a fresh snapshot
+            // path is written below with the discovered rules, so a
+            // follow-up `check --snapshot` needs no --rules at all.
+            let loaded_snapshot = snapshot
+                .as_deref()
+                .filter(|p| Path::new(p).exists())
+                .is_some();
+            let rel = match (&snapshot, loaded_snapshot) {
+                (Some(path), true) => pfd_core::load(Path::new(path))?.into_relation(),
+                _ => load_relation(&data)?,
+            };
             let result = discover(&rel, &config);
             writeln!(
                 out,
@@ -352,14 +411,24 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 std::fs::write(&path, to_rules_string(&pfds, rel.schema()))?;
                 writeln!(out, "rules written to {path}")?;
             }
+            if let (Some(path), false) = (&snapshot, loaded_snapshot) {
+                let pfds: Vec<Pfd> = result.dependencies.iter().map(|d| d.pfd.clone()).collect();
+                pfd_core::save(&DeltaEngine::new(rel, pfds), Path::new(path))?;
+                writeln!(out, "snapshot written to {path}")?;
+            }
             Ok(0)
         }
-        Command::Check { data, rules, json } => {
-            let rel = load_relation(&data)?;
-            let pfds = load_rules(&rules, &rel)?;
-            let report = detect_errors(&rel, &pfds);
+        Command::Check {
+            data,
+            rules,
+            json,
+            snapshot,
+        } => {
+            let engine = obtain_engine(&data, rules.as_deref(), snapshot.as_deref(), "check")?;
+            let (rel, pfds) = (engine.relation(), engine.pfds());
+            let report = detect_errors(rel, pfds);
             if json {
-                writeln!(out, "{}", check_report_json(&report, &rel))?;
+                writeln!(out, "{}", check_report_json(&report, rel))?;
                 return Ok(if report.is_clean() { 0 } else { 1 });
             }
             for flag in &report.flags {
@@ -473,19 +542,46 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             data,
             rules,
             script,
+            snapshot,
         } => {
-            let rel = load_relation(&data)?;
-            let pfds = load_rules(&rules, &rel)?;
-            let summary = match script {
+            let mut engine =
+                obtain_engine(&data, rules.as_deref(), snapshot.as_deref(), "session")?;
+            // Resume contract: state = snapshot + replay of the append-only
+            // command log. The log only has content after a crash — a clean
+            // session end re-snapshots and truncates it below.
+            let log_path = snapshot.as_ref().map(|p| format!("{p}.log"));
+            if let Some(lp) = &log_path {
+                if let Ok(text) = std::fs::read_to_string(lp) {
+                    pfd_core::replay_log(&mut engine, &text)?;
+                }
+            }
+            let repairer = RepairEngine::from_engine(engine, RepairOptions::default());
+            let mut log_file = match &log_path {
+                Some(p) => Some(
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(p)?,
+                ),
+                None => None,
+            };
+            let log: Option<&mut dyn Write> = log_file.as_mut().map(|f| f as &mut dyn Write);
+            let (repairer, summary) = match script {
                 Some(path) => {
                     let file = std::fs::File::open(path)?;
-                    run_session(rel, pfds, std::io::BufReader::new(file), out)?.1
+                    run_session_with(repairer, std::io::BufReader::new(file), out, log)?
                 }
                 None => {
                     let stdin = std::io::stdin();
-                    run_session(rel, pfds, stdin.lock(), out)?.1
+                    run_session_with(repairer, stdin.lock(), out, log)?
                 }
             };
+            if let Some(path) = &snapshot {
+                pfd_core::save(repairer.engine(), Path::new(path))?;
+                if let Some(lp) = &log_path {
+                    std::fs::write(lp, "")?;
+                }
+            }
             // Dirty end state → exit code 1, matching `check`.
             Ok(if summary.violations == 0 { 0 } else { 1 })
         }
@@ -832,6 +928,150 @@ mod tests {
         ]);
         assert_eq!(code, 1, "{output}");
         assert!(output.contains("\"introduced\":[{"), "{output}");
+    }
+
+    /// Temp-file path that does not exist yet (for snapshot creation).
+    fn tmp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pfd-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn check_from_snapshot_is_byte_identical_to_cold_build() {
+        let data = tmp("snap-check.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "snap-check-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let snap = tmp_path("snap-check.pfds");
+        let (code_cold, out_cold) = run_capture(&["check", &data, "--rules", &rules_path]);
+        // First --snapshot run builds from CSV and writes the snapshot...
+        let (code_write, out_write) =
+            run_capture(&["check", &data, "--rules", &rules_path, "--snapshot", &snap]);
+        assert!(std::path::Path::new(&snap).exists());
+        // ...the second loads it, without needing --rules or the CSV.
+        let (code_load, out_load) =
+            run_capture(&["check", "/nonexistent.csv", "--snapshot", &snap]);
+        assert_eq!(code_cold, code_write);
+        assert_eq!(code_cold, code_load);
+        assert_eq!(out_cold, out_write, "snapshot write changes no output");
+        assert_eq!(out_cold, out_load, "snapshot load must diff clean vs cold");
+        let (_, json_cold) = run_capture(&["check", &data, "--rules", &rules_path, "--json"]);
+        let (_, json_load) = run_capture(&["check", &data, "--snapshot", &snap, "--json"]);
+        assert_eq!(json_cold, json_load, "JSON reports must diff clean");
+    }
+
+    #[test]
+    fn discover_writes_a_snapshot_check_consumes_it() {
+        let data = tmp("snap-discover.csv", ZIP_CSV);
+        let snap = tmp_path("snap-discover.pfds");
+        let (code, output) = run_capture(&[
+            "discover",
+            &data,
+            "--min-support",
+            "3",
+            "--noise",
+            "0.2",
+            "--snapshot",
+            &snap,
+        ]);
+        assert_eq!(code, 0);
+        assert!(output.contains("snapshot written"), "{output}");
+        // The snapshot carries the discovered rules: check needs nothing else.
+        let (code, output) = run_capture(&["check", &data, "--snapshot", &snap]);
+        assert_eq!(code, 1, "the seeded typo is still found: {output}");
+        assert!(output.contains("New York"), "{output}");
+    }
+
+    #[test]
+    fn session_snapshot_resumes_where_the_last_session_ended() {
+        let data = tmp("snap-session.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "snap-session-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let snap = tmp_path("snap-session.pfds");
+        let script1 = tmp(
+            "snap-session-s1.jsonl",
+            "{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}\n",
+        );
+        // Session 1 builds from CSV, fixes the typo, snapshots at exit. Its
+        // event stream must be byte-identical to a snapshot-less run.
+        let (_, out_plain) = run_capture(&[
+            "session",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script1,
+        ]);
+        let (code1, out_snap) = run_capture(&[
+            "session",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script1,
+            "--snapshot",
+            &snap,
+        ]);
+        assert_eq!(code1, 0);
+        assert_eq!(out_plain, out_snap, "snapshot wiring changes no events");
+        assert_eq!(
+            std::fs::read_to_string(format!("{snap}.log")).unwrap(),
+            "",
+            "clean exit truncates the delta log"
+        );
+        // Session 2 resumes from the snapshot: the fix persisted (0
+        // violations in ready) and the mutation version kept counting.
+        let script2 = tmp("snap-session-s2.jsonl", "");
+        let (code2, output) =
+            run_capture(&["session", &data, "--script", &script2, "--snapshot", &snap]);
+        assert_eq!(code2, 0);
+        assert!(
+            output.starts_with(
+                "{\"event\":\"ready\",\"version\":11,\"rows\":10,\"pfds\":1,\"violations\":0"
+            ),
+            "resumed state carries the edit and its version: {output}"
+        );
+    }
+
+    #[test]
+    fn session_replays_the_delta_log_after_a_crash() {
+        let data = tmp("snap-crash.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "snap-crash-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let snap = tmp_path("snap-crash.pfds");
+        // Seed the snapshot (pre-edit state, 1 violation).
+        let (_, _) = run_capture(&["check", &data, "--rules", &rules_path, "--snapshot", &snap]);
+        // Simulate a crashed session: the fix reached the log but no
+        // re-snapshot happened.
+        std::fs::write(
+            format!("{snap}.log"),
+            "{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}\n",
+        )
+        .unwrap();
+        let script = tmp("snap-crash-script.jsonl", "");
+        let (code, output) =
+            run_capture(&["session", &data, "--script", &script, "--snapshot", &snap]);
+        assert_eq!(code, 0, "replayed state is clean: {output}");
+        assert!(output.contains("\"violations\":0"), "{output}");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_graceful_error() {
+        let data = tmp("snap-corrupt.csv", ZIP_CSV);
+        let snap = tmp("snap-corrupt.pfds", "this is not a snapshot");
+        let mut buf = Vec::new();
+        assert!(matches!(
+            run(&["check".into(), data, "--snapshot".into(), snap], &mut buf),
+            Err(CliError::Snapshot(_))
+        ));
     }
 
     #[test]
