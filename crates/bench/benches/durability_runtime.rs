@@ -1,0 +1,302 @@
+//! Criterion bench for the durability layer: recovery wall-clock as a
+//! function of delta-log length, and the per-append cost of the fsync
+//! policy the durable session runs with.
+//!
+//! Recovery is measured end-to-end through [`SnapshotStore::recover`] —
+//! checkpoint load, WAL decode + checksum verification, and record
+//! replay — on an in-memory filesystem so the numbers isolate compute
+//! from disk latency. The fsync measurement is the opposite: real files
+//! in a temp directory, `SyncPolicy::Always` (one fsync per acknowledged
+//! record, the durable session's setting) vs `SyncPolicy::Never`, giving
+//! the µs/append price of crash-safe acknowledgement.
+//!
+//! Besides the criterion output, the run writes `BENCH_durability.json`.
+//! `PFD_BENCH_SMOKE=1` skips criterion sampling and emits the JSON from a
+//! tiny-scale pass — the CI smoke-bench mode. `PFD_BENCH_JSON` overrides
+//! the output path.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use pfd_core::{
+    parse_rules, to_rules_string, DeltaEngine, Pfd, RecoveryPolicy, SnapshotMeta, SnapshotStore,
+};
+use pfd_datagen::{dirty_clean_pair, geo_cascade_table, ErrorProfile};
+use pfd_relation::{
+    read_csv_str, write_csv_string, Io, MemIo, Relation, StdIo, SyncPolicy, WalWriter,
+};
+use std::convert::Infallible;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Rate of correlated errors injected into city/county/state/region.
+const ERROR_RATE: f64 = 0.005;
+/// Delta-log lengths (records) the recovery measurement sweeps.
+const LOG_LENGTHS: [usize; 3] = [0, 100, 1_000];
+/// Appends timed per fsync policy.
+const FSYNC_APPENDS: usize = 200;
+
+const SNAP: &str = "/bench/geo.pfds";
+
+fn snapshot_pfds(rel: &Relation) -> Vec<Pfd> {
+    let schema = rel.schema();
+    vec![
+        Pfd::constant_normal_form("Geo", schema, "zip", r"[\D{3}]\D{2}", "city", "_").unwrap(),
+        Pfd::fd("Geo", schema, &["city"], &["county"]).unwrap(),
+        Pfd::fd("Geo", schema, &["county"], &["state"]).unwrap(),
+        Pfd::fd("Geo", schema, &["state"], &["region"]).unwrap(),
+    ]
+}
+
+struct Workload {
+    csv: String,
+    rules_text: String,
+    engine: DeltaEngine,
+}
+
+fn workload(rows: usize) -> Workload {
+    let clean = geo_cascade_table(rows, 7);
+    let city = clean.schema().attr("city").unwrap();
+    let county = clean.schema().attr("county").unwrap();
+    let state = clean.schema().attr("state").unwrap();
+    let region = clean.schema().attr("region").unwrap();
+    let profile = ErrorProfile::correlated(&[city, county, state, region], ERROR_RATE);
+    let (dirty, _) = dirty_clean_pair(&clean, &profile, 13);
+    let pfds = snapshot_pfds(&dirty);
+    let csv = write_csv_string(&dirty);
+    let rules_text = to_rules_string(&pfds, dirty.schema());
+    let engine = DeltaEngine::new(dirty, pfds);
+    Workload {
+        csv,
+        rules_text,
+        engine,
+    }
+}
+
+fn cold_build(w: &Workload) -> DeltaEngine {
+    let rel = read_csv_str("Geo", &w.csv).unwrap();
+    let pfds = parse_rules(&w.rules_text, rel.schema()).unwrap();
+    DeltaEngine::new(rel, pfds)
+}
+
+/// One logged session command (the exact format the durable session
+/// appends), cycling through city cells.
+fn log_line(i: usize, num_rows: usize) -> String {
+    let row = (i * 97) % num_rows;
+    format!("{{\"op\":\"set\",\"row\":{row},\"attr\":\"city\",\"value\":\"Springfield {i}\"}}")
+}
+
+/// A crashed-session disk: generation-1 checkpoint plus `log_records`
+/// framed, checksummed delta-log records awaiting replay.
+fn crashed_disk(w: &Workload, log_records: usize) -> MemIo {
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    store
+        .checkpoint(
+            &w.engine,
+            SnapshotMeta {
+                generation: 1,
+                last_seq: 0,
+            },
+        )
+        .unwrap();
+    let log_path = store.log_path();
+    let (mut wal, _) = WalWriter::open(&disk, &log_path, 0, SyncPolicy::Never).unwrap();
+    let num_rows = w.engine.relation().num_rows();
+    for i in 0..log_records {
+        wal.append(log_line(i, num_rows).as_bytes()).unwrap();
+    }
+    disk
+}
+
+fn recover_once(w: &Workload, disk: &MemIo) -> (f64, usize) {
+    let store = SnapshotStore::new(disk, SNAP);
+    let t0 = Instant::now();
+    let recovered = store
+        .recover(RecoveryPolicy::Salvage, || {
+            Ok::<_, Infallible>(cold_build(w))
+        })
+        .unwrap_or_else(|e| panic!("recovery failed: {e}"));
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    black_box(&recovered.engine);
+    (ms, recovered.report.log_records_applied)
+}
+
+/// Measures µs/append through a real temp-dir WAL under `sync`.
+fn append_cost_us(sync: SyncPolicy, appends: usize, tag: &str) -> f64 {
+    let dir = std::env::temp_dir().join("pfd-durability-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{tag}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (mut wal, _) = WalWriter::open(&StdIo, &path, 0, sync).unwrap();
+    let t0 = Instant::now();
+    for i in 0..appends {
+        wal.append(log_line(i, 1_000).as_bytes()).unwrap();
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / appends as f64;
+    drop(wal);
+    let _ = std::fs::remove_file(&path);
+    us
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+    let w = workload(10_000);
+    for log_records in LOG_LENGTHS {
+        let disk = crashed_disk(&w, log_records);
+        group.bench_with_input(
+            BenchmarkId::new("recover_10k_rows", log_records),
+            &disk,
+            |b, disk| b.iter(|| black_box(recover_once(&w, disk))),
+        );
+    }
+    group.bench_function("wal_append_fsync_always", |b| {
+        b.iter(|| black_box(append_cost_us(SyncPolicy::Always, 50, "criterion-always")))
+    });
+    group.bench_function("wal_append_fsync_never", |b| {
+        b.iter(|| black_box(append_cost_us(SyncPolicy::Never, 50, "criterion-never")))
+    });
+    group.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: BENCH_durability.json
+// ---------------------------------------------------------------------------
+
+struct JsonCase {
+    rows: usize,
+    checkpoint_ms: f64,
+    snapshot_bytes: usize,
+    recover_ms: Vec<(usize, f64)>,
+    log_bytes_longest: usize,
+}
+
+fn measure(rows: usize) -> JsonCase {
+    let w = workload(rows);
+
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    let t0 = Instant::now();
+    store
+        .checkpoint(
+            &w.engine,
+            SnapshotMeta {
+                generation: 1,
+                last_seq: 0,
+            },
+        )
+        .unwrap();
+    let checkpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot_bytes = disk.read(Path::new(SNAP)).unwrap().len();
+
+    let mut recover_ms = Vec::new();
+    let mut log_bytes_longest = 0;
+    for log_records in LOG_LENGTHS {
+        let disk = crashed_disk(&w, log_records);
+        let (ms, applied) = recover_once(&w, &disk);
+        assert_eq!(applied, log_records, "every log record must replay");
+        log_bytes_longest = disk
+            .read(&SnapshotStore::new(&disk, SNAP).log_path())
+            .map(|b| b.len())
+            .unwrap_or(0);
+        recover_ms.push((log_records, ms));
+    }
+
+    JsonCase {
+        rows,
+        checkpoint_ms,
+        snapshot_bytes,
+        recover_ms,
+        log_bytes_longest,
+    }
+}
+
+fn write_bench_json(smoke: bool) {
+    let cases: Vec<JsonCase> = if smoke {
+        vec![measure(300)]
+    } else {
+        vec![measure(1_000), measure(10_000), measure(50_000)]
+    };
+    let appends = if smoke { 50 } else { FSYNC_APPENDS };
+    let always_us = append_cost_us(SyncPolicy::Always, appends, "json-always");
+    let never_us = append_cost_us(SyncPolicy::Never, appends, "json-never");
+
+    let mut json = String::from("{\n  \"schema_version\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    // Fixed reference point: what a crash used to cost before the durable
+    // store existed (full cold rebuild, no log replay, no fsync).
+    json.push_str(
+        "  \"reference\": {\"label\": \"pre-durability crash handling (full cold rebuild)\", \
+         \"metric\": \"ms_per_recovery\"},\n",
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"table\": \"geo_cascade\", \"error_rate\": {ERROR_RATE}, \
+         \"rules\": 4, \"log_lengths\": [0, 100, 1000]}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"fsync\": {{\"appends\": {appends}, \"always_us_per_append\": {always_us:.1}, \
+         \"never_us_per_append\": {never_us:.1}, \"overhead_x\": {:.1}}},",
+        always_us / never_us.max(0.001)
+    );
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let recover: Vec<String> = c
+            .recover_ms
+            .iter()
+            .map(|(n, ms)| format!("{{\"log_records\": {n}, \"recover_ms\": {ms:.2}}}"))
+            .collect();
+        let _ = write!(
+            json,
+            "    {{\"rows\": {}, \"checkpoint_ms\": {:.2}, \"snapshot_bytes\": {}, \
+             \"log_bytes_at_1000\": {}, \"recovery\": [{}]}}",
+            c.rows,
+            c.checkpoint_ms,
+            c.snapshot_bytes,
+            c.log_bytes_longest,
+            recover.join(", ")
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("PFD_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_durability.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    for c in &cases {
+        let recover: Vec<String> = c
+            .recover_ms
+            .iter()
+            .map(|(n, ms)| format!("{n} recs {ms:.2} ms"))
+            .collect();
+        println!(
+            "rows {:>6}: checkpoint {:>7.2} ms ({} bytes), recover [{}]",
+            c.rows,
+            c.checkpoint_ms,
+            c.snapshot_bytes,
+            recover.join(", ")
+        );
+    }
+    println!(
+        "fsync per append: always {always_us:.1} µs, never {never_us:.1} µs ({:.1}× overhead)",
+        always_us / never_us.max(0.001)
+    );
+}
+
+criterion_group!(benches, bench_durability);
+
+fn main() {
+    let smoke = std::env::var("PFD_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if !smoke {
+        benches();
+    }
+    write_bench_json(smoke);
+}

@@ -488,7 +488,13 @@ impl DeltaEngine {
     /// Export the group indexes for snapshot serialization:
     /// `out[pfd][tableau_row]` is that tableau row's groups, sorted by LHS
     /// key so the export (and hence the snapshot bytes) is deterministic.
+    ///
+    /// Live groups keep the row universe they were created over, which goes
+    /// stale as inserts grow the relation; the export normalizes every
+    /// group to the current row count so the snapshot's universes always
+    /// match its rows section (load validates exactly that).
     pub(crate) fn export_groups(&self) -> Vec<Vec<Vec<GroupSnapshot>>> {
+        let universe = self.rel.num_rows();
         self.index
             .iter()
             .map(|pindex| {
@@ -501,7 +507,10 @@ impl DeltaEngine {
                             .iter()
                             .map(|(key, group)| GroupSnapshot {
                                 key: key.as_ref().clone(),
-                                rows: group.rows.clone(),
+                                rows: PostingList::from_sorted(
+                                    group.rows.iter().collect(),
+                                    universe,
+                                ),
                                 violations: group.violations.clone(),
                             })
                             .collect();

@@ -57,8 +57,13 @@ pub use repair::{
 };
 pub use rules::{parse_rule, parse_rules, to_rule_string, to_rules_string, RuleError};
 pub use session::{
-    check_report_json, fix_json, parse_command, repair_outcome_json, run_session, run_session_with,
-    SessionCommand, SessionSummary,
+    check_report_json, fix_json, parse_command, recovery_report_json, repair_outcome_json,
+    run_durable_session, run_session, run_session_with, DurableSessionError, SessionCommand,
+    SessionSummary,
 };
-pub use snapshot::{load, load_from_bytes, replay_log, save, save_to_bytes, SnapshotError};
+pub use snapshot::{
+    load, load_from_bytes, load_from_bytes_with, replay_log, save, save_to_bytes,
+    save_to_bytes_with, RecoverFailure, Recovered, RecoveryPolicy, RecoveryReport, RecoverySource,
+    SnapshotError, SnapshotMeta, SnapshotStore,
+};
 pub use tableau::{TableauCell, TableauRow};

@@ -34,8 +34,14 @@ use crate::detect::DetectionReport;
 use crate::incremental::{DeltaEngine, DeltaEntry, Edit, ViolationDelta};
 use crate::pfd::{Pfd, Violation, ViolationKind};
 use crate::repair::{CellFix, FixCandidate, RepairEngine, RepairOptions, RepairOutcome};
+use crate::snapshot::{
+    RecoverFailure, RecoveryPolicy, RecoveryReport, SnapshotError, SnapshotMeta, SnapshotStore,
+};
+use pfd_relation::io::Io;
+use pfd_relation::wal::{SyncPolicy, WalLineSink, WalWriter};
 use pfd_relation::{AttrId, Relation, RowId, Schema};
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 /// Minimal JSON parsing and serialization helpers.
 pub mod json {
@@ -686,6 +692,125 @@ pub fn run_session_with(
     }
     summary.violations = repairer.engine().violation_count();
     Ok((repairer, summary))
+}
+
+/// Serialize a [`RecoveryReport`] as a session `recovered` event line.
+pub fn recovery_report_json(report: &RecoveryReport) -> String {
+    let mut out = format!(
+        "{{\"event\":\"recovered\",\"source\":{},\"generation\":{},\"log_records_applied\":{},\"log_records_skipped\":{},\"log_bytes_dropped\":{},\"log_tail\":{},\"degraded\":{},\"notes\":[",
+        json::escaped(report.source.label()),
+        report.generation,
+        report.log_records_applied,
+        report.log_records_skipped,
+        report.log_bytes_dropped,
+        json::escaped(report.log_tail.label()),
+        report.degraded(),
+    );
+    for (i, note) in report.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::escaped(note));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Why [`run_durable_session`] could not run (or finish).
+#[derive(Debug)]
+pub enum DurableSessionError<E> {
+    /// Recovery failed: a persisted artifact was unusable under the chosen
+    /// policy, or nothing existed and the cold build failed.
+    Recover(RecoverFailure<E>),
+    /// A checkpoint or delta-log operation failed mid-session.
+    Snapshot(SnapshotError),
+    /// Streaming session I/O (the command input or event output) failed.
+    SessionIo(std::io::Error),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for DurableSessionError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableSessionError::Recover(e) => write!(f, "{e}"),
+            DurableSessionError::Snapshot(e) => write!(f, "{e}"),
+            DurableSessionError::SessionIo(e) => write!(f, "session I/O error: {e}"),
+        }
+    }
+}
+
+/// A crash-safe [`run_session_with`]: recover, serve, checkpoint.
+///
+/// The full durable lifecycle in one call, shared by the `pfd session`
+/// subcommand and the fault-injection harness:
+///
+/// 1. [`SnapshotStore::recover`] under `policy` (cold-building from
+///    `cold` when no snapshot is usable);
+/// 2. emit a `recovered` event when recovery was degraded or replayed log
+///    records — a clean resume stays byte-identical to a fresh session;
+/// 3. checkpoint immediately if recovery said so, making the salvaged
+///    state durable before the first command is read;
+/// 4. run the session with every applied command appended to the
+///    record-framed delta log, fsynced per record — an acknowledged
+///    command survives any crash;
+/// 5. checkpoint the final state and retire the log.
+///
+/// Every file touch goes through `io`, so a failpoint harness can crash
+/// any step at any byte and re-recover.
+pub fn run_durable_session<E>(
+    io: &dyn Io,
+    snapshot: &Path,
+    policy: RecoveryPolicy,
+    options: RepairOptions,
+    cold: impl FnOnce() -> Result<DeltaEngine, E>,
+    input: impl BufRead,
+    out: &mut dyn Write,
+) -> Result<(RepairEngine, SessionSummary, RecoveryReport), DurableSessionError<E>> {
+    let store = SnapshotStore::new(io, snapshot);
+    let recovered = store
+        .recover(policy, cold)
+        .map_err(DurableSessionError::Recover)?;
+    if recovered.report.degraded() || recovered.report.log_records_applied > 0 {
+        writeln!(out, "{}", recovery_report_json(&recovered.report))
+            .map_err(DurableSessionError::SessionIo)?;
+    }
+    let mut generation = recovered.meta.generation;
+    if recovered.needs_checkpoint {
+        generation += 1;
+        store
+            .checkpoint(
+                &recovered.engine,
+                SnapshotMeta {
+                    generation,
+                    last_seq: recovered.seq_floor,
+                },
+            )
+            .map_err(DurableSessionError::Snapshot)?;
+    }
+    let log_path = store.log_path();
+    let (mut wal, _) = WalWriter::open(io, &log_path, recovered.seq_floor, SyncPolicy::Always)
+        .map_err(|e| {
+            DurableSessionError::Snapshot(SnapshotError::Io {
+                op: "open",
+                path: log_path.clone(),
+                source: e,
+            })
+        })?;
+    let repairer = RepairEngine::from_engine(recovered.engine, options);
+    let (repairer, summary) = {
+        let mut sink = WalLineSink::new(&mut wal);
+        run_session_with(repairer, input, out, Some(&mut sink))
+            .map_err(DurableSessionError::SessionIo)?
+    };
+    store
+        .checkpoint(
+            repairer.engine(),
+            SnapshotMeta {
+                generation: generation + 1,
+                last_seq: wal.last_seq(),
+            },
+        )
+        .map_err(DurableSessionError::Snapshot)?;
+    Ok((repairer, summary, recovered.report))
 }
 
 /// Render a finished repair chase as one replayable `batch` command of

@@ -1,4 +1,5 @@
-//! Persistent binary snapshots of a [`DeltaEngine`].
+//! Persistent binary snapshots of a [`DeltaEngine`] and the crash-recovery
+//! supervisor that loads them.
 //!
 //! A snapshot freezes the *whole* serving state — relation, rules, and the
 //! per-PFD group indexes with their cached violations — so a process can
@@ -12,6 +13,7 @@
 //! | 3  | `RULES`  | the PFD set in the textual rules format               |
 //! | 4  | `GROUPS` | per-PFD, per-tableau-row LHS groups: key, posting     |
 //! |    |          | list, cached violations                               |
+//! | 5  | `META`   | snapshot generation + last delta-log sequence covered |
 //!
 //! Sections carry independent checksums and decode independently: `load`
 //! decodes `ROWS` (the bulk of the bytes) on a second thread while the main
@@ -19,20 +21,38 @@
 //! `save ∘ load ∘ save` is byte-stable and equality with a cold
 //! build-from-CSV engine is a meaningful test assertion.
 //!
-//! A resumed *session* is snapshot + append-only JSONL delta log: the log
-//! holds the session-command form of every applied edit (repairs as one
-//! `batch` of `set`s — see
-//! [`run_session_with`](crate::session::run_session_with)), and
-//! [`replay_log`] re-applies it on top of a loaded engine.
+//! # Durability model
+//!
+//! A resumed *session* is snapshot + record-framed delta log (see
+//! [`pfd_relation::wal`]): the log holds the session-command form of every
+//! applied edit (repairs as one `batch` of `set`s — see
+//! [`run_session_with`](crate::session::run_session_with)), each framed
+//! with a checksum and a monotonic sequence number. The `META` section
+//! records the highest sequence number a snapshot already incorporates, so
+//! replay can skip records the snapshot covers — which is what makes the
+//! checkpoint sequence crash-safe end to end.
+//!
+//! [`SnapshotStore::checkpoint`] writes atomically: serialize to
+//! `<snap>.tmp`, fsync, demote the old snapshot to `<snap>.prev`, rename
+//! the temp file into place, and only then delete the log. A crash at any
+//! point leaves a state [`SnapshotStore::recover`] reconstructs losslessly
+//! by walking the degradation ladder — current snapshot → previous
+//! snapshot → cold build — then replaying the valid log prefix, emitting a
+//! [`RecoveryReport`] of what was used and why.
+
+// Everything here runs against arbitrary crashed-file bytes; a panic in a
+// load path is a recovery bug, so unwrapping is denied (tests opt back in).
+#![deny(clippy::unwrap_used)]
 
 use std::fmt;
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use pfd_relation::binary::{
     decode_postings, decode_string_table, encode_postings, encode_string_table, put_string,
     put_varint, BinaryError, Cursor, SectionReader, SectionWriter,
 };
+use pfd_relation::io::{Io, StdIo};
+use pfd_relation::wal::{read_wal_bytes, WalTail};
 use pfd_relation::{AttrId, Relation, RowId, Schema};
 
 use crate::incremental::{DeltaEngine, GroupSnapshot};
@@ -45,54 +65,208 @@ const SECTION_SCHEMA: u32 = 1;
 const SECTION_ROWS: u32 = 2;
 const SECTION_RULES: u32 = 3;
 const SECTION_GROUPS: u32 = 4;
+const SECTION_META: u32 = 5;
 
-/// Errors surfaced while saving, loading, or replaying snapshots.
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors surfaced while saving, loading, or replaying snapshots. Every
+/// variant names where the failure happened — file, operation, section and
+/// offset, or log record — so operators can tell *which* artifact is bad.
 #[derive(Debug)]
 pub enum SnapshotError {
-    /// The underlying file could not be read or written.
-    Io(std::io::Error),
-    /// The container or a section payload failed structural validation.
-    Binary(BinaryError),
-    /// The bytes decoded but their contents are inconsistent (rules that
-    /// don't parse, group indexes referencing missing rows, a log line that
-    /// no longer applies, ...).
-    Corrupt(String),
+    /// An underlying file operation failed.
+    Io {
+        /// The operation that failed (`read`, `write`, `rename`, ...).
+        op: &'static str,
+        /// The file it targeted.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The container failed structural validation (magic, version, section
+    /// table, section checksum).
+    Binary {
+        /// The snapshot file, when known (byte-level APIs have no file).
+        file: Option<PathBuf>,
+        /// The container-level failure.
+        source: BinaryError,
+    },
+    /// A section's bytes decoded incorrectly or inconsistently.
+    Section {
+        /// The snapshot file, when known.
+        file: Option<PathBuf>,
+        /// The section being decoded (`schema`, `rows`, `rules`, `groups`,
+        /// `meta`).
+        section: &'static str,
+        /// Byte offset inside the section payload where decoding failed.
+        offset: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A delta-log record was unusable (does not parse, does not apply,
+    /// breaks the sequence, or the log tail is invalid under strict
+    /// recovery).
+    Log {
+        /// The log file, when known.
+        file: Option<PathBuf>,
+        /// The sequence number (or 1-based line for text logs) involved.
+        record: u64,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let in_file = |file: &Option<PathBuf>| match file {
+            Some(p) => format!(" in {}", p.display()),
+            None => String::new(),
+        };
         match self {
-            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
-            SnapshotError::Binary(e) => write!(f, "{e}"),
-            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::Io { op, path, source } => {
+                write!(f, "snapshot {op} failed for {}: {source}", path.display())
+            }
+            SnapshotError::Binary { file, source } => {
+                write!(f, "{source}{}", in_file(file))
+            }
+            SnapshotError::Section {
+                file,
+                section,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt snapshot section `{section}` at offset {offset}{}: {detail}",
+                in_file(file)
+            ),
+            SnapshotError::Log {
+                file,
+                record,
+                detail,
+            } => write!(f, "delta log record {record}{}: {detail}", in_file(file)),
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
-    }
-}
-
 impl From<BinaryError> for SnapshotError {
-    fn from(e: BinaryError) -> Self {
-        SnapshotError::Binary(e)
+    fn from(source: BinaryError) -> Self {
+        SnapshotError::Binary { file: None, source }
     }
 }
 
-fn corrupt(msg: impl Into<String>) -> SnapshotError {
-    SnapshotError::Corrupt(msg.into())
+impl SnapshotError {
+    /// Attaches `path` to a file-less error, so byte-level decode failures
+    /// gain the file they came from once the caller knows it.
+    pub fn with_file(self, path: &Path) -> Self {
+        match self {
+            SnapshotError::Binary { file: None, source } => SnapshotError::Binary {
+                file: Some(path.to_path_buf()),
+                source,
+            },
+            SnapshotError::Section {
+                file: None,
+                section,
+                offset,
+                detail,
+            } => SnapshotError::Section {
+                file: Some(path.to_path_buf()),
+                section,
+                offset,
+                detail,
+            },
+            SnapshotError::Log {
+                file: None,
+                record,
+                detail,
+            } => SnapshotError::Log {
+                file: Some(path.to_path_buf()),
+                record,
+                detail,
+            },
+            other => other,
+        }
+    }
+}
+
+fn io_err(op: &'static str, path: &Path, source: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// A [`Cursor`] that knows which section it is decoding, so every failure
+/// carries the section name and byte offset.
+struct SectionCursor<'a> {
+    cur: Cursor<'a>,
+    section: &'static str,
+}
+
+impl<'a> SectionCursor<'a> {
+    fn new(payload: &'a [u8], section: &'static str) -> Self {
+        SectionCursor {
+            cur: Cursor::new(payload),
+            section,
+        }
+    }
+
+    fn fail(&self, detail: impl fmt::Display) -> SnapshotError {
+        SnapshotError::Section {
+            file: None,
+            section: self.section,
+            offset: self.cur.position(),
+            detail: detail.to_string(),
+        }
+    }
+
+    fn get_varint(&mut self) -> Result<u64, SnapshotError> {
+        self.cur.get_varint().map_err(|e| self.fail(e))
+    }
+
+    fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        self.cur.get_len().map_err(|e| self.fail(e))
+    }
+
+    fn get_index(&mut self) -> Result<usize, SnapshotError> {
+        self.cur.get_index().map_err(|e| self.fail(e))
+    }
+
+    fn get_string(&mut self) -> Result<String, SnapshotError> {
+        self.cur.get_string().map_err(|e| self.fail(e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot metadata
+// ---------------------------------------------------------------------------
+
+/// Durability metadata persisted in the `META` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotMeta {
+    /// Checkpoint generation: 0 for a never-checkpointed engine, then +1
+    /// per [`SnapshotStore::checkpoint`].
+    pub generation: u64,
+    /// Highest delta-log sequence number whose effects this snapshot
+    /// already contains; replay skips records at or below it.
+    pub last_seq: u64,
 }
 
 // ---------------------------------------------------------------------------
 // Save
 // ---------------------------------------------------------------------------
 
-/// Serialize the engine to snapshot bytes.
+/// Serialize the engine to snapshot bytes with default (zero) metadata.
 pub fn save_to_bytes(engine: &DeltaEngine) -> Vec<u8> {
+    save_to_bytes_with(engine, SnapshotMeta::default())
+}
+
+/// Serialize the engine to snapshot bytes carrying `meta`.
+pub fn save_to_bytes_with(engine: &DeltaEngine, meta: SnapshotMeta) -> Vec<u8> {
     let rel = engine.relation();
     let schema = rel.schema();
 
@@ -152,23 +326,32 @@ pub fn save_to_bytes(engine: &DeltaEngine) -> Vec<u8> {
         }
     }
 
+    let mut meta_buf = Vec::new();
+    put_varint(&mut meta_buf, meta.generation);
+    put_varint(&mut meta_buf, meta.last_seq);
+
     let mut writer = SectionWriter::new();
     writer.add(SECTION_SCHEMA, schema_buf);
     writer.add(SECTION_ROWS, rows_buf);
     writer.add(SECTION_RULES, rules_buf);
     writer.add(SECTION_GROUPS, groups_buf);
+    writer.add(SECTION_META, meta_buf);
     writer.finish()
 }
 
 /// Serialize the engine and write it to `path` atomically (write to a
-/// `.tmp` sibling, then rename).
+/// `.tmp` sibling, fsync, then rename) with default metadata. For the full
+/// checkpoint protocol — generations, `.prev` fallback, log truncation —
+/// use [`SnapshotStore::checkpoint`].
 pub fn save(engine: &DeltaEngine, path: &Path) -> Result<(), SnapshotError> {
     let bytes = save_to_bytes(engine);
+    let io = StdIo;
     let tmp = path.with_extension("tmp");
-    let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(&bytes)?;
-    file.sync_all()?;
-    std::fs::rename(&tmp, path)?;
+    io.write(&tmp, &bytes)
+        .map_err(|e| io_err("write", &tmp, e))?;
+    io.sync(&tmp).map_err(|e| io_err("sync", &tmp, e))?;
+    io.rename(&tmp, path)
+        .map_err(|e| io_err("rename", path, e))?;
     Ok(())
 }
 
@@ -199,17 +382,23 @@ fn encode_violation(out: &mut Vec<u8>, v: &Violation) {
 // Load
 // ---------------------------------------------------------------------------
 
-/// Rebuild an engine from snapshot bytes.
+/// Rebuild an engine from snapshot bytes, discarding metadata.
+pub fn load_from_bytes(data: &[u8]) -> Result<DeltaEngine, SnapshotError> {
+    load_from_bytes_with(data).map(|(engine, _)| engine)
+}
+
+/// Rebuild an engine and its durability metadata from snapshot bytes.
 ///
 /// The loaded engine compares equal — relation (including mutation
 /// version), PFD set, violations, and group indexes — to the engine the
 /// snapshot was saved from.
-pub fn load_from_bytes(data: &[u8]) -> Result<DeltaEngine, SnapshotError> {
+pub fn load_from_bytes_with(data: &[u8]) -> Result<(DeltaEngine, SnapshotMeta), SnapshotError> {
     let reader = SectionReader::open(data)?;
     let schema_payload = reader.require(SECTION_SCHEMA)?;
     let rows_payload = reader.require(SECTION_ROWS)?;
     let rules_payload = reader.require(SECTION_RULES)?;
     let groups_payload = reader.require(SECTION_GROUPS)?;
+    let meta = decode_meta(reader.require(SECTION_META)?)?;
 
     let (schema, version) = decode_schema(schema_payload)?;
 
@@ -226,23 +415,41 @@ pub fn load_from_bytes(data: &[u8]) -> Result<DeltaEngine, SnapshotError> {
     let rel = rel_result?;
     let groups = groups_result?;
 
-    let rules_text =
-        std::str::from_utf8(rules_payload).map_err(|_| corrupt("rules section is not UTF-8"))?;
-    let pfds = parse_rules(rules_text, rel.schema())
-        .map_err(|e| corrupt(format!("rules section does not parse: {e}")))?;
+    let rules_text = std::str::from_utf8(rules_payload).map_err(|_| SnapshotError::Section {
+        file: None,
+        section: "rules",
+        offset: 0,
+        detail: "rules section is not UTF-8".to_string(),
+    })?;
+    let pfds = parse_rules(rules_text, rel.schema()).map_err(|e| SnapshotError::Section {
+        file: None,
+        section: "rules",
+        offset: 0,
+        detail: format!("rules section does not parse: {e}"),
+    })?;
 
     validate_groups(&rel, &pfds, &groups)?;
-    Ok(DeltaEngine::from_parts(rel, pfds, groups))
+    Ok((DeltaEngine::from_parts(rel, pfds, groups), meta))
 }
 
 /// Read and rebuild an engine from the snapshot file at `path`.
 pub fn load(path: &Path) -> Result<DeltaEngine, SnapshotError> {
-    let data = std::fs::read(path)?;
-    load_from_bytes(&data)
+    let data = std::fs::read(path).map_err(|e| io_err("read", path, e))?;
+    load_from_bytes(&data).map_err(|e| e.with_file(path))
+}
+
+fn decode_meta(payload: &[u8]) -> Result<SnapshotMeta, SnapshotError> {
+    let mut cur = SectionCursor::new(payload, "meta");
+    let generation = cur.get_varint()?;
+    let last_seq = cur.get_varint()?;
+    Ok(SnapshotMeta {
+        generation,
+        last_seq,
+    })
 }
 
 fn decode_schema(payload: &[u8]) -> Result<(Schema, u64), SnapshotError> {
-    let mut cur = Cursor::new(payload);
+    let mut cur = SectionCursor::new(payload, "schema");
     let relation = cur.get_string()?;
     let version = cur.get_varint()?;
     let arity = cur.get_len()?;
@@ -251,12 +458,12 @@ fn decode_schema(payload: &[u8]) -> Result<(Schema, u64), SnapshotError> {
         names.push(cur.get_string()?);
     }
     let schema =
-        Schema::new(relation, names).map_err(|e| corrupt(format!("invalid schema: {e}")))?;
+        Schema::new(relation, names).map_err(|e| cur.fail(format!("invalid schema: {e}")))?;
     Ok((schema, version))
 }
 
 fn decode_rows(payload: &[u8], schema: Schema, version: u64) -> Result<Relation, SnapshotError> {
-    let mut cur = Cursor::new(payload);
+    let mut cur = SectionCursor::new(payload, "rows");
     let num_rows = cur.get_len()?;
     let arity = schema.arity();
     // The section's shape — per-column vocabulary + cell indexes — is the
@@ -264,23 +471,23 @@ fn decode_rows(payload: &[u8], schema: Schema, version: u64) -> Result<Relation,
     // values only, never one string per cell.
     let mut columns = Vec::with_capacity(arity);
     for _ in 0..arity {
-        let vocab = decode_string_table(&mut cur)?;
+        let vocab = decode_string_table(&mut cur.cur).map_err(|e| cur.fail(e))?;
         let mut cells = Vec::with_capacity(num_rows);
         for _ in 0..num_rows {
             let idx = cur.get_index()?;
             if idx >= vocab.len() {
-                return Err(corrupt("row index outside column vocabulary"));
+                return Err(cur.fail("row index outside column vocabulary"));
             }
             cells.push(idx as u32);
         }
         columns.push((vocab, cells));
     }
     Relation::from_columns(schema, columns, version)
-        .map_err(|e| corrupt(format!("invalid rows: {e}")))
+        .map_err(|e| cur.fail(format!("invalid rows: {e}")))
 }
 
 fn decode_groups(payload: &[u8]) -> Result<Vec<Vec<Vec<GroupSnapshot>>>, SnapshotError> {
-    let mut cur = Cursor::new(payload);
+    let mut cur = SectionCursor::new(payload, "groups");
     let npfds = cur.get_len()?;
     let mut pfds = Vec::with_capacity(npfds);
     for _ in 0..npfds {
@@ -295,7 +502,7 @@ fn decode_groups(payload: &[u8]) -> Result<Vec<Vec<Vec<GroupSnapshot>>>, Snapsho
                 for _ in 0..nkey {
                     key.push(cur.get_string()?);
                 }
-                let rows = decode_postings(&mut cur)?;
+                let rows = decode_postings(&mut cur.cur).map_err(|e| cur.fail(e))?;
                 let nviolations = cur.get_len()?;
                 let mut violations = Vec::with_capacity(nviolations);
                 for _ in 0..nviolations {
@@ -314,12 +521,12 @@ fn decode_groups(payload: &[u8]) -> Result<Vec<Vec<Vec<GroupSnapshot>>>, Snapsho
     Ok(pfds)
 }
 
-fn decode_violation(cur: &mut Cursor<'_>) -> Result<Violation, SnapshotError> {
+fn decode_violation(cur: &mut SectionCursor<'_>) -> Result<Violation, SnapshotError> {
     let tableau_row = cur.get_index()?;
     let kind = match cur.get_varint()? {
         0 => ViolationKind::SingleTuple,
         1 => ViolationKind::TuplePair,
-        other => return Err(corrupt(format!("unknown violation kind {other}"))),
+        other => return Err(cur.fail(format!("unknown violation kind {other}"))),
     };
     let attr = AttrId(cur.get_index()?);
     let nrows = cur.get_len()?;
@@ -335,9 +542,9 @@ fn decode_violation(cur: &mut Cursor<'_>) -> Result<Violation, SnapshotError> {
         cells.push((r, a));
     }
     let group_size =
-        u32::try_from(cur.get_varint()?).map_err(|_| corrupt("group size overflows u32"))?;
+        u32::try_from(cur.get_varint()?).map_err(|_| cur.fail("group size overflows u32"))?;
     let majority_size =
-        u32::try_from(cur.get_varint()?).map_err(|_| corrupt("majority size overflows u32"))?;
+        u32::try_from(cur.get_varint()?).map_err(|_| cur.fail("majority size overflows u32"))?;
     Ok(Violation::from_parts(
         tableau_row,
         kind,
@@ -357,8 +564,14 @@ fn validate_groups(
     pfds: &[crate::pfd::Pfd],
     groups: &[Vec<Vec<GroupSnapshot>>],
 ) -> Result<(), SnapshotError> {
+    let invalid = |detail: String| SnapshotError::Section {
+        file: None,
+        section: "groups",
+        offset: 0,
+        detail,
+    };
     if groups.len() != pfds.len() {
-        return Err(corrupt(format!(
+        return Err(invalid(format!(
             "group index covers {} PFDs but the rules section defines {}",
             groups.len(),
             pfds.len()
@@ -367,12 +580,14 @@ fn validate_groups(
     let arity = rel.schema().arity();
     for (pfd, tableaux) in pfds.iter().zip(groups) {
         if tableaux.len() != pfd.tableau().len() {
-            return Err(corrupt("group index tableau count mismatch"));
+            return Err(invalid("group index tableau count mismatch".to_string()));
         }
         for tableau in tableaux {
             for group in tableau {
                 if group.rows.universe() != rel.num_rows() {
-                    return Err(corrupt("group universe does not match row count"));
+                    return Err(invalid(
+                        "group universe does not match row count".to_string(),
+                    ));
                 }
                 for v in &group.violations {
                     let rows_ok = v.rows().iter().all(|&r| r < rel.num_rows());
@@ -381,7 +596,9 @@ fn validate_groups(
                         .iter()
                         .all(|&(r, a)| r < rel.num_rows() && a.index() < arity);
                     if !rows_ok || !cells_ok || v.attr.index() >= arity {
-                        return Err(corrupt("violation references out-of-range cells"));
+                        return Err(invalid(
+                            "violation references out-of-range cells".to_string(),
+                        ));
                     }
                 }
             }
@@ -394,40 +611,457 @@ fn validate_groups(
 // Log replay
 // ---------------------------------------------------------------------------
 
+/// Parses and applies one logged session command. `record` labels errors
+/// (sequence number for WAL records, 1-based line number for text logs).
+fn apply_log_line(engine: &mut DeltaEngine, line: &str, record: u64) -> Result<(), SnapshotError> {
+    let log_err = |detail: String| SnapshotError::Log {
+        file: None,
+        record,
+        detail,
+    };
+    let schema = engine.relation().schema().clone();
+    let cmd = parse_command(line, &schema).map_err(|e| log_err(e.to_string()))?;
+    let result = match cmd {
+        SessionCommand::Single(edit) => engine.apply(edit),
+        SessionCommand::Batch(edits) => engine.apply_batch(&edits),
+        SessionCommand::Repair { .. } => {
+            return Err(log_err(
+                "repair ops are not replayable (the session logs repairs as batch edits)"
+                    .to_string(),
+            ))
+        }
+    };
+    result.map_err(|e| log_err(format!("does not apply: {e}")))?;
+    Ok(())
+}
+
 /// Re-apply an append-only session-command log (JSONL, one applied command
 /// per line) on top of a loaded engine. Returns the number of commands
 /// applied. Blank lines are skipped; `repair` ops are rejected — the
 /// session layer logs repairs as `batch` edits precisely so replay never
 /// has to re-run the (non-deterministic across versions) chase.
+///
+/// This is the text-level core; durable sessions store these lines as
+/// checksummed WAL records and replay them through
+/// [`SnapshotStore::recover`], which also handles sequence skipping.
 pub fn replay_log(engine: &mut DeltaEngine, log_text: &str) -> Result<usize, SnapshotError> {
-    let schema = engine.relation().schema().clone();
     let mut applied = 0;
     for (lineno, line) in log_text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let cmd = parse_command(line, &schema)
-            .map_err(|e| corrupt(format!("log line {}: {e}", lineno + 1)))?;
-        let result = match cmd {
-            SessionCommand::Single(edit) => engine.apply(edit),
-            SessionCommand::Batch(edits) => engine.apply_batch(&edits),
-            SessionCommand::Repair { .. } => {
-                return Err(corrupt(format!(
-                    "log line {}: repair ops are not replayable",
-                    lineno + 1
-                )))
-            }
-        };
-        result.map_err(|e| corrupt(format!("log line {} does not apply: {e}", lineno + 1)))?;
+        apply_log_line(engine, line, lineno as u64 + 1)?;
         applied += 1;
     }
     Ok(applied)
 }
 
+// ---------------------------------------------------------------------------
+// Recovery supervisor
+// ---------------------------------------------------------------------------
+
+/// How much salvaging [`SnapshotStore::recover`] is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Fail instead of discarding anything: a corrupt snapshot, an invalid
+    /// log tail, or an unreplayable record is an error. Lossless paths —
+    /// the `.prev` + intact-log window of an interrupted checkpoint, a
+    /// clean torn-free log — still recover.
+    Strict,
+    /// Recover the best state reachable: fall back down the ladder past
+    /// corrupt artifacts and replay the longest valid log prefix,
+    /// reporting everything dropped in the [`RecoveryReport`].
+    Salvage,
+}
+
+/// Which rung of the degradation ladder produced the base engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The current snapshot file loaded cleanly.
+    Current,
+    /// The current snapshot was missing or unreadable; the kept `.prev`
+    /// generation loaded instead.
+    Previous,
+    /// No snapshot was usable; the engine was rebuilt from original inputs
+    /// (CSV + rules) by the caller's cold-build closure.
+    ColdBuild,
+}
+
+impl RecoverySource {
+    /// Short lowercase label for reports and JSON events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoverySource::Current => "current",
+            RecoverySource::Previous => "previous",
+            RecoverySource::ColdBuild => "cold_build",
+        }
+    }
+}
+
+/// Structured account of what [`SnapshotStore::recover`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Where the base engine came from.
+    pub source: RecoverySource,
+    /// Generation of the loaded snapshot (0 for a cold build).
+    pub generation: u64,
+    /// Log records replayed onto the base engine.
+    pub log_records_applied: usize,
+    /// Log records skipped because the snapshot already covered their
+    /// sequence numbers.
+    pub log_records_skipped: usize,
+    /// Bytes discarded past the log's valid prefix.
+    pub log_bytes_dropped: u64,
+    /// Why log decoding stopped ([`WalTail::Clean`] when it didn't).
+    pub log_tail: WalTail,
+    /// Human-readable notes about every degradation taken.
+    pub notes: Vec<String>,
+}
+
+impl RecoveryReport {
+    fn clean(source: RecoverySource, generation: u64) -> Self {
+        RecoveryReport {
+            source,
+            generation,
+            log_records_applied: 0,
+            log_records_skipped: 0,
+            log_bytes_dropped: 0,
+            log_tail: WalTail::Clean,
+            notes: Vec::new(),
+        }
+    }
+
+    /// True when recovery deviated from the happy path: a fallback rung,
+    /// discarded log bytes, an invalid log tail, or any degradation note.
+    /// Replaying records from a clean log is *not* degraded — that is the
+    /// log doing its job.
+    pub fn degraded(&self) -> bool {
+        matches!(self.source, RecoverySource::Previous)
+            || self.log_bytes_dropped > 0
+            || !self.log_tail.is_clean()
+            || !self.notes.is_empty()
+    }
+}
+
+/// Successful outcome of [`SnapshotStore::recover`].
+pub struct Recovered {
+    /// The reconstructed engine.
+    pub engine: DeltaEngine,
+    /// Metadata of the snapshot the base engine loaded from (zero for a
+    /// cold build).
+    pub meta: SnapshotMeta,
+    /// Highest log sequence number incorporated into `engine` — the
+    /// `start_after` for the next [`pfd_relation::wal::WalWriter`] and the
+    /// `last_seq` for the next checkpoint.
+    pub seq_floor: u64,
+    /// True when the caller should checkpoint before serving: state was
+    /// rebuilt, replayed, or salvaged, so only a fresh snapshot makes the
+    /// next startup clean.
+    pub needs_checkpoint: bool,
+    /// What recovery did.
+    pub report: RecoveryReport,
+}
+
+impl Recovered {
+    /// Metadata for the checkpoint that would persist this recovered
+    /// state: next generation, covering everything replayed.
+    pub fn next_meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            generation: self.meta.generation + 1,
+            last_seq: self.seq_floor,
+        }
+    }
+}
+
+/// Why [`SnapshotStore::recover`] gave up.
+#[derive(Debug)]
+pub enum RecoverFailure<E> {
+    /// A persisted artifact was unusable and the policy (or the ladder)
+    /// did not permit going further.
+    Snapshot(SnapshotError),
+    /// No persisted artifact existed and the cold build itself failed.
+    ColdBuild(E),
+}
+
+impl<E: fmt::Display> fmt::Display for RecoverFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverFailure::Snapshot(e) => write!(f, "{e}"),
+            RecoverFailure::ColdBuild(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The on-disk layout of one durable engine — current snapshot, `.prev`
+/// fallback, `.tmp` staging file, and `.log` delta log — plus the two
+/// operations over it: atomic [`checkpoint`](SnapshotStore::checkpoint)
+/// and ladder-walking [`recover`](SnapshotStore::recover).
+///
+/// All I/O goes through a [`pfd_relation::io::Io`] handle, so the
+/// fault-injection harness can crash either operation at any byte.
+pub struct SnapshotStore<'io> {
+    io: &'io dyn Io,
+    path: PathBuf,
+}
+
+impl<'io> SnapshotStore<'io> {
+    /// A store rooted at the current-snapshot path `path`; sibling files
+    /// derive from it by appending suffixes.
+    pub fn new(io: &'io dyn Io, path: impl Into<PathBuf>) -> Self {
+        SnapshotStore {
+            io,
+            path: path.into(),
+        }
+    }
+
+    /// The current snapshot file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn sibling(&self, suffix: &str) -> PathBuf {
+        let mut s = self.path.as_os_str().to_os_string();
+        s.push(suffix);
+        PathBuf::from(s)
+    }
+
+    /// The kept previous-generation snapshot.
+    pub fn prev_path(&self) -> PathBuf {
+        self.sibling(".prev")
+    }
+
+    /// The checkpoint staging file.
+    pub fn tmp_path(&self) -> PathBuf {
+        self.sibling(".tmp")
+    }
+
+    /// The record-framed delta log.
+    pub fn log_path(&self) -> PathBuf {
+        self.sibling(".log")
+    }
+
+    /// Atomically persists `engine` as the current snapshot and retires
+    /// the delta log it supersedes.
+    ///
+    /// Order matters for crash safety: stage to `.tmp` and fsync, demote
+    /// the old current to `.prev`, rename `.tmp` into place, and only then
+    /// delete the log. A crash anywhere in between leaves either the old
+    /// snapshot + intact log or the new snapshot (+ a log whose records
+    /// `meta.last_seq` marks as already applied, so replay skips them —
+    /// deleting the log is an optimization, not a correctness step).
+    pub fn checkpoint(
+        &self,
+        engine: &DeltaEngine,
+        meta: SnapshotMeta,
+    ) -> Result<(), SnapshotError> {
+        let bytes = save_to_bytes_with(engine, meta);
+        let tmp = self.tmp_path();
+        self.io
+            .write(&tmp, &bytes)
+            .map_err(|e| io_err("write", &tmp, e))?;
+        self.io.sync(&tmp).map_err(|e| io_err("sync", &tmp, e))?;
+        if self.io.exists(&self.path) {
+            let prev = self.prev_path();
+            self.io
+                .rename(&self.path, &prev)
+                .map_err(|e| io_err("rename", &prev, e))?;
+        }
+        self.io
+            .rename(&tmp, &self.path)
+            .map_err(|e| io_err("rename", &self.path, e))?;
+        let log = self.log_path();
+        if self.io.exists(&log) {
+            self.io
+                .remove(&log)
+                .map_err(|e| io_err("remove", &log, e))?;
+        }
+        Ok(())
+    }
+
+    fn load_file(&self, path: &Path) -> Result<(DeltaEngine, SnapshotMeta), SnapshotError> {
+        let data = self.io.read(path).map_err(|e| io_err("read", path, e))?;
+        load_from_bytes_with(&data).map_err(|e| e.with_file(path))
+    }
+
+    /// Reconstructs the engine by walking the degradation ladder: current
+    /// snapshot → previous snapshot → cold build, then replaying the
+    /// valid prefix of the delta log (skipping records the snapshot
+    /// already covers).
+    ///
+    /// `cold` rebuilds from original inputs (CSV + rules) and is only
+    /// invoked when no snapshot is usable. Recovery itself never panics on
+    /// any file contents; what it salvages and drops is returned in the
+    /// [`RecoveryReport`].
+    pub fn recover<E>(
+        &self,
+        policy: RecoveryPolicy,
+        cold: impl FnOnce() -> Result<DeltaEngine, E>,
+    ) -> Result<Recovered, RecoverFailure<E>> {
+        let mut notes: Vec<String> = Vec::new();
+
+        // A leftover staging file is an interrupted checkpoint; whatever
+        // it holds is covered by snapshot + log, so it is safe to drop.
+        let tmp = self.tmp_path();
+        if self.io.exists(&tmp) && self.io.remove(&tmp).is_ok() {
+            notes.push("removed interrupted checkpoint staging file".to_string());
+        }
+
+        // Rungs 1 and 2: current snapshot, then the kept previous one.
+        let mut snapshot_failure: Option<SnapshotError> = None;
+        let mut base: Option<(DeltaEngine, SnapshotMeta, RecoverySource)> = None;
+        let current_exists = self.io.exists(&self.path);
+        if current_exists {
+            match self.load_file(&self.path) {
+                Ok((engine, meta)) => base = Some((engine, meta, RecoverySource::Current)),
+                Err(e) => {
+                    if policy == RecoveryPolicy::Strict {
+                        return Err(RecoverFailure::Snapshot(e));
+                    }
+                    notes.push(format!("current snapshot unusable: {e}"));
+                    snapshot_failure = Some(e);
+                }
+            }
+        }
+        if base.is_none() {
+            let prev = self.prev_path();
+            if self.io.exists(&prev) {
+                match self.load_file(&prev) {
+                    Ok((engine, meta)) => {
+                        // Current absent + prev present is the interrupted-
+                        // checkpoint window: the log was not yet truncated,
+                        // so prev + replay is lossless and allowed even
+                        // under strict recovery.
+                        notes.push(format!(
+                            "using previous snapshot generation {}",
+                            meta.generation
+                        ));
+                        base = Some((engine, meta, RecoverySource::Previous));
+                    }
+                    Err(e) => {
+                        if policy == RecoveryPolicy::Strict {
+                            return Err(RecoverFailure::Snapshot(e));
+                        }
+                        notes.push(format!("previous snapshot unusable: {e}"));
+                        snapshot_failure.get_or_insert(e);
+                    }
+                }
+            }
+        }
+
+        // Rung 3: rebuild from original inputs. Under strict recovery this
+        // is only reachable when no snapshot file existed at all (corrupt
+        // ones returned above).
+        let (mut engine, meta, source) = match base {
+            Some(b) => b,
+            None => match cold() {
+                Ok(engine) => (engine, SnapshotMeta::default(), RecoverySource::ColdBuild),
+                Err(e) => {
+                    // Prefer reporting the corrupt artifact that forced the
+                    // ladder down here over the secondary cold-build error.
+                    return Err(match snapshot_failure {
+                        Some(se) => RecoverFailure::Snapshot(se),
+                        None => RecoverFailure::ColdBuild(e),
+                    });
+                }
+            },
+        };
+
+        let mut report = RecoveryReport::clean(source, meta.generation);
+        report.notes = notes;
+
+        // Replay the delta log's valid prefix on top of the base engine.
+        let log = self.log_path();
+        let mut seq_floor = meta.last_seq;
+        if self.io.exists(&log) {
+            match self.io.read(&log) {
+                Err(e) => {
+                    let err = io_err("read", &log, e);
+                    if policy == RecoveryPolicy::Strict {
+                        return Err(RecoverFailure::Snapshot(err));
+                    }
+                    report.notes.push(format!("delta log unusable: {err}"));
+                }
+                Ok(data) => {
+                    let outcome = read_wal_bytes(&data);
+                    report.log_tail = outcome.tail.clone();
+                    report.log_bytes_dropped = outcome.lost_bytes(data.len() as u64);
+                    if policy == RecoveryPolicy::Strict && !outcome.tail.is_clean() {
+                        return Err(RecoverFailure::Snapshot(SnapshotError::Log {
+                            file: Some(log.clone()),
+                            record: outcome.last_seq().map_or(0, |s| s + 1),
+                            detail: format!("invalid log tail: {}", outcome.tail),
+                        }));
+                    }
+                    for (i, rec) in outcome.records.iter().enumerate() {
+                        if rec.seq <= meta.last_seq {
+                            report.log_records_skipped += 1;
+                            continue;
+                        }
+                        let result = if rec.seq != seq_floor + 1 {
+                            // The log starts past the snapshot's floor:
+                            // records in between are gone (e.g. the log of
+                            // a corrupt current snapshot postdates the
+                            // recovered previous generation).
+                            Err(SnapshotError::Log {
+                                file: Some(log.clone()),
+                                record: rec.seq,
+                                detail: format!(
+                                    "log resumes at record {} but recovered state covers only {}",
+                                    rec.seq, seq_floor
+                                ),
+                            })
+                        } else {
+                            match std::str::from_utf8(&rec.payload) {
+                                Err(_) => Err(SnapshotError::Log {
+                                    file: Some(log.clone()),
+                                    record: rec.seq,
+                                    detail: "record payload is not UTF-8".to_string(),
+                                }),
+                                Ok(line) => apply_log_line(&mut engine, line, rec.seq)
+                                    .map_err(|e| e.with_file(&log)),
+                            }
+                        };
+                        match result {
+                            Ok(()) => {
+                                seq_floor = rec.seq;
+                                report.log_records_applied += 1;
+                            }
+                            Err(e) => {
+                                if policy == RecoveryPolicy::Strict {
+                                    return Err(RecoverFailure::Snapshot(e));
+                                }
+                                let remaining = outcome.records.len() - i;
+                                report
+                                    .notes
+                                    .push(format!("dropped {remaining} log records: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let needs_checkpoint = report.degraded()
+            || report.log_records_applied > 0
+            || !matches!(report.source, RecoverySource::Current);
+        Ok(Recovered {
+            engine,
+            meta,
+            seq_floor,
+            needs_checkpoint,
+            report,
+        })
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pfd::Pfd;
+    use pfd_relation::io::MemIo;
+    use pfd_relation::wal::{SyncPolicy, WalWriter};
 
     fn sample_engine() -> DeltaEngine {
         let rel = Relation::from_rows(
@@ -473,6 +1107,32 @@ mod tests {
         let once = save_to_bytes(&engine);
         let twice = save_to_bytes(&load_from_bytes(&once).unwrap());
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn metadata_round_trips_and_defaults_when_absent() {
+        let engine = sample_engine();
+        let meta = SnapshotMeta {
+            generation: 7,
+            last_seq: 41,
+        };
+        let bytes = save_to_bytes_with(&engine, meta);
+        let (_, back) = load_from_bytes_with(&bytes).unwrap();
+        assert_eq!(back, meta);
+        // Default save carries zero metadata.
+        let (_, zero) = load_from_bytes_with(&save_to_bytes(&engine)).unwrap();
+        assert_eq!(zero, SnapshotMeta::default());
+    }
+
+    #[test]
+    fn missing_meta_section_is_rejected() {
+        // META is mandatory: a container missing it must not load (a
+        // flipped section id would otherwise make it vanish silently).
+        let engine = sample_engine();
+        let mut mutated = save_to_bytes(&engine);
+        // Flip one byte of the META section id in the table (5th row).
+        mutated[12 + 4 * 28] ^= 0xff;
+        assert!(load_from_bytes(&mutated).is_err());
     }
 
     #[test]
@@ -523,15 +1183,15 @@ mod tests {
         let mut engine = sample_engine();
         assert!(matches!(
             replay_log(&mut engine, "{\"op\":\"repair\"}"),
-            Err(SnapshotError::Corrupt(_))
+            Err(SnapshotError::Log { record: 1, .. })
         ));
         assert!(matches!(
             replay_log(&mut engine, "not json"),
-            Err(SnapshotError::Corrupt(_))
+            Err(SnapshotError::Log { .. })
         ));
         assert!(matches!(
             replay_log(&mut engine, "{\"op\":\"delete\",\"row\":999}"),
-            Err(SnapshotError::Corrupt(_))
+            Err(SnapshotError::Log { .. })
         ));
     }
 
@@ -556,14 +1216,20 @@ mod tests {
         flipped[last] ^= 0x01;
         assert!(matches!(
             load_from_bytes(&flipped),
-            Err(SnapshotError::Binary(BinaryError::Checksum { .. }))
+            Err(SnapshotError::Binary {
+                source: BinaryError::Checksum { .. },
+                ..
+            })
         ));
         // A wrong version is reported as such.
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 42;
         assert!(matches!(
             load_from_bytes(&wrong_version),
-            Err(SnapshotError::Binary(BinaryError::UnsupportedVersion(42)))
+            Err(SnapshotError::Binary {
+                source: BinaryError::UnsupportedVersion(42),
+                ..
+            })
         ));
     }
 
@@ -577,5 +1243,80 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_engines_equal(&engine, &loaded);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_then_recover_is_clean_and_needs_nothing() {
+        let mem = MemIo::new();
+        let store = SnapshotStore::new(&mem, "/zip.pfds");
+        let engine = sample_engine();
+        store
+            .checkpoint(
+                &engine,
+                SnapshotMeta {
+                    generation: 1,
+                    last_seq: 0,
+                },
+            )
+            .unwrap();
+        let rec = store
+            .recover(RecoveryPolicy::Strict, || {
+                Err::<DeltaEngine, String>("cold build must not run".into())
+            })
+            .unwrap();
+        assert_engines_equal(&engine, &rec.engine);
+        assert_eq!(rec.report.source, RecoverySource::Current);
+        assert_eq!(rec.report.generation, 1);
+        assert!(!rec.report.degraded());
+        assert!(!rec.needs_checkpoint);
+        assert_eq!(rec.seq_floor, 0);
+    }
+
+    #[test]
+    fn recover_replays_log_records_past_the_snapshot_floor() {
+        let mem = MemIo::new();
+        let store = SnapshotStore::new(&mem, "/zip.pfds");
+        let engine = sample_engine();
+        store
+            .checkpoint(
+                &engine,
+                SnapshotMeta {
+                    generation: 1,
+                    last_seq: 0,
+                },
+            )
+            .unwrap();
+        let (mut w, _) = WalWriter::open(&mem, &store.log_path(), 0, SyncPolicy::Always).unwrap();
+        w.append(b"{\"op\":\"set\",\"row\":4,\"attr\":\"city\",\"value\":\"New York\"}")
+            .unwrap();
+        drop(w);
+
+        let rec = store
+            .recover(RecoveryPolicy::Strict, || {
+                Err::<DeltaEngine, String>("cold build must not run".into())
+            })
+            .unwrap();
+        let mut expected = sample_engine();
+        let city = expected.relation().schema().attr("city").unwrap();
+        expected.set_cell(4, city, "New York".into()).unwrap();
+        assert_engines_equal(&expected, &rec.engine);
+        assert_eq!(rec.report.log_records_applied, 1);
+        assert_eq!(rec.seq_floor, 1);
+        assert_eq!(rec.next_meta().last_seq, 1);
+        assert!(rec.needs_checkpoint);
+        // Replaying a clean log is not degradation.
+        assert!(!rec.report.degraded());
+    }
+
+    #[test]
+    fn recover_cold_builds_when_nothing_is_on_disk() {
+        let mem = MemIo::new();
+        let store = SnapshotStore::new(&mem, "/zip.pfds");
+        let rec = store
+            .recover(RecoveryPolicy::Strict, || Ok::<_, String>(sample_engine()))
+            .unwrap();
+        assert_eq!(rec.report.source, RecoverySource::ColdBuild);
+        assert!(rec.needs_checkpoint);
+        assert!(!rec.report.degraded());
     }
 }

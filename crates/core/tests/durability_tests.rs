@@ -1,0 +1,440 @@
+//! Corrupt-log and recovery-ladder fixture tests: each way the on-disk
+//! state of a durable engine can rot — torn log tail, flipped bits, a
+//! duplicated or out-of-order record, a half-finished checkpoint — is
+//! built byte-exactly on an in-memory filesystem, and the suite asserts
+//! the *exact* [`RecoveryReport`] the supervisor emits for it, plus the
+//! strict-policy refusals and the double-apply guard.
+
+use std::convert::Infallible;
+
+use pfd_core::{
+    replay_log, DeltaEngine, Pfd, RecoverFailure, RecoveryPolicy, RecoveryReport, RecoverySource,
+    SnapshotError, SnapshotMeta, SnapshotStore,
+};
+use pfd_relation::wal::{encode_header, encode_record, RECORD_HEADER_LEN, WAL_HEADER_LEN};
+use pfd_relation::{read_csv_str, Io, MemIo, WalTail};
+
+const GEO_CSV: &str = "\
+zip,city,state
+90001,Los Angeles,CA
+90001,Los Angeles,CA
+90002,Los Angeles,CA
+10001,New York,NY
+10001,Brooklyn,NY
+60601,Chicago,IL
+60601,Chicago,WA
+94103,San Francisco,CA
+";
+
+const SNAP: &str = "/store/geo.pfds";
+const L1: &str = r#"{"op":"set","row":4,"attr":"city","value":"New York"}"#;
+const L2: &str = r#"{"op":"set","row":6,"attr":"state","value":"IL"}"#;
+const L3: &str = r#"{"op":"insert","cells":["10001","New York","NY"]}"#;
+
+fn base_engine() -> DeltaEngine {
+    let rel = read_csv_str("geo", GEO_CSV).unwrap();
+    let schema = rel.schema().clone();
+    let pfds = vec![
+        Pfd::fd("geo", &schema, &["zip"], &["city"]).unwrap(),
+        Pfd::fd("geo", &schema, &["city"], &["state"]).unwrap(),
+    ];
+    DeltaEngine::new(rel, pfds)
+}
+
+fn assert_engines_equal(want: &DeltaEngine, got: &DeltaEngine, ctx: &str) {
+    assert_eq!(want.relation(), got.relation(), "{ctx}: relation differs");
+    assert_eq!(
+        want.sorted_violations(),
+        got.sorted_violations(),
+        "{ctx}: violations differ"
+    );
+}
+
+/// Engine after the first `k` of the fixture edits.
+fn state_after(k: usize) -> DeltaEngine {
+    let mut engine = base_engine();
+    for line in [L1, L2, L3].iter().take(k) {
+        replay_log(&mut engine, line).unwrap();
+    }
+    engine
+}
+
+/// A framed delta log holding `records` verbatim.
+fn log_bytes(records: &[(u64, &str)]) -> Vec<u8> {
+    let mut data = Vec::new();
+    encode_header(&mut data);
+    for (seq, payload) in records {
+        encode_record(&mut data, *seq, payload.as_bytes());
+    }
+    data
+}
+
+/// Byte length one framed record occupies.
+fn record_len(payload: &str) -> usize {
+    RECORD_HEADER_LEN as usize + payload.len()
+}
+
+/// A disk holding the generation-1 checkpoint of the base engine and a
+/// delta log with exactly `log` as its bytes.
+fn disk_with_log(log: &[u8]) -> MemIo {
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    store
+        .checkpoint(
+            &base_engine(),
+            SnapshotMeta {
+                generation: 1,
+                last_seq: 0,
+            },
+        )
+        .unwrap();
+    disk.write(&store.log_path(), log).unwrap();
+    disk
+}
+
+fn recover(
+    disk: &MemIo,
+    policy: RecoveryPolicy,
+) -> Result<pfd_core::Recovered, RecoverFailure<Infallible>> {
+    SnapshotStore::new(disk, SNAP).recover(policy, || Ok(base_engine()))
+}
+
+fn salvage(disk: &MemIo) -> pfd_core::Recovered {
+    recover(disk, RecoveryPolicy::Salvage).unwrap_or_else(|e| panic!("salvage failed: {e}"))
+}
+
+#[test]
+fn clean_log_replays_without_degradation() {
+    let disk = disk_with_log(&log_bytes(&[(1, L1), (2, L2), (3, L3)]));
+    let rec = salvage(&disk);
+    assert_eq!(
+        rec.report,
+        RecoveryReport {
+            source: RecoverySource::Current,
+            generation: 1,
+            log_records_applied: 3,
+            log_records_skipped: 0,
+            log_bytes_dropped: 0,
+            log_tail: WalTail::Clean,
+            notes: vec![],
+        }
+    );
+    assert!(!rec.report.degraded(), "clean replay is not degraded");
+    assert!(
+        rec.needs_checkpoint,
+        "replayed state wants a fresh snapshot"
+    );
+    assert_eq!(rec.seq_floor, 3);
+    assert_engines_equal(&state_after(3), &rec.engine, "clean log");
+}
+
+#[test]
+fn torn_tail_is_truncated_to_the_complete_prefix() {
+    let full = log_bytes(&[(1, L1), (2, L2), (3, L3)]);
+    let valid = WAL_HEADER_LEN as usize + record_len(L1) + record_len(L2);
+    let torn_have = 7;
+    let disk = disk_with_log(&full[..valid + torn_have]);
+    let rec = salvage(&disk);
+    assert_eq!(
+        rec.report,
+        RecoveryReport {
+            source: RecoverySource::Current,
+            generation: 1,
+            log_records_applied: 2,
+            log_records_skipped: 0,
+            log_bytes_dropped: torn_have as u64,
+            log_tail: WalTail::Torn {
+                offset: valid as u64,
+                // Fewer bytes than a record header survive, so the reader
+                // only knows it needs the header to size the record.
+                have: torn_have as u64,
+                need: RECORD_HEADER_LEN,
+            },
+            notes: vec![],
+        }
+    );
+    assert!(rec.report.degraded());
+    assert_engines_equal(&state_after(2), &rec.engine, "torn tail");
+
+    // Strict refuses to discard the torn bytes.
+    match recover(&disk, RecoveryPolicy::Strict) {
+        Err(RecoverFailure::Snapshot(SnapshotError::Log { record, detail, .. })) => {
+            assert_eq!(record, 3, "error names the record past the valid prefix");
+            assert!(detail.contains("invalid log tail"), "{detail}");
+        }
+        Err(e) => panic!("strict must refuse with a log error, got {e}"),
+        Ok(_) => panic!("strict must refuse a torn tail"),
+    }
+}
+
+#[test]
+fn flipped_bit_stops_replay_at_the_checksum() {
+    let mut log = log_bytes(&[(1, L1), (2, L2)]);
+    let rec2_at = WAL_HEADER_LEN as usize + record_len(L1);
+    // Flip one payload byte of record 2: its stored checksum no longer
+    // matches, so replay ends after record 1.
+    log[rec2_at + RECORD_HEADER_LEN as usize + 3] ^= 0x01;
+    let dropped = record_len(L2) as u64;
+    let disk = disk_with_log(&log);
+    let rec = salvage(&disk);
+    assert_eq!(
+        rec.report,
+        RecoveryReport {
+            source: RecoverySource::Current,
+            generation: 1,
+            log_records_applied: 1,
+            log_records_skipped: 0,
+            log_bytes_dropped: dropped,
+            log_tail: WalTail::BadChecksum {
+                offset: rec2_at as u64,
+                seq: 2,
+            },
+            notes: vec![],
+        }
+    );
+    assert_engines_equal(&state_after(1), &rec.engine, "bit flip");
+    assert!(recover(&disk, RecoveryPolicy::Strict).is_err());
+}
+
+#[test]
+fn duplicated_record_breaks_the_sequence() {
+    // Record 2 appears twice — e.g. a buggy writer re-appending after a
+    // partial failure. The duplicate must NOT be applied a second time.
+    let mut log = log_bytes(&[(1, L1), (2, L3)]);
+    let dup_at = log.len();
+    encode_record(&mut log, 2, L3.as_bytes());
+    let dup_len = (log.len() - dup_at) as u64;
+    let disk = disk_with_log(&log);
+    let rec = salvage(&disk);
+    assert_eq!(
+        rec.report,
+        RecoveryReport {
+            source: RecoverySource::Current,
+            generation: 1,
+            log_records_applied: 2,
+            log_records_skipped: 0,
+            log_bytes_dropped: dup_len,
+            log_tail: WalTail::BadSequence {
+                offset: dup_at as u64,
+                expected: 3,
+                found: 2,
+            },
+            notes: vec![],
+        }
+    );
+    // L3 is an insert: applying it twice would add a second row.
+    let mut want = base_engine();
+    replay_log(&mut want, L1).unwrap();
+    replay_log(&mut want, L3).unwrap();
+    assert_engines_equal(&want, &rec.engine, "duplicated record");
+    assert!(recover(&disk, RecoveryPolicy::Strict).is_err());
+}
+
+#[test]
+fn out_of_order_record_stops_replay_at_the_gap() {
+    let mut log = log_bytes(&[(1, L1)]);
+    let gap_at = log.len();
+    encode_record(&mut log, 3, L2.as_bytes());
+    let skipped_len = (log.len() - gap_at) as u64;
+    let disk = disk_with_log(&log);
+    let rec = salvage(&disk);
+    assert_eq!(
+        rec.report,
+        RecoveryReport {
+            source: RecoverySource::Current,
+            generation: 1,
+            log_records_applied: 1,
+            log_records_skipped: 0,
+            log_bytes_dropped: skipped_len,
+            log_tail: WalTail::BadSequence {
+                offset: gap_at as u64,
+                expected: 2,
+                found: 3,
+            },
+            notes: vec![],
+        }
+    );
+    assert_engines_equal(&state_after(1), &rec.engine, "sequence gap");
+}
+
+#[test]
+fn foreign_file_as_log_is_dropped_whole() {
+    let disk = disk_with_log(b"not a wal file at all");
+    let rec = salvage(&disk);
+    assert_eq!(rec.report.log_records_applied, 0);
+    assert_eq!(rec.report.log_bytes_dropped, 21);
+    assert_eq!(rec.report.log_tail, WalTail::BadHeader { len: 21 });
+    assert_engines_equal(&state_after(0), &rec.engine, "foreign log");
+    assert!(recover(&disk, RecoveryPolicy::Strict).is_err());
+}
+
+#[test]
+fn records_the_snapshot_already_covers_are_not_reapplied() {
+    // The crash window between a checkpoint's final rename and its log
+    // removal: the new snapshot (last_seq = 1) and the old log (record 1,
+    // an insert) coexist. Replaying the insert again would duplicate the
+    // row — `last_seq` must suppress it.
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    let mut engine = base_engine();
+    replay_log(&mut engine, L3).unwrap();
+    store
+        .checkpoint(
+            &engine,
+            SnapshotMeta {
+                generation: 2,
+                last_seq: 1,
+            },
+        )
+        .unwrap();
+    disk.write(&store.log_path(), &log_bytes(&[(1, L3)]))
+        .unwrap();
+
+    for policy in [RecoveryPolicy::Strict, RecoveryPolicy::Salvage] {
+        let rec = recover(&disk, policy).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            rec.report,
+            RecoveryReport {
+                source: RecoverySource::Current,
+                generation: 2,
+                log_records_applied: 0,
+                log_records_skipped: 1,
+                log_bytes_dropped: 0,
+                log_tail: WalTail::Clean,
+                notes: vec![],
+            },
+            "{policy:?}"
+        );
+        assert!(!rec.report.degraded(), "{policy:?}: skipping is clean");
+        assert_eq!(rec.seq_floor, 1, "{policy:?}");
+        assert_eq!(
+            rec.engine.relation().num_rows(),
+            9,
+            "{policy:?}: the logged insert must not apply twice"
+        );
+        assert_engines_equal(&engine, &rec.engine, "double-apply guard");
+    }
+}
+
+#[test]
+fn corrupt_current_falls_back_to_previous_plus_log() {
+    // Generation 1 checkpoint, two logged edits, generation 2 checkpoint
+    // kept gen 1 as `.prev` — then the current file rots.
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    store
+        .checkpoint(
+            &base_engine(),
+            SnapshotMeta {
+                generation: 1,
+                last_seq: 0,
+            },
+        )
+        .unwrap();
+    let engine = state_after(2);
+    store
+        .checkpoint(
+            &engine,
+            SnapshotMeta {
+                generation: 2,
+                last_seq: 2,
+            },
+        )
+        .unwrap();
+    // Scribble over the current snapshot and restore the log gen 2
+    // retired (records 1-2, which gen 1 has not seen).
+    let mut bytes = disk.read(store.path()).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    disk.write(store.path(), &bytes).unwrap();
+    disk.write(&store.log_path(), &log_bytes(&[(1, L1), (2, L2)]))
+        .unwrap();
+
+    // Strict refuses: the current snapshot exists but is corrupt.
+    assert!(matches!(
+        recover(&disk, RecoveryPolicy::Strict),
+        Err(RecoverFailure::Snapshot(_))
+    ));
+
+    // Salvage walks down to `.prev` and replays the log over it.
+    let rec = salvage(&disk);
+    assert_eq!(rec.report.source, RecoverySource::Previous);
+    assert_eq!(rec.report.generation, 1);
+    assert_eq!(rec.report.log_records_applied, 2);
+    assert!(rec.report.degraded());
+    assert_eq!(rec.report.notes.len(), 2, "{:?}", rec.report.notes);
+    assert!(rec.report.notes[0].contains("current snapshot unusable"));
+    assert!(rec.report.notes[1].contains("using previous snapshot generation 1"));
+    assert_engines_equal(&state_after(2), &rec.engine, "prev + log");
+}
+
+#[test]
+fn missing_current_with_previous_is_lossless_and_strict_allows_it() {
+    // The interrupted-checkpoint window: current renamed away to `.prev`,
+    // replacement never landed, log still intact.
+    let disk = disk_with_log(&log_bytes(&[(1, L1)]));
+    let store = SnapshotStore::new(&disk, SNAP);
+    disk.rename(store.path(), &store.prev_path()).unwrap();
+
+    let rec = recover(&disk, RecoveryPolicy::Strict).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(rec.report.source, RecoverySource::Previous);
+    assert_eq!(rec.report.log_records_applied, 1);
+    assert_engines_equal(&state_after(1), &rec.engine, "interrupted checkpoint");
+}
+
+#[test]
+fn leftover_staging_file_is_removed_and_noted() {
+    let disk = disk_with_log(&log_bytes(&[]));
+    let store = SnapshotStore::new(&disk, SNAP);
+    disk.write(&store.tmp_path(), b"half-written checkpoint")
+        .unwrap();
+
+    let rec = salvage(&disk);
+    assert!(!disk.exists(&store.tmp_path()), "staging file cleaned up");
+    assert_eq!(
+        rec.report.notes,
+        vec!["removed interrupted checkpoint staging file".to_string()]
+    );
+    assert!(rec.report.degraded());
+}
+
+#[test]
+fn log_only_state_cold_builds_then_replays() {
+    // No snapshot ever completed, but the log survived: the ladder's last
+    // rung rebuilds from original inputs and replays on top.
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    disk.write(&store.log_path(), &log_bytes(&[(1, L1), (2, L2)]))
+        .unwrap();
+
+    let rec = salvage(&disk);
+    assert_eq!(rec.report.source, RecoverySource::ColdBuild);
+    assert_eq!(rec.report.generation, 0);
+    assert_eq!(rec.report.log_records_applied, 2);
+    assert!(rec.needs_checkpoint);
+    assert_engines_equal(&state_after(2), &rec.engine, "log-only replay");
+}
+
+#[test]
+fn unreplayable_record_is_dropped_with_a_note() {
+    // Record 2 references a row that does not exist: salvage keeps the
+    // prefix and reports what it dropped; strict refuses.
+    let bad = r#"{"op":"set","row":99,"attr":"city","value":"X"}"#;
+    let disk = disk_with_log(&log_bytes(&[(1, L1), (2, bad), (3, L2)]));
+    let rec = salvage(&disk);
+    assert_eq!(rec.report.log_records_applied, 1);
+    assert_eq!(rec.report.notes.len(), 1);
+    assert!(
+        rec.report.notes[0].starts_with("dropped 2 log records"),
+        "{}",
+        rec.report.notes[0]
+    );
+    assert_engines_equal(&state_after(1), &rec.engine, "unreplayable record");
+    assert!(matches!(
+        recover(&disk, RecoveryPolicy::Strict),
+        Err(RecoverFailure::Snapshot(SnapshotError::Log {
+            record: 2,
+            ..
+        }))
+    ));
+}

@@ -83,7 +83,7 @@ fn wrong_version_and_magic_are_named_errors() {
     let mut wrong_version = bytes.clone();
     wrong_version[4] = 99;
     match load_from_bytes(&wrong_version) {
-        Err(SnapshotError::Binary(e)) => {
+        Err(SnapshotError::Binary { source: e, .. }) => {
             assert!(e.to_string().contains("version 99"), "{e}");
         }
         other => panic!("expected a version error, got {other:?}"),
@@ -91,7 +91,7 @@ fn wrong_version_and_magic_are_named_errors() {
     let mut bad_magic = bytes.clone();
     bad_magic[..4].copy_from_slice(b"ELF\x7f");
     match load_from_bytes(&bad_magic) {
-        Err(SnapshotError::Binary(e)) => {
+        Err(SnapshotError::Binary { source: e, .. }) => {
             assert!(e.to_string().contains("magic"), "{e}");
         }
         other => panic!("expected a magic error, got {other:?}"),
@@ -156,4 +156,20 @@ fn single_column_empty_cells_survive_snapshotting() {
     assert_engines_equal(&engine, &loaded);
     assert_eq!(loaded.relation().num_rows(), 4);
     assert_eq!(loaded.relation().cell(1, pfd_relation::AttrId(0)), "");
+}
+
+#[test]
+fn snapshot_taken_after_inserts_loads_back() {
+    // Regression: live groups keep the row universe they were created
+    // over, so a snapshot taken after inserts used to store universes
+    // smaller than the row count — and fail its own load-time validation.
+    let mut engine = fixture_engine();
+    engine
+        .insert_row(vec!["10001".into(), "New York".into(), "NY".into()])
+        .unwrap();
+    engine
+        .insert_row(vec!["60601".into(), "Chicago".into(), "IL".into()])
+        .unwrap();
+    let loaded = load_from_bytes(&save_to_bytes(&engine)).unwrap();
+    assert_engines_equal(&engine, &loaded);
 }

@@ -21,6 +21,10 @@
 //! This module deliberately knows nothing about relations, PFDs, or
 //! engines; the semantic layout lives in `pfd_core::snapshot`.
 
+// Decode paths here run against arbitrary on-disk bytes; a panic in them is
+// a recovery bug, so unwrapping is denied outright (tests opt back in).
+#![deny(clippy::unwrap_used)]
+
 use std::fmt;
 
 use crate::postings::PostingList;
@@ -125,6 +129,12 @@ impl<'a> Cursor<'a> {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.data.len() - self.pos
+    }
+
+    /// Byte offset of the read position from the start of the input —
+    /// error reports use this to name where decoding failed.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// True once every byte has been consumed.
@@ -327,6 +337,26 @@ pub fn decode_postings(cur: &mut Cursor<'_>) -> Result<PostingList, BinaryError>
 // Section container
 // ---------------------------------------------------------------------------
 
+/// Reads a little-endian `u32` at `at` from a slice already known to be
+/// long enough (callers bounds-check whole table rows up front).
+fn read_u32_le(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]])
+}
+
+/// Reads a little-endian `u64` at `at`; same contract as [`read_u32_le`].
+fn read_u64_le(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        data[at],
+        data[at + 1],
+        data[at + 2],
+        data[at + 3],
+        data[at + 4],
+        data[at + 5],
+        data[at + 6],
+        data[at + 7],
+    ])
+}
+
 /// One entry in the section table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SectionEntry {
@@ -417,11 +447,11 @@ impl<'a> SectionReader<'a> {
         if data[..4] != MAGIC {
             return Err(BinaryError::BadMagic);
         }
-        let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        let version = read_u32_le(data, 4);
         if version != FORMAT_VERSION {
             return Err(BinaryError::UnsupportedVersion(version));
         }
-        let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let count = read_u32_le(data, 8) as usize;
         let table_row = 4 + 8 + 8 + 8;
         let header_len = 12 + count * table_row;
         if data.len() < header_len {
@@ -431,10 +461,10 @@ impl<'a> SectionReader<'a> {
         for i in 0..count {
             let row = &data[12 + i * table_row..12 + (i + 1) * table_row];
             let entry = SectionEntry {
-                id: u32::from_le_bytes(row[0..4].try_into().unwrap()),
-                offset: u64::from_le_bytes(row[4..12].try_into().unwrap()),
-                len: u64::from_le_bytes(row[12..20].try_into().unwrap()),
-                checksum: u64::from_le_bytes(row[20..28].try_into().unwrap()),
+                id: read_u32_le(row, 0),
+                offset: read_u64_le(row, 4),
+                len: read_u64_le(row, 12),
+                checksum: read_u64_le(row, 20),
             };
             if entries.iter().any(|e: &SectionEntry| e.id == entry.id) {
                 return Err(corrupt(format!("duplicate section id {}", entry.id)));
@@ -478,6 +508,7 @@ impl<'a> SectionReader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -23,15 +23,21 @@
 
 pub mod binary;
 pub mod csv;
+pub mod io;
 pub mod postings;
 pub mod profile;
 #[allow(clippy::module_inception)]
 pub mod relation;
 pub mod schema;
+pub mod wal;
 
 pub use binary::{BinaryError, Cursor, SectionReader, SectionWriter};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvError};
+pub use io::{FailpointIo, Io, MemIo, StdIo};
 pub use postings::{PostingList, RowSetAccumulator};
 pub use profile::{profile_column, profile_relation, ColumnKind, ColumnProfile, Extraction};
 pub use relation::{Relation, RelationError, RowDelta, RowId, RowView};
 pub use schema::{AttrId, Schema, SchemaError};
+pub use wal::{
+    read_wal_bytes, SyncPolicy, WalLineSink, WalReadOutcome, WalRecord, WalTail, WalWriter,
+};

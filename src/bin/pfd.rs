@@ -9,7 +9,7 @@ fn main() -> ExitCode {
         Ok(code) => ExitCode::from(code as u8),
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::from(2)
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -24,13 +24,15 @@
 
 use pfd_core::{
     check_report_json, detect_errors, display_with_schema, parse_rules, repair_outcome_json,
-    repair_to_fixpoint, run_session_with, to_rules_string, DeltaEngine, Pfd, RepairEngine,
-    RepairOptions, SnapshotError,
+    repair_to_fixpoint, run_durable_session, run_session_with, to_rules_string, DeltaEngine,
+    DurableSessionError, Pfd, RecoverFailure, RecoveryPolicy, RepairEngine, RepairOptions,
+    SnapshotError, SnapshotStore,
 };
 use pfd_discovery::{discover, review_queue, DiscoveryConfig};
+use pfd_relation::io::StdIo;
 use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
 use std::fmt;
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::Path;
 
 /// CLI errors, each mapping to a non-zero exit code and a message.
@@ -57,6 +59,25 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl CliError {
+    /// The process exit code for this error. Success paths use 0 (clean)
+    /// and 1 (dirty data found); errors get distinct codes so scripts and
+    /// supervisors can react without parsing messages — see
+    /// `docs/OPERATIONS.md`.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Csv(_) => 4,
+            CliError::Rules(_) => 5,
+            // Log corruption (7) is distinct from snapshot corruption (6):
+            // the former loses recent commands, the latter whole state.
+            CliError::Snapshot(SnapshotError::Log { .. }) => 7,
+            CliError::Snapshot(_) => 6,
+        }
+    }
+}
+
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
@@ -81,6 +102,25 @@ impl From<SnapshotError> for CliError {
     }
 }
 
+impl From<RecoverFailure<CliError>> for CliError {
+    fn from(f: RecoverFailure<CliError>) -> Self {
+        match f {
+            RecoverFailure::Snapshot(e) => CliError::Snapshot(e),
+            RecoverFailure::ColdBuild(e) => e,
+        }
+    }
+}
+
+impl From<DurableSessionError<CliError>> for CliError {
+    fn from(e: DurableSessionError<CliError>) -> Self {
+        match e {
+            DurableSessionError::Recover(f) => f.into(),
+            DurableSessionError::Snapshot(s) => CliError::Snapshot(s),
+            DurableSessionError::SessionIo(io) => CliError::Io(io),
+        }
+    }
+}
+
 pub const USAGE: &str = "\
 pfd — pattern functional dependencies for data cleaning (VLDB 2020)
 
@@ -90,11 +130,11 @@ USAGE:
                             [--max-lhs N] [--rules <out.pfd>] [--review]
                             [--snapshot <file.pfds>]
     pfd check    <data.csv> [--rules <rules.pfd>] [--json]
-                 [--snapshot <file.pfds>]
+                 [--snapshot <file.pfds>] [--recover strict|salvage]
     pfd repair   <data.csv> --rules <rules.pfd> [--engine naive|delta]
                  [--max-passes N] [--explain] [--out <cleaned.csv>] [--json]
     pfd session  <data.csv> [--rules <rules.pfd>] [--script <edits.jsonl>]
-                 [--snapshot <file.pfds>]
+                 [--snapshot <file.pfds>] [--recover strict|salvage]
 
 OPTIONS:
     --min-support K   minimum records per pattern (default 5)
@@ -113,8 +153,13 @@ OPTIONS:
     --script FILE     JSONL edit script for session (default: read stdin)
     --snapshot FILE   binary engine snapshot: loaded when FILE exists (CSV is
                       not re-read; --rules becomes optional), written
-                      otherwise. session also replays and appends FILE.log,
-                      so an interrupted session resumes losslessly";
+                      otherwise. session also replays and appends the
+                      checksummed delta log FILE.log, so an interrupted
+                      session resumes losslessly
+    --recover P       recovery policy for --snapshot state (default salvage):
+                      salvage walks the fallback ladder (current snapshot →
+                      FILE.prev → rebuild) and replays the valid log prefix;
+                      strict errors instead of discarding anything";
 
 /// Which repair engine drives the fixpoint chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,12 +182,14 @@ enum Command {
         rules_out: Option<String>,
         review: bool,
         snapshot: Option<String>,
+        recover: RecoveryPolicy,
     },
     Check {
         data: String,
         rules: Option<String>,
         json: bool,
         snapshot: Option<String>,
+        recover: RecoveryPolicy,
     },
     Repair {
         data: String,
@@ -158,6 +205,7 @@ enum Command {
         rules: Option<String>,
         script: Option<String>,
         snapshot: Option<String>,
+        recover: RecoveryPolicy,
     },
 }
 
@@ -209,6 +257,15 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
         v.parse()
             .map_err(|_| CliError::Usage(format!("--{name}: not an integer: {v}")))
     };
+    let recover_policy = || -> Result<RecoveryPolicy, CliError> {
+        match flag("recover") {
+            None | Some("salvage") => Ok(RecoveryPolicy::Salvage),
+            Some("strict") => Ok(RecoveryPolicy::Strict),
+            Some(other) => Err(CliError::Usage(format!(
+                "--recover must be strict or salvage, got {other:?}"
+            ))),
+        }
+    };
 
     match cmd.as_str() {
         "profile" => Ok(Command::Profile { data }),
@@ -238,6 +295,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 rules_out: flag("rules").map(str::to_string),
                 review: has_flag("review"),
                 snapshot: flag("snapshot").map(str::to_string),
+                recover: recover_policy()?,
             })
         }
         "check" => Ok(Command::Check {
@@ -245,6 +303,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             rules: flag("rules").map(str::to_string),
             json: has_flag("json"),
             snapshot: flag("snapshot").map(str::to_string),
+            recover: recover_policy()?,
         }),
         "repair" => Ok(Command::Repair {
             data,
@@ -273,6 +332,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             rules: flag("rules").map(str::to_string),
             script: flag("script").map(str::to_string),
             snapshot: flag("snapshot").map(str::to_string),
+            recover: recover_policy()?,
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -292,21 +352,9 @@ fn load_rules(path: &str, rel: &Relation) -> Result<Vec<Pfd>, CliError> {
     Ok(parse_rules(&text, rel.schema())?)
 }
 
-/// The serving engine behind `--snapshot`: an existing snapshot file wins
-/// (the CSV is not re-read and `--rules` is not needed); otherwise the
-/// engine is built from CSV + rules and, when a snapshot path was given,
-/// persisted there for the next run.
-fn obtain_engine(
-    data: &str,
-    rules: Option<&str>,
-    snapshot: Option<&str>,
-    command: &str,
-) -> Result<DeltaEngine, CliError> {
-    if let Some(path) = snapshot {
-        if Path::new(path).exists() {
-            return Ok(pfd_core::load(Path::new(path))?);
-        }
-    }
+/// Rebuild the engine from its original inputs — the last rung of the
+/// recovery ladder, and the whole ladder when no `--snapshot` is in play.
+fn cold_build(data: &str, rules: Option<&str>, command: &str) -> Result<DeltaEngine, CliError> {
     let rules = rules.ok_or_else(|| {
         CliError::Usage(format!(
             "{command} needs --rules (or an existing --snapshot)"
@@ -314,11 +362,31 @@ fn obtain_engine(
     })?;
     let rel = load_relation(data)?;
     let pfds = load_rules(rules, &rel)?;
-    let engine = DeltaEngine::new(rel, pfds);
-    if let Some(path) = snapshot {
-        pfd_core::save(&engine, Path::new(path))?;
+    Ok(DeltaEngine::new(rel, pfds))
+}
+
+/// The serving engine behind `--snapshot`: recovered through the
+/// degradation ladder (current snapshot → `.prev` fallback → cold build
+/// from CSV + rules) under the chosen `--recover` policy, with any
+/// leftover delta log replayed. Recovered-or-rebuilt state is checkpointed
+/// back so the next run starts clean.
+fn obtain_engine(
+    data: &str,
+    rules: Option<&str>,
+    snapshot: Option<&str>,
+    recover: RecoveryPolicy,
+    command: &str,
+) -> Result<DeltaEngine, CliError> {
+    let Some(path) = snapshot else {
+        return cold_build(data, rules, command);
+    };
+    let io = StdIo;
+    let store = SnapshotStore::new(&io, path);
+    let recovered = store.recover(recover, || cold_build(data, rules, command))?;
+    if recovered.needs_checkpoint {
+        store.checkpoint(&recovered.engine, recovered.next_meta())?;
     }
-    Ok(engine)
+    Ok(recovered.engine)
 }
 
 /// Run the CLI; returns the process exit code. All output goes to `out`.
@@ -358,6 +426,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             rules_out,
             review,
             snapshot,
+            recover,
         } => {
             // An existing snapshot replaces the CSV parse; a fresh snapshot
             // path is written below with the discovered rules, so a
@@ -367,7 +436,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 .filter(|p| Path::new(p).exists())
                 .is_some();
             let rel = match (&snapshot, loaded_snapshot) {
-                (Some(path), true) => pfd_core::load(Path::new(path))?.into_relation(),
+                (Some(path), true) => match pfd_core::load(Path::new(path)) {
+                    Ok(engine) => engine.into_relation(),
+                    // Discovery state is rebuildable from the CSV, so a
+                    // salvage policy treats a bad snapshot as a cache miss.
+                    Err(e) if recover == RecoveryPolicy::Salvage => {
+                        writeln!(out, "warning: snapshot unusable ({e}); re-reading CSV")?;
+                        load_relation(&data)?
+                    }
+                    Err(e) => return Err(e.into()),
+                },
                 _ => load_relation(&data)?,
             };
             let result = discover(&rel, &config);
@@ -423,8 +501,15 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             rules,
             json,
             snapshot,
+            recover,
         } => {
-            let engine = obtain_engine(&data, rules.as_deref(), snapshot.as_deref(), "check")?;
+            let engine = obtain_engine(
+                &data,
+                rules.as_deref(),
+                snapshot.as_deref(),
+                recover,
+                "check",
+            )?;
             let (rel, pfds) = (engine.relation(), engine.pfds());
             let report = detect_errors(rel, pfds);
             if json {
@@ -543,45 +628,36 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             rules,
             script,
             snapshot,
+            recover,
         } => {
-            let mut engine =
-                obtain_engine(&data, rules.as_deref(), snapshot.as_deref(), "session")?;
-            // Resume contract: state = snapshot + replay of the append-only
-            // command log. The log only has content after a crash — a clean
-            // session end re-snapshots and truncates it below.
-            let log_path = snapshot.as_ref().map(|p| format!("{p}.log"));
-            if let Some(lp) = &log_path {
-                if let Ok(text) = std::fs::read_to_string(lp) {
-                    pfd_core::replay_log(&mut engine, &text)?;
-                }
-            }
-            let repairer = RepairEngine::from_engine(engine, RepairOptions::default());
-            let mut log_file = match &log_path {
-                Some(p) => Some(
-                    std::fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(p)?,
-                ),
-                None => None,
+            let input: Box<dyn BufRead> = match &script {
+                Some(path) => Box::new(std::io::BufReader::new(std::fs::File::open(path)?)),
+                None => Box::new(std::io::stdin().lock()),
             };
-            let log: Option<&mut dyn Write> = log_file.as_mut().map(|f| f as &mut dyn Write);
-            let (repairer, summary) = match script {
+            let summary = match &snapshot {
+                // Durable lifecycle: recover (replaying any crashed
+                // session's log), checkpoint, serve with every applied
+                // command fsynced to the delta log, checkpoint again.
                 Some(path) => {
-                    let file = std::fs::File::open(path)?;
-                    run_session_with(repairer, std::io::BufReader::new(file), out, log)?
+                    let io = StdIo;
+                    let (_, summary, _) = run_durable_session(
+                        &io,
+                        Path::new(path),
+                        recover,
+                        RepairOptions::default(),
+                        || cold_build(&data, rules.as_deref(), "session"),
+                        input,
+                        out,
+                    )?;
+                    summary
                 }
                 None => {
-                    let stdin = std::io::stdin();
-                    run_session_with(repairer, stdin.lock(), out, log)?
+                    let engine = cold_build(&data, rules.as_deref(), "session")?;
+                    let repairer = RepairEngine::from_engine(engine, RepairOptions::default());
+                    let (_, summary) = run_session_with(repairer, input, out, None)?;
+                    summary
                 }
             };
-            if let Some(path) = &snapshot {
-                pfd_core::save(repairer.engine(), Path::new(path))?;
-                if let Some(lp) = &log_path {
-                    std::fs::write(lp, "")?;
-                }
-            }
             // Dirty end state → exit code 1, matching `check`.
             Ok(if summary.violations == 0 { 0 } else { 1 })
         }
@@ -1020,10 +1096,9 @@ mod tests {
         ]);
         assert_eq!(code1, 0);
         assert_eq!(out_plain, out_snap, "snapshot wiring changes no events");
-        assert_eq!(
-            std::fs::read_to_string(format!("{snap}.log")).unwrap(),
-            "",
-            "clean exit truncates the delta log"
+        assert!(
+            !Path::new(&format!("{snap}.log")).exists(),
+            "clean exit checkpoints and removes the delta log"
         );
         // Session 2 resumes from the snapshot: the fix persisted (0
         // violations in ready) and the mutation version kept counting.
@@ -1049,18 +1124,34 @@ mod tests {
         let snap = tmp_path("snap-crash.pfds");
         // Seed the snapshot (pre-edit state, 1 violation).
         let (_, _) = run_capture(&["check", &data, "--rules", &rules_path, "--snapshot", &snap]);
-        // Simulate a crashed session: the fix reached the log but no
-        // re-snapshot happened.
-        std::fs::write(
-            format!("{snap}.log"),
-            "{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}\n",
-        )
-        .unwrap();
+        // Simulate a crashed session: the fix reached the framed delta log
+        // but no re-snapshot happened.
+        let log_path = format!("{snap}.log");
+        {
+            let (mut wal, _) = pfd_relation::WalWriter::open(
+                &StdIo,
+                Path::new(&log_path),
+                0,
+                pfd_relation::SyncPolicy::Always,
+            )
+            .unwrap();
+            wal.append(b"{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}")
+                .unwrap();
+        }
         let script = tmp("snap-crash-script.jsonl", "");
         let (code, output) =
             run_capture(&["session", &data, "--script", &script, "--snapshot", &snap]);
         assert_eq!(code, 0, "replayed state is clean: {output}");
+        assert!(
+            output.contains("\"event\":\"recovered\"")
+                && output.contains("\"log_records_applied\":1"),
+            "recovery is reported: {output}"
+        );
         assert!(output.contains("\"violations\":0"), "{output}");
+        assert!(
+            !Path::new(&log_path).exists(),
+            "recovery re-checkpoints and removes the replayed log"
+        );
     }
 
     #[test]
