@@ -62,7 +62,7 @@ use crate::detect::{detect_errors_with, flag_for_violation, CellFlag, DetectOpti
 use crate::incremental::{entry_key, DeltaEngine, DeltaEntry, Edit, EntryKey};
 use crate::pfd::{Pfd, ViolationKind};
 use pfd_relation::{AttrId, Relation, RowId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Weight of the support component in a fix score.
 pub const SUPPORT_WEIGHT: f64 = 0.6;
@@ -270,8 +270,7 @@ fn plan_fixes(
     // Cascade deferral (see above): hold back fixes derived from a cell
     // that is also being fixed — a same-row LHS cell of the justifying
     // rule, or the pair majority representative's cell.
-    let planned: std::collections::BTreeSet<(RowId, AttrId)> =
-        winners.iter().map(|(f, _)| (f.row, f.attr)).collect();
+    let planned: BTreeSet<(RowId, AttrId)> = winners.iter().map(|(f, _)| (f.row, f.attr)).collect();
     let derived_from_planned = |f: &CellFix, rep: &Option<RowId>| {
         pfds[f.pfd_index]
             .lhs()
@@ -471,27 +470,43 @@ impl RepairEngine {
             .into_iter()
             .map(|e| (entry_key(&e), e))
             .collect();
+        // Flag cache + dirty queue: deriving a flag (pattern matching, key
+        // extraction, splicing) is the per-pass cost, so each pass pops only
+        // the keys the previous batch touched and recomputes those, reusing
+        // cached flags for the rest. A key is dirty when the delta
+        // introduced it, or when a surviving violation names an edited cell
+        // — its flag splices from that cell's value, and the delta does not
+        // re-report a violation whose group statistics were left unchanged
+        // by the rewrite. Pass one seeds the queue with every live key.
+        let mut flags: BTreeMap<EntryKey, CellFlag> = BTreeMap::new();
+        let mut dirty: BTreeSet<EntryKey> = live.keys().cloned().collect();
         let mut fix_counts: BTreeMap<(RowId, AttrId), usize> = BTreeMap::new();
         let mut all_fixes: Vec<CellFix> = Vec::new();
         let mut last_unrepaired = Vec::new();
         let mut passes = 0;
         while passes < self.options.max_passes {
-            let flags: Vec<CellFlag> = {
+            {
                 let pfds = self.engine.pfds();
                 let rel = self.engine.relation();
-                live.values()
-                    .map(|e| {
+                for key in &dirty {
+                    let e = &live[key];
+                    flags.insert(
+                        key.clone(),
                         flag_for_violation(
                             &pfds[e.pfd_index],
                             e.pfd_index,
                             &e.violation,
                             rel,
                             &self.options.detect,
-                        )
-                    })
-                    .collect()
-            };
-            let (fixes, unrepaired) = plan_fixes(flags, self.engine.pfds(), &fix_counts);
+                        ),
+                    );
+                }
+            }
+            dirty.clear();
+            // `flags` and `live` share a keyset, so values() walks the same
+            // canonical EntryKey order the full recomputation used to.
+            let pass_flags: Vec<CellFlag> = flags.values().cloned().collect();
+            let (fixes, unrepaired) = plan_fixes(pass_flags, self.engine.pfds(), &fix_counts);
             passes += 1;
             last_unrepaired = unrepaired;
             if fixes.is_empty() {
@@ -512,11 +527,25 @@ impl RepairEngine {
             // Cell edits never renumber rows, so resolved entries key
             // directly into the live map.
             for e in delta.resolved {
-                live.remove(&entry_key(&e));
+                let k = entry_key(&e);
+                live.remove(&k);
+                flags.remove(&k);
             }
             for e in delta.introduced {
-                live.insert(entry_key(&e), e);
+                let k = entry_key(&e);
+                dirty.insert(k.clone());
+                live.insert(k, e);
             }
+            // Surviving violations can still go stale: a rewrite that leaves
+            // a group's statistics intact is netted out of the delta, but any
+            // flag reading the rewritten cell must re-splice from the new
+            // value.
+            let edited: BTreeSet<(RowId, AttrId)> = fixes.iter().map(|f| (f.row, f.attr)).collect();
+            dirty.extend(
+                live.iter()
+                    .filter(|(_, e)| e.violation.cells().iter().any(|c| edited.contains(c)))
+                    .map(|(k, _)| k.clone()),
+            );
             for fix in &fixes {
                 *fix_counts.entry((fix.row, fix.attr)).or_insert(0) += 1;
             }

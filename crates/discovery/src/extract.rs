@@ -18,7 +18,7 @@
 //! values contribute their genuinely recurring fragments without ever
 //! paying the `L(L+1)/2` enumeration.
 
-use pfd_pattern::{CountScratch, SuffixAutomaton};
+use pfd_pattern::{simd, CountScratch, SuffixAutomaton};
 
 /// A maximal run of token or separator characters in a value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -232,6 +232,24 @@ impl Default for ExtractOptions {
 /// value: bounds the `O(occurrences · len)` scan for degenerate runs.
 const MAX_OCCURRENCES_PER_REPEAT: usize = 8;
 
+/// One mined repeat's state during the batched relocation scan.
+#[derive(Debug, Clone, Copy)]
+struct NeedleState {
+    /// Fragment byte range within the cell value.
+    start_b: u32,
+    /// Exclusive end of the fragment's byte range.
+    end_b: u32,
+    /// Char length of the fragment.
+    len: u32,
+    /// Occurrences not yet seen (from the automaton's count); the scan
+    /// stops tracking a needle once every occurrence is accounted for.
+    left: u32,
+    /// Interior emissions still allowed ([`MAX_OCCURRENCES_PER_REPEAT`]).
+    budget: u8,
+    /// Next needle sharing the same first byte (`-1` ends the chain).
+    next: i32,
+}
+
 /// Counters from one index build's extraction phase.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ExtractStats {
@@ -275,6 +293,10 @@ pub struct FragmentExtractor {
     repeats: Vec<(u32, u32, u32)>,
     /// Char-index → byte-offset table for non-ASCII values.
     bounds: Vec<usize>,
+    /// Relocation scratch: per-needle scan state, reused across cells.
+    needles: Vec<NeedleState>,
+    /// Relocation scratch: interior hits as `(needle, byte_pos, char_pos)`.
+    reloc_hits: Vec<(u32, u32, u32)>,
     /// Extraction counters, reset by [`FragmentExtractor::take_stats`].
     pub stats: ExtractStats,
 }
@@ -345,42 +367,106 @@ impl FragmentExtractor {
         repeats.sort_unstable_by(|a, b| b.cmp(a));
         repeats.truncate(self.opts.max_repeats_per_cell);
         repeats.sort_unstable_by_key(|&(_, len, start)| (start, len));
-        for &(count, len, first_start) in self.repeats.iter() {
+        self.relocate_repeats(value, char_count, ascii, f);
+    }
+
+    /// Re-locate every mined repeat's (overlapping) occurrences in one
+    /// batched pass. The old path ran `value[from..].find(frag)` per repeat
+    /// — quadratic on long cells with many repeats. Instead, a single
+    /// left-to-right byte scan dispatches each position through a
+    /// first-byte bucket to the needles that could start there (UTF-8
+    /// self-synchronization guarantees a needle's first byte only occurs at
+    /// char boundaries, so the byte scan is position-exact). Interior hits
+    /// are collected per needle and emitted needle-major, making the output
+    /// — order included — identical to the per-repeat rescan. Positions
+    /// where a fragment is a prefix or suffix of the whole value were
+    /// already emitted by the affix loops and stay filtered out.
+    fn relocate_repeats<'v>(
+        &mut self,
+        value: &'v str,
+        char_count: usize,
+        ascii: bool,
+        f: &mut impl FnMut(&'v str, u32),
+    ) {
+        let FragmentExtractor {
+            repeats,
+            bounds,
+            needles,
+            reloc_hits: hits,
+            stats,
+            ..
+        } = self;
+        let bytes = value.as_bytes();
+        needles.clear();
+        hits.clear();
+        let mut bucket_head = [-1i32; 256];
+        let mut active = 0usize;
+        for &(count, len, first_start) in repeats.iter() {
             let (start_b, end_b) = if ascii {
                 (first_start as usize, (first_start + len) as usize)
             } else {
                 (
-                    self.bounds[first_start as usize],
-                    self.bounds[(first_start + len) as usize],
+                    bounds[first_start as usize],
+                    bounds[(first_start + len) as usize],
                 )
             };
-            let frag = &value[start_b..end_b];
-            // Re-locate every (overlapping) occurrence; positions where the
-            // fragment is a prefix or suffix of the whole value were already
-            // emitted by the affix loops.
-            let mut from = 0usize;
-            let mut seen = 0u32;
-            let mut emitted = 0usize;
-            while seen < count && emitted < MAX_OCCURRENCES_PER_REPEAT {
-                let Some(rel_pos) = value[from..].find(frag) else {
-                    break;
-                };
-                let byte_pos = from + rel_pos;
-                seen += 1;
+            let first = bytes[start_b] as usize;
+            needles.push(NeedleState {
+                start_b: start_b as u32,
+                end_b: end_b as u32,
+                len,
+                left: count,
+                budget: MAX_OCCURRENCES_PER_REPEAT as u8,
+                next: bucket_head[first],
+            });
+            bucket_head[first] = needles.len() as i32 - 1;
+            active += 1;
+        }
+        for i in 0..bytes.len() {
+            if active == 0 {
+                break;
+            }
+            let mut n = bucket_head[bytes[i] as usize];
+            while n >= 0 {
+                let idx = n as usize;
+                let st = needles[idx];
+                n = st.next;
+                if st.left == 0 || st.budget == 0 {
+                    continue;
+                }
+                let frag = &bytes[st.start_b as usize..st.end_b as usize];
+                if !simd::is_prefix(&bytes[i..], frag) {
+                    continue;
+                }
+                let st = &mut needles[idx];
+                st.left -= 1;
                 let char_pos = if ascii {
-                    byte_pos
+                    i
                 } else {
-                    self.bounds
-                        .binary_search(&byte_pos)
+                    bounds
+                        .binary_search(&i)
                         .expect("matches start on char boundaries")
                 };
-                if char_pos != 0 && char_pos + (len as usize) != char_count {
-                    f(&value[byte_pos..byte_pos + frag.len()], char_pos as u32);
-                    emitted += 1;
-                    self.stats.repeat_fragments += 1;
+                if char_pos != 0 && char_pos + st.len as usize != char_count {
+                    hits.push((idx as u32, i as u32, char_pos as u32));
+                    st.budget -= 1;
                 }
-                from = byte_pos + value[byte_pos..].chars().next().map_or(1, char::len_utf8);
+                if st.left == 0 || st.budget == 0 {
+                    active -= 1;
+                }
             }
+        }
+        // Needle-major emission, positions ascending within a needle
+        // (stable sort keeps the scan order).
+        hits.sort_by_key(|&(idx, _, _)| idx);
+        for &(idx, byte_pos, char_pos) in hits.iter() {
+            let st = &needles[idx as usize];
+            let flen = (st.end_b - st.start_b) as usize;
+            f(
+                &value[byte_pos as usize..byte_pos as usize + flen],
+                char_pos,
+            );
+            stats.repeat_fragments += 1;
         }
     }
 }

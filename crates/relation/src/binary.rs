@@ -214,6 +214,12 @@ impl<'a> Cursor<'a> {
         let bytes = self.get_bytes(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not valid UTF-8"))
     }
+
+    /// Raw input bytes between two previously observed positions — lets a
+    /// decoder validate a varint run and then adopt its bytes wholesale.
+    pub(crate) fn bytes_between(&self, start: usize, end: usize) -> &'a [u8] {
+        &self.data[start..end]
+    }
 }
 
 /// Appends a length-prefixed UTF-8 string.
@@ -290,26 +296,31 @@ pub fn decode_string_table(cur: &mut Cursor<'_>) -> Result<Vec<String>, BinaryEr
 /// Encodes a posting list as `universe, len, first, gap, gap, ...` varints.
 ///
 /// Row ids are sorted and distinct, so every gap after the first id is at
-/// least 1 and the stream is self-validating on decode.
+/// least 1 and the stream is self-validating on decode. The stream is
+/// independent of the in-memory representation: block-compressed lists
+/// contribute their block payloads wholesale (one inter-block gap varint
+/// per block, then a byte copy), so the bytes are identical to encoding the
+/// plain sorted run id by id.
 pub fn encode_postings(out: &mut Vec<u8>, list: &PostingList) {
     put_varint(out, list.universe() as u64);
     put_varint(out, list.len() as u64);
-    let mut prev: Option<u32> = None;
-    for id in list.iter() {
-        match prev {
-            None => put_varint(out, u64::from(id)),
-            Some(p) => put_varint(out, u64::from(id - p)),
-        }
-        prev = Some(id);
-    }
+    list.write_wire_gaps(out);
 }
 
 /// Decodes a posting list written by [`encode_postings`].
+///
+/// Lists that would land in the block-compressed representation are built
+/// directly from the wire bytes: each 128-entry run of gaps is validated
+/// varint by varint and then adopted as a block payload without
+/// re-encoding.
 pub fn decode_postings(cur: &mut Cursor<'_>) -> Result<PostingList, BinaryError> {
     // The universe is a bound, not an item count, so it must not go through
     // the `get_len` remaining-input guard.
     let universe = cur.get_index()?;
     let len = cur.get_len()?;
+    if PostingList::wire_prefers_blocked(len as u64, universe as u64) {
+        return decode_postings_blocked(cur, universe, len);
+    }
     let mut ids = Vec::with_capacity(len.min(1 << 22));
     let mut prev: Option<u32> = None;
     for _ in 0..len {
@@ -331,6 +342,68 @@ pub fn decode_postings(cur: &mut Cursor<'_>) -> Result<PostingList, BinaryError>
         prev = Some(id);
     }
     Ok(PostingList::from_sorted(ids, universe))
+}
+
+/// Blocked decode path: validates each 128-entry gap run with the same
+/// checks (and error messages) as the id-by-id loop, then copies the run's
+/// bytes straight into the block buffer.
+fn decode_postings_blocked(
+    cur: &mut Cursor<'_>,
+    universe: usize,
+    len: usize,
+) -> Result<PostingList, BinaryError> {
+    use crate::postings::{BlockMeta, BLOCK_LEN};
+    let mut bytes: Vec<u8> = Vec::with_capacity(len.min(1 << 22));
+    let mut metas: Vec<BlockMeta> = Vec::with_capacity(len.div_ceil(BLOCK_LEN).min(1 << 16));
+    let mut prev: Option<u32> = None;
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(BLOCK_LEN);
+        // Leading varint: absolute first id for the first block, the gap
+        // from the previous block's last id otherwise.
+        let raw = cur.get_varint()?;
+        let first = match prev {
+            None => u32::try_from(raw).map_err(|_| corrupt("row id overflows u32"))?,
+            Some(p) => {
+                if raw == 0 {
+                    return Err(corrupt("zero gap in posting list"));
+                }
+                u32::try_from(u64::from(p) + raw).map_err(|_| corrupt("row id overflows u32"))?
+            }
+        };
+        if first as usize >= universe {
+            return Err(corrupt("posting id outside its universe"));
+        }
+        let start = cur.position();
+        let mut last = first;
+        for _ in 1..n {
+            let gap = cur.get_varint()?;
+            if gap == 0 {
+                return Err(corrupt("zero gap in posting list"));
+            }
+            last = u32::try_from(u64::from(last) + gap)
+                .map_err(|_| corrupt("row id overflows u32"))?;
+            if last as usize >= universe {
+                return Err(corrupt("posting id outside its universe"));
+            }
+        }
+        let offset = bytes.len() as u32;
+        bytes.extend_from_slice(cur.bytes_between(start, cur.position()));
+        metas.push(BlockMeta {
+            first,
+            last,
+            offset,
+            count: n as u32,
+        });
+        prev = Some(last);
+        remaining -= n;
+    }
+    Ok(PostingList::from_blocked_raw(
+        universe as u32,
+        len as u32,
+        bytes,
+        metas,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -612,6 +685,80 @@ mod tests {
             assert_eq!(back.to_vec(), ids);
             assert_eq!(back.universe(), 20_000);
         }
+    }
+
+    #[test]
+    fn postings_blocked_round_trip_is_wholesale_and_canonical() {
+        let ids: Vec<u32> = (0..1000u32).map(|i| i * 37).collect();
+        let list = PostingList::from_sorted(ids.clone(), 1_000_000);
+        assert!(list.is_blocked_repr());
+        let mut buf = Vec::new();
+        encode_postings(&mut buf, &list);
+        // The wire bytes must match encoding the plain run id by id — the
+        // stream is independent of block partitioning.
+        let mut plain = Vec::new();
+        put_varint(&mut plain, 1_000_000);
+        put_varint(&mut plain, ids.len() as u64);
+        let mut prev: Option<u32> = None;
+        for &id in &ids {
+            match prev {
+                None => put_varint(&mut plain, u64::from(id)),
+                Some(p) => put_varint(&mut plain, u64::from(id - p)),
+            }
+            prev = Some(id);
+        }
+        assert_eq!(buf, plain);
+        // Decode builds the blocked form directly and re-encodes stably.
+        let mut cur = Cursor::new(&buf);
+        let back = decode_postings(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert!(back.is_blocked_repr());
+        assert_eq!(back.to_vec(), ids);
+        assert_eq!(back, list);
+        let mut buf2 = Vec::new();
+        encode_postings(&mut buf2, &back);
+        assert_eq!(buf, buf2, "save ∘ load ∘ save is byte-stable");
+    }
+
+    #[test]
+    fn blocked_decode_rejects_corrupt_gap_runs() {
+        // A sparse 300-id list routes through the blocked decoder; corrupt
+        // it three ways and check each is caught, not panicked on.
+        let ids: Vec<u32> = (0..300u32).map(|i| i * 5 + 1).collect();
+        let list = PostingList::from_sorted(ids, 100_000);
+        assert!(list.is_blocked_repr());
+        let mut buf = Vec::new();
+        encode_postings(&mut buf, &list);
+
+        // Zero gap in the middle of the second block (every gap is the
+        // single byte 5; flip one well past the first block's 128 entries
+        // plus the two header varints).
+        let mut zero_gap = buf.clone();
+        let target = zero_gap.len() - 10;
+        assert_eq!(zero_gap[target], 5);
+        zero_gap[target] = 0;
+        let mut cur = Cursor::new(&zero_gap);
+        assert_eq!(
+            decode_postings(&mut cur),
+            Err(BinaryError::Corrupt("zero gap in posting list".into()))
+        );
+
+        // Truncation mid-run: the cursor's bounded reads surface it.
+        let mut cur = Cursor::new(&buf[..buf.len() - 5]);
+        assert_eq!(decode_postings(&mut cur), Err(BinaryError::Truncated));
+
+        // An id past the universe: shrink the declared universe below the
+        // list's max id (299 * 5 + 1 = 1496) and keep the gap stream.
+        let mut small_universe = Vec::new();
+        put_varint(&mut small_universe, 1000); // universe below max id
+        small_universe.extend_from_slice(&buf[3..]); // 100_000 is a 3-byte varint
+        let mut cur = Cursor::new(&small_universe);
+        assert_eq!(
+            decode_postings(&mut cur),
+            Err(BinaryError::Corrupt(
+                "posting id outside its universe".into()
+            ))
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod binary;
 pub mod csv;
 pub mod io;
+pub mod kernels;
 pub mod postings;
 pub mod profile;
 #[allow(clippy::module_inception)]

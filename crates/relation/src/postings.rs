@@ -2,25 +2,44 @@
 //! incremental cleaning engine.
 //!
 //! Index entries and candidate row sets were plain `Vec<RowId>`; at scale
-//! the discovery hot path is dominated by merging those lists. A
-//! [`PostingList`] keeps the sorted-`u32` form for sparse sets and switches
-//! to a fixed-stride bitset once density crosses 1/16 of
-//! the row universe, so the frequent entries (column formats, shared
-//! prefixes) intersect word-at-a-time. Sorted × sorted intersections gallop
-//! when the lengths are lopsided — the common shape when probing a rare
-//! pattern against a frequent one.
+//! the discovery hot path is dominated by merging those lists and the
+//! resident index is dominated by their storage. A [`PostingList`] now has
+//! three tiers:
+//!
+//! - **Sorted** — plain strictly-increasing `u32` runs below
+//!   [`BLOCK_THRESHOLD`] entries, where block bookkeeping would cost more
+//!   than it saves.
+//! - **Blocked** — delta-gap LEB128 varint blocks of [`BLOCK_LEN`] entries
+//!   at build time (mutation may split them, bounded by [`BLOCK_MAX`]).
+//!   Each block carries a skip pointer (`first`/`last` id) so galloping
+//!   intersection and `is_subset` jump whole blocks without decoding them;
+//!   only overlapping blocks are expanded, into a stack scratch buffer.
+//!   Typical sparse sets compress from 4 bytes/row to ~1–2 bytes/row.
+//! - **Dense** — a fixed-stride bitset once density crosses 1/16 of the
+//!   row universe, so the frequent entries (column formats, shared
+//!   prefixes) intersect word-at-a-time.
+//!
+//! Sorted × sorted intersections gallop when the lengths are lopsided —
+//! the common shape when probing a rare pattern against a frequent one —
+//! and use the [`crate::kernels`] merge (SSE2 on `x86_64`, scalar twin
+//! elsewhere) when they are balanced.
 //!
 //! Equality and hashing are canonical over the *element sequence*, not the
-//! representation, so row sets group identically regardless of which side
-//! of the density threshold they landed on.
+//! representation, so row sets group identically regardless of which tier
+//! they landed on.
 //!
 //! The list also supports point mutation ([`insert`](PostingList::insert),
 //! [`remove`](PostingList::remove),
 //! [`renumber_after_delete`](PostingList::renumber_after_delete)) so the
 //! incremental engine's per-group row sets can track relation edits without
-//! rebuilding. This module lives in `pfd_relation` (rather than discovery,
-//! where it originated) because both layers depend on it.
+//! rebuilding. Mutating a blocked list re-encodes exactly one block. This
+//! module lives in `pfd_relation` (rather than discovery, where it
+//! originated) because both layers depend on it — and because the snapshot
+//! codec (`relation::binary`) adopts blocked payloads wholesale: the wire
+//! gap stream is independent of block partitioning, so encode is a
+//! per-block memcpy and decode builds blocks directly.
 
+use crate::binary::put_varint;
 use crate::relation::RowId;
 use std::hash::{Hash, Hasher};
 
@@ -32,10 +51,48 @@ const DENSE_NUMERATOR: u64 = 1;
 /// times longer than the other.
 const GALLOP_RATIO: usize = 8;
 
+/// Entries per block when a blocked list is built from a sorted run.
+pub(crate) const BLOCK_LEN: usize = 128;
+
+/// Upper bound on a block's entry count: inserts grow a block until it
+/// would exceed this, then it splits in half. Twice [`BLOCK_LEN`] so a
+/// freshly built list absorbs inserts without immediate splits.
+const BLOCK_MAX: usize = 256;
+
+/// Sorted runs at or above this length switch to blocked storage (unless
+/// density promotes them to the bitset first).
+const BLOCK_THRESHOLD: usize = 256;
+
+/// Skip pointer + directory entry for one compressed block.
+///
+/// The block's payload is `count - 1` LEB128 gap varints starting at
+/// `offset` in the shared byte buffer; the first id lives here, not in the
+/// payload, so a block can be skipped or range-checked without decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockMeta {
+    /// First (smallest) id in the block.
+    pub(crate) first: u32,
+    /// Last (largest) id in the block.
+    pub(crate) last: u32,
+    /// Byte offset of the block's gap payload.
+    pub(crate) offset: u32,
+    /// Number of ids in the block (≥ 1; empty blocks are removed).
+    pub(crate) count: u32,
+}
+
 #[derive(Debug, Clone)]
 enum Repr {
     /// Strictly increasing row ids.
     Sorted(Vec<u32>),
+    /// Delta-gap varint blocks with per-block skip pointers.
+    Blocked {
+        /// Concatenated gap payloads of all blocks.
+        bytes: Vec<u8>,
+        /// Block directory, ordered by `first` (blocks are disjoint).
+        metas: Vec<BlockMeta>,
+        /// Total id count across blocks.
+        count: u32,
+    },
     /// Fixed-stride bitset over the row universe; `count` caches the popcount.
     Dense { words: Vec<u64>, count: u32 },
 }
@@ -78,6 +135,8 @@ impl PostingList {
                     count: ids.len() as u32,
                 },
             }
+        } else if ids.len() >= BLOCK_THRESHOLD {
+            build_blocked(&ids, universe)
         } else {
             PostingList {
                 universe,
@@ -102,6 +161,7 @@ impl PostingList {
     pub fn len(&self) -> usize {
         match &self.repr {
             Repr::Sorted(v) => v.len(),
+            Repr::Blocked { count, .. } => *count as usize,
             Repr::Dense { count, .. } => *count as usize,
         }
     }
@@ -121,11 +181,51 @@ impl PostingList {
         matches!(self.repr, Repr::Dense { .. })
     }
 
+    /// Is the set stored as compressed blocks? (Exposed for tests and stats.)
+    pub fn is_blocked_repr(&self) -> bool {
+        matches!(self.repr, Repr::Blocked { .. })
+    }
+
+    /// Heap bytes currently allocated by the id storage (capacity-based, so
+    /// over-allocation counts). The memory-budget guard test and the
+    /// `postings_runtime` bench report this.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Sorted(v) => v.capacity() * std::mem::size_of::<u32>(),
+            Repr::Blocked { bytes, metas, .. } => {
+                bytes.capacity() + metas.capacity() * std::mem::size_of::<BlockMeta>()
+            }
+            Repr::Dense { words, .. } => words.capacity() * std::mem::size_of::<u64>(),
+        }
+    }
+
     /// Membership test.
     pub fn contains(&self, id: RowId) -> bool {
         let id = id as u32;
         match &self.repr {
             Repr::Sorted(v) => v.binary_search(&id).is_ok(),
+            Repr::Blocked { bytes, metas, .. } => {
+                let p = metas.partition_point(|m| m.first <= id);
+                if p == 0 {
+                    return false;
+                }
+                let m = &metas[p - 1];
+                if id > m.last {
+                    return false;
+                }
+                if id == m.first || id == m.last {
+                    return true;
+                }
+                let mut pos = m.offset as usize;
+                let mut cur = m.first;
+                for _ in 1..m.count {
+                    cur += read_gap(bytes, &mut pos);
+                    if cur >= id {
+                        return cur == id;
+                    }
+                }
+                false
+            }
             Repr::Dense { words, .. } => {
                 (id < self.universe) && words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
             }
@@ -134,65 +234,60 @@ impl PostingList {
 
     /// Iterate the row ids in increasing order.
     pub fn iter(&self) -> PostingIter<'_> {
-        match &self.repr {
-            Repr::Sorted(v) => PostingIter::Sorted(v.iter()),
-            Repr::Dense { words, .. } => PostingIter::Dense {
+        PostingIter(match &self.repr {
+            Repr::Sorted(v) => IterRepr::Sorted(v.iter()),
+            Repr::Blocked { bytes, metas, .. } => IterRepr::Blocked {
+                bytes,
+                metas,
+                block: 0,
+                pos: 0,
+                left: 0,
+                prev: 0,
+            },
+            Repr::Dense { words, .. } => IterRepr::Dense {
                 words,
                 word_idx: 0,
                 current: words.first().copied().unwrap_or(0),
             },
-        }
+        })
     }
 
     /// The ids as a sorted vector.
     pub fn to_vec(&self) -> Vec<u32> {
-        self.iter().collect()
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
     }
 
-    /// Set intersection. Gallops on lopsided sorted inputs, ANDs words on
-    /// dense ones.
+    /// Set intersection. Gallops on lopsided sorted inputs, skips whole
+    /// blocks on compressed ones, ANDs words on dense ones.
     pub fn intersect(&self, other: &PostingList) -> PostingList {
         let universe = self.universe.max(other.universe) as usize;
-        match (&self.repr, &other.repr) {
-            (Repr::Sorted(a), Repr::Sorted(b)) => {
-                PostingList::from_sorted(intersect_sorted(a, b), universe)
+        if let (Repr::Dense { words: wa, .. }, Repr::Dense { words: wb, .. }) =
+            (&self.repr, &other.repr)
+        {
+            // Zip truncates to the shorter word array (ids past the
+            // smaller universe cannot be in both sets), then pad back to
+            // the declared universe so the list stays self-consistent.
+            let mut words: Vec<u64> = wa.iter().zip(wb).map(|(a, b)| a & b).collect();
+            words.resize((universe as u32).div_ceil(64) as usize, 0);
+            let count: u32 = words.iter().map(|w| w.count_ones()).sum();
+            if is_dense(count as usize, universe as u32) {
+                return PostingList {
+                    universe: universe as u32,
+                    repr: Repr::Dense { words, count },
+                };
             }
-            (Repr::Sorted(a), Repr::Dense { .. }) => PostingList::from_sorted(
-                a.iter()
-                    .copied()
-                    .filter(|&id| other.contains(id as RowId))
-                    .collect(),
-                universe,
-            ),
-            (Repr::Dense { .. }, Repr::Sorted(b)) => PostingList::from_sorted(
-                b.iter()
-                    .copied()
-                    .filter(|&id| self.contains(id as RowId))
-                    .collect(),
-                universe,
-            ),
-            (Repr::Dense { words: wa, .. }, Repr::Dense { words: wb, .. }) => {
-                // Zip truncates to the shorter word array (ids past the
-                // smaller universe cannot be in both sets), then pad back to
-                // the declared universe so the list stays self-consistent.
-                let mut words: Vec<u64> = wa.iter().zip(wb).map(|(a, b)| a & b).collect();
-                words.resize((universe as u32).div_ceil(64) as usize, 0);
-                let count: u32 = words.iter().map(|w| w.count_ones()).sum();
-                if is_dense(count as usize, universe as u32) {
-                    PostingList {
-                        universe: universe as u32,
-                        repr: Repr::Dense { words, count },
-                    }
-                } else {
-                    let ids = PostingList {
-                        universe: universe as u32,
-                        repr: Repr::Dense { words, count },
-                    }
-                    .to_vec();
-                    PostingList::from_sorted(ids, universe)
-                }
+            let ids = PostingList {
+                universe: universe as u32,
+                repr: Repr::Dense { words, count },
             }
+            .to_vec();
+            return PostingList::from_sorted(ids, universe);
         }
+        let mut out = Vec::new();
+        self.intersect_into(other, &mut out);
+        PostingList::from_sorted(out, universe)
     }
 
     /// Set intersection into a caller-owned buffer: `out` is cleared and
@@ -204,11 +299,35 @@ impl PostingList {
         out.clear();
         match (&self.repr, &other.repr) {
             (Repr::Sorted(a), Repr::Sorted(b)) => intersect_sorted_into(a, b, out),
+            (Repr::Sorted(a), Repr::Blocked { bytes, metas, .. }) => {
+                intersect_sorted_blocked(a, bytes, metas, out);
+            }
+            (Repr::Blocked { bytes, metas, .. }, Repr::Sorted(b)) => {
+                intersect_sorted_blocked(b, bytes, metas, out);
+            }
+            (
+                Repr::Blocked {
+                    bytes: ab,
+                    metas: am,
+                    ..
+                },
+                Repr::Blocked {
+                    bytes: bb,
+                    metas: bm,
+                    ..
+                },
+            ) => intersect_blocked_blocked(ab, am, bb, bm, out),
             (Repr::Sorted(a), Repr::Dense { .. }) => {
                 out.extend(a.iter().copied().filter(|&id| other.contains(id as RowId)));
             }
             (Repr::Dense { .. }, Repr::Sorted(b)) => {
                 out.extend(b.iter().copied().filter(|&id| self.contains(id as RowId)));
+            }
+            (Repr::Blocked { .. }, Repr::Dense { .. }) => {
+                out.extend(self.iter().filter(|&id| other.contains(id as RowId)));
+            }
+            (Repr::Dense { .. }, Repr::Blocked { .. }) => {
+                out.extend(other.iter().filter(|&id| self.contains(id as RowId)));
             }
             (Repr::Dense { words: wa, .. }, Repr::Dense { words: wb, .. }) => {
                 for (i, (a, b)) in wa.iter().zip(wb).enumerate() {
@@ -226,6 +345,7 @@ impl PostingList {
     pub fn min(&self) -> Option<u32> {
         match &self.repr {
             Repr::Sorted(v) => v.first().copied(),
+            Repr::Blocked { metas, .. } => metas.first().map(|m| m.first),
             Repr::Dense { words, .. } => words
                 .iter()
                 .enumerate()
@@ -234,10 +354,12 @@ impl PostingList {
         }
     }
 
-    /// Largest row id, `None` when empty.
+    /// Largest row id, `None` when empty. O(1) on every representation
+    /// (the canonical hash depends on this staying cheap).
     pub fn max(&self) -> Option<u32> {
         match &self.repr {
             Repr::Sorted(v) => v.last().copied(),
+            Repr::Blocked { metas, .. } => metas.last().map(|m| m.last),
             Repr::Dense { words, .. } => words
                 .iter()
                 .enumerate()
@@ -248,9 +370,11 @@ impl PostingList {
     }
 
     /// Insert one row id, growing the universe when `id` lies beyond it.
-    /// Returns `true` when the id was newly added. The representation is
-    /// promoted to a bitset when the insert crosses the density threshold;
-    /// removals never demote (hysteresis keeps edit sequences cheap).
+    /// Returns `true` when the id was newly added. Sorted runs promote to
+    /// blocked storage past [`BLOCK_THRESHOLD`] and either form promotes to
+    /// a bitset when the insert crosses the density threshold; removals
+    /// never demote (hysteresis keeps edit sequences cheap). A blocked
+    /// insert re-encodes one block, splitting it at [`BLOCK_MAX`] entries.
     pub fn insert(&mut self, id: RowId) -> bool {
         let id = id as u32;
         if id >= self.universe {
@@ -259,29 +383,49 @@ impl PostingList {
                 words.resize(self.universe.div_ceil(64) as usize, 0);
             }
         }
-        match &mut self.repr {
+        let added = match &mut self.repr {
             Repr::Sorted(v) => match v.binary_search(&id) {
                 Ok(_) => false,
                 Err(pos) => {
                     v.insert(pos, id);
-                    if is_dense(v.len(), self.universe) {
-                        *self = PostingList::from_sorted(std::mem::take(v), self.universe as usize);
-                    }
                     true
                 }
             },
-            Repr::Dense { words, count } => {
-                let w = &mut words[(id / 64) as usize];
-                let bit = 1u64 << (id % 64);
-                if *w & bit == 0 {
-                    *w |= bit;
+            Repr::Blocked {
+                bytes,
+                metas,
+                count,
+            } => {
+                if insert_blocked(bytes, metas, id) {
                     *count += 1;
                     true
                 } else {
                     false
                 }
             }
+            Repr::Dense { words, count } => {
+                let w = &mut words[(id / 64) as usize];
+                let bit = 1u64 << (id % 64);
+                return if *w & bit == 0 {
+                    *w |= bit;
+                    *count += 1;
+                    true
+                } else {
+                    false
+                };
+            }
+        };
+        if added {
+            let promote = match &self.repr {
+                Repr::Sorted(v) => is_dense(v.len(), self.universe) || v.len() >= BLOCK_THRESHOLD,
+                Repr::Blocked { count, .. } => is_dense(*count as usize, self.universe),
+                Repr::Dense { .. } => false,
+            };
+            if promote {
+                *self = PostingList::from_sorted(self.to_vec(), self.universe as usize);
+            }
         }
+        added
     }
 
     /// Remove one row id; returns `true` when it was present.
@@ -295,6 +439,18 @@ impl PostingList {
                 }
                 Err(_) => false,
             },
+            Repr::Blocked {
+                bytes,
+                metas,
+                count,
+            } => {
+                if remove_blocked(bytes, metas, id) {
+                    *count -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
             Repr::Dense { words, count } => {
                 if id >= self.universe {
                     return false;
@@ -331,27 +487,380 @@ impl PostingList {
         if self.len() > other.len() {
             return false;
         }
+        // Against a blocked superset there are two regimes: a small probe
+        // set wants the per-id skip-pointer search, a large one (anything
+        // past the gallop ratio) wants one linear merge walk — the probes
+        // cost O(|self| log) while the merge streams both sides once.
+        let prefer_merge = other.len() < self.len().saturating_mul(GALLOP_RATIO);
         match (&self.repr, &other.repr) {
             (Repr::Sorted(a), Repr::Sorted(b)) => is_subset_sorted(a, b),
+            (Repr::Sorted(a), Repr::Blocked { bytes, metas, .. }) => {
+                if prefer_merge {
+                    is_subset_iter_merge(a.iter().copied(), other.iter())
+                } else {
+                    is_subset_sorted_blocked(a, bytes, metas)
+                }
+            }
+            (Repr::Blocked { .. }, Repr::Sorted(b)) => is_subset_iter_sorted(self.iter(), b),
+            (
+                Repr::Blocked {
+                    bytes: ab,
+                    metas: am,
+                    ..
+                },
+                Repr::Blocked {
+                    bytes: bb,
+                    metas: bm,
+                    ..
+                },
+            ) => {
+                if prefer_merge {
+                    return is_subset_iter_merge(self.iter(), other.iter());
+                }
+                let mut buf = BlockBuf::new();
+                for k in 0..am.len() {
+                    decode_block(ab, am, k, &mut buf);
+                    if !is_subset_sorted_blocked(buf.ids(), bb, bm) {
+                        return false;
+                    }
+                }
+                true
+            }
             _ => self.iter().all(|id| other.contains(id as RowId)),
+        }
+    }
+
+    /// Append this list's canonical wire gap stream (`first, gap, gap, …`)
+    /// to `out`. The stream is independent of block partitioning, so the
+    /// blocked form emits one inter-block gap varint per block and then
+    /// copies the block's payload bytes wholesale — no re-encoding.
+    pub(crate) fn write_wire_gaps(&self, out: &mut Vec<u8>) {
+        if let Repr::Blocked { bytes, metas, .. } = &self.repr {
+            let mut prev_last: Option<u32> = None;
+            for (k, m) in metas.iter().enumerate() {
+                match prev_last {
+                    None => put_varint(out, m.first as u64),
+                    Some(p) => put_varint(out, (m.first - p) as u64),
+                }
+                out.extend_from_slice(&bytes[m.offset as usize..block_end(bytes.len(), metas, k)]);
+                prev_last = Some(m.last);
+            }
+        } else {
+            let mut prev: Option<u32> = None;
+            for id in self.iter() {
+                match prev {
+                    None => put_varint(out, id as u64),
+                    Some(p) => put_varint(out, (id - p) as u64),
+                }
+                prev = Some(id);
+            }
+        }
+    }
+
+    /// Would a decoded wire list of `len` ids over `universe` land in the
+    /// blocked representation? Mirrors [`from_sorted`](Self::from_sorted)'s
+    /// tier choice so the codec can build blocks directly off the wire.
+    pub(crate) fn wire_prefers_blocked(len: u64, universe: u64) -> bool {
+        len >= BLOCK_THRESHOLD as u64 && !(universe >= 64 && len * 16 >= DENSE_NUMERATOR * universe)
+    }
+
+    /// Assemble a blocked list from codec-validated parts (the snapshot
+    /// decoder copies wire gap payloads wholesale into `bytes`).
+    pub(crate) fn from_blocked_raw(
+        universe: u32,
+        count: u32,
+        mut bytes: Vec<u8>,
+        mut metas: Vec<BlockMeta>,
+    ) -> PostingList {
+        debug_assert_eq!(
+            count as usize,
+            metas.iter().map(|m| m.count as usize).sum::<usize>()
+        );
+        bytes.shrink_to_fit();
+        metas.shrink_to_fit();
+        PostingList {
+            universe,
+            repr: Repr::Blocked {
+                bytes,
+                metas,
+                count,
+            },
         }
     }
 }
 
-/// Representation decision rule.
+/// Representation decision rule for the bitset tier.
 fn is_dense(count: usize, universe: u32) -> bool {
     universe >= 64 && (count as u64) * 16 >= DENSE_NUMERATOR * universe as u64
 }
 
+/// Read one LEB128 varint gap from in-memory (trusted) block bytes.
+#[inline]
+fn read_gap(bytes: &[u8], pos: &mut usize) -> u32 {
+    let b = bytes[*pos];
+    *pos += 1;
+    if b & 0x80 == 0 {
+        return b as u32;
+    }
+    let mut acc = (b & 0x7f) as u32;
+    let mut shift = 7u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        acc |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            return acc;
+        }
+        shift += 7;
+    }
+}
+
+/// End offset (exclusive) of block `k`'s payload in the shared buffer.
+fn block_end(bytes_len: usize, metas: &[BlockMeta], k: usize) -> usize {
+    metas.get(k + 1).map_or(bytes_len, |m| m.offset as usize)
+}
+
+/// Chunk a sorted run into [`BLOCK_LEN`]-entry gap blocks.
+fn build_blocked(ids: &[u32], universe: u32) -> PostingList {
+    let mut bytes = Vec::with_capacity(ids.len());
+    let mut metas = Vec::with_capacity(ids.len().div_ceil(BLOCK_LEN));
+    for chunk in ids.chunks(BLOCK_LEN) {
+        metas.push(BlockMeta {
+            first: chunk[0],
+            last: *chunk.last().expect("chunks are non-empty"),
+            offset: bytes.len() as u32,
+            count: chunk.len() as u32,
+        });
+        for w in chunk.windows(2) {
+            put_varint(&mut bytes, (w[1] - w[0]) as u64);
+        }
+    }
+    bytes.shrink_to_fit();
+    metas.shrink_to_fit();
+    PostingList {
+        universe,
+        repr: Repr::Blocked {
+            bytes,
+            metas,
+            count: ids.len() as u32,
+        },
+    }
+}
+
+/// Stack scratch for decoding one block — read paths expand blocks here so
+/// intersections and subset checks never touch the heap per block.
+struct BlockBuf {
+    ids: [u32; BLOCK_MAX],
+    len: usize,
+}
+
+impl BlockBuf {
+    fn new() -> BlockBuf {
+        BlockBuf {
+            ids: [0; BLOCK_MAX],
+            len: 0,
+        }
+    }
+
+    fn ids(&self) -> &[u32] {
+        &self.ids[..self.len]
+    }
+}
+
+/// Decode block `k` into the scratch buffer.
+fn decode_block(bytes: &[u8], metas: &[BlockMeta], k: usize, buf: &mut BlockBuf) {
+    let m = &metas[k];
+    debug_assert!(m.count as usize <= BLOCK_MAX);
+    let mut pos = m.offset as usize;
+    let mut cur = m.first;
+    buf.ids[0] = cur;
+    for slot in buf.ids[1..m.count as usize].iter_mut() {
+        cur += read_gap(bytes, &mut pos);
+        *slot = cur;
+    }
+    buf.len = m.count as usize;
+}
+
+/// Decode block `k` into a fresh vector (mutation path).
+fn decode_block_vec(bytes: &[u8], metas: &[BlockMeta], k: usize) -> Vec<u32> {
+    let m = &metas[k];
+    let mut ids = Vec::with_capacity(m.count as usize + 1);
+    let mut pos = m.offset as usize;
+    let mut cur = m.first;
+    ids.push(cur);
+    for _ in 1..m.count {
+        cur += read_gap(bytes, &mut pos);
+        ids.push(cur);
+    }
+    ids
+}
+
+/// Re-encode block `k` from `ids`: removed when empty, split in half past
+/// [`BLOCK_MAX`], otherwise rewritten in place. Subsequent blocks' offsets
+/// shift by the payload size delta; their payload bytes are untouched.
+fn replace_block(bytes: &mut Vec<u8>, metas: &mut Vec<BlockMeta>, k: usize, ids: &[u32]) {
+    let start = metas[k].offset as usize;
+    let end = block_end(bytes.len(), metas, k);
+    let chunks: [&[u32]; 2] = if ids.len() > BLOCK_MAX {
+        ids.split_at(ids.len() / 2).into()
+    } else {
+        [ids, &[]]
+    };
+    let mut payload: Vec<u8> = Vec::with_capacity(ids.len() * 2);
+    let mut new_metas: Vec<BlockMeta> = Vec::with_capacity(2);
+    for chunk in chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        new_metas.push(BlockMeta {
+            first: chunk[0],
+            last: *chunk.last().expect("non-empty chunk"),
+            offset: (start + payload.len()) as u32,
+            count: chunk.len() as u32,
+        });
+        for w in chunk.windows(2) {
+            put_varint(&mut payload, (w[1] - w[0]) as u64);
+        }
+    }
+    let n_new = new_metas.len();
+    let delta = payload.len() as isize - (end - start) as isize;
+    bytes.splice(start..end, payload);
+    metas.splice(k..k + 1, new_metas);
+    for m in metas.iter_mut().skip(k + n_new) {
+        m.offset = (m.offset as isize + delta) as u32;
+    }
+}
+
+/// Insert `id` into a blocked list; `false` when already present.
+fn insert_blocked(bytes: &mut Vec<u8>, metas: &mut Vec<BlockMeta>, id: u32) -> bool {
+    if metas.is_empty() {
+        metas.push(BlockMeta {
+            first: id,
+            last: id,
+            offset: 0,
+            count: 1,
+        });
+        return true;
+    }
+    // Last block starting at or before `id`; ids below every block land in
+    // block 0 (binary_search then prepends).
+    let k = metas.partition_point(|m| m.first <= id).saturating_sub(1);
+    let mut ids = decode_block_vec(bytes, metas, k);
+    match ids.binary_search(&id) {
+        Ok(_) => false,
+        Err(pos) => {
+            ids.insert(pos, id);
+            replace_block(bytes, metas, k, &ids);
+            true
+        }
+    }
+}
+
+/// Remove `id` from a blocked list; `false` when absent.
+fn remove_blocked(bytes: &mut Vec<u8>, metas: &mut Vec<BlockMeta>, id: u32) -> bool {
+    let p = metas.partition_point(|m| m.first <= id);
+    if p == 0 || id > metas[p - 1].last {
+        return false;
+    }
+    let k = p - 1;
+    let mut ids = decode_block_vec(bytes, metas, k);
+    match ids.binary_search(&id) {
+        Ok(pos) => {
+            ids.remove(pos);
+            replace_block(bytes, metas, k, &ids);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Sorted ∩ blocked: skip pointers jump past non-overlapping blocks, then
+/// each overlapping block decodes once into stack scratch and intersects
+/// against its window of the sorted run.
+fn intersect_sorted_blocked(sorted: &[u32], bytes: &[u8], metas: &[BlockMeta], out: &mut Vec<u32>) {
+    let mut buf = BlockBuf::new();
+    let mut s = sorted;
+    let mut k = 0usize;
+    while !s.is_empty() && k < metas.len() {
+        // First block that can contain s[0].
+        k += metas[k..].partition_point(|m| m.last < s[0]);
+        if k >= metas.len() {
+            return;
+        }
+        let m = &metas[k];
+        let lo = s.partition_point(|&x| x < m.first);
+        let hi = s.partition_point(|&x| x <= m.last);
+        if lo < hi {
+            decode_block(bytes, metas, k, &mut buf);
+            intersect_sorted_into(&s[lo..hi], buf.ids(), out);
+        }
+        s = &s[hi..];
+        k += 1;
+    }
+}
+
+/// Blocked ∩ blocked: a two-cursor walk over the block directories.
+/// Non-overlapping blocks advance by skip pointer alone; overlapping pairs
+/// decode (cached per cursor) and intersect their overlapping windows.
+/// Each common id lives in exactly one block per side, so exactly one pair
+/// emits it, and pairs advance in ascending range order.
+fn intersect_blocked_blocked(
+    abytes: &[u8],
+    ametas: &[BlockMeta],
+    bbytes: &[u8],
+    bmetas: &[BlockMeta],
+    out: &mut Vec<u32>,
+) {
+    let mut abuf = BlockBuf::new();
+    let mut bbuf = BlockBuf::new();
+    let (mut adec, mut bdec) = (usize::MAX, usize::MAX);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ametas.len() && j < bmetas.len() {
+        let (ma, mb) = (&ametas[i], &bmetas[j]);
+        if ma.last < mb.first {
+            i += 1;
+            continue;
+        }
+        if mb.last < ma.first {
+            j += 1;
+            continue;
+        }
+        if adec != i {
+            decode_block(abytes, ametas, i, &mut abuf);
+            adec = i;
+        }
+        if bdec != j {
+            decode_block(bbytes, bmetas, j, &mut bbuf);
+            bdec = j;
+        }
+        let a = abuf.ids();
+        let b = bbuf.ids();
+        let a_lo = a.partition_point(|&x| x < mb.first);
+        let a_hi = a.partition_point(|&x| x <= mb.last);
+        let b_lo = b.partition_point(|&x| x < ma.first);
+        let b_hi = b.partition_point(|&x| x <= ma.last);
+        intersect_sorted_into(&a[a_lo..a_hi], &b[b_lo..b_hi], out);
+        if ma.last <= mb.last {
+            i += 1;
+        }
+        if mb.last <= ma.last {
+            j += 1;
+        }
+    }
+}
+
 /// Sorted intersection: linear merge for comparable lengths, galloping when
 /// one side dominates.
+#[cfg(test)]
 fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     intersect_sorted_into(a, b, &mut out);
     out
 }
 
-/// [`intersect_sorted`] writing into a caller-owned buffer (not cleared).
+/// Sorted intersection into a caller-owned buffer (not cleared): gallop on
+/// lopsided lengths, otherwise the [`crate::kernels`] merge (SIMD where it
+/// wins, scalar twin elsewhere).
 fn intersect_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
@@ -374,18 +883,7 @@ fn intersect_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
             }
         }
     } else {
-        let (mut i, mut j) = (0, 0);
-        while i < small.len() && j < large.len() {
-            match small[i].cmp(&large[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(small[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
+        crate::kernels::intersect_merge(small, large, out);
     }
 }
 
@@ -408,14 +906,66 @@ fn gallop_search(hay: &[u32], x: u32) -> Result<usize, usize> {
 
 /// Sorted subset check with a galloping scan through the superset.
 fn is_subset_sorted(a: &[u32], b: &[u32]) -> bool {
+    is_subset_iter_sorted(a.iter().copied(), b)
+}
+
+/// Merge-style subset check over two ascending id streams: one linear walk
+/// of both sides, the right call when the candidate subset is a sizable
+/// fraction of the superset and per-id probes would cost more than the
+/// stream.
+fn is_subset_iter_merge(a: impl Iterator<Item = u32>, mut b: impl Iterator<Item = u32>) -> bool {
+    let mut cur = b.next();
+    'outer: for x in a {
+        while let Some(y) = cur {
+            cur = if y < x {
+                b.next()
+            } else if y == x {
+                continue 'outer;
+            } else {
+                return false;
+            };
+        }
+        return false;
+    }
+    true
+}
+
+/// Streaming subset check: every id the iterator yields (ascending) must
+/// appear in sorted `b`; the gallop cursor persists across ids.
+fn is_subset_iter_sorted(ids: impl Iterator<Item = u32>, b: &[u32]) -> bool {
     let mut base = 0usize;
-    for &x in a {
+    for x in ids {
         if base >= b.len() {
             return false;
         }
         match gallop_search(&b[base..], x) {
             Ok(off) => base += off + 1,
             Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Sorted ⊆ blocked: locate each id's candidate block via the skip
+/// pointers; consecutive ids in one block reuse its decode.
+fn is_subset_sorted_blocked(a: &[u32], bytes: &[u8], metas: &[BlockMeta]) -> bool {
+    let mut buf = BlockBuf::new();
+    let mut decoded = usize::MAX;
+    for &x in a {
+        let p = metas.partition_point(|m| m.first <= x);
+        if p == 0 || x > metas[p - 1].last {
+            return false;
+        }
+        let k = p - 1;
+        if x == metas[k].first || x == metas[k].last {
+            continue;
+        }
+        if decoded != k {
+            decode_block(bytes, metas, k, &mut buf);
+            decoded = k;
+        }
+        if buf.ids().binary_search(&x).is_err() {
+            return false;
         }
     }
     true
@@ -435,6 +985,23 @@ impl PartialEq for PostingList {
                     count: cb,
                 },
             ) => ca == cb && a == b,
+            (
+                Repr::Blocked {
+                    bytes: ab,
+                    metas: am,
+                    count: ca,
+                },
+                Repr::Blocked {
+                    bytes: bb,
+                    metas: bm,
+                    count: cb,
+                },
+            ) => {
+                // Identical block layout ⇒ identical sets, but mutation
+                // history can partition one set two ways — unequal bytes
+                // must still fall through to the element compare.
+                ca == cb && ((am == bm && ab == bb) || self.iter().eq(other.iter()))
+            }
             _ => self.len() == other.len() && self.iter().eq(other.iter()),
         }
     }
@@ -445,7 +1012,7 @@ impl Eq for PostingList {}
 impl Hash for PostingList {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Canonical over the element *sequence prefix* plus (count, max) so
-        // Sorted and Dense forms of one set hash alike without iterating
+        // all three representations of one set hash alike without iterating
         // row sets that can span the whole relation. The bounded prefix
         // matters for discovery's RHS decision cache, which probes many
         // distinct joint row sets of equal size sharing min and max — a
@@ -461,10 +1028,28 @@ impl Hash for PostingList {
     }
 }
 
-/// Iterator over a [`PostingList`]'s row ids, ascending.
-pub enum PostingIter<'a> {
+/// Iterator over a [`PostingList`]'s row ids, ascending. Opaque so the
+/// compressed block layout stays an implementation detail.
+pub struct PostingIter<'a>(IterRepr<'a>);
+
+enum IterRepr<'a> {
     /// Sorted-vector cursor.
     Sorted(std::slice::Iter<'a, u32>),
+    /// Compressed-block cursor: decodes gaps on the fly, no scratch buffer.
+    Blocked {
+        /// Concatenated block payloads.
+        bytes: &'a [u8],
+        /// Block directory.
+        metas: &'a [BlockMeta],
+        /// Index of the next block to enter.
+        block: usize,
+        /// Byte position within the current block's payload.
+        pos: usize,
+        /// Ids left to emit from the current block.
+        left: u32,
+        /// Last id emitted (gap base).
+        prev: u32,
+    },
     /// Bitset word scanner.
     Dense {
         /// The words being scanned.
@@ -480,9 +1065,30 @@ impl Iterator for PostingIter<'_> {
     type Item = u32;
 
     fn next(&mut self) -> Option<u32> {
-        match self {
-            PostingIter::Sorted(it) => it.next().copied(),
-            PostingIter::Dense {
+        match &mut self.0 {
+            IterRepr::Sorted(it) => it.next().copied(),
+            IterRepr::Blocked {
+                bytes,
+                metas,
+                block,
+                pos,
+                left,
+                prev,
+            } => {
+                if *left == 0 {
+                    let m = metas.get(*block)?;
+                    *block += 1;
+                    *pos = m.offset as usize;
+                    *left = m.count - 1;
+                    *prev = m.first;
+                    Some(m.first)
+                } else {
+                    *prev += read_gap(bytes, pos);
+                    *left -= 1;
+                    Some(*prev)
+                }
+            }
+            IterRepr::Dense {
                 words,
                 word_idx,
                 current,
@@ -537,6 +1143,11 @@ impl RowSetAccumulator {
                     self.insert(id as usize);
                 }
             }
+            Repr::Blocked { .. } => {
+                for id in list.iter() {
+                    self.insert(id as usize);
+                }
+            }
             Repr::Dense { words, .. } => {
                 let mut count = 0usize;
                 for (dst, src) in self.words.iter_mut().zip(words) {
@@ -569,6 +1180,13 @@ mod tests {
 
     fn pl(ids: &[u32], universe: usize) -> PostingList {
         PostingList::from_sorted(ids.to_vec(), universe)
+    }
+
+    /// Sparse ids guaranteed to land in the blocked tier.
+    fn blocked(n: u32, stride: u32, universe: usize) -> PostingList {
+        let list = PostingList::from_sorted((0..n).map(|i| i * stride).collect(), universe);
+        assert!(list.is_blocked_repr(), "n={n} stride={stride} u={universe}");
+        list
     }
 
     #[test]
@@ -607,11 +1225,12 @@ mod tests {
 
     #[test]
     fn galloping_matches_linear_on_lopsided_inputs() {
-        // Universe 1M keeps both sides in sorted form; 4 needles vs 600
-        // haystack ids triggers the galloping intersection.
+        // Universe 1M keeps both sides sparse; 4 needles vs 600 haystack
+        // ids triggers the galloping intersection (hay stays below the
+        // block threshold).
         const U: usize = 1_000_000;
         let needles = pl(&[0, 7, 300, 1111], U);
-        let hay: Vec<u32> = (0..600).map(|i| i * 2).collect();
+        let hay: Vec<u32> = (0..250).map(|i| i * 2).collect();
         let hay_pl = PostingList::from_sorted(hay.clone(), U);
         assert!(!needles.is_dense_repr() && !hay_pl.is_dense_repr());
         let expected: Vec<u32> = [0u32, 7, 300, 1111]
@@ -626,19 +1245,19 @@ mod tests {
 
     #[test]
     fn galloping_subset_checks_stay_sorted() {
-        // Large universe: the subset checks below run the galloping scan,
-        // not the bitset path.
+        // Large universe, superset below the block threshold: the subset
+        // checks run the galloping scan, not the bitset or block paths.
         const U: usize = 1_000_000;
-        let small = pl(&[2, 40, 4000, 400_000], U);
-        let big_ids: Vec<u32> = (0..5000).map(|i| i * 100).collect(); // 0,100,…
+        let small = pl(&[2, 40, 4000, 20_000], U);
+        let big_ids: Vec<u32> = (0..250).map(|i| i * 100).collect(); // 0,100,…
         let big = PostingList::from_sorted(big_ids, U);
-        assert!(!small.is_dense_repr() && !big.is_dense_repr());
-        assert!(pl(&[0, 400, 4000, 400_000], U).is_subset(&big));
+        assert!(!small.is_dense_repr() && !big.is_dense_repr() && !big.is_blocked_repr());
+        assert!(pl(&[0, 400, 4000, 20_000], U).is_subset(&big));
         assert!(!small.is_subset(&big), "2 and 40 are not multiples of 100");
         // First and last elements of the superset are found.
         assert!(pl(&[0], U).is_subset(&big));
-        assert!(pl(&[499_900], U).is_subset(&big));
-        assert!(!pl(&[499_901], U).is_subset(&big));
+        assert!(pl(&[24_900], U).is_subset(&big));
+        assert!(!pl(&[24_901], U).is_subset(&big));
     }
 
     #[test]
@@ -663,8 +1282,38 @@ mod tests {
     }
 
     #[test]
+    fn blocked_representation_kicks_in_and_roundtrips() {
+        let ids: Vec<u32> = (0..1000).map(|i| i * 37).collect();
+        let list = PostingList::from_sorted(ids.clone(), 40_000);
+        assert!(list.is_blocked_repr());
+        assert_eq!(list.len(), 1000);
+        assert_eq!(list.to_vec(), ids);
+        assert_eq!(list.min(), Some(0));
+        assert_eq!(list.max(), Some(999 * 37));
+        for probe in [0u32, 37, 36, 38, 128 * 37, 128 * 37 + 1, 999 * 37, 39_999] {
+            assert_eq!(
+                list.contains(probe as usize),
+                ids.binary_search(&probe).is_ok(),
+                "probe {probe}"
+            );
+        }
+        // Compression actually saves memory vs 4 bytes/id.
+        assert!(
+            list.heap_bytes() < ids.len() * 4,
+            "blocked {} B ≥ sorted {} B",
+            list.heap_bytes(),
+            ids.len() * 4
+        );
+    }
+
+    #[test]
     fn equality_and_hash_are_representation_independent() {
         use std::collections::hash_map::DefaultHasher;
+        let h = |p: &PostingList| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
         // Same elements, forced into different representations via universe.
         let ids: Vec<u32> = (0..32).collect();
         let dense = PostingList::from_sorted(ids.clone(), 64); // 32/64 → dense
@@ -675,12 +1324,18 @@ mod tests {
         assert!(dense.is_dense_repr());
         assert!(!sparse.is_dense_repr());
         assert_eq!(dense, sparse);
-        let h = |p: &PostingList| {
-            let mut h = DefaultHasher::new();
-            p.hash(&mut h);
-            h.finish()
-        };
         assert_eq!(h(&dense), h(&sparse));
+        // Blocked vs forced-sorted of the same ids.
+        let many: Vec<u32> = (0..400).map(|i| i * 50).collect();
+        let blocked = PostingList::from_sorted(many.clone(), 20_000);
+        let forced = PostingList {
+            universe: 20_000,
+            repr: Repr::Sorted(many),
+        };
+        assert!(blocked.is_blocked_repr());
+        assert_eq!(blocked, forced);
+        assert_eq!(forced, blocked);
+        assert_eq!(h(&blocked), h(&forced));
     }
 
     #[test]
@@ -704,6 +1359,16 @@ mod tests {
         assert_eq!(acc.len(), 100, "{{1..=5}} ⊂ 0..100");
         acc.insert_all(&pl(&[150], 200));
         assert_eq!(acc.len(), 101);
+    }
+
+    #[test]
+    fn accumulator_accepts_blocked_lists() {
+        let mut acc = RowSetAccumulator::new(40_000);
+        let b = blocked(500, 37, 40_000);
+        acc.insert_all(&b);
+        assert_eq!(acc.len(), 500);
+        acc.insert_all(&b);
+        assert_eq!(acc.len(), 500, "idempotent");
     }
 
     #[test]
@@ -750,6 +1415,155 @@ mod tests {
     }
 
     #[test]
+    fn sorted_promotes_to_blocked_past_threshold() {
+        const U: usize = 1_000_000;
+        let mut a = PostingList::from_sorted((0..255).map(|i| i * 10).collect(), U);
+        assert!(!a.is_blocked_repr(), "255 ids stay sorted");
+        assert!(a.insert(255 * 10));
+        assert!(a.is_blocked_repr(), "256th id crosses the block threshold");
+        assert_eq!(a.to_vec(), (0..256).map(|i| i * 10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn blocked_insert_remove_match_model_across_boundaries() {
+        const U: usize = 1_000_000;
+        let base: Vec<u32> = (0..640).map(|i| i * 7).collect();
+        let mut list = PostingList::from_sorted(base.clone(), U);
+        assert!(list.is_blocked_repr());
+        let mut model: std::collections::BTreeSet<u32> = base.into_iter().collect();
+        // Edits straddling the 128-entry block edges: ids around positions
+        // 0, 127/128, 255/256, and past the end.
+        let edits: Vec<u32> = vec![
+            3,           // interior of block 0
+            0,           // existing first id
+            127 * 7,     // last id of block 0
+            127 * 7 + 1, // gap straddling blocks 0/1
+            128 * 7,     // first id of block 1
+            255 * 7 + 3,
+            256 * 7,
+            639 * 7,     // global last
+            639 * 7 + 5, // beyond the last block
+        ];
+        for &id in &edits {
+            assert_eq!(list.insert(id as usize), model.insert(id), "insert {id}");
+        }
+        assert_eq!(list.to_vec(), model.iter().copied().collect::<Vec<_>>());
+        for &id in &edits {
+            assert_eq!(list.remove(id as usize), model.remove(&id), "remove {id}");
+        }
+        assert_eq!(list.to_vec(), model.iter().copied().collect::<Vec<_>>());
+        assert!(list.is_blocked_repr(), "removals never demote");
+    }
+
+    #[test]
+    fn blocked_front_insert_lands_before_first_block() {
+        const U: usize = 1_000_000;
+        let mut list = blocked(300, 10, U);
+        // All existing ids are multiples of 10 starting at 0; 5 sorts
+        // between blocks' firsts... actually before none: smallest is 0.
+        // Remove 0 so an insert below the new first block head exercises
+        // the p == 0 prepend path.
+        assert!(list.remove(0));
+        assert!(list.insert(5));
+        assert_eq!(list.min(), Some(5));
+        assert!(list.contains(5));
+    }
+
+    #[test]
+    fn blocked_split_keeps_blocks_bounded() {
+        const U: usize = 10_000_000;
+        // Widely spaced base so inserted ids fall inside block 0's range.
+        let mut list = blocked(400, 20_000, U);
+        for id in 1..300u32 {
+            assert!(list.insert(id as usize), "insert {id}");
+        }
+        let expected: std::collections::BTreeSet<u32> =
+            (0..400u32).map(|i| i * 20_000).chain(1..300).collect();
+        assert_eq!(list.to_vec(), expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_can_empty_out_and_refill() {
+        const U: usize = 1_000_000;
+        let ids: Vec<u32> = (0..300).map(|i| i * 11).collect();
+        let mut list = PostingList::from_sorted(ids.clone(), U);
+        assert!(list.is_blocked_repr());
+        for &id in &ids {
+            assert!(list.remove(id as usize));
+        }
+        assert!(list.is_empty());
+        assert_eq!(list.min(), None);
+        assert_eq!(list.max(), None);
+        assert_eq!(list.iter().count(), 0);
+        assert!(list.insert(42));
+        assert_eq!(list.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn blocked_intersections_agree_with_naive() {
+        const U: usize = 1_000_000;
+        let naive = |a: &PostingList, b: &PostingList| -> Vec<u32> {
+            let bv = b.to_vec();
+            a.to_vec()
+                .into_iter()
+                .filter(|x| bv.binary_search(x).is_ok())
+                .collect()
+        };
+        let shapes: Vec<(PostingList, PostingList)> = vec![
+            // blocked × blocked, interleaved strides
+            (blocked(2000, 6, U), blocked(1500, 10, U)),
+            // blocked × blocked, disjoint ranges
+            (
+                PostingList::from_sorted((0..400).collect(), U),
+                PostingList::from_sorted((500_000..500_400).collect(), U),
+            ),
+            // blocked × sorted (both directions exercised below)
+            (blocked(3000, 8, U), pl(&[0, 8, 9, 16, 23_000, 999_999], U)),
+            // blocked × dense
+            (
+                blocked(1000, 13, U),
+                PostingList::from_sorted((0..2000).collect(), 20_000),
+            ),
+        ];
+        let mut buf = Vec::new();
+        for (a, b) in &shapes {
+            let expected = naive(a, b);
+            assert_eq!(a.intersect(b).to_vec(), expected);
+            assert_eq!(b.intersect(a).to_vec(), expected, "commuted");
+            a.intersect_into(b, &mut buf);
+            assert_eq!(buf, expected, "intersect_into");
+            b.intersect_into(a, &mut buf);
+            assert_eq!(buf, expected, "intersect_into commuted");
+        }
+    }
+
+    #[test]
+    fn blocked_subset_checks_agree_with_naive() {
+        const U: usize = 1_000_000;
+        let every_3rd: Vec<u32> = (0..3000).map(|i| i * 3).collect();
+        let every_6th: Vec<u32> = (0..1500).map(|i| i * 6).collect();
+        let big = PostingList::from_sorted(every_3rd, U);
+        let half = PostingList::from_sorted(every_6th, U);
+        assert!(big.is_blocked_repr() && half.is_blocked_repr());
+        assert!(half.is_subset(&big));
+        assert!(!big.is_subset(&half));
+        // sorted ⊆ blocked and blocked ⊆ sorted
+        assert!(pl(&[0, 3, 8997], U).is_subset(&big));
+        assert!(!pl(&[0, 4], U).is_subset(&big));
+        let small_blocked = blocked(300, 30, 1_000_000);
+        let superset_sorted = PostingList {
+            universe: 1_000_000,
+            repr: Repr::Sorted((0..1200u32).map(|i| i * 15).collect()),
+        };
+        assert!(small_blocked.is_subset(&superset_sorted));
+        let gap = PostingList {
+            universe: 1_000_000,
+            repr: Repr::Sorted((0..1200u32).map(|i| i * 15).filter(|&x| x != 60).collect()),
+        };
+        assert!(!small_blocked.is_subset(&gap));
+    }
+
+    #[test]
     fn renumber_after_delete_shifts_higher_ids() {
         let mut a = pl(&[1, 4, 9], 10);
         a.remove(4);
@@ -763,16 +1577,27 @@ mod tests {
         d.renumber_after_delete(10);
         let expected: Vec<u32> = (0..49).collect();
         assert_eq!(d.to_vec(), expected);
+        // Blocked form: ids above the removed row shift down by one.
+        let mut b = blocked(400, 9, 1_000_000);
+        b.remove(9);
+        b.renumber_after_delete(9);
+        let expected: Vec<u32> = (0..400u32)
+            .map(|i| i * 9)
+            .filter(|&x| x != 9)
+            .map(|x| if x > 9 { x - 1 } else { x })
+            .collect();
+        assert_eq!(b.to_vec(), expected);
     }
 
     #[test]
     fn intersect_into_agrees_with_intersect_across_reprs() {
-        // Sparse × sparse (merge + gallop), sparse × dense, dense × dense.
+        // Sparse × sparse (merge + gallop), sparse × dense, dense × dense,
+        // blocked × each.
         let cases: Vec<(PostingList, PostingList)> = vec![
             (pl(&[1, 5, 9, 20], 1000), pl(&[5, 6, 9, 21], 1000)),
             (
                 pl(&[0, 7, 300, 1111], 1_000_000),
-                PostingList::from_sorted((0..600).map(|i| i * 2).collect(), 1_000_000),
+                PostingList::from_sorted((0..250).map(|i| i * 2).collect(), 1_000_000),
             ),
             (
                 pl(&[2, 4, 96], 100),
@@ -783,6 +1608,11 @@ mod tests {
                 PostingList::from_sorted((0..100).filter(|i| i % 3 == 0).collect(), 100),
             ),
             (pl(&[], 100), pl(&[1, 2], 100)),
+            (blocked(1000, 4, 1_000_000), blocked(800, 6, 1_000_000)),
+            (
+                blocked(1000, 4, 1_000_000),
+                PostingList::from_sorted((0..1000).collect(), 1001),
+            ),
         ];
         let mut buf = vec![99u32]; // stale content must be cleared
         for (a, b) in &cases {
@@ -791,6 +1621,23 @@ mod tests {
             b.intersect_into(a, &mut buf);
             assert_eq!(buf, a.intersect(b).to_vec(), "commuted");
         }
+    }
+
+    #[test]
+    fn merge_and_gallop_agree() {
+        // The kernel-backed merge and the gallop path must produce the same
+        // sequence; force each by shaping lengths around GALLOP_RATIO.
+        let a: Vec<u32> = (0..64).map(|i| i * 5).collect();
+        let balanced: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        let lopsided: Vec<u32> = (0..1024).map(|i| i * 3).collect();
+        let expect = |b: &[u32]| -> Vec<u32> {
+            a.iter()
+                .copied()
+                .filter(|x| b.binary_search(x).is_ok())
+                .collect()
+        };
+        assert_eq!(intersect_sorted(&a, &balanced), expect(&balanced));
+        assert_eq!(intersect_sorted(&a, &lopsided), expect(&lopsided));
     }
 
     #[test]

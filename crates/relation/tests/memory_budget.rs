@@ -1,0 +1,58 @@
+//! Memory-budget guard for block-compressed posting lists.
+//!
+//! `docs/BENCHMARKS.md` documents a ≤ 2 bytes/row budget for sparse
+//! million-row posting lists (delta-gap LEB128 payload + 16-byte skip
+//! entries per 128-id block, against 4 bytes/id for the plain sorted tier).
+//! This test pins that budget so a codec or threshold regression fails CI
+//! instead of silently doubling index memory.
+
+use pfd_relation::PostingList;
+
+const ROWS: usize = 1_000_000;
+
+#[test]
+fn million_row_sparse_postings_stay_under_two_bytes_per_row() {
+    // Stride-20 ids: sparse enough to dodge the dense-bitset tier (which
+    // engages at 1/16 density) and every gap fits one varint byte — the
+    // common shape for a selective fragment posting over a large relation.
+    let ids: Vec<u32> = (0..ROWS as u32).map(|i| i * 20).collect();
+    let universe = ROWS * 20;
+    let list = PostingList::from_sorted(ids, universe);
+    assert!(list.is_blocked_repr(), "sparse 1M-row list must be blocked");
+    assert_eq!(list.len(), ROWS);
+
+    let per_row = list.heap_bytes() as f64 / ROWS as f64;
+    assert!(
+        per_row <= 2.0,
+        "blocked postings exceed the documented budget: {per_row:.3} bytes/row"
+    );
+    // And the headline claim: at least 2x under the 4 bytes/id plain tier.
+    assert!(list.heap_bytes() * 2 <= ROWS * 4);
+}
+
+#[test]
+fn irregular_sparse_gaps_also_hold_the_budget() {
+    // Deterministic LCG gaps in 1..=120: irregular but still one varint
+    // byte each, like a posting produced by real value clustering.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next_gap = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 120 + 1) as u32
+    };
+    let mut ids = Vec::with_capacity(ROWS);
+    let mut id = 0u32;
+    for _ in 0..ROWS {
+        id += next_gap();
+        ids.push(id);
+    }
+    let universe = id as usize + 1;
+    let list = PostingList::from_sorted(ids, universe);
+    assert!(list.is_blocked_repr());
+    let per_row = list.heap_bytes() as f64 / ROWS as f64;
+    assert!(
+        per_row <= 2.0,
+        "irregular sparse postings exceed the budget: {per_row:.3} bytes/row"
+    );
+}
