@@ -41,6 +41,7 @@ pub mod incremental;
 pub mod pfd;
 pub mod repair;
 pub mod rules;
+pub mod server;
 pub mod session;
 pub mod snapshot;
 pub mod tableau;
@@ -56,6 +57,10 @@ pub use repair::{
     FixCandidate, FixScore, RepairEngine, RepairEval, RepairOptions, RepairOutcome,
 };
 pub use rules::{parse_rule, parse_rules, to_rule_string, to_rules_string, RuleError};
+pub use server::{
+    ChannelSink, CollectSink, EventSink, Server, ServerOptions, TenantExit, TenantLoader,
+    DEFAULT_TENANT,
+};
 pub use session::{
     check_report_json, fix_json, parse_command, recovery_report_json, repair_outcome_json,
     run_durable_session, run_session, run_session_with, DurableSessionError, SessionCommand,

@@ -1,0 +1,1535 @@
+//! The multi-tenant session server: many named relations, one JSONL
+//! stream, one shared work-stealing runtime.
+//!
+//! `core::session` serves one relation on stdin/stdout. This module grows
+//! that seam into a long-running server: each **tenant** is a named
+//! relation owning its own [`RepairEngine`] and (in durable mode) its own
+//! [`SnapshotStore`] family — `<root>/<tenant>/state.pfds` plus the
+//! `.log`/`.prev`/`.tmp` siblings — while every tenant's commands ride the
+//! same [`pfd_runtime::Executor`].
+//!
+//! ## Protocol
+//!
+//! The single-tenant JSONL protocol is extended with one routing field and
+//! three management ops; everything else is unchanged (the session parser
+//! ignores unknown keys, so a tenant-tagged command parses exactly like
+//! its solo twin):
+//!
+//! - every command may carry `"tenant":"name"`; when absent it routes to
+//!   the tenant named [`DEFAULT_TENANT`], which is how v1 single-tenant
+//!   scripts keep working;
+//! - `{"op":"open","tenant":"t",...}` creates the tenant (recovering from
+//!   its per-tenant snapshot family in durable mode, cold-building through
+//!   the [`TenantLoader`] otherwise); acknowledged by the same `ready`
+//!   event a solo session opens with;
+//! - `{"op":"close","tenant":"t"}` checkpoints (durable) and drops the
+//!   tenant, acknowledged by a `closed` event;
+//! - `{"op":"list"}` answers synchronously with a `tenants` event.
+//!
+//! Every per-tenant event line is the solo session's line with
+//! `"tenant":"name","seq":N` injected after the opening brace, where `N`
+//! counts that tenant's events from 0. Per-tenant streams are therefore
+//! byte-convertible to solo streams — the isolation property suite holds
+//! the server to exactly that.
+//!
+//! ## Scheduling
+//!
+//! [`Server::submit`] never touches an engine: it routes the line to the
+//! tenant's admission queue and, if no drain job is in flight for that
+//! tenant, spawns one on the shared executor. A drain job claims the
+//! tenant's state and processes queued lines in FIFO order until the
+//! queue is empty, so per-tenant ordering is total while distinct tenants
+//! proceed in parallel. With [`ServerOptions::coalesce`] on, a drain job
+//! merges consecutive queued edit commands into one
+//! [`DeltaEngine::apply_batch`] reconciliation and answers them with one
+//! combined `delta` event carrying `"coalesced":k` — higher throughput,
+//! coarser acks, off by default.
+//!
+//! ## Eviction
+//!
+//! In durable mode with [`ServerOptions::max_resident`] set, a hand-rolled
+//! LRU ([`pfd_runtime::LruTracker`]) picks cold idle tenants once the
+//! resident count exceeds the cap: eviction checkpoints the tenant
+//! (retiring its WAL) and drops the engine and group indexes; the next
+//! command recovers from the snapshot family. A crash mid-eviction is the
+//! same crash the snapshot layer already survives — acknowledged edits
+//! are in the WAL until the checkpoint supersedes them, and the recovery
+//! ladder replays them.
+
+use crate::incremental::DeltaEngine;
+use crate::repair::{RepairEngine, RepairOptions};
+use crate::session::{
+    self, edits_as_batch_json, json, parse_command, process_line, ready_json, SessionCommand,
+    SessionSummary,
+};
+use crate::snapshot::{RecoveryPolicy, SnapshotError, SnapshotMeta, SnapshotStore};
+use pfd_relation::io::Io;
+use pfd_relation::wal::{SyncPolicy, WalLineSink, WalWriter};
+use pfd_relation::{Relation, Schema};
+use pfd_runtime::{Executor, LruTracker};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Tenant that commands without a `tenant` field route to.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Where a server pushes its event lines. Implementations must tolerate
+/// concurrent calls; per-tenant ordering is guaranteed by the caller
+/// (events for one tenant are emitted under that tenant's state lock).
+pub trait EventSink: Send + Sync {
+    /// Deliver one complete event line (no trailing newline).
+    fn emit(&self, line: &str);
+}
+
+/// An [`EventSink`] that collects lines in memory — tests and benches.
+#[derive(Default)]
+pub struct CollectSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl CollectSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Take every collected line, leaving the sink empty.
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut self.lines.lock().expect("sink poisoned"))
+    }
+}
+
+impl EventSink for CollectSink {
+    fn emit(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("sink poisoned")
+            .push(line.to_string());
+    }
+}
+
+/// An [`EventSink`] that forwards lines over an `mpsc` channel — the CLI
+/// uses this to stream events to its output writer while reading input.
+pub struct ChannelSink {
+    tx: Mutex<std::sync::mpsc::Sender<String>>,
+}
+
+impl ChannelSink {
+    /// Wrap a channel sender.
+    pub fn new(tx: std::sync::mpsc::Sender<String>) -> Self {
+        ChannelSink { tx: Mutex::new(tx) }
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn emit(&self, line: &str) {
+        // A dropped receiver just means nobody is listening anymore.
+        let _ = self
+            .tx
+            .lock()
+            .expect("sink poisoned")
+            .send(line.to_string());
+    }
+}
+
+/// Builds the engine for a cold `open` of a tenant. The CLI reads CSV and
+/// rule files named in the command; tests resolve from in-memory catalogs.
+pub trait TenantLoader: Send + Sync {
+    /// Cold-build the engine for `name`. `spec` is the full `open` command
+    /// object (so loaders can define their own fields, e.g. `csv`/`rules`).
+    fn load(&self, name: &str, spec: &json::Value) -> Result<DeltaEngine, String>;
+}
+
+/// A loader that refuses every protocol-initiated open — for servers whose
+/// tenants are only opened through [`Server::open_with_engine`].
+pub struct NoProtocolOpens;
+
+impl TenantLoader for NoProtocolOpens {
+    fn load(&self, name: &str, _spec: &json::Value) -> Result<DeltaEngine, String> {
+        Err(format!(
+            "tenant {name:?} cannot be cold-built: this server only opens tenants via its API"
+        ))
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServerOptions {
+    /// Executor worker threads; 0 means the machine's parallelism.
+    pub workers: usize,
+    /// Max tenants kept resident in durable mode; 0 disables eviction.
+    /// Ignored (no eviction) without a durable root — an ephemeral tenant
+    /// has no snapshot to rebuild from.
+    pub max_resident: usize,
+    /// Merge consecutive queued edit commands into one `apply_batch` per
+    /// drain, answered by one combined `delta` event (`"coalesced":k`).
+    /// Off by default: coalescing trades per-command acks for throughput.
+    pub coalesce: bool,
+    /// Repair options for every tenant's chase.
+    pub repair: RepairOptions,
+    /// Recovery policy for durable opens and rebuild-on-touch.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 0,
+            max_resident: 0,
+            coalesce: false,
+            repair: RepairOptions::default(),
+            recovery: RecoveryPolicy::Strict,
+        }
+    }
+}
+
+/// How one tenant ended when the server shut down.
+#[derive(Debug, Clone)]
+pub struct TenantExit {
+    /// Tenant name.
+    pub name: String,
+    /// Applied/rejected/violation counts at shutdown.
+    pub summary: SessionSummary,
+    /// Final relation, when the tenant was resident at shutdown (an
+    /// evicted tenant's state lives in its snapshot family instead).
+    pub relation: Option<Relation>,
+}
+
+struct DurableRoot {
+    io: Arc<dyn Io + Send + Sync>,
+    root: PathBuf,
+}
+
+impl DurableRoot {
+    fn snapshot_path(&self, name: &str) -> PathBuf {
+        self.root.join(name).join("state.pfds")
+    }
+}
+
+/// What `submit` queues for a tenant drain job.
+enum QueuedItem {
+    /// Open with a cold source: a protocol spec for the loader, or a
+    /// prebuilt engine from [`Server::open_with_engine`].
+    Open(EngineSource),
+    /// One raw command line (still to be parsed against the schema).
+    Command(String),
+    /// Checkpoint, emit `closed`, and forget the tenant.
+    Close,
+}
+
+enum EngineSource {
+    Spec(json::Value),
+    Engine(Box<DeltaEngine>),
+}
+
+struct TenantQueue {
+    pending: VecDeque<QueuedItem>,
+    /// True while a drain job is scheduled or running for this tenant.
+    running: bool,
+}
+
+struct TenantState {
+    /// Resident engine; `None` when evicted (durable) or never opened.
+    engine: Option<RepairEngine>,
+    /// Set once the tenant opened successfully (survives eviction).
+    opened: bool,
+    schema: Option<Schema>,
+    summary: SessionSummary,
+    /// Metadata of the last persisted snapshot (durable mode).
+    meta: SnapshotMeta,
+    /// Highest WAL sequence incorporated into the persisted state.
+    seq_floor: u64,
+    /// Cached next WAL sequence; `None` forces a full `WalWriter::open`
+    /// scan (first touch after open, recovery, or eviction).
+    wal_next_seq: Option<u64>,
+}
+
+struct Tenant {
+    name: String,
+    queue: Mutex<TenantQueue>,
+    state: Mutex<TenantState>,
+    /// Events emitted for this tenant so far; the injected `"seq"`.
+    seq: AtomicU64,
+}
+
+impl Tenant {
+    fn new(name: &str) -> Self {
+        Tenant {
+            name: name.to_string(),
+            queue: Mutex::new(TenantQueue {
+                pending: VecDeque::new(),
+                running: false,
+            }),
+            state: Mutex::new(TenantState {
+                engine: None,
+                opened: false,
+                schema: None,
+                summary: SessionSummary {
+                    applied: 0,
+                    rejected: 0,
+                    violations: 0,
+                },
+                meta: SnapshotMeta {
+                    generation: 0,
+                    last_seq: 0,
+                },
+                seq_floor: 0,
+                wal_next_seq: None,
+            }),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shared {
+    options: ServerOptions,
+    durable: Option<DurableRoot>,
+    loader: Arc<dyn TenantLoader>,
+    sink: Arc<dyn EventSink>,
+    executor: Executor,
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    lru: Mutex<LruTracker<String>>,
+    /// Tenants with an engine in memory (drives eviction).
+    resident: AtomicUsize,
+}
+
+/// The multi-tenant session server. See the module docs for the protocol.
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+/// Prefix a solo-session event line with the tenant/seq tags.
+fn tag_line(tenant: &str, seq: u64, line: &str) -> String {
+    debug_assert!(line.starts_with('{'), "event lines are JSON objects");
+    format!(
+        "{{\"tenant\":{},\"seq\":{seq},{}",
+        json::escaped(tenant),
+        &line[1..]
+    )
+}
+
+/// An `io::Write` that turns each `\n`-terminated line into one tagged,
+/// sequence-stamped sink emission for a tenant.
+struct TenantEmitter<'a> {
+    tenant: &'a Tenant,
+    sink: &'a dyn EventSink,
+    buf: Vec<u8>,
+}
+
+impl<'a> TenantEmitter<'a> {
+    fn new(tenant: &'a Tenant, sink: &'a dyn EventSink) -> Self {
+        TenantEmitter {
+            tenant,
+            sink,
+            buf: Vec::new(),
+        }
+    }
+
+    fn emit_line(&self, line: &str) {
+        let seq = self.tenant.seq.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(&tag_line(&self.tenant.name, seq, line));
+    }
+}
+
+impl Write for TenantEmitter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        for &b in data {
+            if b == b'\n' {
+                let line = std::mem::take(&mut self.buf);
+                let line = String::from_utf8(line).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 event line")
+                })?;
+                self.emit_line(&line);
+            } else {
+                self.buf.push(b);
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `[A-Za-z0-9_-]{1,64}` — no path separators, no dots, so a tenant name
+/// can never escape its directory under the durable root.
+fn validate_tenant_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("tenant names must be 1-64 characters".to_string());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err("tenant names may only contain [A-Za-z0-9_-]".to_string());
+    }
+    Ok(())
+}
+
+impl Server {
+    /// An ephemeral server: tenants live in memory only, eviction is off.
+    pub fn new(
+        options: ServerOptions,
+        loader: Arc<dyn TenantLoader>,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        Server::build(options, None, loader, sink)
+    }
+
+    /// A durable server: each tenant persists a snapshot family under
+    /// `<root>/<tenant>/`, every applied command is WAL-appended before it
+    /// is acknowledged, and cold tenants can be evicted and rebuilt.
+    pub fn durable(
+        io: Arc<dyn Io + Send + Sync>,
+        root: impl Into<PathBuf>,
+        options: ServerOptions,
+        loader: Arc<dyn TenantLoader>,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        Server::build(
+            options,
+            Some(DurableRoot {
+                io,
+                root: root.into(),
+            }),
+            loader,
+            sink,
+        )
+    }
+
+    fn build(
+        options: ServerOptions,
+        durable: Option<DurableRoot>,
+        loader: Arc<dyn TenantLoader>,
+        sink: Arc<dyn EventSink>,
+    ) -> Self {
+        let workers = if options.workers == 0 {
+            pfd_runtime::default_parallelism()
+        } else {
+            options.workers
+        };
+        Server {
+            shared: Arc::new(Shared {
+                options,
+                durable,
+                loader,
+                sink,
+                executor: Executor::new(workers),
+                tenants: RwLock::new(BTreeMap::new()),
+                lru: Mutex::new(LruTracker::new()),
+                resident: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Route one input line. Management ops (`open`/`close`/`list`) and
+    /// routing errors are handled here; everything else is queued for the
+    /// tenant's drain job on the shared executor. Never blocks on engine
+    /// work.
+    pub fn submit(&self, line: &str) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        let value = match json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                self.global_error(None, &e.to_string());
+                return;
+            }
+        };
+        let tenant = match value.get("tenant") {
+            None => DEFAULT_TENANT,
+            Some(json::Value::Str(s)) => s.as_str(),
+            Some(_) => {
+                self.global_error(None, "\"tenant\" must be a string");
+                return;
+            }
+        };
+        match value.get("op").and_then(json::Value::as_str) {
+            Some("open") => self.handle_open(tenant, EngineSource::Spec(value.clone())),
+            Some("close") => self.enqueue(tenant, QueuedItem::Close),
+            Some("list") => self.handle_list(),
+            _ => self.enqueue(tenant, QueuedItem::Command(trimmed.to_string())),
+        }
+    }
+
+    /// Open a tenant around a prebuilt engine (the CLI's auto-opened
+    /// default tenant; tests and benches). In durable mode the engine is
+    /// the cold rung of the recovery ladder — an existing snapshot family
+    /// for the name wins.
+    ///
+    /// Errors synchronously on invalid names and duplicate opens; the
+    /// `ready` (or `error`) event still flows through the sink like a
+    /// protocol open.
+    pub fn open_with_engine(&self, name: &str, engine: DeltaEngine) -> Result<(), String> {
+        validate_tenant_name(name)?;
+        if self
+            .shared
+            .tenants
+            .read()
+            .expect("tenants poisoned")
+            .contains_key(name)
+        {
+            return Err(format!("tenant {name:?} is already open"));
+        }
+        self.handle_open(name, EngineSource::Engine(Box::new(engine)));
+        Ok(())
+    }
+
+    /// Block until every queued command has been processed, then surface
+    /// any worker panic. Call from the owning thread, never from a job.
+    pub fn drain(&self) {
+        self.shared.executor.wait_idle();
+        let panics = self.shared.executor.take_panics();
+        assert!(
+            panics.is_empty(),
+            "server worker job panicked: {}",
+            panics.join("; ")
+        );
+    }
+
+    /// Names of currently open tenants (sorted — the map is a `BTreeMap`).
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.shared
+            .tenants
+            .read()
+            .expect("tenants poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Tenants with an engine resident in memory.
+    pub fn resident_count(&self) -> usize {
+        self.shared.resident.load(Ordering::Relaxed)
+    }
+
+    /// Steal operations performed by the shared executor so far.
+    pub fn executor_steals(&self) -> usize {
+        self.shared.executor.steals()
+    }
+
+    /// Clone a tenant's current relation (for tests). `None` when the
+    /// tenant is unknown or not resident; call [`Server::drain`] first for
+    /// a quiescent answer.
+    pub fn relation_of(&self, name: &str) -> Option<Relation> {
+        let tenant = self
+            .shared
+            .tenants
+            .read()
+            .expect("tenants poisoned")
+            .get(name)
+            .cloned()?;
+        let state = tenant.state.lock().expect("state poisoned");
+        state.engine.as_ref().map(|r| r.relation().clone())
+    }
+
+    /// Force-evict a tenant now (test hook; normal eviction is LRU-driven
+    /// by `max_resident`). Returns `Ok(true)` when an engine was dropped,
+    /// `Ok(false)` when the tenant was unknown, idle-less, or already
+    /// evicted. Requires a durable root.
+    pub fn evict(&self, name: &str) -> Result<bool, SnapshotError> {
+        let tenant = match self
+            .shared
+            .tenants
+            .read()
+            .expect("tenants poisoned")
+            .get(name)
+            .cloned()
+        {
+            Some(t) => t,
+            None => return Ok(false),
+        };
+        evict_tenant(&self.shared, &tenant)
+    }
+
+    /// Drain, close every tenant (final checkpoint in durable mode), and
+    /// return per-tenant exits. Consumes the server; the executor joins
+    /// on drop.
+    pub fn shutdown(self) -> Vec<TenantExit> {
+        self.drain();
+        let tenants: Vec<Arc<Tenant>> = {
+            let mut map = self.shared.tenants.write().expect("tenants poisoned");
+            let drained: Vec<_> = map.values().cloned().collect();
+            map.clear();
+            drained
+        };
+        let mut exits = Vec::with_capacity(tenants.len());
+        for tenant in tenants {
+            let mut state = tenant.state.lock().expect("state poisoned");
+            let state = &mut *state;
+            if let Some(repairer) = state.engine.as_ref() {
+                state.summary.violations = repairer.engine().violation_count();
+                if let Some(durable) = &self.shared.durable {
+                    let io: &dyn Io = &*durable.io;
+                    let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
+                    let meta = SnapshotMeta {
+                        generation: state.meta.generation + 1,
+                        last_seq: state.wal_next_seq.map_or(state.seq_floor, |n| n - 1),
+                    };
+                    if let Err(e) = store.checkpoint(repairer.engine(), meta) {
+                        self.global_error(
+                            Some(&tenant.name),
+                            &format!("shutdown checkpoint failed: {e}"),
+                        );
+                    } else {
+                        state.meta = meta;
+                    }
+                }
+            }
+            exits.push(TenantExit {
+                name: tenant.name.clone(),
+                summary: state.summary.clone(),
+                relation: state.engine.as_ref().map(|r| r.relation().clone()),
+            });
+        }
+        exits
+    }
+
+    fn global_error(&self, tenant: Option<&str>, message: &str) {
+        emit_global_error(&self.shared, tenant, message);
+    }
+
+    fn handle_open(&self, name: &str, source: EngineSource) {
+        if let Err(why) = validate_tenant_name(name) {
+            self.global_error(
+                None,
+                &format!("invalid tenant name {}: {why}", json::escaped(name)),
+            );
+            return;
+        }
+        let tenant = {
+            let mut map = self.shared.tenants.write().expect("tenants poisoned");
+            match map.get(name) {
+                // A duplicate open is queued too, so its error lands in
+                // order with the tenant's other commands.
+                Some(t) => t.clone(),
+                None => {
+                    let tenant = Arc::new(Tenant::new(name));
+                    map.insert(name.to_string(), tenant.clone());
+                    tenant
+                }
+            }
+        };
+        self.touch_lru(name);
+        self.enqueue_on(&tenant, QueuedItem::Open(source));
+    }
+
+    fn handle_list(&self) {
+        let names = self.tenant_names();
+        let mut line = String::from("{\"event\":\"tenants\",\"open\":[");
+        for (i, name) in names.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&json::escaped(name));
+        }
+        line.push_str("]}");
+        self.shared.sink.emit(&line);
+    }
+
+    fn enqueue(&self, name: &str, item: QueuedItem) {
+        let tenant = self
+            .shared
+            .tenants
+            .read()
+            .expect("tenants poisoned")
+            .get(name)
+            .cloned();
+        match tenant {
+            Some(tenant) => {
+                self.touch_lru(name);
+                self.enqueue_on(&tenant, item);
+            }
+            None => self.global_error(
+                Some(name),
+                &format!("unknown tenant {} (open it first)", json::escaped(name)),
+            ),
+        }
+    }
+
+    fn enqueue_on(&self, tenant: &Arc<Tenant>, item: QueuedItem) {
+        let spawn = {
+            let mut queue = tenant.queue.lock().expect("queue poisoned");
+            queue.pending.push_back(item);
+            if queue.running {
+                false
+            } else {
+                queue.running = true;
+                true
+            }
+        };
+        if spawn {
+            let shared = Arc::clone(&self.shared);
+            let tenant = Arc::clone(tenant);
+            self.shared
+                .executor
+                .spawn(move || drain_tenant(&shared, &tenant));
+        }
+    }
+
+    fn touch_lru(&self, name: &str) {
+        self.shared
+            .lru
+            .lock()
+            .expect("lru poisoned")
+            .touch(name.to_string());
+    }
+}
+
+fn emit_global_error(shared: &Shared, tenant: Option<&str>, message: &str) {
+    let line = match tenant {
+        Some(t) => format!(
+            "{{\"event\":\"error\",\"tenant\":{},\"message\":{}}}",
+            json::escaped(t),
+            json::escaped(message)
+        ),
+        None => format!(
+            "{{\"event\":\"error\",\"message\":{}}}",
+            json::escaped(message)
+        ),
+    };
+    shared.sink.emit(&line);
+}
+
+/// The drain job: claim the tenant's state and process queued items in
+/// FIFO order until the queue is empty. Exactly one drain job exists per
+/// tenant at a time (`TenantQueue::running`), which is what makes
+/// per-tenant processing single-writer while tenants run in parallel.
+fn drain_tenant(shared: &Arc<Shared>, tenant: &Arc<Tenant>) {
+    loop {
+        let batch: Vec<QueuedItem> = {
+            let mut queue = tenant.queue.lock().expect("queue poisoned");
+            if queue.pending.is_empty() {
+                queue.running = false;
+                break;
+            }
+            queue.pending.drain(..).collect()
+        };
+        {
+            let mut state = tenant.state.lock().expect("state poisoned");
+            process_batch(shared, tenant, &mut state, batch);
+        }
+        // Between batches (state released): enforce the residency cap.
+        maybe_evict(shared);
+    }
+    maybe_evict(shared);
+}
+
+/// Process one claimed batch of queued items under the tenant state lock.
+fn process_batch(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    batch: Vec<QueuedItem>,
+) {
+    let mut emitter = TenantEmitter::new(tenant, &*shared.sink);
+    // Pending coalesced edit run: merged edits + source command count.
+    let mut merged: Vec<crate::incremental::Edit> = Vec::new();
+    let mut merged_commands = 0usize;
+
+    // The WAL writer for this batch, created lazily on the first applied
+    // command (durable mode only).
+    let mut wal: Option<WalWriter<'_>> = None;
+
+    for item in batch {
+        match item {
+            QueuedItem::Open(source) => {
+                flush_run(
+                    shared,
+                    tenant,
+                    state,
+                    &mut emitter,
+                    &mut wal,
+                    &mut merged,
+                    &mut merged_commands,
+                );
+                handle_open_item(shared, tenant, state, &mut emitter, source);
+            }
+            QueuedItem::Close => {
+                flush_run(
+                    shared,
+                    tenant,
+                    state,
+                    &mut emitter,
+                    &mut wal,
+                    &mut merged,
+                    &mut merged_commands,
+                );
+                handle_close_item(shared, tenant, state, &mut emitter, &mut wal);
+            }
+            QueuedItem::Command(line) => {
+                if !state.opened {
+                    emitter.emit_line(&format!(
+                        "{{\"event\":\"error\",\"message\":{}}}",
+                        json::escaped(&format!(
+                            "tenant {} is not open",
+                            json::escaped(&tenant.name)
+                        ))
+                    ));
+                    continue;
+                }
+                if let Err(e) = ensure_resident(shared, tenant, state, &mut emitter) {
+                    emitter.emit_line(&format!(
+                        "{{\"event\":\"error\",\"message\":{}}}",
+                        json::escaped(&format!("rebuild from snapshot failed: {e}"))
+                    ));
+                    continue;
+                }
+                let schema = state.schema.clone().expect("opened tenant has a schema");
+                // Coalescing: accumulate consecutive edit commands.
+                if shared.options.coalesce {
+                    match parse_command(&line, &schema) {
+                        Ok(SessionCommand::Single(edit)) => {
+                            merged.push(edit);
+                            merged_commands += 1;
+                            continue;
+                        }
+                        Ok(SessionCommand::Batch(edits)) => {
+                            merged.extend(edits);
+                            merged_commands += 1;
+                            continue;
+                        }
+                        _ => {
+                            // Repair/check/parse errors flush the run and
+                            // take the ordinary per-line path below.
+                            flush_run(
+                                shared,
+                                tenant,
+                                state,
+                                &mut emitter,
+                                &mut wal,
+                                &mut merged,
+                                &mut merged_commands,
+                            );
+                        }
+                    }
+                }
+                apply_one_line(
+                    shared,
+                    tenant,
+                    state,
+                    &mut emitter,
+                    &mut wal,
+                    &schema,
+                    &line,
+                );
+            }
+        }
+    }
+    flush_run(
+        shared,
+        tenant,
+        state,
+        &mut emitter,
+        &mut wal,
+        &mut merged,
+        &mut merged_commands,
+    );
+    if let Some(w) = wal.take() {
+        state.wal_next_seq = Some(w.last_seq() + 1);
+    }
+}
+
+/// Run `process_line` for one command with the WAL as its log sink.
+fn apply_one_line<'io>(
+    shared: &'io Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    emitter: &mut TenantEmitter<'_>,
+    wal: &mut Option<WalWriter<'io>>,
+    schema: &Schema,
+    line: &str,
+) {
+    if let Err(e) = ensure_wal(shared, tenant, state, wal) {
+        fail_tenant_io(shared, tenant, state, emitter, &e);
+        return;
+    }
+    let repairer = state.engine.as_mut().expect("resident engine");
+    let result = match wal.as_mut() {
+        Some(w) => {
+            let mut sink = WalLineSink::new(w);
+            process_line(
+                repairer,
+                schema,
+                line,
+                emitter,
+                Some(&mut sink),
+                &mut state.summary,
+            )
+        }
+        None => process_line(repairer, schema, line, emitter, None, &mut state.summary),
+    };
+    if let Err(e) = result {
+        fail_tenant_io(shared, tenant, state, emitter, &e.to_string());
+    }
+}
+
+/// Apply a coalesced run of edits as one `apply_batch`, answered by one
+/// combined delta event tagged `"coalesced":k`.
+#[allow(clippy::too_many_arguments)]
+fn flush_run<'io>(
+    shared: &'io Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    emitter: &mut TenantEmitter<'_>,
+    wal: &mut Option<WalWriter<'io>>,
+    merged: &mut Vec<crate::incremental::Edit>,
+    merged_commands: &mut usize,
+) {
+    if merged.is_empty() {
+        return;
+    }
+    let edits = std::mem::take(merged);
+    let commands = std::mem::take(merged_commands);
+    let schema = state.schema.clone().expect("opened tenant has a schema");
+    if let Err(e) = ensure_wal(shared, tenant, state, wal) {
+        fail_tenant_io(shared, tenant, state, emitter, &e);
+        return;
+    }
+    let repairer = state.engine.as_mut().expect("resident engine");
+    match repairer.engine_mut().apply_batch(&edits) {
+        Ok(delta) => {
+            state.summary.applied += commands;
+            if let Some(w) = wal.as_mut() {
+                let logged = edits_as_batch_json(&edits, &schema);
+                if let Err(e) = w.append(logged.as_bytes()) {
+                    fail_tenant_io(shared, tenant, state, emitter, &e.to_string());
+                    return;
+                }
+            }
+            let violations = state
+                .engine
+                .as_ref()
+                .expect("resident engine")
+                .engine()
+                .violation_count();
+            let line = session::delta_json(&delta, violations, &schema);
+            emitter.emit_line(&format!("{{\"coalesced\":{commands},{}", &line[1..]));
+        }
+        Err(e) => {
+            // The whole run is rejected atomically — one error event.
+            state.summary.rejected += commands;
+            emitter.emit_line(&format!(
+                "{{\"event\":\"error\",\"coalesced\":{commands},\"message\":{}}}",
+                json::escaped(&e.to_string())
+            ));
+        }
+    }
+}
+
+/// Make sure the batch's WAL writer exists (durable mode). `Ok(())` in
+/// ephemeral mode with `wal` left `None`.
+fn ensure_wal<'io>(
+    shared: &'io Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    wal: &mut Option<WalWriter<'io>>,
+) -> Result<(), String> {
+    let Some(durable) = shared.durable.as_ref() else {
+        return Ok(());
+    };
+    if wal.is_some() {
+        return Ok(());
+    }
+    let io: &dyn Io = &*durable.io;
+    let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
+    let log_path = store.log_path();
+    let writer = match state.wal_next_seq {
+        Some(next) => WalWriter::continue_at(io, &log_path, next, SyncPolicy::Always),
+        None => {
+            WalWriter::open(io, &log_path, state.seq_floor, SyncPolicy::Always)
+                .map_err(|e| format!("wal open failed: {e}"))?
+                .0
+        }
+    };
+    state.wal_next_seq = Some(writer.last_seq() + 1);
+    *wal = Some(writer);
+    Ok(())
+}
+
+/// An I/O failure mid-processing: report it and drop the engine so the
+/// next touch recovers from durable state (every acknowledged command is
+/// already in the snapshot family; the failed one was never acked).
+fn fail_tenant_io(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    emitter: &mut TenantEmitter<'_>,
+    message: &str,
+) {
+    emitter.emit_line(&format!(
+        "{{\"event\":\"error\",\"message\":{}}}",
+        json::escaped(&format!("tenant {} i/o failed: {message}", tenant.name))
+    ));
+    if shared.durable.is_some() && state.engine.take().is_some() {
+        shared.resident.fetch_sub(1, Ordering::Relaxed);
+        state.wal_next_seq = None;
+    }
+}
+
+/// Open (or reject a duplicate open of) a tenant, under its state lock.
+fn handle_open_item(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    emitter: &mut TenantEmitter<'_>,
+    source: EngineSource,
+) {
+    if state.opened {
+        emitter.emit_line(&format!(
+            "{{\"event\":\"error\",\"message\":{}}}",
+            json::escaped(&format!(
+                "tenant {} is already open",
+                json::escaped(&tenant.name)
+            ))
+        ));
+        return;
+    }
+    let loader = Arc::clone(&shared.loader);
+    let name = tenant.name.clone();
+    let cold = move || -> Result<DeltaEngine, String> {
+        match source {
+            EngineSource::Spec(spec) => loader.load(&name, &spec),
+            EngineSource::Engine(engine) => Ok(*engine),
+        }
+    };
+    let built = match shared.durable.as_ref() {
+        None => cold().map(|engine| {
+            (
+                engine,
+                SnapshotMeta {
+                    generation: 0,
+                    last_seq: 0,
+                },
+                0,
+            )
+        }),
+        Some(durable) => {
+            let io: &dyn Io = &*durable.io;
+            if let Err(e) = io.create_dir_all(&durable.root.join(&tenant.name)) {
+                emitter.emit_line(&format!(
+                    "{{\"event\":\"error\",\"message\":{}}}",
+                    json::escaped(&format!("open failed: create tenant dir: {e}"))
+                ));
+                forget_tenant(shared, tenant);
+                return;
+            }
+            let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
+            match store.recover(shared.options.recovery, cold) {
+                Err(e) => Err(e.to_string()),
+                Ok(recovered) => {
+                    if recovered.report.degraded() || recovered.report.log_records_applied > 0 {
+                        emitter.emit_line(&session::recovery_report_json(&recovered.report));
+                    }
+                    let mut meta = recovered.meta;
+                    if recovered.needs_checkpoint {
+                        let next = recovered.next_meta();
+                        match store.checkpoint(&recovered.engine, next) {
+                            Ok(()) => meta = next,
+                            Err(e) => {
+                                emitter.emit_line(&format!(
+                                    "{{\"event\":\"error\",\"message\":{}}}",
+                                    json::escaped(&format!("open failed: checkpoint: {e}"))
+                                ));
+                                forget_tenant(shared, tenant);
+                                return;
+                            }
+                        }
+                    }
+                    Ok((recovered.engine, meta, recovered.seq_floor))
+                }
+            }
+        }
+    };
+    match built {
+        Ok((engine, meta, seq_floor)) => {
+            let repairer = RepairEngine::from_engine(engine, shared.options.repair);
+            state.schema = Some(repairer.relation().schema().clone());
+            state.summary.violations = repairer.engine().violation_count();
+            state.meta = meta;
+            state.seq_floor = seq_floor;
+            state.wal_next_seq = None;
+            state.engine = Some(repairer);
+            state.opened = true;
+            shared.resident.fetch_add(1, Ordering::Relaxed);
+            let ready = ready_json(state.engine.as_ref().expect("just set"));
+            emitter.emit_line(&ready);
+        }
+        Err(message) => {
+            emitter.emit_line(&format!(
+                "{{\"event\":\"error\",\"message\":{}}}",
+                json::escaped(&format!("open failed: {message}"))
+            ));
+            forget_tenant(shared, tenant);
+        }
+    }
+}
+
+/// Close a tenant: final checkpoint (durable), `closed` event, forget.
+fn handle_close_item(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    emitter: &mut TenantEmitter<'_>,
+    wal: &mut Option<WalWriter<'_>>,
+) {
+    if !state.opened {
+        emitter.emit_line(&format!(
+            "{{\"event\":\"error\",\"message\":{}}}",
+            json::escaped(&format!(
+                "tenant {} is not open",
+                json::escaped(&tenant.name)
+            ))
+        ));
+        return;
+    }
+    // The batch's WAL writer must not outlive the close checkpoint.
+    if let Some(w) = wal.take() {
+        state.wal_next_seq = Some(w.last_seq() + 1);
+    }
+    if let Some(repairer) = state.engine.as_ref() {
+        state.summary.violations = repairer.engine().violation_count();
+        if let Some(durable) = shared.durable.as_ref() {
+            let io: &dyn Io = &*durable.io;
+            let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
+            let meta = SnapshotMeta {
+                generation: state.meta.generation + 1,
+                last_seq: state.wal_next_seq.map_or(state.seq_floor, |n| n - 1),
+            };
+            if let Err(e) = store.checkpoint(repairer.engine(), meta) {
+                emitter.emit_line(&format!(
+                    "{{\"event\":\"error\",\"message\":{}}}",
+                    json::escaped(&format!("close checkpoint failed: {e}"))
+                ));
+                return;
+            }
+            state.meta = meta;
+        }
+    }
+    if state.engine.take().is_some() {
+        shared.resident.fetch_sub(1, Ordering::Relaxed);
+    }
+    state.opened = false;
+    emitter.emit_line(&format!(
+        "{{\"event\":\"closed\",\"applied\":{},\"rejected\":{},\"violations\":{}}}",
+        state.summary.applied, state.summary.rejected, state.summary.violations
+    ));
+    forget_tenant(shared, tenant);
+}
+
+/// Remove a tenant from the registry and the LRU (failed open, close).
+fn forget_tenant(shared: &Arc<Shared>, tenant: &Arc<Tenant>) {
+    shared
+        .tenants
+        .write()
+        .expect("tenants poisoned")
+        .remove(&tenant.name);
+    shared
+        .lru
+        .lock()
+        .expect("lru poisoned")
+        .remove(&tenant.name);
+}
+
+/// Rebuild an evicted tenant's engine from its snapshot family.
+fn ensure_resident(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    state: &mut TenantState,
+    emitter: &mut TenantEmitter<'_>,
+) -> Result<(), String> {
+    if state.engine.is_some() {
+        return Ok(());
+    }
+    let durable = shared
+        .durable
+        .as_ref()
+        .expect("only durable tenants are evicted");
+    let io: &dyn Io = &*durable.io;
+    let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
+    let recovered = store
+        .recover(shared.options.recovery, || {
+            Err::<DeltaEngine, String>("evicted tenant has no snapshot family".to_string())
+        })
+        .map_err(|e| e.to_string())?;
+    if recovered.report.degraded() || recovered.report.log_records_applied > 0 {
+        emitter.emit_line(&session::recovery_report_json(&recovered.report));
+    }
+    let mut meta = recovered.meta;
+    if recovered.needs_checkpoint {
+        let next = recovered.next_meta();
+        store
+            .checkpoint(&recovered.engine, next)
+            .map_err(|e| e.to_string())?;
+        meta = next;
+    }
+    state.meta = meta;
+    state.seq_floor = recovered.seq_floor;
+    state.wal_next_seq = None;
+    let repairer = RepairEngine::from_engine(recovered.engine, shared.options.repair);
+    state.schema = Some(repairer.relation().schema().clone());
+    state.engine = Some(repairer);
+    shared.resident.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// While the resident count exceeds the cap, checkpoint-and-drop the
+/// coldest idle tenant. No-op without a durable root or with the cap off.
+fn maybe_evict(shared: &Arc<Shared>) {
+    if shared.durable.is_none() {
+        return;
+    }
+    let max = shared.options.max_resident;
+    if max == 0 {
+        return;
+    }
+    while shared.resident.load(Ordering::Relaxed) > max {
+        let candidate = {
+            let map = shared.tenants.read().expect("tenants poisoned");
+            let lru = shared.lru.lock().expect("lru poisoned");
+            let picked = lru.coldest_first().find_map(|name| {
+                let tenant = map.get(name)?;
+                // Only idle tenants (no drain scheduled, nothing
+                // queued): try_lock so a busy tenant is just skipped.
+                let queue = tenant.queue.try_lock().ok()?;
+                if queue.running || !queue.pending.is_empty() {
+                    return None;
+                }
+                let state = tenant.state.try_lock().ok()?;
+                state.engine.as_ref()?;
+                Some(Arc::clone(tenant))
+            });
+            picked
+        };
+        let Some(tenant) = candidate else { return };
+        match evict_tenant(shared, &tenant) {
+            Ok(true) => {}
+            Ok(false) => return,
+            Err(e) => {
+                emit_global_error(
+                    shared,
+                    Some(&tenant.name),
+                    &format!("eviction checkpoint failed: {e}"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Checkpoint a tenant's live state and drop its engine. Returns whether
+/// an engine was actually evicted. On checkpoint failure the engine stays
+/// resident — acknowledged state is still covered by snapshot + WAL.
+fn evict_tenant(shared: &Arc<Shared>, tenant: &Arc<Tenant>) -> Result<bool, SnapshotError> {
+    let Some(durable) = shared.durable.as_ref() else {
+        return Ok(false);
+    };
+    let mut state = tenant.state.lock().expect("state poisoned");
+    let Some(repairer) = state.engine.as_ref() else {
+        return Ok(false);
+    };
+    let io: &dyn Io = &*durable.io;
+    let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
+    let last_seq = state.wal_next_seq.map_or(state.seq_floor, |n| n - 1);
+    let meta = SnapshotMeta {
+        generation: state.meta.generation + 1,
+        last_seq,
+    };
+    store.checkpoint(repairer.engine(), meta)?;
+    state.meta = meta;
+    state.seq_floor = last_seq;
+    state.engine = None;
+    state.wal_next_seq = None;
+    shared.resident.fetch_sub(1, Ordering::Relaxed);
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfd::Pfd;
+    use crate::tableau::TableauRow;
+    use pfd_relation::MemIo;
+    use std::io::BufRead as _;
+
+    fn name_relation() -> Relation {
+        Relation::from_rows(
+            "Name",
+            &["name", "gender"],
+            vec![
+                vec!["John Charles", "M"],
+                vec!["John Bosco", "M"],
+                vec!["Susan Orlean", "F"],
+                vec!["Susan Boyle", "M"], // dirty
+            ],
+        )
+        .unwrap()
+    }
+
+    fn gender_pfd(rel: &Relation) -> Pfd {
+        let mut pfd =
+            Pfd::constant_normal_form("Name", rel.schema(), "name", r"[John\ ]\A*", "gender", "M")
+                .unwrap();
+        pfd.add_row(TableauRow::parse(&[r"[Susan\ ]\A*"], &["F"]).unwrap())
+            .unwrap();
+        pfd
+    }
+
+    fn engine() -> DeltaEngine {
+        let rel = name_relation();
+        let pfds = vec![gender_pfd(&rel)];
+        DeltaEngine::new(rel, pfds)
+    }
+
+    fn ephemeral_server(sink: Arc<CollectSink>) -> Server {
+        Server::new(
+            ServerOptions {
+                workers: 2,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink,
+        )
+    }
+
+    /// The per-tenant slice of a sink dump, untagged back to solo lines.
+    fn untag(lines: &[String], tenant: &str) -> Vec<String> {
+        let prefix = format!("{{\"tenant\":{},\"seq\":", json::escaped(tenant));
+        let mut out = Vec::new();
+        for (expect_seq, line) in lines.iter().filter(|l| l.starts_with(&prefix)).enumerate() {
+            let rest = &line[prefix.len()..];
+            let (seq, rest) = rest.split_once(',').expect("seq then payload");
+            assert_eq!(
+                seq.parse::<u64>().unwrap(),
+                expect_seq as u64,
+                "per-tenant seq numbers are dense from 0"
+            );
+            out.push(format!("{{{rest}"));
+        }
+        out
+    }
+
+    #[test]
+    fn tagged_stream_matches_solo_session() {
+        let script = [
+            r#"{"op":"set","row":3,"attr":"gender","value":"F"}"#,
+            r#"{"op":"check"}"#,
+            r#"{"op":"set","row":0,"attr":"gender","value":"nope"}"#,
+            r#"{"op":"repair"}"#,
+        ];
+
+        // Solo reference: the single-tenant session over the same script.
+        let mut solo = Vec::new();
+        let input = std::io::Cursor::new(script.join("\n"));
+        session::run_session_with(
+            RepairEngine::from_engine(engine(), RepairOptions::default()),
+            input,
+            &mut solo,
+            None,
+        )
+        .unwrap();
+        let solo: Vec<String> = solo.lines().map(Result::unwrap).collect();
+
+        // Server: same script routed to one tenant (tagged and implicit).
+        for tenant_field in ["", r#""tenant":"t1","#] {
+            let sink = Arc::new(CollectSink::new());
+            let server = ephemeral_server(sink.clone());
+            let name = if tenant_field.is_empty() {
+                DEFAULT_TENANT
+            } else {
+                "t1"
+            };
+            server.open_with_engine(name, engine()).unwrap();
+            for cmd in &script {
+                server.submit(&format!("{{{tenant_field}{}", &cmd[1..]));
+            }
+            server.drain();
+            assert_eq!(untag(&sink.take(), name), solo);
+            let exits = server.shutdown();
+            assert_eq!(exits.len(), 1);
+            assert_eq!(exits[0].summary.applied, 4);
+        }
+    }
+
+    #[test]
+    fn routing_and_name_errors() {
+        let sink = Arc::new(CollectSink::new());
+        let server = ephemeral_server(sink.clone());
+        server.submit(r#"{"op":"check","tenant":"ghost"}"#);
+        server.submit(r#"{"op":"check","tenant":42}"#);
+        server.submit(r#"{"op":"open","tenant":"../evil"}"#);
+        server.submit("not json");
+        server.drain();
+        let lines = sink.take();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[0].contains("unknown tenant \\\"ghost\\\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("must be a string"), "{}", lines[1]);
+        assert!(lines[2].contains("invalid tenant name"), "{}", lines[2]);
+        assert!(lines[3].contains("error"), "{}", lines[3]);
+        assert!(server.tenant_names().is_empty());
+    }
+
+    #[test]
+    fn list_close_and_duplicate_open() {
+        let sink = Arc::new(CollectSink::new());
+        let server = ephemeral_server(sink.clone());
+        server.open_with_engine("a", engine()).unwrap();
+        server.open_with_engine("b", engine()).unwrap();
+        assert!(server.open_with_engine("a", engine()).is_err());
+        server.drain();
+        server.submit(r#"{"op":"list"}"#);
+        server.submit(r#"{"op":"close","tenant":"a"}"#);
+        server.submit(r#"{"op":"check","tenant":"a"}"#); // races close; drain first
+        server.drain();
+        let lines = sink.take();
+        assert!(lines
+            .iter()
+            .any(|l| l == r#"{"event":"tenants","open":["a","b"]}"#));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"closed\"") && l.contains("\"tenant\":\"a\"")));
+        // After close, the check either reached the queue before the close
+        // (not here: submit order is FIFO per tenant) or errors.
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("is not open") || l.contains("unknown tenant")));
+        assert_eq!(server.tenant_names(), ["b"]);
+    }
+
+    #[test]
+    fn coalescing_merges_consecutive_edits() {
+        let sink = Arc::new(CollectSink::new());
+        let server = Server::new(
+            ServerOptions {
+                workers: 1,
+                coalesce: true,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink.clone(),
+        );
+        server.open_with_engine("t", engine()).unwrap();
+        server.drain(); // ready flushed; now queue edits while no job runs
+
+        // Park the lone worker so all three commands are queued before the
+        // drain job runs — otherwise it could legally answer them one at a
+        // time and never coalesce.
+        let (release, parked) = std::sync::mpsc::channel::<()>();
+        server.shared.executor.spawn(move || parked.recv().unwrap());
+        server.submit(r#"{"op":"set","row":3,"attr":"gender","value":"F","tenant":"t"}"#);
+        server.submit(r#"{"op":"set","row":2,"attr":"gender","value":"F","tenant":"t"}"#);
+        server.submit(r#"{"op":"check","tenant":"t"}"#);
+        release.send(()).unwrap();
+        server.drain();
+        let lines = sink.take();
+        // Both sets answered by one delta bearing the coalesced count...
+        let coalesced: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"coalesced\":2"))
+            .collect();
+        assert_eq!(coalesced.len(), 1, "{lines:?}");
+        // ...and the final state is the same fixpoint.
+        let rel = server.relation_of("t").unwrap();
+        assert_eq!(rel.row(3).get(1), "F");
+        let exits = server.shutdown();
+        assert_eq!(exits[0].summary.applied, 3);
+        assert_eq!(exits[0].summary.violations, 0);
+    }
+
+    #[test]
+    fn durable_eviction_round_trip() {
+        let io: Arc<dyn Io + Send + Sync> = Arc::new(MemIo::new());
+        let sink = Arc::new(CollectSink::new());
+        let server = Server::durable(
+            io.clone(),
+            "/srv",
+            ServerOptions {
+                workers: 2,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink.clone(),
+        );
+        server.open_with_engine("t", engine()).unwrap();
+        server.drain();
+        server.submit(r#"{"op":"set","row":3,"attr":"gender","value":"F","tenant":"t"}"#);
+        server.drain();
+        assert_eq!(server.resident_count(), 1);
+
+        // Evict: state parks in /srv/t, engine dropped.
+        assert!(server.evict("t").unwrap());
+        assert_eq!(server.resident_count(), 0);
+        assert!(server.relation_of("t").is_none());
+
+        // Touch: rebuilt from the snapshot family, edits survived.
+        server.submit(r#"{"op":"set","row":0,"attr":"gender","value":"M","tenant":"t"}"#);
+        server.drain();
+        assert_eq!(server.resident_count(), 1);
+        let rel = server.relation_of("t").unwrap();
+        assert_eq!(rel.row(3).get(1), "F");
+        server.shutdown();
+
+        // A fresh server over the same root recovers the tenant cold-free.
+        let sink2 = Arc::new(CollectSink::new());
+        let server2 = Server::durable(
+            io,
+            "/srv",
+            ServerOptions::default(),
+            Arc::new(NoProtocolOpens),
+            sink2.clone(),
+        );
+        server2.submit(r#"{"op":"open","tenant":"t"}"#);
+        server2.drain();
+        let rel = server2.relation_of("t").unwrap();
+        assert_eq!(rel.row(3).get(1), "F");
+    }
+
+    #[test]
+    fn max_resident_evicts_cold_tenants() {
+        let io: Arc<dyn Io + Send + Sync> = Arc::new(MemIo::new());
+        let sink = Arc::new(CollectSink::new());
+        let server = Server::durable(
+            io,
+            "/srv",
+            ServerOptions {
+                workers: 1,
+                max_resident: 2,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink.clone(),
+        );
+        for name in ["a", "b", "c", "d"] {
+            server.open_with_engine(name, engine()).unwrap();
+            server.drain();
+        }
+        server.drain();
+        assert!(
+            server.resident_count() <= 2,
+            "LRU keeps at most max_resident engines in memory, saw {}",
+            server.resident_count()
+        );
+        assert_eq!(server.tenant_names(), ["a", "b", "c", "d"]);
+        // Every tenant still answers (evicted ones rebuild on touch).
+        for name in ["a", "b", "c", "d"] {
+            server.submit(&format!("{{\"op\":\"check\",\"tenant\":\"{name}\"}}"));
+        }
+        server.drain();
+        let states = sink
+            .take()
+            .iter()
+            .filter(|l| l.contains("\"event\":\"state\""))
+            .count();
+        assert_eq!(states, 4);
+    }
+}

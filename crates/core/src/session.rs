@@ -479,6 +479,9 @@ pub enum SessionCommand {
         /// Pass-cap override for this chase (engine default when absent).
         max_passes: Option<usize>,
     },
+    /// Report the current violation state without mutating anything (a
+    /// `state` event, shaped like `ready`). Never logged to a delta log.
+    Check,
 }
 
 /// Parse one JSONL command line against the session's schema. Attributes
@@ -507,6 +510,7 @@ fn parse_command_value(value: &Value, schema: &Schema) -> Result<SessionCommand,
                     SessionCommand::Repair { .. } => {
                         Err("repair cannot appear inside a batch".to_string())
                     }
+                    SessionCommand::Check => Err("check cannot appear inside a batch".to_string()),
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(SessionCommand::Batch(edits))
@@ -548,6 +552,7 @@ fn parse_command_value(value: &Value, schema: &Schema) -> Result<SessionCommand,
             };
             Ok(SessionCommand::Repair { max_passes })
         }
+        "check" => Ok(SessionCommand::Check),
         other => Err(format!("unknown op {other:?}")),
     }
 }
@@ -612,86 +617,127 @@ pub fn run_session_with(
     mut log: Option<&mut dyn Write>,
 ) -> std::io::Result<(RepairEngine, SessionSummary)> {
     let schema = repairer.relation().schema().clone();
-    let initial = repairer.engine().sorted_violations();
-    writeln!(
-        out,
-        "{{\"event\":\"ready\",\"version\":{},\"rows\":{},\"pfds\":{},\"violations\":{},\"state\":{}}}",
-        repairer.relation().version(),
-        repairer.relation().num_rows(),
-        repairer.engine().pfds().len(),
-        initial.len(),
-        entries_json(&initial, &schema)
-    )?;
+    writeln!(out, "{}", ready_json(&repairer))?;
     let mut summary = SessionSummary {
         applied: 0,
         rejected: 0,
-        violations: initial.len(),
+        violations: repairer.engine().violation_count(),
     };
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        match parse_command(&line, &schema) {
-            Ok(SessionCommand::Repair { max_passes }) => {
-                summary.applied += 1;
-                // The override applies to this chase only (clamped to ≥ 1
-                // so a cap of 0 cannot silently no-op); later plain
-                // `repair` commands get the engine default back.
-                let saved = repairer.options().max_passes;
-                if let Some(cap) = max_passes {
-                    repairer.options_mut().max_passes = cap.max(1);
-                }
-                let (outcome, passes) = repairer.run();
-                repairer.options_mut().max_passes = saved;
-                if let Some(log) = log.as_deref_mut() {
-                    if !outcome.fixes.is_empty() {
-                        writeln!(log, "{}", repair_as_batch_json(&outcome, &schema))?;
-                    }
-                }
-                write_repair_events(out, &outcome, passes, repairer.engine(), &schema)?;
-            }
-            Ok(cmd) => {
-                let engine = repairer.engine_mut();
-                let applied = match cmd {
-                    SessionCommand::Single(edit) => engine.apply(edit),
-                    SessionCommand::Batch(edits) => engine.apply_batch(&edits),
-                    SessionCommand::Repair { .. } => unreachable!("handled above"),
-                };
-                match applied {
-                    Ok(delta) => {
-                        summary.applied += 1;
-                        if let Some(log) = log.as_deref_mut() {
-                            writeln!(log, "{}", line.trim())?;
-                        }
-                        writeln!(
-                            out,
-                            "{}",
-                            delta_json(&delta, engine.violation_count(), &schema)
-                        )?;
-                    }
-                    Err(e) => {
-                        summary.rejected += 1;
-                        writeln!(
-                            out,
-                            "{{\"event\":\"error\",\"message\":{}}}",
-                            json::escaped(&e.to_string())
-                        )?;
-                    }
-                }
-            }
-            Err(message) => {
-                summary.rejected += 1;
-                writeln!(
-                    out,
-                    "{{\"event\":\"error\",\"message\":{}}}",
-                    json::escaped(&message)
-                )?;
-            }
-        }
+        // Reborrow per iteration (`as_deref_mut` would pin the trait
+        // object's lifetime across the loop).
+        let log_line: Option<&mut dyn Write> = match log.as_mut() {
+            Some(l) => Some(&mut **l),
+            None => None,
+        };
+        process_line(&mut repairer, &schema, &line, out, log_line, &mut summary)?;
     }
     summary.violations = repairer.engine().violation_count();
     Ok((repairer, summary))
+}
+
+/// Serialize the session-opening `ready` event for the engine's current
+/// state. The multi-tenant server reuses this as the per-tenant `open`
+/// acknowledgement so both surfaces stay byte-identical.
+pub fn ready_json(repairer: &RepairEngine) -> String {
+    state_event_json("ready", repairer)
+}
+
+fn state_event_json(event: &str, repairer: &RepairEngine) -> String {
+    let schema = repairer.relation().schema();
+    let violations = repairer.engine().sorted_violations();
+    format!(
+        "{{\"event\":\"{event}\",\"version\":{},\"rows\":{},\"pfds\":{},\"violations\":{},\"state\":{}}}",
+        repairer.relation().version(),
+        repairer.relation().num_rows(),
+        repairer.engine().pfds().len(),
+        violations.len(),
+        entries_json(&violations, schema)
+    )
+}
+
+/// Process one non-empty session input line: parse it against `schema`,
+/// mutate `repairer`, stream the answering event(s) to `out`, and append
+/// replayable commands to `log`. This is the shared per-line core of
+/// [`run_session_with`] and the multi-tenant server's tenant drain jobs;
+/// errors are answered with an `error` event and never abort the stream.
+pub fn process_line(
+    repairer: &mut RepairEngine,
+    schema: &Schema,
+    line: &str,
+    out: &mut dyn Write,
+    mut log: Option<&mut dyn Write>,
+    summary: &mut SessionSummary,
+) -> std::io::Result<()> {
+    match parse_command(line, schema) {
+        Ok(SessionCommand::Repair { max_passes }) => {
+            summary.applied += 1;
+            // The override applies to this chase only (clamped to ≥ 1
+            // so a cap of 0 cannot silently no-op); later plain
+            // `repair` commands get the engine default back.
+            let saved = repairer.options().max_passes;
+            if let Some(cap) = max_passes {
+                repairer.options_mut().max_passes = cap.max(1);
+            }
+            let (outcome, passes) = repairer.run();
+            repairer.options_mut().max_passes = saved;
+            if let Some(log) = log.as_deref_mut() {
+                if !outcome.fixes.is_empty() {
+                    writeln!(log, "{}", repair_as_batch_json(&outcome, schema))?;
+                }
+            }
+            write_repair_events(out, &outcome, passes, repairer.engine(), schema)?;
+        }
+        Ok(SessionCommand::Check) => {
+            // Read-only: answer with the current state, log nothing.
+            summary.applied += 1;
+            writeln!(out, "{}", state_event_json("state", repairer))?;
+        }
+        Ok(cmd) => {
+            let engine = repairer.engine_mut();
+            let applied = match cmd {
+                SessionCommand::Single(edit) => engine.apply(edit),
+                SessionCommand::Batch(edits) => engine.apply_batch(&edits),
+                SessionCommand::Repair { .. } | SessionCommand::Check => {
+                    unreachable!("handled above")
+                }
+            };
+            match applied {
+                Ok(delta) => {
+                    summary.applied += 1;
+                    if let Some(log) = log.as_mut() {
+                        writeln!(log, "{}", line.trim())?;
+                    }
+                    writeln!(
+                        out,
+                        "{}",
+                        delta_json(&delta, engine.violation_count(), schema)
+                    )?;
+                }
+                Err(e) => {
+                    summary.rejected += 1;
+                    writeln!(
+                        out,
+                        "{{\"event\":\"error\",\"message\":{}}}",
+                        json::escaped(&e.to_string())
+                    )?;
+                }
+            }
+        }
+        Err(message) => {
+            summary.rejected += 1;
+            writeln!(
+                out,
+                "{{\"event\":\"error\",\"message\":{}}}",
+                json::escaped(&message)
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// Serialize a [`RecoveryReport`] as a session `recovered` event line.
@@ -827,6 +873,42 @@ fn repair_as_batch_json(outcome: &RepairOutcome, schema: &Schema) -> String {
             json::escaped(schema.name_of(fix.attr).unwrap_or("?")),
             json::escaped(&fix.new)
         ));
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Render a slice of edits as one replayable `batch` command line — the
+/// form a coalescing server logs a merged edit run in, so WAL replay
+/// reproduces the single `apply_batch` (and its one version bump) exactly.
+pub(crate) fn edits_as_batch_json(edits: &[Edit], schema: &Schema) -> String {
+    let mut line = String::from("{\"op\":\"batch\",\"edits\":[");
+    for (i, edit) in edits.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        match edit {
+            Edit::Set { row, attr, value } => {
+                line.push_str(&format!(
+                    "{{\"op\":\"set\",\"row\":{row},\"attr\":{},\"value\":{}}}",
+                    json::escaped(schema.name_of(*attr).unwrap_or("?")),
+                    json::escaped(value)
+                ));
+            }
+            Edit::Insert { cells } => {
+                line.push_str("{\"op\":\"insert\",\"cells\":[");
+                for (j, cell) in cells.iter().enumerate() {
+                    if j > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&json::escaped(cell));
+                }
+                line.push_str("]}");
+            }
+            Edit::Delete { row } => {
+                line.push_str(&format!("{{\"op\":\"delete\",\"row\":{row}}}"));
+            }
+        }
     }
     line.push_str("]}");
     line
@@ -1141,6 +1223,59 @@ mod tests {
         );
         assert!(parse_command(r#"{"op":"repair","max_passes":"x"}"#, schema).is_err());
         assert!(parse_command(r#"{"op":"batch","edits":[{"op":"repair"}]}"#, schema).is_err());
+    }
+
+    #[test]
+    fn check_command_reports_state_without_mutating() {
+        let rel = name_relation();
+        let pfds = vec![gender_pfd(&rel)];
+        let script = concat!(
+            "{\"op\":\"check\"}\n",
+            "{\"op\":\"set\",\"row\":3,\"attr\":\"gender\",\"value\":\"F\"}\n",
+            "{\"op\":\"check\"}\n",
+        );
+        let mut out = Vec::new();
+        let (final_rel, summary) = run_session(rel, pfds, Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[1].contains("\"event\":\"state\""));
+        assert!(lines[1].contains("\"violations\":1"));
+        assert!(lines[3].contains("\"event\":\"state\""));
+        assert!(lines[3].contains("\"violations\":0"));
+        // The ready and first check describe the same untouched state.
+        assert_eq!(lines[0].replace("ready", "state"), lines[1]);
+        assert_eq!(summary.applied, 3);
+        assert_eq!(final_rel.num_rows(), 4, "check never mutates");
+        // check inside a batch is rejected.
+        let schema = name_relation();
+        assert!(parse_command(
+            r#"{"op":"batch","edits":[{"op":"check"}]}"#,
+            schema.schema()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn edits_as_batch_json_roundtrips_through_parse() {
+        let rel = name_relation();
+        let schema = rel.schema();
+        let edits = vec![
+            Edit::Set {
+                row: 3,
+                attr: AttrId(1),
+                value: "F \"q\"".into(),
+            },
+            Edit::Insert {
+                cells: vec!["A".into(), "B".into()],
+            },
+            Edit::Delete { row: 0 },
+        ];
+        let line = edits_as_batch_json(&edits, schema);
+        match parse_command(&line, schema).unwrap() {
+            SessionCommand::Batch(parsed) => assert_eq!(parsed, edits),
+            other => panic!("expected batch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -630,6 +630,11 @@ fn apply_log_line(engine: &mut DeltaEngine, line: &str, record: u64) -> Result<(
                     .to_string(),
             ))
         }
+        SessionCommand::Check => {
+            return Err(log_err(
+                "check ops are read-only and never logged".to_string(),
+            ))
+        }
     };
     result.map_err(|e| log_err(format!("does not apply: {e}")))?;
     Ok(())

@@ -20,8 +20,13 @@
 //! fractions on top of the fixed script.
 
 use std::convert::Infallible;
+use std::sync::Arc;
 
-use pfd_core::{replay_log, DeltaEngine, Pfd, RecoveryPolicy, SnapshotMeta, SnapshotStore};
+use pfd_core::server::NoProtocolOpens;
+use pfd_core::{
+    replay_log, CollectSink, DeltaEngine, Pfd, RecoveryPolicy, Server, ServerOptions, SnapshotMeta,
+    SnapshotStore,
+};
 use pfd_relation::{read_csv_str, FailpointIo, Io, MemIo, SyncPolicy, WalWriter};
 use proptest::prelude::*;
 
@@ -296,6 +301,102 @@ fn script_lines(ops: &[RawOp], mut rows: usize) -> Vec<String> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant server: crash mid-eviction on the per-tenant store layout
+// ---------------------------------------------------------------------------
+
+/// The per-tenant family lives under `<root>/<tenant>/state.pfds`.
+const SRV_ROOT: &str = "/srv";
+const SRV_TENANT: &str = "geo";
+
+fn srv_snap() -> String {
+    format!("{SRV_ROOT}/{SRV_TENANT}/state.pfds")
+}
+
+/// Route a solo session command to the server's tenant.
+fn with_tenant(line: &str) -> String {
+    format!("{{\"tenant\":\"{SRV_TENANT}\",{}", &line[1..])
+}
+
+/// The server-side write sequence under test: open a durable tenant (initial
+/// checkpoint), apply half the edits, **evict it mid-run** (checkpoint +
+/// drop), touch it back with the remaining edits (rebuild from the family),
+/// shut down (final checkpoint). Returns how many edits were *acknowledged*
+/// — a delta event is only emitted after the WAL append returned `Ok`, so
+/// counting delta events counts acknowledgements.
+fn server_scripted_run(faulty: Arc<FailpointIo<MemIo>>, lines: &[String]) -> usize {
+    let sink = Arc::new(CollectSink::new());
+    let server = Server::durable(
+        faulty,
+        SRV_ROOT,
+        ServerOptions {
+            workers: 1,
+            recovery: RecoveryPolicy::Salvage,
+            ..ServerOptions::default()
+        },
+        Arc::new(NoProtocolOpens),
+        sink.clone(),
+    );
+    server
+        .open_with_engine(SRV_TENANT, base_engine())
+        .expect("fresh tenant name is valid");
+    let (head, tail) = lines.split_at(lines.len() / 2);
+    for line in head {
+        server.submit(&with_tenant(line));
+    }
+    server.drain();
+    let _ = server.evict(SRV_TENANT); // the crash window this test is about
+    for line in tail {
+        server.submit(&with_tenant(line)); // touch: rebuild from the family
+    }
+    let _ = server.shutdown(); // drains, then final checkpoint (may also crash)
+    sink.take()
+        .iter()
+        .filter(|l| l.contains("\"event\":\"delta\""))
+        .count()
+}
+
+#[test]
+fn tenant_eviction_survives_a_crash_at_every_fuel_point() {
+    let base = base_engine();
+    let lines = edit_lines();
+    let expected = prefix_states(&base, &lines);
+
+    let total = {
+        let probe = Arc::new(FailpointIo::unlimited(MemIo::new()));
+        let acked = server_scripted_run(probe.clone(), &lines);
+        assert_eq!(acked, lines.len(), "unlimited run acknowledges everything");
+        probe.consumed()
+    };
+
+    for fuel in fuel_points(total) {
+        let disk = MemIo::new();
+        let faulty = Arc::new(FailpointIo::with_fuel(disk.clone(), fuel));
+        let acked = server_scripted_run(faulty, &lines);
+
+        // Recover from whatever survived in the tenant's directory. WAL
+        // sequence numbers run across eviction checkpoints, so the
+        // recovered floor is exactly the number of edits incorporated.
+        let store = SnapshotStore::new(&disk, srv_snap());
+        let recovered = store
+            .recover(RecoveryPolicy::Salvage, || {
+                Ok::<_, Infallible>(base.clone())
+            })
+            .unwrap_or_else(|e| panic!("fuel {fuel}: salvage recovery failed: {e}"));
+        let m = recovered.seq_floor as usize;
+        assert!(
+            m >= acked,
+            "fuel {fuel}: {acked} edits acknowledged but only {m} recovered"
+        );
+        assert!(m <= lines.len(), "fuel {fuel}: recovered beyond the script");
+        assert_engines_equal(
+            &expected[m],
+            &recovered.engine,
+            &format!("server fuel {fuel}"),
+        );
+    }
 }
 
 proptest! {

@@ -51,9 +51,13 @@ pub mod config;
 pub mod extract;
 pub mod fxhash;
 pub mod index;
-pub mod pool;
 pub mod review;
 pub mod serial;
+
+// Extracted to the shared `pfd_runtime` crate (PR 9) so discovery index
+// builds and the multi-tenant session server ride the same work-stealing
+// substrate; re-exported here to keep the original paths.
+pub use pfd_runtime::pool;
 
 // Promoted to `pfd_relation::postings` so the incremental cleaning engine in
 // `pfd_core` can share it; re-exported here to keep the original paths.

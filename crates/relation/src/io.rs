@@ -53,6 +53,14 @@ pub trait Io {
     fn remove(&self, path: &Path) -> io::Result<()>;
     /// True when a file exists at `path`.
     fn exists(&self, path: &Path) -> bool;
+    /// Creates `path` and any missing parents as directories. The default
+    /// is a no-op for backends with a flat namespace (e.g. [`MemIo`],
+    /// where any path is writable directly); real filesystems override it.
+    /// The multi-tenant server uses this to lay out one directory per
+    /// tenant before checkpointing into it.
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -100,6 +108,10 @@ impl Io for StdIo {
 
     fn exists(&self, path: &Path) -> bool {
         path.exists()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
     }
 }
 
@@ -335,6 +347,11 @@ impl<I: Io> Io for FailpointIo<I> {
 
     fn exists(&self, path: &Path) -> bool {
         self.inner.exists(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.charge_op("create_dir_all", path)?;
+        self.inner.create_dir_all(path)
     }
 }
 

@@ -7,10 +7,10 @@
 //! three tiers:
 //!
 //! - **Sorted** — plain strictly-increasing `u32` runs below
-//!   [`BLOCK_THRESHOLD`] entries, where block bookkeeping would cost more
+//!   `BLOCK_THRESHOLD` entries, where block bookkeeping would cost more
 //!   than it saves.
-//! - **Blocked** — delta-gap LEB128 varint blocks of [`BLOCK_LEN`] entries
-//!   at build time (mutation may split them, bounded by [`BLOCK_MAX`]).
+//! - **Blocked** — delta-gap LEB128 varint blocks of `BLOCK_LEN` entries
+//!   at build time (mutation may split them, bounded by `BLOCK_MAX`).
 //!   Each block carries a skip pointer (`first`/`last` id) so galloping
 //!   intersection and `is_subset` jump whole blocks without decoding them;
 //!   only overlapping blocks are expanded, into a stack scratch buffer.
@@ -55,7 +55,7 @@ const GALLOP_RATIO: usize = 8;
 pub(crate) const BLOCK_LEN: usize = 128;
 
 /// Upper bound on a block's entry count: inserts grow a block until it
-/// would exceed this, then it splits in half. Twice [`BLOCK_LEN`] so a
+/// would exceed this, then it splits in half. Twice `BLOCK_LEN` so a
 /// freshly built list absorbs inserts without immediate splits.
 const BLOCK_MAX: usize = 256;
 
@@ -371,10 +371,10 @@ impl PostingList {
 
     /// Insert one row id, growing the universe when `id` lies beyond it.
     /// Returns `true` when the id was newly added. Sorted runs promote to
-    /// blocked storage past [`BLOCK_THRESHOLD`] and either form promotes to
+    /// blocked storage past `BLOCK_THRESHOLD` and either form promotes to
     /// a bitset when the insert crosses the density threshold; removals
     /// never demote (hysteresis keeps edit sequences cheap). A blocked
-    /// insert re-encodes one block, splitting it at [`BLOCK_MAX`] entries.
+    /// insert re-encodes one block, splitting it at `BLOCK_MAX` entries.
     pub fn insert(&mut self, id: RowId) -> bool {
         let id = id as u32;
         if id >= self.universe {
@@ -620,7 +620,7 @@ fn block_end(bytes_len: usize, metas: &[BlockMeta], k: usize) -> usize {
     metas.get(k + 1).map_or(bytes_len, |m| m.offset as usize)
 }
 
-/// Chunk a sorted run into [`BLOCK_LEN`]-entry gap blocks.
+/// Chunk a sorted run into `BLOCK_LEN`-entry gap blocks.
 fn build_blocked(ids: &[u32], universe: u32) -> PostingList {
     let mut bytes = Vec::with_capacity(ids.len());
     let mut metas = Vec::with_capacity(ids.len().div_ceil(BLOCK_LEN));
@@ -696,7 +696,7 @@ fn decode_block_vec(bytes: &[u8], metas: &[BlockMeta], k: usize) -> Vec<u32> {
 }
 
 /// Re-encode block `k` from `ids`: removed when empty, split in half past
-/// [`BLOCK_MAX`], otherwise rewritten in place. Subsequent blocks' offsets
+/// `BLOCK_MAX`, otherwise rewritten in place. Subsequent blocks' offsets
 /// shift by the payload size delta; their payload bytes are untouched.
 fn replace_block(bytes: &mut Vec<u8>, metas: &mut Vec<BlockMeta>, k: usize, ids: &[u32]) {
     let start = metas[k].offset as usize;

@@ -344,6 +344,24 @@ impl<'io> WalWriter<'io> {
         ))
     }
 
+    /// Resumes appending to a log this process already validated, without
+    /// re-reading it: the next record gets sequence `next_seq`.
+    ///
+    /// [`WalWriter::open`] scans the whole file to find the valid prefix —
+    /// right after a crash, wrong on every reopen of a live log (a server
+    /// draining a tenant thousands of times would re-read the log
+    /// quadratically). The caller owns the contract that the file exists
+    /// with a valid tail and that its last record is `next_seq - 1`; the
+    /// multi-tenant server caches that from its previous open or append.
+    pub fn continue_at(io: &'io dyn Io, path: &Path, next_seq: u64, sync: SyncPolicy) -> Self {
+        WalWriter {
+            io,
+            path: path.to_path_buf(),
+            next_seq,
+            sync,
+        }
+    }
+
     /// Appends one record, returning its sequence number. With
     /// [`SyncPolicy::Always`] the record is durable when this returns.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
@@ -433,6 +451,26 @@ mod tests {
         assert_eq!(outcome.records[0].seq, 1);
         assert_eq!(outcome.records[2].payload, b"three");
         assert_eq!(outcome.last_seq(), Some(3));
+    }
+
+    #[test]
+    fn continue_at_extends_without_rescanning() {
+        let io = MemIo::new();
+        let path = Path::new("t.log");
+        let first_next = {
+            let (mut wal, _) = WalWriter::open(&io, path, 0, SyncPolicy::Always).unwrap();
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            wal.last_seq() + 1
+        };
+        // Resume with the cached sequence: appends continue the chain and a
+        // fresh full open sees one contiguous valid log.
+        let mut wal = WalWriter::continue_at(&io, path, first_next, SyncPolicy::Always);
+        assert_eq!(wal.append(b"three").unwrap(), 3);
+        let (_, outcome) = WalWriter::open(&io, path, 0, SyncPolicy::Always).unwrap();
+        assert_eq!(outcome.tail, WalTail::Clean);
+        assert_eq!(outcome.last_seq(), Some(3));
+        assert_eq!(outcome.records[2].payload, b"three");
     }
 
     #[test]

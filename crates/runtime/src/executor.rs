@@ -1,0 +1,352 @@
+//! Persistent work-stealing executor for long-lived servers.
+//!
+//! The scoped [`crate::pool`] spins threads up per call, which is right
+//! for one-shot fan-outs (a discovery lattice level) but wrong for a
+//! server that schedules small jobs continuously: the multi-tenant session
+//! server submits one drain job per touched tenant, thousands of times per
+//! run. This executor keeps a fixed set of workers alive and reuses the
+//! same stealing discipline as the pool — own deque from the front, global
+//! injector, steal the back half of the fullest victim — with condvar
+//! parking when the system is empty.
+//!
+//! Jobs are `'static` boxed closures. Jobs spawned *from* a worker thread
+//! land on that worker's own deque (the common "tenant still has pending
+//! input, reschedule the drain" continuation), which is what makes
+//! stealing meaningful: an idle worker lifts the backlog off a busy one.
+//!
+//! Panics in jobs are caught and recorded rather than tearing down the
+//! worker; [`Executor::take_panics`] surfaces them so callers (and the
+//! soak tests) can fail loudly instead of deadlocking on a dead worker.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// `(shared-ptr address, worker index)` when the current thread is an
+    /// executor worker; lets `spawn` route to the local deque.
+    static CURRENT_WORKER: Cell<(usize, usize)> = const { Cell::new((0, usize::MAX)) };
+}
+
+/// Everything workers share; `Executor` holds it in an `Arc` so worker
+/// threads can outlive individual borrows.
+struct Shared {
+    /// Per-worker job deques (local pushes land here; victims for steals).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Injector + counters behind one lock so parking can be raced-checked.
+    gate: Mutex<Gate>,
+    /// Signalled on every push and on drain-to-idle; workers park here.
+    work: Condvar,
+    /// Signalled when `active` drops to zero; `wait_idle` parks here.
+    idle: Condvar,
+    /// Steal operations performed (observability / tests).
+    steals: AtomicUsize,
+    /// Panic payloads captured from jobs, oldest first.
+    panics: Mutex<Vec<String>>,
+}
+
+struct Gate {
+    /// Jobs not yet assigned to any worker.
+    injector: VecDeque<Job>,
+    /// Jobs queued anywhere plus jobs currently running.
+    active: usize,
+    /// Monotonic push counter; parking re-checks it to close the race
+    /// between a failed steal scan and the condvar wait.
+    pushes: u64,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of long-lived work-stealing workers.
+///
+/// Dropping the executor signals shutdown, lets queued jobs drain, and
+/// joins every worker.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spin up `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(Gate {
+                injector: VecDeque::new(),
+                active: 0,
+                pushes: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            steals: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pfd-runtime-{w}"))
+                    .spawn(move || worker_main(w, &shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, handles }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn with_default_workers() -> Self {
+        Executor::new(crate::default_parallelism())
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Queue a job. From a worker thread of this executor the job lands on
+    /// that worker's own deque (stealable by idle peers); from any other
+    /// thread it goes to the global injector.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(job);
+        let me = Arc::as_ptr(&self.shared) as usize;
+        let local = CURRENT_WORKER.with(|c| {
+            let (addr, idx) = c.get();
+            (addr == me).then_some(idx)
+        });
+        let mut gate = self.shared.gate.lock().expect("gate poisoned");
+        assert!(!gate.shutdown, "spawn on a shut-down executor");
+        gate.active += 1;
+        gate.pushes += 1;
+        match local {
+            Some(idx) => self.shared.deques[idx]
+                .lock()
+                .expect("deque poisoned")
+                .push_back(job),
+            None => gate.injector.push_back(job),
+        }
+        drop(gate);
+        self.shared.work.notify_one();
+    }
+
+    /// Block until every queued and running job has finished. Calling this
+    /// from a worker thread would deadlock; it is meant for the thread
+    /// that owns the executor.
+    pub fn wait_idle(&self) {
+        let mut gate = self.shared.gate.lock().expect("gate poisoned");
+        while gate.active > 0 {
+            gate = self.shared.idle.wait(gate).expect("gate poisoned");
+        }
+    }
+
+    /// Total steal operations since construction.
+    pub fn steals(&self) -> usize {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Drain captured job panics (oldest first). Empty in a healthy run.
+    pub fn take_panics(&self) -> Vec<String> {
+        std::mem::take(&mut *self.shared.panics.lock().expect("panics poisoned"))
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut gate = self.shared.gate.lock().expect("gate poisoned");
+            gate.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(me: usize, shared: &Arc<Shared>) {
+    CURRENT_WORKER.with(|c| c.set((Arc::as_ptr(shared) as usize, me)));
+    loop {
+        // 1. Own deque, front first.
+        let job = shared.deques[me]
+            .lock()
+            .expect("deque poisoned")
+            .pop_front();
+        if let Some(job) = job {
+            run_job(shared, job);
+            continue;
+        }
+        // 2. Injector, then decide whether to exit or remember the push
+        //    ticket for the parking race check.
+        let seen = {
+            let mut gate = shared.gate.lock().expect("gate poisoned");
+            if let Some(job) = gate.injector.pop_front() {
+                drop(gate);
+                run_job(shared, job);
+                continue;
+            }
+            if gate.shutdown && gate.active == 0 {
+                return;
+            }
+            gate.pushes
+        };
+        // 3. Steal the back half of the fullest victim.
+        let mut stolen: VecDeque<Job> = VecDeque::new();
+        let victim = (0..shared.deques.len())
+            .filter(|&v| v != me)
+            .max_by_key(|&v| shared.deques[v].lock().expect("deque poisoned").len());
+        if let Some(v) = victim {
+            let mut vd = shared.deques[v].lock().expect("deque poisoned");
+            let take = vd.len().div_ceil(2);
+            for _ in 0..take {
+                if let Some(job) = vd.pop_back() {
+                    stolen.push_front(job);
+                }
+            }
+        }
+        if !stolen.is_empty() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            shared.deques[me]
+                .lock()
+                .expect("deque poisoned")
+                .append(&mut stolen);
+            continue;
+        }
+        // 4. Nothing anywhere: park. A push that raced the steal scan bumps
+        //    `pushes`, so re-checking the ticket under the gate lock means
+        //    no job can be queued without either waking us or being seen
+        //    here before we wait.
+        let gate = shared.gate.lock().expect("gate poisoned");
+        if gate.shutdown && gate.active == 0 {
+            return;
+        }
+        if gate.pushes == seen {
+            // Safe under shutdown too: the final job's completion and
+            // `Drop` both notify `work`, and the exit condition is
+            // re-checked at the top of the loop.
+            let _unused = shared.work.wait(gate).expect("gate poisoned");
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let result = catch_unwind(AssertUnwindSafe(job));
+    if let Err(payload) = result {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "job panicked with a non-string payload".to_string());
+        shared.panics.lock().expect("panics poisoned").push(message);
+    }
+    let mut gate = shared.gate.lock().expect("gate poisoned");
+    gate.active -= 1;
+    if gate.active == 0 {
+        drop(gate);
+        shared.idle.notify_all();
+        // Wake parked workers so they can observe shutdown-and-drained.
+        shared.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let executor = Executor::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..500u64 {
+            let counter = Arc::clone(&counter);
+            executor.spawn(move || {
+                counter.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        executor.wait_idle();
+        // Sum of 1..=500.
+        assert_eq!(counter.load(Ordering::Relaxed), 500 * 501 / 2);
+        assert!(executor.take_panics().is_empty());
+    }
+
+    #[test]
+    fn worker_spawned_continuations_complete() {
+        // Jobs that respawn themselves land on worker-local deques; the
+        // chain must still drain and wait_idle must observe the tail.
+        let executor = Arc::new(Executor::new(3));
+        let counter = Arc::new(AtomicU64::new(0));
+        fn chain(executor: &Arc<Executor>, counter: &Arc<AtomicU64>, depth: u32) {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                let e = Arc::clone(executor);
+                let c = Arc::clone(counter);
+                executor.spawn(move || chain(&e, &c, depth - 1));
+            }
+        }
+        for _ in 0..8 {
+            let e = Arc::clone(&executor);
+            let c = Arc::clone(&counter);
+            executor.spawn(move || chain(&e, &c, 63));
+        }
+        executor.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 64);
+    }
+
+    #[test]
+    fn captures_panics_and_keeps_serving() {
+        let executor = Executor::new(2);
+        executor.spawn(|| panic!("boom in job"));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        executor.spawn(move || {
+            d.store(7, Ordering::Relaxed);
+        });
+        executor.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+        let panics = executor.take_panics();
+        assert_eq!(panics.len(), 1);
+        assert!(panics[0].contains("boom in job"));
+    }
+
+    #[test]
+    fn wait_idle_on_empty_executor_returns() {
+        let executor = Executor::new(2);
+        executor.wait_idle();
+        assert_eq!(executor.steals(), executor.steals());
+    }
+
+    #[test]
+    fn single_worker_executor_drains() {
+        let executor = Executor::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            executor.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        executor.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let executor = Executor::new(2);
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                executor.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No wait_idle: Drop must still let queued jobs finish.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

@@ -1,0 +1,98 @@
+//! A small hand-rolled LRU recency tracker.
+//!
+//! The multi-tenant server keeps at most `max_resident` tenant group
+//! indexes in memory and evicts the coldest when the cap is exceeded.
+//! Tenant counts are tens, not millions, so this is a plain `VecDeque`
+//! with linear touch — O(n) per operation, zero dependencies (the build
+//! container has no registry route for an lru crate), and trivially
+//! auditable. The tracker only orders keys; the owner decides which
+//! candidates are actually evictable (resident, idle) by scanning
+//! [`LruTracker::coldest_first`].
+
+use std::collections::VecDeque;
+
+/// Recency order over a set of keys: front = coldest, back = hottest.
+#[derive(Debug, Clone, Default)]
+pub struct LruTracker<K: Eq> {
+    order: VecDeque<K>,
+}
+
+impl<K: Eq> LruTracker<K> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        LruTracker {
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Mark `key` as most recently used, inserting it if absent.
+    pub fn touch(&mut self, key: K) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    /// Forget `key` entirely. Returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.order.iter().position(|k| k == key) {
+            Some(pos) => {
+                self.order.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Keys from coldest to hottest.
+    pub fn coldest_first(&self) -> impl Iterator<Item = &K> {
+        self.order.iter()
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_moves_to_hot_end() {
+        let mut lru = LruTracker::new();
+        lru.touch("a");
+        lru.touch("b");
+        lru.touch("c");
+        lru.touch("a");
+        let order: Vec<_> = lru.coldest_first().copied().collect();
+        assert_eq!(order, ["b", "c", "a"]);
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut lru = LruTracker::new();
+        assert!(lru.is_empty());
+        lru.touch(1);
+        lru.touch(2);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.remove(&1));
+        assert!(!lru.remove(&1));
+        let order: Vec<_> = lru.coldest_first().copied().collect();
+        assert_eq!(order, [2]);
+    }
+
+    #[test]
+    fn touch_is_idempotent_on_singleton() {
+        let mut lru = LruTracker::new();
+        lru.touch("only");
+        lru.touch("only");
+        assert_eq!(lru.len(), 1);
+    }
+}

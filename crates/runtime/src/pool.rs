@@ -1,18 +1,20 @@
-//! Work-stealing executor for the discovery hot path.
+//! Scoped work-stealing `parallel_map`.
 //!
-//! The previous `parallel_map` split the candidate list into one static
-//! chunk per thread; with skewed candidates (one attribute pair dominating
-//! the lattice level) most threads idled while one ground through the heavy
-//! chunk. This pool keeps a shared injector of index batches plus one deque
-//! per worker: a worker drains its own deque from the front, refills from
-//! the injector, and when both are empty steals the back half of a victim's
-//! deque. Results are written back in input order, so callers observe
-//! exactly the sequential output regardless of the interleaving.
+//! A static per-thread chunking of skewed workloads (one discovery
+//! candidate dominating a lattice level, one tenant's chase dwarfing the
+//! rest) leaves most threads idle while one grinds through the heavy
+//! chunk. This pool keeps a shared injector of index batches plus one
+//! deque per worker: a worker drains its own deque from the front, refills
+//! from the injector, and when both are empty steals the back half of a
+//! victim's deque. Results are written back in input order, so callers
+//! observe exactly the sequential output regardless of the interleaving.
 //!
 //! Built on `std::thread::scope` and mutex-guarded `VecDeque`s — the tasks
-//! this pool runs (candidate dependency checks, per-attribute index builds)
-//! are coarse enough that lock traffic is noise, and it keeps the workspace
-//! dependency-free.
+//! this pool runs (candidate dependency checks, per-attribute index
+//! builds) are coarse enough that lock traffic is noise, and it keeps the
+//! workspace dependency-free. Because workers are scoped, `f` may borrow
+//! from the caller's stack; for `'static` jobs on long-lived threads use
+//! [`crate::executor::Executor`] instead.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,10 +23,7 @@ use std::sync::Mutex;
 /// Upper bound on worker threads (matches `available_parallelism`, with a
 /// fallback for platforms where it errors).
 fn worker_count(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.max(1))
+    crate::default_parallelism().min(items.max(1))
 }
 
 /// Batch size fed from the injector: small enough to rebalance, large

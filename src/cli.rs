@@ -9,6 +9,8 @@
 //! pfd repair   data.csv --rules rules.pfd [--engine naive|delta]
 //!                       [--max-passes N] [--explain] [--out cleaned.csv] [--json]
 //! pfd session  data.csv --rules rules.pfd [--script edits.jsonl]
+//! pfd serve    [data.csv] [--rules rules.pfd] [--root state/] [--workers N]
+//!              [--max-resident N] [--coalesce] [--script cmds.jsonl]
 //! ```
 //!
 //! Rule files use the [`pfd_core::rules`] line format. All command logic is
@@ -22,11 +24,13 @@
 //! `check`/`repair` to the same machine-readable serialization the session
 //! protocol streams.
 
+use pfd_core::session::json;
 use pfd_core::{
     check_report_json, detect_errors, display_with_schema, parse_rules, repair_outcome_json,
-    repair_to_fixpoint, run_durable_session, run_session_with, to_rules_string, DeltaEngine,
-    DurableSessionError, Pfd, RecoverFailure, RecoveryPolicy, RepairEngine, RepairOptions,
-    SnapshotError, SnapshotStore,
+    repair_to_fixpoint, run_durable_session, run_session_with, to_rules_string, ChannelSink,
+    DeltaEngine, DurableSessionError, Pfd, RecoverFailure, RecoveryPolicy, RepairEngine,
+    RepairOptions, Server, ServerOptions, SnapshotError, SnapshotStore, TenantLoader,
+    DEFAULT_TENANT,
 };
 use pfd_discovery::{discover, review_queue, DiscoveryConfig};
 use pfd_relation::io::StdIo;
@@ -34,6 +38,7 @@ use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// CLI errors, each mapping to a non-zero exit code and a message.
 #[derive(Debug)]
@@ -135,6 +140,9 @@ USAGE:
                  [--max-passes N] [--explain] [--out <cleaned.csv>] [--json]
     pfd session  <data.csv> [--rules <rules.pfd>] [--script <edits.jsonl>]
                  [--snapshot <file.pfds>] [--recover strict|salvage]
+    pfd serve    [<data.csv>] [--rules <rules.pfd>] [--root <dir>]
+                 [--workers N] [--max-resident N] [--coalesce]
+                 [--script <cmds.jsonl>] [--recover strict|salvage]
 
 OPTIONS:
     --min-support K   minimum records per pattern (default 5)
@@ -159,7 +167,25 @@ OPTIONS:
     --recover P       recovery policy for --snapshot state (default salvage):
                       salvage walks the fallback ladder (current snapshot →
                       FILE.prev → rebuild) and replays the valid log prefix;
-                      strict errors instead of discarding anything";
+                      strict errors instead of discarding anything
+    --root DIR        serve: durable root; each tenant persists a snapshot
+                      family under DIR/<tenant>/ and survives restarts.
+                      Without it the server is in-memory only
+    --workers N       serve: work-stealing executor threads (default: the
+                      machine's parallelism)
+    --max-resident N  serve: with --root, keep at most N tenant engines in
+                      memory; cold tenants are checkpointed and evicted,
+                      then rebuilt from their snapshots on the next command
+    --coalesce        serve: merge consecutive queued edits per tenant into
+                      one batch reconciliation (one delta event answers the
+                      whole run, carrying \"coalesced\":k)
+
+serve speaks the session JSONL protocol with an optional \"tenant\" routing
+field plus {\"op\":\"open\"}/{\"op\":\"close\"}/{\"op\":\"list\"}; commands
+without a tenant field route to the tenant named \"default\", which is
+auto-opened when <data.csv> is given. Every event line is tagged with
+\"tenant\" and a per-tenant \"seq\". open takes \"csv\" and \"rules\" fields
+(--rules is the default rule file)";
 
 /// Which repair engine drives the fixpoint chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +233,16 @@ enum Command {
         snapshot: Option<String>,
         recover: RecoveryPolicy,
     },
+    Serve {
+        data: Option<String>,
+        rules: Option<String>,
+        root: Option<String>,
+        script: Option<String>,
+        workers: usize,
+        max_resident: usize,
+        coalesce: bool,
+        recover: RecoveryPolicy,
+    },
 }
 
 fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -221,7 +257,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = name != "review" && name != "json" && name != "explain";
+            let takes_value =
+                name != "review" && name != "json" && name != "explain" && name != "coalesce";
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -244,10 +281,13 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             .and_then(|(_, v)| v.as_deref())
     };
     let has_flag = |name: &str| flags.iter().any(|(n, _)| n == name);
-    let data = positional
-        .first()
-        .cloned()
-        .ok_or_else(|| CliError::Usage("missing <data.csv>".into()))?;
+    // Every command but `serve` requires the positional CSV; a server can
+    // start empty and open tenants over the protocol.
+    let data = positional.first().cloned();
+    let require_data = || -> Result<String, CliError> {
+        data.clone()
+            .ok_or_else(|| CliError::Usage("missing <data.csv>".into()))
+    };
 
     let parse_f64 = |name: &str, v: &str| -> Result<f64, CliError> {
         v.parse()
@@ -268,7 +308,9 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     };
 
     match cmd.as_str() {
-        "profile" => Ok(Command::Profile { data }),
+        "profile" => Ok(Command::Profile {
+            data: require_data()?,
+        }),
         "discover" => {
             let mut config = DiscoveryConfig::default();
             if let Some(v) = flag("min-support") {
@@ -290,7 +332,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 config.max_lhs = parse_usize("max-lhs", v)?.max(1);
             }
             Ok(Command::Discover {
-                data,
+                data: require_data()?,
                 config,
                 rules_out: flag("rules").map(str::to_string),
                 review: has_flag("review"),
@@ -299,14 +341,14 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "check" => Ok(Command::Check {
-            data,
+            data: require_data()?,
             rules: flag("rules").map(str::to_string),
             json: has_flag("json"),
             snapshot: flag("snapshot").map(str::to_string),
             recover: recover_policy()?,
         }),
         "repair" => Ok(Command::Repair {
-            data,
+            data: require_data()?,
             rules: flag("rules")
                 .map(str::to_string)
                 .ok_or_else(|| CliError::Usage("repair needs --rules".into()))?,
@@ -328,10 +370,26 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             explain: has_flag("explain"),
         }),
         "session" => Ok(Command::Session {
-            data,
+            data: require_data()?,
             rules: flag("rules").map(str::to_string),
             script: flag("script").map(str::to_string),
             snapshot: flag("snapshot").map(str::to_string),
+            recover: recover_policy()?,
+        }),
+        "serve" => Ok(Command::Serve {
+            data,
+            rules: flag("rules").map(str::to_string),
+            root: flag("root").map(str::to_string),
+            script: flag("script").map(str::to_string),
+            workers: match flag("workers") {
+                None => 0,
+                Some(v) => parse_usize("workers", v)?,
+            },
+            max_resident: match flag("max-resident") {
+                None => 0,
+                Some(v) => parse_usize("max-resident", v)?,
+            },
+            coalesce: has_flag("coalesce"),
             recover: recover_policy()?,
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -387,6 +445,32 @@ fn obtain_engine(
         store.checkpoint(&recovered.engine, recovered.next_meta())?;
     }
     Ok(recovered.engine)
+}
+
+/// Cold-builds serve tenants from the `open` command's `"csv"` and
+/// `"rules"` fields (`--rules` is the fallback rule file). Only consulted
+/// when no snapshot family exists for the tenant under `--root`.
+struct FileTenantLoader {
+    default_rules: Option<String>,
+}
+
+impl TenantLoader for FileTenantLoader {
+    fn load(&self, name: &str, spec: &json::Value) -> Result<DeltaEngine, String> {
+        let csv = spec
+            .get("csv")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| {
+                format!("tenant {name:?} has no durable state; open needs a \"csv\" field")
+            })?;
+        let rules = spec
+            .get("rules")
+            .and_then(json::Value::as_str)
+            .or(self.default_rules.as_deref())
+            .ok_or_else(|| format!("tenant {name:?} needs a \"rules\" field (or serve --rules)"))?;
+        let rel = load_relation(csv).map_err(|e| e.to_string())?;
+        let pfds = load_rules(rules, &rel).map_err(|e| e.to_string())?;
+        Ok(DeltaEngine::new(rel, pfds))
+    }
 }
 
 /// Run the CLI; returns the process exit code. All output goes to `out`.
@@ -660,6 +744,64 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             };
             // Dirty end state → exit code 1, matching `check`.
             Ok(if summary.violations == 0 { 0 } else { 1 })
+        }
+        Command::Serve {
+            data,
+            rules,
+            root,
+            script,
+            workers,
+            max_resident,
+            coalesce,
+            recover,
+        } => {
+            let input: Box<dyn BufRead> = match &script {
+                Some(path) => Box::new(std::io::BufReader::new(std::fs::File::open(path)?)),
+                None => Box::new(std::io::stdin().lock()),
+            };
+            let (tx, rx) = std::sync::mpsc::channel();
+            let sink = Arc::new(ChannelSink::new(tx));
+            let loader = Arc::new(FileTenantLoader {
+                default_rules: rules.clone(),
+            });
+            let options = ServerOptions {
+                workers,
+                max_resident,
+                coalesce,
+                repair: RepairOptions::default(),
+                recovery: recover,
+            };
+            let server = match &root {
+                Some(dir) => Server::durable(Arc::new(StdIo), dir, options, loader, sink),
+                None => Server::new(options, loader, sink),
+            };
+            // Backward compatibility: with a positional CSV the tenant
+            // named "default" is opened up front, so a v1 single-tenant
+            // script (no tenant fields anywhere) just works.
+            if let Some(data) = &data {
+                let engine = cold_build(data, rules.as_deref(), "serve")?;
+                server
+                    .open_with_engine(DEFAULT_TENANT, engine)
+                    .map_err(CliError::Usage)?;
+            }
+            for line in input.lines() {
+                server.submit(&line?);
+                // Stream whatever events are ready; ordering within a
+                // tenant is fixed by its seq numbers, not arrival time.
+                for event in rx.try_iter() {
+                    writeln!(out, "{event}")?;
+                }
+            }
+            let exits = server.shutdown();
+            for event in rx.try_iter() {
+                writeln!(out, "{event}")?;
+            }
+            // Any tenant left dirty → exit code 1, matching `check`.
+            Ok(if exits.iter().all(|e| e.summary.violations == 0) {
+                0
+            } else {
+                1
+            })
         }
     }
 }
@@ -1193,6 +1335,234 @@ mod tests {
             ),
             Err(CliError::Usage(_))
         ));
+    }
+
+    /// Strip the `{"tenant":...,"seq":N,` prefix a serve event carries,
+    /// asserting the tags are present and the seqs dense per tenant.
+    fn untag_serve(output: &str, tenant: &str) -> Vec<String> {
+        let prefix = format!("{{\"tenant\":\"{tenant}\",\"seq\":");
+        output
+            .lines()
+            .filter(|l| l.starts_with(&prefix))
+            .enumerate()
+            .map(|(i, l)| {
+                let rest = &l[prefix.len()..];
+                let (seq, payload) = rest.split_once(',').unwrap();
+                assert_eq!(seq.parse::<usize>().unwrap(), i, "dense seqs: {l}");
+                format!("{{{payload}")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_default_tenant_matches_session_byte_for_byte() {
+        let data = tmp("serve-compat.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "serve-compat-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let script = tmp(
+            "serve-compat-script.jsonl",
+            "{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}\n{\"op\":\"check\"}\n",
+        );
+        let (code_session, out_session) = run_capture(&[
+            "session",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script,
+        ]);
+        let (code_serve, out_serve) = run_capture(&[
+            "serve",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script,
+            "--workers",
+            "2",
+        ]);
+        assert_eq!(code_session, 0);
+        assert_eq!(code_serve, 0);
+        // The serve stream is the session stream tagged with the default
+        // tenant (check is serve-visible where session logs nothing extra;
+        // both emit ready + delta + state here).
+        let solo: Vec<String> = out_session.lines().map(str::to_string).collect();
+        assert_eq!(untag_serve(&out_serve, "default"), solo);
+    }
+
+    #[test]
+    fn serve_multi_tenant_round_trip() {
+        let clean = tmp("serve-a.csv", ZIP_CSV);
+        let dirty = tmp("serve-b.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "serve-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let script = tmp(
+            "serve-multi-script.jsonl",
+            &format!(
+                concat!(
+                    "{{\"op\":\"open\",\"tenant\":\"a\",\"csv\":{a:?}}}\n",
+                    "{{\"op\":\"open\",\"tenant\":\"b\",\"csv\":{b:?}}}\n",
+                    "{{\"op\":\"set\",\"tenant\":\"a\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}}\n",
+                    "{{\"op\":\"list\"}}\n",
+                    "{{\"op\":\"close\",\"tenant\":\"a\"}}\n",
+                ),
+                a = clean,
+                b = dirty
+            ),
+        );
+        let (code, output) = run_capture(&[
+            "serve",
+            "--rules",
+            &rules_path,
+            "--script",
+            &script,
+            "--workers",
+            "2",
+        ]);
+        // Tenant b still holds the seeded typo at shutdown.
+        assert_eq!(code, 1, "{output}");
+        let a_events = untag_serve(&output, "a");
+        assert!(
+            a_events.iter().any(|l| l.contains("\"event\":\"closed\"")
+                && l.contains("\"applied\":1")
+                && l.contains("\"violations\":0")),
+            "{output}"
+        );
+        let b_events = untag_serve(&output, "b");
+        assert!(
+            b_events[0].starts_with("{\"event\":\"ready\"")
+                && b_events[0].contains("\"violations\":1"),
+            "{output}"
+        );
+        assert!(
+            output
+                .lines()
+                .any(|l| l == "{\"event\":\"tenants\",\"open\":[\"a\",\"b\"]}"),
+            "{output}"
+        );
+    }
+
+    #[test]
+    fn serve_protocol_negative_paths() {
+        let data = tmp("serve-neg.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "serve-neg-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let script = tmp(
+            "serve-neg-script.jsonl",
+            &format!(
+                concat!(
+                    // Command before any open of that tenant.
+                    "{{\"op\":\"check\",\"tenant\":\"ghost\"}}\n",
+                    // Malformed tenant names never create directories.
+                    "{{\"op\":\"open\",\"tenant\":\"../escape\"}}\n",
+                    "{{\"op\":\"open\",\"tenant\":\"\"}}\n",
+                    // Duplicate open of the auto-opened default tenant.
+                    "{{\"op\":\"open\",\"csv\":{data:?}}}\n",
+                    // Open that cold-builds from a missing file.
+                    "{{\"op\":\"open\",\"tenant\":\"nofile\",\"csv\":\"/not/here.csv\"}}\n",
+                    // Non-string tenant field.
+                    "{{\"op\":\"check\",\"tenant\":7}}\n",
+                ),
+                data = data
+            ),
+        );
+        let (code, output) = run_capture(&[
+            "serve",
+            &data,
+            "--rules",
+            &rules_path,
+            "--script",
+            &script,
+            "--workers",
+            "1",
+        ]);
+        // The seeded typo is never fixed, so the default tenant is dirty.
+        assert_eq!(code, 1, "{output}");
+        let expect = [
+            "{\"event\":\"error\",\"tenant\":\"ghost\",\"message\":\"unknown tenant \\\"ghost\\\" (open it first)\"}",
+            "{\"event\":\"error\",\"message\":\"invalid tenant name \\\"../escape\\\": tenant names may only contain [A-Za-z0-9_-]\"}",
+            "{\"event\":\"error\",\"message\":\"invalid tenant name \\\"\\\": tenant names must be 1-64 characters\"}",
+            "{\"event\":\"error\",\"message\":\"\\\"tenant\\\" must be a string\"}",
+        ];
+        for line in expect {
+            assert!(
+                output.lines().any(|l| l == line),
+                "missing {line}\nin {output}"
+            );
+        }
+        // In-stream (tagged) errors: duplicate open and failed cold build.
+        assert!(
+            untag_serve(&output, "default")
+                .iter()
+                .any(|l| l.contains("is already open")),
+            "{output}"
+        );
+        assert!(
+            untag_serve(&output, "nofile")
+                .iter()
+                .any(|l| l.contains("open failed")),
+            "{output}"
+        );
+        // The failed tenant is forgotten, not half-open.
+        assert!(
+            !output.contains("\"tenant\":\"nofile\",\"seq\":1"),
+            "{output}"
+        );
+    }
+
+    #[test]
+    fn serve_durable_root_survives_restart() {
+        let root = std::env::temp_dir().join(format!("pfd-serve-root-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let root = root.to_string_lossy().into_owned();
+        let data = tmp("serve-durable.csv", ZIP_CSV);
+        let rules_path = tmp(
+            "serve-durable-rules.pfd",
+            "Zip([zip = [\\D{3}]\\D{2}] -> [city = _])\n",
+        );
+        let script1 = tmp(
+            "serve-durable-s1.jsonl",
+            "{\"op\":\"set\",\"row\":9,\"attr\":\"city\",\"value\":\"Chicago\"}\n",
+        );
+        let (code1, out1) = run_capture(&[
+            "serve",
+            &data,
+            "--rules",
+            &rules_path,
+            "--root",
+            &root,
+            "--script",
+            &script1,
+        ]);
+        assert_eq!(code1, 0, "{out1}");
+        assert!(
+            std::path::Path::new(&root)
+                .join("default")
+                .join("state.pfds")
+                .exists(),
+            "per-tenant snapshot family under the root"
+        );
+        // Restart without any CSV: the open recovers from the snapshot.
+        let script2 = tmp(
+            "serve-durable-s2.jsonl",
+            "{\"op\":\"open\",\"tenant\":\"default\"}\n",
+        );
+        let (code2, out2) = run_capture(&["serve", "--root", &root, "--script", &script2]);
+        assert_eq!(code2, 0, "{out2}");
+        let events = untag_serve(&out2, "default");
+        assert!(
+            events
+                .iter()
+                .any(|l| l.starts_with("{\"event\":\"ready\"") && l.contains("\"violations\":0")),
+            "the fix persisted across the restart: {out2}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
