@@ -196,6 +196,11 @@ pub struct TenantExit {
     /// Final relation, when the tenant was resident at shutdown (an
     /// evicted tenant's state lives in its snapshot family instead).
     pub relation: Option<Relation>,
+    /// True when a worker job panicked while holding this tenant's state:
+    /// the in-memory engine is untrusted, so the final checkpoint was
+    /// skipped and `relation` is `None`. A durable tenant recovers every
+    /// acknowledged command from its snapshot family on the next open.
+    pub failed: bool,
 }
 
 struct DurableRoot {
@@ -481,16 +486,31 @@ impl Server {
         Ok(())
     }
 
-    /// Block until every queued command has been processed, then surface
-    /// any worker panic. Call from the owning thread, never from a job.
+    /// Block until every queued command has been processed, then panic on
+    /// any worker-job panic — the test and bench hook, where a panic is a
+    /// bug to fail loudly on. Production paths use [`Server::drain_report`]
+    /// instead. Call from the owning thread, never from a job.
     pub fn drain(&self) {
-        self.shared.executor.wait_idle();
-        let panics = self.shared.executor.take_panics();
+        let panics = self.drain_report();
         assert!(
             panics.is_empty(),
             "server worker job panicked: {}",
             panics.join("; ")
         );
+    }
+
+    /// Block until every queued command has been processed, surfacing any
+    /// worker-job panic as an `error` event instead of panicking the
+    /// caller — one misbehaving tenant must not take the whole server
+    /// down. Returns the drained panic messages (empty in a healthy run).
+    /// Call from the owning thread, never from a job.
+    pub fn drain_report(&self) -> Vec<String> {
+        self.shared.executor.wait_idle();
+        let panics = self.shared.executor.take_panics();
+        for p in &panics {
+            emit_global_error(&self.shared, None, &format!("worker job panicked: {p}"));
+        }
+        panics
     }
 
     /// Names of currently open tenants (sorted — the map is a `BTreeMap`).
@@ -550,9 +570,11 @@ impl Server {
 
     /// Drain, close every tenant (final checkpoint in durable mode), and
     /// return per-tenant exits. Consumes the server; the executor joins
-    /// on drop.
+    /// on drop. Worker panics are surfaced as error events and as
+    /// [`TenantExit::failed`] on the tenants whose state they poisoned —
+    /// shutdown itself never panics on a misbehaving job.
     pub fn shutdown(self) -> Vec<TenantExit> {
-        self.drain();
+        self.drain_report();
         let tenants: Vec<Arc<Tenant>> = {
             let mut map = self.shared.tenants.write().expect("tenants poisoned");
             let drained: Vec<_> = map.values().cloned().collect();
@@ -561,8 +583,23 @@ impl Server {
         };
         let mut exits = Vec::with_capacity(tenants.len());
         for tenant in tenants {
-            let mut state = tenant.state.lock().expect("state poisoned");
+            let (mut state, poisoned) = match tenant.state.lock() {
+                Ok(guard) => (guard, false),
+                // A drain job panicked mid-mutation: the summary is still
+                // readable, but the engine is untrusted — checkpointing it
+                // could persist a torn state over a good snapshot.
+                Err(e) => (e.into_inner(), true),
+            };
             let state = &mut *state;
+            if poisoned {
+                exits.push(TenantExit {
+                    name: tenant.name.clone(),
+                    summary: state.summary.clone(),
+                    relation: None,
+                    failed: true,
+                });
+                continue;
+            }
             if let Some(repairer) = state.engine.as_ref() {
                 state.summary.violations = repairer.engine().violation_count();
                 if let Some(durable) = &self.shared.durable {
@@ -586,6 +623,7 @@ impl Server {
                 name: tenant.name.clone(),
                 summary: state.summary.clone(),
                 relation: state.engine.as_ref().map(|r| r.relation().clone()),
+                failed: false,
             });
         }
         exits
@@ -774,7 +812,7 @@ fn process_batch(
                     ));
                     continue;
                 }
-                if let Err(e) = ensure_resident(shared, tenant, state, &mut emitter) {
+                if let Err(e) = ensure_resident(shared, tenant, state, &mut emitter, &mut wal) {
                     emitter.emit_line(&format!(
                         "{{\"event\":\"error\",\"message\":{}}}",
                         json::escaped(&format!("rebuild from snapshot failed: {e}"))
@@ -847,7 +885,7 @@ fn apply_one_line<'io>(
     line: &str,
 ) {
     if let Err(e) = ensure_wal(shared, tenant, state, wal) {
-        fail_tenant_io(shared, tenant, state, emitter, &e);
+        fail_tenant_io(shared, tenant, state, emitter, wal, &e);
         return;
     }
     let repairer = state.engine.as_mut().expect("resident engine");
@@ -866,7 +904,7 @@ fn apply_one_line<'io>(
         None => process_line(repairer, schema, line, emitter, None, &mut state.summary),
     };
     if let Err(e) = result {
-        fail_tenant_io(shared, tenant, state, emitter, &e.to_string());
+        fail_tenant_io(shared, tenant, state, emitter, wal, &e.to_string());
     }
 }
 
@@ -889,20 +927,23 @@ fn flush_run<'io>(
     let commands = std::mem::take(merged_commands);
     let schema = state.schema.clone().expect("opened tenant has a schema");
     if let Err(e) = ensure_wal(shared, tenant, state, wal) {
-        fail_tenant_io(shared, tenant, state, emitter, &e);
+        fail_tenant_io(shared, tenant, state, emitter, wal, &e);
         return;
     }
     let repairer = state.engine.as_mut().expect("resident engine");
     match repairer.engine_mut().apply_batch(&edits) {
         Ok(delta) => {
-            state.summary.applied += commands;
             if let Some(w) = wal.as_mut() {
                 let logged = edits_as_batch_json(&edits, &schema);
                 if let Err(e) = w.append(logged.as_bytes()) {
-                    fail_tenant_io(shared, tenant, state, emitter, &e.to_string());
+                    let message = e.to_string();
+                    fail_tenant_io(shared, tenant, state, emitter, wal, &message);
                     return;
                 }
             }
+            // Counted only now: a run whose append failed was never
+            // acknowledged, so it must not show up as applied.
+            state.summary.applied += commands;
             let violations = state
                 .engine
                 .as_ref()
@@ -961,12 +1002,22 @@ fn fail_tenant_io(
     tenant: &Arc<Tenant>,
     state: &mut TenantState,
     emitter: &mut TenantEmitter<'_>,
+    wal: &mut Option<WalWriter<'_>>,
     message: &str,
 ) {
     emitter.emit_line(&format!(
         "{{\"event\":\"error\",\"message\":{}}}",
         json::escaped(&format!("tenant {} i/o failed: {message}", tenant.name))
     ));
+    // The batch-local writer may have a torn frame behind it, and the
+    // recovery triggered by the next touch replays and checkpoints —
+    // retiring the log file. Appending through the stale writer would
+    // recreate the log headerless and silently orphan every later acked
+    // record, so it must die with the engine.
+    *wal = None;
+    if let Some(repairer) = state.engine.as_ref() {
+        state.summary.violations = repairer.engine().violation_count();
+    }
     if shared.durable.is_some() && state.engine.take().is_some() {
         shared.resident.fetch_sub(1, Ordering::Relaxed);
         state.wal_next_seq = None;
@@ -1143,10 +1194,16 @@ fn ensure_resident(
     tenant: &Arc<Tenant>,
     state: &mut TenantState,
     emitter: &mut TenantEmitter<'_>,
+    wal: &mut Option<WalWriter<'_>>,
 ) -> Result<(), String> {
     if state.engine.is_some() {
         return Ok(());
     }
+    // Recovery below may replay the log and checkpoint (which deletes the
+    // log file); a batch-local writer from before the rebuild would then
+    // append to a recreated, headerless file. Force `ensure_wal` to
+    // re-open against the post-recovery log.
+    *wal = None;
     let durable = shared
         .durable
         .as_ref()
@@ -1174,6 +1231,7 @@ fn ensure_resident(
     state.wal_next_seq = None;
     let repairer = RepairEngine::from_engine(recovered.engine, shared.options.repair);
     state.schema = Some(repairer.relation().schema().clone());
+    state.summary.violations = repairer.engine().violation_count();
     state.engine = Some(repairer);
     shared.resident.fetch_add(1, Ordering::Relaxed);
     Ok(())
@@ -1231,9 +1289,13 @@ fn evict_tenant(shared: &Arc<Shared>, tenant: &Arc<Tenant>) -> Result<bool, Snap
         return Ok(false);
     };
     let mut state = tenant.state.lock().expect("state poisoned");
+    let state = &mut *state;
     let Some(repairer) = state.engine.as_ref() else {
         return Ok(false);
     };
+    // The summary must reflect the engine being parked: an evicted tenant
+    // that is never touched again reports this count in its exit.
+    state.summary.violations = repairer.engine().violation_count();
     let io: &dyn Io = &*durable.io;
     let store = SnapshotStore::new(io, durable.snapshot_path(&tenant.name));
     let last_seq = state.wal_next_seq.map_or(state.seq_floor, |n| n - 1);
@@ -1492,6 +1554,217 @@ mod tests {
         server2.drain();
         let rel = server2.relation_of("t").unwrap();
         assert_eq!(rel.row(3).get(1), "F");
+    }
+
+    /// An [`Io`] wrapper that fails exactly one chosen `append` call
+    /// (nothing lands) and works normally before and after — the
+    /// transient-fault twin of `FailpointIo`, which stays dead once its
+    /// fuel runs out.
+    struct FlakyAppendIo {
+        inner: MemIo,
+        fail_on: u64,
+        calls: AtomicU64,
+    }
+
+    impl FlakyAppendIo {
+        fn new(inner: MemIo, fail_on: u64) -> Self {
+            FlakyAppendIo {
+                inner,
+                fail_on,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Io for FlakyAppendIo {
+        fn read(&self, path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn write(&self, path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+            self.inner.write(path, data)
+        }
+        fn append(&self, path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.fail_on {
+                return Err(std::io::Error::other("injected transient append failure"));
+            }
+            self.inner.append(path, data)
+        }
+        fn truncate(&self, path: &std::path::Path, len: u64) -> std::io::Result<()> {
+            self.inner.truncate(path, len)
+        }
+        fn sync(&self, path: &std::path::Path) -> std::io::Result<()> {
+            self.inner.sync(path)
+        }
+        fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> std::io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn remove(&self, path: &std::path::Path) -> std::io::Result<()> {
+            self.inner.remove(path)
+        }
+        fn exists(&self, path: &std::path::Path) -> bool {
+            self.inner.exists(path)
+        }
+    }
+
+    /// Regression: a transient WAL append failure mid-batch drops the
+    /// engine, and the next command in the same batch recovers — whose
+    /// checkpoint retires the log file. The batch-local writer must not
+    /// survive that rebuild: appending through it would recreate the log
+    /// without its header and silently orphan every later acked command.
+    #[test]
+    fn transient_wal_failure_mid_batch_keeps_later_acks_durable() {
+        let disk = MemIo::new();
+        // Appends are only WAL record frames (headers and checkpoints go
+        // through `write`/`rename`), so append #2 is the second command.
+        let io: Arc<dyn Io + Send + Sync> = Arc::new(FlakyAppendIo::new(disk.clone(), 2));
+        let sink = Arc::new(CollectSink::new());
+        let server = Server::durable(
+            io,
+            "/srv",
+            ServerOptions {
+                workers: 1,
+                recovery: RecoveryPolicy::Salvage,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink.clone(),
+        );
+        server.open_with_engine("t", engine()).unwrap();
+        server.drain();
+
+        // Park the lone worker so all four commands land in one batch —
+        // the stale-writer window only exists within a single drain job.
+        let (release, parked) = std::sync::mpsc::channel::<()>();
+        server.shared.executor.spawn(move || parked.recv().unwrap());
+        server.submit(r#"{"op":"set","row":3,"attr":"gender","value":"F","tenant":"t"}"#); // acked
+        server.submit(r#"{"op":"set","row":2,"attr":"gender","value":"M","tenant":"t"}"#); // append fails
+        server.submit(r#"{"op":"set","row":1,"attr":"gender","value":"F","tenant":"t"}"#); // post-recovery
+        server.submit(r#"{"op":"set","row":0,"attr":"gender","value":"F","tenant":"t"}"#); // post-recovery
+        release.send(()).unwrap();
+        server.drain();
+
+        let lines = sink.take();
+        let acked = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"delta\""))
+            .count();
+        assert_eq!(acked, 3, "commands 1, 3, 4 are acked; 2 failed: {lines:?}");
+        assert!(lines.iter().any(|l| l.contains("i/o failed")), "{lines:?}");
+
+        // Crash (no shutdown checkpoint): recovery from the surviving
+        // family must restore every acknowledged command.
+        drop(server);
+        let store = SnapshotStore::new(&disk, "/srv/t/state.pfds");
+        let recovered = store
+            .recover(RecoveryPolicy::Salvage, || {
+                Err::<DeltaEngine, String>("no cold source".to_string())
+            })
+            .unwrap();
+        let rel = recovered.engine.relation();
+        assert_eq!(rel.row(3).get(1), "F", "command 1 survives");
+        assert_eq!(rel.row(2).get(1), "F", "command 2 was never acked");
+        assert_eq!(rel.row(1).get(1), "F", "command 3 survives the rebuild");
+        assert_eq!(rel.row(0).get(1), "F", "command 4 survives the rebuild");
+    }
+
+    /// Regression: a coalesced run whose WAL append fails was never
+    /// acknowledged, so it must not be counted as applied.
+    #[test]
+    fn failed_batch_append_is_not_counted_applied() {
+        let disk = MemIo::new();
+        let io: Arc<dyn Io + Send + Sync> = Arc::new(FlakyAppendIo::new(disk, 1));
+        let sink = Arc::new(CollectSink::new());
+        let server = Server::durable(
+            io,
+            "/srv",
+            ServerOptions {
+                workers: 1,
+                coalesce: true,
+                recovery: RecoveryPolicy::Salvage,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink.clone(),
+        );
+        server.open_with_engine("t", engine()).unwrap();
+        server.drain();
+        let (release, parked) = std::sync::mpsc::channel::<()>();
+        server.shared.executor.spawn(move || parked.recv().unwrap());
+        server.submit(r#"{"op":"set","row":3,"attr":"gender","value":"F","tenant":"t"}"#);
+        server.submit(r#"{"op":"set","row":2,"attr":"gender","value":"F","tenant":"t"}"#);
+        release.send(()).unwrap();
+        server.drain();
+        let lines = sink.take();
+        assert!(
+            !lines.iter().any(|l| l.contains("\"coalesced\"")),
+            "the failed run must not be acked: {lines:?}"
+        );
+        let exits = server.shutdown();
+        assert_eq!(exits[0].summary.applied, 0, "unacked run is not applied");
+    }
+
+    /// Regression: eviction refreshes the violation summary, so a tenant
+    /// repaired clean and then evicted (never touched again) exits clean.
+    #[test]
+    fn eviction_refreshes_the_violation_summary() {
+        let io: Arc<dyn Io + Send + Sync> = Arc::new(MemIo::new());
+        let sink = Arc::new(CollectSink::new());
+        let server = Server::durable(
+            io,
+            "/srv",
+            ServerOptions {
+                workers: 1,
+                ..ServerOptions::default()
+            },
+            Arc::new(NoProtocolOpens),
+            sink.clone(),
+        );
+        // Dirty at open (Susan Boyle is M): violations == 1 in the summary.
+        server.open_with_engine("t", engine()).unwrap();
+        server.submit(r#"{"op":"repair","tenant":"t"}"#);
+        server.drain();
+        assert!(server.evict("t").unwrap());
+        let exits = server.shutdown();
+        assert_eq!(
+            exits[0].summary.violations, 0,
+            "repaired-then-evicted tenant exits clean"
+        );
+        assert!(!exits[0].failed);
+    }
+
+    /// A worker-job panic must fail only the tenant whose state it
+    /// poisoned; shutdown reports it instead of crashing the process.
+    #[test]
+    fn worker_panic_fails_one_tenant_without_crashing_shutdown() {
+        let sink = Arc::new(CollectSink::new());
+        let server = ephemeral_server(sink.clone());
+        server.open_with_engine("ok", engine()).unwrap();
+        server.open_with_engine("sad", engine()).unwrap();
+        server.drain();
+        let sad = server
+            .shared
+            .tenants
+            .read()
+            .unwrap()
+            .get("sad")
+            .cloned()
+            .unwrap();
+        server.shared.executor.spawn(move || {
+            let _guard = sad.state.lock().expect("not poisoned yet");
+            panic!("injected drain-job panic");
+        });
+        let exits = server.shutdown();
+        let lines = sink.take();
+        assert!(
+            lines.iter().any(|l| l.contains("worker job panicked")),
+            "the panic is surfaced as an error event: {lines:?}"
+        );
+        let sad_exit = exits.iter().find(|e| e.name == "sad").unwrap();
+        assert!(sad_exit.failed, "poisoned tenant is reported failed");
+        assert!(sad_exit.relation.is_none(), "untrusted state is withheld");
+        let ok_exit = exits.iter().find(|e| e.name == "ok").unwrap();
+        assert!(!ok_exit.failed);
+        assert!(ok_exit.relation.is_some(), "healthy tenant is unaffected");
     }
 
     #[test]

@@ -675,7 +675,6 @@ pub fn process_line(
 ) -> std::io::Result<()> {
     match parse_command(line, schema) {
         Ok(SessionCommand::Repair { max_passes }) => {
-            summary.applied += 1;
             // The override applies to this chase only (clamped to ≥ 1
             // so a cap of 0 cannot silently no-op); later plain
             // `repair` commands get the engine default back.
@@ -690,6 +689,9 @@ pub fn process_line(
                     writeln!(log, "{}", repair_as_batch_json(&outcome, schema))?;
                 }
             }
+            // Counted after the log append: a command whose append failed
+            // was never acknowledged and must not show up as applied.
+            summary.applied += 1;
             write_repair_events(out, &outcome, passes, repairer.engine(), schema)?;
         }
         Ok(SessionCommand::Check) => {
@@ -708,10 +710,10 @@ pub fn process_line(
             };
             match applied {
                 Ok(delta) => {
-                    summary.applied += 1;
                     if let Some(log) = log.as_mut() {
                         writeln!(log, "{}", line.trim())?;
                     }
+                    summary.applied += 1;
                     writeln!(
                         out,
                         "{}",

@@ -36,7 +36,7 @@ use pfd_discovery::{discover, review_queue, DiscoveryConfig};
 use pfd_relation::io::StdIo;
 use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, IsTerminal as _, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -784,24 +784,39 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                     .open_with_engine(DEFAULT_TENANT, engine)
                     .map_err(CliError::Usage)?;
             }
+            // At a terminal a human is waiting on each answer, and drain
+            // jobs complete asynchronously — block until the submitted
+            // command has been processed before reading the next line.
+            // Piped/scripted input keeps the throughput-friendly path
+            // where events stream out as they become ready.
+            let interactive = script.is_none() && std::io::stdin().is_terminal();
             for line in input.lines() {
                 server.submit(&line?);
+                if interactive {
+                    server.drain_report();
+                }
                 // Stream whatever events are ready; ordering within a
                 // tenant is fixed by its seq numbers, not arrival time.
                 for event in rx.try_iter() {
                     writeln!(out, "{event}")?;
+                }
+                if interactive {
+                    out.flush()?;
                 }
             }
             let exits = server.shutdown();
             for event in rx.try_iter() {
                 writeln!(out, "{event}")?;
             }
-            // Any tenant left dirty → exit code 1, matching `check`.
-            Ok(if exits.iter().all(|e| e.summary.violations == 0) {
-                0
-            } else {
-                1
-            })
+            // Any tenant left dirty or failed by a worker panic → exit
+            // code 1, matching `check`.
+            Ok(
+                if exits.iter().all(|e| e.summary.violations == 0 && !e.failed) {
+                    0
+                } else {
+                    1
+                },
+            )
         }
     }
 }
