@@ -333,7 +333,7 @@ fn write_bench_json(smoke: bool) {
         )
     };
 
-    let mut json = String::from("{\n  \"schema_version\": 1,\n");
+    let mut json = String::from("{\n  \"schema_version\": 2,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -342,6 +342,13 @@ fn write_bench_json(smoke: bool) {
     json.push_str(
         "  \"reference\": {\"label\": \"plain sorted u32 postings (PR 7 tree)\", \
          \"metric\": \"bytes_per_row_and_ns_per_op\"},\n",
+    );
+    // Receipt for which merge-kernel dispatch ran on this machine — the
+    // `sorted_kernel_ns` numbers are meaningless without it.
+    let _ = writeln!(
+        json,
+        "  \"merge_kernel\": \"{}\",",
+        kernels::merge_kernel_name()
     );
     json.push_str("  \"memory\": [\n");
     for (i, m) in mem.iter().enumerate() {

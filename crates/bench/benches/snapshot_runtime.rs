@@ -11,17 +11,23 @@
 //!
 //! Besides the criterion output, the run writes `BENCH_snapshot.json`
 //! (cold-build vs load wall-clock, speedup, snapshot size, bytes/row, and
-//! load+replay of an edit log at 1k/10k/50k rows). `PFD_BENCH_SMOKE=1`
-//! skips criterion sampling and emits the JSON from a tiny-scale pass —
-//! the CI smoke-bench mode. `PFD_BENCH_JSON` overrides the output path.
+//! load+replay of an edit log at 1k/10k/50k rows), plus `discovery_cases`
+//! timing warm-start `pfd discover`: cold index build vs a `.pfdi` load
+//! through the heap-read path vs the mmap'd zero-copy path — with the
+//! discovered dependency sets asserted identical before any timing is
+//! reported. `PFD_BENCH_SMOKE=1` skips criterion sampling and emits the
+//! JSON from a tiny-scale pass — the CI smoke-bench mode. `PFD_BENCH_JSON`
+//! overrides the output path.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use pfd_core::{
     load_from_bytes, parse_rules, replay_log, save_to_bytes, to_rules_string, DeltaEngine, Pfd,
 };
 use pfd_datagen::{dirty_clean_pair, geo_cascade_table, ErrorProfile};
-use pfd_relation::{read_csv_str, write_csv_string, Relation};
+use pfd_discovery::{discover, discover_persistent, DiscoveryConfig};
+use pfd_relation::{read_csv_str, write_csv_string, Io, Relation, StdIo};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Rate of correlated errors injected into city/county/state/region.
@@ -88,6 +94,138 @@ fn cold_build(w: &Workload) -> DeltaEngine {
     DeltaEngine::new(rel, pfds)
 }
 
+// ---------------------------------------------------------------------------
+// Warm-start discovery: cold index build vs `.pfdi` load (heap vs mmap)
+// ---------------------------------------------------------------------------
+
+/// [`StdIo`] without the mmap `read_shared` override — times the
+/// read-into-`Vec` index load against the zero-copy mapping.
+struct HeapIo;
+
+impl Io for HeapIo {
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        StdIo.read(path)
+    }
+    fn write(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        StdIo.write(path, data)
+    }
+    fn append(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+        StdIo.append(path, data)
+    }
+    fn truncate(&self, path: &Path, len: u64) -> std::io::Result<()> {
+        StdIo.truncate(path, len)
+    }
+    fn sync(&self, path: &Path) -> std::io::Result<()> {
+        StdIo.sync(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        StdIo.rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        StdIo.remove(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        StdIo.exists(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        StdIo.create_dir_all(path)
+    }
+}
+
+/// The dirty cascade relation discovery runs over.
+fn discovery_relation(rows: usize) -> Relation {
+    let clean = geo_cascade_table(rows, 7);
+    let city = clean.schema().attr("city").unwrap();
+    let county = clean.schema().attr("county").unwrap();
+    let state = clean.schema().attr("state").unwrap();
+    let region = clean.schema().attr("region").unwrap();
+    let profile = ErrorProfile::correlated(&[city, county, state, region], ERROR_RATE);
+    let (dirty, _) = dirty_clean_pair(&clean, &profile, 13);
+    dirty
+}
+
+fn bench_index_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("pfd_bench_pfdi");
+    std::fs::create_dir_all(&dir).expect("create bench index dir");
+    dir
+}
+
+struct DiscoveryCase {
+    rows: usize,
+    cold_ms: f64,
+    warm_heap_ms: f64,
+    warm_mmap_ms: f64,
+    load_heap_ms: f64,
+    load_mmap_ms: f64,
+    load_speedup: f64,
+    index_bytes: usize,
+    mapped: bool,
+    dependencies: usize,
+}
+
+fn measure_discovery(rows: usize) -> DiscoveryCase {
+    let rel = discovery_relation(rows);
+    let config = DiscoveryConfig::default();
+    let path = bench_index_dir().join(format!("geo_{rows}.pfdi"));
+    let _ = std::fs::remove_file(&path);
+
+    let t0 = Instant::now();
+    let cold = discover(&rel, &config);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Save pass (a cold build again, plus the atomic `.pfdi` write).
+    let saved = discover_persistent(&StdIo, &path, &rel, &config, 0, 0);
+    assert!(saved.saved, "save pass must persist the index");
+    let index_bytes = std::fs::metadata(&path)
+        .map(|m| m.len() as usize)
+        .unwrap_or(0);
+
+    let t0 = Instant::now();
+    let warm_heap = discover_persistent(&HeapIo, &path, &rel, &config, 0, 0);
+    let warm_heap_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        warm_heap.result.stats.index_loaded,
+        "heap load must warm-start"
+    );
+
+    let t0 = Instant::now();
+    let warm_mmap = discover_persistent(&StdIo, &path, &rel, &config, 0, 0);
+    let warm_mmap_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        warm_mmap.result.stats.index_loaded,
+        "mmap load must warm-start"
+    );
+
+    // The acceptance canary: every path discovers the identical set.
+    let reference = format!("{:?}", cold.dependencies);
+    for (label, result) in [
+        ("save pass", &saved.result),
+        ("heap warm", &warm_heap.result),
+        ("mmap warm", &warm_mmap.result),
+    ] {
+        assert_eq!(
+            format!("{:?}", result.dependencies),
+            reference,
+            "{label} dependency set diverges from the cold build"
+        );
+    }
+
+    let load_heap_ms = warm_heap.result.stats.index_load_time.as_secs_f64() * 1e3;
+    let load_mmap_ms = warm_mmap.result.stats.index_load_time.as_secs_f64() * 1e3;
+    DiscoveryCase {
+        rows,
+        cold_ms,
+        warm_heap_ms,
+        warm_mmap_ms,
+        load_heap_ms,
+        load_mmap_ms,
+        load_speedup: cold_ms / load_mmap_ms.max(1e-6),
+        index_bytes,
+        mapped: warm_mmap.mapped,
+        dependencies: cold.dependencies.len(),
+    }
+}
+
 fn bench_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("snapshot_load");
     group.sample_size(10);
@@ -107,6 +245,28 @@ fn bench_load(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+fn bench_discover_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discover_warm");
+    group.sample_size(10);
+    let rows = 1_000usize;
+    let rel = discovery_relation(rows);
+    let config = DiscoveryConfig::default();
+    let path = bench_index_dir().join("criterion_geo.pfdi");
+    let _ = std::fs::remove_file(&path);
+    assert!(discover_persistent(&StdIo, &path, &rel, &config, 0, 0).saved);
+    group.bench_with_input(BenchmarkId::new("cold_build", rows), &rel, |b, rel| {
+        b.iter(|| black_box(discover(rel, &config)))
+    });
+    group.bench_with_input(BenchmarkId::new("warm_mmap", rows), &rel, |b, rel| {
+        b.iter(|| {
+            let warm = discover_persistent(&StdIo, &path, rel, &config, 0, 0);
+            assert!(warm.result.stats.index_loaded);
+            black_box(warm)
+        })
+    });
     group.finish();
 }
 
@@ -171,8 +331,17 @@ fn write_bench_json(smoke: bool) {
     } else {
         vec![measure(1_000), measure(10_000), measure(50_000)]
     };
+    let discovery_cases: Vec<DiscoveryCase> = if smoke {
+        vec![measure_discovery(300)]
+    } else {
+        vec![
+            measure_discovery(1_000),
+            measure_discovery(10_000),
+            measure_discovery(50_000),
+        ]
+    };
 
-    let mut json = String::from("{\n  \"schema_version\": 1,\n");
+    let mut json = String::from("{\n  \"schema_version\": 2,\n");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -208,6 +377,38 @@ fn write_bench_json(smoke: bool) {
         );
         json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n");
+    // Warm-start discovery: the `.pfdi` index snapshot against the cold
+    // per-run index build, heap read vs zero-copy mmap.
+    json.push_str(
+        "  \"discovery_reference\": {\"label\": \"cold per-run index build (extract + \
+         posting construction)\", \"metric\": \"ms_per_discover\"},\n",
+    );
+    json.push_str("  \"discovery_cases\": [\n");
+    for (i, c) in discovery_cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"rows\": {}, \"cold_build_ms\": {:.2}, \"warm_heap_ms\": {:.2}, \
+             \"warm_mmap_ms\": {:.2}, \"index_load_heap_ms\": {:.2}, \
+             \"index_load_mmap_ms\": {:.2}, \"load_speedup\": {:.1}, \"index_bytes\": {}, \
+             \"mmap\": {}, \"dependencies\": {}}}",
+            c.rows,
+            c.cold_ms,
+            c.warm_heap_ms,
+            c.warm_mmap_ms,
+            c.load_heap_ms,
+            c.load_mmap_ms,
+            c.load_speedup,
+            c.index_bytes,
+            c.mapped,
+            c.dependencies
+        );
+        json.push_str(if i + 1 < discovery_cases.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     json.push_str("  ]\n}\n");
 
     let path = std::env::var("PFD_BENCH_JSON")
@@ -231,9 +432,26 @@ fn write_bench_json(smoke: bool) {
             c.violations
         );
     }
+    for c in &discovery_cases {
+        println!(
+            "rows {:>6}: cold discover {:>8.2} ms, warm heap {:>8.2} ms, warm mmap {:>8.2} ms, \
+             index load heap {:>6.2} ms / mmap {:>6.2} ms ({:.1}× vs cold), {} index bytes, \
+             mmap={}, {} deps",
+            c.rows,
+            c.cold_ms,
+            c.warm_heap_ms,
+            c.warm_mmap_ms,
+            c.load_heap_ms,
+            c.load_mmap_ms,
+            c.load_speedup,
+            c.index_bytes,
+            c.mapped,
+            c.dependencies
+        );
+    }
 }
 
-criterion_group!(benches, bench_load);
+criterion_group!(benches, bench_load, bench_discover_warm);
 
 fn main() {
     let smoke = std::env::var("PFD_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");

@@ -5,8 +5,10 @@
 //! that seam into a long-running server: each **tenant** is a named
 //! relation owning its own [`RepairEngine`] and (in durable mode) its own
 //! [`SnapshotStore`] family — `<root>/<tenant>/state.pfds` plus the
-//! `.log`/`.prev`/`.tmp` siblings — while every tenant's commands ride the
-//! same [`pfd_runtime::Executor`].
+//! `.log`/`.prev`/`.tmp` siblings and the advisory `.pfdi` discovery
+//! index (written by `pfd discover --snapshot` against a tenant's file,
+//! keyed to the snapshot generation, and invalidated by every checkpoint)
+//! — while every tenant's commands ride the same [`pfd_runtime::Executor`].
 //!
 //! ## Protocol
 //!

@@ -845,6 +845,18 @@ impl<'io> SnapshotStore<'io> {
         self.sibling(".log")
     }
 
+    /// The persisted discovery index (`.pfdi`) keyed to this snapshot.
+    ///
+    /// The core crate only manages the *path* — the file's format and
+    /// save/load live in `pfd_discovery::warm`, which keys the index to
+    /// the snapshot's generation and relation contents. A checkpoint
+    /// best-effort removes it (the new generation invalidates it anyway;
+    /// the staleness key protects correctness if removal is lost to a
+    /// crash).
+    pub fn index_path(&self) -> PathBuf {
+        self.sibling(".pfdi")
+    }
+
     /// Atomically persists `engine` as the current snapshot and retires
     /// the delta log it supersedes.
     ///
@@ -879,6 +891,14 @@ impl<'io> SnapshotStore<'io> {
             self.io
                 .remove(&log)
                 .map_err(|e| io_err("remove", &log, e))?;
+        }
+        // The discovery index was keyed to the superseded generation;
+        // removal is best-effort because its staleness key already rejects
+        // it (a failed remove costs the next discover a cold build, not
+        // correctness — so a crash here must not fail the checkpoint).
+        let index = self.index_path();
+        if self.io.exists(&index) {
+            let _ = self.io.remove(&index);
         }
         Ok(())
     }

@@ -104,6 +104,27 @@ fn salvage(disk: &MemIo) -> pfd_core::Recovered {
 }
 
 #[test]
+fn checkpoint_removes_the_discovery_index() {
+    let disk = MemIo::new();
+    let store = SnapshotStore::new(&disk, SNAP);
+    disk.write(&store.index_path(), b"index keyed to an older generation")
+        .unwrap();
+    store
+        .checkpoint(
+            &base_engine(),
+            SnapshotMeta {
+                generation: 1,
+                last_seq: 0,
+            },
+        )
+        .unwrap();
+    assert!(
+        !disk.exists(&store.index_path()),
+        "a checkpoint supersedes the generation its .pfdi was keyed to"
+    );
+}
+
+#[test]
 fn clean_log_replays_without_degradation() {
     let disk = disk_with_log(&log_bytes(&[(1, L1), (2, L2), (3, L3)]));
     let rec = salvage(&disk);

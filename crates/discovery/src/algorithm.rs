@@ -96,10 +96,18 @@ pub struct DiscoveryStats {
     pub elapsed: Duration,
     /// Phase breakdown: attribute profiling and extraction choice.
     pub profile_time: Duration,
-    /// Phase breakdown: inverted-index construction.
+    /// Phase breakdown: inverted-index construction (cold build), or the
+    /// residual index-phase work (coverage precomputation) on a warm start.
     pub index_time: Duration,
     /// Phase breakdown: candidate checking, generalization and assembly.
     pub check_time: Duration,
+    /// Did this run adopt preloaded indexes ([`discover_warm`]) instead of
+    /// building them? `false` also when preloaded indexes were offered but
+    /// rejected as mismatched.
+    pub index_loaded: bool,
+    /// Time spent reading and decoding the persisted index, as reported by
+    /// the loader that produced the preloaded indexes; zero on cold runs.
+    pub index_load_time: Duration,
 }
 
 /// Discovery output.
@@ -183,8 +191,51 @@ struct Ctx<'a> {
     config: &'a DiscoveryConfig,
 }
 
+/// Discovery output plus the per-attribute indexes the run used — the
+/// handle callers need to *persist* the index (see [`crate::warm`]).
+#[derive(Debug)]
+pub struct DiscoveryRun {
+    /// The dependencies and statistics, exactly as [`discover`] returns.
+    pub result: DiscoveryResult,
+    /// The inverted indexes, cold-built or adopted from a warm load.
+    pub indexes: BTreeMap<AttrId, AttrIndex>,
+}
+
 /// Discover PFDs in a relation.
 pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
+    discover_impl(rel, config, None, Duration::ZERO).result
+}
+
+/// [`discover`], but also returning the built indexes so the caller can
+/// persist them for warm starts.
+pub fn discover_cold(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryRun {
+    discover_impl(rel, config, None, Duration::ZERO)
+}
+
+/// Warm-start discovery with preloaded indexes (typically decoded from a
+/// `.pfdi` snapshot by [`crate::warm`]); `load_time` is the wall-clock the
+/// loader spent and lands in [`DiscoveryStats::index_load_time`].
+///
+/// The preloaded indexes are adopted only if they exactly match the
+/// candidate set this run profiles (same attributes, extractions, and row
+/// count) — any mismatch discards them and cold-builds instead, so a stale
+/// or foreign index can slow a run down but never change its output.
+/// [`DiscoveryStats::index_loaded`] records which path ran.
+pub fn discover_warm(
+    rel: &Relation,
+    config: &DiscoveryConfig,
+    indexes: BTreeMap<AttrId, AttrIndex>,
+    load_time: Duration,
+) -> DiscoveryRun {
+    discover_impl(rel, config, Some(indexes), load_time)
+}
+
+fn discover_impl(
+    rel: &Relation,
+    config: &DiscoveryConfig,
+    preloaded: Option<BTreeMap<AttrId, AttrIndex>>,
+    load_time: Duration,
+) -> DiscoveryRun {
     let start = Instant::now();
     let mut stats = DiscoveryStats {
         rows: rel.num_rows(),
@@ -208,22 +259,41 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     stats.pruned_attrs = profiles.len() - candidates.len();
     stats.profile_time = start.elapsed();
 
-    // Fig. 4 lines 5–12: the inverted indexes.
+    // Fig. 4 lines 5–12: the inverted indexes. A warm start adopts the
+    // preloaded indexes only when they cover exactly the candidates this
+    // run profiled, with matching extraction modes and row count — the
+    // last line of defense keeping a stale index from changing output.
     let index_start = Instant::now();
-    let index_options = IndexOptions {
-        substring_pruning: config.substring_pruning,
-        extract: config.extract,
+    let adopted = preloaded.filter(|loaded| {
+        loaded.len() == candidates.len()
+            && candidates.iter().all(|(attr, extraction)| {
+                loaded.get(attr).is_some_and(|idx| {
+                    idx.extraction == *extraction && idx.num_rows() == rel.num_rows()
+                })
+            })
+    });
+    let indexes: BTreeMap<AttrId, AttrIndex> = match adopted {
+        Some(loaded) => {
+            stats.index_loaded = true;
+            stats.index_load_time = load_time;
+            loaded
+        }
+        None => {
+            let index_options = IndexOptions {
+                substring_pruning: config.substring_pruning,
+                extract: config.extract,
+            };
+            let build = |(attr, extraction): &(AttrId, Extraction)| -> AttrIndex {
+                build_index(rel, *attr, *extraction, &index_options)
+            };
+            let built: Vec<AttrIndex> = if config.parallel {
+                pool::parallel_map(&candidates, build)
+            } else {
+                candidates.iter().map(build).collect()
+            };
+            built.into_iter().map(|idx| (idx.attr, idx)).collect()
+        }
     };
-    let build = |(attr, extraction): &(AttrId, Extraction)| -> AttrIndex {
-        build_index(rel, *attr, *extraction, &index_options)
-    };
-    let built: Vec<AttrIndex> = if config.parallel {
-        pool::parallel_map(&candidates, build)
-    } else {
-        candidates.iter().map(build).collect()
-    };
-    let indexes: BTreeMap<AttrId, AttrIndex> =
-        built.into_iter().map(|idx| (idx.attr, idx)).collect();
     stats.index_entries = indexes.values().map(|i| i.entries.len()).sum();
     for idx in indexes.values() {
         stats.cells_full_enum += idx.extract_stats.cells_full_enum;
@@ -340,9 +410,12 @@ pub fn discover(rel: &Relation, config: &DiscoveryConfig) -> DiscoveryResult {
     dependencies.sort_by(|a, b| (a.rhs, &a.lhs).cmp(&(b.rhs, &b.lhs)));
     stats.check_time = check_start.elapsed();
     stats.elapsed = start.elapsed();
-    DiscoveryResult {
-        dependencies,
-        stats,
+    DiscoveryRun {
+        result: DiscoveryResult {
+            dependencies,
+            stats,
+        },
+        indexes,
     }
 }
 

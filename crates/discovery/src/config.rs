@@ -87,6 +87,32 @@ impl DiscoveryConfig {
     pub fn required_coverage(&self, n: usize) -> usize {
         ((n as f64) * self.min_coverage).ceil() as usize
     }
+
+    /// Fingerprint of every parameter that shapes the *inverted index*
+    /// (candidate selection, extraction, substring pruning) — the staleness
+    /// key a persisted `.pfdi` index is checked against. Lattice-phase
+    /// knobs (`min_support`, `noise_ratio`, `max_lhs`, …) deliberately do
+    /// not participate: they change which dependencies are reported, not
+    /// what the index contains, so an index saved under one threshold set
+    /// warm-starts runs under another.
+    pub fn index_fingerprint(&self) -> u64 {
+        // FNV-1a over the knob values in a fixed order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(u64::from(self.prune_numeric));
+        mix(u64::from(self.substring_pruning));
+        mix(self.extract.full_enum_max_chars as u64);
+        mix(u64::from(self.extract.mine_repeats));
+        mix(self.extract.repeat_min_len as u64);
+        mix(self.extract.repeat_max_len as u64);
+        mix(self.extract.max_repeats_per_cell as u64);
+        h
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,34 @@ pub struct AttrIndex {
 }
 
 impl AttrIndex {
+    /// Reassemble an index from snapshot-decoded parts, rebuilding the
+    /// derived structures the on-disk format omits: the CSR reverse index
+    /// (row → entries, §5.4's second index) and the cached max support.
+    /// `entries` must be in the builder's canonical order and every row
+    /// set's universe must equal `num_rows` — the warm loader validates
+    /// both before calling.
+    pub fn from_parts(
+        attr: AttrId,
+        extraction: Extraction,
+        dict: FragmentDict,
+        entries: Vec<IndexEntry>,
+        num_rows: usize,
+        extract_stats: ExtractStats,
+    ) -> AttrIndex {
+        let (row_offsets, row_data) = build_reverse_index(&entries, num_rows);
+        let max_support = entries.iter().map(|e| e.support()).max().unwrap_or(0);
+        AttrIndex {
+            attr,
+            extraction,
+            dict,
+            entries,
+            row_offsets,
+            row_data,
+            max_support,
+            extract_stats,
+        }
+    }
+
     /// The fragment string of an entry.
     pub fn pattern_str(&self, entry: &IndexEntry) -> &str {
         self.dict.resolve(entry.pattern)
@@ -282,9 +310,24 @@ pub fn build_index(
         entries = prune_substrings(entries, &dict);
     }
 
-    // Reverse index in CSR form: count, prefix-sum, fill.
+    let (row_offsets, row_data) = build_reverse_index(&entries, num_rows);
+    let max_support = entries.iter().map(|e| e.support()).max().unwrap_or(0);
+    AttrIndex {
+        attr,
+        extraction,
+        dict,
+        entries,
+        row_offsets,
+        row_data,
+        max_support,
+        extract_stats,
+    }
+}
+
+/// Reverse index in CSR form: count, prefix-sum, fill.
+fn build_reverse_index(entries: &[IndexEntry], num_rows: usize) -> (Vec<u32>, Vec<u32>) {
     let mut row_offsets = vec![0u32; num_rows + 1];
-    for e in &entries {
+    for e in entries {
         for rid in e.rows.iter() {
             row_offsets[rid as usize + 1] += 1;
         }
@@ -301,18 +344,7 @@ pub fn build_index(
             *slot += 1;
         }
     }
-
-    let max_support = entries.iter().map(|e| e.support()).max().unwrap_or(0);
-    AttrIndex {
-        attr,
-        extraction,
-        dict,
-        entries,
-        row_offsets,
-        row_data,
-        max_support,
-        extract_stats,
-    }
+    (row_offsets, row_data)
 }
 
 /// §4.4 substring pruning: within groups of entries sharing the same row

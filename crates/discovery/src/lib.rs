@@ -53,6 +53,7 @@ pub mod fxhash;
 pub mod index;
 pub mod review;
 pub mod serial;
+pub mod warm;
 
 // Extracted to the shared `pfd_runtime` crate (PR 9) so discovery index
 // builds and the multi-tenant session server ride the same work-stealing
@@ -64,7 +65,8 @@ pub use pfd_runtime::pool;
 pub use pfd_relation::postings;
 
 pub use algorithm::{
-    discover, DependencyKind, DiscoveredDependency, DiscoveryResult, DiscoveryStats,
+    discover, discover_cold, discover_warm, DependencyKind, DiscoveredDependency, DiscoveryResult,
+    DiscoveryRun, DiscoveryStats,
 };
 pub use config::DiscoveryConfig;
 pub use extract::{ngrams, runs, tokens, ExtractOptions, ExtractStats, FragmentExtractor, Run};
@@ -75,4 +77,8 @@ pub use index::{
 pub use pool::parallel_map;
 pub use postings::{PostingList, RowSetAccumulator};
 pub use review::{review_queue, ReviewItem};
-pub use serial::{decode_dict, decode_entries, encode_dict, encode_entries};
+pub use serial::{decode_dict, decode_entries, decode_entries_shared, encode_dict, encode_entries};
+pub use warm::{
+    discover_persistent, load_index, relation_fingerprint, save_index, IndexFallback, IndexKey,
+    LoadedIndex, WarmDiscovery,
+};

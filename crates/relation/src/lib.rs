@@ -32,9 +32,9 @@ pub mod relation;
 pub mod schema;
 pub mod wal;
 
-pub use binary::{BinaryError, Cursor, SectionReader, SectionWriter};
+pub use binary::{BinaryError, Cursor, SectionReader, SectionWriter, SharedSectionReader};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvError};
-pub use io::{FailpointIo, Io, MemIo, StdIo};
+pub use io::{FailpointIo, Io, MemIo, SharedBytes, StdIo};
 pub use postings::{PostingList, RowSetAccumulator};
 pub use profile::{profile_column, profile_relation, ColumnKind, ColumnProfile, Extraction};
 pub use relation::{Relation, RelationError, RowDelta, RowId, RowView};

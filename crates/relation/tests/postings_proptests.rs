@@ -1,9 +1,12 @@
 //! Property-based tests for the block-compressed posting lists: random edit
 //! scripts straddling the 128-entry block boundaries against a `BTreeSet`
 //! model, representation equivalence of `eq`/`hash` across the sorted,
-//! blocked and dense tiers, and set-algebra agreement with the model.
+//! blocked and dense tiers, set-algebra agreement with the model, union
+//! accumulation through [`RowSetAccumulator`], and the zero-copy
+//! shared-payload decode path.
 
-use pfd_relation::PostingList;
+use pfd_relation::binary::{decode_postings_shared, encode_postings};
+use pfd_relation::{Cursor, PostingList, RowSetAccumulator, SharedBytes};
 use proptest::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
@@ -44,6 +47,22 @@ fn blocked_seed() -> impl Strategy<Value = BTreeSet<u32>> {
         }
         set
     })
+}
+
+/// A small set that `from_sorted` keeps in the sorted tier (< 256 ids).
+fn sorted_seed() -> impl Strategy<Value = BTreeSet<u32>> {
+    proptest::collection::vec(boundary_biased_id(), 0..100)
+        .prop_map(|ids| ids.into_iter().collect())
+}
+
+/// A contiguous run dense enough (≥ universe/16 ids) for the bitset tier.
+fn dense_seed() -> impl Strategy<Value = BTreeSet<u32>> {
+    (0u32..30_000, 2_500u32..2_800).prop_map(|(start, len)| (start..start + len).collect())
+}
+
+/// A seed from any of the three storage tiers.
+fn any_tier_seed() -> impl Strategy<Value = BTreeSet<u32>> {
+    prop_oneof![sorted_seed(), blocked_seed(), dense_seed()]
 }
 
 #[derive(Debug, Clone)]
@@ -161,5 +180,86 @@ proptest! {
         prop_assert!(meet
             .iter()
             .all(|id| la.contains(id as usize) && lb.contains(id as usize)));
+    }
+
+    /// Unioning lists of mixed storage tiers (plus loose single inserts)
+    /// through `RowSetAccumulator` matches a `BTreeSet` model, and the
+    /// produced `PostingList` is equal (and hash-equal) to a canonical
+    /// rebuild — pinning the per-tier fast paths in `insert_all` and the
+    /// dense word-adoption in `into_posting_list`.
+    #[test]
+    fn accumulator_union_matches_model(
+        seeds in proptest::collection::vec(any_tier_seed(), 1..5),
+        loose in proptest::collection::vec(boundary_biased_id(), 0..120),
+    ) {
+        let mut acc = RowSetAccumulator::new(UNIVERSE);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for seed in &seeds {
+            let list = PostingList::from_sorted(seed.iter().copied().collect(), UNIVERSE);
+            acc.insert_all(&list);
+            model.extend(seed.iter().copied());
+            prop_assert_eq!(acc.len(), model.len());
+        }
+        for &id in &loose {
+            acc.insert(id as usize);
+            model.insert(id);
+        }
+        prop_assert_eq!(acc.len(), model.len());
+        let got = acc.into_posting_list();
+        prop_assert_eq!(got.to_vec(), model.iter().copied().collect::<Vec<u32>>());
+        let rebuilt = PostingList::from_sorted(model.iter().copied().collect(), UNIVERSE);
+        prop_assert_eq!(&got, &rebuilt);
+        prop_assert_eq!(hash_of(&got), hash_of(&rebuilt));
+    }
+
+    /// A blocked list decoded through the zero-copy path (payload aliasing
+    /// the encoded buffer at a nonzero base offset) is indistinguishable
+    /// from its owned twin: equal, hash-equal, re-encodes byte-identically,
+    /// and — after edits force the copy-on-write detach — still agrees with
+    /// the `BTreeSet` model and a canonical rebuild.
+    #[test]
+    fn shared_payload_decode_is_equivalent_to_owned(
+        seed in blocked_seed(),
+        script in edit_script(),
+    ) {
+        let owned = PostingList::from_sorted(seed.iter().copied().collect(), UNIVERSE);
+        prop_assert!(owned.is_blocked_repr());
+        let mut reference = Vec::new();
+        encode_postings(&mut reference, &owned);
+
+        // Nonzero leading padding: decode offsets must be relative to the
+        // wire position, not the buffer start.
+        const BASE: usize = 11;
+        let mut bytes = vec![0xA5u8; BASE];
+        bytes.extend_from_slice(&reference);
+        let buf = SharedBytes::from_vec(bytes);
+        let mut cur = Cursor::new(&buf[BASE..]);
+        let mut shared = decode_postings_shared(&mut cur, &buf, BASE).unwrap();
+        prop_assert!(cur.is_empty());
+        prop_assert!(shared.is_shared_payload());
+        prop_assert_eq!(&shared, &owned);
+        prop_assert_eq!(hash_of(&shared), hash_of(&owned));
+
+        let mut re = Vec::new();
+        encode_postings(&mut re, &shared);
+        prop_assert_eq!(re, reference);
+
+        // Edits detach the aliased payload; the explicit block extents must
+        // keep every splice exact.
+        let mut model = seed.clone();
+        for op in script {
+            match op {
+                EditOp::Insert(id) => {
+                    prop_assert_eq!(shared.insert(id as usize), model.insert(id));
+                }
+                EditOp::Remove(id) => {
+                    prop_assert_eq!(shared.remove(id as usize), model.remove(&id));
+                }
+            }
+        }
+        prop_assert_eq!(shared.to_vec(), model.iter().copied().collect::<Vec<u32>>());
+        let rebuilt = PostingList::from_sorted(model.iter().copied().collect(), UNIVERSE);
+        prop_assert_eq!(&shared, &rebuilt);
+        prop_assert_eq!(hash_of(&shared), hash_of(&rebuilt));
     }
 }

@@ -32,7 +32,7 @@ use pfd_core::{
     RepairOptions, Server, ServerOptions, SnapshotError, SnapshotStore, TenantLoader,
     DEFAULT_TENANT,
 };
-use pfd_discovery::{discover, review_queue, DiscoveryConfig};
+use pfd_discovery::{discover, discover_persistent, review_queue, DiscoveryConfig};
 use pfd_relation::io::StdIo;
 use pfd_relation::{profile_relation, read_csv, write_csv_string, Relation};
 use std::fmt;
@@ -519,20 +519,70 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 .as_deref()
                 .filter(|p| Path::new(p).exists())
                 .is_some();
+            // A fresh snapshot is written below with default (zero)
+            // metadata, so zeros are also the right index key for it.
+            let mut snap_meta = pfd_core::SnapshotMeta::default();
             let rel = match (&snapshot, loaded_snapshot) {
-                (Some(path), true) => match pfd_core::load(Path::new(path)) {
-                    Ok(engine) => engine.into_relation(),
+                (Some(path), true) => match std::fs::read(path)
+                    .map_err(CliError::Io)
+                    .and_then(|bytes| Ok(pfd_core::load_from_bytes_with(&bytes)?))
+                {
+                    Ok((engine, meta)) => {
+                        snap_meta = meta;
+                        engine.into_relation()
+                    }
                     // Discovery state is rebuildable from the CSV, so a
                     // salvage policy treats a bad snapshot as a cache miss.
                     Err(e) if recover == RecoveryPolicy::Salvage => {
                         writeln!(out, "warning: snapshot unusable ({e}); re-reading CSV")?;
                         load_relation(&data)?
                     }
-                    Err(e) => return Err(e.into()),
+                    Err(e) => return Err(e),
                 },
                 _ => load_relation(&data)?,
             };
-            let result = discover(&rel, &config);
+            // With a snapshot in play, discovery runs against the sibling
+            // `.pfdi` index: warm-load it when fresh, cold-build and
+            // (re-)save it otherwise. The dependency output is identical
+            // either way — only the phase timings move.
+            let mut index_note: Option<String> = None;
+            let result = match &snapshot {
+                Some(path) => {
+                    let io = StdIo;
+                    let index_path = SnapshotStore::new(&io, path.as_str()).index_path();
+                    let warm = discover_persistent(
+                        &io,
+                        &index_path,
+                        &rel,
+                        &config,
+                        snap_meta.generation,
+                        snap_meta.last_seq,
+                    );
+                    index_note = Some(if warm.result.stats.index_loaded {
+                        format!(
+                            "index: warm start from {}{} in {:?}",
+                            index_path.display(),
+                            if warm.mapped { " (mmap)" } else { "" },
+                            warm.result.stats.index_load_time
+                        )
+                    } else {
+                        let why = warm
+                            .fallback
+                            .map(|f| f.to_string())
+                            .unwrap_or_else(|| "no index".to_string());
+                        let tail = if warm.saved {
+                            format!("; index saved to {}", index_path.display())
+                        } else if let Some(e) = warm.save_error {
+                            format!("; index save failed: {e}")
+                        } else {
+                            String::new()
+                        };
+                        format!("index: cold build ({why}){tail}")
+                    });
+                    warm.result
+                }
+                None => discover(&rel, &config),
+            };
             writeln!(
                 out,
                 "{} dependencies discovered in {:?} ({} candidate pairs, {} patterns tested)",
@@ -559,6 +609,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
                 result.stats.rhs_decisions,
                 result.stats.rhs_cache_hits
             )?;
+            if let Some(note) = index_note {
+                writeln!(out, "{note}")?;
+            }
             if review {
                 for item in review_queue(&rel, &result.dependencies) {
                     writeln!(out, "  {}", item.summary(&rel))?;
